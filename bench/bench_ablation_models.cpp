@@ -1,0 +1,182 @@
+// Ablation — static (SDF) vs dynamic (PEDF-controller) scheduling of the
+// same graph, quantifying the trade-off the paper's introduction discusses:
+// decidable models "allow ... static and deadlock-free actor scheduling" but
+// at reduced expressiveness, while dynamic models "emphasize programmability"
+// at runtime-scheduling cost.
+//
+// The workload: the up(1->2) / fir(4->4) / down(4->1) audio chain, executed
+//   (a) by the SDF layer's statically synthesized schedule, and
+//   (b) by a naive dynamic controller that polls token availability each
+//       step and fires whatever is ready (what a dynamic runtime does).
+// Both decode the same stream; we compare scheduler activity (dispatches,
+// controller work) and wall time.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dfdbg/pedf/application.hpp"
+#include "dfdbg/sdf/sdf.hpp"
+
+using namespace dfdbg;
+using pedf::PortDir;
+using pedf::TypeDesc;
+using pedf::Value;
+
+namespace {
+
+constexpr std::uint64_t kPeriods = 32;
+
+sdf::SdfGraph audio_graph() {
+  sdf::SdfGraph g;
+  DFDBG_CHECK(g.add_actor({"up",
+                           {{"i", PortDir::kIn, 1, TypeDesc()},
+                            {"o", PortDir::kOut, 2, TypeDesc()}},
+                           nullptr,
+                           2})
+                  .ok());
+  DFDBG_CHECK(g.add_actor({"fir",
+                           {{"i", PortDir::kIn, 4, TypeDesc()},
+                            {"o", PortDir::kOut, 4, TypeDesc()}},
+                           nullptr,
+                           8})
+                  .ok());
+  DFDBG_CHECK(g.add_actor({"down",
+                           {{"i", PortDir::kIn, 4, TypeDesc()},
+                            {"o", PortDir::kOut, 1, TypeDesc()}},
+                           nullptr,
+                           2})
+                  .ok());
+  DFDBG_CHECK(g.add_edge({"up", "o", "fir", "i", 0}).ok());
+  DFDBG_CHECK(g.add_edge({"fir", "o", "down", "i", 0}).ok());
+  return g;
+}
+
+struct RunStats {
+  std::uint64_t dispatches = 0;
+  sim::SimTime sim_time = 0;
+  std::size_t outputs = 0;
+};
+
+/// (a) static: the SDF layer's schedule.
+RunStats run_static() {
+  sim::Kernel kernel;
+  sim::PlatformConfig pc;
+  pc.clusters = 1;
+  pc.pes_per_cluster = 8;
+  sim::Platform platform(kernel, pc);
+  pedf::Application app(platform, "static");
+  sdf::SdfGraph g = audio_graph();
+  auto mod = g.instantiate("audio", kPeriods);
+  DFDBG_CHECK(mod.ok());
+  app.set_root(std::move(*mod));
+  std::vector<Value> stream(2 * kPeriods, Value::u32(7));
+  app.add_host_source("adc", "audio.up_i", std::move(stream));
+  auto& sink = app.add_host_sink("dac", "audio.down_o", kPeriods);
+  DFDBG_CHECK(app.elaborate().ok());
+  DFDBG_CHECK(g.apply_initial_tokens(app).ok());
+  app.start();
+  DFDBG_CHECK(kernel.run() == sim::RunResult::kFinished);
+  return RunStats{kernel.dispatch_count(), kernel.now(), sink.received().size()};
+}
+
+/// (b) dynamic: a controller that polls link occupancies and fires whatever
+/// has enough input tokens — no static knowledge, pure runtime decisions.
+RunStats run_dynamic() {
+  sim::Kernel kernel;
+  sim::PlatformConfig pc;
+  pc.clusters = 1;
+  pc.pes_per_cluster = 8;
+  sim::Platform platform(kernel, pc);
+  pedf::Application app(platform, "dynamic");
+
+  auto mod = std::make_unique<pedf::Module>("audio");
+  mod->add_port("in", PortDir::kIn, TypeDesc());
+  mod->add_port("out", PortDir::kOut, TypeDesc());
+  struct Stage {
+    const char* name;
+    std::uint32_t in_rate, out_rate;
+    sim::SimTime cost;
+  };
+  static const Stage kStages[] = {{"up", 1, 2, 2}, {"fir", 4, 4, 8}, {"down", 4, 1, 2}};
+  for (const Stage& st : kStages) {
+    auto f = std::make_unique<pedf::FnFilter>(st.name, [st](pedf::FilterContext& ctx) {
+      std::vector<Value> in;
+      for (std::uint32_t i = 0; i < st.in_rate; ++i) in.push_back(ctx.in("i").get());
+      ctx.compute(st.cost);
+      for (std::uint32_t i = 0; i < st.out_rate; ++i)
+        ctx.out("o").put(in[i % in.size()]);
+    });
+    f->add_port("i", PortDir::kIn, TypeDesc());
+    f->add_port("o", PortDir::kOut, TypeDesc());
+    mod->add_filter(std::move(f));
+  }
+  // Dynamic controller: every step, poll each filter's input and fire it if
+  // a full firing's worth of tokens is available (runtime scheduling).
+  mod->define_predicate("work_left", [](pedf::Module& m) {
+    pedf::Filter* down = m.filter("down");
+    return down->firings() < kPeriods;
+  });
+  mod->set_controller(std::make_unique<pedf::FnController>(
+      "dyn_ctl", [](pedf::ControllerContext& ctx) {
+        while (ctx.predicate("work_left")) {
+          ctx.next_step();
+          for (const Stage& st : kStages) {
+            while (ctx.tokens_available(st.name, "i") >= st.in_rate) {
+              ctx.actor_fire(st.name);
+              ctx.wait_for_actor_sync();
+            }
+          }
+          ctx.compute(4);  // the polling itself costs controller cycles
+        }
+      }));
+  mod->bind("this.in", "up.i");
+  mod->bind("up.o", "fir.i");
+  mod->bind("fir.o", "down.i");
+  mod->bind("down.o", "this.out");
+  app.set_root(std::move(mod));
+  std::vector<Value> stream(2 * kPeriods, Value::u32(7));
+  app.add_host_source("adc", "audio.in", std::move(stream));
+  auto& sink = app.add_host_sink("dac", "audio.out", kPeriods);
+  DFDBG_CHECK(app.elaborate().ok());
+  app.start();
+  DFDBG_CHECK(kernel.run() == sim::RunResult::kFinished);
+  return RunStats{kernel.dispatch_count(), kernel.now(), sink.received().size()};
+}
+
+void BM_StaticSchedule(benchmark::State& state) {
+  RunStats last{};
+  for (auto _ : state) last = run_static();
+  state.counters["dispatches"] = static_cast<double>(last.dispatches);
+  state.counters["sim_cycles"] = static_cast<double>(last.sim_time);
+}
+BENCHMARK(BM_StaticSchedule);
+
+void BM_DynamicSchedule(benchmark::State& state) {
+  RunStats last{};
+  for (auto _ : state) last = run_dynamic();
+  state.counters["dispatches"] = static_cast<double>(last.dispatches);
+  state.counters["sim_cycles"] = static_cast<double>(last.sim_time);
+}
+BENCHMARK(BM_DynamicSchedule);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunStats st = run_static();
+  RunStats dy = run_dynamic();
+  std::printf("=== ablation: static (SDF) vs dynamic (polling controller) ===\n");
+  std::printf("%-22s %12s %12s %10s\n", "scheduling", "dispatches", "sim cycles", "outputs");
+  std::printf("%-22s %12llu %12llu %10zu\n", "static SDF schedule",
+              static_cast<unsigned long long>(st.dispatches),
+              static_cast<unsigned long long>(st.sim_time), st.outputs);
+  std::printf("%-22s %12llu %12llu %10zu\n", "dynamic polling",
+              static_cast<unsigned long long>(dy.dispatches),
+              static_cast<unsigned long long>(dy.sim_time), dy.outputs);
+  std::printf("\nboth produce the same %zu outputs; the static schedule avoids the\n"
+              "polling/dispatch overhead (the decidability benefit the paper's intro\n"
+              "weighs against dynamic models' expressiveness).\n\n",
+              st.outputs);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return st.outputs == dy.outputs ? 0 : 1;
+}

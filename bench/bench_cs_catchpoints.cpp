@@ -1,0 +1,102 @@
+// CS-B — §VI-B token-based execution firing: the catchpoint machinery
+// (`filter pipe catch work`, `catch Pipe_in=1,Hwcfg_in=1`, `catch *in=1`).
+//
+// Verifies the three commands stop where the paper says and measures the
+// cost of running the decoder under each catchpoint kind.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace dfdbg;
+
+namespace {
+
+/// Runs the decoder to completion stopping at every trigger of `setup`'s
+/// catchpoint; returns the number of stops.
+int stops_with(const std::function<void(dbg::Session&)>& setup, double* secs = nullptr) {
+  auto built = h264::H264App::build(benchutil::decoder_config(2, 2, 2));
+  DFDBG_CHECK(built.ok());
+  auto& app = **built;
+  dbg::Session session(app.app());
+  session.attach();
+  setup(session);
+  app.start();
+  int stops = 0;
+  double t = benchutil::time_s([&] {
+    for (;;) {
+      auto out = session.run();
+      if (out.result != sim::RunResult::kStopped) break;
+      stops++;
+    }
+  });
+  if (secs != nullptr) *secs = t;
+  return stops;
+}
+
+void BM_CatchWork(benchmark::State& state) {
+  for (auto _ : state) {
+    int stops = stops_with([](dbg::Session& s) { DFDBG_CHECK(s.catch_work("pipe").ok()); });
+    benchmark::DoNotOptimize(stops);
+    state.counters["stops"] = stops;
+  }
+}
+BENCHMARK(BM_CatchWork);
+
+void BM_CatchTokenCounts(benchmark::State& state) {
+  for (auto _ : state) {
+    int stops = stops_with([](dbg::Session& s) {
+      DFDBG_CHECK(s.catch_tokens("ipred", {{"Pipe_in", 1}, {"Hwcfg_in", 1}}).ok());
+    });
+    benchmark::DoNotOptimize(stops);
+    state.counters["stops"] = stops;
+  }
+}
+BENCHMARK(BM_CatchTokenCounts);
+
+void BM_CatchContent(benchmark::State& state) {
+  for (auto _ : state) {
+    int stops = stops_with([](dbg::Session& s) {
+      DFDBG_CHECK(s.catch_token_content(
+                       "pipe::Red2PipeCbMB_in",
+                       [](const pedf::Value& v) { return v.field_u64("InterNotIntra") == 1; },
+                       "inter flag set")
+                      .ok());
+    });
+    benchmark::DoNotOptimize(stops);
+    state.counters["stops"] = stops;
+  }
+}
+BENCHMARK(BM_CatchContent);
+
+void BM_NoCatchpointBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    int stops = stops_with([](dbg::Session&) {});
+    benchmark::DoNotOptimize(stops);
+  }
+}
+BENCHMARK(BM_NoCatchpointBaseline);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== CS-B: catchpoint semantics check ===\n");
+  int mbs = benchutil::decoder_config(2, 2, 2).params.total_mbs();
+  int work_stops = stops_with([](dbg::Session& s) { DFDBG_CHECK(s.catch_work("pipe").ok()); });
+  std::printf("filter pipe catch work           : %d stops (expect %d = one per MB)\n",
+              work_stops, mbs);
+  int count_stops = stops_with([](dbg::Session& s) {
+    DFDBG_CHECK(s.catch_tokens("ipred", {{"Pipe_in", 1}, {"Hwcfg_in", 1}}).ok());
+  });
+  std::printf("filter ipred catch Pipe_in=1,Hwcfg_in=1 : %d stops\n", count_stops);
+  int wild_stops =
+      stops_with([](dbg::Session& s) { DFDBG_CHECK(s.catch_all_inputs("ipred", 1).ok()); });
+  std::printf("filter ipred catch *in=1         : %d stops (must equal explicit: %s)\n",
+              wild_stops, wild_stops == count_stops ? "yes" : "NO");
+  bool ok = work_stops == mbs && wild_stops == count_stops;
+  std::printf("semantics: %s\n\n", ok ? "OK" : "MISMATCH");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

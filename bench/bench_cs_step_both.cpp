@@ -1,0 +1,91 @@
+// CS-C — §VI-C non-linear execution: step_both plants temporary breakpoints
+// at both ends of a data dependency. Verifies the two stops occur on every
+// data link of the decoder (property sweep) and measures the cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace dfdbg;
+
+namespace {
+
+/// Performs one step_both on `out_iface`; returns true if both stops were
+/// observed in order (send then receive in our kernel).
+bool step_both_on(const std::string& out_iface, double* secs = nullptr) {
+  auto built = h264::H264App::build(benchutil::decoder_config(2, 2, 1));
+  DFDBG_CHECK(built.ok());
+  auto& app = **built;
+  dbg::Session session(app.app());
+  session.attach();
+  app.start();
+  if (!session.step_both_iface(out_iface).ok()) return false;
+  bool sent = false, received = false;
+  double t = benchutil::time_s([&] {
+    for (;;) {
+      auto out = session.run();
+      if (out.result != sim::RunResult::kStopped) break;
+      if (out.stops[0].kind == dbg::StopKind::kTokenSent) sent = true;
+      if (out.stops[0].kind == dbg::StopKind::kTokenReceived) {
+        received = sent;  // receive must come after send
+        break;
+      }
+    }
+  });
+  if (secs != nullptr) *secs = t;
+  return sent && received;
+}
+
+void BM_StepBothFirstLink(benchmark::State& state) {
+  for (auto _ : state) {
+    bool ok = step_both_on("ipred::Add2Dblock_ipf_out");
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_StepBothFirstLink);
+
+void BM_StepBothHotLink(benchmark::State& state) {
+  // The coefficient link fires 24x per MB: the temporary breakpoints catch
+  // the very first transfer.
+  for (auto _ : state) {
+    bool ok = step_both_on("vld::coeff_out");
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_StepBothHotLink);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== CS-C: step_both over every data link of the decoder ===\n");
+  // Enumerate the decoder's filter-to-filter links from a probe instance.
+  std::vector<std::string> out_ifaces;
+  {
+    auto built = h264::H264App::build(benchutil::decoder_config(2, 2, 1));
+    DFDBG_CHECK(built.ok());
+    for (const auto& l : (*built)->app().links()) {
+      const auto& src = l->src()->owner();
+      const auto& dst = l->dst()->owner();
+      if (src.kind() == pedf::ActorKind::kHostIo || dst.kind() == pedf::ActorKind::kHostIo)
+        continue;
+      // mc's links carry tokens only for inter MBs; a single-frame stream is
+      // all intra, so skip them in this sweep.
+      if (src.name() == "mc" || dst.name() == "mc" || l->name().find("mc") != std::string::npos)
+        continue;
+      out_ifaces.push_back(src.name() + "::" + l->src()->name());
+    }
+  }
+  int ok_count = 0;
+  for (const std::string& iface : out_ifaces) {
+    bool ok = step_both_on(iface);
+    std::printf("  step_both %-38s %s\n", iface.c_str(), ok ? "send+receive stops OK" : "FAILED");
+    if (ok) ok_count++;
+  }
+  bool all_ok = ok_count == static_cast<int>(out_ifaces.size());
+  std::printf("step_both verified on %d/%zu links\n\n", ok_count, out_ifaces.size());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return all_ok ? 0 : 1;
+}

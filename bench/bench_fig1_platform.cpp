@@ -1,0 +1,99 @@
+// FIG1 — regenerates the paper's Fig. 1 (P2012 platform architecture) from
+// the live platform model, and measures the platform primitives the
+// dataflow links ride on (memory access, DMA transfer, PE execution).
+//
+// Paper artefact: an architecture diagram (host + fabric clusters sharing
+// L1, inter-cluster L2, host L3 behind DMA). We emit the same topology as
+// DOT from the simulated platform object and benchmark its primitives.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dfdbg/sim/platform.hpp"
+
+using namespace dfdbg;
+
+static void BM_PlatformConstruction(benchmark::State& state) {
+  sim::PlatformConfig cfg;
+  cfg.clusters = static_cast<int>(state.range(0));
+  cfg.pes_per_cluster = 16;
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    sim::Platform platform(kernel, cfg);
+    benchmark::DoNotOptimize(platform.pe_count());
+  }
+  state.counters["pes"] = static_cast<double>(
+      cfg.clusters * (cfg.pes_per_cluster + cfg.accel_slots_per_cluster) + cfg.host_cores);
+}
+BENCHMARK(BM_PlatformConstruction)->Arg(1)->Arg(4)->Arg(8);
+
+static void BM_MemoryAccessLatency(benchmark::State& state) {
+  // Simulated-cycle cost of one access per memory level (L1/L2/L3).
+  sim::Kernel kernel;
+  sim::Platform platform(kernel, sim::PlatformConfig{});
+  std::uint64_t level = static_cast<std::uint64_t>(state.range(0));
+  sim::SimTime before = 0, after = 0;
+  kernel.spawn("prober", [&] {
+    for (int i = 0; i < 1000; ++i) {
+      if (level == 1) platform.fabric()[0].l1->access(kernel, 64);
+      if (level == 2) platform.l2().access(kernel, 64);
+      if (level == 3) platform.l3().access(kernel, 64);
+    }
+    after = kernel.now();
+  });
+  kernel.run();
+  for (auto _ : state) benchmark::DoNotOptimize(after);
+  state.counters["cycles_per_access"] = static_cast<double>(after - before) / 1000.0;
+}
+BENCHMARK(BM_MemoryAccessLatency)->Arg(1)->Arg(2)->Arg(3);
+
+static void BM_DmaTransfer(benchmark::State& state) {
+  sim::Kernel kernel;
+  sim::Platform platform(kernel, sim::PlatformConfig{});
+  std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  sim::SimTime total = 0;
+  kernel.spawn("dma-user", [&] {
+    for (int i = 0; i < 100; ++i)
+      platform.dmas()[0]->transfer(kernel, platform.l3(), platform.l2(), bytes);
+    total = kernel.now();
+  });
+  kernel.run();
+  for (auto _ : state) benchmark::DoNotOptimize(total);
+  state.counters["cycles_per_transfer"] = static_cast<double>(total) / 100.0;
+}
+BENCHMARK(BM_DmaTransfer)->Arg(64)->Arg(1024)->Arg(16384);
+
+static void BM_PeExclusivity(benchmark::State& state) {
+  // Two actors mapped on one PE serialize; on two PEs they overlap.
+  bool same_pe = state.range(0) == 1;
+  sim::SimTime elapsed = 0;
+  {
+    sim::Kernel kernel;
+    sim::Platform platform(kernel, sim::PlatformConfig{});
+    sim::Pe& pe_a = *platform.fabric()[0].pes[0];
+    sim::Pe& pe_b = same_pe ? pe_a : *platform.fabric()[0].pes[1];
+    kernel.spawn("a", [&] { pe_a.execute(kernel, 1000); });
+    kernel.spawn("b", [&] { pe_b.execute(kernel, 1000); });
+    kernel.run();
+    elapsed = kernel.now();
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(elapsed);
+  state.counters["sim_cycles"] = static_cast<double>(elapsed);
+}
+BENCHMARK(BM_PeExclusivity)->Arg(1)->Arg(2);
+
+int main(int argc, char** argv) {
+  // Emit the Fig. 1 topology before benchmarking.
+  sim::Kernel kernel;
+  sim::Platform platform(kernel, sim::PlatformConfig{});
+  std::printf("=== FIG1: P2012 platform topology (Graphviz DOT) ===\n%s\n",
+              platform.to_dot().c_str());
+  std::printf("pe_count=%zu clusters=%d l2=%lluB l3=%lluB dma_engines=%zu\n\n",
+              platform.pe_count(), platform.config().clusters,
+              static_cast<unsigned long long>(platform.l2().size_bytes()),
+              static_cast<unsigned long long>(platform.l3().size_bytes()),
+              platform.dmas().size());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// OV1 — the paper's §V intrusiveness discussion, quantified.
+//
+// "Our frequent use of breakpoints introduces a slowdown in the application.
+//  This is mainly due to the breakpoints related to data exchanges..."
+// Option 1: disable the data-exchange breakpoints.
+// Option 2 (framework cooperation, unimplemented in the paper, built here):
+//  actor-specific data-exchange breakpoints only on the interfaces of
+//  interest.
+//
+// Expected shape: native < detached < option2 < option1 < full debug, with
+// the data-exchange breakpoints dominating the full-debug cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace dfdbg;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  bool attach;
+  int option;  // 0=full, 1=data hooks off, 2=selective, -1=n/a
+};
+
+constexpr Mode kModes[] = {
+    {"native (no debugger)", false, -1},
+    {"full debug (all breakpoints)", true, 0},
+    {"option 1 (data-exchange off)", true, 1},
+    {"option 2 (cooperation, 2 ifaces)", true, 2},
+};
+
+double run_mode(const Mode& mode, const h264::H264AppConfig& cfg, std::uint64_t* hooks,
+                bool* exact) {
+  return benchutil::run_decoder_once(
+      cfg, mode.attach,
+      [&](dbg::Session& s) {
+        if (mode.option == 1) {
+          s.set_data_exchange_hooks(false);
+        } else if (mode.option == 2) {
+          DFDBG_CHECK(
+              s.use_selective_data_hooks({"pipe::Red2PipeCbMB_in", "ipred::Pipe_in"}).ok());
+        }
+      },
+      hooks, exact);
+}
+
+void BM_Intrusiveness(benchmark::State& state) {
+  const Mode& mode = kModes[state.range(0)];
+  h264::H264AppConfig cfg = benchutil::decoder_config(2, 2, 2);
+  std::uint64_t hooks = 0;
+  bool exact = false;
+  for (auto _ : state) {
+    double t = run_mode(mode, cfg, &hooks, &exact);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetLabel(mode.name);
+  state.counters["hook_invocations"] = static_cast<double>(hooks);
+  state.counters["bit_exact"] = exact ? 1 : 0;
+}
+BENCHMARK(BM_Intrusiveness)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== OV1: debugger intrusiveness on the H.264 decoder ===\n");
+  // A bigger workload for the headline table (repeated for stability).
+  h264::H264AppConfig cfg = benchutil::decoder_config(3, 2, 3);
+  constexpr int kReps = 5;
+  // Our in-process hooks cost nanoseconds, so the raw wall-clock barely
+  // moves; the paper's debugger pays a real GDB breakpoint round-trip per
+  // event. The modeled column charges each hook invocation the typical cost
+  // of a conditional GDB breakpoint over its Python bindings (~100 us) on
+  // top of the measured native time — reproducing the paper's shape with an
+  // explicit, documented assumption (see EXPERIMENTS.md, OV1).
+  constexpr double kGdbTrapSeconds = 100e-6;
+  double base = 0;
+  std::printf("%-36s %11s %9s %16s %15s %9s\n", "mode", "wall (ms)", "slowdown",
+              "hook invocations", "modeled slowdown", "bit-exact");
+  for (const Mode& mode : kModes) {
+    double best = 1e9;
+    std::uint64_t hooks = 0;
+    bool exact = false;
+    for (int r = 0; r < kReps; ++r) {
+      double t = run_mode(mode, cfg, &hooks, &exact);
+      if (t < best) best = t;
+    }
+    if (mode.option == -1) base = best;
+    double modeled = (base + static_cast<double>(hooks) * kGdbTrapSeconds) / base;
+    std::printf("%-36s %11.3f %8.2fx %16llu %14.1fx %9s\n", mode.name, best * 1e3, best / base,
+                static_cast<unsigned long long>(hooks), modeled, exact ? "yes" : "NO");
+  }
+  std::printf(
+      "\npaper claim: the slowdown is dominated by the data-exchange\n"
+      "breakpoints; option 1 removes most of it, option 2 (framework\n"
+      "cooperation) keeps selected visibility at near-option-1 cost.\n"
+      "Debugging never alters the decoded output (deterministic kernel).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Scaling — how the debugger's costs grow with the application: graph
+// reconstruction vs actor count, data-exchange observation vs token traffic,
+// and stop dispatch vs number of armed catchpoints. The paper's approach
+// must stay interactive for "applications composed of a significant number
+// of actors" (§II); these curves substantiate that.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/mind/analyze.hpp"
+#include "dfdbg/mind/instantiate.hpp"
+#include "dfdbg/mind/parser.hpp"
+#include "dfdbg/pedf/application.hpp"
+
+using namespace dfdbg;
+
+namespace {
+
+/// Layered architecture text: `layers` x `width` rate-1 stages.
+std::string layered_adl(int layers, int width) {
+  std::ostringstream adl;
+  adl << "@Filter\nprimitive Stage {\n  input U32 as in;\n  output U32 as out;\n"
+         "  source stage.c;\n}\n";
+  adl << "@Module\ncomposite Net {\n  contains as controller { source ctl.c; }\n";
+  for (int w = 0; w < width; ++w) {
+    adl << "  input U32 as in" << w << ";\n  output U32 as out" << w << ";\n";
+  }
+  for (int l = 0; l < layers; ++l)
+    for (int w = 0; w < width; ++w) adl << "  contains Stage as s" << l << "_" << w << ";\n";
+  for (int w = 0; w < width; ++w) {
+    adl << "  binds this.in" << w << " to s0_" << w << ".in;\n";
+    for (int l = 1; l < layers; ++l)
+      adl << "  binds s" << (l - 1) << "_" << w << ".out to s" << l << "_" << w << ".in;\n";
+    adl << "  binds s" << (layers - 1) << "_" << w << ".out to this.out" << w << ";\n";
+  }
+  adl << "}\n";
+  return adl.str();
+}
+
+struct World {
+  std::unique_ptr<sim::Kernel> kernel;
+  std::unique_ptr<sim::Platform> platform;
+  std::unique_ptr<pedf::Application> app;
+  std::vector<pedf::HostSink*> sinks;
+};
+
+std::unique_ptr<World> build_world(int layers, int width, int steps) {
+  auto w = std::make_unique<World>();
+  w->kernel = std::make_unique<sim::Kernel>();
+  sim::PlatformConfig pc;
+  pc.clusters = 4;
+  pc.pes_per_cluster = 16;
+  w->platform = std::make_unique<sim::Platform>(*w->kernel, pc);
+  w->app = std::make_unique<pedf::Application>(*w->platform, "net");
+  w->app->set_model_latencies(false);
+  auto doc = mind::parse(layered_adl(layers, width));
+  DFDBG_CHECK(doc.ok());
+  mind::FilterRegistry registry;
+  registry.set_default_steps(static_cast<std::uint64_t>(steps));
+  auto root = mind::instantiate(*doc, "Net", "net", w->app->types(), registry);
+  DFDBG_CHECK(root.ok());
+  w->app->set_root(std::move(*root));
+  for (int i = 0; i < width; ++i) {
+    std::vector<pedf::Value> stream(static_cast<std::size_t>(steps), pedf::Value::u32(1));
+    w->app->add_host_source("src" + std::to_string(i), "net.in" + std::to_string(i),
+                            std::move(stream));
+    w->sinks.push_back(&w->app->add_host_sink("snk" + std::to_string(i),
+                                              "net.out" + std::to_string(i),
+                                              static_cast<std::size_t>(steps)));
+  }
+  return w;
+}
+
+void BM_ReconstructionVsActors(benchmark::State& state) {
+  int layers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto w = build_world(layers, 8, 1);
+    dbg::Session session(*w->app);
+    session.attach();
+    DFDBG_CHECK(w->app->elaborate().ok());
+    benchmark::DoNotOptimize(session.graph().actors().size());
+    state.counters["actors"] = static_cast<double>(session.graph().actors().size());
+    state.counters["links"] = static_cast<double>(session.graph().links().size());
+  }
+}
+BENCHMARK(BM_ReconstructionVsActors)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ObservedRunVsTraffic(benchmark::State& state) {
+  int steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto w = build_world(4, 4, steps);
+    dbg::Session session(*w->app);
+    session.attach();
+    DFDBG_CHECK(w->app->elaborate().ok());
+    w->app->start();
+    for (;;) {
+      auto out = session.run();
+      if (out.result != sim::RunResult::kStopped) break;
+    }
+    state.counters["tokens"] = static_cast<double>(session.graph().tokens_observed());
+  }
+}
+BENCHMARK(BM_ObservedRunVsTraffic)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StopsVsArmedCatchpoints(benchmark::State& state) {
+  int armed = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto w = build_world(4, 4, 8);
+    dbg::Session session(*w->app);
+    session.attach();
+    DFDBG_CHECK(w->app->elaborate().ok());
+    int added = 0;
+    for (const dbg::DActor& a : session.graph().actors()) {
+      if (a.kind != dbg::DActorKind::kFilter || added >= armed) continue;
+      DFDBG_CHECK(session.catch_work(a.name).ok());
+      added++;
+    }
+    w->app->start();
+    int stops = 0;
+    for (;;) {
+      auto out = session.run();
+      if (out.result != sim::RunResult::kStopped) break;
+      stops++;
+    }
+    state.counters["stops"] = stops;
+  }
+}
+BENCHMARK(BM_StopsVsArmedCatchpoints)->Arg(0)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Shared helpers for the experiment benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/h264/app.hpp"
+
+namespace dfdbg::benchutil {
+
+inline h264::H264AppConfig decoder_config(int mbs_x = 2, int mbs_y = 2, int frames = 2) {
+  h264::H264AppConfig cfg;
+  cfg.params.width = 16 * mbs_x;
+  cfg.params.height = 16 * mbs_y;
+  cfg.params.frame_count = frames;
+  cfg.params.qp = 20;
+  return cfg;
+}
+
+/// Wall-clock seconds of a callable.
+template <typename F>
+double time_s(F&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Builds the decoder, optionally attaches a configured session, runs to
+/// completion, and returns the wall time. `setup` may be null.
+inline double run_decoder_once(const h264::H264AppConfig& cfg, bool attach_debugger,
+                               const std::function<void(dbg::Session&)>& setup,
+                               std::uint64_t* hook_invocations = nullptr,
+                               bool* bit_exact = nullptr) {
+  auto built = h264::H264App::build(cfg);
+  DFDBG_CHECK_MSG(built.ok(), built.status().message());
+  auto& app = **built;
+  std::unique_ptr<dbg::Session> session;
+  if (attach_debugger) {
+    session = std::make_unique<dbg::Session>(app.app());
+    session->attach();
+    if (setup) setup(*session);
+  }
+  app.start();
+  double secs = time_s([&] {
+    if (session != nullptr) {
+      for (;;) {
+        auto out = session->run();
+        if (out.result != sim::RunResult::kStopped) break;
+      }
+    } else {
+      app.kernel().run();
+    }
+  });
+  if (hook_invocations != nullptr)
+    *hook_invocations = app.kernel().instrument().hook_invocations();
+  if (bit_exact != nullptr) *bit_exact = app.decoded_matches_golden();
+  return secs;
+}
+
+}  // namespace dfdbg::benchutil

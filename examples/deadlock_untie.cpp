@@ -1,0 +1,53 @@
+// Altering the normal execution (paper §III): a dropped configuration token
+// deadlocks the decoder; the debugger diagnoses the blocked actors and
+// unties the deadlock by injecting the missing token — after which the
+// decode completes bit-exactly.
+//
+// Build & run:   ./build/examples/deadlock_untie
+#include <cstdio>
+
+#include "dfdbg/dbgcli/cli.hpp"
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/h264/app.hpp"
+
+using namespace dfdbg;
+
+int main() {
+  h264::H264AppConfig cfg;
+  cfg.params.width = 32;
+  cfg.params.height = 32;
+  cfg.params.frame_count = 2;
+  cfg.fault.kind = h264::FaultPlan::Kind::kDropConfig;  // hwcfg drops one token
+  cfg.fault.trigger_mb = 2;
+
+  auto built = h264::H264App::build(cfg);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().message().c_str());
+    return 1;
+  }
+  auto& app = **built;
+  dbg::Session session(app.app());
+  session.attach();
+  app.start();
+  cli::Interpreter gdb(session, /*echo=*/true);
+
+  std::printf("(gdb) run\n");
+  gdb.execute("run");  // reports the deadlock and who is blocked on what
+
+  std::printf("\n(gdb) filter ipred info\n");
+  gdb.execute("filter ipred info");
+
+  std::printf("(gdb) info links   # the starved link is visible\n");
+  gdb.execute("info links");
+
+  std::printf("\n(gdb) tok insert ipred::Hwcfg_in %d   # the missing config token\n",
+              cfg.params.qp);
+  gdb.execute("tok insert ipred::Hwcfg_in " + std::to_string(cfg.params.qp));
+
+  std::printf("(gdb) continue\n");
+  gdb.execute("continue");
+
+  std::printf("\ndecode completed; bit-exact against golden: %s\n",
+              app.decoded_matches_golden() ? "YES" : "no");
+  return app.decoded_matches_golden() ? 0 : 1;
+}

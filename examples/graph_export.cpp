@@ -1,0 +1,150 @@
+// Exports the paper's figures as Graphviz DOT files:
+//   fig1_platform.dot — the P2012 platform topology (Fig. 1)
+//   fig2_amodule.dot  — the AModule dataflow graph, ground truth (Fig. 2)
+//   fig2_debugger.dot — the same graph as reconstructed by the debugger
+//   fig4_decoder.dot  — the H.264 decoder graph with live token counts
+//                       in a stalled state (Fig. 4)
+//
+// Render with:   dot -Tpng fig4_decoder.dot -o fig4.png
+#include <cstdio>
+#include <fstream>
+
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/mind/dot.hpp"
+#include "dfdbg/mind/instantiate.hpp"
+#include "dfdbg/mind/parser.hpp"
+#include "dfdbg/sim/platform.hpp"
+#include "dfdbg/trace/timeline.hpp"
+
+using namespace dfdbg;
+
+namespace {
+
+void write_file(const char* path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  std::printf("wrote %s (%zu bytes)\n", path, content.size());
+}
+
+const char* kAModuleAdl = R"adl(
+@Module
+composite AModule {
+  contains as controller {
+    output U32 as cmd_out_1;
+    output U32 as cmd_out_2;
+    source ctrl_source.c;
+  }
+  input U32 as module_in;
+  output U32 as module_out;
+  contains AFilter as filter_1;
+  contains AFilter as filter_2;
+  binds controller.cmd_out_1 to filter_1.cmd_in;
+  binds controller.cmd_out_2 to filter_2.cmd_in;
+  binds this.module_in to filter_1.an_input;
+  binds filter_1.an_output to filter_2.an_input;
+  binds filter_2.an_output to this.module_out;
+}
+@Filter
+primitive AFilter {
+  data      stddefs.h:U32 a_private_data;
+  attribute stddefs.h:U32 an_attribute;
+  source    the_source.c;
+  input stddefs.h:U32 as an_input;
+  input stddefs.h:U32 as cmd_in;
+  output stddefs.h:U32 as an_output;
+}
+)adl";
+
+}  // namespace
+
+int main() {
+  // FIG1: platform topology straight from the live model.
+  {
+    sim::Kernel kernel;
+    sim::Platform platform(kernel, sim::PlatformConfig{});
+    write_file("fig1_platform.dot", platform.to_dot());
+  }
+
+  // FIG2: the AModule graph, both from the ADL (ground truth) and from the
+  // debugger's reconstruction.
+  {
+    auto doc = mind::parse(kAModuleAdl);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "parse: %s\n", doc.status().message().c_str());
+      return 1;
+    }
+    write_file("fig2_amodule.dot", mind::to_dot(*doc, "AModule"));
+
+    sim::Kernel kernel;
+    sim::PlatformConfig pc;
+    pc.clusters = 1;
+    pc.pes_per_cluster = 4;
+    sim::Platform platform(kernel, pc);
+    pedf::Application app(platform, "amodule");
+    mind::FilterRegistry registry;
+    auto root = mind::instantiate(*doc, "AModule", "amodule", app.types(), registry);
+    if (!root.ok()) {
+      std::fprintf(stderr, "instantiate: %s\n", root.status().message().c_str());
+      return 1;
+    }
+    app.set_root(std::move(*root));
+    app.add_host_source("src", "amodule.module_in", {pedf::Value::u32(0)});
+    app.add_host_sink("snk", "amodule.module_out", 1);
+    dbg::Session session(app);
+    session.attach();
+    if (Status s = app.elaborate(); !s.ok()) {
+      std::fprintf(stderr, "elaborate: %s\n", s.message().c_str());
+      return 1;
+    }
+    write_file("fig2_debugger.dot", session.graph().to_dot(false));
+  }
+
+  // FIG4: the H.264 decoder with the rate-mismatch fault, stopped when the
+  // pipe->ipf link holds exactly 20 tokens (the figure's annotation).
+  {
+    h264::H264AppConfig cfg;
+    cfg.params.width = 32;
+    cfg.params.height = 32;
+    cfg.params.frame_count = 2;
+    cfg.fault.kind = h264::FaultPlan::Kind::kRateMismatch;
+    cfg.fault.trigger_mb = 0;
+    cfg.fault.period = 1;
+    auto built = h264::H264App::build(cfg);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().message().c_str());
+      return 1;
+    }
+    auto& app = **built;
+    dbg::Session session(app.app());
+    session.attach();
+    app.start();
+    auto bp = session.break_on_send("pipe::pipe_ipf_out");
+    if (!bp.ok()) return 1;
+    for (;;) {
+      auto out = session.run();
+      if (out.result != sim::RunResult::kStopped) break;
+      if (app.app().link_by_iface("ipf::pipe_in")->occupancy() >= 20) break;
+    }
+    std::printf("stopped: pipe->ipf holds %zu tokens\n",
+                app.app().link_by_iface("ipf::pipe_in")->occupancy());
+    write_file("fig4_decoder.dot", session.graph().to_dot(/*with_tokens=*/true));
+  }
+
+  // Execution timeline SVG of a clean decode (visualization future work).
+  {
+    h264::H264AppConfig cfg;
+    cfg.params.width = 32;
+    cfg.params.height = 32;
+    cfg.params.frame_count = 1;
+    auto built = h264::H264App::build(cfg);
+    if (!built.ok()) return 1;
+    auto& app = **built;
+    trace::TraceCollector tc(app.app(), 1 << 16);
+    tc.attach();
+    app.start();
+    app.kernel().run();
+    write_file("timeline_decoder.svg", trace::render_timeline_svg(tc, app.app()));
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reverse execution on the H.264 decoder: the deterministic simulation
+// kernel turns "re-run from scratch" into an exact reverse-continue.
+//
+// Scenario: the corrupt-splitter bug. You stop on the corrupted token at
+// pipe — but the interesting moment was *earlier*, inside red. Travel back
+// one stop and look again.
+//
+// Build & run:   ./build/examples/time_travel
+#include <cstdio>
+
+#include "dfdbg/dbgcli/timetravel.hpp"
+#include "dfdbg/h264/app.hpp"
+
+using namespace dfdbg;
+
+namespace {
+
+class H264Replay : public cli::ReplayInstance {
+ public:
+  H264Replay() {
+    h264::H264AppConfig cfg;
+    cfg.params.width = 32;
+    cfg.params.height = 32;
+    cfg.params.frame_count = 1;
+    cfg.fault.kind = h264::FaultPlan::Kind::kCorruptSplitter;
+    cfg.fault.trigger_mb = 2;
+    auto built = h264::H264App::build(cfg);
+    DFDBG_CHECK(built.ok());
+    app_ = std::move(*built);
+  }
+  pedf::Application& app() override { return app_->app(); }
+  void start() override { app_->start(); }
+
+ private:
+  std::unique_ptr<h264::H264App> app_;
+};
+
+}  // namespace
+
+int main() {
+  cli::TimeTravelDebugger tt(
+      [] { return std::unique_ptr<cli::ReplayInstance>(new H264Replay()); });
+
+  std::printf("(gdb) filter red catch work\n");
+  if (!tt.execute("filter red catch work").ok()) return 1;
+  std::printf("(gdb) filter red configure splitter\n");
+  if (!tt.execute("filter red configure splitter").ok()) return 1;
+
+  // Run to red's third firing (the MB the fault corrupts).
+  for (int i = 0; i < 3; ++i) {
+    auto out = tt.cont();
+    if (out.result != sim::RunResult::kStopped) return 1;
+    std::printf("%s   (t=%llu)\n", out.stops[0].message.c_str(),
+                static_cast<unsigned long long>(out.stops[0].time));
+  }
+  std::printf("\nwe are at red's 3rd firing — but we wanted to inspect the state\n");
+  std::printf("BEFORE it corrupted the token. Reverse-continue:\n\n");
+  if (Status s = tt.reverse_continue(); !s.ok()) {
+    std::fprintf(stderr, "reverse failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("(gdb) reverse-continue\n%s   (t=%llu, stop %zu)\n",
+              tt.session().history().back().message.c_str(),
+              static_cast<unsigned long long>(tt.session().history().back().time),
+              tt.stop_count());
+  std::printf("\nred has fired exactly %llu time(s) now; the upstream token is intact:\n",
+              static_cast<unsigned long long>(tt.session().graph().actor_by_name("red")->firings));
+  std::printf("%s", tt.session().info_last_token("red").c_str());
+  std::printf("\n(gdb) continue           # forward again, deterministically\n");
+  auto out = tt.cont();
+  std::printf("%s   (t=%llu)\n", out.stops.empty() ? "<end>" : out.stops[0].message.c_str(),
+              static_cast<unsigned long long>(out.stops.empty() ? 0 : out.stops[0].time));
+  return 0;
+}

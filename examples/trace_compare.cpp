@@ -1,0 +1,80 @@
+// Interactive debugging vs trace tools (paper §I / §VI-F): locate the same
+// rate-mismatch bug twice — once post-mortem from an event trace, once
+// live with a dataflow catchpoint — and compare what each method tells you.
+//
+// Build & run:   ./build/examples/trace_compare
+#include <cstdio>
+
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/trace/trace.hpp"
+
+using namespace dfdbg;
+
+namespace {
+h264::H264AppConfig faulty_config() {
+  h264::H264AppConfig cfg;
+  cfg.params.width = 32;
+  cfg.params.height = 32;
+  cfg.params.frame_count = 1;
+  cfg.fault.kind = h264::FaultPlan::Kind::kRateMismatch;
+  cfg.fault.trigger_mb = 0;
+  cfg.fault.period = 1;
+  return cfg;
+}
+}  // namespace
+
+int main() {
+  // --- method 1: offline tracing -------------------------------------------
+  std::printf("=== trace tool: run to completion, analyse post-mortem ===\n");
+  {
+    auto built = h264::H264App::build(faulty_config());
+    if (!built.ok()) return 1;
+    auto& app = **built;
+    trace::TraceCollector tc(app.app(), 1 << 16);
+    tc.attach();
+    app.start();
+    app.kernel().run();
+    std::printf("collected %llu events\n",
+                static_cast<unsigned long long>(tc.total_events()));
+    std::uint32_t suspect = tc.busiest_link();
+    pedf::Link* l = app.app().link_by_id(pedf::LinkId(suspect));
+    std::printf("busiest link: %s (max occupancy %zu)\n", l->name().c_str(),
+                tc.link_stats().at(suspect).max_occupancy);
+    std::printf("-> the trace names the congested link, but tells you nothing\n"
+                "   about WHY; you would now re-run with instrumentation, and\n"
+                "   the token payloads are long gone.\n\n");
+  }
+
+  // --- method 2: interactive dataflow debugging ------------------------------
+  std::printf("=== dataflow debugger: stop ON the condition, inspect live ===\n");
+  {
+    auto built = h264::H264App::build(faulty_config());
+    if (!built.ok()) return 1;
+    auto& app = **built;
+    dbg::Session session(app.app());
+    session.attach();
+    app.start();
+    auto bp = session.break_on_send("pipe::pipe_ipf_out");
+    if (!bp.ok()) return 1;
+    int stops = 0;
+    std::size_t occ = 0;
+    for (;;) {
+      auto out = session.run();
+      if (out.result != sim::RunResult::kStopped) break;
+      stops++;
+      occ = app.app().link_by_iface("ipf::pipe_in")->occupancy();
+      if (occ >= 20) break;
+    }
+    std::printf("stopped after %d sends: pipe->ipf holds %zu tokens, live\n", stops, occ);
+    std::printf("%s", session.info_filter("pipe").c_str());
+    std::printf("scheduling state of module pred at the stop:\n%s",
+                session.info_sched("pred").c_str());
+    std::printf("-> the execution is FROZEN at the stall: every token is still\n"
+                "   in flight and inspectable; pipe fired once but pushed %llu\n"
+                "   control tokens this MB — the rate bug, caught in the act.\n",
+                static_cast<unsigned long long>(
+                    session.graph().link_by_iface("ipf::pipe_in")->pushes));
+  }
+  return 0;
+}

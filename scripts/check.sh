@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification sweep: configure, build, run every test, every benchmark
+# and every example. Mirrors what EXPERIMENTS.md was produced with.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== benchmarks =="
+for b in build/bench/bench_*; do
+  echo "--- $b"
+  "$b" --benchmark_min_time=0.02
+done
+
+echo "== examples =="
+./build/examples/quickstart
+./build/examples/h264_debug_session
+./build/examples/deadlock_untie
+./build/examples/trace_compare
+./build/examples/predicated_scheduling
+./build/examples/sdf_streamit
+./build/examples/time_travel
+(cd build && ./examples/graph_export)
+printf 'help\nquit\n' | ./build/examples/dfdbg_repl none
+
+echo "== mindc =="
+./build/tools/mindc check examples/amodule.adl AModule
+./build/tools/mindc run examples/amodule.adl AModule 3
+
+echo "ALL CHECKS PASSED"

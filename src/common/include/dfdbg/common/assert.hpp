@@ -1,0 +1,41 @@
+// Lightweight check/panic macros used across the dataflow-dbg libraries.
+//
+// DFDBG_CHECK is always on (release included): it guards invariants whose
+// violation would corrupt the simulation or debugger model. DFDBG_DCHECK
+// compiles out in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dfdbg {
+
+/// Aborts the process with a formatted diagnostic. Never returns.
+[[noreturn]] inline void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "dfdbg panic at %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dfdbg
+
+#define DFDBG_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) ::dfdbg::panic(__FILE__, __LINE__, "check failed: " #cond);  \
+  } while (0)
+
+#define DFDBG_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::dfdbg::panic(__FILE__, __LINE__,                                      \
+                     std::string("check failed: " #cond ": ") + (msg));       \
+  } while (0)
+
+#ifdef NDEBUG
+#define DFDBG_DCHECK(cond) ((void)0)
+#else
+#define DFDBG_DCHECK(cond) DFDBG_CHECK(cond)
+#endif
+
+#define DFDBG_UNREACHABLE(msg) ::dfdbg::panic(__FILE__, __LINE__, std::string("unreachable: ") + (msg))

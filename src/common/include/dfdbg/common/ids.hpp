@@ -1,0 +1,41 @@
+// Strongly-typed integer identifiers. Each subsystem instantiates Id with its
+// own tag so that, e.g., a link id cannot be passed where an actor id is
+// expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace dfdbg {
+
+/// A type-safe wrapper around a 32-bit index. `Tag` is a phantom type.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = UINT32_MAX;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : v_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.v_ < b.v_; }
+
+ private:
+  value_type v_ = kInvalid;
+};
+
+}  // namespace dfdbg
+
+namespace std {
+template <typename Tag>
+struct hash<dfdbg::Id<Tag>> {
+  size_t operator()(dfdbg::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,24 @@
+// Leveled logging. The debugger CLI prints through its own Console; this
+// logger is for library diagnostics only and is silent by default.
+#pragma once
+
+#include <string>
+
+namespace dfdbg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace dfdbg
+
+#define DFDBG_LOG(level, msg)                                     \
+  do {                                                            \
+    if (static_cast<int>(level) >= static_cast<int>(::dfdbg::log_level())) \
+      ::dfdbg::log_message(level, (msg));                         \
+  } while (0)

@@ -1,0 +1,40 @@
+// Deterministic PRNG (SplitMix64) used by workload generators and fault
+// injection so that every experiment is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace dfdbg {
+
+/// SplitMix64: tiny, fast, statistically solid for workload generation.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dfdbg

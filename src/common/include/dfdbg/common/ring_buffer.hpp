@@ -1,0 +1,67 @@
+// Fixed-capacity ring buffer used for bounded token recording and traces.
+// When full, pushing evicts the oldest element (the recording semantics of
+// the paper's `iface ... record` with a bounded policy).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg {
+
+/// Bounded FIFO that overwrites its oldest element when full.
+template <typename T>
+class RingBuffer {
+ public:
+  /// Creates a ring holding at most `capacity` elements (capacity >= 1).
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    DFDBG_CHECK(capacity >= 1);
+  }
+
+  /// Appends `v`; evicts the oldest element if full. Returns true if an
+  /// eviction happened.
+  bool push(T v) {
+    bool evicted = false;
+    if (size_ == buf_.size()) {
+      head_ = (head_ + 1) % buf_.size();
+      --size_;
+      evicted = true;
+    }
+    buf_[(head_ + size_) % buf_.size()] = std::move(v);
+    ++size_;
+    total_pushed_++;
+    return evicted;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Number of elements ever pushed (including evicted ones).
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+
+  /// Element `i` counted from the oldest retained element.
+  const T& at(std::size_t i) const {
+    DFDBG_CHECK(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Oldest retained element. Precondition: !empty().
+  const T& front() const { return at(0); }
+  /// Newest element. Precondition: !empty().
+  const T& back() const { return at(size_ - 1); }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace dfdbg

@@ -1,0 +1,77 @@
+// Minimal Status / Result types for recoverable errors (parse errors, bad
+// user commands, lookups). Irrecoverable invariant violations use
+// DFDBG_CHECK instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg {
+
+/// Outcome of an operation that can fail with a human-readable message.
+/// Cheap to move; empty message means OK.
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  /// Constructs a failure status carrying `message`.
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  /// Constructs a success status (explicit spelling).
+  static Status ok_status() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  explicit operator bool() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Either a value of type T or a failure Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a failure status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    DFDBG_CHECK_MSG(!status_.ok(), "Result constructed from OK status without a value");
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Access the contained value. Precondition: ok().
+  T& value() {
+    DFDBG_CHECK_MSG(ok(), status_.message());
+    return *value_;
+  }
+  const T& value() const {
+    DFDBG_CHECK_MSG(ok(), status_.message());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dfdbg

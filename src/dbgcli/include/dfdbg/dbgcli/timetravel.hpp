@@ -1,0 +1,74 @@
+// Deterministic time travel ("reverse-continue") by re-execution.
+//
+// The paper demands "total and precise control over the application
+// execution" (§II); because our cooperative kernel is fully deterministic,
+// a debugging session can be *replayed exactly*: rebuild the application,
+// re-apply the recorded debugger setup, and run to the (k-1)-th stop — a
+// reverse-continue without any checkpointing machinery. GDB needs hardware
+// or record/replay support for this; a deterministic simulator gets it for
+// free, which is itself a finding about the paper's platform.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfdbg/dbgcli/cli.hpp"
+#include "dfdbg/debug/session.hpp"
+
+namespace dfdbg::cli {
+
+/// One rebuildable application instance. Wrap your application type (e.g.
+/// h264::H264App) so the harness can recreate it from scratch.
+class ReplayInstance {
+ public:
+  virtual ~ReplayInstance() = default;
+  /// The PEDF application (must be elaborated, not yet started).
+  virtual pedf::Application& app() = 0;
+  /// Spawns the simulated processes (called once after the debugger attached).
+  virtual void start() = 0;
+};
+
+/// Factory producing identical instances (same config/seed every call).
+using ReplayFactory = std::function<std::unique_ptr<ReplayInstance>()>;
+
+/// A debugging session with reverse execution.
+class TimeTravelDebugger {
+ public:
+  explicit TimeTravelDebugger(ReplayFactory factory);
+  ~TimeTravelDebugger();
+
+  /// Current forward-execution session / interpreter.
+  [[nodiscard]] dbg::Session& session() { return *session_; }
+  [[nodiscard]] Interpreter& cli() { return *cli_; }
+
+  /// Executes one CLI command (setup commands are recorded for replays).
+  Status execute(const std::string& command);
+
+  /// Continues to the next stop; returns it (or the terminal event).
+  dbg::RunOutcome cont();
+
+  /// Reverse-continue: travel back to the previous stop by deterministic
+  /// re-execution. Errors when already at (or before) the first stop.
+  Status reverse_continue();
+
+  /// Travel to the n-th stop of the session (1-based).
+  Status travel_to(std::size_t stop_index);
+
+  /// Stops taken on the current timeline position.
+  [[nodiscard]] std::size_t stop_count() const { return stops_taken_; }
+
+ private:
+  /// Rebuilds the world and replays the setup + `stops` continues.
+  Status rebuild_and_run(std::size_t stops);
+
+  ReplayFactory factory_;
+  std::unique_ptr<ReplayInstance> instance_;
+  std::unique_ptr<dbg::Session> session_;
+  std::unique_ptr<Interpreter> cli_;
+  std::vector<std::string> setup_;  ///< replayable command log
+  std::size_t stops_taken_ = 0;
+};
+
+}  // namespace dfdbg::cli

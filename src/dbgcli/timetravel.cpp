@@ -1,0 +1,89 @@
+#include "dfdbg/dbgcli/timetravel.hpp"
+
+#include <cstdlib>
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg::cli {
+
+TimeTravelDebugger::TimeTravelDebugger(ReplayFactory factory) : factory_(std::move(factory)) {
+  DFDBG_CHECK(rebuild_and_run(0).ok());
+}
+
+TimeTravelDebugger::~TimeTravelDebugger() {
+  // Destruction order matters: the session detaches from the instance's
+  // kernel, so it must die first.
+  cli_.reset();
+  session_.reset();
+  instance_.reset();
+}
+
+Status TimeTravelDebugger::execute(const std::string& command) {
+  std::size_t before = cli_->replayable().size();
+  Status s = cli_->execute(command);
+  if (s.ok() && cli_->replayable().size() > before) {
+    // Remember at which timeline position this state-creating command was
+    // issued so replays interleave it at exactly the same point.
+    setup_.push_back(std::to_string(stops_taken_) + "\x1f" + cli_->replayable().back());
+  }
+  return s;
+}
+
+dbg::RunOutcome TimeTravelDebugger::cont() {
+  dbg::RunOutcome out = session_->run();
+  if (out.result == sim::RunResult::kStopped) stops_taken_++;
+  return out;
+}
+
+Status TimeTravelDebugger::reverse_continue() {
+  if (stops_taken_ == 0) return Status::error("already at the beginning of the execution");
+  return travel_to(stops_taken_ - 1);
+}
+
+Status TimeTravelDebugger::travel_to(std::size_t stop_index) {
+  if (stop_index > stops_taken_)
+    return Status::error("cannot travel forward past the current stop; use cont()");
+  return rebuild_and_run(stop_index);
+}
+
+Status TimeTravelDebugger::rebuild_and_run(std::size_t stops) {
+  // Tear down the old world (session first: it references the kernel).
+  cli_.reset();
+  session_.reset();
+  instance_.reset();
+
+  instance_ = factory_();
+  DFDBG_CHECK_MSG(instance_ != nullptr, "replay factory returned null");
+  session_ = std::make_unique<dbg::Session>(instance_->app());
+  session_->attach();
+  cli_ = std::make_unique<Interpreter>(*session_);
+  instance_->start();
+
+  // Replay the recorded setup interleaved at the right timeline positions.
+  std::size_t cursor = 0;
+  auto apply_pending = [&](std::size_t position) -> Status {
+    while (cursor < setup_.size()) {
+      const std::string& entry = setup_[cursor];
+      auto sep = entry.find('\x1f');
+      std::size_t at = std::strtoull(entry.substr(0, sep).c_str(), nullptr, 10);
+      if (at > position) break;
+      if (Status s = cli_->execute(entry.substr(sep + 1)); !s.ok()) return s;
+      cli_->console().take();  // replayed output is not user-facing
+      cursor++;
+    }
+    return Status{};
+  };
+
+  stops_taken_ = 0;
+  for (std::size_t k = 0; k < stops; ++k) {
+    if (Status s = apply_pending(k); !s.ok()) return s;
+    dbg::RunOutcome out = session_->run();
+    if (out.result != sim::RunResult::kStopped)
+      return Status::error(
+          "replay diverged: execution finished before reaching the target stop");
+    stops_taken_++;
+  }
+  return apply_pending(stops);
+}
+
+}  // namespace dfdbg::cli

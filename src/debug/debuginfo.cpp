@@ -1,0 +1,43 @@
+#include "dfdbg/debug/debuginfo.hpp"
+
+#include <map>
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::dbg {
+
+std::vector<SymbolInfo> build_symbol_table(pedf::Application& app) {
+  std::vector<SymbolInfo> out;
+  std::map<std::string, int> anon_counters;  // per-module anonymous index
+  for (const pedf::Actor* a : app.actors()) {
+    switch (a->kind()) {
+      case pedf::ActorKind::kFilter:
+        out.push_back(SymbolInfo{mangle_filter_work(a->name()), a->path(), "filter-work"});
+        break;
+      case pedf::ActorKind::kController: {
+        const pedf::Module* m = a->parent();
+        std::string module_name = m != nullptr ? m->name() : "root";
+        int idx = anon_counters[module_name]++;
+        out.push_back(
+            SymbolInfo{mangle_controller_work(module_name, idx), a->path(), "controller-work"});
+        break;
+      }
+      case pedf::ActorKind::kHostIo:
+        out.push_back(SymbolInfo{mangle_filter_work(a->name()), a->path(), "host-io-work"});
+        break;
+      case pedf::ActorKind::kModule:
+        break;
+    }
+  }
+  for (const std::string& s : app.platform().kernel().instrument().all_symbols())
+    out.push_back(SymbolInfo{s, "", "api"});
+  return out;
+}
+
+std::string entity_for_symbol(const std::vector<SymbolInfo>& table, const std::string& symbol) {
+  for (const SymbolInfo& s : table)
+    if (s.symbol == symbol) return s.entity_path;
+  return "";
+}
+
+}  // namespace dfdbg::dbg

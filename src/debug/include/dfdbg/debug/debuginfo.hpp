@@ -1,0 +1,33 @@
+// Symbol-table emulation (the DWARF stand-in of paper §V).
+//
+// The paper's §VI-F illustrates why raw symbols are useless to developers:
+// filter `ipf`'s WORK method is the mangled `IpfFilter_work_function`, the
+// pred module controller is `_component_PredModule_anon_0_work`. We build
+// the same table so the bug-localization baseline (plain source-level
+// debugger) can be modelled realistically, and so tests can check the
+// mangled<->entity mapping the dataflow debugger hides from the user.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfdbg/pedf/application.hpp"
+
+namespace dfdbg::dbg {
+
+/// One symbol the hypothetical ELF would expose.
+struct SymbolInfo {
+  std::string symbol;       ///< mangled name ("IpfFilter_work_function")
+  std::string entity_path;  ///< framework entity ("pred.ipf")
+  std::string kind;         ///< "filter-work" | "controller-work" | "api"
+};
+
+/// Builds the full symbol table of an elaborated application: one mangled
+/// work symbol per filter, one anonymous component symbol per controller,
+/// plus the framework API symbols.
+std::vector<SymbolInfo> build_symbol_table(pedf::Application& app);
+
+/// Demangles a symbol back to its entity path; empty if unknown.
+std::string entity_for_symbol(const std::vector<SymbolInfo>& table, const std::string& symbol);
+
+}  // namespace dfdbg::dbg

@@ -1,0 +1,57 @@
+// Stop events: the debugger-visible reasons the simulation halted, formatted
+// like the paper's transcripts ("[Stopped after receiving token from
+// `pipe::Red2PipeCbMB_in']").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dfdbg/common/ids.hpp"
+#include "dfdbg/sim/time.hpp"
+
+namespace dfdbg::dbg {
+
+struct TokenIdTag {};
+/// Id of a debugger-side token object.
+using TokenId = dfdbg::Id<TokenIdTag>;
+
+struct BpIdTag {};
+/// Id of a breakpoint/catchpoint/watchpoint registered with the session.
+using BpId = dfdbg::Id<BpIdTag>;
+
+/// Why the execution stopped.
+enum class StopKind : std::uint8_t {
+  kCatchWork,      ///< filter X catch work
+  kTokenReceived,  ///< stop after a pop on a watched interface
+  kTokenSent,      ///< stop after a push on a watched interface
+  kCatchTokens,    ///< token-count condition satisfied (catch in=1,...)
+  kTokenContent,   ///< content-conditional catchpoint matched
+  kStepBegin,      ///< module step started
+  kStepEnd,        ///< module step ended
+  kActorScheduled, ///< controller issued ACTOR_START for a watched filter
+  kSourceLine,     ///< source-level line breakpoint
+  kWatchpoint,     ///< watched data/attribute changed
+  kTokenProvenance,///< token derived from the watched source actor arrived
+  kLinkOccupancy,  ///< a link reached the watched occupancy threshold
+  kPredicateEval,  ///< a controller evaluated a watched predicate
+  kDeadlock,       ///< kernel reported a deadlock (no runnable process)
+  kFinished,       ///< application ran to completion
+  kTimeLimit,      ///< simulated-time bound reached
+};
+
+/// Short name of a StopKind.
+const char* to_string(StopKind k);
+
+/// One stop notification.
+struct StopEvent {
+  StopKind kind = StopKind::kFinished;
+  std::string message;    ///< transcript-style text
+  std::string actor;      ///< short name of the actor concerned (if any)
+  std::string iface;      ///< "actor::port" (if any)
+  TokenId token;          ///< token concerned (if any)
+  BpId breakpoint;        ///< the breakpoint that fired (if any)
+  int line = 0;           ///< source line (kSourceLine)
+  sim::SimTime time = 0;  ///< simulated time of the stop
+};
+
+}  // namespace dfdbg::dbg

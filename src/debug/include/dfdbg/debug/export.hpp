@@ -1,0 +1,19 @@
+// Machine-readable state export. The paper notes a graphical debugger
+// front-end "could provide a more interactive view where the graph elements
+// can be directly used to interact with the debugger" — this JSON dump of
+// the session's internal representation (actors, connections, links,
+// in-flight tokens, breakpoints, stop history) is the interface such a UI
+// would consume.
+#pragma once
+
+#include <string>
+
+#include "dfdbg/debug/session.hpp"
+
+namespace dfdbg::dbg {
+
+/// Serializes the session's model and debugging state as a JSON document.
+/// Stable key order; strings are escaped; no external dependencies.
+std::string export_state_json(const Session& session);
+
+}  // namespace dfdbg::dbg

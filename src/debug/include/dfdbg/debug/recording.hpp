@@ -1,0 +1,66 @@
+// Token content recording (paper §VI-D).
+//
+// Recording the payload of every token "may require a significant quantity
+// of memory, thus it has to be explicitly enabled" per interface. Policies:
+// unbounded (keep everything) or bounded (ring of the most recent N).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "dfdbg/pedf/value.hpp"
+#include "dfdbg/sim/time.hpp"
+
+namespace dfdbg::dbg {
+
+/// Retention policy of one interface recording.
+enum class RecordPolicy : std::uint8_t { kOff, kBounded, kUnbounded };
+
+const char* to_string(RecordPolicy p);
+
+/// Per-interface token content recorder.
+class TokenRecorder {
+ public:
+  /// One recorded token.
+  struct Record {
+    std::uint64_t index;  ///< link push index
+    pedf::Value value;
+    sim::SimTime time;
+  };
+
+  /// Enables recording on `iface` ("actor::port"). `bound` applies to
+  /// kBounded only.
+  void enable(const std::string& iface, RecordPolicy policy, std::size_t bound = 256);
+  /// Stops recording on `iface` and drops its records.
+  void disable(const std::string& iface);
+  [[nodiscard]] bool enabled(const std::string& iface) const;
+
+  /// Feed: called by the session's data-exchange hooks.
+  void on_token(const std::string& iface, std::uint64_t index, const pedf::Value& value,
+                sim::SimTime time);
+
+  /// Records of `iface` (nullptr if not recording).
+  [[nodiscard]] const std::deque<Record>* records(const std::string& iface) const;
+
+  /// Transcript-style dump: "#1 (U16) 5\n#2 (U16) 10\n...".
+  [[nodiscard]] std::string format(const std::string& iface) const;
+
+  /// Total tokens recorded (including evicted).
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Approximate bytes held by all recordings.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct Stream {
+    RecordPolicy policy = RecordPolicy::kOff;
+    std::size_t bound = 0;
+    std::uint64_t first_seq = 1;  ///< ordinal of records.front()
+    std::deque<Record> records;
+  };
+  std::map<std::string, Stream> streams_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dfdbg::dbg

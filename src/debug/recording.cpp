@@ -1,0 +1,69 @@
+#include "dfdbg/debug/recording.hpp"
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::dbg {
+
+const char* to_string(RecordPolicy p) {
+  switch (p) {
+    case RecordPolicy::kOff: return "off";
+    case RecordPolicy::kBounded: return "bounded";
+    case RecordPolicy::kUnbounded: return "unbounded";
+  }
+  return "?";
+}
+
+void TokenRecorder::enable(const std::string& iface, RecordPolicy policy, std::size_t bound) {
+  Stream& s = streams_[iface];
+  s.policy = policy;
+  s.bound = bound;
+  if (policy == RecordPolicy::kOff) disable(iface);
+}
+
+void TokenRecorder::disable(const std::string& iface) { streams_.erase(iface); }
+
+bool TokenRecorder::enabled(const std::string& iface) const {
+  auto it = streams_.find(iface);
+  return it != streams_.end() && it->second.policy != RecordPolicy::kOff;
+}
+
+void TokenRecorder::on_token(const std::string& iface, std::uint64_t index,
+                             const pedf::Value& value, sim::SimTime time) {
+  auto it = streams_.find(iface);
+  if (it == streams_.end() || it->second.policy == RecordPolicy::kOff) return;
+  Stream& s = it->second;
+  s.records.push_back(Record{index, value, time});
+  total_++;
+  if (s.policy == RecordPolicy::kBounded && s.records.size() > s.bound) {
+    s.records.pop_front();
+    s.first_seq++;
+  }
+}
+
+const std::deque<TokenRecorder::Record>* TokenRecorder::records(const std::string& iface) const {
+  auto it = streams_.find(iface);
+  return it == streams_.end() ? nullptr : &it->second.records;
+}
+
+std::string TokenRecorder::format(const std::string& iface) const {
+  auto it = streams_.find(iface);
+  if (it == streams_.end()) return "<interface not recorded: " + iface + ">";
+  std::string out;
+  std::uint64_t seq = it->second.first_seq;
+  for (const Record& r : it->second.records) {
+    out += strformat("#%llu ", static_cast<unsigned long long>(seq++));
+    out += r.value.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t TokenRecorder::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [iface, s] : streams_) {
+    for (const Record& r : s.records) bytes += sizeof(Record) + r.value.type().byte_size();
+  }
+  return bytes;
+}
+
+}  // namespace dfdbg::dbg

@@ -1,0 +1,123 @@
+#include "dfdbg/h264/app.hpp"
+
+#include "dfdbg/common/assert.hpp"
+#include "dfdbg/mind/analyze.hpp"
+#include "dfdbg/mind/parser.hpp"
+
+namespace dfdbg::h264 {
+
+Result<std::unique_ptr<H264App>> H264App::build(const H264AppConfig& config) {
+  auto out = std::unique_ptr<H264App>(new H264App());
+  out->config_ = config;
+  const CodecParams& p = config.params;
+  DFDBG_CHECK_MSG(p.width % 16 == 0 && p.height % 16 == 0, "frame size must be MB-aligned");
+
+  if (config.forced_modes.empty()) {
+    // Encode the synthetic source video; the encoder's reconstruction loop
+    // is the decoder ground truth.
+    out->video_ = make_test_video(p.width, p.height, p.frame_count, config.seed);
+    Encoder encoder(p);
+    out->bitstream_ = encoder.encode(out->video_);
+    out->golden_ = encoder.reconstructed();
+    out->syntax_ = encoder.syntax();
+  } else {
+    // Hand-crafted stream: forced per-MB modes, zero residuals. Ground
+    // truth comes from the golden decoder.
+    DFDBG_CHECK_MSG(static_cast<int>(config.forced_modes.size()) == p.total_mbs(),
+                    "forced_modes must list one mode per macroblock");
+    BitWriter bw;
+    write_header(bw, p);
+    int mb = 0;
+    for (int f = 0; f < p.frame_count; ++f) {
+      write_frame_marker(bw, f == 0);
+      for (int i = 0; i < p.mbs_per_frame(); ++i, ++mb) {
+        MbSyntax syn;
+        syn.mode = config.forced_modes[static_cast<std::size_t>(mb)];
+        DFDBG_CHECK_MSG(!(f == 0 && is_inter_mode(syn.mode)),
+                        "frame 0 cannot contain inter/skip MBs");
+        if (syn.mode == MbMode::kInter) syn.mv = MotionVector{1, 0};
+        write_mb(bw, syn);
+        out->syntax_.push_back(syn);
+      }
+    }
+    out->bitstream_ = bw.finish();
+    GoldenDecoder dec;
+    auto frames = dec.decode(out->bitstream_);
+    DFDBG_CHECK_MSG(frames.ok(), frames.status().message());
+    out->golden_ = std::move(*frames);
+  }
+
+  // Platform + application shell.
+  out->kernel_ = std::make_unique<sim::Kernel>();
+  out->platform_ = std::make_unique<sim::Platform>(*out->kernel_, config.platform);
+  out->store_ = std::make_unique<SharedStore>();
+  out->store_->fault = config.fault;
+  out->app_ = std::make_unique<pedf::Application>(*out->platform_, "h264");
+  out->app_->set_model_latencies(config.model_latencies);
+
+  // Architecture: parse + check + instantiate the MIND description.
+  auto doc = mind::parse(kH264Adl);
+  if (!doc.ok()) return doc.status();
+  auto report = mind::analyze(*doc, "H264Decoder");
+  if (!report.ok()) return report.status();
+  mind::FilterRegistry registry;
+  register_h264_behaviors(registry, out->store_.get());
+  auto root = mind::instantiate(*doc, "H264Decoder", "h264", out->app_->types(), registry);
+  if (!root.ok()) return root.status();
+  pedf::Module& root_mod = out->app_->set_root(std::move(*root));
+
+  // Module predicates used by the controllers.
+  SharedStore* store = out->store_.get();
+  pedf::Module* front = nullptr;
+  pedf::Module* pred = nullptr;
+  for (const auto& m : root_mod.modules()) {
+    if (m->name() == "front") front = m.get();
+    if (m->name() == "pred") pred = m.get();
+  }
+  DFDBG_CHECK(front != nullptr && pred != nullptr);
+  front->define_predicate("more_input", [store](pedf::Module&) {
+    return !store->info.header_parsed ||
+           store->info.parsed_mbs < store->info.params.total_mbs();
+  });
+  pred->define_predicate("more_mbs", [store](pedf::Module&) {
+    return !store->info.header_parsed || store->info.done_mbs < store->info.params.total_mbs();
+  });
+  pred->define_predicate("mb_is_intra", [](pedf::Module& m) {
+    pedf::Filter* pipe = m.filter("pipe");
+    DFDBG_CHECK(pipe != nullptr);
+    return pipe->attribute("last_mb_intra")->as_u64() == 1;
+  });
+
+  // Host I/O: the bitstream enters through DMA from L3, decoded-MB reports
+  // drain back to the host.
+  std::vector<pedf::Value> stream;
+  stream.reserve(out->bitstream_.size());
+  for (std::uint8_t byte : out->bitstream_) stream.push_back(pedf::Value::u8(byte));
+  out->app_->add_host_source("bitstream_src", "h264.bitstream_in", std::move(stream),
+                             /*period=*/2);
+  out->sink_ = &out->app_->add_host_sink("decoded_sink", "h264.decoded_out",
+                                         static_cast<std::size_t>(p.total_mbs()));
+
+  if (Status s = out->app_->elaborate(); !s.ok()) return s;
+
+  if (config.pipe_ipf_capacity != SIZE_MAX) {
+    pedf::Link* l = out->app_->link_by_iface("ipf::pipe_in");
+    DFDBG_CHECK(l != nullptr);
+    l->set_capacity(config.pipe_ipf_capacity);
+  }
+  return out;
+}
+
+bool H264App::decoded_matches_golden() const { return first_mismatch_frame() < 0; }
+
+int H264App::first_mismatch_frame() const {
+  if (store_->decoded.size() != golden_.size()) {
+    return static_cast<int>(std::min(store_->decoded.size(), golden_.size()));
+  }
+  for (std::size_t i = 0; i < golden_.size(); ++i) {
+    if (!(store_->decoded[i] == golden_[i])) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace dfdbg::h264

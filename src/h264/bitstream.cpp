@@ -1,0 +1,119 @@
+#include "dfdbg/h264/bitstream.hpp"
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg::h264 {
+
+void BitWriter::put_bits(std::uint32_t bits, int n) {
+  DFDBG_DCHECK(n >= 0 && n <= 32);
+  for (int i = n - 1; i >= 0; --i) {
+    if (fill_ == 8) {
+      bytes_.push_back(0);
+      fill_ = 0;
+    }
+    int bit = static_cast<int>((bits >> i) & 1u);
+    bytes_.back() = static_cast<std::uint8_t>(bytes_.back() | (bit << (7 - fill_)));
+    fill_++;
+  }
+}
+
+void BitWriter::put_ue(std::uint32_t v) {
+  // code = v+1 written with 2*len-1 bits (len-1 leading zeros).
+  std::uint64_t code = static_cast<std::uint64_t>(v) + 1;
+  int len = 0;
+  for (std::uint64_t t = code; t != 0; t >>= 1) len++;
+  put_bits(0, len - 1);
+  put_bits(static_cast<std::uint32_t>(code), len);
+}
+
+void BitWriter::put_se(std::int32_t v) {
+  // Mapping: 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4, ...
+  std::uint32_t u = v > 0 ? static_cast<std::uint32_t>(2 * v - 1)
+                          : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(v));
+  put_ue(u);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  fill_ = 8;
+  return std::move(bytes_);
+}
+
+int BitReader::get_bit() {
+  std::size_t byte = pos_ >> 3;
+  if (byte >= bytes_.size()) {
+    overrun_ = true;
+    return 0;
+  }
+  int bit = (bytes_[byte] >> (7 - (pos_ & 7))) & 1;
+  pos_++;
+  return bit;
+}
+
+std::uint32_t BitReader::get_bits(int n) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < n; ++i) v = (v << 1) | static_cast<std::uint32_t>(get_bit());
+  return v;
+}
+
+std::uint32_t BitReader::get_ue() {
+  int zeros = 0;
+  while (get_bit() == 0) {
+    if (overrun_ || zeros > 32) {
+      overrun_ = true;
+      return 0;
+    }
+    zeros++;
+  }
+  std::uint32_t v = 1;
+  for (int i = 0; i < zeros; ++i) v = (v << 1) | static_cast<std::uint32_t>(get_bit());
+  return v - 1;
+}
+
+std::int32_t BitReader::get_se() {
+  std::uint32_t u = get_ue();
+  if (u == 0) return 0;
+  if (u & 1u) return static_cast<std::int32_t>((u + 1) / 2);
+  return -static_cast<std::int32_t>(u / 2);
+}
+
+int StreamBitReader::get_bit() {
+  if (avail_ == 0) {
+    if (!src_.next(&cur_)) {
+      overrun_ = true;
+      return 0;
+    }
+    avail_ = 8;
+  }
+  int bit = (cur_ >> (avail_ - 1)) & 1;
+  avail_--;
+  return bit;
+}
+
+std::uint32_t StreamBitReader::get_bits(int n) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < n; ++i) v = (v << 1) | static_cast<std::uint32_t>(get_bit());
+  return v;
+}
+
+std::uint32_t StreamBitReader::get_ue() {
+  int zeros = 0;
+  while (get_bit() == 0) {
+    if (overrun_ || zeros > 32) {
+      overrun_ = true;
+      return 0;
+    }
+    zeros++;
+  }
+  std::uint32_t v = 1;
+  for (int i = 0; i < zeros; ++i) v = (v << 1) | static_cast<std::uint32_t>(get_bit());
+  return v - 1;
+}
+
+std::int32_t StreamBitReader::get_se() {
+  std::uint32_t u = get_ue();
+  if (u == 0) return 0;
+  if (u & 1u) return static_cast<std::int32_t>((u + 1) / 2);
+  return -static_cast<std::int32_t>(u / 2);
+}
+
+}  // namespace dfdbg::h264

@@ -1,0 +1,321 @@
+#include "dfdbg/h264/codec.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "dfdbg/common/assert.hpp"
+#include "dfdbg/common/prng.hpp"
+
+namespace dfdbg::h264 {
+
+const char* to_string(MbMode m) {
+  switch (m) {
+    case MbMode::kIntraDC: return "intra-dc";
+    case MbMode::kIntraH: return "intra-h";
+    case MbMode::kIntraV: return "intra-v";
+    case MbMode::kInter: return "inter";
+    case MbMode::kSkip: return "p-skip";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Transform / quantization / scan
+// ---------------------------------------------------------------------------
+
+void fwd4x4(const std::array<int, 16>& in, std::array<int, 16>& out) {
+  // H.264 core transform: Y = C X C^T with
+  // C = [1 1 1 1; 2 1 -1 -2; 1 -1 -1 1; 1 -2 2 -1].
+  std::array<int, 16> tmp;
+  for (int i = 0; i < 4; ++i) {  // columns first: tmp = C * X
+    int a = in[0 * 4 + i], b = in[1 * 4 + i], c = in[2 * 4 + i], d = in[3 * 4 + i];
+    tmp[0 * 4 + i] = a + b + c + d;
+    tmp[1 * 4 + i] = 2 * a + b - c - 2 * d;
+    tmp[2 * 4 + i] = a - b - c + d;
+    tmp[3 * 4 + i] = a - 2 * b + 2 * c - d;
+  }
+  for (int i = 0; i < 4; ++i) {  // columns: out = tmp * C^T
+    int a = tmp[i * 4 + 0], b = tmp[i * 4 + 1], c = tmp[i * 4 + 2], d = tmp[i * 4 + 3];
+    out[i * 4 + 0] = a + b + c + d;
+    out[i * 4 + 1] = 2 * a + b - c - 2 * d;
+    out[i * 4 + 2] = a - b - c + d;
+    out[i * 4 + 3] = a - 2 * b + 2 * c - d;
+  }
+}
+
+void inv4x4(const std::array<int, 16>& in, std::array<int, 16>& out) {
+  // Inverse core transform with 1/2-weighted odd basis and (x+32)>>6 scaling.
+  std::array<int, 16> tmp;
+  for (int i = 0; i < 4; ++i) {
+    int a = in[0 * 4 + i], b = in[1 * 4 + i], c = in[2 * 4 + i], d = in[3 * 4 + i];
+    tmp[0 * 4 + i] = a + b + c + d / 2;
+    tmp[1 * 4 + i] = a + b / 2 - c - d;
+    tmp[2 * 4 + i] = a - b / 2 - c + d;
+    tmp[3 * 4 + i] = a - b + c - d / 2;
+  }
+  for (int i = 0; i < 4; ++i) {
+    int a = tmp[i * 4 + 0], b = tmp[i * 4 + 1], c = tmp[i * 4 + 2], d = tmp[i * 4 + 3];
+    out[i * 4 + 0] = (a + b + c + d / 2 + 32) >> 6;
+    out[i * 4 + 1] = (a + b / 2 - c - d + 32) >> 6;
+    out[i * 4 + 2] = (a - b / 2 - c + d + 32) >> 6;
+    out[i * 4 + 3] = (a - b + c - d / 2 + 32) >> 6;
+  }
+}
+
+namespace {
+// H.264 quantization tables. Position classes over the 4x4 raster grid:
+// A = even/even, B = odd/odd, C = mixed.
+enum { kClassA = 0, kClassB = 1, kClassC = 2 };
+
+int pos_class(int pos) {
+  int r = pos / 4, c = pos % 4;
+  bool re = (r % 2) == 0, ce = (c % 2) == 0;
+  if (re && ce) return kClassA;
+  if (!re && !ce) return kClassB;
+  return kClassC;
+}
+
+constexpr int kMF[6][3] = {
+    {13107, 5243, 8066}, {11916, 4660, 7490}, {10082, 4194, 6554},
+    {9362, 3647, 5825},  {8192, 3355, 5243},  {7282, 2893, 4559},
+};
+constexpr int kV[6][3] = {
+    {10, 16, 13}, {11, 18, 14}, {13, 20, 16}, {14, 23, 18}, {16, 25, 20}, {18, 29, 23},
+};
+}  // namespace
+
+int quantize(int coef, int pos, int qp) {
+  DFDBG_DCHECK(qp >= 0 && qp <= 51);
+  int qbits = 15 + qp / 6;
+  std::int64_t f = (std::int64_t{1} << qbits) / 3;
+  int mf = kMF[qp % 6][pos_class(pos)];
+  std::int64_t mag = (std::int64_t{std::abs(coef)} * mf + f) >> qbits;
+  return coef >= 0 ? static_cast<int>(mag) : -static_cast<int>(mag);
+}
+
+int dequantize(int q, int pos, int qp) {
+  int v = kV[qp % 6][pos_class(pos)];
+  return (q * v) << (qp / 6);
+}
+
+const std::array<int, 16> kZigzag4x4 = {0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15};
+
+void zigzag_scan(const std::array<int, 16>& coefs, std::array<int, 16>& out) {
+  for (int i = 0; i < 16; ++i) out[static_cast<std::size_t>(i)] = coefs[static_cast<std::size_t>(kZigzag4x4[static_cast<std::size_t>(i)])];
+}
+
+void zigzag_unscan(const std::array<int, 16>& scanned, std::array<int, 16>& out) {
+  for (int i = 0; i < 16; ++i) out[static_cast<std::size_t>(kZigzag4x4[static_cast<std::size_t>(i)])] = scanned[static_cast<std::size_t>(i)];
+}
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+BlockGeom block_geom(int mbx, int mby, int blk) {
+  DFDBG_DCHECK(blk >= 0 && blk < CodecParams::kBlocksPerMb);
+  if (blk < 16) {
+    return BlockGeom{Plane::kY, mbx * 16 + (blk % 4) * 4, mby * 16 + (blk / 4) * 4};
+  }
+  int c = blk - 16;
+  Plane p = c < 4 ? Plane::kCb : Plane::kCr;
+  c %= 4;
+  return BlockGeom{p, mbx * 8 + (c % 2) * 4, mby * 8 + (c / 2) * 4};
+}
+
+std::uint8_t* plane_data(Frame& f, Plane p) {
+  switch (p) {
+    case Plane::kY: return f.y.data();
+    case Plane::kCb: return f.cb.data();
+    case Plane::kCr: return f.cr.data();
+  }
+  return nullptr;
+}
+
+const std::uint8_t* plane_data(const Frame& f, Plane p) {
+  switch (p) {
+    case Plane::kY: return f.y.data();
+    case Plane::kCb: return f.cb.data();
+    case Plane::kCr: return f.cr.data();
+  }
+  return nullptr;
+}
+
+int plane_width(const Frame& f, Plane p) { return p == Plane::kY ? f.width : f.width / 2; }
+int plane_height(const Frame& f, Plane p) { return p == Plane::kY ? f.height : f.height / 2; }
+
+// ---------------------------------------------------------------------------
+// Prediction
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint8_t clamp_pel(int v) { return static_cast<std::uint8_t>(std::clamp(v, 0, 255)); }
+}  // namespace
+
+void intra_predict4x4(const Frame& work, Plane p, int x, int y, MbMode mode,
+                      std::array<int, 16>& pred) {
+  const std::uint8_t* d = plane_data(work, p);
+  int w = plane_width(work, p);
+  int h = plane_height(work, p);
+  (void)h;
+  bool has_left = x > 0;
+  bool has_top = y > 0;
+  auto at = [&](int px, int py) { return static_cast<int>(d[py * w + px]); };
+
+  switch (mode) {
+    case MbMode::kIntraH: {
+      for (int r = 0; r < 4; ++r) {
+        int v = has_left ? at(x - 1, y + r) : 128;
+        for (int c = 0; c < 4; ++c) pred[static_cast<std::size_t>(r * 4 + c)] = v;
+      }
+      return;
+    }
+    case MbMode::kIntraV: {
+      for (int c = 0; c < 4; ++c) {
+        int v = has_top ? at(x + c, y - 1) : 128;
+        for (int r = 0; r < 4; ++r) pred[static_cast<std::size_t>(r * 4 + c)] = v;
+      }
+      return;
+    }
+    case MbMode::kIntraDC: {
+      int sum = 0, n = 0;
+      if (has_top)
+        for (int c = 0; c < 4; ++c) { sum += at(x + c, y - 1); ++n; }
+      if (has_left)
+        for (int r = 0; r < 4; ++r) { sum += at(x - 1, y + r); ++n; }
+      int dc = n > 0 ? (sum + n / 2) / n : 128;
+      pred.fill(dc);
+      return;
+    }
+    case MbMode::kInter:
+    case MbMode::kSkip:
+      DFDBG_UNREACHABLE("intra_predict4x4 called with an inter mode");
+  }
+}
+
+void inter_predict4x4(const Frame& ref, Plane p, int x, int y, MotionVector mv,
+                      std::array<int, 16>& pred) {
+  const std::uint8_t* d = plane_data(ref, p);
+  int w = plane_width(ref, p);
+  int h = plane_height(ref, p);
+  int dx = p == Plane::kY ? mv.dx : mv.dx / 2;
+  int dy = p == Plane::kY ? mv.dy : mv.dy / 2;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      int px = std::clamp(x + c + dx, 0, w - 1);
+      int py = std::clamp(y + r + dy, 0, h - 1);
+      pred[static_cast<std::size_t>(r * 4 + c)] = d[py * w + px];
+    }
+  }
+}
+
+std::uint32_t reconstruct_block(Frame& work, const Frame* ref, Plane p, int x, int y,
+                                MbMode mode, MotionVector mv,
+                                const std::array<int, 16>& qcoef, int qp) {
+  std::array<int, 16> pred;
+  if (is_inter_mode(mode)) {
+    DFDBG_CHECK_MSG(ref != nullptr, "inter block without reference frame");
+    inter_predict4x4(*ref, p, x, y, mv, pred);
+  } else {
+    intra_predict4x4(work, p, x, y, mode, pred);
+  }
+  std::array<int, 16> q_raster, deq, residual;
+  zigzag_unscan(qcoef, q_raster);
+  std::uint32_t izz = 0;
+  for (int i = 0; i < 16; ++i) {
+    deq[static_cast<std::size_t>(i)] = dequantize(q_raster[static_cast<std::size_t>(i)], i, qp);
+    izz += static_cast<std::uint32_t>(std::abs(deq[static_cast<std::size_t>(i)]));
+  }
+  inv4x4(deq, residual);
+  std::uint8_t* d = plane_data(work, p);
+  int w = plane_width(work, p);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      d[(y + r) * w + (x + c)] =
+          clamp_pel(pred[static_cast<std::size_t>(r * 4 + c)] + residual[static_cast<std::size_t>(r * 4 + c)]);
+  return izz;
+}
+
+// ---------------------------------------------------------------------------
+// Deblocking
+// ---------------------------------------------------------------------------
+
+Frame deblock_frame(const Frame& work) {
+  Frame out = work;
+  for (Plane p : {Plane::kY, Plane::kCb, Plane::kCr}) {
+    const std::uint8_t* src = plane_data(work, p);
+    std::uint8_t* dst = plane_data(out, p);
+    int w = plane_width(work, p);
+    int h = plane_height(work, p);
+    // Vertical 4x4 edges: smooth the two pixels flanking each edge.
+    for (int x = 4; x < w; x += 4) {
+      for (int y = 0; y < h; ++y) {
+        int a = src[y * w + x - 2], b = src[y * w + x - 1];
+        int c = src[y * w + x];
+        int dpix = x + 1 < w ? src[y * w + x + 1] : c;
+        dst[y * w + x - 1] = clamp_pel((a + 2 * b + c + 2) >> 2);
+        dst[y * w + x] = clamp_pel((b + 2 * c + dpix + 2) >> 2);
+      }
+    }
+    // Horizontal edges operate on the vertically-filtered result.
+    std::vector<std::uint8_t> tmp(dst, dst + static_cast<std::size_t>(w) * h);
+    for (int y = 4; y < h; y += 4) {
+      for (int x = 0; x < w; ++x) {
+        int a = tmp[static_cast<std::size_t>((y - 2) * w + x)];
+        int b = tmp[static_cast<std::size_t>((y - 1) * w + x)];
+        int c = tmp[static_cast<std::size_t>(y * w + x)];
+        int dpix = y + 1 < h ? tmp[static_cast<std::size_t>((y + 1) * w + x)] : c;
+        dst[(y - 1) * w + x] = clamp_pel((a + 2 * b + c + 2) >> 2);
+        dst[y * w + x] = clamp_pel((b + 2 * c + dpix + 2) >> 2);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Test material
+// ---------------------------------------------------------------------------
+
+std::vector<Frame> make_test_video(int width, int height, int frames, std::uint64_t seed) {
+  DFDBG_CHECK(width % 16 == 0 && height % 16 == 0 && frames >= 1);
+  Prng prng(seed);
+  std::vector<Frame> out;
+  // A diagonal gradient panning right plus a moving bright square and a
+  // sprinkle of noise: yields a mix of flat (DC), horizontal/vertical
+  // structure and genuine motion for inter prediction.
+  int noise = 6;
+  for (int f = 0; f < frames; ++f) {
+    Frame fr(width, height);
+    int pan = f * 2;
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        int v = ((x + pan) * 3 + y * 2) % 200 + 20;
+        fr.y[static_cast<std::size_t>(y * width + x)] =
+            static_cast<std::uint8_t>(std::clamp(v + static_cast<int>(prng.next_below(static_cast<std::uint64_t>(noise))) - noise / 2, 0, 255));
+      }
+    }
+    // Moving square.
+    int sq = 12, sx = (8 + f * 2) % (width - sq), sy = (6 + f) % (height - sq);
+    for (int y = sy; y < sy + sq; ++y)
+      for (int x = sx; x < sx + sq; ++x) fr.y[static_cast<std::size_t>(y * width + x)] = 230;
+    for (int y = 0; y < height / 2; ++y) {
+      for (int x = 0; x < width / 2; ++x) {
+        fr.cb[static_cast<std::size_t>(y * (width / 2) + x)] =
+            static_cast<std::uint8_t>(100 + ((x + f) * 5) % 80);
+        fr.cr[static_cast<std::size_t>(y * (width / 2) + x)] =
+            static_cast<std::uint8_t>(90 + (y * 4) % 90);
+      }
+    }
+    out.push_back(std::move(fr));
+  }
+  return out;
+}
+
+int sad16(const std::array<int, 16>& a, const std::array<int, 16>& b) {
+  int s = 0;
+  for (int i = 0; i < 16; ++i) s += std::abs(a[static_cast<std::size_t>(i)] - b[static_cast<std::size_t>(i)]);
+  return s;
+}
+
+}  // namespace dfdbg::h264

@@ -1,0 +1,177 @@
+// The PEDF H.264 decoder application (paper §VI, Fig. 4).
+//
+// Graph topology (filter short names as in the paper):
+//
+//   host-src ──bytes──► [front: vld ─► bh ─► hwcfg]   (front_controller)
+//        vld ──Blk_t───────────────────────────► pipe
+//        bh  ──U32──────────────────────────────► red
+//        hwcfg ─U16 MbType─► pipe    hwcfg ─U32 cfg─► ipred
+//   [pred: red, pipe, ipred, mc, ipf]               (pred_controller)
+//        red ─CbCrMB_t─► pipe        red ─U32─► mc (inter MBs)
+//        pipe ─Blk_t─► ipred (intra) pipe ─Blk_t─► mc (inter)
+//        pipe ─U32 ctl─► ipf
+//        ipred ─MbDone_t─► ipf  ipred ─U32─► ipf   mc ─MbDone_t─► ipf
+//        ipf ─U32/MB─► host-sink
+//
+// The architecture is declared in the MIND ADL (kH264Adl) and instantiated
+// through the df_mind tool-chain; filter/controller behaviour is bound via a
+// FilterRegistry. Reconstructed pixels live in a shared frame store
+// (modelling the platform's L2/L3 picture buffers); causality is guaranteed
+// by pred_controller sequencing one macroblock per PEDF step.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/h264/codec.hpp"
+#include "dfdbg/h264/refcodec.hpp"
+#include "dfdbg/mind/instantiate.hpp"
+#include "dfdbg/pedf/application.hpp"
+#include "dfdbg/sim/platform.hpp"
+
+namespace dfdbg::h264 {
+
+/// Seeded, reproducible decoder faults for the case-study experiments.
+struct FaultPlan {
+  enum class Kind : std::uint8_t {
+    kNone,
+    /// pipe emits one ipf control token per *block* instead of per MB:
+    /// the pipe->ipf link accumulates tokens (Fig. 4's 20-token stall).
+    kRateMismatch,
+    /// red corrupts CbCrMB_t.InterNotIntra from `trigger_mb` on: intra MBs
+    /// get routed to mc and are reconstructed with the wrong predictor
+    /// (observable wrong output; the §VI-D token-provenance hunt).
+    kCorruptSplitter,
+    /// hwcfg silently drops ipred's config token for `trigger_mb`: ipred
+    /// blocks forever on Hwcfg_in (deadlock; untied by token injection).
+    kDropConfig,
+    /// pred_controller forgets to fire ipf for `trigger_mb` (scheduling
+    /// bug: done-tokens accumulate, final MB count short by one).
+    kSkipIpf,
+  };
+
+  Kind kind = Kind::kNone;
+  int trigger_mb = 2;  ///< global MB index where the fault manifests
+  int period = 0;      ///< if > 0, re-trigger every `period` MBs afterwards
+
+  [[nodiscard]] bool triggers(int mb_index) const {
+    if (kind == Kind::kNone) return false;
+    if (period > 0) return mb_index >= trigger_mb && (mb_index - trigger_mb) % period == 0;
+    return mb_index == trigger_mb;
+  }
+};
+
+const char* to_string(FaultPlan::Kind k);
+
+/// Stream-level progress shared between the filters (the decoder's
+/// control-plane state living in platform shared memory).
+struct StreamInfo {
+  bool header_parsed = false;
+  CodecParams params;
+  int parsed_mbs = 0;  ///< macroblocks parsed by vld
+  int done_mbs = 0;    ///< macroblocks finished by ipf
+  int frame_mbs_done = 0;
+  int cur_frame = 0;
+  bool cur_frame_intra_only = true;
+};
+
+/// Shared pixel store: the frame under construction plus the decoded
+/// picture buffer (published, deblocked frames).
+struct SharedStore {
+  StreamInfo info;
+  Frame work;
+  std::vector<Frame> decoded;
+  FaultPlan fault;
+
+  /// Reference frame for inter prediction (nullptr in the first frame).
+  [[nodiscard]] const Frame* ref() const {
+    return decoded.empty() ? nullptr : &decoded.back();
+  }
+};
+
+/// The MIND architecture description of the decoder (parsed at build time).
+extern const char* kH264Adl;
+
+/// MbType codes hwcfg emits on pipe_MbType_out (paper transcript shows the
+/// recorded values 5, 10, 15).
+std::uint16_t mbtype_code(MbMode mode);
+
+/// Registers the decoder's filter and controller implementations (bound to
+/// `store`) into `registry`. Exposed so tests can instantiate pieces.
+void register_h264_behaviors(mind::FilterRegistry& registry, SharedStore* store);
+
+/// Build configuration.
+struct H264AppConfig {
+  CodecParams params;
+  std::uint64_t seed = 42;
+  FaultPlan fault;
+  sim::PlatformConfig platform;
+  bool model_latencies = true;
+  /// Bounded capacity for the pipe->ipf control link (SIZE_MAX = unbounded);
+  /// bounding it turns the rate-mismatch fault into a hard stall.
+  std::size_t pipe_ipf_capacity = SIZE_MAX;
+
+  /// If non-empty (length = total_mbs), the bitstream is hand-crafted with
+  /// exactly these per-MB modes and zero residuals instead of running the
+  /// encoder — used to script deterministic debugger transcripts (e.g. the
+  /// paper's recorded MbType sequence 5, 10, 15).
+  std::vector<MbMode> forced_modes;
+
+  H264AppConfig() {
+    platform.clusters = 2;
+    platform.pes_per_cluster = 8;
+    platform.host_cores = 2;
+  }
+};
+
+/// A fully assembled decoder instance: synthetic video, encoded bitstream,
+/// golden reconstruction, platform, PEDF application, host I/O.
+class H264App {
+ public:
+  /// Builds and elaborates the application (ADL parse -> analyze ->
+  /// instantiate -> elaborate). Attach a debugger Session before start()
+  /// or rely on its late-attach registration replay.
+  static Result<std::unique_ptr<H264App>> build(const H264AppConfig& config);
+
+  /// Spawns the simulated processes. Call once; then drive kernel().run()
+  /// or a Session.
+  void start() { app_->start(); }
+
+  [[nodiscard]] sim::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] sim::Platform& platform() { return *platform_; }
+  [[nodiscard]] pedf::Application& app() { return *app_; }
+  [[nodiscard]] SharedStore& store() { return *store_; }
+  [[nodiscard]] const H264AppConfig& config() const { return config_; }
+
+  [[nodiscard]] const std::vector<Frame>& source_video() const { return video_; }
+  [[nodiscard]] const std::vector<uint8_t>& bitstream() const { return bitstream_; }
+  /// Encoder-loop reconstruction == what a correct decoder must output.
+  [[nodiscard]] const std::vector<Frame>& golden() const { return golden_; }
+  /// Per-MB syntax in decode order (workload metadata for benches).
+  [[nodiscard]] const std::vector<MbSyntax>& syntax() const { return syntax_; }
+
+  [[nodiscard]] pedf::HostSink& sink() { return *sink_; }
+
+  /// True when every decoded frame equals the golden reconstruction.
+  [[nodiscard]] bool decoded_matches_golden() const;
+  /// Index of the first mismatching frame (-1 if none).
+  [[nodiscard]] int first_mismatch_frame() const;
+
+ private:
+  H264App() = default;
+
+  H264AppConfig config_;
+  std::unique_ptr<sim::Kernel> kernel_;
+  std::unique_ptr<sim::Platform> platform_;
+  std::unique_ptr<SharedStore> store_;
+  std::unique_ptr<pedf::Application> app_;
+  std::vector<Frame> video_;
+  std::vector<uint8_t> bitstream_;
+  std::vector<Frame> golden_;
+  std::vector<MbSyntax> syntax_;
+  pedf::HostSink* sink_ = nullptr;
+};
+
+}  // namespace dfdbg::h264

@@ -1,0 +1,73 @@
+// Bit-level I/O with Exp-Golomb codes (H.264's ue(v)/se(v)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dfdbg::h264 {
+
+/// MSB-first bit writer.
+class BitWriter {
+ public:
+  /// Appends the low `n` bits of `bits` (MSB of the field first).
+  void put_bits(std::uint32_t bits, int n);
+  /// Unsigned Exp-Golomb.
+  void put_ue(std::uint32_t v);
+  /// Signed Exp-Golomb.
+  void put_se(std::int32_t v);
+  /// Pads with zero bits to a byte boundary and returns the stream.
+  std::vector<std::uint8_t> finish();
+
+  [[nodiscard]] std::size_t bit_count() const { return bytes_.size() * 8 - (8 - static_cast<std::size_t>(fill_)) % 8; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int fill_ = 8;  ///< free bits in the last byte (8 = none open)
+};
+
+/// MSB-first bit reader. Out-of-data reads return zeros and set overrun().
+class BitReader {
+ public:
+  explicit BitReader(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  std::uint32_t get_bits(int n);
+  std::uint32_t get_ue();
+  std::int32_t get_se();
+  [[nodiscard]] bool overrun() const { return overrun_; }
+  [[nodiscard]] std::size_t byte_pos() const { return pos_ >> 3; }
+
+ private:
+  int get_bit();
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;  ///< bit position
+  bool overrun_ = false;
+};
+
+/// Abstract byte source for a streaming BitReader (the dataflow VLD pulls
+/// bytes from its inbound token link instead of a memory buffer).
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Next byte; return false at end of stream.
+  virtual bool next(std::uint8_t* out) = 0;
+};
+
+/// Streaming variant of BitReader over a ByteSource.
+class StreamBitReader {
+ public:
+  explicit StreamBitReader(ByteSource& src) : src_(src) {}
+
+  std::uint32_t get_bits(int n);
+  std::uint32_t get_ue();
+  std::int32_t get_se();
+  [[nodiscard]] bool overrun() const { return overrun_; }
+
+ private:
+  int get_bit();
+  ByteSource& src_;
+  std::uint8_t cur_ = 0;
+  int avail_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace dfdbg::h264

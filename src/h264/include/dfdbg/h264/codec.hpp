@@ -1,0 +1,160 @@
+// Functional core of the toy H.264-style codec used by the case study.
+//
+// The paper debugs ST's PEDF H.264 decoder; we cannot reproduce that
+// proprietary code, so this is a genuine but simplified block codec sharing
+// H.264's structure: 16x16 macroblocks in raster order, 4:2:0 chroma,
+// per-MB intra prediction (DC/Horizontal/Vertical) or inter prediction
+// (motion-compensated from the previous decoded frame), H.264's exact 4x4
+// integer transform on residuals, linear quantization, zig-zag coefficient
+// scan and Exp-Golomb entropy coding, plus an optional end-of-frame
+// deblocking pass. Encoder and both decoders (golden sequential decoder and
+// the PEDF dataflow decoder) are bit-exact against each other.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dfdbg::h264 {
+
+/// One 4:2:0 picture.
+struct Frame {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> y;   ///< width*height
+  std::vector<std::uint8_t> cb;  ///< (width/2)*(height/2)
+  std::vector<std::uint8_t> cr;
+
+  Frame() = default;
+  Frame(int w, int h)
+      : width(w), height(h), y(static_cast<std::size_t>(w) * h, 128),
+        cb(static_cast<std::size_t>(w / 2) * (h / 2), 128),
+        cr(static_cast<std::size_t>(w / 2) * (h / 2), 128) {}
+
+  bool operator==(const Frame& o) const = default;
+};
+
+/// Macroblock prediction mode. kSkip is H.264's P_Skip: motion-compensated
+/// copy with zero motion vector and no residual (zero coded bits beyond the
+/// mode itself).
+enum class MbMode : std::uint8_t {
+  kIntraDC = 0,
+  kIntraH = 1,
+  kIntraV = 2,
+  kInter = 3,
+  kSkip = 4,
+};
+
+const char* to_string(MbMode m);
+
+/// True for the motion-compensated modes (kInter, kSkip).
+inline bool is_inter_mode(MbMode m) { return m == MbMode::kInter || m == MbMode::kSkip; }
+
+/// Plane selector inside a macroblock.
+enum class Plane : std::uint8_t { kY = 0, kCb = 1, kCr = 2 };
+
+/// Stream-level parameters.
+struct CodecParams {
+  int width = 48;        ///< multiple of 16
+  int height = 32;       ///< multiple of 16
+  int frame_count = 3;
+  int qp = 20;           ///< H.264 quantization parameter (0..51)
+  bool deblock = true;   ///< end-of-frame smoothing pass
+
+  [[nodiscard]] int mbs_x() const { return width / 16; }
+  [[nodiscard]] int mbs_y() const { return height / 16; }
+  [[nodiscard]] int mbs_per_frame() const { return mbs_x() * mbs_y(); }
+  [[nodiscard]] int total_mbs() const { return mbs_per_frame() * frame_count; }
+  /// 16 luma + 4 Cb + 4 Cr 4x4 blocks per macroblock.
+  static constexpr int kBlocksPerMb = 24;
+};
+
+/// Motion vector (quarter-pel free; we use integer pel).
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  bool operator==(const MotionVector&) const = default;
+};
+
+// --- 4x4 integer transform (H.264 core transform) ---------------------------
+
+/// Forward 4x4 transform of residuals (input/output row-major int[16]).
+void fwd4x4(const std::array<int, 16>& in, std::array<int, 16>& out);
+/// Inverse 4x4 transform with H.264's (x+32)>>6 rounding.
+void inv4x4(const std::array<int, 16>& in, std::array<int, 16>& out);
+
+/// H.264 quantization of the forward-transform coefficient at raster
+/// position `pos` (0..15) with quantization parameter `qp` (0..51), using
+/// the standard MF multiplier tables (absorbs the transform gain).
+int quantize(int coef, int pos, int qp);
+/// H.264 dequantization with the standard V tables; the result feeds
+/// inv4x4's (x+32)>>6 scaling.
+int dequantize(int q, int pos, int qp);
+
+/// Zig-zag scan order of a 4x4 block (index table).
+extern const std::array<int, 16> kZigzag4x4;
+
+/// Scans `coefs` (row-major) into zig-zag order.
+void zigzag_scan(const std::array<int, 16>& coefs, std::array<int, 16>& out);
+/// Inverse zig-zag.
+void zigzag_unscan(const std::array<int, 16>& scanned, std::array<int, 16>& out);
+
+// --- block geometry ----------------------------------------------------------
+
+/// Describes 4x4 block `blk` (0..23) of a macroblock: which plane and its
+/// top-left pixel position inside that plane.
+struct BlockGeom {
+  Plane plane;
+  int x;  ///< plane-relative pixel x of the block's top-left corner
+  int y;
+};
+
+/// Geometry of block `blk` of the MB at (mbx, mby). Blocks 0-15: luma in
+/// raster order of 4x4 tiles; 16-19: Cb; 20-23: Cr.
+BlockGeom block_geom(int mbx, int mby, int blk);
+
+/// Plane accessor helpers.
+std::uint8_t* plane_data(Frame& f, Plane p);
+const std::uint8_t* plane_data(const Frame& f, Plane p);
+int plane_width(const Frame& f, Plane p);
+int plane_height(const Frame& f, Plane p);
+
+// --- prediction ----------------------------------------------------------------
+
+/// Computes the 4x4 intra prediction of the block at (x,y) in plane `p` of
+/// `work` (the partially reconstructed current frame) using `mode`
+/// (kIntraDC/H/V; kInter is invalid here). Borders fall back per H.264
+/// conventions (missing neighbors -> 128 / available side).
+void intra_predict4x4(const Frame& work, Plane p, int x, int y, MbMode mode,
+                      std::array<int, 16>& pred);
+
+/// Computes the 4x4 inter prediction at (x,y) in plane `p` from reference
+/// frame `ref`, motion vector `mv` (halved for chroma), clamped at edges.
+void inter_predict4x4(const Frame& ref, Plane p, int x, int y, MotionVector mv,
+                      std::array<int, 16>& pred);
+
+/// Reconstructs one 4x4 block into `work`: prediction + dequantized
+/// inverse-transformed residual, clamped to [0,255]. `qcoef` is the
+/// zig-zag-scanned quantized residual. Returns the sum of absolute
+/// dequantized coefficients (the "Izz" checksum carried by debug tokens).
+std::uint32_t reconstruct_block(Frame& work, const Frame* ref, Plane p, int x, int y,
+                                MbMode mode, MotionVector mv,
+                                const std::array<int, 16>& qcoef, int qp);
+
+// --- deblocking ------------------------------------------------------------------
+
+/// End-of-frame smoothing pass across 4x4 block edges (both directions,
+/// all planes). Deterministic and purely in-place on a copy semantics:
+/// returns the deblocked frame, leaving `work` untouched.
+Frame deblock_frame(const Frame& work);
+
+// --- test material ---------------------------------------------------------------
+
+/// Deterministic synthetic video: moving gradients plus seeded noise, so
+/// both intra and inter MBs appear.
+std::vector<Frame> make_test_video(int width, int height, int frames, std::uint64_t seed);
+
+/// Sum of absolute differences between two pixel blocks (for the encoder).
+int sad16(const std::array<int, 16>& a, const std::array<int, 16>& b);
+
+}  // namespace dfdbg::h264

@@ -1,0 +1,137 @@
+// Reference (sequential, host-side) encoder and golden decoder, plus the
+// per-macroblock syntax shared with the dataflow decoder's VLD filter.
+//
+// Bitstream syntax:
+//   header:  u(16)="DF" magic, ue(mbs_x), ue(mbs_y), ue(frame_count),
+//            ue(qp), u(1) deblock
+//   frame:   u(1) is_intra_only (frame 0 must be 1)
+//   mb:      ue(mode)   0=intra-DC 1=intra-H 2=intra-V 3=inter 4=P_Skip
+//            if P_Skip: nothing else (zero mv, zero residual)
+//            if inter: se(dx), se(dy)
+//            per 4x4 block (24 of them): ue(ncoef) then ncoef * se(level)
+//            where ncoef counts zig-zag coefficients up to the last nonzero.
+//
+// The encoder performs rate-distortion optimization: J = SSD + lambda*bits
+// with lambda_mode = 0.85 * 2^((QP-12)/3) and exact Exp-Golomb bit counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/h264/bitstream.hpp"
+#include "dfdbg/h264/codec.hpp"
+
+namespace dfdbg::h264 {
+
+/// Parsed syntax of one macroblock.
+struct MbSyntax {
+  MbMode mode = MbMode::kIntraDC;
+  MotionVector mv;
+  /// Zig-zag-scanned quantized coefficients, one array per 4x4 block.
+  std::array<std::array<int, 16>, CodecParams::kBlocksPerMb> qcoef{};
+};
+
+/// Parsed stream header.
+struct StreamHeader {
+  CodecParams params;
+  bool valid = false;
+};
+
+// --- shared parse/serialize (used by the golden decoder AND the VLD filter) --
+
+void write_header(BitWriter& bw, const CodecParams& p);
+void write_frame_marker(BitWriter& bw, bool intra_only);
+void write_mb(BitWriter& bw, const MbSyntax& mb);
+
+/// Stream limits (a level definition of sorts): reject absurd headers from
+/// corrupted input before they turn into unbounded work or allocation.
+inline constexpr int kMaxDimension = 4096;
+inline constexpr int kMaxFrames = 100000;
+
+/// Header parse over any reader with get_bits/get_ue/get_se.
+template <typename BR>
+StreamHeader parse_header(BR& br) {
+  StreamHeader h;
+  if (br.get_bits(8) != 'D' || br.get_bits(8) != 'F') return h;
+  h.params.width = static_cast<int>(br.get_ue()) * 16;
+  h.params.height = static_cast<int>(br.get_ue()) * 16;
+  h.params.frame_count = static_cast<int>(br.get_ue());
+  h.params.qp = static_cast<int>(br.get_ue());
+  h.params.deblock = br.get_bits(1) != 0;
+  h.valid = !br.overrun() && h.params.width > 0 && h.params.height > 0 &&
+            h.params.width <= kMaxDimension && h.params.height <= kMaxDimension &&
+            h.params.frame_count > 0 && h.params.frame_count <= kMaxFrames &&
+            h.params.qp >= 0 && h.params.qp <= 51;
+  return h;
+}
+
+/// Frame marker parse.
+template <typename BR>
+bool parse_frame_marker(BR& br) {
+  return br.get_bits(1) != 0;  // is_intra_only
+}
+
+/// Macroblock parse.
+template <typename BR>
+MbSyntax parse_mb(BR& br) {
+  MbSyntax mb;
+  std::uint32_t mode = br.get_ue();
+  mb.mode = static_cast<MbMode>(mode <= 4 ? mode : 0);
+  if (mb.mode == MbMode::kSkip) return mb;  // no mv, no residual bits
+  if (mb.mode == MbMode::kInter) {
+    mb.mv.dx = br.get_se();
+    mb.mv.dy = br.get_se();
+  }
+  for (int b = 0; b < CodecParams::kBlocksPerMb; ++b) {
+    std::uint32_t ncoef = br.get_ue();
+    if (ncoef > 16) ncoef = 16;
+    for (std::uint32_t i = 0; i < ncoef; ++i)
+      mb.qcoef[static_cast<std::size_t>(b)][i] = br.get_se();
+  }
+  return mb;
+}
+
+/// Reconstructs one whole macroblock into `work` (all 24 blocks, raster 4x4
+/// order, exactly the order every decoder must follow). Returns the summed
+/// Izz checksum of the MB.
+std::uint32_t reconstruct_mb(Frame& work, const Frame* ref, int mbx, int mby,
+                             const MbSyntax& mb, int qp);
+
+// --- encoder -----------------------------------------------------------------
+
+/// Deterministic encoder with full reconstruction loop (its reconstructed
+/// frames are the ground truth every decoder must match bit-exactly).
+class Encoder {
+ public:
+  explicit Encoder(const CodecParams& params) : params_(params) {}
+
+  /// Encodes `video` (must match params dimensions/count). Returns the
+  /// bitstream bytes.
+  std::vector<std::uint8_t> encode(const std::vector<Frame>& video);
+
+  /// Decoded-loop reconstruction (post-deblock), one frame per input frame.
+  [[nodiscard]] const std::vector<Frame>& reconstructed() const { return recon_; }
+  /// Per-MB syntax in decode order (for tests and workload generators).
+  [[nodiscard]] const std::vector<MbSyntax>& syntax() const { return syntax_; }
+
+ private:
+  /// Trial-encodes MB (mbx,mby) of `src` with `mode` on a scratch copy of
+  /// `work`; returns distortion and fills `out`.
+  long trial_mode(const Frame& src, const Frame& work, const Frame* ref, int mbx, int mby,
+                  MbMode mode, MotionVector mv, MbSyntax* out) const;
+
+  CodecParams params_;
+  std::vector<Frame> recon_;
+  std::vector<MbSyntax> syntax_;
+};
+
+/// Sequential reference decoder.
+class GoldenDecoder {
+ public:
+  /// Decodes a full stream; empty result on malformed input.
+  Result<std::vector<Frame>> decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace dfdbg::h264

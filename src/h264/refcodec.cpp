@@ -1,0 +1,238 @@
+#include "dfdbg/h264/refcodec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg::h264 {
+
+void write_header(BitWriter& bw, const CodecParams& p) {
+  bw.put_bits('D', 8);
+  bw.put_bits('F', 8);
+  bw.put_ue(static_cast<std::uint32_t>(p.width / 16));
+  bw.put_ue(static_cast<std::uint32_t>(p.height / 16));
+  bw.put_ue(static_cast<std::uint32_t>(p.frame_count));
+  bw.put_ue(static_cast<std::uint32_t>(p.qp));
+  bw.put_bits(p.deblock ? 1 : 0, 1);
+}
+
+void write_frame_marker(BitWriter& bw, bool intra_only) {
+  bw.put_bits(intra_only ? 1 : 0, 1);
+}
+
+void write_mb(BitWriter& bw, const MbSyntax& mb) {
+  bw.put_ue(static_cast<std::uint32_t>(mb.mode));
+  if (mb.mode == MbMode::kSkip) return;  // P_Skip: no mv, no residual bits
+  if (mb.mode == MbMode::kInter) {
+    bw.put_se(mb.mv.dx);
+    bw.put_se(mb.mv.dy);
+  }
+  for (int b = 0; b < CodecParams::kBlocksPerMb; ++b) {
+    const auto& q = mb.qcoef[static_cast<std::size_t>(b)];
+    int ncoef = 16;
+    while (ncoef > 0 && q[static_cast<std::size_t>(ncoef - 1)] == 0) ncoef--;
+    bw.put_ue(static_cast<std::uint32_t>(ncoef));
+    for (int i = 0; i < ncoef; ++i) bw.put_se(q[static_cast<std::size_t>(i)]);
+  }
+}
+
+std::uint32_t reconstruct_mb(Frame& work, const Frame* ref, int mbx, int mby,
+                             const MbSyntax& mb, int qp) {
+  std::uint32_t izz = 0;
+  for (int b = 0; b < CodecParams::kBlocksPerMb; ++b) {
+    BlockGeom g = block_geom(mbx, mby, b);
+    izz += reconstruct_block(work, ref, g.plane, g.x, g.y, mb.mode, mb.mv,
+                             mb.qcoef[static_cast<std::size_t>(b)], qp);
+  }
+  return izz;
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Extracts the source 4x4 block at (x,y) of plane p.
+void load_block(const Frame& f, Plane p, int x, int y, std::array<int, 16>& out) {
+  const std::uint8_t* d = plane_data(f, p);
+  int w = plane_width(f, p);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) out[static_cast<std::size_t>(r * 4 + c)] = d[(y + r) * w + (x + c)];
+}
+
+/// Sum of squared differences of the MB region between two frames.
+long mb_ssd(const Frame& a, const Frame& b, int mbx, int mby) {
+  long ssd = 0;
+  for (int blk = 0; blk < CodecParams::kBlocksPerMb; ++blk) {
+    BlockGeom g = block_geom(mbx, mby, blk);
+    const std::uint8_t* da = plane_data(a, g.plane);
+    const std::uint8_t* db = plane_data(b, g.plane);
+    int w = plane_width(a, g.plane);
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c) {
+        int d = static_cast<int>(da[(g.y + r) * w + g.x + c]) -
+                static_cast<int>(db[(g.y + r) * w + g.x + c]);
+        ssd += static_cast<long>(d) * d;
+      }
+  }
+  return ssd;
+}
+
+/// Encodes one block in place on `work`: computes the prediction from the
+/// current `work` state, transforms and quantizes the residual, then
+/// reconstructs exactly like a decoder. Returns the scanned coefficients.
+/// P_Skip blocks code no residual at all.
+void encode_block(Frame& work, const Frame& src, const Frame* ref, Plane p, int x, int y,
+                  MbMode mode, MotionVector mv, int qp, std::array<int, 16>* qcoef_out) {
+  std::array<int, 16> q_scan{};
+  if (mode != MbMode::kSkip) {
+    std::array<int, 16> pred;
+    if (is_inter_mode(mode))
+      inter_predict4x4(*ref, p, x, y, mv, pred);
+    else
+      intra_predict4x4(work, p, x, y, mode, pred);
+    std::array<int, 16> srcblk, resid, coef, q_raster;
+    load_block(src, p, x, y, srcblk);
+    for (int i = 0; i < 16; ++i)
+      resid[static_cast<std::size_t>(i)] =
+          srcblk[static_cast<std::size_t>(i)] - pred[static_cast<std::size_t>(i)];
+    fwd4x4(resid, coef);
+    for (int i = 0; i < 16; ++i)
+      q_raster[static_cast<std::size_t>(i)] = quantize(coef[static_cast<std::size_t>(i)], i, qp);
+    zigzag_scan(q_raster, q_scan);
+  }
+  *qcoef_out = q_scan;
+  // Decoder-identical reconstruction (intra neighbors for later blocks must
+  // see reconstructed, not source, pixels).
+  reconstruct_block(work, ref, p, x, y, mode, mv, q_scan, qp);
+}
+
+/// Exp-Golomb code lengths (the exact bits write_mb will spend).
+int ue_bits(std::uint32_t v) {
+  int len = 0;
+  for (std::uint64_t t = static_cast<std::uint64_t>(v) + 1; t != 0; t >>= 1) len++;
+  return 2 * len - 1;
+}
+int se_bits(std::int32_t v) {
+  std::uint32_t u = v > 0 ? static_cast<std::uint32_t>(2 * v - 1)
+                          : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(v));
+  return ue_bits(u);
+}
+
+/// Exact coded size of one macroblock in bits.
+long mb_rate_bits(const MbSyntax& mb) {
+  long bits = ue_bits(static_cast<std::uint32_t>(mb.mode));
+  if (mb.mode == MbMode::kSkip) return bits;
+  if (mb.mode == MbMode::kInter) bits += se_bits(mb.mv.dx) + se_bits(mb.mv.dy);
+  for (int b = 0; b < CodecParams::kBlocksPerMb; ++b) {
+    const auto& q = mb.qcoef[static_cast<std::size_t>(b)];
+    int ncoef = 16;
+    while (ncoef > 0 && q[static_cast<std::size_t>(ncoef - 1)] == 0) ncoef--;
+    bits += ue_bits(static_cast<std::uint32_t>(ncoef));
+    for (int i = 0; i < ncoef; ++i) bits += se_bits(q[static_cast<std::size_t>(i)]);
+  }
+  return bits;
+}
+
+}  // namespace
+
+long Encoder::trial_mode(const Frame& src, const Frame& work, const Frame* ref, int mbx,
+                         int mby, MbMode mode, MotionVector mv, MbSyntax* out) const {
+  Frame scratch = work;
+  out->mode = mode;
+  out->mv = mv;
+  for (int b = 0; b < CodecParams::kBlocksPerMb; ++b) {
+    BlockGeom g = block_geom(mbx, mby, b);
+    encode_block(scratch, src, ref, g.plane, g.x, g.y, mode, mv, params_.qp,
+                 &out->qcoef[static_cast<std::size_t>(b)]);
+  }
+  // Rate-distortion: J = SSD + lambda * bits, with H.264's classic
+  // lambda_mode = 0.85 * 2^((QP-12)/3) and the exact Exp-Golomb bit count.
+  long ssd = mb_ssd(src, scratch, mbx, mby);
+  long lambda =
+      std::max<long>(1, std::lround(0.85 * std::pow(2.0, (params_.qp - 12) / 3.0)));
+  return ssd + lambda * mb_rate_bits(*out);
+}
+
+std::vector<std::uint8_t> Encoder::encode(const std::vector<Frame>& video) {
+  DFDBG_CHECK(static_cast<int>(video.size()) == params_.frame_count);
+  DFDBG_CHECK(params_.width % 16 == 0 && params_.height % 16 == 0);
+  recon_.clear();
+  syntax_.clear();
+  BitWriter bw;
+  write_header(bw, params_);
+
+  for (int f = 0; f < params_.frame_count; ++f) {
+    const Frame& src = video[static_cast<std::size_t>(f)];
+    bool intra_only = f == 0;
+    write_frame_marker(bw, intra_only);
+    Frame work(params_.width, params_.height);
+    const Frame* ref = intra_only ? nullptr : &recon_.back();
+
+    for (int mby = 0; mby < params_.mbs_y(); ++mby) {
+      for (int mbx = 0; mbx < params_.mbs_x(); ++mbx) {
+        MbSyntax best;
+        long best_cost = -1;
+        std::vector<std::pair<MbMode, MotionVector>> candidates = {
+            {MbMode::kIntraDC, {}}, {MbMode::kIntraH, {}}, {MbMode::kIntraV, {}}};
+        if (!intra_only) {
+          candidates.push_back({MbMode::kSkip, MotionVector{0, 0}});
+          for (int dy = -2; dy <= 2; ++dy)
+            for (int dx = -2; dx <= 2; ++dx)
+              candidates.push_back({MbMode::kInter, MotionVector{dx, dy}});
+        }
+        for (auto& [mode, mv] : candidates) {
+          MbSyntax cand;
+          long cost = trial_mode(src, work, ref, mbx, mby, mode, mv, &cand);
+          if (best_cost < 0 || cost < best_cost) {
+            best_cost = cost;
+            best = cand;
+          }
+        }
+        // Apply the chosen mode for real.
+        for (int b = 0; b < CodecParams::kBlocksPerMb; ++b) {
+          BlockGeom g = block_geom(mbx, mby, b);
+          encode_block(work, src, ref, g.plane, g.x, g.y, best.mode, best.mv, params_.qp,
+                       &best.qcoef[static_cast<std::size_t>(b)]);
+        }
+        write_mb(bw, best);
+        syntax_.push_back(best);
+      }
+    }
+    recon_.push_back(params_.deblock ? deblock_frame(work) : work);
+  }
+  return bw.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Golden decoder
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Frame>> GoldenDecoder::decode(const std::vector<std::uint8_t>& bytes) {
+  BitReader br(bytes);
+  StreamHeader h = parse_header(br);
+  if (!h.valid) return Status::error("malformed stream header");
+  const CodecParams& p = h.params;
+  std::vector<Frame> out;
+  for (int f = 0; f < p.frame_count; ++f) {
+    bool intra_only = parse_frame_marker(br);
+    if (f == 0 && !intra_only) return Status::error("first frame must be intra-only");
+    Frame work(p.width, p.height);
+    const Frame* ref = f == 0 ? nullptr : &out.back();
+    for (int mby = 0; mby < p.mbs_y(); ++mby) {
+      for (int mbx = 0; mbx < p.mbs_x(); ++mbx) {
+        MbSyntax mb = parse_mb(br);
+        if (br.overrun()) return Status::error("bitstream truncated");
+        if (f == 0 && is_inter_mode(mb.mode))
+          return Status::error("inter MB in intra-only frame");
+        reconstruct_mb(work, ref, mbx, mby, mb, p.qp);
+      }
+    }
+    out.push_back(p.deblock ? deblock_frame(work) : work);
+  }
+  return out;
+}
+
+}  // namespace dfdbg::h264

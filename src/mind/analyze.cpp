@@ -1,0 +1,208 @@
+#include "dfdbg/mind/analyze.hpp"
+
+#include <map>
+#include <set>
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::mind {
+
+namespace {
+
+Status err_at(SrcLoc loc, const std::string& msg) {
+  return Status::error(strformat("%d:%d: %s", loc.line, loc.col, msg.c_str()));
+}
+
+/// Is `type` a scalar name or a struct declared in `doc`?
+bool type_known(const AstDocument& doc, const std::string& type) {
+  static const std::set<std::string> kScalars = {"U8", "U16", "U32", "I32", "F32"};
+  return kScalars.count(type) != 0 || doc.struct_decl(type) != nullptr;
+}
+
+/// Port description found for a binding endpoint.
+struct EndpointInfo {
+  bool found = false;
+  bool is_input = false;  ///< direction as declared on its owner
+  bool on_this = false;   ///< owner is the composite itself
+  std::string type;
+};
+
+EndpointInfo find_endpoint(const AstDocument& doc, const AstComposite& c,
+                           const std::string& who, const std::string& port) {
+  EndpointInfo out;
+  auto scan_ports = [&](const std::vector<AstPort>& ports, bool on_this) {
+    for (const AstPort& p : ports) {
+      if (p.name == port) {
+        out.found = true;
+        out.is_input = p.is_input;
+        out.on_this = on_this;
+        out.type = p.type.type;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (who == "this") {
+    scan_ports(c.ports, /*on_this=*/true);
+    return out;
+  }
+  if (who == "controller" && c.controller.has_value()) {
+    scan_ports(c.controller->ports, /*on_this=*/false);
+    return out;
+  }
+  for (const AstInstance& inst : c.instances) {
+    if (inst.name != who) continue;
+    if (const AstPrimitive* p = doc.primitive(inst.type_name); p != nullptr) {
+      scan_ports(p->ports, /*on_this=*/false);
+    } else if (const AstComposite* sub = doc.composite(inst.type_name); sub != nullptr) {
+      scan_ports(sub->ports, /*on_this=*/false);
+    }
+    return out;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AnalysisReport> analyze(const AstDocument& doc, const std::string& top) {
+  AnalysisReport report;
+
+  // Global name uniqueness.
+  std::set<std::string> names;
+  auto check_unique = [&](const std::string& n, SrcLoc loc) -> Status {
+    if (!names.insert(n).second) return err_at(loc, "duplicate definition '" + n + "'");
+    return Status{};
+  };
+  for (const auto& c : doc.composites)
+    if (Status s = check_unique(c.name, c.loc); !s.ok()) return s;
+  for (const auto& p : doc.primitives)
+    if (Status s = check_unique(p.name, p.loc); !s.ok()) return s;
+  for (const auto& st : doc.structs)
+    if (Status s = check_unique(st.name, st.loc); !s.ok()) return s;
+
+  if (doc.composite(top) == nullptr)
+    return Status::error("top composite '" + top + "' is not defined");
+
+  // Struct fields must be scalars.
+  for (const auto& st : doc.structs) {
+    std::set<std::string> fnames;
+    for (const auto& f : st.fields) {
+      static const std::set<std::string> kScalars = {"U8", "U16", "U32", "I32", "F32"};
+      if (kScalars.count(f.type) == 0)
+        return err_at(st.loc, "struct " + st.name + ": field '" + f.name +
+                                  "' has non-scalar type '" + f.type + "'");
+      if (!fnames.insert(f.name).second)
+        return err_at(st.loc, "struct " + st.name + ": duplicate field '" + f.name + "'");
+    }
+  }
+
+  // Primitives: unique port/data names, known types.
+  for (const auto& p : doc.primitives) {
+    std::set<std::string> seen;
+    for (const auto& port : p.ports) {
+      if (!seen.insert(port.name).second)
+        return err_at(port.loc, p.name + ": duplicate port '" + port.name + "'");
+      if (!type_known(doc, port.type.type))
+        return err_at(port.loc, p.name + ": unknown type '" + port.type.type + "'");
+    }
+    std::set<std::string> dnames;
+    for (const auto& d : p.data) {
+      if (!dnames.insert(d.name).second)
+        return err_at(d.loc, p.name + ": duplicate data/attribute '" + d.name + "'");
+      if (!type_known(doc, d.type.type))
+        return err_at(d.loc, p.name + ": unknown type '" + d.type.type + "'");
+    }
+  }
+
+  // Composites: instances resolve, ports typed, bindings well-formed.
+  for (const auto& c : doc.composites) {
+    std::set<std::string> children;
+    for (const auto& inst : c.instances) {
+      if (!children.insert(inst.name).second)
+        return err_at(inst.loc, c.name + ": duplicate instance '" + inst.name + "'");
+      if (doc.primitive(inst.type_name) == nullptr && doc.composite(inst.type_name) == nullptr)
+        return err_at(inst.loc, c.name + ": unknown instance type '" + inst.type_name + "'");
+      if (inst.type_name == c.name)
+        return err_at(inst.loc, c.name + ": composite contains itself");
+    }
+    std::set<std::string> pnames;
+    for (const auto& port : c.ports) {
+      if (!pnames.insert(port.name).second)
+        return err_at(port.loc, c.name + ": duplicate port '" + port.name + "'");
+      if (!type_known(doc, port.type.type))
+        return err_at(port.loc, c.name + ": unknown type '" + port.type.type + "'");
+    }
+    if (c.controller.has_value()) {
+      std::set<std::string> cports;
+      for (const auto& port : c.controller->ports) {
+        if (!cports.insert(port.name).second)
+          return err_at(port.loc, c.name + ": duplicate controller port '" + port.name + "'");
+        if (!type_known(doc, port.type.type))
+          return err_at(port.loc, c.name + ": unknown type '" + port.type.type + "'");
+      }
+    }
+
+    std::set<std::string> bound_sources, bound_targets;
+    for (const auto& b : c.bindings) {
+      auto parse_ep = [&](const std::string& text, std::string* who,
+                          std::string* port) -> Status {
+        auto dot = text.find('.');
+        if (dot == std::string::npos || dot == 0 || dot + 1 >= text.size())
+          return err_at(b.loc, c.name + ": malformed endpoint '" + text + "'");
+        *who = text.substr(0, dot);
+        *port = text.substr(dot + 1);
+        return Status{};
+      };
+      std::string swho, sport, dwho, dport;
+      if (Status s = parse_ep(b.src, &swho, &sport); !s.ok()) return s;
+      if (Status s = parse_ep(b.dst, &dwho, &dport); !s.ok()) return s;
+      EndpointInfo src = find_endpoint(doc, c, swho, sport);
+      EndpointInfo dst = find_endpoint(doc, c, dwho, dport);
+      if (!src.found) return err_at(b.loc, c.name + ": unknown endpoint '" + b.src + "'");
+      if (!dst.found) return err_at(b.loc, c.name + ": unknown endpoint '" + b.dst + "'");
+      // Direction: data flows src->dst. A valid source is a child OUTPUT or
+      // one of this-module's INPUTS (data entering the module); a valid
+      // target is a child INPUT or one of this-module's OUTPUTS.
+      bool src_ok = src.on_this ? src.is_input : !src.is_input;
+      bool dst_ok = dst.on_this ? !dst.is_input : dst.is_input;
+      if (!src_ok)
+        return err_at(b.loc, c.name + ": '" + b.src + "' cannot be a binding source");
+      if (!dst_ok)
+        return err_at(b.loc, c.name + ": '" + b.dst + "' cannot be a binding target");
+      if (src.type != dst.type)
+        return err_at(b.loc, c.name + ": type mismatch '" + b.src + "' (" + src.type +
+                                ") vs '" + b.dst + "' (" + dst.type + ")");
+      if (!bound_sources.insert(b.src).second)
+        return err_at(b.loc, c.name + ": '" + b.src + "' bound twice as source");
+      if (!bound_targets.insert(b.dst).second)
+        return err_at(b.loc, c.name + ": '" + b.dst + "' bound twice as target");
+    }
+
+    // Completeness warnings: child ports never mentioned in a binding.
+    for (const auto& inst : c.instances) {
+      const std::vector<AstPort>* ports = nullptr;
+      if (const AstPrimitive* p = doc.primitive(inst.type_name); p != nullptr) ports = &p->ports;
+      else if (const AstComposite* sub = doc.composite(inst.type_name); sub != nullptr)
+        ports = &sub->ports;
+      if (ports == nullptr) continue;
+      for (const AstPort& port : *ports) {
+        std::string ep = inst.name + "." + port.name;
+        if (bound_sources.count(ep) == 0 && bound_targets.count(ep) == 0)
+          report.warnings.push_back(c.name + ": port '" + ep + "' is not bound");
+      }
+    }
+    if (c.name != top) {
+      for (const AstPort& port : c.ports) {
+        // Inner side of a composite port must be bound inside the composite.
+        std::string ep = "this." + port.name;
+        if (bound_sources.count(ep) == 0 && bound_targets.count(ep) == 0)
+          report.warnings.push_back(c.name + ": boundary port '" + port.name +
+                                    "' unused inside the composite");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace dfdbg::mind

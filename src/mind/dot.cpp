@@ -1,0 +1,70 @@
+#include "dfdbg/mind/dot.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::mind {
+
+namespace {
+
+/// Node id for "<instance path>/<child>" ("pred/ipred").
+std::string node_id(const std::string& path, const std::string& child) {
+  return path.empty() ? child : path + "/" + child;
+}
+
+void emit_composite(const AstDocument& doc, const AstComposite& c, const std::string& path,
+                    std::ostringstream& os, int depth) {
+  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  os << indent << "subgraph \"cluster_" << (path.empty() ? c.name : path) << "\" {\n";
+  os << indent << "  label=\"" << (path.empty() ? c.name : path) << "\"; style=dashed;\n";
+  if (c.controller.has_value()) {
+    os << indent << "  \"" << node_id(path, "controller")
+       << "\" [shape=box, style=filled, fillcolor=palegreen, label=\"controller\"];\n";
+  }
+  for (const AstInstance& inst : c.instances) {
+    if (const AstPrimitive* p = doc.primitive(inst.type_name); p != nullptr) {
+      (void)p;
+      os << indent << "  \"" << node_id(path, inst.name)
+         << "\" [shape=ellipse, label=\"" << inst.name << "\"];\n";
+    } else if (const AstComposite* sub = doc.composite(inst.type_name); sub != nullptr) {
+      emit_composite(doc, *sub, node_id(path, inst.name), os, depth + 1);
+    }
+  }
+  // Boundary ports as small points so hierarchical arcs have anchors.
+  for (const AstPort& port : c.ports) {
+    os << indent << "  \"" << node_id(path, "this." + port.name)
+       << "\" [shape=point, xlabel=\"" << port.name << "\"];\n";
+  }
+  os << indent << "}\n";
+  for (const AstBinding& b : c.bindings) {
+    auto ep_node = [&](const std::string& ep) {
+      auto dot = ep.find('.');
+      std::string who = ep.substr(0, dot);
+      if (who == "this") return node_id(path, ep);
+      // Child endpoint: if the child is a composite, anchor on its boundary
+      // port node; otherwise on the child node itself.
+      for (const AstInstance& inst : c.instances) {
+        if (inst.name == who && doc.composite(inst.type_name) != nullptr)
+          return node_id(node_id(path, who), "this." + ep.substr(dot + 1));
+      }
+      return node_id(path, who);
+    };
+    os << indent << "\"" << ep_node(b.src) << "\" -> \"" << ep_node(b.dst)
+       << "\" [label=\"" << b.src.substr(b.src.find('.') + 1) << "\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const AstDocument& doc, const std::string& top) {
+  std::ostringstream os;
+  os << "digraph \"" << top << "\" {\n  rankdir=LR;\n  compound=true;\n";
+  const AstComposite* c = doc.composite(top);
+  if (c != nullptr) emit_composite(doc, *c, "", os, 1);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dfdbg::mind

@@ -1,0 +1,119 @@
+#include "dfdbg/mind/emit.hpp"
+
+#include <sstream>
+
+namespace dfdbg::mind {
+
+namespace {
+
+std::string typeref(const AstTypeRef& t) {
+  return t.header.empty() ? t.type : t.header + ":" + t.type;
+}
+
+void emit_port(std::ostringstream& os, const AstPort& p, const char* indent) {
+  os << indent << (p.is_input ? "input  " : "output ") << typeref(p.type) << " as " << p.name
+     << ";\n";
+}
+
+}  // namespace
+
+std::string emit_adl(const AstDocument& doc) {
+  std::ostringstream os;
+  for (const AstStructDecl& s : doc.structs) {
+    os << "@Type\nstruct " << s.name << " {\n";
+    for (const auto& f : s.fields)
+      os << "  " << f.type << " " << f.name << (f.hex ? " hex" : "") << ";\n";
+    os << "}\n\n";
+  }
+  for (const AstPrimitive& p : doc.primitives) {
+    os << "@Filter\nprimitive " << p.name << " {\n";
+    for (const AstDatum& d : p.data)
+      os << "  " << (d.is_attribute ? "attribute " : "data      ") << typeref(d.type) << " "
+         << d.name << ";\n";
+    if (!p.source.empty()) os << "  source    " << p.source << ";\n";
+    for (const AstPort& port : p.ports) emit_port(os, port, "  ");
+    os << "}\n\n";
+  }
+  for (const AstComposite& c : doc.composites) {
+    os << "@Module\ncomposite " << c.name << " {\n";
+    if (c.controller.has_value()) {
+      os << "  contains as controller {\n";
+      for (const AstPort& port : c.controller->ports) emit_port(os, port, "    ");
+      if (!c.controller->source.empty())
+        os << "    source " << c.controller->source << ";\n";
+      os << "  }\n";
+    }
+    for (const AstPort& port : c.ports) emit_port(os, port, "  ");
+    for (const AstInstance& inst : c.instances)
+      os << "  contains " << inst.type_name << " as " << inst.name << ";\n";
+    for (const AstBinding& b : c.bindings)
+      os << "  binds " << b.src << " to " << b.dst << ";\n";
+    os << "}\n\n";
+  }
+  return os.str();
+}
+
+bool documents_equal(const AstDocument& a, const AstDocument& b) {
+  auto ports_eq = [](const std::vector<AstPort>& x, const std::vector<AstPort>& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i].is_input != y[i].is_input || x[i].name != y[i].name ||
+          x[i].type.type != y[i].type.type || x[i].type.header != y[i].type.header)
+        return false;
+    }
+    return true;
+  };
+  if (a.structs.size() != b.structs.size() || a.primitives.size() != b.primitives.size() ||
+      a.composites.size() != b.composites.size())
+    return false;
+  for (std::size_t i = 0; i < a.structs.size(); ++i) {
+    const auto& x = a.structs[i];
+    const auto& y = b.structs[i];
+    if (x.name != y.name || x.fields.size() != y.fields.size()) return false;
+    for (std::size_t f = 0; f < x.fields.size(); ++f) {
+      if (x.fields[f].name != y.fields[f].name || x.fields[f].type != y.fields[f].type ||
+          x.fields[f].hex != y.fields[f].hex)
+        return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.primitives.size(); ++i) {
+    const auto& x = a.primitives[i];
+    const auto& y = b.primitives[i];
+    if (x.name != y.name || x.source != y.source || !ports_eq(x.ports, y.ports) ||
+        x.data.size() != y.data.size())
+      return false;
+    for (std::size_t d = 0; d < x.data.size(); ++d) {
+      if (x.data[d].name != y.data[d].name ||
+          x.data[d].is_attribute != y.data[d].is_attribute ||
+          x.data[d].type.type != y.data[d].type.type ||
+          x.data[d].type.header != y.data[d].type.header)
+        return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.composites.size(); ++i) {
+    const auto& x = a.composites[i];
+    const auto& y = b.composites[i];
+    if (x.name != y.name || !ports_eq(x.ports, y.ports) ||
+        x.controller.has_value() != y.controller.has_value())
+      return false;
+    if (x.controller.has_value()) {
+      if (x.controller->source != y.controller->source ||
+          !ports_eq(x.controller->ports, y.controller->ports))
+        return false;
+    }
+    if (x.instances.size() != y.instances.size() || x.bindings.size() != y.bindings.size())
+      return false;
+    for (std::size_t k = 0; k < x.instances.size(); ++k) {
+      if (x.instances[k].type_name != y.instances[k].type_name ||
+          x.instances[k].name != y.instances[k].name)
+        return false;
+    }
+    for (std::size_t k = 0; k < x.bindings.size(); ++k) {
+      if (x.bindings[k].src != y.bindings[k].src || x.bindings[k].dst != y.bindings[k].dst)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dfdbg::mind

@@ -1,0 +1,24 @@
+// Semantic analysis of parsed ADL documents: name resolution, direction and
+// type checking of bindings, completeness diagnostics. This is the checking
+// the MIND compiler performs before generating the PEDF C++.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/mind/ast.hpp"
+
+namespace dfdbg::mind {
+
+/// Non-fatal findings (e.g. unbound filter port that elaboration will later
+/// reject if still unbound).
+struct AnalysisReport {
+  std::vector<std::string> warnings;
+};
+
+/// Validates `doc`. `top` is the composite to treat as the application root
+/// (its own ports may legitimately stay unbound — they become host I/O).
+Result<AnalysisReport> analyze(const AstDocument& doc, const std::string& top);
+
+}  // namespace dfdbg::mind

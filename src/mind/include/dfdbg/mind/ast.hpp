@@ -1,0 +1,128 @@
+// AST of the MIND architecture description language (+PEDF annotations), as
+// used in paper §IV-A. The grammar is taken from the paper's two excerpts:
+//
+//   @Module
+//   composite AModule {
+//     contains as controller { output U32 as cmd_out_1; source ctrl.c; }
+//     input  U32 as module_in;
+//     output U32 as module_out;
+//     contains AFilter as filter_1;
+//     binds controller.cmd_out_1 to filter_1.cmd_in;
+//   }
+//
+//   @Filter
+//   primitive AFilter {
+//     data      stddefs.h:U32 a_private_data;
+//     attribute stddefs.h:U32 an_attribute;
+//     source    the_source.c;
+//     input  stddefs.h:U32 as an_input;
+//     output stddefs.h:U32 as an_output;
+//   }
+//
+// One extension beyond the paper (needed to declare token struct types like
+// CbCrMB_t, which the paper defines in C headers we do not have):
+//
+//   @Type
+//   struct CbCrMB_t { U32 Addr hex; U32 InterNotIntra; U32 Izz; }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dfdbg::mind {
+
+/// Location of a construct in the ADL source (for diagnostics).
+struct SrcLoc {
+  int line = 0;
+  int col = 0;
+};
+
+/// "stddefs.h:U32" or bare "U32".
+struct AstTypeRef {
+  std::string header;  ///< may be empty
+  std::string type;
+  SrcLoc loc;
+};
+
+/// `input U32 as name;` / `output U32 as name;`
+struct AstPort {
+  bool is_input = true;
+  AstTypeRef type;
+  std::string name;
+  SrcLoc loc;
+};
+
+/// Inline controller of a composite: `contains as controller { ... }`.
+struct AstController {
+  std::vector<AstPort> ports;
+  std::string source;  ///< e.g. "ctrl_source.c"
+  SrcLoc loc;
+};
+
+/// `contains AFilter as filter_1;`
+struct AstInstance {
+  std::string type_name;
+  std::string name;
+  SrcLoc loc;
+};
+
+/// `binds a.b to c.d;`
+struct AstBinding {
+  std::string src;
+  std::string dst;
+  SrcLoc loc;
+};
+
+/// `data stddefs.h:U32 name;` or `attribute ... name;`
+struct AstDatum {
+  bool is_attribute = false;
+  AstTypeRef type;
+  std::string name;
+  SrcLoc loc;
+};
+
+/// `@Module composite Name { ... }`
+struct AstComposite {
+  std::string name;
+  std::optional<AstController> controller;
+  std::vector<AstPort> ports;
+  std::vector<AstInstance> instances;
+  std::vector<AstBinding> bindings;
+  SrcLoc loc;
+};
+
+/// `@Filter primitive Name { ... }`
+struct AstPrimitive {
+  std::string name;
+  std::vector<AstDatum> data;
+  std::string source;
+  std::vector<AstPort> ports;
+  SrcLoc loc;
+};
+
+/// `@Type struct Name { U32 field [hex]; ... }`
+struct AstStructDecl {
+  struct Field {
+    std::string type;
+    std::string name;
+    bool hex = false;
+  };
+  std::string name;
+  std::vector<Field> fields;
+  SrcLoc loc;
+};
+
+/// One parsed ADL document.
+struct AstDocument {
+  std::vector<AstComposite> composites;
+  std::vector<AstPrimitive> primitives;
+  std::vector<AstStructDecl> structs;
+
+  /// Lookup helpers (nullptr if absent).
+  [[nodiscard]] const AstComposite* composite(const std::string& name) const;
+  [[nodiscard]] const AstPrimitive* primitive(const std::string& name) const;
+  [[nodiscard]] const AstStructDecl* struct_decl(const std::string& name) const;
+};
+
+}  // namespace dfdbg::mind

@@ -1,0 +1,16 @@
+// Graphviz DOT rendering of an ADL composite — the ground-truth version of
+// the paper's Fig. 2 graph (the debugger's reconstructed view is rendered by
+// dfdbg::dbg::GraphModel::to_dot and must agree with this one).
+#pragma once
+
+#include <string>
+
+#include "dfdbg/mind/ast.hpp"
+
+namespace dfdbg::mind {
+
+/// Renders composite `top` (recursively) in DOT. Filters are round boxes,
+/// controllers green rectangles, module boundaries dashed clusters.
+std::string to_dot(const AstDocument& doc, const std::string& top);
+
+}  // namespace dfdbg::mind

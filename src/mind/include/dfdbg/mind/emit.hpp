@@ -1,0 +1,18 @@
+// ADL pretty-printer: serializes an AST back to MIND source text. Useful as
+// an architecture formatter and as the inverse of parse() — emit(parse(x))
+// parses back to a structurally identical document (round-trip property).
+#pragma once
+
+#include <string>
+
+#include "dfdbg/mind/ast.hpp"
+
+namespace dfdbg::mind {
+
+/// Renders the whole document in canonical formatting.
+std::string emit_adl(const AstDocument& doc);
+
+/// Structural equality of two documents (ignores source locations).
+bool documents_equal(const AstDocument& a, const AstDocument& b);
+
+}  // namespace dfdbg::mind

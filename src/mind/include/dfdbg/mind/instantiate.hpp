@@ -1,0 +1,89 @@
+// Instantiation: turning a checked ADL document into a live PEDF module
+// hierarchy — the role of the MIND compiler's C++ generation phase
+// ("its compiler generates a C++ version of the architecture, based on PEDF
+// and platform-specific templates", paper §IV-A).
+//
+// Behaviour is attached through a FilterRegistry: each primitive type name
+// maps to a filter factory and each composite name may map to a controller
+// factory. Unregistered primitives get a GenericFilter (consume one token
+// per input, produce one per output) and composites with an inline
+// controller get a DefaultController that fires all child filters every
+// step — enough to execute any parsed architecture out of the box.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/mind/ast.hpp"
+#include "dfdbg/pedf/controller.hpp"
+#include "dfdbg/pedf/filter.hpp"
+#include "dfdbg/pedf/module.hpp"
+#include "dfdbg/pedf/value.hpp"
+
+namespace dfdbg::mind {
+
+/// Builds the Filter implementing primitive `ast`, named `instance_name`.
+/// The factory must NOT add ports, data or attributes that the architecture
+/// declares — the instantiator adds those afterwards from the AST.
+using FilterFactory = std::function<std::unique_ptr<pedf::Filter>(
+    const AstPrimitive& ast, const std::string& instance_name)>;
+
+/// Builds the Controller of composite `ast` (named per application
+/// convention, e.g. "pred_controller").
+using ControllerFactory = std::function<std::unique_ptr<pedf::Controller>(
+    const AstComposite& ast, const std::string& module_instance)>;
+
+/// Behaviour bindings for instantiation.
+class FilterRegistry {
+ public:
+  /// Registers the implementation of primitive type `type_name`.
+  void register_filter(std::string type_name, FilterFactory factory);
+  /// Registers the controller of composite `composite_name`.
+  void register_controller(std::string composite_name, ControllerFactory factory);
+
+  /// Steps the DefaultController runs before terminating its module.
+  void set_default_steps(std::uint64_t steps) { default_steps_ = steps; }
+  [[nodiscard]] std::uint64_t default_steps() const { return default_steps_; }
+
+  [[nodiscard]] const FilterFactory* filter_factory(const std::string& type) const;
+  [[nodiscard]] const ControllerFactory* controller_factory(const std::string& comp) const;
+
+ private:
+  std::map<std::string, FilterFactory> filters_;
+  std::map<std::string, ControllerFactory> controllers_;
+  std::uint64_t default_steps_ = 1;
+};
+
+/// Instantiates composite `top` of `doc` as a PEDF module named
+/// `instance_name`. Declared struct types are registered into `types`.
+/// `doc` must have passed analyze().
+Result<std::unique_ptr<pedf::Module>> instantiate(const AstDocument& doc,
+                                                  const std::string& top,
+                                                  const std::string& instance_name,
+                                                  pedf::TypeRegistry& types,
+                                                  const FilterRegistry& registry);
+
+/// Fallback filter used for primitives without a registered implementation:
+/// one step = pop one token from every input, push one zero token on every
+/// output (rate-1 SDF-like behaviour).
+class GenericFilter : public pedf::Filter {
+ public:
+  explicit GenericFilter(std::string name) : pedf::Filter(std::move(name)) {}
+  void work(pedf::FilterContext& pedf) override;
+};
+
+/// Fallback controller: N steps of "fire every child filter once".
+class DefaultController : public pedf::Controller {
+ public:
+  DefaultController(std::string name, std::uint64_t steps)
+      : pedf::Controller(std::move(name)), steps_(steps) {}
+  void control(pedf::ControllerContext& ctx) override;
+
+ private:
+  std::uint64_t steps_;
+};
+
+}  // namespace dfdbg::mind

@@ -1,0 +1,34 @@
+// Tokenizer for the MIND ADL. Identifiers may contain dots (file names like
+// `ctrl_source.c` and header-qualified types like `stddefs.h:U32` appear in
+// the grammar); `//` and `/* */` comments are skipped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfdbg/mind/ast.hpp"
+
+namespace dfdbg::mind {
+
+enum class TokKind : std::uint8_t {
+  kIdent,      ///< identifiers, keywords, file names
+  kAnnotation, ///< @Module, @Filter, @Type
+  kLBrace,
+  kRBrace,
+  kSemi,
+  kColon,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  SrcLoc loc;
+};
+
+/// Splits `src` into tokens. On lexical error returns a single kEnd token and
+/// sets `*error` (never throws).
+std::vector<Token> lex(std::string_view src, std::string* error);
+
+}  // namespace dfdbg::mind

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the MIND ADL (grammar in ast.hpp).
+#pragma once
+
+#include <string_view>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/mind/ast.hpp"
+
+namespace dfdbg::mind {
+
+/// Parses one ADL document. Errors carry line:col positions.
+Result<AstDocument> parse(std::string_view source);
+
+}  // namespace dfdbg::mind

@@ -1,0 +1,171 @@
+#include "dfdbg/mind/instantiate.hpp"
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::mind {
+
+using pedf::PortDir;
+using pedf::TypeDesc;
+using pedf::Value;
+
+void FilterRegistry::register_filter(std::string type_name, FilterFactory factory) {
+  filters_[std::move(type_name)] = std::move(factory);
+}
+
+void FilterRegistry::register_controller(std::string composite_name, ControllerFactory factory) {
+  controllers_[std::move(composite_name)] = std::move(factory);
+}
+
+const FilterFactory* FilterRegistry::filter_factory(const std::string& type) const {
+  auto it = filters_.find(type);
+  return it == filters_.end() ? nullptr : &it->second;
+}
+
+const ControllerFactory* FilterRegistry::controller_factory(const std::string& comp) const {
+  auto it = controllers_.find(comp);
+  return it == controllers_.end() ? nullptr : &it->second;
+}
+
+void GenericFilter::work(pedf::FilterContext& pedf) {
+  // Rate-1 behaviour: read every input once, then emit one zero token per
+  // output. Keeps arbitrary parsed graphs executable for testing.
+  for (pedf::Port* p : ports_of(PortDir::kIn)) (void)pedf.in(p->name()).get();
+  for (pedf::Port* p : ports_of(PortDir::kOut))
+    pedf.out(p->name()).put(Value::zero_of(p->type()));
+}
+
+void DefaultController::control(pedf::ControllerContext& ctx) {
+  for (std::uint64_t s = 0; s < steps_; ++s) {
+    ctx.next_step();
+    // Broadcast one zero command on every bound controller output so that
+    // generic filters popping their cmd inputs never starve.
+    for (pedf::Port* p : ctx.self().ports_of(PortDir::kOut)) {
+      if (p->link() != nullptr) ctx.send(p->name(), Value::zero_of(p->type()));
+    }
+    for (const auto& f : ctx.module().filters()) ctx.actor_start(f->name());
+    ctx.wait_for_actor_init();
+    for (const auto& f : ctx.module().filters()) ctx.actor_sync(f->name());
+    ctx.wait_for_actor_sync();
+  }
+}
+
+namespace {
+
+Status resolve_type(const AstTypeRef& t, pedf::TypeRegistry& types, TypeDesc* out) {
+  if (!types.resolve(t.type, out))
+    return Status::error(strformat("%d:%d: unknown type '%s'", t.loc.line, t.loc.col,
+                                   t.type.c_str()));
+  return Status{};
+}
+
+/// Builds one instance of composite `ast`.
+Result<std::unique_ptr<pedf::Module>> build_composite(const AstDocument& doc,
+                                                      const AstComposite& ast,
+                                                      const std::string& instance_name,
+                                                      pedf::TypeRegistry& types,
+                                                      const FilterRegistry& registry) {
+  auto mod = std::make_unique<pedf::Module>(instance_name);
+
+  for (const AstPort& p : ast.ports) {
+    TypeDesc td;
+    if (Status s = resolve_type(p.type, types, &td); !s.ok()) return s;
+    mod->add_port(p.name, p.is_input ? PortDir::kIn : PortDir::kOut, td);
+  }
+
+  if (ast.controller.has_value()) {
+    std::unique_ptr<pedf::Controller> ctl;
+    if (const ControllerFactory* f = registry.controller_factory(ast.name); f != nullptr) {
+      ctl = (*f)(ast, instance_name);
+    } else {
+      ctl = std::make_unique<DefaultController>("controller", registry.default_steps());
+    }
+    for (const AstPort& p : ast.controller->ports) {
+      TypeDesc td;
+      if (Status s = resolve_type(p.type, types, &td); !s.ok()) return s;
+      if (ctl->port(p.name) == nullptr)
+        ctl->add_port(p.name, p.is_input ? PortDir::kIn : PortDir::kOut, td);
+    }
+    pedf::Controller& installed = mod->set_controller(std::move(ctl));
+    // Bindings in the ADL address the controller as "controller.<port>"; if
+    // the factory chose another name (e.g. "pred_controller"), the module
+    // child lookup must still work, so rewrite endpoints below.
+    (void)installed;
+  }
+
+  for (const AstInstance& inst : ast.instances) {
+    if (const AstPrimitive* prim = doc.primitive(inst.type_name); prim != nullptr) {
+      std::unique_ptr<pedf::Filter> filt;
+      if (const FilterFactory* f = registry.filter_factory(inst.type_name); f != nullptr) {
+        filt = (*f)(*prim, inst.name);
+      } else {
+        filt = std::make_unique<GenericFilter>(inst.name);
+      }
+      for (const AstPort& p : prim->ports) {
+        TypeDesc td;
+        if (Status s = resolve_type(p.type, types, &td); !s.ok()) return s;
+        filt->add_port(p.name, p.is_input ? PortDir::kIn : PortDir::kOut, td);
+      }
+      for (const AstDatum& d : prim->data) {
+        TypeDesc td;
+        if (Status s = resolve_type(d.type, types, &td); !s.ok()) return s;
+        if (d.is_attribute)
+          filt->declare_attribute(d.name, Value::zero_of(td));
+        else
+          filt->declare_data(d.name, Value::zero_of(td));
+      }
+      // Factories may have installed a full source listing; only fill in
+      // the bare file name from the ADL when they did not.
+      if (!prim->source.empty() && filt->source_lines().empty())
+        filt->set_source(prim->source, 1, {});
+      mod->add_filter(std::move(filt));
+    } else if (const AstComposite* sub = doc.composite(inst.type_name); sub != nullptr) {
+      auto m = build_composite(doc, *sub, inst.name, types, registry);
+      if (!m.ok()) return m.status();
+      mod->add_module(std::move(*m));
+    } else {
+      return Status::error(strformat("%d:%d: unknown instance type '%s'", inst.loc.line,
+                                     inst.loc.col, inst.type_name.c_str()));
+    }
+  }
+
+  // Bindings: rewrite "controller." endpoints to the actual controller name.
+  const std::string ctl_name =
+      mod->controller() != nullptr ? mod->controller()->name() : "controller";
+  auto rewrite = [&](const std::string& ep) {
+    if (starts_with(ep, "controller.") && ctl_name != "controller")
+      return ctl_name + ep.substr(std::string("controller").size());
+    return ep;
+  };
+  for (const AstBinding& b : ast.bindings) mod->bind(rewrite(b.src), rewrite(b.dst));
+
+  return mod;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<pedf::Module>> instantiate(const AstDocument& doc,
+                                                  const std::string& top,
+                                                  const std::string& instance_name,
+                                                  pedf::TypeRegistry& types,
+                                                  const FilterRegistry& registry) {
+  const AstComposite* ast = doc.composite(top);
+  if (ast == nullptr) return Status::error("top composite '" + top + "' is not defined");
+
+  for (const AstStructDecl& s : doc.structs) {
+    if (types.find_struct(s.name) != nullptr) continue;
+    std::vector<pedf::FieldDesc> fields;
+    for (const auto& f : s.fields) {
+      pedf::FieldDesc fd;
+      fd.name = f.name;
+      fd.print_hex = f.hex;
+      if (!pedf::parse_scalar_type(f.type, &fd.type))
+        return Status::error("struct " + s.name + ": non-scalar field type " + f.type);
+      fields.push_back(std::move(fd));
+    }
+    types.define_struct(s.name, std::move(fields));
+  }
+
+  return build_composite(doc, *ast, instance_name, types, registry);
+}
+
+}  // namespace dfdbg::mind

@@ -1,0 +1,90 @@
+#include "dfdbg/mind/lexer.hpp"
+
+#include <cctype>
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::mind {
+
+namespace {
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.';
+}
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, std::string* error) {
+  std::vector<Token> out;
+  error->clear();
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  auto bump = [&](char c) {
+    if (c == '\n') {
+      line++;
+      col = 1;
+    } else {
+      col++;
+    }
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      bump(c);
+      i++;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') {
+        bump(src[i]);
+        i++;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      bump(src[i]); bump(src[i + 1]);
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        bump(src[i]);
+        i++;
+      }
+      if (i + 1 >= src.size()) {
+        *error = strformat("%d:%d: unterminated block comment", line, col);
+        return {Token{TokKind::kEnd, "", {line, col}}};
+      }
+      bump(src[i]); bump(src[i + 1]);
+      i += 2;
+      continue;
+    }
+    SrcLoc loc{line, col};
+    if (c == '{') { out.push_back({TokKind::kLBrace, "{", loc}); bump(c); i++; continue; }
+    if (c == '}') { out.push_back({TokKind::kRBrace, "}", loc}); bump(c); i++; continue; }
+    if (c == ';') { out.push_back({TokKind::kSemi, ";", loc}); bump(c); i++; continue; }
+    if (c == ':') { out.push_back({TokKind::kColon, ":", loc}); bump(c); i++; continue; }
+    if (c == '@') {
+      std::size_t start = i + 1;
+      std::size_t j = start;
+      while (j < src.size() && ident_char(src[j])) j++;
+      if (j == start) {
+        *error = strformat("%d:%d: empty annotation", line, col);
+        return {Token{TokKind::kEnd, "", loc}};
+      }
+      out.push_back({TokKind::kAnnotation, std::string(src.substr(start, j - start)), loc});
+      for (std::size_t k = i; k < j; ++k) bump(src[k]);
+      i = j;
+      continue;
+    }
+    if (ident_char(c)) {
+      std::size_t j = i;
+      while (j < src.size() && ident_char(src[j])) j++;
+      out.push_back({TokKind::kIdent, std::string(src.substr(i, j - i)), loc});
+      for (std::size_t k = i; k < j; ++k) bump(src[k]);
+      i = j;
+      continue;
+    }
+    *error = strformat("%d:%d: unexpected character '%c'", line, col, c);
+    return {Token{TokKind::kEnd, "", loc}};
+  }
+  out.push_back({TokKind::kEnd, "", {line, col}});
+  return out;
+}
+
+}  // namespace dfdbg::mind

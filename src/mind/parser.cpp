@@ -1,0 +1,304 @@
+#include "dfdbg/mind/parser.hpp"
+
+#include "dfdbg/common/strings.hpp"
+#include "dfdbg/mind/lexer.hpp"
+
+namespace dfdbg::mind {
+
+const AstComposite* AstDocument::composite(const std::string& name) const {
+  for (const auto& c : composites)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const AstPrimitive* AstDocument::primitive(const std::string& name) const {
+  for (const auto& p : primitives)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+const AstStructDecl* AstDocument::struct_decl(const std::string& name) const {
+  for (const auto& s : structs)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<AstDocument> run() {
+    AstDocument doc;
+    while (!at(TokKind::kEnd)) {
+      if (!at(TokKind::kAnnotation)) return err("expected @Module, @Filter or @Type annotation");
+      std::string ann = cur().text;
+      next();
+      if (ann == "Module") {
+        auto c = parse_composite();
+        if (!c.ok()) return c.status();
+        doc.composites.push_back(std::move(*c));
+      } else if (ann == "Filter") {
+        auto p = parse_primitive();
+        if (!p.ok()) return p.status();
+        doc.primitives.push_back(std::move(*p));
+      } else if (ann == "Type") {
+        auto s = parse_struct();
+        if (!s.ok()) return s.status();
+        doc.structs.push_back(std::move(*s));
+      } else {
+        return err("unknown annotation @" + ann);
+      }
+    }
+    return doc;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool at_ident(std::string_view word) const {
+    return cur().kind == TokKind::kIdent && cur().text == word;
+  }
+  void next() {
+    if (pos_ + 1 < toks_.size()) pos_++;
+  }
+
+  Status err(const std::string& msg) const {
+    return Status::error(
+        strformat("%d:%d: %s (got '%s')", cur().loc.line, cur().loc.col, msg.c_str(),
+                  cur().text.c_str()));
+  }
+
+  Status expect(TokKind k, const char* what) {
+    if (!at(k)) return Status::error(strformat("%d:%d: expected %s (got '%s')", cur().loc.line,
+                                               cur().loc.col, what, cur().text.c_str()));
+    next();
+    return Status{};
+  }
+
+  Result<std::string> expect_ident(const char* what) {
+    if (!at(TokKind::kIdent)) return err(std::string("expected ") + what);
+    std::string s = cur().text;
+    next();
+    return s;
+  }
+
+  /// typeref := IDENT (':' IDENT)?  — "stddefs.h:U32" lexes as
+  /// IDENT("stddefs.h") ':' IDENT("U32"); bare "U32" as one IDENT.
+  Result<AstTypeRef> parse_typeref() {
+    AstTypeRef t;
+    t.loc = cur().loc;
+    auto first = expect_ident("type name");
+    if (!first.ok()) return first.status();
+    if (at(TokKind::kColon)) {
+      next();
+      auto second = expect_ident("type name after ':'");
+      if (!second.ok()) return second.status();
+      t.header = std::move(*first);
+      t.type = std::move(*second);
+    } else {
+      t.type = std::move(*first);
+    }
+    return t;
+  }
+
+  /// port := ('input'|'output') typeref 'as' IDENT ';'  (caller consumed the
+  /// direction keyword and passes it in).
+  Result<AstPort> parse_port(bool is_input, SrcLoc loc) {
+    AstPort p;
+    p.is_input = is_input;
+    p.loc = loc;
+    auto t = parse_typeref();
+    if (!t.ok()) return t.status();
+    p.type = std::move(*t);
+    if (!at_ident("as")) return err("expected 'as'");
+    next();
+    auto n = expect_ident("port name");
+    if (!n.ok()) return n.status();
+    p.name = std::move(*n);
+    if (Status s = expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+    return p;
+  }
+
+  Result<AstComposite> parse_composite() {
+    AstComposite c;
+    c.loc = cur().loc;
+    if (!at_ident("composite")) return err("expected 'composite'");
+    next();
+    auto name = expect_ident("composite name");
+    if (!name.ok()) return name.status();
+    c.name = std::move(*name);
+    if (Status s = expect(TokKind::kLBrace, "'{'"); !s.ok()) return s;
+    while (!at(TokKind::kRBrace)) {
+      if (at(TokKind::kEnd)) return err("unterminated composite");
+      if (at_ident("contains")) {
+        SrcLoc loc = cur().loc;
+        next();
+        if (at_ident("as")) {
+          // inline controller: contains as controller { ... }
+          next();
+          if (!at_ident("controller")) return err("expected 'controller'");
+          next();
+          if (c.controller.has_value()) return err("duplicate controller");
+          auto ctl = parse_controller_body(loc);
+          if (!ctl.ok()) return ctl.status();
+          c.controller = std::move(*ctl);
+        } else {
+          AstInstance inst;
+          inst.loc = loc;
+          auto ty = expect_ident("instance type");
+          if (!ty.ok()) return ty.status();
+          inst.type_name = std::move(*ty);
+          if (!at_ident("as")) return err("expected 'as'");
+          next();
+          auto nm = expect_ident("instance name");
+          if (!nm.ok()) return nm.status();
+          inst.name = std::move(*nm);
+          if (Status s = expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+          c.instances.push_back(std::move(inst));
+        }
+      } else if (at_ident("input") || at_ident("output")) {
+        bool is_input = cur().text == "input";
+        SrcLoc loc = cur().loc;
+        next();
+        auto p = parse_port(is_input, loc);
+        if (!p.ok()) return p.status();
+        c.ports.push_back(std::move(*p));
+      } else if (at_ident("binds")) {
+        AstBinding b;
+        b.loc = cur().loc;
+        next();
+        auto src = expect_ident("binding source endpoint");
+        if (!src.ok()) return src.status();
+        b.src = std::move(*src);
+        if (!at_ident("to")) return err("expected 'to'");
+        next();
+        auto dst = expect_ident("binding target endpoint");
+        if (!dst.ok()) return dst.status();
+        b.dst = std::move(*dst);
+        if (Status s = expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+        c.bindings.push_back(std::move(b));
+      } else {
+        return err("unexpected item in composite");
+      }
+    }
+    next();  // '}'
+    return c;
+  }
+
+  Result<AstController> parse_controller_body(SrcLoc loc) {
+    AstController ctl;
+    ctl.loc = loc;
+    if (Status s = expect(TokKind::kLBrace, "'{'"); !s.ok()) return s;
+    while (!at(TokKind::kRBrace)) {
+      if (at(TokKind::kEnd)) return err("unterminated controller");
+      if (at_ident("input") || at_ident("output")) {
+        bool is_input = cur().text == "input";
+        SrcLoc ploc = cur().loc;
+        next();
+        auto p = parse_port(is_input, ploc);
+        if (!p.ok()) return p.status();
+        ctl.ports.push_back(std::move(*p));
+      } else if (at_ident("source")) {
+        next();
+        auto f = expect_ident("source file name");
+        if (!f.ok()) return f.status();
+        ctl.source = std::move(*f);
+        if (Status s = expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+      } else {
+        return err("unexpected item in controller");
+      }
+    }
+    next();
+    return ctl;
+  }
+
+  Result<AstPrimitive> parse_primitive() {
+    AstPrimitive p;
+    p.loc = cur().loc;
+    if (!at_ident("primitive")) return err("expected 'primitive'");
+    next();
+    auto name = expect_ident("primitive name");
+    if (!name.ok()) return name.status();
+    p.name = std::move(*name);
+    if (Status s = expect(TokKind::kLBrace, "'{'"); !s.ok()) return s;
+    while (!at(TokKind::kRBrace)) {
+      if (at(TokKind::kEnd)) return err("unterminated primitive");
+      if (at_ident("data") || at_ident("attribute")) {
+        AstDatum d;
+        d.is_attribute = cur().text == "attribute";
+        d.loc = cur().loc;
+        next();
+        auto t = parse_typeref();
+        if (!t.ok()) return t.status();
+        d.type = std::move(*t);
+        auto n = expect_ident("data name");
+        if (!n.ok()) return n.status();
+        d.name = std::move(*n);
+        if (Status s = expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+        p.data.push_back(std::move(d));
+      } else if (at_ident("source")) {
+        next();
+        auto f = expect_ident("source file name");
+        if (!f.ok()) return f.status();
+        p.source = std::move(*f);
+        if (Status s = expect(TokKind::kSemi, "';'"); !s.ok()) return s;
+      } else if (at_ident("input") || at_ident("output")) {
+        bool is_input = cur().text == "input";
+        SrcLoc loc = cur().loc;
+        next();
+        auto port = parse_port(is_input, loc);
+        if (!port.ok()) return port.status();
+        p.ports.push_back(std::move(*port));
+      } else {
+        return err("unexpected item in primitive");
+      }
+    }
+    next();
+    return p;
+  }
+
+  Result<AstStructDecl> parse_struct() {
+    AstStructDecl s;
+    s.loc = cur().loc;
+    if (!at_ident("struct")) return err("expected 'struct'");
+    next();
+    auto name = expect_ident("struct name");
+    if (!name.ok()) return name.status();
+    s.name = std::move(*name);
+    if (Status st = expect(TokKind::kLBrace, "'{'"); !st.ok()) return st;
+    while (!at(TokKind::kRBrace)) {
+      if (at(TokKind::kEnd)) return err("unterminated struct");
+      AstStructDecl::Field f;
+      auto ty = expect_ident("field type");
+      if (!ty.ok()) return ty.status();
+      f.type = std::move(*ty);
+      auto nm = expect_ident("field name");
+      if (!nm.ok()) return nm.status();
+      f.name = std::move(*nm);
+      if (at_ident("hex")) {
+        f.hex = true;
+        next();
+      }
+      if (Status st = expect(TokKind::kSemi, "';'"); !st.ok()) return st;
+      s.fields.push_back(std::move(f));
+    }
+    next();
+    return s;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AstDocument> parse(std::string_view source) {
+  std::string lex_error;
+  std::vector<Token> toks = lex(source, &lex_error);
+  if (!lex_error.empty()) return Status::error(lex_error);
+  return Parser(std::move(toks)).run();
+}
+
+}  // namespace dfdbg::mind

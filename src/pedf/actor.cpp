@@ -1,0 +1,36 @@
+#include "dfdbg/pedf/actor.hpp"
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg::pedf {
+
+const char* to_string(ActorKind k) {
+  switch (k) {
+    case ActorKind::kFilter: return "filter";
+    case ActorKind::kController: return "controller";
+    case ActorKind::kModule: return "module";
+    case ActorKind::kHostIo: return "host-io";
+  }
+  return "?";
+}
+
+Port& Actor::add_port(std::string name, PortDir dir, TypeDesc type) {
+  DFDBG_CHECK_MSG(port(name) == nullptr, "duplicate port '" + name + "' on actor " + name_);
+  ports_.push_back(std::make_unique<Port>(this, std::move(name), dir, type));
+  return *ports_.back();
+}
+
+Port* Actor::port(std::string_view name) const {
+  for (const auto& p : ports_)
+    if (p->name() == name) return p.get();
+  return nullptr;
+}
+
+std::vector<Port*> Actor::ports_of(PortDir dir) const {
+  std::vector<Port*> out;
+  for (const auto& p : ports_)
+    if (p->dir() == dir) out.push_back(p.get());
+  return out;
+}
+
+}  // namespace dfdbg::pedf

@@ -1,0 +1,778 @@
+#include "dfdbg/pedf/application.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dfdbg/common/assert.hpp"
+#include "dfdbg/common/strings.hpp"
+#include "dfdbg/pedf/symbols.hpp"
+
+namespace dfdbg::pedf {
+
+using sim::ArgValue;
+
+Application::Application(sim::Platform& platform, std::string name)
+    : platform_(platform), name_(std::move(name)) {
+  // The framework API symbols exist as soon as the framework is loaded
+  // (a debugger can set breakpoints on them before any graph exists).
+  intern_symbols();
+}
+
+Application::~Application() = default;
+
+Module& Application::set_root(std::unique_ptr<Module> root) {
+  DFDBG_CHECK(root != nullptr && root_ == nullptr);
+  root_ = std::move(root);
+  return *root_;
+}
+
+HostSource& Application::add_host_source(std::string name, const std::string& target,
+                                         std::vector<Value> stream, sim::SimTime period) {
+  DFDBG_CHECK_MSG(!elaborated_, "add_host_source after elaborate");
+  DFDBG_CHECK_MSG(!stream.empty(), "empty host source stream");
+  TypeDesc type = stream.front().type();
+  auto src = std::make_unique<HostSource>(std::move(name), type, std::move(stream), period);
+  HostSource* raw = src.get();
+  host_io_.push_back(std::move(src));
+  host_bindings_.push_back(HostBinding{raw, target, /*is_source=*/true});
+  return *raw;
+}
+
+HostSink& Application::add_host_sink(std::string name, const std::string& target,
+                                     std::size_t expected) {
+  DFDBG_CHECK_MSG(!elaborated_, "add_host_sink after elaborate");
+  // The sink port type is resolved against the target port at elaboration;
+  // start permissive with U32 and fix it up in resolve_bindings().
+  auto sink = std::make_unique<HostSink>(std::move(name), TypeDesc(), expected);
+  HostSink* raw = sink.get();
+  host_io_.push_back(std::move(sink));
+  host_bindings_.push_back(HostBinding{raw, target, /*is_source=*/false});
+  return *raw;
+}
+
+void Application::map_actor(std::string path, std::string pe_name) {
+  DFDBG_CHECK_MSG(!elaborated_, "map_actor after elaborate");
+  pinned_[std::move(path)] = std::move(pe_name);
+}
+
+// ---------------------------------------------------------------------------
+// Elaboration
+// ---------------------------------------------------------------------------
+
+void Application::collect_actors(Module& m) {
+  actors_.push_back(&m);
+  if (m.controller() != nullptr) {
+    m.controller()->set_path(m.path() + "." + m.controller()->name());
+    actors_.push_back(m.controller());
+  }
+  for (const auto& f : m.filters()) {
+    f->set_path(m.path() + "." + f->name());
+    actors_.push_back(f.get());
+  }
+  for (const auto& sub : m.modules()) {
+    sub->set_path(m.path() + "." + sub->name());
+    collect_actors(*sub);
+  }
+}
+
+Status Application::resolve_bindings() {
+  // Endpoint = a concrete Port*. Edges follow the `binds src to dst`
+  // declarations; module boundary ports are pass-through nodes that the
+  // flattening walks straight through.
+  std::map<Port*, Port*> edge;       // data flows key -> value
+  std::set<Port*> edge_targets;
+
+  auto add_edge = [&](Port* a, Port* b) -> Status {
+    if (edge.count(a) != 0)
+      return Status::error("port bound twice as source: " + a->owner().path() + "." + a->name());
+    if (edge_targets.count(b) != 0)
+      return Status::error("port bound twice as target: " + b->owner().path() + "." + b->name());
+    edge[a] = b;
+    edge_targets.insert(b);
+    return Status{};
+  };
+
+  // Resolve one "child.port" / "this.port" endpoint within module `m`.
+  auto resolve_endpoint = [&](Module& m, const std::string& text) -> Result<Port*> {
+    auto dot = text.find('.');
+    if (dot == std::string::npos)
+      return Status::error(m.path() + ": malformed endpoint '" + text + "'");
+    std::string who = text.substr(0, dot);
+    std::string pname = text.substr(dot + 1);
+    Actor* owner = nullptr;
+    if (who == "this") {
+      owner = &m;
+    } else {
+      owner = m.child(who);
+      if (owner == nullptr)
+        return Status::error(m.path() + ": no child '" + who + "' in binding '" + text + "'");
+    }
+    Port* p = owner->port(pname);
+    if (p == nullptr)
+      return Status::error(m.path() + ": no port '" + pname + "' on '" + who + "'");
+    return p;
+  };
+
+  // Gather edges from the whole hierarchy.
+  std::vector<Module*> mods;
+  std::function<void(Module&)> walk = [&](Module& m) {
+    mods.push_back(&m);
+    for (const auto& sub : m.modules()) walk(*sub);
+  };
+  walk(*root_);
+  for (Module* m : mods) {
+    for (const BindingDecl& b : m->bindings()) {
+      auto src = resolve_endpoint(*m, b.src);
+      if (!src.ok()) return src.status();
+      auto dst = resolve_endpoint(*m, b.dst);
+      if (!dst.ok()) return dst.status();
+      if (Status s = add_edge(*src, *dst); !s.ok()) return s;
+    }
+  }
+
+  // Host I/O edges.
+  for (HostBinding& hb : host_bindings_) {
+    // target format: "<module path relative to root, no root prefix>.<port>"
+    // or "<root>.<...>.<port>". Resolve by longest actor-path prefix match.
+    Actor* owner = nullptr;
+    Port* p = nullptr;
+    for (Actor* a : actors_) {
+      const std::string& path = a->path();
+      if (hb.target.size() > path.size() + 1 && starts_with(hb.target, path) &&
+          hb.target[path.size()] == '.') {
+        std::string pname = hb.target.substr(path.size() + 1);
+        if (Port* cand = a->port(pname); cand != nullptr) {
+          if (owner == nullptr || path.size() > owner->path().size()) {
+            owner = a;
+            p = cand;
+          }
+        }
+      }
+    }
+    if (p == nullptr) return Status::error("host binding: cannot resolve target '" + hb.target + "'");
+    if (hb.is_source) {
+      if (Status s = add_edge(hb.host_actor->port("out"), p); !s.ok()) return s;
+    } else {
+      // Fix up the sink's port type to match the graph output it drains.
+      auto* sink_port = hb.host_actor->port("in");
+      *sink_port = Port(hb.host_actor, "in", PortDir::kIn, p->type());
+      if (Status s = add_edge(p, hb.host_actor->port("in")); !s.ok()) return s;
+    }
+  }
+
+  // Flatten chains from every real producer port.
+  auto is_real = [](Port* p) { return p->owner().kind() != ActorKind::kModule; };
+
+  for (Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule) continue;
+    for (const auto& pp : a->ports()) {
+      Port* out = pp.get();
+      if (out->dir() != PortDir::kOut) continue;
+      Port* cur = out;
+      std::size_t hops = 0;
+      while (true) {
+        auto it = edge.find(cur);
+        if (it == edge.end())
+          return Status::error("unbound output port: " + cur->owner().path() + "." + cur->name() +
+                               (cur == out ? "" : " (reached from " + out->owner().path() + "." +
+                                                      out->name() + ")"));
+        Port* nxt = it->second;
+        if (!(nxt->type() == out->type()))
+          return Status::error("type mismatch on binding into " + nxt->owner().path() + "." +
+                               nxt->name() + ": " + out->type().name() + " vs " +
+                               nxt->type().name());
+        if (is_real(nxt)) {
+          if (nxt->dir() != PortDir::kIn)
+            return Status::error("binding targets an output port: " + nxt->owner().path() + "." +
+                                 nxt->name());
+          auto id = LinkId(static_cast<std::uint32_t>(links_.size()));
+          std::string lname = out->owner().name() + "::" + out->name() + " -> " +
+                              nxt->owner().name() + "::" + nxt->name();
+          links_.push_back(std::make_unique<Link>(id, lname, out->type(), out, nxt));
+          out->set_link(links_.back().get());
+          nxt->set_link(links_.back().get());
+          break;
+        }
+        cur = nxt;  // module boundary port: pass through
+        if (++hops > 1000)
+          return Status::error("binding cycle through module ports at " + cur->owner().path() +
+                               "." + cur->name());
+      }
+    }
+  }
+
+  // Every real input port must have ended up on a link.
+  for (Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule) continue;
+    for (const auto& pp : a->ports()) {
+      if (pp->dir() == PortDir::kIn && pp->link() == nullptr)
+        return Status::error("unbound input port: " + a->path() + "." + pp->name());
+    }
+  }
+  return Status{};
+}
+
+void Application::assign_mapping() {
+  std::size_t host_rr = 0;
+  for (Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule) continue;
+    auto it = pinned_.find(a->path());
+    if (it != pinned_.end()) {
+      sim::Pe* pe = platform_.pe_by_name(it->second);
+      DFDBG_CHECK_MSG(pe != nullptr, "unknown PE '" + it->second + "' for " + a->path());
+      a->set_pe(pe);
+      continue;
+    }
+    if (a->kind() == ActorKind::kHostIo) {
+      const auto& hosts = platform_.host_pes();
+      a->set_pe(hosts[host_rr++ % hosts.size()].get());
+    } else {
+      a->set_pe(&platform_.allocate_fabric_pe());
+    }
+  }
+  // Link transports follow the mapping.
+  for (auto& l : links_) {
+    sim::Pe* s = l->src()->owner().pe();
+    sim::Pe* d = l->dst()->owner().pe();
+    if (s->kind() == sim::PeKind::kHost || d->kind() == sim::PeKind::kHost)
+      l->set_transport(LinkTransport::kHostDma);
+    else if (s->cluster_index() == d->cluster_index())
+      l->set_transport(LinkTransport::kLocal);
+    else
+      l->set_transport(LinkTransport::kInterCluster);
+  }
+}
+
+void Application::intern_symbols() {
+  auto& port = platform_.kernel().instrument();
+  syms_.register_actor = port.intern(symbols::kRegisterActor);
+  syms_.register_port = port.intern(symbols::kRegisterPort);
+  syms_.register_link = port.intern(symbols::kRegisterLink);
+  syms_.graph_ready = port.intern(symbols::kGraphReady);
+  syms_.link_push = port.intern(symbols::kLinkPush);
+  syms_.link_pop = port.intern(symbols::kLinkPop);
+  syms_.work_enter = port.intern(symbols::kWorkEnter);
+  syms_.work_exit = port.intern(symbols::kWorkExit);
+  syms_.filter_line = port.intern(symbols::kFilterLine);
+  syms_.actor_start = port.intern(symbols::kActorStart);
+  syms_.actor_sync = port.intern(symbols::kActorSync);
+  syms_.wait_actor_init = port.intern(symbols::kWaitActorInit);
+  syms_.wait_actor_sync = port.intern(symbols::kWaitActorSync);
+  syms_.step_begin = port.intern(symbols::kStepBegin);
+  syms_.step_end = port.intern(symbols::kStepEnd);
+  syms_.predicate_eval = port.intern(symbols::kPredicateEval);
+  syms_.debug_inject = port.intern(symbols::kDebugInject);
+  syms_.debug_remove = port.intern(symbols::kDebugRemove);
+  syms_.debug_replace = port.intern(symbols::kDebugReplace);
+}
+
+void Application::intern_link_symbols() {
+  auto& port = platform_.kernel().instrument();
+  link_syms_.clear();
+  link_syms_.reserve(links_.size());
+  for (const auto& l : links_) {
+    LinkSymbols ls;
+    ls.push_iface = port.intern(symbols::instance(
+        symbols::kLinkPush, l->src()->owner().name() + "::" + l->src()->name()));
+    ls.pop_iface = port.intern(symbols::instance(
+        symbols::kLinkPop, l->dst()->owner().name() + "::" + l->dst()->name()));
+    link_syms_.push_back(ls);
+  }
+}
+
+void Application::replay_registration() {
+  auto& port = platform_.kernel().instrument();
+  sim::Kernel& k = platform_.kernel();
+  for (Actor* a : actors_) {
+    const char* pe_name = a->pe() != nullptr ? a->pe()->name().c_str() : "";
+    const char* parent = a->parent() != nullptr ? a->parent()->path().c_str() : "";
+    const ArgValue args[] = {
+        ArgValue::of_str("kind", to_string(a->kind())),
+        ArgValue::of_str("name", a->name().c_str()),
+        ArgValue::of_str("path", a->path().c_str()),
+        ArgValue::of_str("pe", pe_name),
+        ArgValue::of_str("parent", parent),
+        ArgValue::of_u64("id", a->id().value()),
+    };
+    port.fire_enter(k, syms_.register_actor, args);
+    for (const auto& p : a->ports()) {
+      std::string tname = p->type().name();
+      const ArgValue pargs[] = {
+          ArgValue::of_str("actor", a->path().c_str()),
+          ArgValue::of_str("port", p->name().c_str()),
+          ArgValue::of_str("dir", p->dir() == PortDir::kIn ? "in" : "out"),
+          ArgValue::of_str("type", tname.c_str()),
+      };
+      port.fire_enter(k, syms_.register_port, pargs);
+    }
+  }
+  for (const auto& l : links_) {
+    std::string tname = l->type().name();
+    const ArgValue largs[] = {
+        ArgValue::of_u64("link", l->id().value()),
+        ArgValue::of_str("name", l->name().c_str()),
+        ArgValue::of_str("src_actor", l->src()->owner().path().c_str()),
+        ArgValue::of_str("src_port", l->src()->name().c_str()),
+        ArgValue::of_str("dst_actor", l->dst()->owner().path().c_str()),
+        ArgValue::of_str("dst_port", l->dst()->name().c_str()),
+        ArgValue::of_str("type", tname.c_str()),
+        ArgValue::of_str("transport", to_string(l->transport())),
+    };
+    port.fire_enter(k, syms_.register_link, largs);
+  }
+  const ArgValue gargs[] = {ArgValue::of_str("app", name_.c_str()),
+                            ArgValue::of_u64("actors", actors_.size()),
+                            ArgValue::of_u64("links", links_.size())};
+  port.fire_enter(k, syms_.graph_ready, gargs);
+}
+
+Status Application::elaborate() {
+  DFDBG_CHECK_MSG(root_ != nullptr, "no root module");
+  DFDBG_CHECK_MSG(!elaborated_, "elaborate called twice");
+
+  actors_.clear();
+  root_->set_path(root_->name());
+  collect_actors(*root_);
+  for (const auto& h : host_io_) {
+    h->set_path("host." + h->name());
+    actors_.push_back(h.get());
+  }
+
+  // Ids, path map, and short-name map (unique names only).
+  by_path_.clear();
+  by_name_.clear();
+  std::set<std::string> ambiguous;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    Actor* a = actors_[i];
+    a->set_id(ActorId(static_cast<std::uint32_t>(i)));
+    if (by_path_.count(a->path()) != 0)
+      return Status::error("duplicate actor path: " + a->path());
+    by_path_[a->path()] = a;
+    if (ambiguous.count(a->name()) != 0) continue;
+    auto [it, inserted] = by_name_.emplace(a->name(), a);
+    if (!inserted) {
+      // Two filters with the same short name would make the paper's CLI
+      // addressing ambiguous; reject that. Other kinds just lose the alias.
+      if (it->second->kind() == ActorKind::kFilter && a->kind() == ActorKind::kFilter)
+        return Status::error("duplicate filter name: " + a->name());
+      by_name_.erase(it);
+      ambiguous.insert(a->name());
+    }
+  }
+
+  if (Status s = resolve_bindings(); !s.ok()) return s;
+  assign_mapping();
+  intern_link_symbols();
+  replay_registration();
+  elaborated_ = true;
+  return Status{};
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+Actor* Application::actor_by_path(std::string_view path) const {
+  auto it = by_path_.find(std::string(path));
+  return it == by_path_.end() ? nullptr : it->second;
+}
+
+Actor* Application::actor_by_name(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Filter* Application::filter_by_name(std::string_view name) const {
+  Actor* a = actor_by_name(name);
+  if (a == nullptr) return nullptr;
+  if (a->kind() != ActorKind::kFilter && a->kind() != ActorKind::kHostIo) return nullptr;
+  return static_cast<Filter*>(a);
+}
+
+Link* Application::link_by_id(LinkId id) const {
+  if (!id.valid() || id.value() >= links_.size()) return nullptr;
+  return links_[id.value()].get();
+}
+
+Link* Application::link_by_iface(std::string_view iface) const {
+  auto pos = iface.find("::");
+  if (pos == std::string_view::npos) return nullptr;
+  Port* p = find_port(iface.substr(0, pos), iface.substr(pos + 2));
+  return p == nullptr ? nullptr : p->link();
+}
+
+Port* Application::find_port(std::string_view actor, std::string_view port) const {
+  Actor* a = actor_by_name(actor);
+  if (a == nullptr) a = actor_by_path(actor);
+  if (a == nullptr) return nullptr;
+  return a->port(port);
+}
+
+const LinkSymbols& Application::link_syms(LinkId id) const {
+  DFDBG_CHECK(id.valid() && id.value() < link_syms_.size());
+  return link_syms_[id.value()];
+}
+
+// ---------------------------------------------------------------------------
+// Process spawning
+// ---------------------------------------------------------------------------
+
+void Application::spawn_filter_process(Filter* f) {
+  kernel().spawn(f->path(), [this, f] {
+    FilterContext ctx(*this, *f);
+    for (;;) {
+      if (!f->free_running_) {
+        while (f->step_state_ != StepState::kScheduled && !f->terminate_) {
+          f->set_blocked(BlockInfo{BlockInfo::Kind::kStart, nullptr});
+          kernel().wait(f->start_event_);
+        }
+        f->set_blocked(BlockInfo{});
+        if (f->terminate_) break;
+      } else if (f->terminate_) {
+        break;
+      }
+      rt_work_enter(*f);
+      f->work(ctx);
+      rt_work_exit(*f);
+    }
+  });
+}
+
+void Application::spawn_controller_process(Controller* c, Module* m) {
+  kernel().spawn(c->path(), [this, c, m] {
+    ControllerContext ctx(*this, *c, *m);
+    c->control(ctx);
+    if (m->step_ > 0) rt_step_end(*c, *m);
+    // Module done: release its filters.
+    for (const auto& f : m->filters()) {
+      f->terminate_ = true;
+      kernel().notify(f->start_event_);
+    }
+  });
+}
+
+void Application::start() {
+  DFDBG_CHECK_MSG(elaborated_, "start before elaborate");
+  DFDBG_CHECK_MSG(!started_, "start called twice");
+  for (Actor* a : actors_) {
+    switch (a->kind()) {
+      case ActorKind::kFilter:
+      case ActorKind::kHostIo:
+        spawn_filter_process(static_cast<Filter*>(a));
+        break;
+      case ActorKind::kController: {
+        auto* c = static_cast<Controller*>(a);
+        spawn_controller_process(c, c->module());
+        break;
+      }
+      case ActorKind::kModule:
+        break;
+    }
+  }
+  started_ = true;
+}
+
+void Application::finish_io() {
+  io_finishing_ = true;
+  for (const auto& h : host_io_) h->terminate_ = true;
+  for (const auto& l : links_) kernel().notify(l->data_avail());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime shims (the framework API the debugger breakpoints)
+// ---------------------------------------------------------------------------
+
+void Application::model_transfer_cost(Link& link) {
+  sim::Kernel& k = kernel();
+  if (k.current() == nullptr) return;  // debugger-context access: free
+  std::uint64_t bytes = link.type().byte_size();
+  switch (link.transport()) {
+    case LinkTransport::kLocal: {
+      int c = link.src()->owner().pe()->cluster_index();
+      if (c < 0) c = link.dst()->owner().pe()->cluster_index();
+      if (c >= 0)
+        platform_.fabric()[static_cast<std::size_t>(c)].l1->access(k, bytes);
+      break;
+    }
+    case LinkTransport::kInterCluster:
+      platform_.l2().access(k, bytes);
+      break;
+    case LinkTransport::kHostDma: {
+      auto& dmas = platform_.dmas();
+      DFDBG_CHECK(!dmas.empty());
+      dmas[link.id().value() % dmas.size()]->transfer(k, platform_.l2(), platform_.l3(), bytes);
+      break;
+    }
+  }
+}
+
+void Application::rt_link_push(Actor& actor, Port& port, const Value& v) {
+  Link* link = port.link();
+  DFDBG_CHECK_MSG(link != nullptr, actor.path() + "." + port.name() + " is not bound");
+  DFDBG_CHECK_MSG(v.type() == link->type(),
+                  "type mismatch pushing " + v.type().name() + " on " + link->name());
+  const ArgValue args[] = {
+      ArgValue::of_u64("link", link->id().value()),
+      ArgValue::of_u64("index", link->push_index()),
+      ArgValue::of_ptr("value", const_cast<Value*>(&v)),
+      ArgValue::of_str("actor", actor.path().c_str()),
+      ArgValue::of_str("port", port.name().c_str()),
+  };
+  sim::SymbolId inst;
+  if (cooperation_) inst = link_syms_[link->id().value()].push_iface;
+  sim::InstrScope scope(kernel(), syms_.link_push, args, inst);
+  while (link->full()) {
+    actor.set_blocked(BlockInfo{BlockInfo::Kind::kLinkFull, link});
+    kernel().wait(link->space_avail());
+  }
+  actor.set_blocked(BlockInfo{});
+  if (model_latencies_) model_transfer_cost(*link);
+  std::uint64_t idx = link->push_raw(v);
+  scope.set_return(ArgValue::of_u64("index", idx));
+  kernel().notify(link->data_avail());
+}
+
+std::optional<Value> Application::rt_link_pop(Actor& actor, Port& port) {
+  Link* link = port.link();
+  DFDBG_CHECK_MSG(link != nullptr, actor.path() + "." + port.name() + " is not bound");
+  std::optional<Value> result;
+  {
+    const ArgValue args[] = {
+        ArgValue::of_u64("link", link->id().value()),
+        ArgValue::of_u64("index", link->pop_index()),
+        ArgValue::of_str("actor", actor.path().c_str()),
+        ArgValue::of_str("port", port.name().c_str()),
+    };
+    sim::SymbolId inst;
+    if (cooperation_) inst = link_syms_[link->id().value()].pop_iface;
+    sim::InstrScope scope(kernel(), syms_.link_pop, args, inst);
+    auto* as_filter =
+        (actor.kind() == ActorKind::kFilter || actor.kind() == ActorKind::kHostIo)
+            ? static_cast<Filter*>(&actor)
+            : nullptr;
+    while (link->empty()) {
+      if (as_filter != nullptr && as_filter->terminate_requested()) return std::nullopt;
+      actor.set_blocked(BlockInfo{BlockInfo::Kind::kLinkEmpty, link});
+      kernel().wait(link->data_avail());
+    }
+    actor.set_blocked(BlockInfo{});
+    if (model_latencies_) model_transfer_cost(*link);
+    result = link->pop_raw();
+    scope.set_return(ArgValue::of_ptr("value", &*result));
+    kernel().notify(link->space_avail());
+  }
+  return result;
+}
+
+void Application::rt_work_enter(Filter& f) {
+  Module* m = f.parent();
+  std::uint64_t step = m != nullptr ? m->step() : f.firings() + 1;
+  f.step_state_ = StepState::kRunning;
+  f.firings_++;
+  const ArgValue args[] = {
+      ArgValue::of_str("actor", f.path().c_str()),
+      ArgValue::of_u64("step", step),
+      ArgValue::of_u64("firing", f.firings()),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.work_enter, args);
+  if (m != nullptr && !f.free_running_) {
+    m->started_count_++;
+    kernel().notify(m->init_done_);
+  }
+}
+
+void Application::rt_work_exit(Filter& f) {
+  Module* m = f.parent();
+  f.step_state_ = f.free_running_ ? StepState::kIdle : StepState::kDone;
+  const ArgValue args[] = {
+      ArgValue::of_str("actor", f.path().c_str()),
+      ArgValue::of_u64("step", m != nullptr ? m->step() : f.firings()),
+      ArgValue::of_u64("firing", f.firings()),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.work_exit, args);
+  if (m != nullptr && !f.free_running_) {
+    m->done_count_++;
+    kernel().notify(m->sync_done_);
+  }
+}
+
+void Application::rt_filter_line(Filter& f, int line) {
+  f.current_line_ = line;
+  if (!kernel().instrument().armed(syms_.filter_line)) return;
+  const ArgValue args[] = {
+      ArgValue::of_str("actor", f.path().c_str()),
+      ArgValue::of_i64("line", line),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.filter_line, args);
+}
+
+void Application::rt_actor_start(Controller& c, Filter& f) {
+  DFDBG_CHECK_MSG(f.step_state_ == StepState::kIdle,
+                  "ACTOR_START on non-idle filter " + f.path());
+  Module& m = *c.module();
+  const ArgValue args[] = {
+      ArgValue::of_str("controller", c.path().c_str()),
+      ArgValue::of_str("filter", f.path().c_str()),
+      ArgValue::of_str("name", f.name().c_str()),
+      ArgValue::of_u64("step", m.step()),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.actor_start, args);
+  f.step_state_ = StepState::kScheduled;
+  f.sync_requested_ = false;
+  m.sched_count_++;
+  kernel().notify(f.start_event_);
+}
+
+void Application::rt_actor_sync(Controller& c, Filter& f) {
+  Module& m = *c.module();
+  const ArgValue args[] = {
+      ArgValue::of_str("controller", c.path().c_str()),
+      ArgValue::of_str("filter", f.path().c_str()),
+      ArgValue::of_str("name", f.name().c_str()),
+      ArgValue::of_u64("step", m.step()),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.actor_sync, args);
+  f.sync_requested_ = true;
+}
+
+void Application::rt_wait_actor_init(Controller& c, Module& m) {
+  const ArgValue args[] = {ArgValue::of_str("module", m.path().c_str()),
+                           ArgValue::of_u64("step", m.step())};
+  sim::InstrScope scope(kernel(), syms_.wait_actor_init, args);
+  while (m.started_count_ < m.sched_count_) {
+    c.set_blocked(BlockInfo{BlockInfo::Kind::kStep, nullptr});
+    kernel().wait(m.init_done_);
+  }
+  c.set_blocked(BlockInfo{});
+}
+
+void Application::rt_wait_actor_sync(Controller& c, Module& m) {
+  const ArgValue args[] = {ArgValue::of_str("module", m.path().c_str()),
+                           ArgValue::of_u64("step", m.step())};
+  sim::InstrScope scope(kernel(), syms_.wait_actor_sync, args);
+  while (m.done_count_ < m.sched_count_) {
+    c.set_blocked(BlockInfo{BlockInfo::Kind::kStep, nullptr});
+    kernel().wait(m.sync_done_);
+  }
+  c.set_blocked(BlockInfo{});
+  for (const auto& f : m.filters()) {
+    if (f->step_state_ == StepState::kDone) f->step_state_ = StepState::kIdle;
+  }
+  m.sched_count_ = 0;
+  m.started_count_ = 0;
+  m.done_count_ = 0;
+}
+
+void Application::rt_step_begin(Controller& c, Module& m) {
+  m.step_++;
+  const ArgValue args[] = {
+      ArgValue::of_str("module", m.path().c_str()),
+      ArgValue::of_str("controller", c.path().c_str()),
+      ArgValue::of_u64("step", m.step()),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.step_begin, args);
+}
+
+void Application::rt_step_end(Controller& c, Module& m) {
+  const ArgValue args[] = {
+      ArgValue::of_str("module", m.path().c_str()),
+      ArgValue::of_str("controller", c.path().c_str()),
+      ArgValue::of_u64("step", m.step()),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.step_end, args);
+}
+
+bool Application::rt_predicate_eval(Controller& c, Module& m, std::string_view name) {
+  const PredicateDecl* p = m.predicate(name);
+  DFDBG_CHECK_MSG(p != nullptr, m.path() + ": no predicate '" + std::string(name) + "'");
+  std::string nm(name);
+  const ArgValue args[] = {
+      ArgValue::of_str("module", m.path().c_str()),
+      ArgValue::of_str("controller", c.path().c_str()),
+      ArgValue::of_str("name", nm.c_str()),
+  };
+  sim::InstrScope scope(kernel(), syms_.predicate_eval, args);
+  bool r = p->fn(m);
+  scope.set_return(ArgValue::of_i64("result", r ? 1 : 0));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Debugger-initiated alteration
+// ---------------------------------------------------------------------------
+
+std::uint64_t Application::debug_inject(Link& link, Value v) {
+  DFDBG_CHECK_MSG(v.type() == link.type(),
+                  "inject type mismatch on " + link.name() + ": " + v.type().name());
+  DFDBG_CHECK_MSG(!link.full(), "inject on full link " + link.name());
+  std::uint64_t idx = link.push_raw(std::move(v));
+  const ArgValue args[] = {
+      ArgValue::of_u64("link", link.id().value()),
+      ArgValue::of_u64("index", idx),
+      ArgValue::of_ptr("value", const_cast<Value*>(&link.peek(link.occupancy() - 1))),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.debug_inject, args);
+  kernel().notify(link.data_avail());
+  return idx;
+}
+
+Value Application::debug_remove(Link& link, std::size_t idx) {
+  Value v = link.erase_at(idx);
+  const ArgValue args[] = {
+      ArgValue::of_u64("link", link.id().value()),
+      ArgValue::of_u64("slot", idx),
+      ArgValue::of_ptr("value", &v),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.debug_remove, args);
+  kernel().notify(link.space_avail());
+  return v;
+}
+
+void Application::debug_replace(Link& link, std::size_t idx, Value v) {
+  DFDBG_CHECK_MSG(v.type() == link.type(), "replace type mismatch on " + link.name());
+  link.poke(idx, std::move(v));
+  const ArgValue args[] = {
+      ArgValue::of_u64("link", link.id().value()),
+      ArgValue::of_u64("slot", idx),
+      ArgValue::of_ptr("value", const_cast<Value*>(&link.peek(idx))),
+  };
+  kernel().instrument().fire_enter(kernel(), syms_.debug_replace, args);
+}
+
+// ---------------------------------------------------------------------------
+// Host I/O actors
+// ---------------------------------------------------------------------------
+
+HostSource::HostSource(std::string name, TypeDesc type, std::vector<Value> stream,
+                       sim::SimTime period)
+    : Filter(std::move(name), ActorKind::kHostIo), stream_(std::move(stream)), period_(period) {
+  add_port("out", PortDir::kOut, type);
+  set_free_running(true);
+}
+
+void HostSource::work(FilterContext& pedf) {
+  while (produced_ < stream_.size() && !terminate_requested()) {
+    if (period_ > 0) pedf.compute(period_);
+    pedf.out("out").put(stream_[produced_]);
+    produced_++;
+  }
+  pedf.stop();
+}
+
+HostSink::HostSink(std::string name, TypeDesc type, std::size_t expected)
+    : Filter(std::move(name), ActorKind::kHostIo), expected_(expected) {
+  add_port("in", PortDir::kIn, type);
+  set_free_running(true);
+}
+
+void HostSink::work(FilterContext& pedf) {
+  while (received_.size() < expected_) {
+    auto v = pedf.in("in").get_opt();
+    if (!v.has_value()) break;
+    received_.push_back(std::move(*v));
+  }
+  pedf.stop();
+}
+
+}  // namespace dfdbg::pedf

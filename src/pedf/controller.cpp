@@ -1,0 +1,85 @@
+#include "dfdbg/pedf/controller.hpp"
+
+#include "dfdbg/common/assert.hpp"
+#include "dfdbg/pedf/application.hpp"
+#include "dfdbg/pedf/module.hpp"
+#include "dfdbg/sim/platform.hpp"
+
+namespace dfdbg::pedf {
+
+namespace {
+Filter& child_filter(Module& m, std::string_view name) {
+  Filter* f = m.filter(name);
+  DFDBG_CHECK_MSG(f != nullptr, m.path() + ": no child filter '" + std::string(name) + "'");
+  return *f;
+}
+}  // namespace
+
+void ControllerContext::actor_start(std::string_view filter) {
+  app_.rt_actor_start(self_, child_filter(module_, filter));
+}
+
+void ControllerContext::actor_sync(std::string_view filter) {
+  app_.rt_actor_sync(self_, child_filter(module_, filter));
+}
+
+void ControllerContext::actor_fire(std::string_view filter) {
+  Filter& f = child_filter(module_, filter);
+  app_.rt_actor_start(self_, f);
+  app_.rt_actor_sync(self_, f);
+}
+
+void ControllerContext::actor_fire_n(std::string_view filter, std::uint64_t n) {
+  Filter& f = child_filter(module_, filter);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    app_.rt_actor_start(self_, f);
+    app_.rt_actor_sync(self_, f);
+    app_.rt_wait_actor_sync(self_, module_);
+  }
+}
+
+void ControllerContext::wait_for_actor_init() { app_.rt_wait_actor_init(self_, module_); }
+
+void ControllerContext::wait_for_actor_sync() { app_.rt_wait_actor_sync(self_, module_); }
+
+void ControllerContext::next_step() {
+  if (module_.step_ > 0) app_.rt_step_end(self_, module_);
+  app_.rt_step_begin(self_, module_);
+}
+
+bool ControllerContext::predicate(std::string_view name) {
+  return app_.rt_predicate_eval(self_, module_, name);
+}
+
+void ControllerContext::send(std::string_view port, const Value& v) {
+  Port* p = self_.port(port);
+  DFDBG_CHECK_MSG(p != nullptr, self_.path() + ": no port '" + std::string(port) + "'");
+  DFDBG_CHECK_MSG(p->dir() == PortDir::kOut, std::string(port) + " is not an output");
+  app_.rt_link_push(self_, *p, v);
+}
+
+Value ControllerContext::receive(std::string_view port) {
+  Port* p = self_.port(port);
+  DFDBG_CHECK_MSG(p != nullptr, self_.path() + ": no port '" + std::string(port) + "'");
+  DFDBG_CHECK_MSG(p->dir() == PortDir::kIn, std::string(port) + " is not an input");
+  auto v = app_.rt_link_pop(self_, *p);
+  DFDBG_CHECK_MSG(v.has_value(), "controller receive interrupted");
+  return std::move(*v);
+}
+
+std::size_t ControllerContext::tokens_available(std::string_view filter,
+                                                std::string_view port) const {
+  Filter& f = child_filter(module_, filter);
+  Port* p = f.port(port);
+  DFDBG_CHECK_MSG(p != nullptr, f.path() + ": no port '" + std::string(port) + "'");
+  return p->link() == nullptr ? 0 : p->link()->occupancy();
+}
+
+void ControllerContext::compute(sim::SimTime cycles) {
+  DFDBG_CHECK_MSG(self_.pe() != nullptr, self_.path() + " has no PE mapping");
+  self_.pe()->execute(app_.kernel(), cycles);
+}
+
+std::uint64_t ControllerContext::step() const { return module_.step_; }
+
+}  // namespace dfdbg::pedf

@@ -1,0 +1,121 @@
+// Module controllers (paper §IV-B).
+//
+// One controller per module schedules the module's filters in *steps* using
+// the five PEDF primitives:
+//   1. ACTOR_START(name)        — schedule a filter's WORK for this step
+//   2. (WORK methods start)
+//   3. WAIT_FOR_ACTOR_INIT()    — wait for actual start of execution
+//   4. ACTOR_SYNC(name)         — request end-of-step
+//   5. WAIT_FOR_ACTOR_SYNC()    — wait for actual end of the step
+// plus the merged ACTOR_FIRE. Controllers may evaluate named predicates to
+// change the graph behaviour at run time (the "Predicated Execution" part
+// of PEDF) and may fire parts of the graph at different rates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dfdbg/pedf/actor.hpp"
+#include "dfdbg/sim/time.hpp"
+
+namespace dfdbg::pedf {
+
+class Application;
+class Controller;
+class Module;
+
+/// The view a controller program gets of its module and the runtime.
+class ControllerContext {
+ public:
+  ControllerContext(Application& app, Controller& self, Module& module)
+      : app_(app), self_(self), module_(module) {}
+
+  // --- the PEDF scheduling primitives --------------------------------------
+
+  /// ACTOR_START: schedules `filter` (a direct child of this module) to run
+  /// its WORK method in the current step.
+  void actor_start(std::string_view filter);
+  /// ACTOR_SYNC: requests `filter` to stop at the end of this step.
+  void actor_sync(std::string_view filter);
+  /// ACTOR_FIRE: START and SYNC merged (paper NB).
+  void actor_fire(std::string_view filter);
+  /// Rate control (PEDF runs "some parts of the graph at different rates"):
+  /// fires `filter` exactly `n` times within the current step, waiting for
+  /// each firing to complete. Must not be interleaved with other in-flight
+  /// ACTOR_STARTs of the same step (each firing runs a full mini sync).
+  void actor_fire_n(std::string_view filter, std::uint64_t n);
+  /// WAIT_FOR_ACTOR_INIT: blocks until every filter scheduled this step has
+  /// actually begun executing its WORK method.
+  void wait_for_actor_init();
+  /// WAIT_FOR_ACTOR_SYNC: blocks until every filter scheduled this step has
+  /// finished; filters then return to idle.
+  void wait_for_actor_sync();
+
+  /// Closes the current step and opens the next (fires the step boundary
+  /// events the debugger's scheduling monitor catches).
+  void next_step();
+
+  /// Evaluates the module predicate `name` (fires pedf__predicate_eval).
+  bool predicate(std::string_view name);
+
+  // --- controller data links -------------------------------------------------
+
+  /// Pushes a command token on one of the controller's own output ports
+  /// (Fig. 2's cmd_out links).
+  void send(std::string_view port, const Value& v);
+  /// Blocking pop from one of the controller's own input ports.
+  Value receive(std::string_view port);
+
+  // --- conveniences ---------------------------------------------------------
+
+  /// Tokens currently waiting on child port "filter.port".
+  [[nodiscard]] std::size_t tokens_available(std::string_view filter,
+                                             std::string_view port) const;
+
+  /// Models controller computation on its PE.
+  void compute(sim::SimTime cycles);
+
+  /// Current step number (starts at 1 inside the first step).
+  [[nodiscard]] std::uint64_t step() const;
+
+  [[nodiscard]] Module& module() { return module_; }
+  [[nodiscard]] Controller& self() { return self_; }
+  [[nodiscard]] Application& app() { return app_; }
+
+ private:
+  Application& app_;
+  Controller& self_;
+  Module& module_;
+};
+
+/// The per-module scheduler. Subclass and implement control() — it is the
+/// whole controller program and typically loops over steps itself.
+class Controller : public Actor {
+ public:
+  explicit Controller(std::string name) : Actor(ActorKind::kController, std::move(name)) {}
+
+  /// The controller program. Runs once; schedule steps with the context.
+  virtual void control(ControllerContext& ctx) = 0;
+
+  /// Module this controller belongs to (set when attached).
+  [[nodiscard]] Module* module() const { return module_; }
+
+ private:
+  friend class Module;
+  Module* module_ = nullptr;
+};
+
+/// Controller whose program is a std::function (tests and small examples).
+class FnController : public Controller {
+ public:
+  FnController(std::string name, std::function<void(ControllerContext&)> fn)
+      : Controller(std::move(name)), fn_(std::move(fn)) {}
+
+  void control(ControllerContext& ctx) override { fn_(ctx); }
+
+ private:
+  std::function<void(ControllerContext&)> fn_;
+};
+
+}  // namespace dfdbg::pedf

@@ -1,0 +1,101 @@
+// A data-dependency link: the FIFO arc materializing one graph edge.
+//
+// Dynamic dataflow: rates are unconstrained, so links are unbounded by
+// default; a capacity can be set to study over/underflow (the paper's §VI-D
+// stall scenario). Push and pop indexes are monotonic counters — the paper's
+// Contribution #3 intercepts exactly these indexes to follow tokens.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "dfdbg/common/ids.hpp"
+#include "dfdbg/pedf/value.hpp"
+#include "dfdbg/sim/event.hpp"
+
+namespace dfdbg::pedf {
+
+class Port;
+
+struct LinkIdTag {};
+/// Dense id of a link within one application.
+using LinkId = dfdbg::Id<LinkIdTag>;
+
+/// How a link is physically carried on the platform (paper Fig. 4 legend:
+/// plain data links, control links, DMA-assisted control links).
+enum class LinkTransport : std::uint8_t { kLocal, kInterCluster, kHostDma };
+
+/// Short name for a LinkTransport ("L1", "L2", "DMA").
+const char* to_string(LinkTransport t);
+
+/// FIFO arc between one producer port and one consumer port.
+/// Raw container only: blocking, latency modelling and instrumentation live
+/// in the Application shims (pedf__link_push / pedf__link_pop) so the
+/// framework API surface matches what the paper's debugger breakpoints.
+class Link {
+ public:
+  Link(LinkId id, std::string name, TypeDesc type, Port* src, Port* dst)
+      : id_(id), name_(std::move(name)), type_(type), src_(src), dst_(dst),
+        data_avail_("link-data:" + name_), space_avail_("link-space:" + name_) {}
+
+  [[nodiscard]] LinkId id() const { return id_; }
+  /// "ipred::Add2Dblock_ipf_out -> ipf::Add2Dblock_ipred_in"
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const TypeDesc& type() const { return type_; }
+  [[nodiscard]] Port* src() const { return src_; }
+  [[nodiscard]] Port* dst() const { return dst_; }
+
+  /// Tokens currently held (push_index - pop_index).
+  [[nodiscard]] std::size_t occupancy() const { return q_.size(); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] bool full() const { return q_.size() >= capacity_; }
+
+  /// Monotonic counter of tokens ever pushed.
+  [[nodiscard]] std::uint64_t push_index() const { return push_index_; }
+  /// Monotonic counter of tokens ever popped.
+  [[nodiscard]] std::uint64_t pop_index() const { return pop_index_; }
+
+  /// Maximum occupancy ever reached (stall diagnosis).
+  [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
+
+  /// Bounded capacity; defaults to "unbounded" (SIZE_MAX).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  [[nodiscard]] LinkTransport transport() const { return transport_; }
+  void set_transport(LinkTransport t) { transport_ = t; }
+
+  /// Appends a value; returns its push index. Precondition: !full().
+  std::uint64_t push_raw(Value v);
+  /// Removes the oldest value; returns it. Precondition: !empty().
+  Value pop_raw();
+  /// Reads queued value `i` (0 = oldest) without consuming it.
+  [[nodiscard]] const Value& peek(std::size_t i) const;
+  /// Overwrites queued value `i` (debugger alteration).
+  void poke(std::size_t i, Value v);
+  /// Removes queued value `i` (debugger alteration); returns it.
+  Value erase_at(std::size_t i);
+
+  /// Wakeup channel for consumers blocked on empty.
+  [[nodiscard]] sim::Event& data_avail() { return data_avail_; }
+  /// Wakeup channel for producers blocked on full.
+  [[nodiscard]] sim::Event& space_avail() { return space_avail_; }
+
+ private:
+  LinkId id_;
+  std::string name_;
+  TypeDesc type_;
+  Port* src_;
+  Port* dst_;
+  std::deque<Value> q_;
+  std::uint64_t push_index_ = 0;
+  std::uint64_t pop_index_ = 0;
+  std::size_t high_watermark_ = 0;
+  std::size_t capacity_ = SIZE_MAX;
+  LinkTransport transport_ = LinkTransport::kLocal;
+  sim::Event data_avail_;
+  sim::Event space_avail_;
+};
+
+}  // namespace dfdbg::pedf

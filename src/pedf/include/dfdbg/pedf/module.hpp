@@ -1,0 +1,93 @@
+// Modules: hierarchical composites of filters plus one controller
+// (paper §IV). Module ports correspond to the unconnected arcs of the inner
+// graph, so modules interconnect hierarchically; binding resolution flattens
+// boundary ports into direct filter-to-filter links.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfdbg/pedf/actor.hpp"
+#include "dfdbg/pedf/controller.hpp"
+#include "dfdbg/pedf/filter.hpp"
+#include "dfdbg/sim/event.hpp"
+
+namespace dfdbg::pedf {
+
+/// One `binds A.p to B.q` declaration. Endpoints are "<child>.<port>" or
+/// "this.<port>" for the module's own boundary ports.
+struct BindingDecl {
+  std::string src;
+  std::string dst;
+};
+
+/// A named runtime predicate usable by the module's controller.
+struct PredicateDecl {
+  std::string name;
+  std::function<bool(Module&)> fn;
+};
+
+/// A hierarchical composite of actors.
+class Module : public Actor {
+ public:
+  explicit Module(std::string name)
+      : Actor(ActorKind::kModule, std::move(name)),
+        init_done_("init-done:" + this->name()),
+        sync_done_("sync-done:" + this->name()) {}
+
+  /// Adds a child filter; returns a reference to it.
+  Filter& add_filter(std::unique_ptr<Filter> f);
+  /// Adds a child sub-module; returns a reference to it.
+  Module& add_module(std::unique_ptr<Module> m);
+  /// Installs the module controller (at most one).
+  Controller& set_controller(std::unique_ptr<Controller> c);
+
+  /// Declares `binds src to dst` (resolved at elaboration).
+  void bind(std::string src, std::string dst);
+
+  /// Defines a named predicate for the controller.
+  void define_predicate(std::string name, std::function<bool(Module&)> fn);
+  /// Looks a predicate up (nullptr if absent).
+  [[nodiscard]] const PredicateDecl* predicate(std::string_view name) const;
+
+  [[nodiscard]] Controller* controller() const { return controller_.get(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Filter>>& filters() const { return filters_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Module>>& modules() const { return modules_; }
+  [[nodiscard]] const std::vector<BindingDecl>& bindings() const { return bindings_; }
+
+  /// Child filter/module/controller by name (nullptr if absent). The
+  /// controller is addressable by its name like any child.
+  [[nodiscard]] Actor* child(std::string_view name) const;
+  /// Child filter by name (nullptr if absent or not a filter).
+  [[nodiscard]] Filter* filter(std::string_view name) const;
+
+  /// Current step number of this module's controller (0 before the first).
+  [[nodiscard]] std::uint64_t step() const { return step_; }
+
+  /// Filters scheduled (ACTOR_START) in the current step.
+  [[nodiscard]] std::uint64_t scheduled_count() const { return sched_count_; }
+  /// Of those, filters whose WORK actually began.
+  [[nodiscard]] std::uint64_t started_count() const { return started_count_; }
+  /// Of those, filters whose WORK finished.
+  [[nodiscard]] std::uint64_t done_count() const { return done_count_; }
+
+ private:
+  friend class Application;
+  friend class ControllerContext;
+
+  std::unique_ptr<Controller> controller_;
+  std::vector<std::unique_ptr<Filter>> filters_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::vector<BindingDecl> bindings_;
+  std::vector<PredicateDecl> predicates_;
+  std::uint64_t step_ = 0;
+  std::uint64_t sched_count_ = 0;
+  std::uint64_t started_count_ = 0;
+  std::uint64_t done_count_ = 0;
+  sim::Event init_done_;
+  sim::Event sync_done_;
+};
+
+}  // namespace dfdbg::pedf

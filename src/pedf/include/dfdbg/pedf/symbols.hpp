@@ -1,0 +1,53 @@
+// Names of the framework API functions the debugger sets function/finish
+// breakpoints on. These are the "programming-model related functions
+// exported by the dataflow framework" of paper §V.
+//
+// Instance symbols ("<base>@<entity>") implement the framework-cooperation
+// extension (paper §V option 2): the framework additionally reports a
+// per-link / per-actor symbol so the debugger can arm only the instances of
+// interest.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dfdbg::pedf::symbols {
+
+// Elaboration / graph registration (debugger Contribution #1 listens here).
+inline constexpr const char* kRegisterActor = "pedf__register_actor";
+inline constexpr const char* kRegisterPort = "pedf__register_port";
+inline constexpr const char* kRegisterLink = "pedf__register_link";
+inline constexpr const char* kGraphReady = "pedf__graph_ready";
+
+// Data exchanges (Contribution #3; the hot breakpoints of §V).
+inline constexpr const char* kLinkPush = "pedf__link_push";
+inline constexpr const char* kLinkPop = "pedf__link_pop";
+
+// Filter execution (token-based firing).
+inline constexpr const char* kWorkEnter = "pedf__work_enter";
+inline constexpr const char* kWorkExit = "pedf__work_exit";
+inline constexpr const char* kFilterLine = "pedf__filter_line";
+
+// Controller scheduling (Contribution #2).
+inline constexpr const char* kActorStart = "pedf__actor_start";
+inline constexpr const char* kActorSync = "pedf__actor_sync";
+inline constexpr const char* kWaitActorInit = "pedf__wait_actor_init";
+inline constexpr const char* kWaitActorSync = "pedf__wait_actor_sync";
+inline constexpr const char* kStepBegin = "pedf__step_begin";
+inline constexpr const char* kStepEnd = "pedf__step_end";
+inline constexpr const char* kPredicateEval = "pedf__predicate_eval";
+
+// Debugger-initiated alterations (observable like any other event).
+inline constexpr const char* kDebugInject = "pedf__debug_inject";
+inline constexpr const char* kDebugRemove = "pedf__debug_remove";
+inline constexpr const char* kDebugReplace = "pedf__debug_replace";
+
+/// Builds an instance symbol: "pedf__link_push@front.vld::coeff_out".
+inline std::string instance(std::string_view base, std::string_view entity) {
+  std::string s(base);
+  s += '@';
+  s += entity;
+  return s;
+}
+
+}  // namespace dfdbg::pedf::symbols

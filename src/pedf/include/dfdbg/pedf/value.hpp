@@ -1,0 +1,139 @@
+// Token payload values and their types.
+//
+// PEDF filters are written in a restricted C subset destined for hardware
+// synthesis, so the type system is small: fixed-width scalars (the paper's
+// stddefs.h U8/U16/U32, plus signed/float variants) and flat structs of
+// scalars (e.g. the H.264 decoder's CbCrMB_t{Addr, InterNotIntra, Izz}).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg::pedf {
+
+/// Scalar types available to filter code.
+enum class ScalarType : std::uint8_t { kU8, kU16, kU32, kI32, kF32 };
+
+/// Name as written in filter sources ("U8", "U16", ...).
+const char* to_string(ScalarType t);
+/// Parses "U8"/"U16"/"U32"/"I32"/"F32"; returns false on unknown names.
+bool parse_scalar_type(const std::string& name, ScalarType* out);
+
+/// One field of a struct type.
+struct FieldDesc {
+  std::string name;
+  ScalarType type = ScalarType::kU32;
+  bool print_hex = false;  ///< render as 0x… (addresses, like CbCrMB_t.Addr)
+};
+
+/// A flat struct-of-scalars type (token payload of a coarse-grain link).
+class StructType {
+ public:
+  StructType(std::string name, std::vector<FieldDesc> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<FieldDesc>& fields() const { return fields_; }
+
+  /// Index of `field`, or -1 if absent.
+  [[nodiscard]] int field_index(std::string_view field) const;
+
+ private:
+  std::string name_;
+  std::vector<FieldDesc> fields_;
+};
+
+/// A value type: either a scalar or a registered struct.
+class TypeDesc {
+ public:
+  /// Default: U32 (the paper's ubiquitous link type).
+  TypeDesc() = default;
+  explicit TypeDesc(ScalarType s) : scalar_(s) {}
+  explicit TypeDesc(const StructType* st) : struct_(st) {}
+
+  [[nodiscard]] bool is_struct() const { return struct_ != nullptr; }
+  [[nodiscard]] ScalarType scalar() const { return scalar_; }
+  [[nodiscard]] const StructType* struct_type() const { return struct_; }
+
+  /// "U32", "CbCrMB_t", ...
+  [[nodiscard]] std::string name() const;
+
+  /// Approximate payload footprint in bytes (drives memory/DMA latencies).
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+  friend bool operator==(const TypeDesc& a, const TypeDesc& b) {
+    return a.struct_ == b.struct_ && (a.struct_ != nullptr || a.scalar_ == b.scalar_);
+  }
+
+ private:
+  ScalarType scalar_ = ScalarType::kU32;
+  const StructType* struct_ = nullptr;
+};
+
+/// Owns struct type definitions; one per application.
+class TypeRegistry {
+ public:
+  /// Registers a struct type; name must be unique.
+  const StructType* define_struct(std::string name, std::vector<FieldDesc> fields);
+  /// Finds a struct by name (nullptr if unknown).
+  [[nodiscard]] const StructType* find_struct(const std::string& name) const;
+  /// Resolves a type name: scalar names first, then registered structs.
+  [[nodiscard]] bool resolve(const std::string& name, TypeDesc* out) const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<StructType>> structs_;
+};
+
+/// A token payload. Scalars store their bits inline; structs store one
+/// 64-bit slot per field. Values are small and copyable.
+class Value {
+ public:
+  /// Default: U32 zero.
+  Value() = default;
+
+  static Value u8(std::uint8_t v);
+  static Value u16(std::uint16_t v);
+  static Value u32(std::uint32_t v);
+  static Value i32(std::int32_t v);
+  static Value f32(float v);
+  /// Zero-initialized struct value of type `st`.
+  static Value make_struct(const StructType* st);
+  /// Zero value of an arbitrary type.
+  static Value zero_of(const TypeDesc& type);
+
+  [[nodiscard]] const TypeDesc& type() const { return type_; }
+
+  // --- scalar access (preconditions: !is_struct) ---------------------------
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] float as_f32() const;
+  void set_scalar_u64(std::uint64_t bits);
+
+  // --- struct access (preconditions: is_struct) ----------------------------
+  [[nodiscard]] std::uint64_t field_u64(std::string_view field) const;
+  [[nodiscard]] std::uint64_t field_u64_at(std::size_t idx) const;
+  void set_field(std::string_view field, std::uint64_t bits);
+  void set_field_at(std::size_t idx, std::uint64_t bits);
+
+  /// Renders like the paper's transcripts: "(U16) 5" for scalars and
+  /// "(CbCrMB_t){Addr=0x145D, InterNotIntra=1, Izz=168460492}" for structs.
+  [[nodiscard]] std::string to_string() const;
+  /// Struct body only ("{Addr=0x145D, ...}"); scalar value text for scalars.
+  [[nodiscard]] std::string payload_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.type_ == b.type_ && a.bits_ == b.bits_ && a.fields_ == b.fields_;
+  }
+
+ private:
+  TypeDesc type_;
+  std::uint64_t bits_ = 0;
+  std::vector<std::uint64_t> fields_;
+};
+
+}  // namespace dfdbg::pedf

@@ -1,0 +1,50 @@
+#include "dfdbg/pedf/link.hpp"
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg::pedf {
+
+const char* to_string(LinkTransport t) {
+  switch (t) {
+    case LinkTransport::kLocal: return "L1";
+    case LinkTransport::kInterCluster: return "L2";
+    case LinkTransport::kHostDma: return "DMA";
+  }
+  return "?";
+}
+
+std::uint64_t Link::push_raw(Value v) {
+  DFDBG_CHECK_MSG(!full(), "push on full link " + name_);
+  q_.push_back(std::move(v));
+  if (q_.size() > high_watermark_) high_watermark_ = q_.size();
+  return push_index_++;
+}
+
+Value Link::pop_raw() {
+  DFDBG_CHECK_MSG(!q_.empty(), "pop on empty link " + name_);
+  Value v = std::move(q_.front());
+  q_.pop_front();
+  pop_index_++;
+  return v;
+}
+
+const Value& Link::peek(std::size_t i) const {
+  DFDBG_CHECK(i < q_.size());
+  return q_[i];
+}
+
+void Link::poke(std::size_t i, Value v) {
+  DFDBG_CHECK(i < q_.size());
+  q_[i] = std::move(v);
+}
+
+Value Link::erase_at(std::size_t i) {
+  DFDBG_CHECK(i < q_.size());
+  Value v = std::move(q_[i]);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+  // Removing a token does not rewind the monotonic indexes; it simply never
+  // reaches the consumer. pop_index_ stays, push_index_ stays.
+  return v;
+}
+
+}  // namespace dfdbg::pedf

@@ -1,0 +1,62 @@
+#include "dfdbg/pedf/module.hpp"
+
+#include "dfdbg/common/assert.hpp"
+
+namespace dfdbg::pedf {
+
+Filter& Module::add_filter(std::unique_ptr<Filter> f) {
+  DFDBG_CHECK(f != nullptr);
+  DFDBG_CHECK_MSG(child(f->name()) == nullptr, "duplicate child '" + f->name() + "'");
+  f->set_parent(this);
+  filters_.push_back(std::move(f));
+  return *filters_.back();
+}
+
+Module& Module::add_module(std::unique_ptr<Module> m) {
+  DFDBG_CHECK(m != nullptr);
+  DFDBG_CHECK_MSG(child(m->name()) == nullptr, "duplicate child '" + m->name() + "'");
+  m->set_parent(this);
+  modules_.push_back(std::move(m));
+  return *modules_.back();
+}
+
+Controller& Module::set_controller(std::unique_ptr<Controller> c) {
+  DFDBG_CHECK(c != nullptr);
+  DFDBG_CHECK_MSG(controller_ == nullptr, "module " + name() + " already has a controller");
+  c->set_parent(this);
+  c->module_ = this;
+  controller_ = std::move(c);
+  return *controller_;
+}
+
+void Module::bind(std::string src, std::string dst) {
+  bindings_.push_back(BindingDecl{std::move(src), std::move(dst)});
+}
+
+void Module::define_predicate(std::string name, std::function<bool(Module&)> fn) {
+  DFDBG_CHECK_MSG(predicate(name) == nullptr, "duplicate predicate '" + name + "'");
+  predicates_.push_back(PredicateDecl{std::move(name), std::move(fn)});
+}
+
+const PredicateDecl* Module::predicate(std::string_view name) const {
+  for (const auto& p : predicates_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+Actor* Module::child(std::string_view name) const {
+  for (const auto& f : filters_)
+    if (f->name() == name) return f.get();
+  for (const auto& m : modules_)
+    if (m->name() == name) return m.get();
+  if (controller_ != nullptr && controller_->name() == name) return controller_.get();
+  return nullptr;
+}
+
+Filter* Module::filter(std::string_view name) const {
+  for (const auto& f : filters_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+}  // namespace dfdbg::pedf

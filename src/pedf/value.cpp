@@ -1,0 +1,207 @@
+#include "dfdbg/pedf/value.hpp"
+
+#include <cstring>
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::pedf {
+
+const char* to_string(ScalarType t) {
+  switch (t) {
+    case ScalarType::kU8: return "U8";
+    case ScalarType::kU16: return "U16";
+    case ScalarType::kU32: return "U32";
+    case ScalarType::kI32: return "I32";
+    case ScalarType::kF32: return "F32";
+  }
+  return "?";
+}
+
+bool parse_scalar_type(const std::string& name, ScalarType* out) {
+  if (name == "U8") *out = ScalarType::kU8;
+  else if (name == "U16") *out = ScalarType::kU16;
+  else if (name == "U32") *out = ScalarType::kU32;
+  else if (name == "I32") *out = ScalarType::kI32;
+  else if (name == "F32") *out = ScalarType::kF32;
+  else return false;
+  return true;
+}
+
+int StructType::field_index(std::string_view field) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i)
+    if (fields_[i].name == field) return static_cast<int>(i);
+  return -1;
+}
+
+std::string TypeDesc::name() const {
+  return struct_ != nullptr ? struct_->name() : to_string(scalar_);
+}
+
+std::uint64_t TypeDesc::byte_size() const {
+  if (struct_ != nullptr) return 8 * struct_->fields().size();
+  switch (scalar_) {
+    case ScalarType::kU8: return 1;
+    case ScalarType::kU16: return 2;
+    case ScalarType::kU32:
+    case ScalarType::kI32:
+    case ScalarType::kF32: return 4;
+  }
+  return 4;
+}
+
+const StructType* TypeRegistry::define_struct(std::string name, std::vector<FieldDesc> fields) {
+  DFDBG_CHECK_MSG(structs_.find(name) == structs_.end(), "duplicate struct type: " + name);
+  auto st = std::make_unique<StructType>(name, std::move(fields));
+  const StructType* raw = st.get();
+  structs_.emplace(std::move(name), std::move(st));
+  return raw;
+}
+
+const StructType* TypeRegistry::find_struct(const std::string& name) const {
+  auto it = structs_.find(name);
+  return it == structs_.end() ? nullptr : it->second.get();
+}
+
+bool TypeRegistry::resolve(const std::string& name, TypeDesc* out) const {
+  ScalarType s;
+  if (parse_scalar_type(name, &s)) {
+    *out = TypeDesc(s);
+    return true;
+  }
+  const StructType* st = find_struct(name);
+  if (st != nullptr) {
+    *out = TypeDesc(st);
+    return true;
+  }
+  return false;
+}
+
+Value Value::u8(std::uint8_t v) {
+  Value x;
+  x.type_ = TypeDesc(ScalarType::kU8);
+  x.bits_ = v;
+  return x;
+}
+Value Value::u16(std::uint16_t v) {
+  Value x;
+  x.type_ = TypeDesc(ScalarType::kU16);
+  x.bits_ = v;
+  return x;
+}
+Value Value::u32(std::uint32_t v) {
+  Value x;
+  x.type_ = TypeDesc(ScalarType::kU32);
+  x.bits_ = v;
+  return x;
+}
+Value Value::i32(std::int32_t v) {
+  Value x;
+  x.type_ = TypeDesc(ScalarType::kI32);
+  x.bits_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+  return x;
+}
+Value Value::f32(float v) {
+  Value x;
+  x.type_ = TypeDesc(ScalarType::kF32);
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  x.bits_ = bits;
+  return x;
+}
+
+Value Value::make_struct(const StructType* st) {
+  DFDBG_CHECK(st != nullptr);
+  Value x;
+  x.type_ = TypeDesc(st);
+  x.fields_.assign(st->fields().size(), 0);
+  return x;
+}
+
+Value Value::zero_of(const TypeDesc& type) {
+  if (type.is_struct()) return make_struct(type.struct_type());
+  Value x;
+  x.type_ = type;
+  return x;
+}
+
+std::uint64_t Value::as_u64() const {
+  DFDBG_CHECK(!type_.is_struct());
+  return bits_;
+}
+
+std::int64_t Value::as_i64() const {
+  DFDBG_CHECK(!type_.is_struct());
+  if (type_.scalar() == ScalarType::kI32)
+    return static_cast<std::int64_t>(static_cast<std::int32_t>(bits_));
+  return static_cast<std::int64_t>(bits_);
+}
+
+float Value::as_f32() const {
+  DFDBG_CHECK(!type_.is_struct());
+  std::uint32_t b = static_cast<std::uint32_t>(bits_);
+  float f;
+  std::memcpy(&f, &b, sizeof f);
+  return f;
+}
+
+void Value::set_scalar_u64(std::uint64_t bits) {
+  DFDBG_CHECK(!type_.is_struct());
+  switch (type_.scalar()) {
+    case ScalarType::kU8: bits_ = bits & 0xffu; break;
+    case ScalarType::kU16: bits_ = bits & 0xffffu; break;
+    case ScalarType::kU32:
+    case ScalarType::kI32:
+    case ScalarType::kF32: bits_ = bits & 0xffffffffu; break;
+  }
+}
+
+std::uint64_t Value::field_u64(std::string_view field) const {
+  DFDBG_CHECK(type_.is_struct());
+  int idx = type_.struct_type()->field_index(field);
+  DFDBG_CHECK_MSG(idx >= 0, "no such field: " + std::string(field));
+  return fields_[static_cast<std::size_t>(idx)];
+}
+
+std::uint64_t Value::field_u64_at(std::size_t idx) const {
+  DFDBG_CHECK(type_.is_struct() && idx < fields_.size());
+  return fields_[idx];
+}
+
+void Value::set_field(std::string_view field, std::uint64_t bits) {
+  DFDBG_CHECK(type_.is_struct());
+  int idx = type_.struct_type()->field_index(field);
+  DFDBG_CHECK_MSG(idx >= 0, "no such field: " + std::string(field));
+  fields_[static_cast<std::size_t>(idx)] = bits;
+}
+
+void Value::set_field_at(std::size_t idx, std::uint64_t bits) {
+  DFDBG_CHECK(type_.is_struct() && idx < fields_.size());
+  fields_[idx] = bits;
+}
+
+std::string Value::payload_string() const {
+  if (!type_.is_struct()) {
+    if (type_.scalar() == ScalarType::kF32) return strformat("%g", static_cast<double>(as_f32()));
+    if (type_.scalar() == ScalarType::kI32) return strformat("%lld", static_cast<long long>(as_i64()));
+    return strformat("%llu", static_cast<unsigned long long>(bits_));
+  }
+  std::string out = "{";
+  const auto& fs = type_.struct_type()->fields();
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    if (i) out += ", ";
+    out += fs[i].name;
+    out += "=";
+    out += fs[i].print_hex
+               ? strformat("0x%llX", static_cast<unsigned long long>(fields_[i]))
+               : strformat("%llu", static_cast<unsigned long long>(fields_[i]));
+  }
+  out += "}";
+  return out;
+}
+
+std::string Value::to_string() const {
+  if (type_.is_struct()) return "(" + type_.name() + ")" + payload_string();
+  return "(" + type_.name() + ") " + payload_string();
+}
+
+}  // namespace dfdbg::pedf

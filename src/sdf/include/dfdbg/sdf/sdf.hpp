@@ -1,0 +1,111 @@
+// Synchronous dataflow (SDF) on top of PEDF.
+//
+// The paper contrasts its *dynamic* dataflow debugger with StreamIt's
+// environment (§VII-C), whose synchronous model fixes token rates at
+// compile time, and lists "encompassing new models, thanks to a generic
+// code base" as future work (§VIII). This library delivers that: an SDF
+// front-end — static rates, balance-equation analysis, periodic schedule
+// synthesis — whose graphs compile onto the same PEDF runtime and are
+// debugged by the same dataflow-aware Session with zero changes.
+//
+// Pipeline:  SdfGraph  ──repetition_vector()──►  consistency check
+//                      ──schedule()───────────►  deadlock-free firing list
+//                      ──instantiate()────────►  pedf::Module (filters +
+//                                                a controller replaying the
+//                                                static schedule)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/pedf/application.hpp"
+
+namespace dfdbg::sdf {
+
+/// One SDF port: a fixed token rate per firing.
+struct SdfPortSpec {
+  std::string name;
+  pedf::PortDir dir = pedf::PortDir::kIn;
+  std::uint32_t rate = 1;  ///< tokens consumed/produced per firing (>= 1)
+  pedf::TypeDesc type;
+};
+
+/// The computation of one SDF actor firing: receives `rate` tokens per
+/// input port (in declaration order) and must fill `rate` tokens per output
+/// port (in declaration order).
+using SdfKernel = std::function<void(const std::vector<std::vector<pedf::Value>>& inputs,
+                                     std::vector<std::vector<pedf::Value>>* outputs)>;
+
+/// One SDF actor.
+struct SdfActorSpec {
+  std::string name;
+  std::vector<SdfPortSpec> ports;
+  SdfKernel kernel;             ///< null = copy/zero-fill default
+  sim::SimTime compute = 0;     ///< modeled cycles per firing
+};
+
+/// One SDF edge, with optional initial (delay) tokens.
+struct SdfEdgeSpec {
+  std::string src_actor, src_port;
+  std::string dst_actor, dst_port;
+  std::uint32_t initial_tokens = 0;
+};
+
+/// A firing entry of the flat periodic schedule.
+struct Firing {
+  std::string actor;
+  std::uint32_t count = 1;  ///< consecutive firings of this actor
+};
+
+/// An SDF graph under construction and analysis.
+class SdfGraph {
+ public:
+  /// Adds an actor; names must be unique, rates >= 1.
+  Status add_actor(SdfActorSpec spec);
+  /// Adds an edge between declared ports (directions must match).
+  Status add_edge(SdfEdgeSpec spec);
+
+  [[nodiscard]] const std::vector<SdfActorSpec>& actors() const { return actors_; }
+  [[nodiscard]] const std::vector<SdfEdgeSpec>& edges() const { return edges_; }
+
+  /// Solves the balance equations rep[src]*prod = rep[dst]*cons for every
+  /// edge. Returns the minimal integer repetition vector (indexed like
+  /// actors()), or an error naming the inconsistent edge. The graph must be
+  /// connected.
+  [[nodiscard]] Result<std::vector<std::uint64_t>> repetition_vector() const;
+
+  /// Synthesizes a flat periodic schedule executing each actor rep[i] times
+  /// such that no firing ever underflows a link (honouring initial tokens).
+  /// Errors if the graph is rate-inconsistent or deadlocks (insufficient
+  /// initial tokens on a cycle).
+  [[nodiscard]] Result<std::vector<Firing>> schedule() const;
+
+  /// Tokens on each edge after one full schedule period equal the initial
+  /// tokens (the SDF invariant); exposed for property tests.
+  [[nodiscard]] Result<bool> period_is_neutral() const;
+
+  /// Builds a PEDF module executing `iterations` periods of the schedule.
+  /// Unconnected SDF ports become module boundary ports (attach host I/O).
+  /// After pedf elaboration, call apply_initial_tokens() to place delays.
+  [[nodiscard]] Result<std::unique_ptr<pedf::Module>> instantiate(
+      const std::string& module_name, std::uint64_t iterations) const;
+
+  /// Pre-loads the initial (delay) tokens onto the elaborated links.
+  /// `module_name` must be the instantiate() name; zero-valued tokens of
+  /// the link type are used.
+  Status apply_initial_tokens(pedf::Application& app) const;
+
+ private:
+  [[nodiscard]] int actor_index(const std::string& name) const;
+  [[nodiscard]] const SdfPortSpec* find_port(const std::string& actor,
+                                             const std::string& port) const;
+
+  std::vector<SdfActorSpec> actors_;
+  std::vector<SdfEdgeSpec> edges_;
+};
+
+}  // namespace dfdbg::sdf

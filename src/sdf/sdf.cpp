@@ -1,0 +1,347 @@
+#include "dfdbg/sdf/sdf.hpp"
+
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "dfdbg/common/assert.hpp"
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::sdf {
+
+using pedf::PortDir;
+using pedf::Value;
+
+// ---------------------------------------------------------------------------
+// Graph construction
+// ---------------------------------------------------------------------------
+
+int SdfGraph::actor_index(const std::string& name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i)
+    if (actors_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+const SdfPortSpec* SdfGraph::find_port(const std::string& actor,
+                                       const std::string& port) const {
+  int idx = actor_index(actor);
+  if (idx < 0) return nullptr;
+  for (const SdfPortSpec& p : actors_[static_cast<std::size_t>(idx)].ports)
+    if (p.name == port) return &p;
+  return nullptr;
+}
+
+Status SdfGraph::add_actor(SdfActorSpec spec) {
+  if (actor_index(spec.name) >= 0) return Status::error("duplicate SDF actor: " + spec.name);
+  for (const SdfPortSpec& p : spec.ports) {
+    if (p.rate == 0)
+      return Status::error(spec.name + "." + p.name + ": SDF rates must be >= 1");
+    int seen = 0;
+    for (const SdfPortSpec& q : spec.ports)
+      if (q.name == p.name) seen++;
+    if (seen != 1) return Status::error(spec.name + ": duplicate port " + p.name);
+  }
+  actors_.push_back(std::move(spec));
+  return Status{};
+}
+
+Status SdfGraph::add_edge(SdfEdgeSpec spec) {
+  const SdfPortSpec* src = find_port(spec.src_actor, spec.src_port);
+  const SdfPortSpec* dst = find_port(spec.dst_actor, spec.dst_port);
+  if (src == nullptr)
+    return Status::error("unknown SDF endpoint " + spec.src_actor + "." + spec.src_port);
+  if (dst == nullptr)
+    return Status::error("unknown SDF endpoint " + spec.dst_actor + "." + spec.dst_port);
+  if (src->dir != PortDir::kOut)
+    return Status::error(spec.src_actor + "." + spec.src_port + " is not an output");
+  if (dst->dir != PortDir::kIn)
+    return Status::error(spec.dst_actor + "." + spec.dst_port + " is not an input");
+  if (!(src->type == dst->type))
+    return Status::error("SDF edge type mismatch: " + spec.src_actor + "." + spec.src_port +
+                         " vs " + spec.dst_actor + "." + spec.dst_port);
+  for (const SdfEdgeSpec& e : edges_) {
+    if (e.src_actor == spec.src_actor && e.src_port == spec.src_port)
+      return Status::error(spec.src_actor + "." + spec.src_port + " already connected");
+    if (e.dst_actor == spec.dst_actor && e.dst_port == spec.dst_port)
+      return Status::error(spec.dst_actor + "." + spec.dst_port + " already connected");
+  }
+  edges_.push_back(std::move(spec));
+  return Status{};
+}
+
+// ---------------------------------------------------------------------------
+// Balance equations
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Rational number with canonical form (for rate propagation).
+struct Frac {
+  std::uint64_t num = 0, den = 1;
+  static Frac make(std::uint64_t n, std::uint64_t d) {
+    std::uint64_t g = std::gcd(n, d);
+    return Frac{n / g, d / g};
+  }
+  Frac mul(std::uint64_t n, std::uint64_t d) const {
+    // (num/den) * (n/d) with intermediate reduction.
+    std::uint64_t g1 = std::gcd(num, d);
+    std::uint64_t g2 = std::gcd(n, den);
+    return Frac::make((num / g1) * (n / g2), (den / g2) * (d / g1));
+  }
+  bool operator==(const Frac& o) const { return num == o.num && den == o.den; }
+};
+}  // namespace
+
+Result<std::vector<std::uint64_t>> SdfGraph::repetition_vector() const {
+  if (actors_.empty()) return Status::error("empty SDF graph");
+  std::vector<Frac> rep(actors_.size());
+  std::vector<bool> visited(actors_.size(), false);
+
+  // BFS from actor 0 propagating rate ratios along edges (either direction).
+  rep[0] = Frac{1, 1};
+  visited[0] = true;
+  std::queue<int> work;
+  work.push(0);
+  while (!work.empty()) {
+    int a = work.front();
+    work.pop();
+    for (const SdfEdgeSpec& e : edges_) {
+      int s = actor_index(e.src_actor);
+      int d = actor_index(e.dst_actor);
+      const SdfPortSpec* sp = find_port(e.src_actor, e.src_port);
+      const SdfPortSpec* dp = find_port(e.dst_actor, e.dst_port);
+      DFDBG_CHECK(s >= 0 && d >= 0 && sp != nullptr && dp != nullptr);
+      // rep[s] * prod == rep[d] * cons
+      if (s == a) {
+        Frac expect = rep[static_cast<std::size_t>(s)].mul(sp->rate, dp->rate);
+        if (!visited[static_cast<std::size_t>(d)]) {
+          rep[static_cast<std::size_t>(d)] = expect;
+          visited[static_cast<std::size_t>(d)] = true;
+          work.push(d);
+        } else if (!(rep[static_cast<std::size_t>(d)] == expect)) {
+          return Status::error("inconsistent SDF rates on edge " + e.src_actor + "." +
+                               e.src_port + " -> " + e.dst_actor + "." + e.dst_port);
+        }
+      } else if (d == a) {
+        Frac expect = rep[static_cast<std::size_t>(d)].mul(dp->rate, sp->rate);
+        if (!visited[static_cast<std::size_t>(s)]) {
+          rep[static_cast<std::size_t>(s)] = expect;
+          visited[static_cast<std::size_t>(s)] = true;
+          work.push(s);
+        } else if (!(rep[static_cast<std::size_t>(s)] == expect)) {
+          return Status::error("inconsistent SDF rates on edge " + e.src_actor + "." +
+                               e.src_port + " -> " + e.dst_actor + "." + e.dst_port);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (!visited[i])
+      return Status::error("SDF graph is disconnected at actor " + actors_[i].name);
+  }
+  // Scale to the minimal integer vector: multiply by lcm of denominators,
+  // then divide by the gcd of numerators.
+  std::uint64_t lcm = 1;
+  for (const Frac& f : rep) lcm = std::lcm(lcm, f.den);
+  std::vector<std::uint64_t> out(actors_.size());
+  for (std::size_t i = 0; i < rep.size(); ++i) out[i] = rep[i].num * (lcm / rep[i].den);
+  std::uint64_t g = 0;
+  for (std::uint64_t v : out) g = std::gcd(g, v);
+  DFDBG_CHECK(g > 0);
+  for (std::uint64_t& v : out) v /= g;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Firing>> SdfGraph::schedule() const {
+  auto rep = repetition_vector();
+  if (!rep.ok()) return rep.status();
+
+  std::vector<std::uint64_t> remaining = *rep;
+  std::vector<std::uint64_t> occupancy(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) occupancy[e] = edges_[e].initial_tokens;
+
+  auto can_fire = [&](std::size_t a) {
+    if (remaining[a] == 0) return false;
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (actor_index(edges_[e].dst_actor) != static_cast<int>(a)) continue;
+      const SdfPortSpec* dp = find_port(edges_[e].dst_actor, edges_[e].dst_port);
+      if (occupancy[e] < dp->rate) return false;
+    }
+    return true;
+  };
+  auto fire = [&](std::size_t a) {
+    remaining[a]--;
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (actor_index(edges_[e].dst_actor) == static_cast<int>(a))
+        occupancy[e] -= find_port(edges_[e].dst_actor, edges_[e].dst_port)->rate;
+      if (actor_index(edges_[e].src_actor) == static_cast<int>(a))
+        occupancy[e] += find_port(edges_[e].src_actor, edges_[e].src_port)->rate;
+    }
+  };
+
+  std::vector<Firing> out;
+  std::uint64_t left = std::accumulate(remaining.begin(), remaining.end(), std::uint64_t{0});
+  while (left > 0) {
+    bool progressed = false;
+    for (std::size_t a = 0; a < actors_.size(); ++a) {
+      std::uint32_t burst = 0;
+      while (can_fire(a)) {
+        fire(a);
+        burst++;
+        left--;
+      }
+      if (burst > 0) {
+        progressed = true;
+        if (!out.empty() && out.back().actor == actors_[a].name)
+          out.back().count += burst;
+        else
+          out.push_back(Firing{actors_[a].name, burst});
+      }
+    }
+    if (!progressed)
+      return Status::error("SDF graph deadlocks: insufficient initial tokens on a cycle");
+  }
+  return out;
+}
+
+Result<bool> SdfGraph::period_is_neutral() const {
+  auto rep = repetition_vector();
+  if (!rep.ok()) return rep.status();
+  for (const SdfEdgeSpec& e : edges_) {
+    std::uint64_t produced =
+        (*rep)[static_cast<std::size_t>(actor_index(e.src_actor))] *
+        find_port(e.src_actor, e.src_port)->rate;
+    std::uint64_t consumed =
+        (*rep)[static_cast<std::size_t>(actor_index(e.dst_actor))] *
+        find_port(e.dst_actor, e.dst_port)->rate;
+    if (produced != consumed) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PEDF instantiation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// PEDF filter executing one SDF firing per WORK step.
+class SdfFilter : public pedf::Filter {
+ public:
+  SdfFilter(const SdfActorSpec& spec) : Filter(spec.name), spec_(spec) {
+    for (const SdfPortSpec& p : spec.ports) add_port(p.name, p.dir, p.type);
+  }
+
+  void work(pedf::FilterContext& pedf) override {
+    std::vector<std::vector<Value>> inputs;
+    std::vector<const SdfPortSpec*> out_ports;
+    for (const SdfPortSpec& p : spec_.ports) {
+      if (p.dir == PortDir::kIn) {
+        std::vector<Value> tokens;
+        tokens.reserve(p.rate);
+        for (std::uint32_t i = 0; i < p.rate; ++i) tokens.push_back(pedf.in(p.name).get());
+        inputs.push_back(std::move(tokens));
+      } else {
+        out_ports.push_back(&p);
+      }
+    }
+    if (spec_.compute > 0) pedf.compute(spec_.compute);
+    std::vector<std::vector<Value>> outputs(out_ports.size());
+    if (spec_.kernel) {
+      spec_.kernel(inputs, &outputs);
+    } else {
+      // Default kernel: resample the concatenated inputs onto each output
+      // (copy-through when rates match, repeat/drop otherwise).
+      std::vector<Value> flat;
+      for (const auto& in : inputs) flat.insert(flat.end(), in.begin(), in.end());
+      for (std::size_t o = 0; o < out_ports.size(); ++o) {
+        for (std::uint32_t i = 0; i < out_ports[o]->rate; ++i) {
+          outputs[o].push_back(flat.empty() ? Value::zero_of(out_ports[o]->type)
+                                            : flat[i % flat.size()]);
+        }
+      }
+    }
+    for (std::size_t o = 0; o < out_ports.size(); ++o) {
+      DFDBG_CHECK_MSG(outputs[o].size() == out_ports[o]->rate,
+                      name() + "." + out_ports[o]->name + ": kernel produced " +
+                          std::to_string(outputs[o].size()) + " tokens, rate is " +
+                          std::to_string(out_ports[o]->rate));
+      for (const Value& v : outputs[o]) pedf.out(out_ports[o]->name).put(v);
+    }
+  }
+
+ private:
+  SdfActorSpec spec_;
+};
+
+/// PEDF controller replaying the static schedule.
+class SdfController : public pedf::Controller {
+ public:
+  SdfController(std::vector<Firing> schedule, std::uint64_t iterations)
+      : Controller("sdf_scheduler"), schedule_(std::move(schedule)), iterations_(iterations) {}
+
+  void control(pedf::ControllerContext& ctx) override {
+    for (std::uint64_t it = 0; it < iterations_; ++it) {
+      ctx.next_step();  // one schedule period per PEDF step
+      for (const Firing& f : schedule_) ctx.actor_fire_n(f.actor, f.count);
+    }
+  }
+
+ private:
+  std::vector<Firing> schedule_;
+  std::uint64_t iterations_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<pedf::Module>> SdfGraph::instantiate(const std::string& module_name,
+                                                            std::uint64_t iterations) const {
+  auto sched = schedule();
+  if (!sched.ok()) return sched.status();
+
+  auto mod = std::make_unique<pedf::Module>(module_name);
+  for (const SdfActorSpec& a : actors_) mod->add_filter(std::make_unique<SdfFilter>(a));
+  mod->set_controller(std::make_unique<SdfController>(std::move(*sched), iterations));
+
+  // Internal edges become bindings; unconnected SDF ports surface as module
+  // boundary ports named "<actor>_<port>".
+  for (const SdfEdgeSpec& e : edges_)
+    mod->bind(e.src_actor + "." + e.src_port, e.dst_actor + "." + e.dst_port);
+  for (const SdfActorSpec& a : actors_) {
+    for (const SdfPortSpec& p : a.ports) {
+      bool connected = false;
+      for (const SdfEdgeSpec& e : edges_) {
+        if ((e.src_actor == a.name && e.src_port == p.name) ||
+            (e.dst_actor == a.name && e.dst_port == p.name))
+          connected = true;
+      }
+      if (connected) continue;
+      std::string boundary = a.name + "_" + p.name;
+      mod->add_port(boundary, p.dir, p.type);
+      if (p.dir == PortDir::kIn)
+        mod->bind("this." + boundary, a.name + "." + p.name);
+      else
+        mod->bind(a.name + "." + p.name, "this." + boundary);
+    }
+  }
+  return mod;
+}
+
+Status SdfGraph::apply_initial_tokens(pedf::Application& app) const {
+  if (!app.elaborated()) return Status::error("apply_initial_tokens before elaborate");
+  for (const SdfEdgeSpec& e : edges_) {
+    if (e.initial_tokens == 0) continue;
+    pedf::Link* link = app.link_by_iface(e.dst_actor + "::" + e.dst_port);
+    if (link == nullptr)
+      return Status::error("cannot locate elaborated link for SDF edge into " + e.dst_actor +
+                           "." + e.dst_port);
+    for (std::uint32_t i = 0; i < e.initial_tokens; ++i)
+      link->push_raw(Value::zero_of(link->type()));
+  }
+  return Status{};
+}
+
+}  // namespace dfdbg::sdf

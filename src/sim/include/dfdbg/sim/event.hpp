@@ -1,0 +1,38 @@
+// Simulation events: the wait/notify primitive of the cooperative kernel.
+// A process waits on an event; notifying moves all waiters (in wait order,
+// deterministically) to the ready queue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfdbg::sim {
+
+class Process;
+class Kernel;
+
+/// A named notification channel. Owned by user code; must outlive any wait.
+class Event {
+ public:
+  explicit Event(std::string name = "event") : name_(std::move(name)) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Number of processes currently blocked on this event.
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+  /// Number of times this event has been notified.
+  [[nodiscard]] std::uint64_t notify_count() const { return notify_count_; }
+
+ private:
+  friend class Kernel;
+  std::string name_;
+  std::vector<Process*> waiters_;
+  std::uint64_t notify_count_ = 0;
+};
+
+}  // namespace dfdbg::sim

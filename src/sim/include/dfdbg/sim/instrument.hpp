@@ -1,0 +1,247 @@
+// The instrumentation port: this repository's stand-in for attaching GDB to
+// the simulator process.
+//
+// In the paper, the debugger sets *function breakpoints* at the entry and
+// exit of the dataflow framework's API functions and parses the relevant
+// arguments "based on the API definition, calling conventions and debug
+// information" (DWARF). The framework itself is NOT modified.
+//
+// Running everything in one host process, we cannot plant real INT3
+// breakpoints, so the simulator exposes this port instead: framework
+// functions report (symbol, raw argument values) at entry/exit, exactly the
+// data a breakpoint + DWARF parse would yield. The debugger attaches by
+// symbol name and registers enter hooks (function breakpoints) and exit
+// hooks (the paper's *finish breakpoints*). When nothing is attached the
+// fast path is a single branch, so the framework stays debugger-agnostic.
+//
+// "Framework cooperation" (§V, option 2 — left unimplemented in the paper,
+// built here as an extension): the framework can additionally report a
+// per-instance symbol (e.g. the link or actor the call concerns), letting
+// the debugger arm breakpoints for the actors of interest only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dfdbg/common/ids.hpp"
+
+namespace dfdbg::sim {
+
+class Kernel;
+
+struct SymbolIdTag {};
+/// Dense id of an interned function (or instance) symbol.
+using SymbolId = dfdbg::Id<SymbolIdTag>;
+
+struct HookIdTag {};
+/// Identifier of one registered hook (function or finish breakpoint).
+using HookId = dfdbg::Id<HookIdTag>;
+
+/// One function argument (or return value) as the debugger would recover it
+/// from registers/stack plus DWARF type info.
+struct ArgValue {
+  enum class Kind : std::uint8_t { kNone, kI64, kU64, kF64, kPtr, kStr };
+
+  const char* name = "";
+  Kind kind = Kind::kNone;
+  std::int64_t i64 = 0;
+  std::uint64_t u64 = 0;
+  double f64 = 0.0;
+  void* ptr = nullptr;
+  const char* str = nullptr;
+
+  static ArgValue of_i64(const char* n, std::int64_t v) {
+    ArgValue a;
+    a.name = n;
+    a.kind = Kind::kI64;
+    a.i64 = v;
+    return a;
+  }
+  static ArgValue of_u64(const char* n, std::uint64_t v) {
+    ArgValue a;
+    a.name = n;
+    a.kind = Kind::kU64;
+    a.u64 = v;
+    return a;
+  }
+  static ArgValue of_f64(const char* n, double v) {
+    ArgValue a;
+    a.name = n;
+    a.kind = Kind::kF64;
+    a.f64 = v;
+    return a;
+  }
+  static ArgValue of_ptr(const char* n, void* v) {
+    ArgValue a;
+    a.name = n;
+    a.kind = Kind::kPtr;
+    a.ptr = v;
+    return a;
+  }
+  static ArgValue of_str(const char* n, const char* v) {
+    ArgValue a;
+    a.name = n;
+    a.kind = Kind::kStr;
+    a.str = v;
+    return a;
+  }
+};
+
+/// The view a hook receives when its breakpoint triggers.
+class Frame {
+ public:
+  Frame(Kernel& kernel, SymbolId symbol, std::string_view symbol_name,
+        std::span<const ArgValue> args, const ArgValue* ret)
+      : kernel_(kernel), symbol_(symbol), symbol_name_(symbol_name), args_(args), ret_(ret) {}
+
+  [[nodiscard]] Kernel& kernel() const { return kernel_; }
+  [[nodiscard]] SymbolId symbol() const { return symbol_; }
+  [[nodiscard]] std::string_view symbol_name() const { return symbol_name_; }
+  [[nodiscard]] std::span<const ArgValue> args() const { return args_; }
+
+  /// Argument by name, nullptr if absent.
+  [[nodiscard]] const ArgValue* arg(std::string_view name) const;
+
+  /// Return value — non-null only in exit (finish-breakpoint) hooks.
+  [[nodiscard]] const ArgValue* ret() const { return ret_; }
+
+ private:
+  Kernel& kernel_;
+  SymbolId symbol_;
+  std::string_view symbol_name_;
+  std::span<const ArgValue> args_;
+  const ArgValue* ret_;
+};
+
+/// Hook callback. Runs synchronously on the simulated process that executed
+/// the framework function; may call Kernel::debug_break() to stop.
+using Hook = std::function<void(Frame&)>;
+
+/// Registry of symbols and hooks. One per kernel.
+class InstrumentPort {
+ public:
+  // --- symbol table (framework fills it during elaboration) ---------------
+
+  /// Interns `name`, returning a dense id (idempotent).
+  SymbolId intern(std::string name);
+  /// Id of `name` if interned, invalid id otherwise.
+  [[nodiscard]] SymbolId lookup(std::string_view name) const;
+  /// Name of an interned symbol.
+  [[nodiscard]] const std::string& symbol_name(SymbolId id) const;
+  /// All interned symbol names (the debugger's "symbol file").
+  [[nodiscard]] std::vector<std::string> all_symbols() const;
+
+  // --- debugger side -------------------------------------------------------
+
+  /// Registers a function breakpoint at `symbol` entry.
+  HookId add_enter_hook(SymbolId symbol, Hook hook);
+  /// Registers a finish breakpoint at `symbol` exit.
+  HookId add_exit_hook(SymbolId symbol, Hook hook);
+  /// Unregisters a hook (idempotent).
+  void remove_hook(HookId id);
+  /// Temporarily enables/disables a hook without unregistering it — the
+  /// paper's option 1 ("disabling the data exchange breakpoints").
+  void set_hook_enabled(HookId id, bool enabled);
+  [[nodiscard]] bool hook_enabled(HookId id) const;
+
+  /// Master switch: with false, no hooks fire at all (detached debugger).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // --- framework side ------------------------------------------------------
+
+  /// Fast check used by the framework before building an argument pack.
+  /// `instance` is the optional per-actor/per-link symbol (cooperation).
+  [[nodiscard]] bool armed(SymbolId symbol, SymbolId instance = SymbolId{}) const {
+    if (!enabled_) return false;
+    return has_any_hook(symbol) || (instance.valid() && has_any_hook(instance));
+  }
+
+  /// Fires enter hooks of `symbol` (and `instance`, if armed). Called by the
+  /// framework; `kernel` is the owning kernel.
+  void fire_enter(Kernel& kernel, SymbolId symbol, std::span<const ArgValue> args,
+                  SymbolId instance = SymbolId{});
+  /// Fires exit hooks with the return value (may be null for void).
+  void fire_exit(Kernel& kernel, SymbolId symbol, std::span<const ArgValue> args,
+                 const ArgValue* ret, SymbolId instance = SymbolId{});
+
+  /// Set during kernel teardown so that unwinding frames stop reporting.
+  void set_teardown(bool teardown) { teardown_ = teardown; }
+  [[nodiscard]] bool teardown() const { return teardown_; }
+
+  // --- statistics (benchmarks & tests) -------------------------------------
+
+  [[nodiscard]] std::uint64_t enter_fired() const { return enter_fired_; }
+  [[nodiscard]] std::uint64_t exit_fired() const { return exit_fired_; }
+  [[nodiscard]] std::uint64_t hook_invocations() const { return hook_invocations_; }
+  /// Times any hook of `symbol` has been invoked.
+  [[nodiscard]] std::uint64_t symbol_hits(SymbolId symbol) const;
+  void reset_stats();
+
+ private:
+  struct HookRecord {
+    SymbolId symbol;
+    bool is_enter = true;
+    bool enabled = true;
+    bool removed = false;
+    Hook fn;
+  };
+  struct SymbolHooks {
+    std::vector<std::uint32_t> enter;  // indexes into hooks_
+    std::vector<std::uint32_t> exit;
+    std::uint64_t hits = 0;
+  };
+
+  [[nodiscard]] bool has_any_hook(SymbolId s) const;
+  void fire_list(Kernel& kernel, const std::vector<std::uint32_t>& list, SymbolId symbol,
+                 std::span<const ArgValue> args, const ArgValue* ret);
+
+  bool enabled_ = false;
+  bool teardown_ = false;
+  std::vector<std::string> symbol_names_;
+  std::unordered_map<std::string, std::uint32_t> symbol_index_;
+  std::vector<SymbolHooks> per_symbol_;
+  std::vector<HookRecord> hooks_;
+  std::uint64_t enter_fired_ = 0;
+  std::uint64_t exit_fired_ = 0;
+  std::uint64_t hook_invocations_ = 0;
+};
+
+/// RAII frame used by framework functions: fires the enter hook on
+/// construction and the exit (finish) hook on destruction.
+class InstrScope {
+ public:
+  /// `args` must outlive the scope (they normally live on the caller stack).
+  InstrScope(Kernel& kernel, SymbolId symbol, std::span<const ArgValue> args,
+             SymbolId instance = SymbolId{});
+  /// noexcept(false): exit hooks may suspend the process (debug_break), and
+  /// a kernel teardown while suspended unwinds through this destructor.
+  ~InstrScope() noexcept(false);
+
+  InstrScope(const InstrScope&) = delete;
+  InstrScope& operator=(const InstrScope&) = delete;
+
+  /// Sets the value the exit hook will observe as the function result.
+  void set_return(ArgValue ret) {
+    ret_ = ret;
+    has_ret_ = true;
+  }
+
+ private:
+  Kernel& kernel_;
+  SymbolId symbol_;
+  SymbolId instance_;
+  std::span<const ArgValue> args_;
+  ArgValue ret_;
+  bool has_ret_ = false;
+  bool armed_;
+  int uncaught_;  ///< exception depth at entry; skip exit hooks when unwinding
+};
+
+}  // namespace dfdbg::sim

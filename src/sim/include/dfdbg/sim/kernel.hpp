@@ -1,0 +1,155 @@
+// The deterministic cooperative simulation kernel.
+//
+// Model: discrete-event simulation with cooperative processes. Exactly one
+// process executes at any instant; processes yield by waiting on events or
+// advancing simulated time. The ready queue is FIFO and all wakeups are
+// ordered, so a given program produces the same interleaving on every run.
+// This reproduces the property of the P2012 functional simulator that the
+// paper's debugger exploits: "the model and the implementation ensure that
+// the data order is preserved, [so] we can stop the execution at the right
+// location in a deterministic way".
+//
+// Debugger integration: any code running inside a process (e.g. an
+// instrumentation hook) may call Kernel::debug_break(); the simulation is
+// then suspended with the process frozen mid-call and Kernel::run() returns
+// kStopped. A later run() resumes exactly where execution stopped, which is
+// what gives the CLI its `continue` semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <semaphore>
+#include <string>
+#include <vector>
+
+#include "dfdbg/sim/event.hpp"
+#include "dfdbg/sim/instrument.hpp"
+#include "dfdbg/sim/process.hpp"
+#include "dfdbg/sim/time.hpp"
+
+namespace dfdbg::sim {
+
+/// Order in which ready processes are dispatched. Dataflow applications on
+/// blocking FIFO links are Kahn process networks: their *results* must be
+/// identical under any policy — only timing and interleaving may change.
+/// The LIFO policy exists to demonstrate (and test) exactly that.
+enum class ReadyPolicy {
+  kFifo,  ///< default: first-ready, first-dispatched (fully deterministic)
+  kLifo,  ///< stack order: adversarial interleaving, same dataflow results
+};
+
+/// Why Kernel::run() returned.
+enum class RunResult {
+  kFinished,  ///< All processes terminated.
+  kStopped,   ///< debug_break() was requested; simulation is resumable.
+  kDeadlock,  ///< Live processes exist but all are blocked on events.
+  kTimeLimit, ///< The `until` bound was reached; simulation is resumable.
+};
+
+/// Returns a short human-readable name for `r`.
+const char* to_string(RunResult r);
+
+/// The simulation kernel. Owns all processes and the instrumentation port.
+/// Not thread-safe: the embedding application drives it from one thread.
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Creates a process executing `body`. May be called before run() or from
+  /// inside a running process. The process becomes ready immediately.
+  ProcessId spawn(std::string name, std::function<void()> body);
+
+  /// Runs the simulation until it finishes, deadlocks, breaks, or simulated
+  /// time would exceed `until`. Resumable after kStopped / kTimeLimit.
+  RunResult run(SimTime until = kMaxSimTime);
+
+  /// Current simulated time in cycles.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// The process currently executing, or nullptr outside process context.
+  [[nodiscard]] Process* current() const { return current_; }
+
+  /// Looks up a process by id (nullptr if unknown).
+  [[nodiscard]] Process* process(ProcessId id) const;
+  /// Looks up a process by name (nullptr if unknown; first match).
+  [[nodiscard]] Process* process_by_name(const std::string& name) const;
+  /// All processes ever spawned (stable order).
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+  // --- Primitives callable from process context only -----------------------
+
+  /// Blocks the calling process until `e` is notified.
+  void wait(Event& e);
+
+  /// Blocks the calling process for `dt` simulated cycles.
+  void advance(SimTime dt);
+
+  /// Suspends the whole simulation; run() returns kStopped. When run() is
+  /// called again the calling process resumes here first (it is placed at
+  /// the front of the ready queue), preserving determinism.
+  void debug_break();
+
+  // --- Primitives callable from any context --------------------------------
+
+  /// Wakes every process waiting on `e` (they run after the current process
+  /// yields, in wait order). Safe to call while the simulation is stopped,
+  /// which is how the debugger "unties" deadlocks after altering state.
+  void notify(Event& e);
+
+  /// Number of scheduler dispatches so far (for tests and benchmarks).
+  [[nodiscard]] std::uint64_t dispatch_count() const { return dispatches_; }
+
+  /// Count of live (non-terminated) processes.
+  [[nodiscard]] std::size_t live_process_count() const;
+
+  /// The instrumentation port the debugger attaches to (see instrument.hpp).
+  [[nodiscard]] InstrumentPort& instrument() { return instrument_; }
+  [[nodiscard]] const InstrumentPort& instrument() const { return instrument_; }
+
+  /// Ready-queue dispatch order (see ReadyPolicy). Still deterministic for
+  /// a fixed policy; set before run() for reproducible experiments.
+  void set_ready_policy(ReadyPolicy policy) { policy_ = policy; }
+  [[nodiscard]] ReadyPolicy ready_policy() const { return policy_; }
+
+ private:
+  friend class Process;
+
+  struct TimedEntry {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break
+    Process* process;
+    bool operator>(const TimedEntry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  /// Hands the CPU to `p` and blocks until it yields back.
+  void dispatch(Process* p);
+  /// Enqueues a newly-ready process according to the active policy.
+  void make_ready(Process* p);
+
+  SimTime now_ = 0;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::deque<Process*> ready_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_;
+  Process* current_ = nullptr;
+  bool stop_requested_ = false;
+  bool shutting_down_ = false;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t wait_seq_counter_ = 0;
+  ReadyPolicy policy_ = ReadyPolicy::kFifo;
+  std::binary_semaphore kernel_sem_{0};
+  InstrumentPort instrument_;
+};
+
+}  // namespace dfdbg::sim

@@ -1,0 +1,77 @@
+// A simulated process: the kernel's unit of execution. Mirrors SystemC
+// SC_THREADs — user-level cooperative threads that a conventional
+// thread-level debugger cannot see individually (the paper's §VI-F point).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+
+#include "dfdbg/common/ids.hpp"
+#include "dfdbg/sim/time.hpp"
+
+namespace dfdbg::sim {
+
+class Kernel;
+
+struct ProcessIdTag {};
+/// Stable identifier of a simulated process.
+using ProcessId = dfdbg::Id<ProcessIdTag>;
+
+/// Lifecycle states of a simulated process.
+enum class ProcessState {
+  kReady,         ///< In the ready queue, will run when scheduled.
+  kRunning,       ///< Currently executing (at most one at any instant).
+  kWaitingEvent,  ///< Blocked on an Event.
+  kWaitingTime,   ///< Blocked until a simulated time.
+  kTerminated,    ///< Body returned (or process killed at shutdown).
+};
+
+/// Returns a short human-readable name for `s`.
+const char* to_string(ProcessState s);
+
+/// A cooperative process. Created via Kernel::spawn; lifetime managed by the
+/// kernel. Exactly one process runs at a time, which gives the deterministic
+/// token ordering the dataflow debugger relies on.
+class Process {
+ public:
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ProcessState state() const { return state_; }
+
+  /// Total simulated cycles this process spent advancing time.
+  [[nodiscard]] SimTime consumed_time() const { return consumed_time_; }
+
+  /// Number of times this process has been scheduled in.
+  [[nodiscard]] std::uint64_t activation_count() const { return activations_; }
+
+ private:
+  friend class Kernel;
+  Process(Kernel* kernel, ProcessId id, std::string name, std::function<void()> body);
+
+  void thread_main();
+  /// Blocks the underlying OS thread until the kernel hands control back.
+  /// Throws Killed at kernel teardown.
+  void park();
+
+  Kernel* kernel_;
+  ProcessId id_;
+  std::string name_;
+  std::function<void()> body_;
+  ProcessState state_ = ProcessState::kReady;
+  SimTime wake_time_ = 0;
+  SimTime consumed_time_ = 0;
+  std::uint64_t activations_ = 0;
+  std::uint64_t wait_seq_ = 0;  ///< tie-break for deterministic timed wakeups
+  std::binary_semaphore resume_sem_{0};
+  std::thread thread_;
+};
+
+}  // namespace dfdbg::sim

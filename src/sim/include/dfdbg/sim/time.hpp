@@ -1,0 +1,15 @@
+// Simulated time. The functional simulator counts abstract cycles; all
+// latencies (memory, DMA, compute) are expressed in cycles.
+#pragma once
+
+#include <cstdint>
+
+namespace dfdbg::sim {
+
+/// Simulated time in cycles.
+using SimTime = std::uint64_t;
+
+/// Sentinel: run without a time bound.
+inline constexpr SimTime kMaxSimTime = UINT64_MAX;
+
+}  // namespace dfdbg::sim

@@ -1,0 +1,214 @@
+#include "dfdbg/sim/kernel.hpp"
+
+#include <exception>
+
+#include "dfdbg/common/assert.hpp"
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::sim {
+
+namespace {
+/// Thrown inside parked process threads at kernel teardown to unwind their
+/// stacks cleanly through RAII frames.
+struct ProcessKilled {};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+const char* to_string(ProcessState s) {
+  switch (s) {
+    case ProcessState::kReady: return "ready";
+    case ProcessState::kRunning: return "running";
+    case ProcessState::kWaitingEvent: return "waiting-event";
+    case ProcessState::kWaitingTime: return "waiting-time";
+    case ProcessState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+Process::Process(Kernel* kernel, ProcessId id, std::string name, std::function<void()> body)
+    : kernel_(kernel), id_(id), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+Process::~Process() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::thread_main() {
+  // Wait for the first dispatch (or teardown).
+  resume_sem_.acquire();
+  if (kernel_->shutting_down_) {
+    state_ = ProcessState::kTerminated;
+    return;
+  }
+  try {
+    body_();
+    state_ = ProcessState::kTerminated;
+    kernel_->kernel_sem_.release();  // hand control back to the scheduler
+  } catch (const ProcessKilled&) {
+    state_ = ProcessState::kTerminated;
+    // Teardown: the kernel is not blocked in dispatch; do not signal it.
+  } catch (const std::exception& e) {
+    panic(__FILE__, __LINE__,
+          strformat("uncaught exception in simulated process '%s': %s", name_.c_str(), e.what()));
+  }
+}
+
+void Process::park() {
+  kernel_->kernel_sem_.release();
+  resume_sem_.acquire();
+  if (kernel_->shutting_down_) throw ProcessKilled{};
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+const char* to_string(RunResult r) {
+  switch (r) {
+    case RunResult::kFinished: return "finished";
+    case RunResult::kStopped: return "stopped";
+    case RunResult::kDeadlock: return "deadlock";
+    case RunResult::kTimeLimit: return "time-limit";
+  }
+  return "?";
+}
+
+Kernel::Kernel() = default;
+
+Kernel::~Kernel() {
+  shutting_down_ = true;
+  instrument_.set_teardown(true);
+  for (auto& p : processes_) {
+    if (p->state_ != ProcessState::kTerminated) p->resume_sem_.release();
+  }
+  for (auto& p : processes_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+}
+
+ProcessId Kernel::spawn(std::string name, std::function<void()> body) {
+  DFDBG_CHECK_MSG(!shutting_down_, "spawn during teardown");
+  auto id = ProcessId(static_cast<std::uint32_t>(processes_.size()));
+  // Private constructor: cannot use make_unique.
+  processes_.emplace_back(
+      std::unique_ptr<Process>(new Process(this, id, std::move(name), std::move(body))));
+  make_ready(processes_.back().get());
+  return id;
+}
+
+Process* Kernel::process(ProcessId id) const {
+  if (!id.valid() || id.value() >= processes_.size()) return nullptr;
+  return processes_[id.value()].get();
+}
+
+Process* Kernel::process_by_name(const std::string& name) const {
+  for (const auto& p : processes_)
+    if (p->name() == name) return p.get();
+  return nullptr;
+}
+
+std::size_t Kernel::live_process_count() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_)
+    if (p->state() != ProcessState::kTerminated) ++n;
+  return n;
+}
+
+void Kernel::make_ready(Process* p) {
+  p->state_ = ProcessState::kReady;
+  if (policy_ == ReadyPolicy::kLifo)
+    ready_.push_front(p);
+  else
+    ready_.push_back(p);
+}
+
+void Kernel::dispatch(Process* p) {
+  DFDBG_DCHECK(p->state_ == ProcessState::kReady);
+  p->state_ = ProcessState::kRunning;
+  p->activations_++;
+  dispatches_++;
+  current_ = p;
+  p->resume_sem_.release();
+  kernel_sem_.acquire();  // until the process yields or terminates
+  current_ = nullptr;
+}
+
+RunResult Kernel::run(SimTime until) {
+  DFDBG_CHECK_MSG(current_ == nullptr, "Kernel::run called from process context");
+  stop_requested_ = false;
+  while (true) {
+    if (stop_requested_) {
+      stop_requested_ = false;
+      return RunResult::kStopped;
+    }
+    if (ready_.empty()) {
+      if (timed_.empty()) {
+        return live_process_count() == 0 ? RunResult::kFinished : RunResult::kDeadlock;
+      }
+      SimTime t = timed_.top().when;
+      if (t > until) {
+        now_ = until;
+        return RunResult::kTimeLimit;
+      }
+      now_ = t;
+      while (!timed_.empty() && timed_.top().when == now_) {
+        Process* p = timed_.top().process;
+        timed_.pop();
+        make_ready(p);
+      }
+      continue;
+    }
+    Process* p = ready_.front();
+    ready_.pop_front();
+    if (p->state_ == ProcessState::kTerminated) continue;
+    dispatch(p);
+  }
+}
+
+void Kernel::wait(Event& e) {
+  Process* p = current_;
+  DFDBG_CHECK_MSG(p != nullptr, "wait() outside process context");
+  p->state_ = ProcessState::kWaitingEvent;
+  e.waiters_.push_back(p);
+  p->park();
+}
+
+void Kernel::advance(SimTime dt) {
+  Process* p = current_;
+  DFDBG_CHECK_MSG(p != nullptr, "advance() outside process context");
+  if (dt == 0) {
+    // Plain yield: re-enqueue per the active policy.
+    make_ready(p);
+    p->park();
+    return;
+  }
+  p->state_ = ProcessState::kWaitingTime;
+  p->wake_time_ = now_ + dt;
+  p->consumed_time_ += dt;
+  timed_.push(TimedEntry{now_ + dt, wait_seq_counter_++, p});
+  p->park();
+}
+
+void Kernel::debug_break() {
+  Process* p = current_;
+  DFDBG_CHECK_MSG(p != nullptr, "debug_break() outside process context");
+  p->state_ = ProcessState::kReady;
+  ready_.push_front(p);  // resume exactly here on the next run()
+  stop_requested_ = true;
+  p->park();
+}
+
+void Kernel::notify(Event& e) {
+  e.notify_count_++;
+  for (Process* p : e.waiters_) {
+    DFDBG_DCHECK(p->state_ == ProcessState::kWaitingEvent);
+    make_ready(p);
+  }
+  e.waiters_.clear();
+}
+
+}  // namespace dfdbg::sim

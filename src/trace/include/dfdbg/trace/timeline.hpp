@@ -1,0 +1,31 @@
+// Execution-timeline visualization (paper §VIII future work: "how
+// visualization can help developers to better understand the details of the
+// execution").
+//
+// Renders a self-contained SVG from a TraceCollector: one Gantt row per
+// actor (WORK activity rectangles over simulated time, colored per module)
+// plus occupancy step-curves for the busiest links — the picture that makes
+// rate mismatches and stalls obvious at a glance.
+#pragma once
+
+#include <string>
+
+#include "dfdbg/trace/trace.hpp"
+
+namespace dfdbg::trace {
+
+/// Rendering options.
+struct TimelineOptions {
+  int width_px = 1000;        ///< drawing width for the time axis
+  int row_height_px = 18;     ///< per actor row
+  int occupancy_rows = 3;     ///< how many busiest links get a curve (0 = none)
+  bool include_host_io = false;
+};
+
+/// Renders the trace as an SVG document. `app` provides actor metadata
+/// (kind, module) for labelling and coloring. Events outside the retained
+/// trace window are simply absent from the picture.
+std::string render_timeline_svg(const TraceCollector& trace, pedf::Application& app,
+                                const TimelineOptions& options = {});
+
+}  // namespace dfdbg::trace

@@ -1,0 +1,90 @@
+// Offline tracing: the non-interactive alternative the paper contrasts
+// interactive debugging with ("trace tools", §I and §VI-F).
+//
+// A TraceCollector hooks the same framework API symbols as the debugger but
+// only appends records to a bounded buffer; analysis happens after the run.
+// It doubles as the measurement substrate for the bug-localization
+// comparison (QL1): with traces, finding a fault means scanning events.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfdbg/common/ring_buffer.hpp"
+#include "dfdbg/pedf/application.hpp"
+#include "dfdbg/sim/time.hpp"
+
+namespace dfdbg::trace {
+
+/// Kind of one trace record.
+enum class TraceKind : std::uint8_t {
+  kPush,
+  kPop,
+  kWorkEnter,
+  kWorkExit,
+  kActorStart,
+  kStepBegin,
+  kStepEnd,
+};
+
+const char* to_string(TraceKind k);
+
+/// One trace record.
+struct TraceEvent {
+  sim::SimTime time = 0;
+  TraceKind kind = TraceKind::kPush;
+  std::string actor;      ///< actor path
+  std::uint32_t link = UINT32_MAX;
+  std::uint64_t index = 0;  ///< push/pop index or step number
+  std::string payload;      ///< rendered value (pushes only)
+};
+
+/// Aggregated per-link statistics computed while tracing.
+struct LinkStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::size_t max_occupancy = 0;
+};
+
+/// Event collector over the framework instrumentation port.
+class TraceCollector {
+ public:
+  /// `capacity` bounds the retained event window (oldest evicted).
+  /// `record_payloads` controls whether push values are rendered (costly).
+  TraceCollector(pedf::Application& app, std::size_t capacity, bool record_payloads = false);
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Installs the hooks (enables the port).
+  void attach();
+  /// Removes the hooks.
+  void detach();
+  [[nodiscard]] bool attached() const { return attached_; }
+
+  [[nodiscard]] const RingBuffer<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t total_events() const { return events_.total_pushed(); }
+  [[nodiscard]] const std::map<std::uint32_t, LinkStats>& link_stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t firings(const std::string& actor_path) const;
+
+  /// CSV dump of the retained window: time,kind,actor,link,index,payload.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Offline analysis: link with the highest observed occupancy (stall
+  /// suspect), or UINT32_MAX when no data.
+  [[nodiscard]] std::uint32_t busiest_link() const;
+
+ private:
+  pedf::Application& app_;
+  RingBuffer<TraceEvent> events_;
+  bool record_payloads_;
+  bool attached_ = false;
+  std::vector<sim::HookId> hooks_;
+  std::map<std::uint32_t, LinkStats> stats_;
+  std::map<std::string, std::uint64_t> firings_;
+};
+
+}  // namespace dfdbg::trace

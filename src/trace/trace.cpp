@@ -1,0 +1,142 @@
+#include "dfdbg/trace/trace.hpp"
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::trace {
+
+using sim::Frame;
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kPush: return "push";
+    case TraceKind::kPop: return "pop";
+    case TraceKind::kWorkEnter: return "work-enter";
+    case TraceKind::kWorkExit: return "work-exit";
+    case TraceKind::kActorStart: return "actor-start";
+    case TraceKind::kStepBegin: return "step-begin";
+    case TraceKind::kStepEnd: return "step-end";
+  }
+  return "?";
+}
+
+TraceCollector::TraceCollector(pedf::Application& app, std::size_t capacity, bool record_payloads)
+    : app_(app), events_(capacity), record_payloads_(record_payloads) {}
+
+TraceCollector::~TraceCollector() {
+  if (attached_) detach();
+}
+
+void TraceCollector::attach() {
+  DFDBG_CHECK(!attached_);
+  auto& port = app_.kernel().instrument();
+  port.set_enabled(true);
+  const auto& syms = app_.syms();
+  auto now = [this] { return app_.kernel().now(); };
+
+  hooks_.push_back(port.add_exit_hook(syms.link_push, [this, now](Frame& f) {
+    TraceEvent ev;
+    ev.time = now();
+    ev.kind = TraceKind::kPush;
+    ev.actor = f.arg("actor")->str;
+    ev.link = static_cast<std::uint32_t>(f.arg("link")->u64);
+    ev.index = f.ret() != nullptr ? f.ret()->u64 : f.arg("index")->u64;
+    if (record_payloads_) {
+      const auto* v = static_cast<const pedf::Value*>(f.arg("value")->ptr);
+      ev.payload = v->to_string();
+    }
+    LinkStats& st = stats_[ev.link];
+    st.pushes++;
+    std::size_t occ = static_cast<std::size_t>(st.pushes - st.pops);
+    if (occ > st.max_occupancy) st.max_occupancy = occ;
+    events_.push(std::move(ev));
+  }));
+  hooks_.push_back(port.add_exit_hook(syms.link_pop, [this, now](Frame& f) {
+    TraceEvent ev;
+    ev.time = now();
+    ev.kind = TraceKind::kPop;
+    ev.actor = f.arg("actor")->str;
+    ev.link = static_cast<std::uint32_t>(f.arg("link")->u64);
+    ev.index = f.arg("index")->u64;
+    stats_[ev.link].pops++;
+    events_.push(std::move(ev));
+  }));
+  hooks_.push_back(port.add_enter_hook(syms.work_enter, [this, now](Frame& f) {
+    TraceEvent ev;
+    ev.time = now();
+    ev.kind = TraceKind::kWorkEnter;
+    ev.actor = f.arg("actor")->str;
+    ev.index = f.arg("firing")->u64;
+    firings_[ev.actor]++;
+    events_.push(std::move(ev));
+  }));
+  hooks_.push_back(port.add_enter_hook(syms.work_exit, [this, now](Frame& f) {
+    TraceEvent ev;
+    ev.time = now();
+    ev.kind = TraceKind::kWorkExit;
+    ev.actor = f.arg("actor")->str;
+    events_.push(std::move(ev));
+  }));
+  hooks_.push_back(port.add_enter_hook(syms.actor_start, [this, now](Frame& f) {
+    TraceEvent ev;
+    ev.time = now();
+    ev.kind = TraceKind::kActorStart;
+    ev.actor = f.arg("filter")->str;
+    ev.index = f.arg("step")->u64;
+    events_.push(std::move(ev));
+  }));
+  hooks_.push_back(port.add_enter_hook(syms.step_begin, [this, now](Frame& f) {
+    TraceEvent ev;
+    ev.time = now();
+    ev.kind = TraceKind::kStepBegin;
+    ev.actor = f.arg("module")->str;
+    ev.index = f.arg("step")->u64;
+    events_.push(std::move(ev));
+  }));
+  hooks_.push_back(port.add_enter_hook(syms.step_end, [this, now](Frame& f) {
+    TraceEvent ev;
+    ev.time = now();
+    ev.kind = TraceKind::kStepEnd;
+    ev.actor = f.arg("module")->str;
+    ev.index = f.arg("step")->u64;
+    events_.push(std::move(ev));
+  }));
+  attached_ = true;
+}
+
+void TraceCollector::detach() {
+  if (!attached_) return;
+  auto& port = app_.kernel().instrument();
+  for (sim::HookId h : hooks_) port.remove_hook(h);
+  hooks_.clear();
+  attached_ = false;
+}
+
+std::uint64_t TraceCollector::firings(const std::string& actor_path) const {
+  auto it = firings_.find(actor_path);
+  return it == firings_.end() ? 0 : it->second;
+}
+
+std::string TraceCollector::to_csv() const {
+  std::string out = "time,kind,actor,link,index,payload\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_.at(i);
+    out += strformat("%llu,%s,%s,%u,%llu,%s\n", static_cast<unsigned long long>(e.time),
+                     to_string(e.kind), e.actor.c_str(), e.link,
+                     static_cast<unsigned long long>(e.index), e.payload.c_str());
+  }
+  return out;
+}
+
+std::uint32_t TraceCollector::busiest_link() const {
+  std::uint32_t best = UINT32_MAX;
+  std::size_t best_occ = 0;
+  for (const auto& [link, st] : stats_) {
+    if (st.max_occupancy >= best_occ) {
+      best_occ = st.max_occupancy;
+      best = link;
+    }
+  }
+  return best;
+}
+
+}  // namespace dfdbg::trace

@@ -1,0 +1,400 @@
+// Tests of the GDB-style command interpreter: command parsing, transcript
+// output, value/expression handling, auto-completion, error reporting.
+#include <gtest/gtest.h>
+
+#include "dfdbg/dbgcli/cli.hpp"
+#include "dfdbg/h264/app.hpp"
+
+namespace dfdbg::cli {
+namespace {
+
+using h264::H264App;
+using h264::H264AppConfig;
+
+struct CliRig {
+  std::unique_ptr<H264App> app;
+  std::unique_ptr<dbg::Session> session;
+  std::unique_ptr<Interpreter> gdb;
+
+  explicit CliRig(H264AppConfig cfg = make_config()) {
+    auto built = H264App::build(cfg);
+    EXPECT_TRUE(built.ok()) << built.status().message();
+    app = std::move(*built);
+    session = std::make_unique<dbg::Session>(app->app());
+    session->attach();
+    app->start();
+    gdb = std::make_unique<Interpreter>(*session);
+  }
+
+  static H264AppConfig make_config() {
+    H264AppConfig cfg;
+    cfg.params.width = 32;
+    cfg.params.height = 32;
+    cfg.params.frame_count = 1;
+    return cfg;
+  }
+
+  std::string exec(const std::string& line) {
+    gdb->execute(line);
+    return gdb->console().take();
+  }
+};
+
+TEST(Cli, EmptyAndCommentLinesAreNoOps) {
+  CliRig rig;
+  EXPECT_TRUE(rig.gdb->execute("").ok());
+  EXPECT_TRUE(rig.gdb->execute("   ").ok());
+  EXPECT_TRUE(rig.gdb->execute("# just a comment").ok());
+  EXPECT_EQ(rig.gdb->console().take(), "");
+}
+
+TEST(Cli, UnknownCommandReported) {
+  CliRig rig;
+  EXPECT_FALSE(rig.gdb->execute("bogus").ok());
+  EXPECT_NE(rig.gdb->console().take().find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, CatchWorkTranscript) {
+  CliRig rig;
+  std::string out = rig.exec("filter pipe catch work");
+  EXPECT_NE(out.find("stop when WORK of filter `pipe' is triggered"), std::string::npos);
+  out = rig.exec("run");
+  EXPECT_NE(out.find("[Stopped at WORK entry of filter `pipe']"), std::string::npos);
+}
+
+TEST(Cli, CatchTokensWithCommaSpace) {
+  // The paper writes "catch Pipe_in=1, Hwcfg_in=1" with a space after the
+  // comma; the tokenizer must fuse the condition.
+  CliRig rig;
+  std::string out = rig.exec("filter ipred catch Pipe_in=1, Hwcfg_in=1");
+  EXPECT_NE(out.find("Catchpoint"), std::string::npos);
+  out = rig.exec("run");
+  EXPECT_NE(out.find("received required tokens (Pipe_in=1, Hwcfg_in=1)"), std::string::npos);
+}
+
+TEST(Cli, CatchWildcardInputs) {
+  CliRig rig;
+  std::string out = rig.exec("filter ipred catch *in=1");
+  EXPECT_NE(out.find("Catchpoint"), std::string::npos);
+  out = rig.exec("run");
+  EXPECT_NE(out.find("Stopped: filter `ipred' received required tokens"), std::string::npos);
+}
+
+TEST(Cli, CatchSingleInterfaceByName) {
+  CliRig rig;
+  rig.exec("filter pipe catch Red2PipeCbMB_in");
+  std::string out = rig.exec("run");
+  EXPECT_NE(out.find("[Stopped after receiving token from `pipe::Red2PipeCbMB_in']"),
+            std::string::npos);
+}
+
+TEST(Cli, FilterPrintLastTokenAndHistory) {
+  CliRig rig;
+  rig.exec("filter pipe catch Red2PipeCbMB_in");
+  rig.exec("run");
+  std::string out = rig.exec("filter print last_token");
+  EXPECT_NE(out.find("$1 = (CbCrMB_t){Addr=0x1000"), std::string::npos);
+  out = rig.exec("print $1");
+  EXPECT_NE(out.find("$2 = (CbCrMB_t){"), std::string::npos);
+  out = rig.exec("print $1.Izz");
+  EXPECT_NE(out.find("$3 = (U32)"), std::string::npos);
+}
+
+TEST(Cli, PrintFilterVariables) {
+  CliRig rig;
+  rig.exec("filter pipe catch work");
+  rig.exec("run");
+  rig.exec("run");
+  std::string out = rig.exec("print vld.data.mbs_parsed");
+  EXPECT_NE(out.find("= (U32)"), std::string::npos);
+  out = rig.exec("print vld.data.nope");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(Cli, RecordAndPrintIface) {
+  CliRig rig;
+  rig.exec("iface hwcfg::pipe_MbType_out record");
+  rig.exec("filter ipred catch work");
+  rig.exec("run");
+  std::string out = rig.exec("iface hwcfg::pipe_MbType_out print");
+  EXPECT_NE(out.find("#1 (U16)"), std::string::npos);
+}
+
+TEST(Cli, RecordOnInputInterface) {
+  // Recording works on the receive side too (fed by the pop finish
+  // breakpoint with the actually-delivered value).
+  CliRig rig;
+  rig.exec("iface pipe::Red2PipeCbMB_in record");
+  rig.exec("filter pipe catch work");
+  rig.exec("run");
+  rig.exec("run");
+  std::string out = rig.exec("iface pipe::Red2PipeCbMB_in print");
+  EXPECT_NE(out.find("#1 (CbCrMB_t){Addr=0x1000"), std::string::npos) << out;
+}
+
+TEST(Cli, PrintRecordedUnknownIface) {
+  CliRig rig;
+  std::string out = rig.exec("iface ghost::port print");
+  EXPECT_NE(out.find("not recorded"), std::string::npos);
+}
+
+TEST(Cli, GraphToFile) {
+  CliRig rig;
+  const char* path = "/tmp/dfdbg_graph_test.dot";
+  std::string out = rig.exec(std::string("graph tokens > ") + path);
+  EXPECT_NE(out.find("Graph written"), std::string::npos);
+  FILE* f = std::fopen(path, "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof buf - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_NE(std::string(buf).find("digraph"), std::string::npos);
+  std::remove(path);
+}
+
+TEST(Cli, ConfigureSplitter) {
+  CliRig rig;
+  std::string out = rig.exec("filter red configure splitter");
+  EXPECT_NE(out.find("configured as splitter"), std::string::npos);
+  out = rig.exec("filter red configure nonsense");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(Cli, InfoLastTokenTranscript) {
+  CliRig rig;
+  rig.exec("filter red configure splitter");
+  rig.exec("filter pipe catch Red2PipeCbMB_in");
+  rig.exec("run");
+  std::string out = rig.exec("filter pipe info last_token");
+  EXPECT_NE(out.find("#1 red -> pipe (CbCrMB_t){"), std::string::npos);
+  EXPECT_NE(out.find("#2 bh -> red (U32)"), std::string::npos);
+}
+
+TEST(Cli, StepBothWithExplicitIface) {
+  CliRig rig;
+  std::string out = rig.exec("step_both ipred::Add2Dblock_ipf_out");
+  EXPECT_NE(out.find("Temporary breakpoint inserted after input interface"), std::string::npos);
+  EXPECT_NE(out.find("Temporary breakpoint inserted after outpu"), std::string::npos);
+  out = rig.exec("continue");
+  EXPECT_NE(out.find("[Stopped after sending token on `ipred::Add2Dblock_ipf_out']"),
+            std::string::npos);
+  out = rig.exec("continue");
+  EXPECT_NE(out.find("[Stopped after receiving token from `ipf::Add2Dblock_ipred_in']"),
+            std::string::npos);
+}
+
+TEST(Cli, GraphCommand) {
+  CliRig rig;
+  std::string out = rig.exec("graph");
+  EXPECT_NE(out.find("digraph app"), std::string::npos);
+  out = rig.exec("graph tokens");
+  EXPECT_NE(out.find("[0]"), std::string::npos);
+}
+
+TEST(Cli, InfoSubcommands) {
+  CliRig rig;
+  rig.exec("filter pipe catch work");
+  rig.exec("run");
+  EXPECT_NE(rig.exec("info links").find("pipe_MbType_out"), std::string::npos);
+  EXPECT_NE(rig.exec("info sched pred").find("module `pred'"), std::string::npos);
+  EXPECT_NE(rig.exec("info actors").find("h264.pred.ipred"), std::string::npos);
+  EXPECT_NE(rig.exec("info breakpoints").find("catch work"), std::string::npos);
+  EXPECT_NE(rig.exec("info tokens").find("retained="), std::string::npos);
+  EXPECT_NE(rig.exec("info nonsense").find("error:"), std::string::npos);
+}
+
+TEST(Cli, BreakpointLifecycle) {
+  CliRig rig;
+  rig.exec("filter pipe catch work");
+  std::string out = rig.exec("info breakpoints");
+  EXPECT_NE(out.find("0"), std::string::npos);
+  EXPECT_TRUE(rig.gdb->execute("disable 0").ok());
+  EXPECT_TRUE(rig.gdb->execute("enable 0").ok());
+  EXPECT_TRUE(rig.gdb->execute("delete 0").ok());
+  rig.gdb->console().take();
+  EXPECT_EQ(rig.exec("info breakpoints"), "");
+}
+
+TEST(Cli, SourceBreakAndList) {
+  CliRig rig;
+  std::string out = rig.exec("break ipred:221");
+  EXPECT_NE(out.find("Breakpoint"), std::string::npos);
+  out = rig.exec("run");
+  EXPECT_NE(out.find("filter `ipred' at line 221"), std::string::npos);
+  out = rig.exec("list ipred 221");
+  EXPECT_NE(out.find("pedf.io.Add2Dblock_ipf_out"), std::string::npos);
+  out = rig.exec("list");  // defaults to the current filter
+  EXPECT_NE(out.find("ipred.c"), std::string::npos);
+}
+
+TEST(Cli, WatchCommand) {
+  CliRig rig;
+  std::string out = rig.exec("watch vld data mbs_parsed");
+  EXPECT_NE(out.find("Watchpoint"), std::string::npos);
+  out = rig.exec("run");
+  EXPECT_NE(out.find("vld.data.mbs_parsed changed"), std::string::npos);
+}
+
+TEST(Cli, TokInsertDelSet) {
+  CliRig rig;
+  // Tokens can be staged before anything runs (simulation is stopped).
+  std::string out = rig.exec("tok insert ipred::Hwcfg_in 20");
+  EXPECT_NE(out.find("Token inserted"), std::string::npos);
+  out = rig.exec("tok set ipred::Hwcfg_in 0 21");
+  EXPECT_NE(out.find("modified"), std::string::npos);
+  out = rig.exec("tok del ipred::Hwcfg_in 0");
+  EXPECT_NE(out.find("deleted"), std::string::npos);
+  out = rig.exec("tok del ipred::Hwcfg_in 5");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(Cli, TokInsertStructValue) {
+  CliRig rig;
+  std::string out = rig.exec("tok insert pipe::Red2PipeCbMB_in Addr=0x145D,InterNotIntra=1,Izz=7");
+  EXPECT_NE(out.find("Token inserted"), std::string::npos);
+  pedf::Link* l = rig.app->app().link_by_iface("pipe::Red2PipeCbMB_in");
+  ASSERT_EQ(l->occupancy(), 1u);
+  EXPECT_EQ(l->peek(0).field_u64("Addr"), 0x145Du);
+  out = rig.exec("tok insert pipe::Red2PipeCbMB_in NoField=3");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(Cli, DataExchangeToggleAndFocus) {
+  CliRig rig;
+  std::string out = rig.exec("disable data-exchange");
+  EXPECT_NE(out.find("[Data-exchange breakpoints disabled]"), std::string::npos);
+  out = rig.exec("enable data-exchange");
+  EXPECT_NE(out.find("[Data-exchange breakpoints enabled]"), std::string::npos);
+  out = rig.exec("focus ipred::Pipe_in ipred::Hwcfg_in");
+  EXPECT_NE(out.find("restricted to 2 interface(s)"), std::string::npos);
+  out = rig.exec("unfocus");
+  EXPECT_NE(out.find("restored"), std::string::npos);
+}
+
+TEST(Cli, ScriptRunsAndCountsFailures) {
+  CliRig rig;
+  int failures = rig.gdb->run_script({
+      "filter pipe catch work",
+      "bogus command",
+      "run",
+  });
+  EXPECT_EQ(failures, 1);
+  EXPECT_NE(rig.gdb->console().take().find("[Stopped at WORK entry"), std::string::npos);
+}
+
+TEST(Cli, HelpListsThePaperCommands) {
+  CliRig rig;
+  std::string out = rig.exec("help");
+  for (const char* cmd : {"catch work", "step_both", "configure splitter", "last_token",
+                          "record", "focus", "data-exchange"})
+    EXPECT_NE(out.find(cmd), std::string::npos) << cmd;
+}
+
+TEST(Cli, SourceRunsScriptFile) {
+  CliRig rig;
+  const char* path = "/tmp/dfdbg_test_script.gdb";
+  FILE* f = std::fopen(path, "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# comment line\nfilter pipe catch work\nrun\n", f);
+  std::fclose(f);
+  ASSERT_TRUE(rig.gdb->execute(std::string("source ") + path).ok());
+  EXPECT_NE(rig.gdb->console().take().find("[Stopped at WORK entry of filter `pipe']"),
+            std::string::npos);
+  std::remove(path);
+}
+
+TEST(Cli, SourceMissingFileFails) {
+  CliRig rig;
+  EXPECT_FALSE(rig.gdb->execute("source /nonexistent/script").ok());
+}
+
+TEST(Cli, SaveThenSourceReplaysTheSetup) {
+  const char* path = "/tmp/dfdbg_saved_session.gdb";
+  {
+    CliRig rig;
+    rig.exec("filter pipe catch work");
+    rig.exec("filter red configure splitter");
+    rig.exec("iface hwcfg::pipe_MbType_out record");
+    rig.exec("break ipred:221");
+    rig.exec("run");                 // not replayable
+    rig.exec("info breakpoints");    // query, not replayable
+    std::string out = rig.exec(std::string("save ") + path);
+    EXPECT_NE(out.find("Saved 4 command(s)"), std::string::npos) << out;
+  }
+  {
+    CliRig rig;
+    ASSERT_TRUE(rig.gdb->execute(std::string("source ") + path).ok());
+    EXPECT_EQ(rig.session->breakpoints().size(), 2u);  // catch work + line bp
+    EXPECT_TRUE(rig.session->recorder().enabled("hwcfg::pipe_MbType_out"));
+    EXPECT_EQ(rig.session->graph().actor_by_name("red")->behavior,
+              dbg::ActorBehavior::kSplitter);
+  }
+  std::remove(path);
+}
+
+TEST(Cli, ExportJsonState) {
+  CliRig rig;
+  rig.exec("filter pipe catch work");
+  rig.exec("run");
+  std::string json = rig.exec("export");
+  EXPECT_NE(json.find("\"actors\""), std::string::npos);
+  EXPECT_NE(json.find("\"links\""), std::string::npos);
+  EXPECT_NE(json.find("\"breakpoints\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"h264.pred.pipe\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"catch-work\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  long braces = 0, brackets = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_str = !in_str;
+    if (in_str) continue;
+    if (c == '{') braces++;
+    if (c == '}') braces--;
+    if (c == '[') brackets++;
+    if (c == ']') brackets--;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+// --- auto-completion (paper Contribution #1's UX) ------------------------------
+
+TEST(CliCompletion, CommandPrefix) {
+  CliRig rig;
+  auto c = rig.gdb->complete("fi");
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], "filter");
+}
+
+TEST(CliCompletion, FilterNames) {
+  CliRig rig;
+  auto c = rig.gdb->complete("filter ip");
+  ASSERT_EQ(c.size(), 2u);  // ipf, ipred
+  EXPECT_EQ(c[0], "ipf");
+  EXPECT_EQ(c[1], "ipred");
+}
+
+TEST(CliCompletion, FilterVerbs) {
+  CliRig rig;
+  auto c = rig.gdb->complete("filter ipred c");
+  EXPECT_NE(std::find(c.begin(), c.end(), "catch"), c.end());
+  EXPECT_NE(std::find(c.begin(), c.end(), "configure"), c.end());
+}
+
+TEST(CliCompletion, CatchSuggestsFilterInputs) {
+  CliRig rig;
+  auto c = rig.gdb->complete("filter ipred catch ");
+  EXPECT_NE(std::find(c.begin(), c.end(), "Pipe_in"), c.end());
+  EXPECT_NE(std::find(c.begin(), c.end(), "Hwcfg_in"), c.end());
+  EXPECT_NE(std::find(c.begin(), c.end(), "work"), c.end());
+}
+
+TEST(CliCompletion, IfaceNames) {
+  CliRig rig;
+  auto c = rig.gdb->complete("iface hwcfg::");
+  EXPECT_NE(std::find(c.begin(), c.end(), "hwcfg::pipe_MbType_out"), c.end());
+}
+
+}  // namespace
+}  // namespace dfdbg::cli

@@ -1,0 +1,149 @@
+// Unit tests for the df_common utility library.
+#include <gtest/gtest.h>
+
+#include "dfdbg/common/ids.hpp"
+#include "dfdbg/common/prng.hpp"
+#include "dfdbg/common/ring_buffer.hpp"
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Status::error("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::error("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(Ids, InvalidByDefault) {
+  struct Tag {};
+  Id<Tag> id;
+  EXPECT_FALSE(id.valid());
+  Id<Tag> a(3), b(3), c(4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(rb.push(i));
+  EXPECT_EQ(rb.size(), 4u);
+  EXPECT_EQ(rb.front(), 0);
+  EXPECT_EQ(rb.back(), 3);
+}
+
+TEST(RingBuffer, EvictsOldest) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.push(4));
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb.total_pushed(), 4u);
+}
+
+TEST(RingBuffer, AtIndexesFromOldest) {
+  RingBuffer<int> rb(3);
+  for (int i = 0; i < 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.at(0), 2);
+  EXPECT_EQ(rb.at(1), 3);
+  EXPECT_EQ(rb.at(2), 4);
+}
+
+TEST(Strings, Split) {
+  auto v = split("a,b,,c", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "");
+}
+
+TEST(Strings, SplitWs) {
+  auto v = split_ws("  foo   bar\tbaz ");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "bar");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+}
+
+TEST(Strings, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strformat("%s", ""), "");
+}
+
+TEST(Strings, MangleFilterWork) {
+  // The paper's example: filter `ipf` work method -> IpfFilter_work_function.
+  EXPECT_EQ(mangle_filter_work("ipf"), "IpfFilter_work_function");
+  EXPECT_EQ(mangle_filter_work("my_filter"), "MyFilterFilter_work_function");
+}
+
+TEST(Strings, MangleControllerWork) {
+  // The paper's example: pred module controller ->
+  // _component_PredModule_anon_0_work.
+  EXPECT_EQ(mangle_controller_work("pred", 0), "_component_PredModule_anon_0_work");
+  EXPECT_EQ(mangle_controller_work("front", 1), "_component_FrontModule_anon_1_work");
+}
+
+TEST(Prng, Deterministic) {
+  Prng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, RangeBounds) {
+  Prng p(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = p.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng p(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = p.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dfdbg

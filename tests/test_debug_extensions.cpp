@@ -1,0 +1,346 @@
+// Tests of the debugger features beyond the paper's proof-of-concept that
+// its §III approach calls for: provenance-conditional catchpoints (token
+// source conditions), link-occupancy catchpoints, predicate-evaluation
+// breakpoints, and PEDF rate control (actor_fire_n).
+#include <gtest/gtest.h>
+
+#include "dfdbg/common/strings.hpp"
+#include "dfdbg/dbgcli/cli.hpp"
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/pedf/application.hpp"
+
+namespace dfdbg {
+namespace {
+
+h264::H264AppConfig small_config(h264::FaultPlan::Kind fault = h264::FaultPlan::Kind::kNone) {
+  h264::H264AppConfig cfg;
+  cfg.params.width = 32;
+  cfg.params.height = 32;
+  cfg.params.frame_count = 1;
+  cfg.fault.kind = fault;
+  cfg.fault.trigger_mb = 0;
+  cfg.fault.period = fault == h264::FaultPlan::Kind::kRateMismatch ? 1 : 0;
+  return cfg;
+}
+
+struct Rig {
+  std::unique_ptr<h264::H264App> app;
+  std::unique_ptr<dbg::Session> session;
+  explicit Rig(const h264::H264AppConfig& cfg) {
+    auto built = h264::H264App::build(cfg);
+    EXPECT_TRUE(built.ok()) << built.status().message();
+    app = std::move(*built);
+    session = std::make_unique<dbg::Session>(app->app());
+    session->attach();
+    app->start();
+  }
+};
+
+// --- catch_token_from ---------------------------------------------------------
+
+TEST(TokenFrom, StopsOnDerivedToken) {
+  Rig rig(small_config());
+  ASSERT_TRUE(rig.session->configure_behavior("red", dbg::ActorBehavior::kSplitter).ok());
+  // Stop when pipe receives a token derived (via red) from bh.
+  auto bp = rig.session->catch_token_from("pipe::Red2PipeCbMB_in", "bh");
+  ASSERT_TRUE(bp.ok()) << bp.status().message();
+  auto out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  EXPECT_EQ(out.stops[0].kind, dbg::StopKind::kTokenProvenance);
+  EXPECT_NE(out.stops[0].message.find("derives from `bh'"), std::string::npos);
+}
+
+TEST(TokenFrom, DirectProducerAlsoMatches) {
+  Rig rig(small_config());
+  auto bp = rig.session->catch_token_from("pipe::Red2PipeCbMB_in", "red");
+  ASSERT_TRUE(bp.ok());
+  auto out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  EXPECT_EQ(out.stops[0].kind, dbg::StopKind::kTokenProvenance);
+}
+
+TEST(TokenFrom, NoStopWithoutBehaviorConfig) {
+  // Without the splitter configuration red's tokens carry no provenance, so
+  // a transitive source never matches (the paper: the developer must supply
+  // the behaviour).
+  Rig rig(small_config());
+  auto bp = rig.session->catch_token_from("pipe::Red2PipeCbMB_in", "bh");
+  ASSERT_TRUE(bp.ok());
+  auto out = rig.session->run();
+  EXPECT_EQ(out.result, sim::RunResult::kFinished);
+}
+
+TEST(TokenFrom, Validation) {
+  Rig rig(small_config());
+  EXPECT_FALSE(rig.session->catch_token_from("pipe::nope", "bh").ok());
+  EXPECT_FALSE(rig.session->catch_token_from("pipe::Red2PipeCbMB_in", "ghost").ok());
+  EXPECT_FALSE(rig.session->catch_token_from("red::Red2PipeCbMB_out", "bh").ok());  // output
+}
+
+// --- break_on_occupancy ----------------------------------------------------------
+
+TEST(Occupancy, StopsAtThreshold) {
+  Rig rig(small_config(h264::FaultPlan::Kind::kRateMismatch));
+  auto bp = rig.session->break_on_occupancy("ipf::pipe_in", 20);
+  ASSERT_TRUE(bp.ok()) << bp.status().message();
+  auto out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  EXPECT_EQ(out.stops[0].kind, dbg::StopKind::kLinkOccupancy);
+  EXPECT_EQ(rig.app->app().link_by_iface("ipf::pipe_in")->occupancy(), 20u);
+  EXPECT_NE(out.stops[0].message.find("holds 20 token(s)"), std::string::npos);
+}
+
+TEST(Occupancy, SilentOnHealthyRun) {
+  Rig rig(small_config());
+  ASSERT_TRUE(rig.session->break_on_occupancy("ipf::pipe_in", 20).ok());
+  auto out = rig.session->run();
+  EXPECT_EQ(out.result, sim::RunResult::kFinished);
+}
+
+TEST(Occupancy, Validation) {
+  Rig rig(small_config());
+  EXPECT_FALSE(rig.session->break_on_occupancy("ipf::pipe_in", 0).ok());
+  EXPECT_FALSE(rig.session->break_on_occupancy("nope::x", 5).ok());
+}
+
+// --- break_on_predicate -------------------------------------------------------------
+
+TEST(PredicateBp, StopsWithResult) {
+  Rig rig(small_config());
+  auto bp = rig.session->break_on_predicate("pred", "mb_is_intra");
+  ASSERT_TRUE(bp.ok()) << bp.status().message();
+  auto out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  EXPECT_EQ(out.stops[0].kind, dbg::StopKind::kPredicateEval);
+  // Frame 0 is intra-only, so the first evaluation is true.
+  EXPECT_NE(out.stops[0].message.find("`mb_is_intra' of module `pred' evaluated to true"),
+            std::string::npos);
+}
+
+TEST(PredicateBp, FiresPerEvaluation) {
+  Rig rig(small_config());
+  ASSERT_TRUE(rig.session->break_on_predicate("pred", "mb_is_intra").ok());
+  int stops = 0;
+  for (;;) {
+    auto out = rig.session->run();
+    if (out.result != sim::RunResult::kStopped) break;
+    stops++;
+  }
+  EXPECT_EQ(stops, small_config().params.total_mbs());  // one evaluation per MB
+}
+
+TEST(PredicateBp, Validation) {
+  Rig rig(small_config());
+  EXPECT_FALSE(rig.session->break_on_predicate("ipred", "x").ok());  // not a module
+  EXPECT_FALSE(rig.session->break_on_predicate("ghost", "x").ok());
+}
+
+// --- CLI surface ------------------------------------------------------------------
+
+TEST(ExtCli, OccupancyCatch) {
+  Rig rig(small_config(h264::FaultPlan::Kind::kRateMismatch));
+  cli::Interpreter gdb(*rig.session);
+  ASSERT_TRUE(gdb.execute("iface ipf::pipe_in catch occupancy 20").ok());
+  gdb.console().take();
+  gdb.execute("run");
+  EXPECT_NE(gdb.console().take().find("holds 20 token(s)"), std::string::npos);
+}
+
+TEST(ExtCli, FromCatch) {
+  Rig rig(small_config());
+  cli::Interpreter gdb(*rig.session);
+  ASSERT_TRUE(gdb.execute("filter red configure splitter").ok());
+  ASSERT_TRUE(gdb.execute("iface pipe::Red2PipeCbMB_in catch from bh").ok());
+  gdb.console().take();
+  gdb.execute("run");
+  EXPECT_NE(gdb.console().take().find("derives from `bh'"), std::string::npos);
+}
+
+TEST(ExtCli, ContentConditionOnStructField) {
+  // Frame 0 is intra-only: InterNotIntra == 1 fires only with the fault.
+  Rig rig(small_config(h264::FaultPlan::Kind::kCorruptSplitter));
+  rig.app->store().fault.trigger_mb = 2;
+  cli::Interpreter gdb(*rig.session);
+  ASSERT_TRUE(gdb.execute("filter pipe catch Red2PipeCbMB_in if InterNotIntra == 1").ok());
+  gdb.console().take();
+  gdb.execute("run");
+  std::string out = gdb.console().take();
+  EXPECT_NE(out.find("matched InterNotIntra == 1"), std::string::npos) << out;
+}
+
+TEST(ExtCli, ContentConditionOnScalarValue) {
+  Rig rig(small_config());
+  cli::Interpreter gdb(*rig.session);
+  // bh's third summary token is (2 << 8) | mode; value >= 512 selects it.
+  ASSERT_TRUE(gdb.execute("iface red::bh_in catch if value >= 512").ok());
+  gdb.console().take();
+  gdb.execute("run");
+  std::string out = gdb.console().take();
+  EXPECT_NE(out.find("matched value >= 512"), std::string::npos) << out;
+  // The matching token is the last one pipe's upstream red consumed next...
+  // verify via the framework: the link's pop index has reached 3 tokens.
+  EXPECT_GE(rig.app->app().link_by_iface("red::bh_in")->pop_index(), 2u);
+}
+
+TEST(ExtCli, ContentConditionValidation) {
+  Rig rig(small_config());
+  cli::Interpreter gdb(*rig.session);
+  EXPECT_FALSE(gdb.execute("iface red::bh_in catch if NoField == 1").ok());
+  EXPECT_FALSE(gdb.execute("iface pipe::Red2PipeCbMB_in catch if value == 1").ok());
+  EXPECT_FALSE(gdb.execute("iface red::bh_in catch if value ~= 1").ok());
+  EXPECT_FALSE(gdb.execute("iface red::bh_in catch if value ==").ok());
+}
+
+TEST(ExtCli, PredicateBreak) {
+  Rig rig(small_config());
+  cli::Interpreter gdb(*rig.session);
+  ASSERT_TRUE(gdb.execute("module pred break predicate more_mbs").ok());
+  gdb.console().take();
+  gdb.execute("run");
+  EXPECT_NE(gdb.console().take().find("predicate `more_mbs'"), std::string::npos);
+}
+
+// --- profiling & ignore counts -----------------------------------------------------
+
+TEST(Profile, ReportsPerActorActivity) {
+  Rig rig(small_config());
+  auto out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kFinished);
+  std::string prof = rig.session->info_profile();
+  EXPECT_NE(prof.find("scheduler dispatches"), std::string::npos);
+  for (const char* a : {"h264.front.vld", "h264.pred.ipf", "h264.pred.pred_controller"})
+    EXPECT_NE(prof.find(a), std::string::npos) << a;
+  // vld fired once per MB; its row carries that count.
+  int mbs = small_config().params.total_mbs();
+  EXPECT_NE(prof.find(strformat("%-22s", "h264.front.vld")), std::string::npos);
+  EXPECT_EQ(rig.app->app().filter_by_name("vld")->firings(),
+            static_cast<std::uint64_t>(mbs));
+}
+
+TEST(IgnoreCount, SuppressesTriggersButCountsHits) {
+  Rig rig(small_config());
+  auto bp = rig.session->catch_work("pipe");
+  ASSERT_TRUE(bp.ok());
+  ASSERT_TRUE(rig.session->set_breakpoint_ignore(*bp, 2).ok());
+  auto out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  // Stopped only on the third firing; the first two were counted silently.
+  EXPECT_EQ(rig.session->graph().actor_by_name("pipe")->firings, 3u);
+  auto bps = rig.session->breakpoints();
+  ASSERT_EQ(bps.size(), 1u);
+  EXPECT_EQ(bps[0].hits, 3u);
+  EXPECT_FALSE(rig.session->set_breakpoint_ignore(dbg::BpId(99), 1).ok());
+}
+
+TEST(IgnoreCount, CliCommand) {
+  Rig rig(small_config());
+  cli::Interpreter gdb(*rig.session);
+  ASSERT_TRUE(gdb.execute("filter pipe catch work").ok());
+  ASSERT_TRUE(gdb.execute("ignore 0 3").ok());
+  gdb.console().take();
+  gdb.execute("run");
+  EXPECT_EQ(rig.session->graph().actor_by_name("pipe")->firings, 4u);
+}
+
+// --- source-level single step -----------------------------------------------------
+
+TEST(StepLine, StopsAtConsecutiveLines) {
+  Rig rig(small_config());
+  ASSERT_TRUE(rig.session->break_source_line("ipred", 215).ok());
+  auto out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  ASSERT_EQ(out.stops[0].line, 215);
+  // step: next marker inside ipred is line 216, then 217.
+  ASSERT_TRUE(rig.session->step_line().ok());
+  out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  EXPECT_EQ(out.stops[0].line, 216);
+  EXPECT_NE(out.stops[0].message.find("Stepped: filter `ipred' now at line 216"),
+            std::string::npos);
+  ASSERT_TRUE(rig.session->step_line().ok());
+  out = rig.session->run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  EXPECT_EQ(out.stops[0].line, 217);
+}
+
+TEST(StepLine, RequiresACurrentStop) {
+  Rig rig(small_config());
+  EXPECT_FALSE(rig.session->step_line().ok());
+}
+
+// --- in-flight token listing --------------------------------------------------------
+
+TEST(LinkTokens, ListsQueuedPayloads) {
+  Rig rig(small_config());
+  // Stage two tokens on ipred's config link before anything runs.
+  ASSERT_TRUE(rig.session->inject_token("ipred::Hwcfg_in", pedf::Value::u32(20)).ok());
+  ASSERT_TRUE(rig.session->inject_token("ipred::Hwcfg_in", pedf::Value::u32(21)).ok());
+  std::string out = rig.session->info_link_tokens("ipred::Hwcfg_in");
+  EXPECT_NE(out.find("holds 2 token(s)"), std::string::npos);
+  EXPECT_NE(out.find("#0 (U32) 20"), std::string::npos);
+  EXPECT_NE(out.find("#1 (U32) 21"), std::string::npos);
+  EXPECT_NE(out.find("injected by debugger"), std::string::npos);
+}
+
+TEST(LinkTokens, EmptyAndUnknown) {
+  Rig rig(small_config());
+  EXPECT_NE(rig.session->info_link_tokens("ipred::Hwcfg_in").find("is empty"),
+            std::string::npos);
+  EXPECT_NE(rig.session->info_link_tokens("nope::x").find("no link"), std::string::npos);
+}
+
+TEST(LinkTokens, CliVerb) {
+  Rig rig(small_config());
+  cli::Interpreter gdb(*rig.session);
+  ASSERT_TRUE(gdb.execute("tok insert ipred::Hwcfg_in 20").ok());
+  gdb.console().take();
+  ASSERT_TRUE(gdb.execute("iface ipred::Hwcfg_in tokens").ok());
+  EXPECT_NE(gdb.console().take().find("#0 (U32) 20"), std::string::npos);
+}
+
+// --- PEDF rate control ----------------------------------------------------------------
+
+TEST(RateControl, ActorFireNRunsNTimes) {
+  sim::Kernel kernel;
+  sim::PlatformConfig pc;
+  pc.clusters = 1;
+  pc.pes_per_cluster = 4;
+  sim::Platform platform(kernel, pc);
+  pedf::Application app(platform, "rate");
+  auto mod = std::make_unique<pedf::Module>("m");
+  mod->add_port("in", pedf::PortDir::kIn, pedf::TypeDesc());
+  mod->add_port("out", pedf::PortDir::kOut, pedf::TypeDesc());
+  // fast consumes one token per firing; the controller fires it 4x per step
+  // to drain the 4-tokens-per-step producer.
+  auto fast = std::make_unique<pedf::FnFilter>("fast", [](pedf::FilterContext& ctx) {
+    pedf::Value v = ctx.in("in").get();
+    ctx.out("out").put(v);
+  });
+  fast->add_port("in", pedf::PortDir::kIn, pedf::TypeDesc());
+  fast->add_port("out", pedf::PortDir::kOut, pedf::TypeDesc());
+  mod->add_filter(std::move(fast));
+  mod->set_controller(std::make_unique<pedf::FnController>(
+      "ctl", [](pedf::ControllerContext& ctx) {
+        for (int s = 0; s < 3; ++s) {
+          ctx.next_step();
+          ctx.actor_fire_n("fast", 4);
+        }
+      }));
+  mod->bind("this.in", "fast.in");
+  mod->bind("fast.out", "this.out");
+  app.set_root(std::move(mod));
+  std::vector<pedf::Value> stream;
+  for (int i = 0; i < 12; ++i) stream.push_back(pedf::Value::u32(static_cast<std::uint32_t>(i)));
+  app.add_host_source("src", "m.in", std::move(stream));
+  auto& sink = app.add_host_sink("snk", "m.out", 12);
+  ASSERT_TRUE(app.elaborate().ok());
+  app.start();
+  EXPECT_EQ(kernel.run(), sim::RunResult::kFinished);
+  ASSERT_EQ(sink.received().size(), 12u);
+  pedf::Filter* f = app.filter_by_name("fast");
+  EXPECT_EQ(f->firings(), 12u);  // 4 firings x 3 steps
+}
+
+}  // namespace
+}  // namespace dfdbg

@@ -1,0 +1,242 @@
+// Integration tests of the PEDF dataflow decoder: the full graph decodes
+// bit-exactly against the golden reconstruction, and every seeded fault
+// manifests with its expected symptom.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfdbg/h264/app.hpp"
+
+namespace dfdbg::h264 {
+namespace {
+
+H264AppConfig small_config() {
+  H264AppConfig cfg;
+  cfg.params.width = 32;
+  cfg.params.height = 32;
+  cfg.params.frame_count = 2;
+  cfg.params.qp = 20;
+  return cfg;
+}
+
+TEST(H264App, BuildsAndElaborates) {
+  auto app = H264App::build(small_config());
+  ASSERT_TRUE(app.ok()) << app.status().message();
+  EXPECT_TRUE((*app)->app().elaborated());
+  EXPECT_FALSE((*app)->bitstream().empty());
+  EXPECT_EQ((*app)->golden().size(), 2u);
+}
+
+TEST(H264App, GraphHasFigure4Actors) {
+  auto app = H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  for (const char* name : {"vld", "bh", "hwcfg", "pipe", "red", "ipred", "mc", "ipf"}) {
+    EXPECT_NE((*app)->app().filter_by_name(name), nullptr) << name;
+  }
+  EXPECT_NE((*app)->app().actor_by_name("front_controller"), nullptr);
+  EXPECT_NE((*app)->app().actor_by_name("pred_controller"), nullptr);
+  // The paper's key interfaces exist and are bound.
+  for (const char* iface :
+       {"pipe::Red2PipeCbMB_in", "ipred::Add2Dblock_ipf_out", "ipf::Add2Dblock_ipred_in",
+        "hwcfg::pipe_MbType_out", "ipred::Pipe_in", "ipred::Hwcfg_in", "ipf::pipe_in"}) {
+    auto pos = std::string(iface).find("::");
+    EXPECT_NE((*app)->app().link_by_iface(iface), nullptr) << iface;
+    (void)pos;
+  }
+}
+
+TEST(H264App, DecodesBitExact) {
+  auto app = H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  (*app)->start();
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kFinished);
+  EXPECT_TRUE((*app)->decoded_matches_golden())
+      << "first mismatching frame: " << (*app)->first_mismatch_frame();
+  EXPECT_EQ((*app)->sink().received().size(),
+            static_cast<std::size_t>((*app)->config().params.total_mbs()));
+}
+
+class DecodeSweep : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(DecodeSweep, BitExactAcrossConfigs) {
+  auto [w, h, frames, qp] = GetParam();
+  H264AppConfig cfg;
+  cfg.params.width = w;
+  cfg.params.height = h;
+  cfg.params.frame_count = frames;
+  cfg.params.qp = qp;
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok()) << app.status().message();
+  (*app)->start();
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kFinished);
+  EXPECT_TRUE((*app)->decoded_matches_golden())
+      << "first mismatching frame: " << (*app)->first_mismatch_frame();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DecodeSweep,
+                         ::testing::Values(std::make_tuple(32, 32, 1, 20),
+                                           std::make_tuple(48, 32, 3, 20),
+                                           std::make_tuple(64, 48, 2, 12),
+                                           std::make_tuple(32, 48, 2, 32),
+                                           std::make_tuple(48, 48, 3, 8),
+                                           std::make_tuple(96, 64, 4, 24)));
+
+TEST(H264App, LatencyModelOffStillBitExact) {
+  H264AppConfig cfg = small_config();
+  cfg.model_latencies = false;
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  (*app)->start();
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kFinished);
+  EXPECT_TRUE((*app)->decoded_matches_golden());
+}
+
+TEST(H264App, DeterministicAcrossRuns) {
+  // Two identical builds produce the same simulated end time and output.
+  sim::SimTime t1, t2;
+  {
+    auto app = H264App::build(small_config());
+    ASSERT_TRUE(app.ok());
+    (*app)->start();
+    (*app)->kernel().run();
+    t1 = (*app)->kernel().now();
+  }
+  {
+    auto app = H264App::build(small_config());
+    ASSERT_TRUE(app.ok());
+    (*app)->start();
+    (*app)->kernel().run();
+    t2 = (*app)->kernel().now();
+  }
+  EXPECT_EQ(t1, t2);
+}
+
+// --- fault injection -----------------------------------------------------------
+
+TEST(H264Faults, RateMismatchAccumulatesOnPipeIpfLink) {
+  H264AppConfig cfg = small_config();
+  cfg.fault.kind = FaultPlan::Kind::kRateMismatch;
+  cfg.fault.trigger_mb = 0;
+  cfg.fault.period = 1;  // every MB
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  (*app)->start();
+  (*app)->kernel().run();
+  pedf::Link* l = (*app)->app().link_by_iface("ipf::pipe_in");
+  ASSERT_NE(l, nullptr);
+  // 24 control tokens pushed per MB, 1 consumed: a large backlog remains.
+  EXPECT_GE(l->high_watermark(), 20u);
+  EXPECT_GT(l->occupancy(), 0u);
+}
+
+TEST(H264Faults, CorruptSplitterProducesWrongOutputButTerminates) {
+  H264AppConfig cfg = small_config();
+  cfg.fault.kind = FaultPlan::Kind::kCorruptSplitter;
+  cfg.fault.trigger_mb = 2;  // an intra MB of frame 0
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  (*app)->start();
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kFinished);
+  EXPECT_FALSE((*app)->decoded_matches_golden());
+  EXPECT_EQ((*app)->first_mismatch_frame(), 0);
+}
+
+TEST(H264Faults, DropConfigDeadlocks) {
+  H264AppConfig cfg = small_config();
+  cfg.fault.kind = FaultPlan::Kind::kDropConfig;
+  cfg.fault.trigger_mb = 2;
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  (*app)->start();
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kDeadlock);
+  // ipred is the blocked party, waiting on its Hwcfg_in link.
+  pedf::Actor* ipred = (*app)->app().actor_by_name("ipred");
+  ASSERT_NE(ipred, nullptr);
+  EXPECT_EQ(ipred->blocked().kind, pedf::BlockInfo::Kind::kLinkEmpty);
+  ASSERT_NE(ipred->blocked().link, nullptr);
+  EXPECT_NE(ipred->blocked().link->name().find("Hwcfg_in"), std::string::npos);
+}
+
+TEST(H264Faults, DropConfigUntiedByInjection) {
+  H264AppConfig cfg = small_config();
+  cfg.fault.kind = FaultPlan::Kind::kDropConfig;
+  cfg.fault.trigger_mb = 2;
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  (*app)->start();
+  ASSERT_EQ((*app)->kernel().run(), sim::RunResult::kDeadlock);
+  // The debugger's alteration path: inject the missing config token.
+  pedf::Link* cfg_link = (*app)->app().link_by_iface("ipred::Hwcfg_in");
+  ASSERT_NE(cfg_link, nullptr);
+  (*app)->app().debug_inject(*cfg_link,
+                             pedf::Value::u32(static_cast<std::uint32_t>(cfg.params.qp)));
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kFinished);
+  // The injected token carries the correct value: decode is bit-exact.
+  EXPECT_TRUE((*app)->decoded_matches_golden());
+}
+
+TEST(H264Faults, SkipIpfEndsShortOfCompletion) {
+  H264AppConfig cfg = small_config();
+  cfg.fault.kind = FaultPlan::Kind::kSkipIpf;
+  cfg.fault.trigger_mb = 1;
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  (*app)->start();
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kDeadlock);
+  EXPECT_LT((*app)->store().info.done_mbs, cfg.params.total_mbs());
+  // Leftover, never-consumed tokens sit on ipf's inputs.
+  pedf::Link* ctl = (*app)->app().link_by_iface("ipf::pipe_in");
+  ASSERT_NE(ctl, nullptr);
+  EXPECT_GT(ctl->occupancy(), 0u);
+}
+
+TEST(H264App, SkipMbsFlowThroughTheMcPath) {
+  // Forced stream: frame 0 all intra-DC, frame 1 all P_Skip. The dataflow
+  // decoder must route every skip MB through mc and stay bit-exact (frame 1
+  // becomes a copy of frame 0's reconstruction).
+  H264AppConfig cfg = small_config();
+  cfg.forced_modes.assign(static_cast<std::size_t>(cfg.params.total_mbs()),
+                          MbMode::kIntraDC);
+  for (int i = cfg.params.mbs_per_frame(); i < cfg.params.total_mbs(); ++i)
+    cfg.forced_modes[static_cast<std::size_t>(i)] = MbMode::kSkip;
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok()) << app.status().message();
+  (*app)->start();
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kFinished);
+  EXPECT_TRUE((*app)->decoded_matches_golden());
+  // All frame-1 MBs went through mc; ipred only saw frame 0.
+  int per_frame = cfg.params.mbs_per_frame();
+  EXPECT_EQ((*app)->app().link_by_iface("mc::pipe_in")->push_index(),
+            static_cast<std::uint64_t>(per_frame) * CodecParams::kBlocksPerMb);
+  EXPECT_EQ((*app)->app().link_by_iface("ipred::Pipe_in")->push_index(),
+            static_cast<std::uint64_t>(per_frame) * CodecParams::kBlocksPerMb);
+  // Skip = zero residual: frame 1 equals frame 0 after the deblock-free copy.
+  ASSERT_EQ((*app)->store().decoded.size(), 2u);
+}
+
+TEST(H264App, MbTypeCodesMatchPaperValues) {
+  // hwcfg emits 5/10/15 for the three intra modes (paper's recorded values).
+  EXPECT_EQ(mbtype_code(MbMode::kIntraDC), 5);
+  EXPECT_EQ(mbtype_code(MbMode::kIntraH), 10);
+  EXPECT_EQ(mbtype_code(MbMode::kIntraV), 15);
+  EXPECT_EQ(mbtype_code(MbMode::kInter), 20);
+}
+
+TEST(H264App, BoundedPipeIpfCapacityStallsRateBug) {
+  H264AppConfig cfg = small_config();
+  cfg.fault.kind = FaultPlan::Kind::kRateMismatch;
+  cfg.fault.trigger_mb = 0;
+  cfg.fault.period = 1;
+  cfg.pipe_ipf_capacity = 32;
+  auto app = H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  (*app)->start();
+  // The bounded link fills; pipe blocks pushing; the graph deadlocks.
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kDeadlock);
+  pedf::Actor* pipe = (*app)->app().actor_by_name("pipe");
+  ASSERT_NE(pipe, nullptr);
+  EXPECT_EQ(pipe->blocked().kind, pedf::BlockInfo::Kind::kLinkFull);
+}
+
+}  // namespace
+}  // namespace dfdbg::h264

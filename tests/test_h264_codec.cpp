@@ -1,0 +1,434 @@
+// Unit tests of the codec core: transform round-trips, quantization tables,
+// zig-zag, prediction, bitstream coding, encoder/golden-decoder agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dfdbg/common/prng.hpp"
+#include "dfdbg/h264/bitstream.hpp"
+#include "dfdbg/h264/codec.hpp"
+#include "dfdbg/h264/refcodec.hpp"
+
+namespace dfdbg::h264 {
+namespace {
+
+TEST(Transform, DcOnly) {
+  std::array<int, 16> in, out;
+  in.fill(10);
+  fwd4x4(in, out);
+  // DC coefficient = sum of inputs; all AC zero for a flat block.
+  EXPECT_EQ(out[0], 160);
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(Transform, RoundTripWithQuantIsConsistent) {
+  // The decoder-side path (dequant + inverse transform) must reproduce the
+  // values the encoder-side reconstruction computed — bit-exactness is
+  // defined by running the same functions, so here we check the combined
+  // path is a reasonable approximation of the residual at moderate QP.
+  Prng prng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<int, 16> resid, coef, q, deq, rec;
+    for (auto& v : resid) v = static_cast<int>(prng.next_range(-64, 64));
+    fwd4x4(resid, coef);
+    int qp = 4;
+    for (int i = 0; i < 16; ++i) q[static_cast<std::size_t>(i)] = quantize(coef[static_cast<std::size_t>(i)], i, qp);
+    for (int i = 0; i < 16; ++i) deq[static_cast<std::size_t>(i)] = dequantize(q[static_cast<std::size_t>(i)], i, qp);
+    inv4x4(deq, rec);
+    for (int i = 0; i < 16; ++i)
+      EXPECT_NEAR(rec[static_cast<std::size_t>(i)], resid[static_cast<std::size_t>(i)], 4)
+          << "trial " << trial << " pos " << i;
+  }
+}
+
+TEST(Transform, HigherQpCoarser) {
+  std::array<int, 16> resid, coef;
+  Prng prng(9);
+  for (auto& v : resid) v = static_cast<int>(prng.next_range(-50, 50));
+  fwd4x4(resid, coef);
+  long mag_lo = 0, mag_hi = 0;
+  for (int i = 0; i < 16; ++i) {
+    mag_lo += std::abs(quantize(coef[static_cast<std::size_t>(i)], i, 4));
+    mag_hi += std::abs(quantize(coef[static_cast<std::size_t>(i)], i, 40));
+  }
+  EXPECT_GT(mag_lo, mag_hi);  // higher QP -> fewer/smaller coefficients
+}
+
+TEST(Zigzag, RoundTrip) {
+  std::array<int, 16> in, scanned, back;
+  for (int i = 0; i < 16; ++i) in[static_cast<std::size_t>(i)] = i * 3 - 20;
+  zigzag_scan(in, scanned);
+  zigzag_unscan(scanned, back);
+  EXPECT_EQ(in, back);
+}
+
+TEST(Zigzag, IsPermutation) {
+  std::array<bool, 16> seen{};
+  for (int i : kZigzag4x4) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, 16);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+}
+
+TEST(Geometry, CoversAllPlanes) {
+  int y = 0, cb = 0, cr = 0;
+  for (int b = 0; b < CodecParams::kBlocksPerMb; ++b) {
+    BlockGeom g = block_geom(1, 2, b);
+    if (g.plane == Plane::kY) {
+      y++;
+      EXPECT_GE(g.x, 16);
+      EXPECT_LT(g.x, 32);
+      EXPECT_GE(g.y, 32);
+      EXPECT_LT(g.y, 48);
+    } else if (g.plane == Plane::kCb) {
+      cb++;
+    } else {
+      cr++;
+    }
+  }
+  EXPECT_EQ(y, 16);
+  EXPECT_EQ(cb, 4);
+  EXPECT_EQ(cr, 4);
+}
+
+TEST(Geometry, LumaBlocksDistinct) {
+  std::set<std::pair<int, int>> coords;
+  for (int b = 0; b < 16; ++b) {
+    BlockGeom g = block_geom(0, 0, b);
+    EXPECT_TRUE(coords.insert({g.x, g.y}).second);
+  }
+}
+
+TEST(Prediction, DcWithoutNeighborsIs128) {
+  Frame f(16, 16);
+  std::array<int, 16> pred;
+  intra_predict4x4(f, Plane::kY, 0, 0, MbMode::kIntraDC, pred);
+  for (int v : pred) EXPECT_EQ(v, 128);
+}
+
+TEST(Prediction, HorizontalCopiesLeftColumn) {
+  Frame f(16, 16);
+  for (int r = 0; r < 4; ++r) f.y[static_cast<std::size_t>((4 + r) * 16 + 3)] = static_cast<std::uint8_t>(50 + r);
+  std::array<int, 16> pred;
+  intra_predict4x4(f, Plane::kY, 4, 4, MbMode::kIntraH, pred);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(pred[static_cast<std::size_t>(r * 4 + c)], 50 + r);
+}
+
+TEST(Prediction, VerticalCopiesTopRow) {
+  Frame f(16, 16);
+  for (int c = 0; c < 4; ++c) f.y[static_cast<std::size_t>(3 * 16 + 4 + c)] = static_cast<std::uint8_t>(80 + c);
+  std::array<int, 16> pred;
+  intra_predict4x4(f, Plane::kY, 4, 4, MbMode::kIntraV, pred);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(pred[static_cast<std::size_t>(r * 4 + c)], 80 + c);
+}
+
+TEST(Prediction, InterShiftsByMv) {
+  Frame ref(16, 16);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) ref.y[static_cast<std::size_t>(y * 16 + x)] = static_cast<std::uint8_t>(x + y * 16);
+  std::array<int, 16> pred;
+  inter_predict4x4(ref, Plane::kY, 8, 8, MotionVector{2, 1}, pred);
+  EXPECT_EQ(pred[0], (8 + 2) + (8 + 1) * 16);
+}
+
+TEST(Prediction, InterClampsAtEdges) {
+  Frame ref(16, 16);
+  std::array<int, 16> pred;
+  inter_predict4x4(ref, Plane::kY, 0, 0, MotionVector{-2, -2}, pred);  // off-frame
+  for (int v : pred) EXPECT_EQ(v, 128);                                // gray init
+}
+
+// --- bitstream ---------------------------------------------------------------
+
+TEST(Bits, PutGetBits) {
+  BitWriter bw;
+  bw.put_bits(0b1011, 4);
+  bw.put_bits(0xFF, 8);
+  bw.put_bits(0, 3);
+  auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bits(4), 0b1011u);
+  EXPECT_EQ(br.get_bits(8), 0xFFu);
+  EXPECT_EQ(br.get_bits(3), 0u);
+  EXPECT_FALSE(br.overrun());
+}
+
+TEST(Bits, UeRoundTrip) {
+  BitWriter bw;
+  for (std::uint32_t v : {0u, 1u, 2u, 7u, 255u, 100000u}) bw.put_ue(v);
+  BitReader br(bw.finish());
+  for (std::uint32_t v : {0u, 1u, 2u, 7u, 255u, 100000u}) EXPECT_EQ(br.get_ue(), v);
+}
+
+TEST(Bits, SeRoundTrip) {
+  BitWriter bw;
+  for (std::int32_t v : {0, 1, -1, 5, -5, 1000, -1000}) bw.put_se(v);
+  BitReader br(bw.finish());
+  for (std::int32_t v : {0, 1, -1, 5, -5, 1000, -1000}) EXPECT_EQ(br.get_se(), v);
+}
+
+TEST(Bits, OverrunFlagged) {
+  BitReader br({0xAB});
+  br.get_bits(8);
+  EXPECT_FALSE(br.overrun());
+  br.get_bits(1);
+  EXPECT_TRUE(br.overrun());
+}
+
+TEST(Bits, StreamReaderMatchesBufferReader) {
+  struct VecSource : ByteSource {
+    std::vector<std::uint8_t> v;
+    std::size_t i = 0;
+    bool next(std::uint8_t* out) override {
+      if (i >= v.size()) return false;
+      *out = v[i++];
+      return true;
+    }
+  };
+  BitWriter bw;
+  bw.put_ue(42);
+  bw.put_se(-17);
+  bw.put_bits(0b101, 3);
+  auto bytes = bw.finish();
+  VecSource src;
+  src.v = bytes;
+  StreamBitReader sbr(src);
+  BitReader br(bytes);
+  EXPECT_EQ(sbr.get_ue(), br.get_ue());
+  EXPECT_EQ(sbr.get_se(), br.get_se());
+  EXPECT_EQ(sbr.get_bits(3), br.get_bits(3));
+}
+
+// --- encoder / golden decoder -------------------------------------------------
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(CodecRoundTrip, GoldenDecoderMatchesEncoderReconstruction) {
+  auto [w, frames, qp, deblock] = GetParam();
+  CodecParams p;
+  p.width = w;
+  p.height = 32;
+  p.frame_count = frames;
+  p.qp = qp;
+  p.deblock = deblock;
+  auto video = make_test_video(p.width, p.height, p.frame_count, 7);
+  Encoder enc(p);
+  auto bytes = enc.encode(video);
+  ASSERT_FALSE(bytes.empty());
+  GoldenDecoder dec;
+  auto frames_out = dec.decode(bytes);
+  ASSERT_TRUE(frames_out.ok()) << frames_out.status().message();
+  ASSERT_EQ(frames_out->size(), enc.reconstructed().size());
+  for (std::size_t i = 0; i < frames_out->size(); ++i)
+    EXPECT_EQ((*frames_out)[i], enc.reconstructed()[i]) << "frame " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CodecRoundTrip,
+                         ::testing::Values(std::make_tuple(32, 1, 20, true),
+                                           std::make_tuple(32, 3, 20, true),
+                                           std::make_tuple(48, 2, 10, true),
+                                           std::make_tuple(48, 3, 30, false),
+                                           std::make_tuple(64, 2, 24, true),
+                                           std::make_tuple(32, 4, 4, false)));
+
+TEST(Encoder, ReasonableQuality) {
+  CodecParams p;
+  p.width = 48;
+  p.height = 32;
+  p.frame_count = 2;
+  p.qp = 10;
+  auto video = make_test_video(p.width, p.height, p.frame_count, 11);
+  Encoder enc(p);
+  enc.encode(video);
+  // PSNR of the luma reconstruction should be decent at QP 10.
+  const Frame& src = video[0];
+  const Frame& rec = enc.reconstructed()[0];
+  double mse = 0;
+  for (std::size_t i = 0; i < src.y.size(); ++i) {
+    double d = static_cast<double>(src.y[i]) - rec.y[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(src.y.size());
+  ASSERT_GT(mse, 0.0);
+  double psnr = 10.0 * std::log10(255.0 * 255.0 / mse);
+  EXPECT_GT(psnr, 28.0) << "luma PSNR too low: " << psnr;
+}
+
+TEST(Encoder, PFramesUseInter) {
+  CodecParams p;
+  p.width = 48;
+  p.height = 32;
+  p.frame_count = 3;
+  p.qp = 20;
+  auto video = make_test_video(p.width, p.height, p.frame_count, 7);
+  Encoder enc(p);
+  enc.encode(video);
+  int inter = 0;
+  int per_frame = p.mbs_per_frame();
+  for (std::size_t i = static_cast<std::size_t>(per_frame); i < enc.syntax().size(); ++i)
+    if (enc.syntax()[i].mode == MbMode::kInter) inter++;
+  EXPECT_GT(inter, 0) << "motion search never chose inter prediction";
+  // Frame 0 must be all-intra.
+  for (int i = 0; i < per_frame; ++i)
+    EXPECT_NE(enc.syntax()[static_cast<std::size_t>(i)].mode, MbMode::kInter);
+}
+
+TEST(Encoder, StaticVideoChoosesSkip) {
+  // Identical noise-free frames at a coarse QP: re-coding the residual
+  // barely reduces distortion while costing real bits, so rate-distortion
+  // optimization must pick P_Skip for most of the P frames.
+  CodecParams p;
+  p.width = 48;
+  p.height = 32;
+  p.frame_count = 3;
+  p.qp = 30;
+  Frame clean(p.width, p.height);
+  for (int y = 0; y < p.height; ++y)
+    for (int x = 0; x < p.width; ++x)
+      clean.y[static_cast<std::size_t>(y * p.width + x)] =
+          static_cast<std::uint8_t>(40 + ((x * 3 + y * 2) % 160));
+  std::vector<Frame> video = {clean, clean, clean};
+  Encoder enc(p);
+  auto bytes = enc.encode(video);
+  int skip = 0, total_p = 0;
+  for (std::size_t i = static_cast<std::size_t>(p.mbs_per_frame()); i < enc.syntax().size();
+       ++i) {
+    total_p++;
+    if (enc.syntax()[i].mode == MbMode::kSkip) skip++;
+  }
+  EXPECT_GT(skip, total_p / 2) << "static video should be mostly P_Skip";
+  // Skip MBs carry zero residual bits, so the stream is much smaller than an
+  // all-intra encoding of the same frames.
+  GoldenDecoder dec;
+  auto frames = dec.decode(bytes);
+  ASSERT_TRUE(frames.ok());
+  for (std::size_t i = 0; i < frames->size(); ++i)
+    EXPECT_EQ((*frames)[i], enc.reconstructed()[i]) << "frame " << i;
+}
+
+TEST(Bits, SkipMbCodesOnlyTheMode) {
+  MbSyntax skip;
+  skip.mode = MbMode::kSkip;
+  BitWriter bw;
+  write_mb(bw, skip);
+  auto bytes = bw.finish();
+  EXPECT_LE(bytes.size(), 2u);  // ue(4) = 5 bits
+  BitReader br(bytes);
+  MbSyntax parsed = parse_mb(br);
+  EXPECT_EQ(parsed.mode, MbMode::kSkip);
+  EXPECT_EQ(parsed.mv, (MotionVector{0, 0}));
+  EXPECT_FALSE(br.overrun());
+}
+
+TEST(GoldenDecoder, RejectsGarbage) {
+  GoldenDecoder dec;
+  auto r = dec.decode({1, 2, 3, 4});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GoldenDecoder, RejectsTruncated) {
+  CodecParams p;
+  p.width = 32;
+  p.height = 32;
+  p.frame_count = 1;
+  auto video = make_test_video(p.width, p.height, 1, 3);
+  Encoder enc(p);
+  auto bytes = enc.encode(video);
+  bytes.resize(bytes.size() / 2);
+  GoldenDecoder dec;
+  auto r = dec.decode(bytes);
+  EXPECT_FALSE(r.ok());
+}
+
+// --- robustness fuzzing ---------------------------------------------------------
+
+TEST(GoldenDecoder, SurvivesRandomBytes) {
+  dfdbg::Prng prng(77);
+  GoldenDecoder dec;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> bytes(prng.next_below(200));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(prng.next_u64());
+    auto r = dec.decode(bytes);  // must not crash/hang; result may be anything
+    if (!r.ok()) continue;
+    for (const Frame& f : *r) {
+      EXPECT_GT(f.width, 0);
+      EXPECT_LE(f.width, kMaxDimension);
+    }
+  }
+}
+
+TEST(GoldenDecoder, SurvivesTruncationsOfValidStream) {
+  CodecParams p;
+  p.width = 32;
+  p.height = 32;
+  p.frame_count = 2;
+  auto video = make_test_video(p.width, p.height, p.frame_count, 5);
+  Encoder enc(p);
+  auto bytes = enc.encode(video);
+  GoldenDecoder dec;
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    std::vector<std::uint8_t> trunc(bytes.begin(),
+                                    bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    auto r = dec.decode(trunc);
+    EXPECT_FALSE(r.ok()) << "truncated to " << cut << " bytes decoded successfully";
+  }
+}
+
+TEST(GoldenDecoder, SurvivesBitFlips) {
+  CodecParams p;
+  p.width = 32;
+  p.height = 32;
+  p.frame_count = 1;
+  auto video = make_test_video(p.width, p.height, 1, 9);
+  Encoder enc(p);
+  auto bytes = enc.encode(video);
+  dfdbg::Prng prng(13);
+  GoldenDecoder dec;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = bytes;
+    std::size_t pos = prng.next_below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << prng.next_below(8));
+    auto r = dec.decode(mutated);  // any outcome, but bounded and crash-free
+    if (r.ok()) {
+      for (const Frame& f : *r) EXPECT_LE(f.width, kMaxDimension);
+    }
+  }
+}
+
+TEST(GoldenDecoder, RejectsAbsurdHeaders) {
+  // Hand-craft a header announcing a gigantic stream.
+  BitWriter bw;
+  bw.put_bits('D', 8);
+  bw.put_bits('F', 8);
+  bw.put_ue(100000);  // mbs_x -> width 1.6M
+  bw.put_ue(2);
+  bw.put_ue(1);
+  bw.put_ue(20);
+  bw.put_bits(1, 1);
+  GoldenDecoder dec;
+  EXPECT_FALSE(dec.decode(bw.finish()).ok());
+}
+
+TEST(Deblock, PreservesFlatAreas) {
+  Frame f(32, 32);
+  for (auto& v : f.y) v = 77;
+  Frame g = deblock_frame(f);
+  for (auto v : g.y) EXPECT_EQ(v, 77);
+}
+
+TEST(Deblock, SmoothsEdges) {
+  Frame f(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) f.y[static_cast<std::size_t>(y * 32 + x)] = x < 4 ? 0 : 200;
+  Frame g = deblock_frame(f);
+  // The pixel just left of the 4-boundary moves toward the right side.
+  EXPECT_GT(static_cast<int>(g.y[3]), 0);
+}
+
+}  // namespace
+}  // namespace dfdbg::h264

@@ -1,0 +1,188 @@
+// Per-filter semantic tests of the PEDF decoder, verified through the
+// debugger's own token recording — every stage's token stream is compared
+// against the encoder-side ground truth.
+#include <gtest/gtest.h>
+
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/h264/app.hpp"
+
+namespace dfdbg::h264 {
+namespace {
+
+struct Rig {
+  std::unique_ptr<H264App> app;
+  std::unique_ptr<dbg::Session> session;
+
+  Rig() {
+    H264AppConfig cfg;
+    cfg.params.width = 32;
+    cfg.params.height = 32;
+    cfg.params.frame_count = 2;
+    auto built = H264App::build(cfg);
+    EXPECT_TRUE(built.ok());
+    app = std::move(*built);
+    session = std::make_unique<dbg::Session>(app->app());
+    session->attach();
+  }
+
+  /// Records `iface`, runs to completion, returns the recorded stream.
+  const std::deque<dbg::TokenRecorder::Record>& run_recording(const std::string& iface) {
+    EXPECT_TRUE(session->record_iface(iface).ok());
+    app->start();
+    auto out = session->run();
+    EXPECT_EQ(out.result, sim::RunResult::kFinished);
+    const auto* rec = session->recorder().records(iface);
+    EXPECT_NE(rec, nullptr);
+    return *rec;
+  }
+};
+
+TEST(VldFilter, HeaderStreamParsedIntoPerMbSyntax) {
+  // vld's MbHdr_t stream must mirror the encoder's per-MB decisions 1:1.
+  Rig rig;
+  const auto& rec = rig.run_recording("vld::mbhdr_out");
+  const auto& syntax = rig.app->syntax();
+  ASSERT_EQ(rec.size(), syntax.size());
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    const pedf::Value& v = rec[i].value;
+    EXPECT_EQ(v.field_u64("Mode"), static_cast<std::uint64_t>(syntax[i].mode)) << "MB " << i;
+    EXPECT_EQ(v.field_u64("Addr"), 0x1000u + i * 0x40u) << "MB " << i;
+    auto dx = static_cast<std::int32_t>(static_cast<std::uint32_t>(v.field_u64("Dx")));
+    auto dy = static_cast<std::int32_t>(static_cast<std::uint32_t>(v.field_u64("Dy")));
+    if (syntax[i].mode == MbMode::kInter) {
+      EXPECT_EQ(dx, syntax[i].mv.dx) << "MB " << i;
+      EXPECT_EQ(dy, syntax[i].mv.dy) << "MB " << i;
+    }
+  }
+}
+
+TEST(VldFilter, CoefficientStreamCarriesTheResiduals) {
+  Rig rig;
+  const auto& rec = rig.run_recording("vld::coeff_out");
+  const auto& syntax = rig.app->syntax();
+  ASSERT_EQ(rec.size(), syntax.size() * CodecParams::kBlocksPerMb);
+  // Spot-check every 7th block token against the encoder's coefficients.
+  for (std::size_t t = 0; t < rec.size(); t += 7) {
+    std::size_t mb = t / CodecParams::kBlocksPerMb;
+    std::size_t blk = t % CodecParams::kBlocksPerMb;
+    const pedf::Value& v = rec[t].value;
+    EXPECT_EQ(v.field_u64("BlkIdx"), blk);
+    int n = static_cast<int>(v.field_u64("N"));
+    const auto& q = rig.app->syntax()[mb].qcoef[blk];
+    for (int i = 0; i < n; ++i) {
+      auto coef = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(v.field_u64(("C" + std::to_string(i)).c_str())));
+      EXPECT_EQ(coef, q[static_cast<std::size_t>(i)]) << "mb " << mb << " blk " << blk;
+    }
+    for (int i = n; i < 16; ++i)
+      EXPECT_EQ(q[static_cast<std::size_t>(i)], 0) << "trailing zero expected";
+  }
+}
+
+TEST(BhFilter, SummaryEncodesIndexAndMode) {
+  Rig rig;
+  const auto& rec = rig.run_recording("bh::bh2red_out");
+  const auto& syntax = rig.app->syntax();
+  ASSERT_EQ(rec.size(), syntax.size());
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    std::uint64_t s = rec[i].value.as_u64();
+    EXPECT_EQ(s >> 8, i) << "MB index bits";
+    EXPECT_EQ(s & 0xff, static_cast<std::uint64_t>(syntax[i].mode)) << "mode bits";
+  }
+}
+
+TEST(HwcfgFilter, MbTypeCodesFollowTheMode) {
+  Rig rig;
+  const auto& rec = rig.run_recording("hwcfg::pipe_MbType_out");
+  const auto& syntax = rig.app->syntax();
+  ASSERT_EQ(rec.size(), syntax.size());
+  for (std::size_t i = 0; i < rec.size(); ++i)
+    EXPECT_EQ(rec[i].value.as_u64(), mbtype_code(syntax[i].mode)) << "MB " << i;
+}
+
+TEST(HwcfgFilter, ConfigTokensOnlyForIntraMbs) {
+  Rig rig;
+  const auto& rec = rig.run_recording("hwcfg::ipred_cfg_out");
+  std::size_t intra = 0;
+  for (const MbSyntax& mb : rig.app->syntax())
+    if (mb.mode != MbMode::kInter) intra++;
+  EXPECT_EQ(rec.size(), intra);
+  for (const auto& r : rec)
+    EXPECT_EQ(r.value.as_u64(), static_cast<std::uint64_t>(rig.app->config().params.qp));
+}
+
+TEST(RedFilter, CbCrTokensCarryRoutingAndChecksum) {
+  Rig rig;
+  const auto& rec = rig.run_recording("red::Red2PipeCbMB_out");
+  const auto& syntax = rig.app->syntax();
+  ASSERT_EQ(rec.size(), syntax.size());
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    const pedf::Value& v = rec[i].value;
+    bool inter = syntax[i].mode == MbMode::kInter;
+    EXPECT_EQ(v.field_u64("InterNotIntra"), inter ? 1u : 0u) << "MB " << i;
+    EXPECT_EQ(v.field_u64("Addr"), 0x1000u + i * 0x40u);
+    // Izz is the documented Fibonacci hash of bh's summary.
+    std::uint32_t summary = static_cast<std::uint32_t>((i << 8) |
+                                                       static_cast<std::size_t>(syntax[i].mode));
+    EXPECT_EQ(v.field_u64("Izz"), (summary * 2654435761u) & 0x0fffffffu);
+  }
+}
+
+TEST(RedFilter, McOrdersOnlyForInterMbs) {
+  Rig rig;
+  const auto& rec = rig.run_recording("red::red_mc_out");
+  std::size_t inter = 0;
+  for (const MbSyntax& mb : rig.app->syntax())
+    if (mb.mode == MbMode::kInter) inter++;
+  EXPECT_EQ(rec.size(), inter);
+}
+
+TEST(PipeFilter, RoutesBlocksByPredictor) {
+  Rig rig;
+  rig.app->start();
+  ASSERT_EQ(rig.session->run().result, sim::RunResult::kFinished);
+  std::size_t intra = 0, inter = 0;
+  for (const MbSyntax& mb : rig.app->syntax())
+    (mb.mode == MbMode::kInter ? inter : intra)++;
+  pedf::Link* to_ipred = rig.app->app().link_by_iface("ipred::Pipe_in");
+  pedf::Link* to_mc = rig.app->app().link_by_iface("mc::pipe_in");
+  EXPECT_EQ(to_ipred->push_index(), intra * CodecParams::kBlocksPerMb);
+  EXPECT_EQ(to_mc->push_index(), inter * CodecParams::kBlocksPerMb);
+  // Exactly one control token per MB reached ipf.
+  EXPECT_EQ(rig.app->app().link_by_iface("ipf::pipe_in")->push_index(), intra + inter);
+}
+
+TEST(IpredFilter, DoneTokensReportReconstructionChecksums) {
+  Rig rig;
+  const auto& rec = rig.run_recording("ipred::Add2Dblock_ipf_out");
+  // One MbDone_t per intra MB, with a nonzero Izz whenever residuals exist.
+  std::size_t intra = 0;
+  for (const MbSyntax& mb : rig.app->syntax())
+    if (mb.mode != MbMode::kInter) intra++;
+  ASSERT_EQ(rec.size(), intra);
+  bool any_nonzero = false;
+  for (const auto& r : rec)
+    if (r.value.field_u64("Izz") > 0) any_nonzero = true;
+  EXPECT_TRUE(any_nonzero) << "no residual energy in any intra MB is implausible";
+}
+
+TEST(IpfFilter, ReportsEveryMacroblockOnce) {
+  Rig rig;
+  const auto& rec = rig.run_recording("ipf::ipf_out");
+  ASSERT_EQ(rec.size(), rig.app->syntax().size());
+  // Addresses appear in decode order.
+  for (std::size_t i = 0; i < rec.size(); ++i)
+    EXPECT_EQ(rec[i].value.as_u64(), 0x1000u + i * 0x40u) << i;
+}
+
+TEST(IpfFilter, PublishesOneFramePerMbGrid) {
+  Rig rig;
+  rig.app->start();
+  ASSERT_EQ(rig.session->run().result, sim::RunResult::kFinished);
+  EXPECT_EQ(rig.app->store().decoded.size(),
+            static_cast<std::size_t>(rig.app->config().params.frame_count));
+  EXPECT_EQ(rig.app->store().info.done_mbs, rig.app->config().params.total_mbs());
+}
+
+}  // namespace
+}  // namespace dfdbg::h264

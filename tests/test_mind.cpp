@@ -1,0 +1,392 @@
+// Tests of the MIND tool-chain: lexer, parser (the paper's grammar),
+// semantic analysis diagnostics, instantiation and DOT emission.
+#include <gtest/gtest.h>
+
+#include "dfdbg/common/prng.hpp"
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/mind/analyze.hpp"
+#include "dfdbg/mind/emit.hpp"
+#include "dfdbg/pedf/application.hpp"
+#include "dfdbg/mind/dot.hpp"
+#include "dfdbg/mind/instantiate.hpp"
+#include "dfdbg/mind/lexer.hpp"
+#include "dfdbg/mind/parser.hpp"
+
+namespace dfdbg::mind {
+namespace {
+
+// The paper's §IV-A listing (types normalized: cmd ports are U32 on both
+// ends; the original listing mixes U32 and U8).
+const char* kAModule = R"adl(
+@Module
+composite AModule {
+  contains as controller {
+    output U32 as cmd_out_1;
+    output U32 as cmd_out_2;
+    source ctrl_source.c;
+  }
+  // External connections
+  input U32 as module_in;
+  output U32 as module_out;
+  // Sub-components
+  contains AFilter as filter_1;
+  contains AFilter as filter_2;
+  // Connections
+  binds controller.cmd_out_1 to filter_1.cmd_in;
+  binds controller.cmd_out_2 to filter_2.cmd_in;
+  binds this.module_in to filter_1.an_input;
+  binds filter_1.an_output to filter_2.an_input;
+  binds filter_2.an_output to this.module_out;
+}
+
+@Filter
+primitive AFilter {
+  data      stddefs.h:U32 a_private_data;
+  attribute stddefs.h:U32 an_attribute;
+  source    the_source.c;
+  input stddefs.h:U32 as an_input;
+  input stddefs.h:U32 as cmd_in;
+  output stddefs.h:U32 as an_output;
+}
+)adl";
+
+TEST(Lexer, TokenizesAnnotationsAndIdents) {
+  std::string err;
+  auto toks = lex("@Module composite X { }", &err);
+  EXPECT_TRUE(err.empty());
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokKind::kAnnotation);
+  EXPECT_EQ(toks[0].text, "Module");
+  EXPECT_EQ(toks[1].text, "composite");
+  EXPECT_EQ(toks[3].kind, TokKind::kLBrace);
+}
+
+TEST(Lexer, DottedIdentifiersStayWhole) {
+  std::string err;
+  auto toks = lex("source ctrl_source.c ; stddefs.h : U32", &err);
+  EXPECT_TRUE(err.empty());
+  EXPECT_EQ(toks[1].text, "ctrl_source.c");
+  EXPECT_EQ(toks[3].text, "stddefs.h");
+  EXPECT_EQ(toks[4].kind, TokKind::kColon);
+}
+
+TEST(Lexer, SkipsComments) {
+  std::string err;
+  auto toks = lex("a // line comment\n /* block\ncomment */ b", &err);
+  EXPECT_TRUE(err.empty());
+  ASSERT_EQ(toks.size(), 3u);  // a, b, END
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, ReportsBadCharacter) {
+  std::string err;
+  lex("composite !", &err);
+  EXPECT_NE(err.find("unexpected character"), std::string::npos);
+}
+
+TEST(Lexer, ReportsUnterminatedComment) {
+  std::string err;
+  lex("/* never closed", &err);
+  EXPECT_NE(err.find("unterminated"), std::string::npos);
+}
+
+TEST(Parser, ParsesThePaperListing) {
+  auto doc = parse(kAModule);
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  ASSERT_EQ(doc->composites.size(), 1u);
+  ASSERT_EQ(doc->primitives.size(), 1u);
+  const AstComposite& c = doc->composites[0];
+  EXPECT_EQ(c.name, "AModule");
+  ASSERT_TRUE(c.controller.has_value());
+  EXPECT_EQ(c.controller->ports.size(), 2u);
+  EXPECT_EQ(c.controller->source, "ctrl_source.c");
+  EXPECT_EQ(c.ports.size(), 2u);
+  EXPECT_EQ(c.instances.size(), 2u);
+  EXPECT_EQ(c.bindings.size(), 5u);
+  EXPECT_EQ(c.bindings[0].src, "controller.cmd_out_1");
+  EXPECT_EQ(c.bindings[0].dst, "filter_1.cmd_in");
+  const AstPrimitive& p = doc->primitives[0];
+  EXPECT_EQ(p.name, "AFilter");
+  EXPECT_EQ(p.data.size(), 2u);
+  EXPECT_TRUE(p.data[1].is_attribute);
+  EXPECT_EQ(p.data[0].type.header, "stddefs.h");
+  EXPECT_EQ(p.data[0].type.type, "U32");
+  EXPECT_EQ(p.source, "the_source.c");
+  EXPECT_EQ(p.ports.size(), 3u);
+}
+
+TEST(Parser, ParsesStructExtension) {
+  auto doc = parse("@Type struct S_t { U32 Addr hex; U16 n; }");
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  ASSERT_EQ(doc->structs.size(), 1u);
+  EXPECT_EQ(doc->structs[0].name, "S_t");
+  ASSERT_EQ(doc->structs[0].fields.size(), 2u);
+  EXPECT_TRUE(doc->structs[0].fields[0].hex);
+  EXPECT_FALSE(doc->structs[0].fields[1].hex);
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  auto doc = parse("@Module composite X {\n  oops;\n}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("2:"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownAnnotation) {
+  auto doc = parse("@Nonsense primitive X {}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("unknown annotation"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnterminatedComposite) {
+  auto doc = parse("@Module composite X { input U32 as a;");
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(Analyze, AcceptsThePaperListing) {
+  auto doc = parse(kAModule);
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "AModule");
+  ASSERT_TRUE(rep.ok()) << rep.status().message();
+}
+
+TEST(Analyze, RejectsUnknownInstanceType) {
+  auto doc = parse("@Module composite M { contains Ghost as g; }");
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "M");
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.status().message().find("unknown instance type"), std::string::npos);
+}
+
+TEST(Analyze, RejectsTypeMismatchedBinding) {
+  auto doc = parse(R"(
+@Filter primitive A { output U16 as o; }
+@Filter primitive B { input U32 as i; }
+@Module composite M { contains A as a; contains B as b; binds a.o to b.i; }
+)");
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "M");
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.status().message().find("type mismatch"), std::string::npos);
+}
+
+TEST(Analyze, RejectsWrongDirectionBinding) {
+  auto doc = parse(R"(
+@Filter primitive A { input U32 as i; }
+@Filter primitive B { input U32 as i; }
+@Module composite M { contains A as a; contains B as b; binds a.i to b.i; }
+)");
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "M");
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.status().message().find("cannot be a binding source"), std::string::npos);
+}
+
+TEST(Analyze, RejectsDoubleBinding) {
+  auto doc = parse(R"(
+@Filter primitive A { output U32 as o; }
+@Filter primitive B { input U32 as i; }
+@Filter primitive C { input U32 as i; }
+@Module composite M {
+  contains A as a; contains B as b; contains C as c;
+  binds a.o to b.i;
+  binds a.o to c.i;
+}
+)");
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "M");
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.status().message().find("bound twice"), std::string::npos);
+}
+
+TEST(Analyze, RejectsSelfContainment) {
+  auto doc = parse("@Module composite M { contains M as m; }");
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "M");
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.status().message().find("contains itself"), std::string::npos);
+}
+
+TEST(Analyze, RejectsUnknownStructField) {
+  auto doc = parse("@Type struct S { Bogus x; }\n@Module composite M { }");
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "M");
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.status().message().find("non-scalar"), std::string::npos);
+}
+
+TEST(Analyze, WarnsOnUnboundChildPort) {
+  auto doc = parse(R"(
+@Filter primitive A { output U32 as o; output U32 as dangling; }
+@Filter primitive B { input U32 as i; }
+@Module composite M { contains A as a; contains B as b; binds a.o to b.i; }
+)");
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "M");
+  ASSERT_TRUE(rep.ok());
+  ASSERT_FALSE(rep->warnings.empty());
+  EXPECT_NE(rep->warnings[0].find("a.dangling"), std::string::npos);
+}
+
+TEST(Analyze, RejectsMissingTop) {
+  auto doc = parse("@Module composite M { }");
+  ASSERT_TRUE(doc.ok());
+  auto rep = analyze(*doc, "Nope");
+  ASSERT_FALSE(rep.ok());
+}
+
+TEST(Instantiate, BuildsTheModuleTree) {
+  auto doc = parse(kAModule);
+  ASSERT_TRUE(doc.ok());
+  pedf::TypeRegistry types;
+  FilterRegistry registry;
+  auto mod = instantiate(*doc, "AModule", "amod", types, registry);
+  ASSERT_TRUE(mod.ok()) << mod.status().message();
+  EXPECT_EQ((*mod)->name(), "amod");
+  EXPECT_EQ((*mod)->filters().size(), 2u);
+  ASSERT_NE((*mod)->controller(), nullptr);
+  EXPECT_EQ((*mod)->controller()->ports().size(), 2u);
+  pedf::Filter* f1 = (*mod)->filter("filter_1");
+  ASSERT_NE(f1, nullptr);
+  EXPECT_NE(f1->port("an_input"), nullptr);
+  EXPECT_NE(f1->data("a_private_data"), nullptr);
+  EXPECT_NE(f1->attribute("an_attribute"), nullptr);
+  EXPECT_EQ(f1->source_file(), "the_source.c");
+  EXPECT_EQ((*mod)->bindings().size(), 5u);
+}
+
+TEST(Instantiate, RegistersStructTypes) {
+  auto doc = parse("@Type struct S_t { U32 a; }\n@Module composite M { }");
+  ASSERT_TRUE(doc.ok());
+  pedf::TypeRegistry types;
+  FilterRegistry registry;
+  auto mod = instantiate(*doc, "M", "m", types, registry);
+  ASSERT_TRUE(mod.ok());
+  EXPECT_NE(types.find_struct("S_t"), nullptr);
+}
+
+TEST(Instantiate, ControllerFactoryRenamesEndpoints) {
+  auto doc = parse(kAModule);
+  ASSERT_TRUE(doc.ok());
+  pedf::TypeRegistry types;
+  FilterRegistry registry;
+  registry.register_controller("AModule", [](const AstComposite&, const std::string&) {
+    return std::unique_ptr<pedf::Controller>(
+        new pedf::FnController("fancy_controller", [](pedf::ControllerContext&) {}));
+  });
+  auto mod = instantiate(*doc, "AModule", "amod", types, registry);
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ((*mod)->controller()->name(), "fancy_controller");
+  // Bindings rewritten from "controller." to the factory's name.
+  bool found = false;
+  for (const auto& b : (*mod)->bindings())
+    if (b.src == "fancy_controller.cmd_out_1") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Instantiate, GenericFallbacksRunnable) {
+  // Unregistered primitives get GenericFilter; composites with a controller
+  // get DefaultController -- the parsed architecture runs as-is.
+  auto doc = parse(kAModule);
+  ASSERT_TRUE(doc.ok());
+  sim::Kernel kernel;
+  sim::PlatformConfig pc;
+  pc.clusters = 1;
+  pc.pes_per_cluster = 4;
+  sim::Platform platform(kernel, pc);
+  pedf::Application app(platform, "generic");
+  FilterRegistry registry;
+  registry.set_default_steps(3);
+  auto mod = instantiate(*doc, "AModule", "amod", app.types(), registry);
+  ASSERT_TRUE(mod.ok());
+  app.set_root(std::move(*mod));
+  app.add_host_source("src", "amod.module_in",
+                      {pedf::Value::u32(1), pedf::Value::u32(2), pedf::Value::u32(3)});
+  auto& sink = app.add_host_sink("snk", "amod.module_out", 3);
+  ASSERT_TRUE(app.elaborate().ok());
+  app.start();
+  EXPECT_EQ(kernel.run(), sim::RunResult::kFinished);
+  EXPECT_EQ(sink.received().size(), 3u);
+}
+
+TEST(Parser, SurvivesRandomInput) {
+  // The front end must reject garbage gracefully: no crash, no hang, and a
+  // positioned diagnostic for every failure.
+  dfdbg::Prng prng(41);
+  const char alphabet[] = "abc_.:;{}@ \n\t/*composite primitive binds to as input output";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text;
+    std::size_t len = prng.next_below(120);
+    for (std::size_t i = 0; i < len; ++i)
+      text += alphabet[prng.next_below(sizeof(alphabet) - 1)];
+    auto doc = parse(text);
+    if (!doc.ok()) {
+      EXPECT_FALSE(doc.status().message().empty());
+    }
+  }
+}
+
+TEST(Parser, SurvivesTruncationsOfValidAdl) {
+  std::string text(kAModule);
+  for (std::size_t cut = 0; cut < text.size(); cut += 13) {
+    auto doc = parse(text.substr(0, cut));
+    // Any outcome is fine; it must simply not crash and must diagnose
+    // failures with a message.
+    if (!doc.ok()) {
+      EXPECT_FALSE(doc.status().message().empty());
+    }
+  }
+}
+
+TEST(Emit, RoundTripThePaperListing) {
+  auto doc = parse(kAModule);
+  ASSERT_TRUE(doc.ok());
+  std::string text = emit_adl(*doc);
+  auto doc2 = parse(text);
+  ASSERT_TRUE(doc2.ok()) << doc2.status().message() << "\nemitted:\n" << text;
+  EXPECT_TRUE(documents_equal(*doc, *doc2)) << text;
+  // Idempotence: emitting the re-parsed document gives identical text.
+  EXPECT_EQ(text, emit_adl(*doc2));
+}
+
+TEST(Emit, RoundTripTheH264Architecture) {
+  auto doc = parse(h264::kH264Adl);
+  ASSERT_TRUE(doc.ok());
+  auto doc2 = parse(emit_adl(*doc));
+  ASSERT_TRUE(doc2.ok()) << doc2.status().message();
+  EXPECT_TRUE(documents_equal(*doc, *doc2));
+}
+
+TEST(Emit, EqualityDetectsDifferences) {
+  auto a = parse(kAModule);
+  auto b = parse(kAModule);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(documents_equal(*a, *b));
+  b->composites[0].bindings.pop_back();
+  EXPECT_FALSE(documents_equal(*a, *b));
+}
+
+TEST(Emit, StructsWithHexFlag) {
+  auto doc = parse("@Type struct S_t { U32 Addr hex; U16 n; }");
+  ASSERT_TRUE(doc.ok());
+  std::string text = emit_adl(*doc);
+  EXPECT_NE(text.find("U32 Addr hex;"), std::string::npos);
+  auto doc2 = parse(text);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_TRUE(documents_equal(*doc, *doc2));
+}
+
+TEST(Dot, RendersFig2Elements) {
+  auto doc = parse(kAModule);
+  ASSERT_TRUE(doc.ok());
+  std::string dot = to_dot(*doc, "AModule");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("controller"), std::string::npos);
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);  // controller box
+  EXPECT_NE(dot.find("filter_1"), std::string::npos);
+  EXPECT_NE(dot.find("filter_2"), std::string::npos);
+  EXPECT_NE(dot.find("this.module_in"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfdbg::mind

@@ -1,0 +1,160 @@
+// Tests of PEDF token values, types and the raw link container.
+#include <gtest/gtest.h>
+
+#include "dfdbg/common/prng.hpp"
+#include "dfdbg/pedf/link.hpp"
+#include "dfdbg/pedf/value.hpp"
+
+namespace dfdbg::pedf {
+namespace {
+
+TEST(Value, ScalarConstruction) {
+  EXPECT_EQ(Value::u8(0xAB).as_u64(), 0xABu);
+  EXPECT_EQ(Value::u16(0xABCD).as_u64(), 0xABCDu);
+  EXPECT_EQ(Value::u32(0xDEADBEEF).as_u64(), 0xDEADBEEFu);
+  EXPECT_EQ(Value::i32(-5).as_i64(), -5);
+  EXPECT_FLOAT_EQ(Value::f32(1.5f).as_f32(), 1.5f);
+}
+
+TEST(Value, ScalarTruncation) {
+  Value v = Value::u8(0);
+  v.set_scalar_u64(0x1FF);
+  EXPECT_EQ(v.as_u64(), 0xFFu);
+  Value w = Value::u16(0);
+  w.set_scalar_u64(0x12345);
+  EXPECT_EQ(w.as_u64(), 0x2345u);
+}
+
+TEST(Value, ToStringScalar) {
+  EXPECT_EQ(Value::u16(5).to_string(), "(U16) 5");
+  EXPECT_EQ(Value::u32(127).to_string(), "(U32) 127");
+  EXPECT_EQ(Value::i32(-3).to_string(), "(I32) -3");
+}
+
+TEST(Value, StructFields) {
+  TypeRegistry reg;
+  const StructType* st = reg.define_struct(
+      "CbCrMB_t", {{"Addr", ScalarType::kU32, /*hex=*/true},
+                   {"InterNotIntra", ScalarType::kU32, false},
+                   {"Izz", ScalarType::kU32, false}});
+  Value v = Value::make_struct(st);
+  v.set_field("Addr", 0x145D);
+  v.set_field("InterNotIntra", 1);
+  v.set_field("Izz", 168460492);
+  EXPECT_EQ(v.field_u64("Addr"), 0x145Du);
+  EXPECT_EQ(v.field_u64_at(2), 168460492u);
+  // Matches the paper's print format.
+  EXPECT_EQ(v.to_string(), "(CbCrMB_t){Addr=0x145D, InterNotIntra=1, Izz=168460492}");
+}
+
+TEST(Value, Equality) {
+  TypeRegistry reg;
+  const StructType* st = reg.define_struct("S", {{"a", ScalarType::kU32, false}});
+  Value a = Value::make_struct(st), b = Value::make_struct(st);
+  EXPECT_EQ(a, b);
+  b.set_field("a", 1);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(Value::u32(7), Value::u32(7));
+  EXPECT_FALSE(Value::u32(7) == Value::u16(7));  // type matters
+}
+
+TEST(Value, ZeroOf) {
+  TypeRegistry reg;
+  const StructType* st = reg.define_struct("S", {{"a", ScalarType::kU32, false}});
+  Value z = Value::zero_of(TypeDesc(st));
+  EXPECT_EQ(z.field_u64("a"), 0u);
+  Value s = Value::zero_of(TypeDesc(ScalarType::kU16));
+  EXPECT_EQ(s.as_u64(), 0u);
+}
+
+TEST(TypeRegistry, ResolveScalarsAndStructs) {
+  TypeRegistry reg;
+  reg.define_struct("My_t", {{"x", ScalarType::kU8, false}});
+  TypeDesc t;
+  EXPECT_TRUE(reg.resolve("U32", &t));
+  EXPECT_FALSE(t.is_struct());
+  EXPECT_TRUE(reg.resolve("My_t", &t));
+  EXPECT_TRUE(t.is_struct());
+  EXPECT_EQ(t.name(), "My_t");
+  EXPECT_FALSE(reg.resolve("Nope_t", &t));
+}
+
+TEST(TypeDesc, ByteSizes) {
+  TypeRegistry reg;
+  const StructType* st = reg.define_struct(
+      "Tri", {{"a", ScalarType::kU32, false}, {"b", ScalarType::kU32, false},
+              {"c", ScalarType::kU32, false}});
+  EXPECT_EQ(TypeDesc(ScalarType::kU8).byte_size(), 1u);
+  EXPECT_EQ(TypeDesc(ScalarType::kU16).byte_size(), 2u);
+  EXPECT_EQ(TypeDesc(ScalarType::kU32).byte_size(), 4u);
+  EXPECT_EQ(TypeDesc(st).byte_size(), 24u);
+}
+
+// --- raw link container -------------------------------------------------------
+
+TEST(Link, PushPopIndexes) {
+  Link l(LinkId(0), "a::x -> b::y", TypeDesc(ScalarType::kU32), nullptr, nullptr);
+  EXPECT_EQ(l.push_raw(Value::u32(1)), 0u);
+  EXPECT_EQ(l.push_raw(Value::u32(2)), 1u);
+  EXPECT_EQ(l.occupancy(), 2u);
+  EXPECT_EQ(l.pop_raw().as_u64(), 1u);
+  EXPECT_EQ(l.pop_raw().as_u64(), 2u);
+  EXPECT_EQ(l.push_index(), 2u);
+  EXPECT_EQ(l.pop_index(), 2u);
+  EXPECT_TRUE(l.empty());
+}
+
+TEST(Link, HighWatermark) {
+  Link l(LinkId(0), "l", TypeDesc(), nullptr, nullptr);
+  for (int i = 0; i < 5; ++i) l.push_raw(Value::u32(0));
+  l.pop_raw();
+  l.pop_raw();
+  for (int i = 0; i < 2; ++i) l.push_raw(Value::u32(0));
+  EXPECT_EQ(l.high_watermark(), 5u);
+}
+
+TEST(Link, CapacityAndFull) {
+  Link l(LinkId(0), "l", TypeDesc(), nullptr, nullptr);
+  l.set_capacity(2);
+  l.push_raw(Value::u32(1));
+  EXPECT_FALSE(l.full());
+  l.push_raw(Value::u32(2));
+  EXPECT_TRUE(l.full());
+}
+
+TEST(Link, PeekPokeErase) {
+  Link l(LinkId(0), "l", TypeDesc(), nullptr, nullptr);
+  for (std::uint32_t i = 0; i < 4; ++i) l.push_raw(Value::u32(i));
+  EXPECT_EQ(l.peek(2).as_u64(), 2u);
+  l.poke(2, Value::u32(99));
+  EXPECT_EQ(l.peek(2).as_u64(), 99u);
+  Value removed = l.erase_at(1);
+  EXPECT_EQ(removed.as_u64(), 1u);
+  EXPECT_EQ(l.occupancy(), 3u);
+  // Erasing does not disturb the monotonic indexes.
+  EXPECT_EQ(l.push_index(), 4u);
+  EXPECT_EQ(l.pop_index(), 0u);
+  // Remaining order: 0, 99, 3.
+  EXPECT_EQ(l.pop_raw().as_u64(), 0u);
+  EXPECT_EQ(l.pop_raw().as_u64(), 99u);
+  EXPECT_EQ(l.pop_raw().as_u64(), 3u);
+}
+
+TEST(Link, FifoPropertyUnderRandomOps) {
+  // Property: values come out in push order regardless of interleaving.
+  dfdbg::Prng prng(5);
+  Link l(LinkId(0), "l", TypeDesc(), nullptr, nullptr);
+  std::uint32_t next_push = 0, next_pop = 0;
+  for (int step = 0; step < 10000; ++step) {
+    if (l.empty() || prng.next_bool(0.55)) {
+      l.push_raw(Value::u32(next_push++));
+    } else {
+      ASSERT_EQ(l.pop_raw().as_u64(), next_pop++);
+    }
+  }
+  while (!l.empty()) ASSERT_EQ(l.pop_raw().as_u64(), next_pop++);
+  EXPECT_EQ(next_push, next_pop);
+}
+
+}  // namespace
+}  // namespace dfdbg::pedf

@@ -1,0 +1,325 @@
+// Tests of the SDF front-end: balance equations, schedule synthesis,
+// deadlock/inconsistency detection, PEDF instantiation and debugging SDF
+// graphs with the same dataflow-aware Session (model genericity, paper
+// §VII-C / §VIII).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dfdbg/common/prng.hpp"
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/sdf/sdf.hpp"
+
+namespace dfdbg::sdf {
+namespace {
+
+using pedf::PortDir;
+using pedf::TypeDesc;
+using pedf::Value;
+
+SdfPortSpec in_port(const char* name, std::uint32_t rate) {
+  return SdfPortSpec{name, PortDir::kIn, rate, TypeDesc()};
+}
+SdfPortSpec out_port(const char* name, std::uint32_t rate) {
+  return SdfPortSpec{name, PortDir::kOut, rate, TypeDesc()};
+}
+
+/// The classic up/down-sampler chain: src(out:1) -> up(in:1,out:2)
+/// -> down(in:3,out:1) -> sink(in:1).  Repetition vector: src 3, up 3,
+/// down 2, sink 2.
+SdfGraph sampler_chain() {
+  SdfGraph g;
+  EXPECT_TRUE(g.add_actor({"src", {out_port("o", 1)}, nullptr, 0}).ok());
+  EXPECT_TRUE(g.add_actor({"up", {in_port("i", 1), out_port("o", 2)}, nullptr, 0}).ok());
+  EXPECT_TRUE(g.add_actor({"down", {in_port("i", 3), out_port("o", 1)}, nullptr, 0}).ok());
+  EXPECT_TRUE(g.add_actor({"sink", {in_port("i", 1)}, nullptr, 0}).ok());
+  EXPECT_TRUE(g.add_edge({"src", "o", "up", "i", 0}).ok());
+  EXPECT_TRUE(g.add_edge({"up", "o", "down", "i", 0}).ok());
+  EXPECT_TRUE(g.add_edge({"down", "o", "sink", "i", 0}).ok());
+  return g;
+}
+
+TEST(SdfBalance, SamplerChainVector) {
+  SdfGraph g = sampler_chain();
+  auto rep = g.repetition_vector();
+  ASSERT_TRUE(rep.ok()) << rep.status().message();
+  EXPECT_EQ(*rep, (std::vector<std::uint64_t>{3, 3, 2, 2}));
+  auto neutral = g.period_is_neutral();
+  ASSERT_TRUE(neutral.ok());
+  EXPECT_TRUE(*neutral);
+}
+
+TEST(SdfBalance, UniformRatesGiveOnes) {
+  SdfGraph g;
+  ASSERT_TRUE(g.add_actor({"a", {out_port("o", 4)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_actor({"b", {in_port("i", 4), out_port("o", 4)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_actor({"c", {in_port("i", 4)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_edge({"a", "o", "b", "i", 0}).ok());
+  ASSERT_TRUE(g.add_edge({"b", "o", "c", "i", 0}).ok());
+  auto rep = g.repetition_vector();
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(*rep, (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(SdfBalance, InconsistentRatesRejected) {
+  // a fans out to two paths that reconverge with incompatible rates.
+  SdfGraph g;
+  ASSERT_TRUE(g.add_actor({"a", {out_port("o1", 1), out_port("o2", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_actor({"b", {in_port("i", 1), out_port("o", 2)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_actor({"c", {in_port("i1", 1), in_port("i2", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_edge({"a", "o1", "b", "i", 0}).ok());
+  ASSERT_TRUE(g.add_edge({"b", "o", "c", "i1", 0}).ok());
+  ASSERT_TRUE(g.add_edge({"a", "o2", "c", "i2", 0}).ok());
+  auto rep = g.repetition_vector();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.status().message().find("inconsistent SDF rates"), std::string::npos);
+}
+
+TEST(SdfBalance, DisconnectedRejected) {
+  SdfGraph g;
+  ASSERT_TRUE(g.add_actor({"a", {out_port("o", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_actor({"b", {in_port("i", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_actor({"island", {}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_edge({"a", "o", "b", "i", 0}).ok());
+  auto rep = g.repetition_vector();
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.status().message().find("disconnected"), std::string::npos);
+}
+
+TEST(SdfSchedule, SamplerChainScheduleIsValid) {
+  SdfGraph g = sampler_chain();
+  auto sched = g.schedule();
+  ASSERT_TRUE(sched.ok()) << sched.status().message();
+  // Replay the schedule and verify no underflow + full repetition counts.
+  std::map<std::string, std::uint64_t> fired;
+  std::map<std::string, long> occ;  // per edge dst key
+  for (const Firing& f : *sched) fired[f.actor] += f.count;
+  EXPECT_EQ(fired["src"], 3u);
+  EXPECT_EQ(fired["up"], 3u);
+  EXPECT_EQ(fired["down"], 2u);
+  EXPECT_EQ(fired["sink"], 2u);
+}
+
+TEST(SdfSchedule, CycleWithoutDelayDeadlocks) {
+  SdfGraph g;
+  ASSERT_TRUE(
+      g.add_actor({"a", {in_port("i", 1), out_port("o", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(
+      g.add_actor({"b", {in_port("i", 1), out_port("o", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_edge({"a", "o", "b", "i", 0}).ok());
+  ASSERT_TRUE(g.add_edge({"b", "o", "a", "i", 0}).ok());
+  auto sched = g.schedule();
+  ASSERT_FALSE(sched.ok());
+  EXPECT_NE(sched.status().message().find("deadlock"), std::string::npos);
+}
+
+TEST(SdfSchedule, InitialTokensBreakTheCycle) {
+  SdfGraph g;
+  ASSERT_TRUE(
+      g.add_actor({"a", {in_port("i", 1), out_port("o", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(
+      g.add_actor({"b", {in_port("i", 1), out_port("o", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_edge({"a", "o", "b", "i", 0}).ok());
+  ASSERT_TRUE(g.add_edge({"b", "o", "a", "i", /*initial_tokens=*/1}).ok());
+  auto sched = g.schedule();
+  ASSERT_TRUE(sched.ok()) << sched.status().message();
+}
+
+TEST(SdfValidation, EdgeErrors) {
+  SdfGraph g;
+  ASSERT_TRUE(g.add_actor({"a", {out_port("o", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_actor({"b", {in_port("i", 1)}, nullptr, 0}).ok());
+  EXPECT_FALSE(g.add_edge({"a", "nope", "b", "i", 0}).ok());
+  EXPECT_FALSE(g.add_edge({"b", "i", "a", "o", 0}).ok());  // wrong directions
+  ASSERT_TRUE(g.add_edge({"a", "o", "b", "i", 0}).ok());
+  EXPECT_FALSE(g.add_edge({"a", "o", "b", "i", 0}).ok());  // double connect
+  EXPECT_FALSE(g.add_actor({"a", {}, nullptr, 0}).ok());   // duplicate name
+  SdfActorSpec zero{"z", {in_port("i", 0)}, nullptr, 0};
+  EXPECT_FALSE(g.add_actor(zero).ok());                    // zero rate
+}
+
+// --- property sweep over random consistent chains ------------------------------
+
+class RandomChains : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomChains, BalanceAndScheduleInvariants) {
+  dfdbg::Prng prng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    // A chain of 2..6 stages with random rates in [1,4] is always
+    // consistent (each edge constrains one new actor).
+    int stages = 2 + static_cast<int>(prng.next_below(5));
+    SdfGraph g;
+    std::vector<std::uint32_t> in_rate(static_cast<std::size_t>(stages)),
+        out_rate(static_cast<std::size_t>(stages));
+    for (int i = 0; i < stages; ++i) {
+      in_rate[static_cast<std::size_t>(i)] = 1 + static_cast<std::uint32_t>(prng.next_below(4));
+      out_rate[static_cast<std::size_t>(i)] = 1 + static_cast<std::uint32_t>(prng.next_below(4));
+      std::vector<SdfPortSpec> ports;
+      if (i > 0) ports.push_back(in_port("i", in_rate[static_cast<std::size_t>(i)]));
+      if (i + 1 < stages) ports.push_back(out_port("o", out_rate[static_cast<std::size_t>(i)]));
+      ASSERT_TRUE(g.add_actor({"s" + std::to_string(i), std::move(ports), nullptr, 0}).ok());
+    }
+    for (int i = 0; i + 1 < stages; ++i)
+      ASSERT_TRUE(
+          g.add_edge({"s" + std::to_string(i), "o", "s" + std::to_string(i + 1), "i", 0}).ok());
+
+    auto rep = g.repetition_vector();
+    ASSERT_TRUE(rep.ok()) << rep.status().message();
+    // Balance: produced == consumed on every edge over one period.
+    auto neutral = g.period_is_neutral();
+    ASSERT_TRUE(neutral.ok());
+    EXPECT_TRUE(*neutral) << "trial " << trial;
+    // Minimality: the gcd of the repetition vector is 1.
+    std::uint64_t gcd = 0;
+    for (std::uint64_t v : *rep) gcd = std::gcd(gcd, v);
+    EXPECT_EQ(gcd, 1u);
+    // Schedule: replay it and verify no link ever underflows and every
+    // actor fires exactly rep times.
+    auto sched = g.schedule();
+    ASSERT_TRUE(sched.ok()) << sched.status().message();
+    std::vector<long> occ(static_cast<std::size_t>(stages - 1), 0);
+    std::vector<std::uint64_t> fired(static_cast<std::size_t>(stages), 0);
+    for (const Firing& f : *sched) {
+      int idx = std::stoi(f.actor.substr(1));
+      for (std::uint32_t k = 0; k < f.count; ++k) {
+        if (idx > 0) {
+          occ[static_cast<std::size_t>(idx - 1)] -= in_rate[static_cast<std::size_t>(idx)];
+          ASSERT_GE(occ[static_cast<std::size_t>(idx - 1)], 0) << "underflow, trial " << trial;
+        }
+        if (idx + 1 < stages)
+          occ[static_cast<std::size_t>(idx)] += out_rate[static_cast<std::size_t>(idx)];
+        fired[static_cast<std::size_t>(idx)]++;
+      }
+    }
+    for (int i = 0; i < stages; ++i)
+      EXPECT_EQ(fired[static_cast<std::size_t>(i)], (*rep)[static_cast<std::size_t>(i)]);
+    // Period neutrality: all link occupancies return to zero.
+    for (long o : occ) EXPECT_EQ(o, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChains, ::testing::Values(1u, 2u, 3u, 4u));
+
+// --- running SDF graphs on PEDF + the dataflow debugger -----------------------
+
+struct SdfRig {
+  sim::Kernel kernel;
+  sim::Platform platform;
+  pedf::Application app;
+  SdfRig() : platform(kernel, config()), app(platform, "sdfapp") {}
+  static sim::PlatformConfig config() {
+    sim::PlatformConfig c;
+    c.clusters = 1;
+    c.pes_per_cluster = 8;
+    return c;
+  }
+};
+
+TEST(SdfRun, SamplerChainExecutesOnPedf) {
+  // src produces the sequence 0,1,2,...; up duplicates each sample; down
+  // averages windows of three; sink drains through the module boundary.
+  SdfGraph g;
+  ASSERT_TRUE(g
+                  .add_actor({"up",
+                              {in_port("i", 1), out_port("o", 2)},
+                              [](const std::vector<std::vector<Value>>& in,
+                                 std::vector<std::vector<Value>>* out) {
+                                (*out)[0] = {in[0][0], in[0][0]};  // duplicate
+                              },
+                              3})
+                  .ok());
+  ASSERT_TRUE(g
+                  .add_actor({"down",
+                              {in_port("i", 3), out_port("o", 1)},
+                              [](const std::vector<std::vector<Value>>& in,
+                                 std::vector<std::vector<Value>>* out) {
+                                std::uint64_t sum = 0;
+                                for (const Value& v : in[0]) sum += v.as_u64();
+                                (*out)[0] = {Value::u32(static_cast<std::uint32_t>(sum / 3))};
+                              },
+                              5})
+                  .ok());
+  ASSERT_TRUE(g.add_edge({"up", "o", "down", "i", 0}).ok());
+
+  constexpr std::uint64_t kIterations = 4;
+  SdfRig rig;
+  auto mod = g.instantiate("sdf", kIterations);
+  ASSERT_TRUE(mod.ok()) << mod.status().message();
+  rig.app.set_root(std::move(*mod));
+  // Boundary ports: up_i (in), down_o (out). Rep vector {3, 2}: 3 inputs and
+  // 2 outputs per period.
+  std::vector<Value> stream;
+  for (std::uint64_t i = 0; i < 3 * kIterations; ++i)
+    stream.push_back(Value::u32(static_cast<std::uint32_t>(i)));
+  rig.app.add_host_source("feed", "sdf.up_i", std::move(stream));
+  auto& sink = rig.app.add_host_sink("drain", "sdf.down_o", 2 * kIterations);
+  ASSERT_TRUE(rig.app.elaborate().ok());
+  ASSERT_TRUE(g.apply_initial_tokens(rig.app).ok());
+  rig.app.start();
+  EXPECT_EQ(rig.kernel.run(), sim::RunResult::kFinished);
+  ASSERT_EQ(sink.received().size(), 2 * kIterations);
+  // First window: duplicated samples 0,0,1 -> mean 0; second: 1,2,2 -> 1.
+  EXPECT_EQ(sink.received()[0].as_u64(), 0u);
+  EXPECT_EQ(sink.received()[1].as_u64(), 1u);
+}
+
+TEST(SdfRun, DebuggerWorksUnchangedOnSdf) {
+  SdfGraph g;
+  ASSERT_TRUE(g.add_actor({"up", {in_port("i", 1), out_port("o", 2)}, nullptr, 1}).ok());
+  ASSERT_TRUE(g.add_actor({"down", {in_port("i", 2), out_port("o", 1)}, nullptr, 1}).ok());
+  ASSERT_TRUE(g.add_edge({"up", "o", "down", "i", 0}).ok());
+  SdfRig rig;
+  auto mod = g.instantiate("sdf", 3);
+  ASSERT_TRUE(mod.ok());
+  rig.app.set_root(std::move(*mod));
+  std::vector<Value> stream(3, Value::u32(9));
+  rig.app.add_host_source("feed", "sdf.up_i", std::move(stream));
+  rig.app.add_host_sink("drain", "sdf.down_o", 3);
+
+  dbg::Session session(rig.app);
+  session.attach();
+  ASSERT_TRUE(rig.app.elaborate().ok());
+  // The same Session features work on the synchronous model: graph
+  // reconstruction, catchpoints, scheduling monitor, recording.
+  EXPECT_NE(session.graph().actor_by_name("up"), nullptr);
+  EXPECT_NE(session.graph().actor_by_name("sdf_scheduler"), nullptr);
+  ASSERT_TRUE(session.catch_work("down").ok());
+  ASSERT_TRUE(session.record_iface("up::o").ok());
+  rig.app.start();
+  auto out = session.run();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  EXPECT_EQ(out.stops[0].actor, "down");
+  int stops = 1;
+  for (;;) {
+    out = session.run();
+    if (out.result != sim::RunResult::kStopped) break;
+    stops++;
+  }
+  EXPECT_EQ(stops, 3);  // down fires once per period
+  EXPECT_EQ(session.recorder().total_recorded(), 6u);  // 2 tokens x 3 periods
+  EXPECT_EQ(out.result, sim::RunResult::kFinished);
+}
+
+TEST(SdfRun, StaticRatesVisibleToSchedulingMonitor) {
+  SdfGraph g;
+  ASSERT_TRUE(g.add_actor({"up", {in_port("i", 1), out_port("o", 3)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_actor({"down", {in_port("i", 1)}, nullptr, 0}).ok());
+  ASSERT_TRUE(g.add_edge({"up", "o", "down", "i", 0}).ok());
+  SdfRig rig;
+  auto mod = g.instantiate("sdf", 2);
+  ASSERT_TRUE(mod.ok());
+  rig.app.set_root(std::move(*mod));
+  rig.app.add_host_source("feed", "sdf.up_i", {Value::u32(1), Value::u32(2)});
+  dbg::Session session(rig.app);
+  session.attach();
+  ASSERT_TRUE(rig.app.elaborate().ok());
+  rig.app.start();
+  auto out = session.run();
+  EXPECT_EQ(out.result, sim::RunResult::kFinished);
+  // Repetition vector {1, 3}: down fired 3x per period, 6 in total.
+  EXPECT_EQ(session.graph().actor_by_name("down")->firings, 6u);
+  EXPECT_EQ(session.graph().actor_by_name("up")->firings, 2u);
+}
+
+}  // namespace
+}  // namespace dfdbg::sdf

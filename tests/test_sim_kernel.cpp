@@ -1,0 +1,387 @@
+// Tests of the deterministic cooperative kernel: scheduling, events, time,
+// debug_break resumability, deadlock detection, instrumentation port.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dfdbg/sim/kernel.hpp"
+
+namespace dfdbg::sim {
+namespace {
+
+TEST(Kernel, RunsToCompletion) {
+  Kernel k;
+  int ran = 0;
+  k.spawn("p", [&] { ran = 1; });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(k.live_process_count(), 0u);
+}
+
+TEST(Kernel, FifoDeterminism) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    k.spawn("p" + std::to_string(i), [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Kernel, AdvanceOrdersByTime) {
+  Kernel k;
+  std::vector<int> order;
+  k.spawn("late", [&] {
+    k.advance(100);
+    order.push_back(2);
+  });
+  k.spawn("early", [&] {
+    k.advance(10);
+    order.push_back(1);
+  });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(k.now(), 100u);
+}
+
+TEST(Kernel, SameTimeWakeupsAreFifo) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    k.spawn("p" + std::to_string(i), [&k, &order, i] {
+      k.advance(50);
+      order.push_back(i);
+    });
+  }
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Kernel, WaitNotify) {
+  Kernel k;
+  Event ev("go");
+  std::vector<std::string> order;
+  k.spawn("waiter", [&] {
+    order.push_back("wait");
+    k.wait(ev);
+    order.push_back("woken");
+  });
+  k.spawn("notifier", [&] {
+    order.push_back("notify");
+    k.notify(ev);
+  });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(order, (std::vector<std::string>{"wait", "notify", "woken"}));
+  EXPECT_EQ(ev.notify_count(), 1u);
+}
+
+TEST(Kernel, NotifyWakesAllWaitersInOrder) {
+  Kernel k;
+  Event ev("go");
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("w" + std::to_string(i), [&, i] {
+      k.wait(ev);
+      order.push_back(i);
+    });
+  }
+  k.spawn("n", [&] { k.notify(ev); });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Kernel, DeadlockDetected) {
+  Kernel k;
+  Event never("never");
+  k.spawn("stuck", [&] { k.wait(never); });
+  EXPECT_EQ(k.run(), RunResult::kDeadlock);
+  EXPECT_EQ(k.live_process_count(), 1u);
+}
+
+TEST(Kernel, NotifyFromOutsideUntiesDeadlock) {
+  Kernel k;
+  Event ev("ev");
+  bool done = false;
+  k.spawn("stuck", [&] {
+    k.wait(ev);
+    done = true;
+  });
+  EXPECT_EQ(k.run(), RunResult::kDeadlock);
+  k.notify(ev);  // the debugger's deadlock-untie path
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_TRUE(done);
+}
+
+TEST(Kernel, DebugBreakSuspendsAndResumes) {
+  Kernel k;
+  std::vector<int> trail;
+  k.spawn("p", [&] {
+    trail.push_back(1);
+    k.debug_break();
+    trail.push_back(2);
+    k.debug_break();
+    trail.push_back(3);
+  });
+  EXPECT_EQ(k.run(), RunResult::kStopped);
+  EXPECT_EQ(trail, (std::vector<int>{1}));
+  EXPECT_EQ(k.run(), RunResult::kStopped);
+  EXPECT_EQ(trail, (std::vector<int>{1, 2}));
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(trail, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Kernel, BrokenProcessResumesFirst) {
+  Kernel k;
+  std::vector<std::string> trail;
+  k.spawn("a", [&] {
+    trail.push_back("a1");
+    k.debug_break();
+    trail.push_back("a2");
+  });
+  k.spawn("b", [&] {
+    k.advance(0);  // yield once so `a` runs first
+    trail.push_back("b");
+  });
+  EXPECT_EQ(k.run(), RunResult::kStopped);
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  // After the break, `a` must resume before `b` finishes its turn again.
+  ASSERT_EQ(trail.size(), 3u);
+  EXPECT_EQ(trail[0], "a1");
+  EXPECT_EQ(trail[1], "a2");
+}
+
+TEST(Kernel, TimeLimitIsResumable) {
+  Kernel k;
+  int steps = 0;
+  k.spawn("ticker", [&] {
+    for (int i = 0; i < 10; ++i) {
+      k.advance(10);
+      steps++;
+    }
+  });
+  EXPECT_EQ(k.run(35), RunResult::kTimeLimit);
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(steps, 10);
+  EXPECT_EQ(k.now(), 100u);
+}
+
+TEST(Kernel, SpawnFromProcess) {
+  Kernel k;
+  std::vector<int> order;
+  k.spawn("parent", [&] {
+    order.push_back(1);
+    k.spawn("child", [&] { order.push_back(2); });
+  });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Kernel, ProcessLookup) {
+  Kernel k;
+  ProcessId id = k.spawn("named", [] {});
+  EXPECT_NE(k.process(id), nullptr);
+  EXPECT_EQ(k.process(id)->name(), "named");
+  EXPECT_EQ(k.process_by_name("named"), k.process(id));
+  EXPECT_EQ(k.process_by_name("ghost"), nullptr);
+}
+
+TEST(Kernel, ConsumedTimeTracked) {
+  Kernel k;
+  ProcessId id = k.spawn("t", [&] {
+    k.advance(30);
+    k.advance(12);
+  });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(k.process(id)->consumed_time(), 42u);
+}
+
+TEST(Kernel, TeardownWithBlockedProcesses) {
+  // Destroying a kernel with parked processes must not hang or crash.
+  auto k = std::make_unique<Kernel>();
+  Event ev("ev");
+  k->spawn("stuck1", [&] { k->wait(ev); });
+  k->spawn("stuck2", [&] { k->wait(ev); });
+  EXPECT_EQ(k->run(), RunResult::kDeadlock);
+  k.reset();  // must join cleanly
+}
+
+TEST(Kernel, TeardownWithNeverRunProcess) {
+  auto k = std::make_unique<Kernel>();
+  k->spawn("never-ran", [] {});
+  k.reset();
+}
+
+TEST(Kernel, LifoPolicyReversesDispatchOfFreshSpawns) {
+  Kernel k;
+  k.set_ready_policy(ReadyPolicy::kLifo);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i)
+    k.spawn("p" + std::to_string(i), [&order, i] { order.push_back(i); });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Kernel, LifoStillDeterministic) {
+  auto run_once = [] {
+    Kernel k;
+    k.set_ready_policy(ReadyPolicy::kLifo);
+    Event ev("e");
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+      k.spawn("w" + std::to_string(i), [&, i] {
+        k.wait(ev);
+        order.push_back(i);
+      });
+    }
+    k.spawn("n", [&] { k.notify(ev); });
+    k.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Kernel, DebugBreakResumesFirstUnderLifo) {
+  // debug_break must pin the broken process to the queue front regardless
+  // of policy — resuming elsewhere would corrupt the stop semantics.
+  Kernel k;
+  k.set_ready_policy(ReadyPolicy::kLifo);
+  std::vector<std::string> trail;
+  k.spawn("a", [&] {
+    trail.push_back("a1");
+    k.debug_break();
+    trail.push_back("a2");
+  });
+  k.spawn("b", [&] { trail.push_back("b"); });
+  EXPECT_EQ(k.run(), RunResult::kStopped);
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  ASSERT_GE(trail.size(), 2u);
+  // a2 directly follows a1: the broken process resumed first.
+  auto it = std::find(trail.begin(), trail.end(), "a1");
+  ASSERT_NE(it, trail.end());
+  EXPECT_EQ(*(it + 1), "a2");
+}
+
+// --- instrumentation port ---------------------------------------------------
+
+TEST(Instrument, DisabledByDefault) {
+  Kernel k;
+  auto& port = k.instrument();
+  SymbolId s = port.intern("fn");
+  EXPECT_FALSE(port.armed(s));
+  port.add_enter_hook(s, [](Frame&) {});
+  EXPECT_FALSE(port.armed(s));  // master switch still off
+  port.set_enabled(true);
+  EXPECT_TRUE(port.armed(s));
+}
+
+TEST(Instrument, InternIsIdempotent) {
+  Kernel k;
+  auto& port = k.instrument();
+  SymbolId a = port.intern("x");
+  SymbolId b = port.intern("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(port.symbol_name(a), "x");
+  EXPECT_EQ(port.lookup("x"), a);
+  EXPECT_FALSE(port.lookup("y").valid());
+}
+
+TEST(Instrument, EnterAndExitHooksFire) {
+  Kernel k;
+  auto& port = k.instrument();
+  port.set_enabled(true);
+  SymbolId s = port.intern("fn");
+  std::vector<std::string> log;
+  port.add_enter_hook(s, [&](Frame& f) {
+    log.push_back("enter " + std::string(f.symbol_name()));
+    EXPECT_EQ(f.arg("x")->i64, 5);
+    EXPECT_EQ(f.ret(), nullptr);
+  });
+  port.add_exit_hook(s, [&](Frame& f) {
+    log.push_back("exit");
+    ASSERT_NE(f.ret(), nullptr);
+    EXPECT_EQ(f.ret()->u64, 99u);
+  });
+  {
+    const ArgValue args[] = {ArgValue::of_i64("x", 5)};
+    InstrScope scope(k, s, args);
+    scope.set_return(ArgValue::of_u64("r", 99));
+  }
+  EXPECT_EQ(log, (std::vector<std::string>{"enter fn", "exit"}));
+  EXPECT_EQ(port.symbol_hits(s), 2u);
+}
+
+TEST(Instrument, RemoveAndDisableHooks) {
+  Kernel k;
+  auto& port = k.instrument();
+  port.set_enabled(true);
+  SymbolId s = port.intern("fn");
+  int calls = 0;
+  HookId h = port.add_enter_hook(s, [&](Frame&) { calls++; });
+  port.fire_enter(k, s, {});
+  EXPECT_EQ(calls, 1);
+  port.set_hook_enabled(h, false);
+  port.fire_enter(k, s, {});
+  EXPECT_EQ(calls, 1);
+  port.set_hook_enabled(h, true);
+  port.remove_hook(h);
+  EXPECT_FALSE(port.armed(s));
+  port.fire_enter(k, s, {});
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Instrument, InstanceSymbolsFireIndependently) {
+  Kernel k;
+  auto& port = k.instrument();
+  port.set_enabled(true);
+  SymbolId generic = port.intern("push");
+  SymbolId inst = port.intern("push@linkA");
+  int generic_calls = 0, inst_calls = 0;
+  port.add_enter_hook(generic, [&](Frame&) { generic_calls++; });
+  port.add_enter_hook(inst, [&](Frame&) { inst_calls++; });
+  port.fire_enter(k, generic, {}, inst);
+  EXPECT_EQ(generic_calls, 1);
+  EXPECT_EQ(inst_calls, 1);
+  port.fire_enter(k, generic, {});
+  EXPECT_EQ(generic_calls, 2);
+  EXPECT_EQ(inst_calls, 1);
+}
+
+TEST(Instrument, HookCanDebugBreak) {
+  Kernel k;
+  auto& port = k.instrument();
+  port.set_enabled(true);
+  SymbolId s = port.intern("fn");
+  port.add_enter_hook(s, [&k](Frame&) { k.debug_break(); });
+  int after = 0;
+  k.spawn("p", [&] {
+    const ArgValue args[] = {ArgValue::of_i64("x", 1)};
+    InstrScope scope(k, s, args);
+    after = 1;
+  });
+  EXPECT_EQ(k.run(), RunResult::kStopped);
+  EXPECT_EQ(after, 0);  // frozen mid-call
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(after, 1);
+}
+
+TEST(Instrument, HookAddedDuringFireDoesNotBreakIteration) {
+  Kernel k;
+  auto& port = k.instrument();
+  port.set_enabled(true);
+  SymbolId s = port.intern("fn");
+  int calls = 0;
+  port.add_enter_hook(s, [&](Frame& f) {
+    calls++;
+    if (calls == 1) f.kernel().instrument().add_enter_hook(s, [&](Frame&) { calls += 100; });
+  });
+  port.fire_enter(k, s, {});
+  EXPECT_EQ(calls, 1);  // snapshot semantics: new hook not fired this round
+  port.fire_enter(k, s, {});
+  EXPECT_EQ(calls, 102);
+}
+
+}  // namespace
+}  // namespace dfdbg::sim

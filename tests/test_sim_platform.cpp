@@ -1,0 +1,151 @@
+// Tests of the P2012-like platform model: topology, latencies, DMA, PE
+// exclusivity, DOT rendering (FIG1 substrate).
+#include <gtest/gtest.h>
+
+#include "dfdbg/sim/platform.hpp"
+
+namespace dfdbg::sim {
+namespace {
+
+TEST(Platform, DefaultTopology) {
+  Kernel k;
+  Platform p(k, PlatformConfig{});
+  const PlatformConfig& c = p.config();
+  EXPECT_EQ(static_cast<int>(p.fabric().size()), c.clusters);
+  EXPECT_EQ(static_cast<int>(p.fabric()[0].pes.size()), c.pes_per_cluster);
+  EXPECT_EQ(static_cast<int>(p.fabric()[0].accelerators.size()), c.accel_slots_per_cluster);
+  EXPECT_EQ(p.pe_count(),
+            static_cast<std::size_t>(c.host_cores +
+                                     c.clusters * (c.pes_per_cluster + c.accel_slots_per_cluster)));
+}
+
+TEST(Platform, PeNamesResolve) {
+  Kernel k;
+  Platform p(k, PlatformConfig{});
+  EXPECT_NE(p.pe_by_name("host0"), nullptr);
+  EXPECT_NE(p.pe_by_name("c0p0"), nullptr);
+  EXPECT_NE(p.pe_by_name("c1p15"), nullptr);
+  EXPECT_NE(p.pe_by_name("c0a1"), nullptr);
+  EXPECT_EQ(p.pe_by_name("c9p0"), nullptr);
+  EXPECT_EQ(p.pe_by_name(""), nullptr);
+}
+
+TEST(Platform, RoundRobinSpreadsClustersFirst) {
+  Kernel k;
+  PlatformConfig cfg;
+  cfg.clusters = 3;
+  cfg.pes_per_cluster = 2;
+  Platform p(k, cfg);
+  EXPECT_EQ(p.allocate_fabric_pe().name(), "c0p0");
+  EXPECT_EQ(p.allocate_fabric_pe().name(), "c1p0");
+  EXPECT_EQ(p.allocate_fabric_pe().name(), "c2p0");
+  EXPECT_EQ(p.allocate_fabric_pe().name(), "c0p1");
+  // Wraps around after exhausting all PEs.
+  p.allocate_fabric_pe();
+  p.allocate_fabric_pe();
+  EXPECT_EQ(p.allocate_fabric_pe().name(), "c0p0");
+}
+
+TEST(Platform, MemoryLatencyHierarchy) {
+  Kernel k;
+  Platform p(k, PlatformConfig{});
+  SimTime l1 = 0, l2 = 0, l3 = 0;
+  k.spawn("prober", [&] {
+    SimTime t0 = k.now();
+    p.fabric()[0].l1->access(k, 8);
+    l1 = k.now() - t0;
+    t0 = k.now();
+    p.l2().access(k, 8);
+    l2 = k.now() - t0;
+    t0 = k.now();
+    p.l3().access(k, 8);
+    l3 = k.now() - t0;
+  });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l2, l3);
+}
+
+TEST(Platform, MemoryCountsAccesses) {
+  Kernel k;
+  Platform p(k, PlatformConfig{});
+  k.spawn("prober", [&] {
+    for (int i = 0; i < 5; ++i) p.l2().access(k, 16);
+  });
+  k.run();
+  EXPECT_EQ(p.l2().access_count(), 5u);
+  EXPECT_EQ(p.l2().bytes_transferred(), 80u);
+}
+
+TEST(Platform, LargerAccessesCostMore) {
+  Kernel k;
+  Platform p(k, PlatformConfig{});
+  SimTime small = 0, big = 0;
+  k.spawn("prober", [&] {
+    SimTime t0 = k.now();
+    p.l2().access(k, 8);
+    small = k.now() - t0;
+    t0 = k.now();
+    p.l2().access(k, 1024);
+    big = k.now() - t0;
+  });
+  k.run();
+  EXPECT_GT(big, small);
+}
+
+TEST(Platform, DmaSerializesUsers) {
+  Kernel k;
+  Platform p(k, PlatformConfig{});
+  SimTime single = 0;
+  k.spawn("a", [&] {
+    p.dmas()[0]->transfer(k, p.l3(), p.l2(), 1024);
+    single = k.now();
+  });
+  k.spawn("b", [&] { p.dmas()[0]->transfer(k, p.l3(), p.l2(), 1024); });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  // Two serialized transfers end at ~2x the single-transfer time.
+  EXPECT_GE(k.now(), 2 * single - 2);
+  EXPECT_EQ(p.dmas()[0]->transfer_count(), 2u);
+  EXPECT_EQ(p.dmas()[0]->bytes_transferred(), 2048u);
+}
+
+TEST(Platform, PeExclusivitySerializes) {
+  Kernel k;
+  Platform p(k, PlatformConfig{});
+  Pe& pe = *p.fabric()[0].pes[0];
+  k.spawn("a", [&] { pe.execute(k, 100); });
+  k.spawn("b", [&] { pe.execute(k, 100); });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(k.now(), 200u);
+  EXPECT_EQ(pe.execution_count(), 2u);
+  EXPECT_EQ(pe.busy_cycles(), 200u);
+}
+
+TEST(Platform, DistinctPesOverlap) {
+  Kernel k;
+  Platform p(k, PlatformConfig{});
+  k.spawn("a", [&] { p.fabric()[0].pes[0]->execute(k, 100); });
+  k.spawn("b", [&] { p.fabric()[0].pes[1]->execute(k, 100); });
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(k.now(), 100u);  // parallel in simulated time
+}
+
+TEST(Platform, DotContainsTopology) {
+  Kernel k;
+  PlatformConfig cfg;
+  cfg.clusters = 2;
+  cfg.pes_per_cluster = 3;
+  Platform p(k, cfg);
+  std::string dot = p.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_host"), std::string::npos);
+  EXPECT_NE(dot.find("Cluster 1"), std::string::npos);
+  EXPECT_NE(dot.find("c1p2"), std::string::npos);
+  EXPECT_NE(dot.find("\"L2\""), std::string::npos);
+  EXPECT_NE(dot.find("\"L3\""), std::string::npos);
+  EXPECT_NE(dot.find("dma0"), std::string::npos);
+  EXPECT_EQ(dot.find("c2p0"), std::string::npos);  // only 2 clusters
+}
+
+}  // namespace
+}  // namespace dfdbg::sim

@@ -1,0 +1,118 @@
+// Tests of deterministic time travel (reverse-continue by re-execution).
+#include <gtest/gtest.h>
+
+#include "dfdbg/dbgcli/timetravel.hpp"
+#include "dfdbg/h264/app.hpp"
+
+namespace dfdbg::cli {
+namespace {
+
+/// H264App wrapped as a rebuildable instance.
+class H264Replay : public ReplayInstance {
+ public:
+  explicit H264Replay(const h264::H264AppConfig& cfg) {
+    auto built = h264::H264App::build(cfg);
+    EXPECT_TRUE(built.ok());
+    app_ = std::move(*built);
+  }
+  pedf::Application& app() override { return app_->app(); }
+  void start() override { app_->start(); }
+  h264::H264App& h264() { return *app_; }
+
+ private:
+  std::unique_ptr<h264::H264App> app_;
+};
+
+ReplayFactory factory() {
+  return [] {
+    h264::H264AppConfig cfg;
+    cfg.params.width = 32;
+    cfg.params.height = 32;
+    cfg.params.frame_count = 1;
+    return std::unique_ptr<ReplayInstance>(new H264Replay(cfg));
+  };
+}
+
+TEST(TimeTravel, ReverseContinueReturnsToThePreviousStop) {
+  TimeTravelDebugger tt(factory());
+  ASSERT_TRUE(tt.execute("filter pipe catch work").ok());
+  // Take three stops, remembering the simulated time of each.
+  std::vector<sim::SimTime> times;
+  for (int i = 0; i < 3; ++i) {
+    auto out = tt.cont();
+    ASSERT_EQ(out.result, sim::RunResult::kStopped);
+    times.push_back(out.stops[0].time);
+  }
+  EXPECT_EQ(tt.stop_count(), 3u);
+  // Travel back: the session is now exactly at stop 2.
+  ASSERT_TRUE(tt.reverse_continue().ok());
+  EXPECT_EQ(tt.stop_count(), 2u);
+  ASSERT_FALSE(tt.session().history().empty());
+  EXPECT_EQ(tt.session().history().back().time, times[1]);
+  // Forward again: determinism lands on the same third stop.
+  auto out = tt.cont();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  EXPECT_EQ(out.stops[0].time, times[2]);
+}
+
+TEST(TimeTravel, TravelToArbitraryStop) {
+  TimeTravelDebugger tt(factory());
+  ASSERT_TRUE(tt.execute("filter ipred catch work").ok());
+  std::vector<sim::SimTime> times;
+  for (int i = 0; i < 4; ++i) {
+    auto out = tt.cont();
+    ASSERT_EQ(out.result, sim::RunResult::kStopped);
+    times.push_back(out.stops[0].time);
+  }
+  ASSERT_TRUE(tt.travel_to(1).ok());
+  EXPECT_EQ(tt.stop_count(), 1u);
+  EXPECT_EQ(tt.session().history().back().time, times[0]);
+  ASSERT_TRUE(tt.travel_to(0).ok());
+  EXPECT_EQ(tt.stop_count(), 0u);
+}
+
+TEST(TimeTravel, CannotReverseAtTheBeginning) {
+  TimeTravelDebugger tt(factory());
+  Status s = tt.reverse_continue();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("beginning"), std::string::npos);
+}
+
+TEST(TimeTravel, CannotTravelForward) {
+  TimeTravelDebugger tt(factory());
+  ASSERT_TRUE(tt.execute("filter pipe catch work").ok());
+  tt.cont();
+  EXPECT_FALSE(tt.travel_to(5).ok());
+}
+
+TEST(TimeTravel, MidSessionSetupReplaysAtTheRightPosition) {
+  TimeTravelDebugger tt(factory());
+  ASSERT_TRUE(tt.execute("filter pipe catch work").ok());
+  auto out = tt.cont();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  // A breakpoint added *after* the first stop...
+  ASSERT_TRUE(tt.execute("filter ipred catch work").ok());
+  out = tt.cont();
+  ASSERT_EQ(out.result, sim::RunResult::kStopped);
+  sim::SimTime second = out.stops[0].time;
+  // ...must be armed at the same position during the replay, so traveling
+  // back to stop 2 reproduces the identical stop.
+  ASSERT_TRUE(tt.travel_to(2).ok());
+  EXPECT_EQ(tt.session().history().back().time, second);
+}
+
+TEST(TimeTravel, StateInspectionAfterTravel) {
+  TimeTravelDebugger tt(factory());
+  ASSERT_TRUE(tt.execute("filter pipe catch work").ok());
+  tt.cont();
+  tt.cont();
+  ASSERT_TRUE(tt.reverse_continue().ok());
+  // The rebuilt world is live: framework state matches one firing of pipe.
+  auto v = tt.session().read_variable("vld", "data", "mbs_parsed");
+  ASSERT_TRUE(v.ok());
+  EXPECT_GE(v->as_u64(), 1u);
+  EXPECT_EQ(tt.session().graph().actor_by_name("pipe")->firings, 1u);
+}
+
+}  // namespace
+}  // namespace dfdbg::cli

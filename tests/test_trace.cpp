@@ -1,0 +1,206 @@
+// Tests of the offline trace collector (the non-interactive baseline the
+// paper contrasts interactive debugging with).
+#include <gtest/gtest.h>
+
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/trace/timeline.hpp"
+#include "dfdbg/trace/trace.hpp"
+
+namespace dfdbg::trace {
+namespace {
+
+h264::H264AppConfig small_config() {
+  h264::H264AppConfig cfg;
+  cfg.params.width = 32;
+  cfg.params.height = 32;
+  cfg.params.frame_count = 1;
+  return cfg;
+}
+
+TEST(Trace, CollectsEventsOfEveryKind) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), /*capacity=*/1 << 16);
+  tc.attach();
+  (*app)->start();
+  EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kFinished);
+  EXPECT_GT(tc.total_events(), 100u);
+  bool kinds[7] = {};
+  for (std::size_t i = 0; i < tc.events().size(); ++i)
+    kinds[static_cast<int>(tc.events().at(i).kind)] = true;
+  EXPECT_TRUE(kinds[static_cast<int>(TraceKind::kPush)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceKind::kPop)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceKind::kWorkEnter)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceKind::kWorkExit)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceKind::kActorStart)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceKind::kStepBegin)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceKind::kStepEnd)]);
+}
+
+TEST(Trace, LinkStatsMatchFramework) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 1 << 16);
+  tc.attach();
+  (*app)->start();
+  (*app)->kernel().run();
+  pedf::Link* l = (*app)->app().link_by_iface("pipe::MbType_in");
+  ASSERT_NE(l, nullptr);
+  auto it = tc.link_stats().find(l->id().value());
+  ASSERT_NE(it, tc.link_stats().end());
+  EXPECT_EQ(it->second.pushes, l->push_index());
+  EXPECT_EQ(it->second.pops, l->pop_index());
+  EXPECT_EQ(it->second.max_occupancy, l->high_watermark());
+}
+
+TEST(Trace, FiringsPerActor) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 1 << 16);
+  tc.attach();
+  (*app)->start();
+  (*app)->kernel().run();
+  int mbs = small_config().params.total_mbs();
+  EXPECT_EQ(tc.firings("h264.pred.ipred") + tc.firings("h264.pred.mc"),
+            static_cast<std::uint64_t>(mbs));
+  EXPECT_EQ(tc.firings("h264.front.vld"), static_cast<std::uint64_t>(mbs));
+}
+
+TEST(Trace, BusiestLinkFindsTheStall) {
+  // The trace-tool way of locating the Fig. 4 rate bug: post-mortem stats.
+  auto cfg = small_config();
+  cfg.fault.kind = h264::FaultPlan::Kind::kRateMismatch;
+  cfg.fault.trigger_mb = 0;
+  cfg.fault.period = 1;
+  auto app = h264::H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 1 << 16);
+  tc.attach();
+  (*app)->start();
+  (*app)->kernel().run();
+  pedf::Link* stalled = (*app)->app().link_by_iface("ipf::pipe_in");
+  EXPECT_EQ(tc.busiest_link(), stalled->id().value());
+}
+
+TEST(Trace, CsvDump) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 64, /*record_payloads=*/true);
+  tc.attach();
+  (*app)->start();
+  (*app)->kernel().run();
+  std::string csv = tc.to_csv();
+  EXPECT_NE(csv.find("time,kind,actor,link,index,payload"), std::string::npos);
+  EXPECT_NE(csv.find("push"), std::string::npos);
+  // Bounded buffer retained at most 64 rows (plus header).
+  std::size_t rows = static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_LE(rows, 65u);
+}
+
+TEST(Trace, DetachStopsCollection) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 1 << 16);
+  tc.attach();
+  tc.detach();
+  (*app)->start();
+  (*app)->kernel().run();
+  EXPECT_EQ(tc.total_events(), 0u);
+}
+
+TEST(Trace, PayloadRecordingOptional) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 1 << 16, /*record_payloads=*/false);
+  tc.attach();
+  (*app)->start();
+  (*app)->kernel().run();
+  for (std::size_t i = 0; i < tc.events().size(); ++i)
+    EXPECT_TRUE(tc.events().at(i).payload.empty());
+}
+
+// --- timeline rendering (§VIII visualization future work) ----------------------
+
+TEST(Timeline, RendersActorRowsAndActivity) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 1 << 16);
+  tc.attach();
+  (*app)->start();
+  (*app)->kernel().run();
+  std::string svg = render_timeline_svg(tc, (*app)->app());
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Every fabric filter gets a labelled row.
+  for (const char* f : {"vld", "bh", "hwcfg", "pipe", "red", "ipred", "mc", "ipf"})
+    EXPECT_NE(svg.find(std::string(">") + f + "<"), std::string::npos) << f;
+  // Activity rectangles exist (one per completed WORK at minimum).
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1))
+    rects++;
+  EXPECT_GT(rects, 10u);
+  // Occupancy curves for the busiest links.
+  EXPECT_NE(svg.find("occ:"), std::string::npos);
+  EXPECT_NE(svg.find("peak"), std::string::npos);
+}
+
+TEST(Timeline, Deterministic) {
+  auto render_once = [] {
+    auto app = h264::H264App::build(small_config());
+    EXPECT_TRUE(app.ok());
+    TraceCollector tc((*app)->app(), 1 << 16);
+    tc.attach();
+    (*app)->start();
+    (*app)->kernel().run();
+    return render_timeline_svg(tc, (*app)->app());
+  };
+  EXPECT_EQ(render_once(), render_once());
+}
+
+TEST(Timeline, StallVisibleInOccupancyCurve) {
+  auto cfg = small_config();
+  cfg.fault.kind = h264::FaultPlan::Kind::kRateMismatch;
+  cfg.fault.trigger_mb = 0;
+  cfg.fault.period = 1;
+  auto app = h264::H264App::build(cfg);
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 1 << 16);
+  tc.attach();
+  (*app)->start();
+  (*app)->kernel().run();
+  std::string svg = render_timeline_svg(tc, (*app)->app());
+  // The stalled control link dominates the occupancy panel.
+  EXPECT_NE(svg.find("pipe_ipf_out"), std::string::npos);
+}
+
+TEST(Timeline, OptionsControlPanels) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 1 << 16);
+  tc.attach();
+  (*app)->start();
+  (*app)->kernel().run();
+  TimelineOptions no_occ;
+  no_occ.occupancy_rows = 0;
+  std::string svg = render_timeline_svg(tc, (*app)->app(), no_occ);
+  EXPECT_EQ(svg.find("occ:"), std::string::npos);
+  EXPECT_EQ(svg.find("bitstream_src"), std::string::npos);  // host I/O hidden
+  TimelineOptions with_host;
+  with_host.include_host_io = true;
+  svg = render_timeline_svg(tc, (*app)->app(), with_host);
+  EXPECT_NE(svg.find("bitstream_src"), std::string::npos);
+}
+
+TEST(Timeline, EmptyTraceStillValidSvg) {
+  auto app = h264::H264App::build(small_config());
+  ASSERT_TRUE(app.ok());
+  TraceCollector tc((*app)->app(), 16);
+  // Never attached: no events at all.
+  std::string svg = render_timeline_svg(tc, (*app)->app());
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfdbg::trace

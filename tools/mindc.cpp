@@ -1,0 +1,161 @@
+// mindc — standalone MIND architecture compiler.
+//
+// Usage:
+//   mindc check  <file.adl> <top>          parse + semantic analysis
+//   mindc fmt    <file.adl>                canonical pretty-print to stdout
+//   mindc dot    <file.adl> <top>          Graphviz DOT of the graph
+//   mindc run    <file.adl> <top> [steps]  instantiate with generic behaviour
+//                                          and execute on the simulated MPSoC
+//
+// Exit code 0 on success, 1 on a diagnosed error, 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dfdbg/mind/analyze.hpp"
+#include "dfdbg/mind/dot.hpp"
+#include "dfdbg/mind/emit.hpp"
+#include "dfdbg/mind/instantiate.hpp"
+#include "dfdbg/mind/parser.hpp"
+#include "dfdbg/pedf/application.hpp"
+#include "dfdbg/sim/platform.hpp"
+
+using namespace dfdbg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mindc check|fmt|dot|run <file.adl> [<top>] [steps]\n"
+               "  check <file> <top>   parse and analyze\n"
+               "  fmt   <file>         canonical formatting to stdout\n"
+               "  dot   <file> <top>   Graphviz DOT to stdout\n"
+               "  run   <file> <top> [steps=4]  execute with generic filters\n");
+  return 2;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Result<mind::AstDocument> load(const std::string& path) {
+  auto text = read_file(path);
+  if (!text.ok()) return text.status();
+  return mind::parse(*text);
+}
+
+int cmd_check(const std::string& path, const std::string& top) {
+  auto doc = load(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), doc.status().message().c_str());
+    return 1;
+  }
+  auto rep = mind::analyze(*doc, top);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), rep.status().message().c_str());
+    return 1;
+  }
+  for (const std::string& w : rep->warnings)
+    std::fprintf(stderr, "%s: warning: %s\n", path.c_str(), w.c_str());
+  std::printf("%s: OK (%zu composites, %zu primitives, %zu structs, %zu warnings)\n",
+              path.c_str(), doc->composites.size(), doc->primitives.size(),
+              doc->structs.size(), rep->warnings.size());
+  return 0;
+}
+
+int cmd_fmt(const std::string& path) {
+  auto doc = load(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), doc.status().message().c_str());
+    return 1;
+  }
+  std::fputs(mind::emit_adl(*doc).c_str(), stdout);
+  return 0;
+}
+
+int cmd_dot(const std::string& path, const std::string& top) {
+  auto doc = load(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), doc.status().message().c_str());
+    return 1;
+  }
+  if (doc->composite(top) == nullptr) {
+    std::fprintf(stderr, "no composite named '%s'\n", top.c_str());
+    return 1;
+  }
+  std::fputs(mind::to_dot(*doc, top).c_str(), stdout);
+  return 0;
+}
+
+int cmd_run(const std::string& path, const std::string& top, int steps) {
+  auto doc = load(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), doc.status().message().c_str());
+    return 1;
+  }
+  auto rep = mind::analyze(*doc, top);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), rep.status().message().c_str());
+    return 1;
+  }
+  sim::Kernel kernel;
+  sim::Platform platform(kernel, sim::PlatformConfig{});
+  pedf::Application app(platform, "mindc-run");
+  mind::FilterRegistry registry;
+  registry.set_default_steps(static_cast<std::uint64_t>(steps));
+  auto root = mind::instantiate(*doc, top, "main", app.types(), registry);
+  if (!root.ok()) {
+    std::fprintf(stderr, "instantiate: %s\n", root.status().message().c_str());
+    return 1;
+  }
+  pedf::Module& mod = app.set_root(std::move(*root));
+  // Attach generic host I/O to the top-level boundary ports.
+  int sources = 0, sinks = 0;
+  for (const auto& port : mod.ports()) {
+    if (port->dir() == pedf::PortDir::kIn) {
+      std::vector<pedf::Value> stream(static_cast<std::size_t>(steps),
+                                      pedf::Value::zero_of(port->type()));
+      app.add_host_source("src_" + port->name(), "main." + port->name(), std::move(stream));
+      sources++;
+    } else {
+      app.add_host_sink("snk_" + port->name(), "main." + port->name(),
+                        static_cast<std::size_t>(steps));
+      sinks++;
+    }
+  }
+  if (Status s = app.elaborate(); !s.ok()) {
+    std::fprintf(stderr, "elaborate: %s\n", s.message().c_str());
+    return 1;
+  }
+  app.start();
+  sim::RunResult r = kernel.run();
+  std::printf("run: %s after %llu cycles (%llu dispatches, %d sources, %d sinks)\n",
+              to_string(r), static_cast<unsigned long long>(kernel.now()),
+              static_cast<unsigned long long>(kernel.dispatch_count()), sources, sinks);
+  for (const pedf::Actor* a : app.actors()) {
+    if (a->kind() != pedf::ActorKind::kFilter) continue;
+    std::printf("  %-24s %llu firing(s)\n", a->path().c_str(),
+                static_cast<unsigned long long>(static_cast<const pedf::Filter*>(a)->firings()));
+  }
+  return r == sim::RunResult::kFinished ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string cmd = argv[1];
+  std::string path = argv[2];
+  if (cmd == "fmt") return cmd_fmt(path);
+  if (argc < 4) return usage();
+  std::string top = argv[3];
+  if (cmd == "check") return cmd_check(path, top);
+  if (cmd == "dot") return cmd_dot(path, top);
+  if (cmd == "run") return cmd_run(path, top, argc >= 5 ? std::atoi(argv[4]) : 4);
+  return usage();
+}
