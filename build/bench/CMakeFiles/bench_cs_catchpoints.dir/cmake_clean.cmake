@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cs_catchpoints.dir/bench_cs_catchpoints.cpp.o"
+  "CMakeFiles/bench_cs_catchpoints.dir/bench_cs_catchpoints.cpp.o.d"
+  "bench_cs_catchpoints"
+  "bench_cs_catchpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cs_catchpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

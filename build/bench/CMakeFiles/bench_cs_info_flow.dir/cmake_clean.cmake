@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cs_info_flow.dir/bench_cs_info_flow.cpp.o"
+  "CMakeFiles/bench_cs_info_flow.dir/bench_cs_info_flow.cpp.o.d"
+  "bench_cs_info_flow"
+  "bench_cs_info_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cs_info_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cs_step_both.dir/bench_cs_step_both.cpp.o"
+  "CMakeFiles/bench_cs_step_both.dir/bench_cs_step_both.cpp.o.d"
+  "bench_cs_step_both"
+  "bench_cs_step_both.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cs_step_both.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

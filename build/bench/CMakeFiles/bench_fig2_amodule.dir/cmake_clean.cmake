@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_amodule.dir/bench_fig2_amodule.cpp.o"
+  "CMakeFiles/bench_fig2_amodule.dir/bench_fig2_amodule.cpp.o.d"
+  "bench_fig2_amodule"
+  "bench_fig2_amodule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_amodule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

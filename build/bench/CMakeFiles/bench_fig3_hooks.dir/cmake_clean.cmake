@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hooks.dir/bench_fig3_hooks.cpp.o"
+  "CMakeFiles/bench_fig3_hooks.dir/bench_fig3_hooks.cpp.o.d"
+  "bench_fig3_hooks"
+  "bench_fig3_hooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ov1_intrusiveness.dir/bench_ov1_intrusiveness.cpp.o"
+  "CMakeFiles/bench_ov1_intrusiveness.dir/bench_ov1_intrusiveness.cpp.o.d"
+  "bench_ov1_intrusiveness"
+  "bench_ov1_intrusiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ov1_intrusiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ov1_intrusiveness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ov1_intrusiveness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ql1_bug_localization.dir/bench_ql1_bug_localization.cpp.o"
+  "CMakeFiles/bench_ql1_bug_localization.dir/bench_ql1_bug_localization.cpp.o.d"
+  "bench_ql1_bug_localization"
+  "bench_ql1_bug_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ql1_bug_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ql1_bug_localization.
+# This may be replaced when dependencies are built.

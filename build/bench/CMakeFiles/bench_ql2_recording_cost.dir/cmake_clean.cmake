@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ql2_recording_cost.dir/bench_ql2_recording_cost.cpp.o"
+  "CMakeFiles/bench_ql2_recording_cost.dir/bench_ql2_recording_cost.cpp.o.d"
+  "bench_ql2_recording_cost"
+  "bench_ql2_recording_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ql2_recording_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

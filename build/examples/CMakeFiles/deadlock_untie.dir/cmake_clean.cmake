@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_untie.dir/deadlock_untie.cpp.o"
+  "CMakeFiles/deadlock_untie.dir/deadlock_untie.cpp.o.d"
+  "deadlock_untie"
+  "deadlock_untie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_untie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfdbg_repl.dir/dfdbg_repl.cpp.o"
+  "CMakeFiles/dfdbg_repl.dir/dfdbg_repl.cpp.o.d"
+  "dfdbg_repl"
+  "dfdbg_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfdbg_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_export.dir/graph_export.cpp.o"
+  "CMakeFiles/graph_export.dir/graph_export.cpp.o.d"
+  "graph_export"
+  "graph_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

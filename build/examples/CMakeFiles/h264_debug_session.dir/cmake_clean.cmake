@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h264_debug_session.dir/h264_debug_session.cpp.o"
+  "CMakeFiles/h264_debug_session.dir/h264_debug_session.cpp.o.d"
+  "h264_debug_session"
+  "h264_debug_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h264_debug_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

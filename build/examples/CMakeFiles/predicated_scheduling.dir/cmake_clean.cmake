@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicated_scheduling.dir/predicated_scheduling.cpp.o"
+  "CMakeFiles/predicated_scheduling.dir/predicated_scheduling.cpp.o.d"
+  "predicated_scheduling"
+  "predicated_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicated_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

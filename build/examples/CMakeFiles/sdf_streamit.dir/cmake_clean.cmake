@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_streamit.dir/sdf_streamit.cpp.o"
+  "CMakeFiles/sdf_streamit.dir/sdf_streamit.cpp.o.d"
+  "sdf_streamit"
+  "sdf_streamit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_streamit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

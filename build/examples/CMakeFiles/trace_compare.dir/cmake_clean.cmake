@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_compare.dir/trace_compare.cpp.o"
+  "CMakeFiles/trace_compare.dir/trace_compare.cpp.o.d"
+  "trace_compare"
+  "trace_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_common.dir/log.cpp.o"
+  "CMakeFiles/df_common.dir/log.cpp.o.d"
+  "CMakeFiles/df_common.dir/strings.cpp.o"
+  "CMakeFiles/df_common.dir/strings.cpp.o.d"
+  "libdf_common.a"
+  "libdf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

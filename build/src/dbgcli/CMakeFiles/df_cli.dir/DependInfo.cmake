@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbgcli/cli.cpp" "src/dbgcli/CMakeFiles/df_cli.dir/cli.cpp.o" "gcc" "src/dbgcli/CMakeFiles/df_cli.dir/cli.cpp.o.d"
+  "/root/repo/src/dbgcli/timetravel.cpp" "src/dbgcli/CMakeFiles/df_cli.dir/timetravel.cpp.o" "gcc" "src/dbgcli/CMakeFiles/df_cli.dir/timetravel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/df_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedf/CMakeFiles/df_pedf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/df_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_cli.dir/cli.cpp.o"
+  "CMakeFiles/df_cli.dir/cli.cpp.o.d"
+  "CMakeFiles/df_cli.dir/timetravel.cpp.o"
+  "CMakeFiles/df_cli.dir/timetravel.cpp.o.d"
+  "libdf_cli.a"
+  "libdf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

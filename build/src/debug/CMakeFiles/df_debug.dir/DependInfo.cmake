@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debug/debuginfo.cpp" "src/debug/CMakeFiles/df_debug.dir/debuginfo.cpp.o" "gcc" "src/debug/CMakeFiles/df_debug.dir/debuginfo.cpp.o.d"
+  "/root/repo/src/debug/export.cpp" "src/debug/CMakeFiles/df_debug.dir/export.cpp.o" "gcc" "src/debug/CMakeFiles/df_debug.dir/export.cpp.o.d"
+  "/root/repo/src/debug/model.cpp" "src/debug/CMakeFiles/df_debug.dir/model.cpp.o" "gcc" "src/debug/CMakeFiles/df_debug.dir/model.cpp.o.d"
+  "/root/repo/src/debug/recording.cpp" "src/debug/CMakeFiles/df_debug.dir/recording.cpp.o" "gcc" "src/debug/CMakeFiles/df_debug.dir/recording.cpp.o.d"
+  "/root/repo/src/debug/session.cpp" "src/debug/CMakeFiles/df_debug.dir/session.cpp.o" "gcc" "src/debug/CMakeFiles/df_debug.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/df_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedf/CMakeFiles/df_pedf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_debug.dir/debuginfo.cpp.o"
+  "CMakeFiles/df_debug.dir/debuginfo.cpp.o.d"
+  "CMakeFiles/df_debug.dir/export.cpp.o"
+  "CMakeFiles/df_debug.dir/export.cpp.o.d"
+  "CMakeFiles/df_debug.dir/model.cpp.o"
+  "CMakeFiles/df_debug.dir/model.cpp.o.d"
+  "CMakeFiles/df_debug.dir/recording.cpp.o"
+  "CMakeFiles/df_debug.dir/recording.cpp.o.d"
+  "CMakeFiles/df_debug.dir/session.cpp.o"
+  "CMakeFiles/df_debug.dir/session.cpp.o.d"
+  "libdf_debug.a"
+  "libdf_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

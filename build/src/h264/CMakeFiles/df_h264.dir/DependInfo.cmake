@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h264/app.cpp" "src/h264/CMakeFiles/df_h264.dir/app.cpp.o" "gcc" "src/h264/CMakeFiles/df_h264.dir/app.cpp.o.d"
+  "/root/repo/src/h264/bitstream.cpp" "src/h264/CMakeFiles/df_h264.dir/bitstream.cpp.o" "gcc" "src/h264/CMakeFiles/df_h264.dir/bitstream.cpp.o.d"
+  "/root/repo/src/h264/codec.cpp" "src/h264/CMakeFiles/df_h264.dir/codec.cpp.o" "gcc" "src/h264/CMakeFiles/df_h264.dir/codec.cpp.o.d"
+  "/root/repo/src/h264/filters.cpp" "src/h264/CMakeFiles/df_h264.dir/filters.cpp.o" "gcc" "src/h264/CMakeFiles/df_h264.dir/filters.cpp.o.d"
+  "/root/repo/src/h264/refcodec.cpp" "src/h264/CMakeFiles/df_h264.dir/refcodec.cpp.o" "gcc" "src/h264/CMakeFiles/df_h264.dir/refcodec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedf/CMakeFiles/df_pedf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mind/CMakeFiles/df_mind.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/df_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_h264.dir/app.cpp.o"
+  "CMakeFiles/df_h264.dir/app.cpp.o.d"
+  "CMakeFiles/df_h264.dir/bitstream.cpp.o"
+  "CMakeFiles/df_h264.dir/bitstream.cpp.o.d"
+  "CMakeFiles/df_h264.dir/codec.cpp.o"
+  "CMakeFiles/df_h264.dir/codec.cpp.o.d"
+  "CMakeFiles/df_h264.dir/filters.cpp.o"
+  "CMakeFiles/df_h264.dir/filters.cpp.o.d"
+  "CMakeFiles/df_h264.dir/refcodec.cpp.o"
+  "CMakeFiles/df_h264.dir/refcodec.cpp.o.d"
+  "libdf_h264.a"
+  "libdf_h264.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_h264.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mind/analyze.cpp" "src/mind/CMakeFiles/df_mind.dir/analyze.cpp.o" "gcc" "src/mind/CMakeFiles/df_mind.dir/analyze.cpp.o.d"
+  "/root/repo/src/mind/dot.cpp" "src/mind/CMakeFiles/df_mind.dir/dot.cpp.o" "gcc" "src/mind/CMakeFiles/df_mind.dir/dot.cpp.o.d"
+  "/root/repo/src/mind/emit.cpp" "src/mind/CMakeFiles/df_mind.dir/emit.cpp.o" "gcc" "src/mind/CMakeFiles/df_mind.dir/emit.cpp.o.d"
+  "/root/repo/src/mind/instantiate.cpp" "src/mind/CMakeFiles/df_mind.dir/instantiate.cpp.o" "gcc" "src/mind/CMakeFiles/df_mind.dir/instantiate.cpp.o.d"
+  "/root/repo/src/mind/lexer.cpp" "src/mind/CMakeFiles/df_mind.dir/lexer.cpp.o" "gcc" "src/mind/CMakeFiles/df_mind.dir/lexer.cpp.o.d"
+  "/root/repo/src/mind/parser.cpp" "src/mind/CMakeFiles/df_mind.dir/parser.cpp.o" "gcc" "src/mind/CMakeFiles/df_mind.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedf/CMakeFiles/df_pedf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/df_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

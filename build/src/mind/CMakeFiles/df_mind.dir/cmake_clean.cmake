@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_mind.dir/analyze.cpp.o"
+  "CMakeFiles/df_mind.dir/analyze.cpp.o.d"
+  "CMakeFiles/df_mind.dir/dot.cpp.o"
+  "CMakeFiles/df_mind.dir/dot.cpp.o.d"
+  "CMakeFiles/df_mind.dir/emit.cpp.o"
+  "CMakeFiles/df_mind.dir/emit.cpp.o.d"
+  "CMakeFiles/df_mind.dir/instantiate.cpp.o"
+  "CMakeFiles/df_mind.dir/instantiate.cpp.o.d"
+  "CMakeFiles/df_mind.dir/lexer.cpp.o"
+  "CMakeFiles/df_mind.dir/lexer.cpp.o.d"
+  "CMakeFiles/df_mind.dir/parser.cpp.o"
+  "CMakeFiles/df_mind.dir/parser.cpp.o.d"
+  "libdf_mind.a"
+  "libdf_mind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_mind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

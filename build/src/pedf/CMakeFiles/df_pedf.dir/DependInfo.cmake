@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pedf/actor.cpp" "src/pedf/CMakeFiles/df_pedf.dir/actor.cpp.o" "gcc" "src/pedf/CMakeFiles/df_pedf.dir/actor.cpp.o.d"
+  "/root/repo/src/pedf/application.cpp" "src/pedf/CMakeFiles/df_pedf.dir/application.cpp.o" "gcc" "src/pedf/CMakeFiles/df_pedf.dir/application.cpp.o.d"
+  "/root/repo/src/pedf/controller.cpp" "src/pedf/CMakeFiles/df_pedf.dir/controller.cpp.o" "gcc" "src/pedf/CMakeFiles/df_pedf.dir/controller.cpp.o.d"
+  "/root/repo/src/pedf/filter.cpp" "src/pedf/CMakeFiles/df_pedf.dir/filter.cpp.o" "gcc" "src/pedf/CMakeFiles/df_pedf.dir/filter.cpp.o.d"
+  "/root/repo/src/pedf/link.cpp" "src/pedf/CMakeFiles/df_pedf.dir/link.cpp.o" "gcc" "src/pedf/CMakeFiles/df_pedf.dir/link.cpp.o.d"
+  "/root/repo/src/pedf/module.cpp" "src/pedf/CMakeFiles/df_pedf.dir/module.cpp.o" "gcc" "src/pedf/CMakeFiles/df_pedf.dir/module.cpp.o.d"
+  "/root/repo/src/pedf/value.cpp" "src/pedf/CMakeFiles/df_pedf.dir/value.cpp.o" "gcc" "src/pedf/CMakeFiles/df_pedf.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/df_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

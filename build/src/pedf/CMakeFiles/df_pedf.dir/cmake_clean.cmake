@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_pedf.dir/actor.cpp.o"
+  "CMakeFiles/df_pedf.dir/actor.cpp.o.d"
+  "CMakeFiles/df_pedf.dir/application.cpp.o"
+  "CMakeFiles/df_pedf.dir/application.cpp.o.d"
+  "CMakeFiles/df_pedf.dir/controller.cpp.o"
+  "CMakeFiles/df_pedf.dir/controller.cpp.o.d"
+  "CMakeFiles/df_pedf.dir/filter.cpp.o"
+  "CMakeFiles/df_pedf.dir/filter.cpp.o.d"
+  "CMakeFiles/df_pedf.dir/link.cpp.o"
+  "CMakeFiles/df_pedf.dir/link.cpp.o.d"
+  "CMakeFiles/df_pedf.dir/module.cpp.o"
+  "CMakeFiles/df_pedf.dir/module.cpp.o.d"
+  "CMakeFiles/df_pedf.dir/value.cpp.o"
+  "CMakeFiles/df_pedf.dir/value.cpp.o.d"
+  "libdf_pedf.a"
+  "libdf_pedf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_pedf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdf/sdf.cpp" "src/sdf/CMakeFiles/df_sdf.dir/sdf.cpp.o" "gcc" "src/sdf/CMakeFiles/df_sdf.dir/sdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedf/CMakeFiles/df_pedf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/df_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_sdf.dir/sdf.cpp.o"
+  "CMakeFiles/df_sdf.dir/sdf.cpp.o.d"
+  "libdf_sdf.a"
+  "libdf_sdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

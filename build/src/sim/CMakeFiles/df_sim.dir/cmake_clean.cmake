@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_sim.dir/instrument.cpp.o"
+  "CMakeFiles/df_sim.dir/instrument.cpp.o.d"
+  "CMakeFiles/df_sim.dir/kernel.cpp.o"
+  "CMakeFiles/df_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/df_sim.dir/platform.cpp.o"
+  "CMakeFiles/df_sim.dir/platform.cpp.o.d"
+  "libdf_sim.a"
+  "libdf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_trace.dir/timeline.cpp.o"
+  "CMakeFiles/df_trace.dir/timeline.cpp.o.d"
+  "CMakeFiles/df_trace.dir/trace.cpp.o"
+  "CMakeFiles/df_trace.dir/trace.cpp.o.d"
+  "libdf_trace.a"
+  "libdf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

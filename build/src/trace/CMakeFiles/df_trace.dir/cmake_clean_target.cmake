@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdf_trace.a"
+)

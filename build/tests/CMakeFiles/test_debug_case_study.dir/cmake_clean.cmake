@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debug_case_study.dir/test_debug_case_study.cpp.o"
+  "CMakeFiles/test_debug_case_study.dir/test_debug_case_study.cpp.o.d"
+  "test_debug_case_study"
+  "test_debug_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debug_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

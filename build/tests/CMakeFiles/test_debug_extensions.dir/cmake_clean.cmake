@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debug_extensions.dir/test_debug_extensions.cpp.o"
+  "CMakeFiles/test_debug_extensions.dir/test_debug_extensions.cpp.o.d"
+  "test_debug_extensions"
+  "test_debug_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debug_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debug_model.dir/test_debug_model.cpp.o"
+  "CMakeFiles/test_debug_model.dir/test_debug_model.cpp.o.d"
+  "test_debug_model"
+  "test_debug_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debug_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debug_session.dir/test_debug_session.cpp.o"
+  "CMakeFiles/test_debug_session.dir/test_debug_session.cpp.o.d"
+  "test_debug_session"
+  "test_debug_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debug_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

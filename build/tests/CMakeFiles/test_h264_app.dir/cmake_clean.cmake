@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h264_app.dir/test_h264_app.cpp.o"
+  "CMakeFiles/test_h264_app.dir/test_h264_app.cpp.o.d"
+  "test_h264_app"
+  "test_h264_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h264_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

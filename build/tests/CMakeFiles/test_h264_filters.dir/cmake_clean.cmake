@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h264_filters.dir/test_h264_filters.cpp.o"
+  "CMakeFiles/test_h264_filters.dir/test_h264_filters.cpp.o.d"
+  "test_h264_filters"
+  "test_h264_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h264_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

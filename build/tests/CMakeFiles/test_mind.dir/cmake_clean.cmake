@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mind.dir/test_mind.cpp.o"
+  "CMakeFiles/test_mind.dir/test_mind.cpp.o.d"
+  "test_mind"
+  "test_mind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pedf_runtime.dir/test_pedf_runtime.cpp.o"
+  "CMakeFiles/test_pedf_runtime.dir/test_pedf_runtime.cpp.o.d"
+  "test_pedf_runtime"
+  "test_pedf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pedf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pedf_values.cpp" "tests/CMakeFiles/test_pedf_values.dir/test_pedf_values.cpp.o" "gcc" "tests/CMakeFiles/test_pedf_values.dir/test_pedf_values.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/df_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/df_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pedf/CMakeFiles/df_pedf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mind/CMakeFiles/df_mind.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/df_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbgcli/CMakeFiles/df_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/h264/CMakeFiles/df_h264.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/df_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/df_sdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

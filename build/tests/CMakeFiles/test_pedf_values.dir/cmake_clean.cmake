@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pedf_values.dir/test_pedf_values.cpp.o"
+  "CMakeFiles/test_pedf_values.dir/test_pedf_values.cpp.o.d"
+  "test_pedf_values"
+  "test_pedf_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pedf_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

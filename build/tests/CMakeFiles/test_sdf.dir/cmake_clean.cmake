@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdf.dir/test_sdf.cpp.o"
+  "CMakeFiles/test_sdf.dir/test_sdf.cpp.o.d"
+  "test_sdf"
+  "test_sdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_platform.dir/test_sim_platform.cpp.o"
+  "CMakeFiles/test_sim_platform.dir/test_sim_platform.cpp.o.d"
+  "test_sim_platform"
+  "test_sim_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timetravel.dir/test_timetravel.cpp.o"
+  "CMakeFiles/test_timetravel.dir/test_timetravel.cpp.o.d"
+  "test_timetravel"
+  "test_timetravel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timetravel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_timetravel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindc.dir/mindc.cpp.o"
+  "CMakeFiles/mindc.dir/mindc.cpp.o.d"
+  "mindc"
+  "mindc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
