@@ -12,6 +12,8 @@
 // controller work) and wall time.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstdio>
 
 #include "dfdbg/pedf/application.hpp"
@@ -176,7 +178,6 @@ int main(int argc, char** argv) {
               "polling/dispatch overhead (the decidability benefit the paper's intro\n"
               "weighs against dynamic models' expressiveness).\n\n",
               st.outputs);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchutil::run_all_benchmarks(&argc, argv);
   return st.outputs == dy.outputs ? 0 : 1;
 }

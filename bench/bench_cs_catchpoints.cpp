@@ -96,7 +96,6 @@ int main(int argc, char** argv) {
               wild_stops, wild_stops == count_stops ? "yes" : "NO");
   bool ok = work_stops == mbs && wild_stops == count_stops;
   std::printf("semantics: %s\n\n", ok ? "OK" : "MISMATCH");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchutil::run_all_benchmarks(&argc, argv);
   return ok ? 0 : 1;
 }

@@ -118,7 +118,6 @@ int main(int argc, char** argv) {
   std::printf("(gdb) iface hwcfg::pipe_MbType_out print\n%s", recorded.c_str());
   std::printf("(gdb) filter pipe info last_token\n%s", provenance.c_str());
   std::printf("transcripts match the paper: %s\n\n", ok ? "YES" : "NO");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchutil::run_all_benchmarks(&argc, argv);
   return ok ? 0 : 1;
 }

@@ -85,7 +85,6 @@ int main(int argc, char** argv) {
   }
   bool all_ok = ok_count == static_cast<int>(out_ifaces.size());
   std::printf("step_both verified on %d/%zu links\n\n", ok_count, out_ifaces.size());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchutil::run_all_benchmarks(&argc, argv);
   return all_ok ? 0 : 1;
 }

@@ -107,7 +107,6 @@ int main(int argc, char** argv) {
   bool ok = transcript(&out);
   std::printf("=== CS-E: two-level debugging transcript ===\n%s", out.c_str());
   std::printf("transcript matches the paper: %s\n\n", ok ? "YES" : "NO");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchutil::run_all_benchmarks(&argc, argv);
   return ok ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 // DOT from the simulated platform object and benchmark its primitives.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstdio>
 
 #include "dfdbg/sim/platform.hpp"
@@ -93,7 +95,5 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(platform.l2().size_bytes()),
               static_cast<unsigned long long>(platform.l3().size_bytes()),
               platform.dmas().size());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return benchutil::run_all_benchmarks(&argc, argv);
 }

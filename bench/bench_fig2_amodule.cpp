@@ -7,6 +7,8 @@
 // benchmarks: ADL parse, instantiation, and reconstruction cost.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstdio>
 
 #include "dfdbg/debug/session.hpp"
@@ -141,7 +143,6 @@ int main(int argc, char** argv) {
   auto doc = mind::parse(kAModuleAdl);
   std::printf("--- ADL ground truth (mind::to_dot) ---\n%s\n",
               mind::to_dot(*doc, "AModule").c_str());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchutil::run_all_benchmarks(&argc, argv);
   return r.matches_framework ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 // dispatch rates, and model-update throughput (token mirror).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "dfdbg/debug/model.hpp"
 #include "dfdbg/sim/kernel.hpp"
 
@@ -107,4 +109,6 @@ static void BM_ModelMirrorStructTokens(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelMirrorStructTokens)->Arg(3)->Arg(22);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dfdbg::benchutil::run_all_benchmarks(&argc, argv);
+}

@@ -99,7 +99,6 @@ int main(int argc, char** argv) {
   std::printf("hwcfg -> pipe : %zu tokens (paper shows 3)\n", s.hwcfg_pipe);
   std::printf("\n--- per-link occupancy at the stop ---\n%s", s.links.c_str());
   std::printf("\n--- annotated DOT (render with graphviz) ---\n%s\n", s.dot.c_str());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchutil::run_all_benchmarks(&argc, argv);
   return s.reached && s.pipe_ipf == 20 ? 0 : 1;
 }

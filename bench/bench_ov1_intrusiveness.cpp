@@ -62,6 +62,29 @@ void BM_Intrusiveness(benchmark::State& state) {
 }
 BENCHMARK(BM_Intrusiveness)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
+// The observability layer's own intrusiveness: the same native decode with
+// the obs registry disabled (the default — every instrument is one
+// predictable branch) vs enabled (counters, gauges, histograms live).
+// Acceptance bar: disabled must be within noise of the pre-obs baseline.
+void BM_MetricsOverhead(benchmark::State& state) {
+  bool metrics_on = state.range(0) != 0;
+  h264::H264AppConfig cfg = benchutil::decoder_config(2, 2, 2);
+  obs::Registry::global().reset();
+  obs::set_enabled(metrics_on);
+  for (auto _ : state) {
+    double t = benchutil::run_decoder_once(cfg, /*attach_debugger=*/false, nullptr);
+    benchmark::DoNotOptimize(t);
+  }
+  obs::set_enabled(false);
+  state.SetLabel(metrics_on ? "metrics enabled" : "metrics disabled (default)");
+  auto& reg = obs::Registry::global();
+  state.counters["sim_dispatch"] = static_cast<double>(reg.counter("sim.dispatch").value());
+  state.counters["link_push"] = static_cast<double>(reg.counter("link.push").value());
+  state.counters["hook_invocation"] =
+      static_cast<double>(reg.counter("hook.invocation").value());
+}
+BENCHMARK(BM_MetricsOverhead)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,7 +120,24 @@ int main(int argc, char** argv) {
       "breakpoints; option 1 removes most of it, option 2 (framework\n"
       "cooperation) keeps selected visibility at near-option-1 cost.\n"
       "Debugging never alters the decoded output (deterministic kernel).\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+
+  // Self-observability cost: native decode with the metrics registry off
+  // (the default; every instrument is one predictable branch) vs on.
+  std::printf("=== OV1b: observability-layer overhead (native decode) ===\n");
+  double off_best = 1e9, on_best = 1e9;
+  for (int r = 0; r < kReps; ++r) {
+    obs::set_enabled(false);
+    double t = benchutil::run_decoder_once(cfg, false, nullptr);
+    if (t < off_best) off_best = t;
+    obs::set_enabled(true);
+    t = benchutil::run_decoder_once(cfg, false, nullptr);
+    if (t < on_best) on_best = t;
+    obs::set_enabled(false);
+  }
+  std::printf("%-36s %11.3f\n", "metrics disabled (ms)", off_best * 1e3);
+  std::printf("%-36s %11.3f  (+%.2f%%)\n", "metrics enabled (ms)", on_best * 1e3,
+              (on_best / off_best - 1.0) * 100.0);
+  std::printf("target: disabled-mode overhead within noise (<2%%) of baseline\n\n");
+
+  return benchutil::run_all_benchmarks(&argc, argv);
 }

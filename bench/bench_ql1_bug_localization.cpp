@@ -188,7 +188,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nevery fault localized in <=2 dataflow-debugger interactions vs\n"
               "tens-to-hundreds of stops/records with model-unaware tools.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  benchutil::run_all_benchmarks(&argc, argv);
   return all_found ? 0 : 1;
 }

@@ -103,7 +103,5 @@ int main(int argc, char** argv) {
               bounded_bytes > 0 ? static_cast<double>(unbounded_bytes) /
                                       static_cast<double>(bounded_bytes)
                                 : 0.0);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return benchutil::run_all_benchmarks(&argc, argv);
 }

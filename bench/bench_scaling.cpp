@@ -5,6 +5,8 @@
 // of actors" (§II); these curves substantiate that.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <sstream>
 
 #include "dfdbg/debug/session.hpp"
@@ -130,4 +132,6 @@ BENCHMARK(BM_StopsVsArmedCatchpoints)->Arg(0)->Arg(4)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dfdbg::benchutil::run_all_benchmarks(&argc, argv);
+}

@@ -1,12 +1,16 @@
 // Shared helpers for the experiment benchmarks.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/h264/app.hpp"
+#include "dfdbg/obs/metrics.hpp"
 
 namespace dfdbg::benchutil {
 
@@ -58,6 +62,76 @@ inline double run_decoder_once(const h264::H264AppConfig& cfg, bool attach_debug
     *hook_invocations = app.kernel().instrument().hook_invocations();
   if (bit_exact != nullptr) *bit_exact = app.decoded_matches_golden();
   return secs;
+}
+
+/// ConsoleReporter that additionally prints one machine-readable line per
+/// run so scripts can scrape results without parsing the human table:
+///
+///   BENCH_JSON {"name":"BM_X","iterations":12,"ns_per_op":83.1,
+///               "counters":{...},"metrics":{...}}
+///
+/// `counters` are the benchmark's own state.counters; `metrics` is a
+/// snapshot of the obs registry's top-level counters (per-symbol and
+/// per-command instruments are elided to keep the line bounded).
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      std::string line = "BENCH_JSON {\"name\":\"" + json_escape(run.benchmark_name()) + "\"";
+      line += ",\"iterations\":" + std::to_string(static_cast<long long>(run.iterations));
+      double ns_per_op = run.iterations > 0
+                             ? run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations)
+                             : 0.0;
+      line += ",\"ns_per_op\":" + format_double(ns_per_op);
+      line += ",\"counters\":{";
+      bool first = true;
+      for (const auto& [name, counter] : run.counters) {
+        if (!first) line += ",";
+        first = false;
+        line += "\"" + json_escape(name) + "\":" + format_double(counter.value);
+      }
+      line += "},\"metrics\":{";
+      first = true;
+      for (const auto& [name, counter] : obs::Registry::global().counters()) {
+        if (name.rfind("hook.sym.", 0) == 0 || name.rfind("cli.cmd.", 0) == 0) continue;
+        if (!first) line += ",";
+        first = false;
+        line += "\"" + json_escape(name) + "\":" +
+                std::to_string(static_cast<unsigned long long>(counter->value()));
+      }
+      line += "}}";
+      std::fprintf(stdout, "%s\n", line.c_str());
+    }
+  }
+
+ private:
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  static std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+};
+
+/// Shared benchmark main body: parse flags, run everything through the
+/// BENCH_JSON reporter. Call after registering benchmarks (and any
+/// bench-specific setup) from main().
+inline int run_all_benchmarks(int* argc, char** argv) {
+  benchmark::Initialize(argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(*argc, argv)) return 1;
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace dfdbg::benchutil

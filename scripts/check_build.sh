@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then gate
+# on the observability layer's acceptance checks (the Chrome-trace exporter
+# golden test and the metrics/CLI tests). Faster than scripts/check.sh,
+# which additionally sweeps every benchmark and example.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== observability gate =="
+# Re-run the exporter golden-file comparison and the obs unit tests
+# explicitly so a skip/filter in the main sweep cannot mask them.
+./build/tests/test_obs --gtest_filter='ChromeTrace.*:Obs*:CliObs.*:TraceStats.*'
+
+echo "ALL BUILD CHECKS PASSED"

@@ -6,6 +6,9 @@
 
 #include "dfdbg/common/strings.hpp"
 #include "dfdbg/debug/export.hpp"
+#include "dfdbg/obs/metrics.hpp"
+#include "dfdbg/trace/chrome_trace.hpp"
+#include "dfdbg/trace/trace.hpp"
 
 namespace dfdbg::cli {
 
@@ -33,7 +36,11 @@ std::string Console::take() {
 }
 
 Interpreter::Interpreter(dbg::Session& session, bool echo)
-    : session_(session), console_(echo) {}
+    : session_(session), console_(echo) {
+  obs::set_enabled(true);
+}
+
+Interpreter::~Interpreter() = default;
 
 // ---------------------------------------------------------------------------
 // Dispatch
@@ -50,6 +57,16 @@ Status Interpreter::execute(const std::string& line) {
   std::vector<std::string> words = split_ws(norm);
   const std::string& cmd = words[0];
   std::vector<std::string> args(words.begin() + 1, words.end());
+
+  // Debugger self-profiling: per-command latency and per-command counts.
+  auto& reg = obs::Registry::global();
+  static obs::Histogram& cmd_ns = reg.histogram("cli.cmd_ns");
+  static obs::Counter& cmd_count = reg.counter("cli.cmd");
+  obs::ScopedTimer cmd_timer(cmd_ns);
+  if (obs::enabled()) {
+    cmd_count.add();
+    reg.counter("cli.cmd." + cmd).add();
+  }
 
   Status s;
   if (cmd == "run" || cmd == "r") s = cmd_run(args, /*is_continue=*/false);
@@ -87,6 +104,12 @@ Status Interpreter::execute(const std::string& line) {
     s = cmd_save(args);
   } else if (cmd == "export") {
     s = cmd_export(args);
+  } else if (cmd == "stats") {
+    s = cmd_stats(args);
+  } else if (cmd == "trace") {
+    s = cmd_trace(args);
+  } else if (cmd == "profile") {
+    s = cmd_profile(args);
   } else if (cmd == "unfocus") {
     session_.clear_selective_data_hooks();
     console_.println("[Data-exchange breakpoints restored on every interface]");
@@ -549,6 +572,72 @@ Status Interpreter::cmd_export(const std::vector<std::string>& args) {
   return Status{};
 }
 
+Status Interpreter::cmd_stats(const std::vector<std::string>& args) {
+  auto& reg = obs::Registry::global();
+  if (args.empty()) {
+    console_.print(reg.to_text());
+    return Status{};
+  }
+  if (args[0] == "reset") {
+    reg.reset();
+    console_.println("[All metric instruments reset to zero]");
+    return Status{};
+  }
+  if (args[0] == "json") {
+    console_.print(reg.to_json());
+    console_.print("\n");
+    return Status{};
+  }
+  return Status::error("usage: stats [reset|json]");
+}
+
+Status Interpreter::cmd_trace(const std::vector<std::string>& args) {
+  if (args.empty()) return Status::error("usage: trace on [capacity] | off | stats");
+  if (args[0] == "on") {
+    if (trace_ != nullptr && trace_->attached())
+      return Status::error("trace collector already attached");
+    std::size_t capacity = 65536;
+    if (args.size() > 1) {
+      capacity = std::strtoull(args[1].c_str(), nullptr, 0);
+      if (capacity == 0) return Status::error("malformed capacity: " + args[1]);
+    }
+    // `trace on` after `trace off` starts a fresh window: the old collector
+    // (still readable via `trace stats` / `profile export`) is replaced.
+    trace_ = std::make_unique<trace::TraceCollector>(session_.app(), capacity);
+    trace_->attach();
+    console_.println(strformat("[Trace collector attached, window capacity %zu]", capacity));
+    return Status{};
+  }
+  if (args[0] == "off") {
+    if (trace_ == nullptr || !trace_->attached())
+      return Status::error("no trace collector attached");
+    trace_->detach();
+    console_.println(strformat(
+        "[Trace collector detached; %zu event(s) retained — `profile export` to save]",
+        trace_->events().size()));
+    return Status{};
+  }
+  if (args[0] == "stats") {
+    if (trace_ == nullptr) return Status::error("no trace collector — `trace on` first");
+    console_.print(trace_->summary());
+    return Status{};
+  }
+  return Status::error("usage: trace on [capacity] | off | stats");
+}
+
+Status Interpreter::cmd_profile(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args[0] != "export")
+    return Status::error("usage: profile export <file.json>");
+  if (trace_ == nullptr)
+    return Status::error("no trace collector — `trace on`, run, then export");
+  Status s = trace::write_chrome_trace(args[1], *trace_, session_.app());
+  if (!s.ok()) return s;
+  console_.println(strformat(
+      "Exported %zu event(s) to %s (load in https://ui.perfetto.dev or chrome://tracing)",
+      trace_->events().size(), args[1].c_str()));
+  return Status{};
+}
+
 std::string Interpreter::help_text() {
   return
       "Dataflow debugging commands (paper syntax):\n"
@@ -579,6 +668,9 @@ std::string Interpreter::help_text() {
       "  focus <iface...> / unfocus        framework cooperation (option 2)\n"
       "  save <file> / source <script>     persist & replay the session setup\n"
       "  export [file]                     session state as JSON (for UIs)\n"
+      "  stats [reset|json]                debugger self-metrics (obs registry)\n"
+      "  trace on [capacity] | off | stats offline event collection window\n"
+      "  profile export <file.json>        trace window as Chrome/Perfetto JSON\n"
       "  delete <bp> / help\n";
 }
 
@@ -694,9 +786,9 @@ Result<Value> Interpreter::eval(const std::string& expr_in) const {
 
 std::vector<std::string> Interpreter::complete(const std::string& partial) const {
   static const std::vector<std::string> kCommands = {
-      "run",    "continue", "filter", "iface",  "step_both", "break",  "watch",
-      "list",   "print",    "graph",  "info",   "module",    "tok",    "delete",
-      "enable", "disable",  "focus",  "unfocus"};
+      "run",    "continue", "filter", "iface",  "step_both", "break",   "watch",
+      "list",   "print",    "graph",  "info",   "module",    "tok",     "delete",
+      "enable", "disable",  "focus",  "unfocus", "stats",    "trace",   "profile"};
   static const std::vector<std::string> kFilterVerbs = {"catch", "configure", "info", "print"};
   static const std::vector<std::string> kIfaceVerbs = {"record", "print", "catch"};
 

@@ -19,11 +19,16 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dfdbg/common/status.hpp"
 #include "dfdbg/debug/session.hpp"
+
+namespace dfdbg::trace {
+class TraceCollector;
+}
 
 namespace dfdbg::cli {
 
@@ -50,7 +55,11 @@ class Console {
 /// The command interpreter.
 class Interpreter {
  public:
+  /// Constructing an interpreter also enables the process-wide metrics
+  /// registry (dfdbg/obs): an interactive session is exactly the situation
+  /// where `stats` / `profile export` self-profiling pays for itself.
   explicit Interpreter(dbg::Session& session, bool echo = false);
+  ~Interpreter();
 
   /// Executes one command line. Errors are printed to the console and also
   /// returned. Empty lines and `#` comments are no-ops.
@@ -90,6 +99,9 @@ class Interpreter {
   Status cmd_source(const std::vector<std::string>& args);
   Status cmd_save(const std::vector<std::string>& args);
   Status cmd_export(const std::vector<std::string>& args);
+  Status cmd_stats(const std::vector<std::string>& args);
+  Status cmd_trace(const std::vector<std::string>& args);
+  Status cmd_profile(const std::vector<std::string>& args);
   static std::string help_text();
 
   void report_outcome(const dbg::RunOutcome& outcome);
@@ -110,6 +122,8 @@ class Interpreter {
   Console console_;
   /// Successful state-creating commands, replayable via `save`/`source`.
   std::vector<std::string> replayable_;
+  /// Event collector behind `trace on/off/stats` and `profile export`.
+  std::unique_ptr<trace::TraceCollector> trace_;
 };
 
 }  // namespace dfdbg::cli

@@ -4,6 +4,7 @@
 
 #include "dfdbg/common/assert.hpp"
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/metrics.hpp"
 #include "dfdbg/pedf/symbols.hpp"
 
 namespace dfdbg::dbg {
@@ -541,7 +542,18 @@ void Session::trigger_stop(StopEvent ev, Rule* rule) {
 
 RunOutcome Session::run(sim::SimTime until) {
   pending_.clear();
+  // Self-profiling: the latency of one run/continue command in host
+  // wall-clock nanoseconds and in consumed simulated cycles.
+  auto& reg = obs::Registry::global();
+  static obs::Histogram& run_wall_ns = reg.histogram("dbg.run_wall_ns");
+  static obs::Histogram& run_cycles = reg.histogram("dbg.run_cycles");
+  static obs::Counter& runs = reg.counter("dbg.run");
+  static obs::Counter& stops = reg.counter("dbg.stop");
+  runs.add();
+  obs::ScopedTimer wall(run_wall_ns);
+  obs::ScopedDelta cycles(run_cycles, [this] { return app_.kernel().now(); });
   sim::RunResult r = app_.kernel().run(until);
+  stops.add(pending_.size());
   RunOutcome out;
   out.result = r;
   switch (r) {

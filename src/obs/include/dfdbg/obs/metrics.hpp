@@ -1,0 +1,209 @@
+// Unified observability layer: a process-wide metrics registry.
+//
+// The debugger, the simulation kernel and the PEDF runtime all want the same
+// three primitives — monotonic counters, gauges with a high-water mark, and
+// log2-bucketed histograms — without paying for them when nobody is looking.
+// Instruments are named and lazily interned (the same idiom as
+// `sim::InstrumentPort::intern`): the first `counter("sim.dispatch")` call
+// creates the instrument, later calls return the same object, and the
+// returned reference stays valid for the lifetime of the registry, so hot
+// paths intern once and keep the pointer.
+//
+// Cost model: every mutation is gated on a single process-wide flag
+// (`obs::enabled()`), false by default. With metrics disabled a call site is
+// one predictable branch; no allocation, no clock read, no hashing. The
+// flag is flipped by the CLI / trace collector / benchmarks, never by the
+// framework itself, so the framework stays observer-agnostic exactly like
+// it stays debugger-agnostic.
+//
+// Threading: the simulation kernel is cooperatively scheduled (exactly one
+// process runs at a time, handed over through semaphores), so plain
+// non-atomic fields are sufficient and cheap. The registry is NOT safe for
+// concurrent unsynchronized mutation from free-running host threads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dfdbg::obs {
+
+namespace detail {
+inline bool g_enabled = false;
+}  // namespace detail
+
+/// Process-wide master switch. Instruments ignore mutations while disabled.
+[[nodiscard]] inline bool enabled() { return detail::g_enabled; }
+inline void set_enabled(bool on) { detail::g_enabled = on; }
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) v_ += n;
+  }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Instantaneous level with a high-water mark (e.g. queue occupancy).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!enabled()) return;
+    v_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(std::int64_t d) { set(v_ + d); }
+  [[nodiscard]] std::int64_t value() const { return v_; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+  void reset() { v_ = max_ = 0; }
+
+ private:
+  std::int64_t v_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Histogram over fixed log2 buckets: bucket 0 holds the value 0, bucket i
+/// (i >= 1) holds values in [2^(i-1), 2^i). 65 buckets cover all of uint64,
+/// so `observe` is branch-light and allocation-free.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t v) {
+    if (!enabled()) return;
+    buckets_[bucket_of(v)]++;
+    count_++;
+    sum_ += v;
+    if (v > max_) max_ = v;
+    if (count_ == 1 || v < min_) min_ = v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  /// Upper edge of the smallest bucket whose cumulative count reaches
+  /// `p * count` (p in [0,1]). An approximation by construction: exact to
+  /// within the 2x bucket resolution.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  void reset();
+
+  /// Index of the bucket holding `v`.
+  static std::size_t bucket_of(std::uint64_t v) {
+    return v == 0 ? 0 : static_cast<std::size_t>(64 - __builtin_clzll(v));
+  }
+  /// Largest value the bucket can hold (its inclusive upper edge).
+  static std::uint64_t bucket_edge(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return UINT64_MAX;
+    return (1ull << i) - 1;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// The registry: named instruments, lazily interned, stable addresses.
+class Registry {
+ public:
+  /// The process-wide registry every built-in instrumentation point uses.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zeroes every instrument (names stay interned).
+  void reset();
+
+  /// Number of interned instruments (all kinds).
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Sorted (name, instrument) views for reporting.
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>> counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Gauge*>> gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  /// Human-readable dump (the CLI `stats` command).
+  [[nodiscard]] std::string to_text() const;
+  /// One JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  template <typename T>
+  T& intern(std::deque<std::pair<std::string, T>>& store,
+            std::unordered_map<std::string, std::size_t>& index, std::string_view name);
+
+  // std::deque: references returned by intern() must survive growth.
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::unordered_map<std::string, std::size_t> histogram_index_;
+};
+
+/// RAII wall-clock timer: observes elapsed nanoseconds into a histogram.
+/// Reads the clock only while metrics are enabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(h) {
+    if (enabled()) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!enabled()) return;
+    auto dt = std::chrono::steady_clock::now() - t0_;
+    h_.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& h_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+/// RAII delta sampler over an arbitrary monotonic clock — used with
+/// `sim::Kernel::now()` to key timers to *simulated* time:
+///   obs::ScopedDelta cycles(hist, [&] { return kernel.now(); });
+template <typename NowFn>
+class ScopedDelta {
+ public:
+  ScopedDelta(Histogram& h, NowFn now) : h_(h), now_(now) {
+    if (enabled()) t0_ = now_();
+  }
+  ~ScopedDelta() {
+    if (enabled()) h_.observe(now_() - t0_);
+  }
+  ScopedDelta(const ScopedDelta&) = delete;
+  ScopedDelta& operator=(const ScopedDelta&) = delete;
+
+ private:
+  Histogram& h_;
+  NowFn now_;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace dfdbg::obs

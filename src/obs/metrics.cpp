@@ -1,0 +1,175 @@
+#include "dfdbg/obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::obs {
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  auto target = static_cast<std::uint64_t>(p * static_cast<double>(count_));
+  if (target == 0) target = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (cum >= target) return std::min(bucket_edge(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b = 0;
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+template <typename T>
+T& Registry::intern(std::deque<std::pair<std::string, T>>& store,
+                    std::unordered_map<std::string, std::size_t>& index,
+                    std::string_view name) {
+  auto it = index.find(std::string(name));
+  if (it != index.end()) return store[it->second].second;
+  index.emplace(std::string(name), store.size());
+  store.emplace_back(std::string(name), T{});
+  return store.back().second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return intern(counters_, counter_index_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) { return intern(gauges_, gauge_index_, name); }
+
+Histogram& Registry::histogram(std::string_view name) {
+  return intern(histograms_, histogram_index_, name);
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+namespace {
+template <typename T>
+std::vector<std::pair<std::string, const T*>> sorted_view(
+    const std::deque<std::pair<std::string, T>>& store) {
+  std::vector<std::pair<std::string, const T*>> out;
+  out.reserve(store.size());
+  for (const auto& [name, inst] : store) out.emplace_back(name, &inst);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+/// Escapes a metric name for embedding in a JSON string literal.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strformat("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counters() const {
+  return sorted_view(counters_);
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  return sorted_view(gauges_);
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms() const {
+  return sorted_view(histograms_);
+}
+
+std::string Registry::to_text() const {
+  std::string out;
+  out += strformat("metrics: %s (%zu instruments)\n", enabled() ? "enabled" : "DISABLED",
+                   size());
+  auto cs = counters();
+  if (!cs.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, c] : cs)
+      out += strformat("  %-32s %20llu\n", name.c_str(),
+                       static_cast<unsigned long long>(c->value()));
+  }
+  auto gs = gauges();
+  if (!gs.empty()) {
+    out += "gauges:                                     value            high-water\n";
+    for (const auto& [name, g] : gs)
+      out += strformat("  %-32s %12lld %21lld\n", name.c_str(),
+                       static_cast<long long>(g->value()), static_cast<long long>(g->max()));
+  }
+  auto hs = histograms();
+  if (!hs.empty()) {
+    out += "histograms:                          count       mean        p50        p90"
+           "        p99        max\n";
+    for (const auto& [name, h] : hs) {
+      out += strformat("  %-32s %7llu %10.1f %10llu %10llu %10llu %10llu\n", name.c_str(),
+                       static_cast<unsigned long long>(h->count()), h->mean(),
+                       static_cast<unsigned long long>(h->percentile(0.50)),
+                       static_cast<unsigned long long>(h->percentile(0.90)),
+                       static_cast<unsigned long long>(h->percentile(0.99)),
+                       static_cast<unsigned long long>(h->max()));
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += strformat("\"%s\":%llu", json_escape(name).c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += strformat("\"%s\":{\"value\":%lld,\"max\":%lld}", json_escape(name).c_str(),
+                     static_cast<long long>(g->value()), static_cast<long long>(g->max()));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += strformat(
+        "\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+        "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu}",
+        json_escape(name).c_str(), static_cast<unsigned long long>(h->count()),
+        static_cast<unsigned long long>(h->sum()), static_cast<unsigned long long>(h->min()),
+        static_cast<unsigned long long>(h->max()),
+        static_cast<unsigned long long>(h->percentile(0.50)),
+        static_cast<unsigned long long>(h->percentile(0.90)),
+        static_cast<unsigned long long>(h->percentile(0.99)));
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dfdbg::obs

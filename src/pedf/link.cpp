@@ -1,8 +1,26 @@
 #include "dfdbg/pedf/link.hpp"
 
 #include "dfdbg/common/assert.hpp"
+#include "dfdbg/obs/metrics.hpp"
 
 namespace dfdbg::pedf {
+
+namespace {
+/// FIFO instruments, aggregated across every link of every application.
+/// Per-link high watermarks stay on the Link itself (high_watermark()).
+struct LinkMetrics {
+  obs::Counter& pushes;
+  obs::Counter& pops;
+  obs::Histogram& occupancy;
+  obs::Gauge& occupancy_hwm;
+  static LinkMetrics& get() {
+    auto& r = obs::Registry::global();
+    static LinkMetrics m{r.counter("link.push"), r.counter("link.pop"),
+                         r.histogram("link.occupancy"), r.gauge("link.occupancy_hwm")};
+    return m;
+  }
+};
+}  // namespace
 
 const char* to_string(LinkTransport t) {
   switch (t) {
@@ -17,6 +35,12 @@ std::uint64_t Link::push_raw(Value v) {
   DFDBG_CHECK_MSG(!full(), "push on full link " + name_);
   q_.push_back(std::move(v));
   if (q_.size() > high_watermark_) high_watermark_ = q_.size();
+  if (obs::enabled()) {
+    LinkMetrics& m = LinkMetrics::get();
+    m.pushes.add();
+    m.occupancy.observe(q_.size());
+    m.occupancy_hwm.set(static_cast<std::int64_t>(q_.size()));
+  }
   return push_index_++;
 }
 
@@ -25,6 +49,7 @@ Value Link::pop_raw() {
   Value v = std::move(q_.front());
   q_.pop_front();
   pop_index_++;
+  LinkMetrics::get().pops.add();
   return v;
 }
 

@@ -31,6 +31,10 @@
 
 #include "dfdbg/common/ids.hpp"
 
+namespace dfdbg::obs {
+class Counter;
+}  // namespace dfdbg::obs
+
 namespace dfdbg::sim {
 
 class Kernel;
@@ -200,7 +204,9 @@ class InstrumentPort {
 
   [[nodiscard]] bool has_any_hook(SymbolId s) const;
   void fire_list(Kernel& kernel, const std::vector<std::uint32_t>& list, SymbolId symbol,
-                 std::span<const ArgValue> args, const ArgValue* ret);
+                 std::span<const ArgValue> args, const ArgValue* ret, bool is_enter);
+  /// Registry counter "hook.sym.<name>.enter|exit", interned on first fire.
+  obs::Counter& symbol_counter(SymbolId symbol, bool is_enter);
 
   bool enabled_ = false;
   bool teardown_ = false;
@@ -211,6 +217,10 @@ class InstrumentPort {
   std::uint64_t enter_fired_ = 0;
   std::uint64_t exit_fired_ = 0;
   std::uint64_t hook_invocations_ = 0;
+  // Per-symbol obs counters, indexed by SymbolId and interned on first use
+  // so hot fires never pay a name lookup (see symbol_counter()).
+  std::vector<obs::Counter*> enter_counters_;
+  std::vector<obs::Counter*> exit_counters_;
 };
 
 /// RAII frame used by framework functions: fires the enter hook on

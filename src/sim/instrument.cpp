@@ -3,9 +3,26 @@
 #include <exception>
 
 #include "dfdbg/common/assert.hpp"
+#include "dfdbg/obs/metrics.hpp"
 #include "dfdbg/sim/kernel.hpp"
 
 namespace dfdbg::sim {
+
+namespace {
+/// Hook-dispatch instruments (aggregate across all ports).
+struct HookMetrics {
+  obs::Counter& enter_fired;
+  obs::Counter& exit_fired;
+  obs::Counter& invocations;
+  obs::Histogram& dispatch_ns;
+  static HookMetrics& get() {
+    auto& r = obs::Registry::global();
+    static HookMetrics m{r.counter("hook.enter"), r.counter("hook.exit"),
+                         r.counter("hook.invocation"), r.histogram("hook.dispatch_ns")};
+    return m;
+  }
+};
+}  // namespace
 
 const ArgValue* Frame::arg(std::string_view name) const {
   for (const ArgValue& a : args_)
@@ -85,10 +102,25 @@ bool InstrumentPort::has_any_hook(SymbolId s) const {
   return !h.enter.empty() || !h.exit.empty();
 }
 
+obs::Counter& InstrumentPort::symbol_counter(SymbolId symbol, bool is_enter) {
+  auto& cache = is_enter ? enter_counters_ : exit_counters_;
+  std::size_t idx = symbol.value();
+  if (idx >= cache.size()) cache.resize(idx + 1, nullptr);
+  if (cache[idx] == nullptr) {
+    cache[idx] = &obs::Registry::global().counter("hook.sym." + symbol_names_[idx] +
+                                                  (is_enter ? ".enter" : ".exit"));
+  }
+  return *cache[idx];
+}
+
 void InstrumentPort::fire_list(Kernel& kernel, const std::vector<std::uint32_t>& list,
                                SymbolId symbol, std::span<const ArgValue> args,
-                               const ArgValue* ret) {
+                               const ArgValue* ret, bool is_enter) {
   if (list.empty()) return;
+  // Per-symbol dispatch count plus the wall-clock cost of running the hooks
+  // — the debugger's own overhead, measured from inside (see OBSERVABILITY.md).
+  obs::ScopedTimer timer(HookMetrics::get().dispatch_ns);
+  if (obs::enabled()) symbol_counter(symbol, is_enter).add();
   // Hooks may add/remove hooks while running (temporary breakpoints), so
   // iterate over a snapshot of the registration list.
   std::vector<std::uint32_t> snapshot = list;
@@ -97,6 +129,7 @@ void InstrumentPort::fire_list(Kernel& kernel, const std::vector<std::uint32_t>&
     HookRecord& rec = hooks_[idx];
     if (rec.removed || !rec.enabled) continue;
     hook_invocations_++;
+    HookMetrics::get().invocations.add();
     Frame frame(kernel, symbol, symbol_names_[symbol.value()], args, ret);
     rec.fn(frame);
   }
@@ -106,20 +139,22 @@ void InstrumentPort::fire_enter(Kernel& kernel, SymbolId symbol, std::span<const
                                 SymbolId instance) {
   if (!enabled_ || teardown_) return;
   enter_fired_++;
+  HookMetrics::get().enter_fired.add();
   if (symbol.valid() && symbol.value() < per_symbol_.size())
-    fire_list(kernel, per_symbol_[symbol.value()].enter, symbol, args, nullptr);
+    fire_list(kernel, per_symbol_[symbol.value()].enter, symbol, args, nullptr, true);
   if (instance.valid() && instance.value() < per_symbol_.size())
-    fire_list(kernel, per_symbol_[instance.value()].enter, instance, args, nullptr);
+    fire_list(kernel, per_symbol_[instance.value()].enter, instance, args, nullptr, true);
 }
 
 void InstrumentPort::fire_exit(Kernel& kernel, SymbolId symbol, std::span<const ArgValue> args,
                                const ArgValue* ret, SymbolId instance) {
   if (!enabled_ || teardown_) return;
   exit_fired_++;
+  HookMetrics::get().exit_fired.add();
   if (symbol.valid() && symbol.value() < per_symbol_.size())
-    fire_list(kernel, per_symbol_[symbol.value()].exit, symbol, args, ret);
+    fire_list(kernel, per_symbol_[symbol.value()].exit, symbol, args, ret, false);
   if (instance.valid() && instance.value() < per_symbol_.size())
-    fire_list(kernel, per_symbol_[instance.value()].exit, instance, args, ret);
+    fire_list(kernel, per_symbol_[instance.value()].exit, instance, args, ret, false);
 }
 
 std::uint64_t InstrumentPort::symbol_hits(SymbolId symbol) const {

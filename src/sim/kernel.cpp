@@ -4,6 +4,7 @@
 
 #include "dfdbg/common/assert.hpp"
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/metrics.hpp"
 
 namespace dfdbg::sim {
 
@@ -11,6 +12,23 @@ namespace {
 /// Thrown inside parked process threads at kernel teardown to unwind their
 /// stacks cleanly through RAII frames.
 struct ProcessKilled {};
+
+/// Scheduler instruments, interned once (stable addresses by construction).
+struct SchedMetrics {
+  obs::Counter& dispatches;
+  obs::Counter& context_switches;
+  obs::Counter& spawns;
+  obs::Counter& timed_wakeups;
+  obs::Counter& breaks;
+  obs::Histogram& ready_depth;
+  static SchedMetrics& get() {
+    auto& r = obs::Registry::global();
+    static SchedMetrics m{r.counter("sim.dispatch"),     r.counter("sim.context_switch"),
+                          r.counter("sim.process_spawn"), r.counter("sim.timed_wakeup"),
+                          r.counter("sim.debug_break"),  r.histogram("sim.ready_depth")};
+    return m;
+  }
+};
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -97,6 +115,7 @@ ProcessId Kernel::spawn(std::string name, std::function<void()> body) {
   processes_.emplace_back(
       std::unique_ptr<Process>(new Process(this, id, std::move(name), std::move(body))));
   make_ready(processes_.back().get());
+  SchedMetrics::get().spawns.add();
   return id;
 }
 
@@ -131,6 +150,15 @@ void Kernel::dispatch(Process* p) {
   p->state_ = ProcessState::kRunning;
   p->activations_++;
   dispatches_++;
+  if (obs::enabled()) {
+    SchedMetrics& m = SchedMetrics::get();
+    m.dispatches.add();
+    // One switch into the process, one back to the scheduler when it yields.
+    m.context_switches.add(2);
+    // Depth observed when the process left the queue, i.e. the backlog it
+    // waited behind.
+    m.ready_depth.observe(ready_.size());
+  }
   current_ = p;
   p->resume_sem_.release();
   kernel_sem_.acquire();  // until the process yields or terminates
@@ -159,6 +187,7 @@ RunResult Kernel::run(SimTime until) {
         Process* p = timed_.top().process;
         timed_.pop();
         make_ready(p);
+        SchedMetrics::get().timed_wakeups.add();
       }
       continue;
     }
@@ -199,6 +228,7 @@ void Kernel::debug_break() {
   p->state_ = ProcessState::kReady;
   ready_.push_front(p);  // resume exactly here on the next run()
   stop_requested_ = true;
+  SchedMetrics::get().breaks.add();
   p->park();
 }
 

@@ -1,0 +1,186 @@
+#include "dfdbg/trace/chrome_trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::trace {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strformat("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+/// Deterministic actor-path -> thread-id assignment, in first-seen order.
+class TidTable {
+ public:
+  int tid_of(const std::string& track) {
+    auto it = tids_.find(track);
+    if (it != tids_.end()) return it->second;
+    int tid = next_++;
+    tids_.emplace(track, tid);
+    order_.push_back(track);
+    return tid;
+  }
+  [[nodiscard]] const std::vector<std::string>& tracks() const { return order_; }
+  [[nodiscard]] int lookup(const std::string& track) const { return tids_.at(track); }
+
+ private:
+  std::map<std::string, int> tids_;
+  std::vector<std::string> order_;
+  int next_ = 1;  // tid 0 is reserved for process metadata
+};
+
+struct EventWriter {
+  std::string& out;
+  bool first = true;
+
+  void emit(const std::string& json) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  ";
+    out += json;
+  }
+};
+
+}  // namespace
+
+std::string export_chrome_trace(const TraceCollector& trace, pedf::Application& app,
+                                const ChromeTraceOptions& options) {
+  const auto& events = trace.events();
+  TidTable tids;
+  // Pass 1: discover every track so thread metadata leads the event stream
+  // (Perfetto applies thread names only to already-declared tracks).
+  for (std::size_t i = 0; i < events.size(); ++i) tids.tid_of(events.at(i).actor);
+
+  std::string out = "{\n\"traceEvents\": [\n";
+  EventWriter w{out};
+
+  w.emit(strformat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                   "\"args\":{\"name\":\"%s\"}}",
+                   json_escape(options.process_name).c_str()));
+  for (const std::string& track : tids.tracks()) {
+    w.emit(strformat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                     "\"args\":{\"name\":\"%s\"}}",
+                     tids.lookup(track), json_escape(track).c_str()));
+  }
+
+  // Per-track open-slice depth: orphan "E"s (begin evicted from the ring)
+  // are dropped, dangling "B"s are closed at the end of the window.
+  std::map<int, std::vector<std::pair<const char*, sim::SimTime>>> open_slices;
+  std::map<std::uint32_t, std::int64_t> occupancy;  // link id -> tokens (window-relative)
+  sim::SimTime last_ts = 0;
+
+  auto link_label = [&app](std::uint32_t link_id) {
+    pedf::Link* l = app.link_by_id(pedf::LinkId(link_id));
+    return l != nullptr ? l->name() : strformat("link#%u", link_id);
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events.at(i);
+    int tid = tids.lookup(ev.actor);
+    if (ev.time > last_ts) last_ts = ev.time;
+    auto ts = static_cast<unsigned long long>(ev.time);
+    switch (ev.kind) {
+      case TraceKind::kWorkEnter:
+        w.emit(strformat("{\"name\":\"WORK\",\"cat\":\"work\",\"ph\":\"B\",\"ts\":%llu,"
+                         "\"pid\":1,\"tid\":%d,\"args\":{\"firing\":%llu}}",
+                         ts, tid, static_cast<unsigned long long>(ev.index)));
+        open_slices[tid].emplace_back("WORK", ev.time);
+        break;
+      case TraceKind::kWorkExit:
+        if (open_slices[tid].empty()) break;  // begin fell out of the window
+        open_slices[tid].pop_back();
+        w.emit(strformat(
+            "{\"name\":\"WORK\",\"cat\":\"work\",\"ph\":\"E\",\"ts\":%llu,\"pid\":1,"
+            "\"tid\":%d}",
+            ts, tid));
+        break;
+      case TraceKind::kStepBegin:
+        w.emit(strformat("{\"name\":\"STEP\",\"cat\":\"step\",\"ph\":\"B\",\"ts\":%llu,"
+                         "\"pid\":1,\"tid\":%d,\"args\":{\"step\":%llu}}",
+                         ts, tid, static_cast<unsigned long long>(ev.index)));
+        open_slices[tid].emplace_back("STEP", ev.time);
+        break;
+      case TraceKind::kStepEnd:
+        if (open_slices[tid].empty()) break;
+        open_slices[tid].pop_back();
+        w.emit(strformat(
+            "{\"name\":\"STEP\",\"cat\":\"step\",\"ph\":\"E\",\"ts\":%llu,\"pid\":1,"
+            "\"tid\":%d}",
+            ts, tid));
+        break;
+      case TraceKind::kActorStart:
+        if (!options.schedule_instants) break;
+        w.emit(strformat("{\"name\":\"ACTOR_START\",\"cat\":\"sched\",\"ph\":\"i\","
+                         "\"ts\":%llu,\"pid\":1,\"tid\":%d,\"s\":\"t\","
+                         "\"args\":{\"step\":%llu}}",
+                         ts, tid, static_cast<unsigned long long>(ev.index)));
+        break;
+      case TraceKind::kPush:
+      case TraceKind::kPop: {
+        if (!options.link_counters || ev.link == UINT32_MAX) break;
+        std::int64_t& occ = occupancy[ev.link];
+        occ += ev.kind == TraceKind::kPush ? 1 : -1;
+        // A window that opens mid-stream can see pops of tokens pushed
+        // before the window; clamp the *displayed* level at zero.
+        std::int64_t shown = occ < 0 ? 0 : occ;
+        w.emit(strformat("{\"name\":\"occ:%s\",\"cat\":\"link\",\"ph\":\"C\",\"ts\":%llu,"
+                         "\"pid\":1,\"args\":{\"tokens\":%lld}}",
+                         json_escape(link_label(ev.link)).c_str(), ts,
+                         static_cast<long long>(shown)));
+        break;
+      }
+    }
+  }
+
+  // Close dangling begins (simulation stopped mid-WORK / mid-step) so every
+  // "B" has an "E" and viewers do not warn about unterminated slices.
+  for (auto& [tid, stack] : open_slices) {
+    while (!stack.empty()) {
+      const auto& [name, began] = stack.back();
+      w.emit(strformat("{\"name\":\"%s\",\"cat\":\"truncated\",\"ph\":\"E\",\"ts\":%llu,"
+                       "\"pid\":1,\"tid\":%d}",
+                       name, static_cast<unsigned long long>(last_ts < began ? began : last_ts),
+                       tid));
+      stack.pop_back();
+    }
+  }
+
+  out += strformat(
+      "\n],\n\"metadata\": {\"app\":\"%s\",\"clock\":\"simulated-cycles\","
+      "\"retained_events\":%llu,\"dropped_events\":%llu}\n}\n",
+      json_escape(app.name()).c_str(), static_cast<unsigned long long>(events.size()),
+      static_cast<unsigned long long>(trace.dropped()));
+  return out;
+}
+
+Status write_chrome_trace(const std::string& path, const TraceCollector& trace,
+                          pedf::Application& app, const ChromeTraceOptions& options) {
+  std::string json = export_chrome_trace(trace, app, options);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::error("cannot write trace: " + path);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return Status{};
+}
+
+}  // namespace dfdbg::trace

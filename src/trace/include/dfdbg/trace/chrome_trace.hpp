@@ -1,0 +1,47 @@
+// Chrome trace-event JSON export of a TraceCollector window.
+//
+// The bespoke ring buffer + SVG renderer keep the trace trapped in this
+// repository; exporting the same window in the Trace Event Format makes it
+// loadable by Perfetto (https://ui.perfetto.dev) and chrome://tracing — the
+// mature offline tools the paper's §VI-F contrasts interactive debugging
+// with. Mapping:
+//
+//   WORK enter/exit  -> "B"/"E" duration slices, one thread track per actor
+//   step begin/end   -> "B"/"E" slices on the owning module's track
+//   ACTOR_START      -> "i" instant events on the scheduled filter's track
+//   push/pop         -> "C" counter series per link (occupancy over time)
+//
+// Timestamps are simulated cycles emitted in the format's microsecond field:
+// 1 cycle renders as 1 us. Durations therefore read directly in cycles.
+//
+// Robustness: a bounded ring may have evicted the "B" matching a retained
+// "E" (or retain a "B" whose "E" never happened because the simulation
+// stopped mid-WORK). Orphan exits are dropped and dangling begins are closed
+// at the window's end, so the emitted JSON always nests correctly.
+#pragma once
+
+#include <string>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/trace/trace.hpp"
+
+namespace dfdbg::trace {
+
+/// Export options.
+struct ChromeTraceOptions {
+  bool link_counters = true;    ///< emit per-link occupancy "C" series
+  bool schedule_instants = true;  ///< emit ACTOR_START instant events
+  std::string process_name = "dataflow-dbg";
+};
+
+/// Renders the retained trace window as one Trace Event Format JSON object:
+/// {"traceEvents":[...],"metadata":{...}}.
+[[nodiscard]] std::string export_chrome_trace(const TraceCollector& trace,
+                                              pedf::Application& app,
+                                              const ChromeTraceOptions& options = {});
+
+/// export_chrome_trace + write to `path`.
+Status write_chrome_trace(const std::string& path, const TraceCollector& trace,
+                          pedf::Application& app, const ChromeTraceOptions& options = {});
+
+}  // namespace dfdbg::trace

@@ -67,6 +67,14 @@ class TraceCollector {
 
   [[nodiscard]] const RingBuffer<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::uint64_t total_events() const { return events_.total_pushed(); }
+  /// Records silently evicted from the bounded ring (oldest-first).
+  [[nodiscard]] std::uint64_t dropped() const { return events_.total_pushed() - events_.size(); }
+  /// Event counts by TraceKind over the *retained* window.
+  [[nodiscard]] std::map<TraceKind, std::uint64_t> counts_by_kind() const;
+  /// Human-readable summary (the CLI `trace stats` command): per-kind counts,
+  /// capacity, and the dropped-record count that a bounded ring otherwise
+  /// hides.
+  [[nodiscard]] std::string summary() const;
   [[nodiscard]] const std::map<std::uint32_t, LinkStats>& link_stats() const { return stats_; }
   [[nodiscard]] std::uint64_t firings(const std::string& actor_path) const;
 

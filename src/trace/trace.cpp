@@ -111,6 +111,27 @@ void TraceCollector::detach() {
   attached_ = false;
 }
 
+std::map<TraceKind, std::uint64_t> TraceCollector::counts_by_kind() const {
+  std::map<TraceKind, std::uint64_t> counts;
+  for (std::size_t i = 0; i < events_.size(); ++i) counts[events_.at(i).kind]++;
+  return counts;
+}
+
+std::string TraceCollector::summary() const {
+  std::string out;
+  out += strformat("trace: %s, capacity=%zu, retained=%zu, total=%llu, dropped=%llu\n",
+                   attached_ ? "attached" : "detached", events_.capacity(), events_.size(),
+                   static_cast<unsigned long long>(total_events()),
+                   static_cast<unsigned long long>(dropped()));
+  for (const auto& [kind, count] : counts_by_kind())
+    out += strformat("  %-12s %10llu\n", to_string(kind),
+                     static_cast<unsigned long long>(count));
+  if (dropped() > 0)
+    out += strformat("  (%llu oldest record(s) evicted — raise the capacity to keep them)\n",
+                     static_cast<unsigned long long>(dropped()));
+  return out;
+}
+
 std::uint64_t TraceCollector::firings(const std::string& actor_path) const {
   auto it = firings_.find(actor_path);
   return it == firings_.end() ? 0 : it->second;
