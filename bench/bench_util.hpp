@@ -37,7 +37,8 @@ double time_s(F&& fn) {
 inline double run_decoder_once(const h264::H264AppConfig& cfg, bool attach_debugger,
                                const std::function<void(dbg::Session&)>& setup,
                                std::uint64_t* hook_invocations = nullptr,
-                               bool* bit_exact = nullptr) {
+                               bool* bit_exact = nullptr,
+                               std::uint64_t* dispatches = nullptr) {
   auto built = h264::H264App::build(cfg);
   DFDBG_CHECK_MSG(built.ok(), built.status().message());
   auto& app = **built;
@@ -61,6 +62,7 @@ inline double run_decoder_once(const h264::H264AppConfig& cfg, bool attach_debug
   if (hook_invocations != nullptr)
     *hook_invocations = app.kernel().instrument().hook_invocations();
   if (bit_exact != nullptr) *bit_exact = app.decoded_matches_golden();
+  if (dispatches != nullptr) *dispatches = app.kernel().dispatch_count();
   return secs;
 }
 
@@ -75,11 +77,20 @@ inline double run_decoder_once(const h264::H264AppConfig& cfg, bool attach_debug
 /// per-command instruments are elided to keep the line bounded).
 class JsonLineReporter : public benchmark::ConsoleReporter {
  public:
+  // OO_Tabular (no OO_Color): a hand-constructed ConsoleReporter ignores
+  // --benchmark_color and would otherwise emit ANSI resets that land at the
+  // start of the following BENCH_JSON line, breaking anchored scrapers.
+  JsonLineReporter() : benchmark::ConsoleReporter(OO_Tabular) {}
+
   void ReportRuns(const std::vector<Run>& reports) override {
     benchmark::ConsoleReporter::ReportRuns(reports);
     for (const Run& run : reports) {
       if (run.error_occurred) continue;
       std::string line = "BENCH_JSON {\"name\":\"" + json_escape(run.benchmark_name()) + "\"";
+      // The process-wide default backend; benchmarks that pin a kernel to a
+      // specific backend additionally set a "backend_fibers" counter.
+      line += std::string(",\"backend\":\"") + sim::to_string(sim::default_process_backend()) +
+              "\"";
       line += ",\"iterations\":" + std::to_string(static_cast<long long>(run.iterations));
       double ns_per_op = run.iterations > 0
                              ? run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations)

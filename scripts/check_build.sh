@@ -1,18 +1,49 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite, then gate
-# on the observability layer's acceptance checks (the Chrome-trace exporter
-# golden test and the metrics/CLI tests). Faster than scripts/check.sh,
-# which additionally sweeps every benchmark and example.
+# Tier-1 verification: configure, build, run the full test suite under BOTH
+# process backends (fibers + threads must be observationally identical; see
+# docs/KERNEL.md), then gate on the observability layer's acceptance checks
+# and a benchmark smoke pass (every bench binary must still emit well-formed
+# BENCH_JSON lines). Faster than scripts/check.sh, which additionally sweeps
+# every benchmark at full length and every example.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
-(cd build && ctest --output-on-failure -j "$(nproc)")
+
+for backend in fibers threads; do
+  echo "== ctest under DFDBG_PROCESS_BACKEND=$backend =="
+  (cd build && DFDBG_PROCESS_BACKEND=$backend ctest --output-on-failure -j "$(nproc)")
+done
 
 echo "== observability gate =="
 # Re-run the exporter golden-file comparison and the obs unit tests
 # explicitly so a skip/filter in the main sweep cannot mask them.
 ./build/tests/test_obs --gtest_filter='ChromeTrace.*:Obs*:CliObs.*:TraceStats.*'
+
+echo "== bench smoke (BENCH_JSON well-formedness) =="
+# A token measurement time per benchmark: enough to prove the binary runs
+# and its BENCH_JSON records parse. Validated with python3 when available.
+have_python=0
+command -v python3 >/dev/null 2>&1 && have_python=1
+for bench in build/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  out="$("$bench" --benchmark_min_time=0.01 --benchmark_color=false 2>/dev/null)" \
+    || { echo "FAIL: $name exited non-zero"; exit 1; }
+  lines="$(printf '%s\n' "$out" | grep -c '^BENCH_JSON ' || true)"
+  if [ "$lines" -eq 0 ]; then
+    echo "FAIL: $name emitted no BENCH_JSON line"
+    exit 1
+  fi
+  if [ "$have_python" -eq 1 ]; then
+    printf '%s\n' "$out" | sed -n 's/^BENCH_JSON //p' \
+      | python3 -c 'import json,sys
+for ln in sys.stdin:
+    json.loads(ln)' \
+      || { echo "FAIL: $name emitted malformed BENCH_JSON"; exit 1; }
+  fi
+  echo "ok: $name ($lines BENCH_JSON lines)"
+done
 
 echo "ALL BUILD CHECKS PASSED"

@@ -2,11 +2,30 @@
 // debugger's name-mangling emulation.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace dfdbg {
+
+/// Heterogeneous hash for string-keyed containers: lets unordered_map find()
+/// accept std::string_view / const char* without materialising a temporary
+/// std::string. Pair with std::equal_to<> as the key-equal:
+///   std::unordered_map<std::string, T, TransparentStringHash, std::equal_to<>>
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Splits `s` on `sep`, keeping empty fields.
 std::vector<std::string> split(std::string_view s, char sep);

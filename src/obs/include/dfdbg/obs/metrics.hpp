@@ -17,9 +17,10 @@
 // it stays debugger-agnostic.
 //
 // Threading: the simulation kernel is cooperatively scheduled (exactly one
-// process runs at a time, handed over through semaphores), so plain
-// non-atomic fields are sufficient and cheap. The registry is NOT safe for
-// concurrent unsynchronized mutation from free-running host threads.
+// process runs at a time, handed over through a user-level context switch or
+// a semaphore pair depending on the backend), so plain non-atomic fields are
+// sufficient and cheap. The registry is NOT safe for concurrent
+// unsynchronized mutation from free-running host threads.
 #pragma once
 
 #include <chrono>
@@ -29,6 +30,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "dfdbg/common/strings.hpp"
 
 namespace dfdbg::obs {
 
@@ -151,17 +154,22 @@ class Registry {
   [[nodiscard]] std::string to_json() const;
 
  private:
+  // Transparent hash/equal: interning an already-known name from a
+  // string_view never allocates (same idiom as sim::InstrumentPort).
+  using NameIndex =
+      std::unordered_map<std::string, std::size_t, TransparentStringHash, std::equal_to<>>;
+
   template <typename T>
-  T& intern(std::deque<std::pair<std::string, T>>& store,
-            std::unordered_map<std::string, std::size_t>& index, std::string_view name);
+  T& intern(std::deque<std::pair<std::string, T>>& store, NameIndex& index,
+            std::string_view name);
 
   // std::deque: references returned by intern() must survive growth.
   std::deque<std::pair<std::string, Counter>> counters_;
   std::deque<std::pair<std::string, Gauge>> gauges_;
   std::deque<std::pair<std::string, Histogram>> histograms_;
-  std::unordered_map<std::string, std::size_t> counter_index_;
-  std::unordered_map<std::string, std::size_t> gauge_index_;
-  std::unordered_map<std::string, std::size_t> histogram_index_;
+  NameIndex counter_index_;
+  NameIndex gauge_index_;
+  NameIndex histogram_index_;
 };
 
 /// RAII wall-clock timer: observes elapsed nanoseconds into a histogram.

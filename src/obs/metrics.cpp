@@ -31,10 +31,9 @@ Registry& Registry::global() {
 }
 
 template <typename T>
-T& Registry::intern(std::deque<std::pair<std::string, T>>& store,
-                    std::unordered_map<std::string, std::size_t>& index,
+T& Registry::intern(std::deque<std::pair<std::string, T>>& store, NameIndex& index,
                     std::string_view name) {
-  auto it = index.find(std::string(name));
+  auto it = index.find(name);  // heterogeneous: hot-path hit allocates nothing
   if (it != index.end()) return store[it->second].second;
   index.emplace(std::string(name), store.size());
   store.emplace_back(std::string(name), T{});

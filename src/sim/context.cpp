@@ -1,0 +1,121 @@
+#include "dfdbg/sim/context.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "dfdbg/common/assert.hpp"
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg::sim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t sz = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return sz;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  std::size_t page = page_size();
+  return (bytes + page - 1) / page * page;
+}
+
+/// The explicit override, if any. 0 = unset, else 1 + backend enum value.
+std::atomic<int> g_backend_override{0};
+
+ProcessBackend compiled_default_backend() {
+#if defined(DFDBG_DEFAULT_BACKEND_THREADS)
+  return ProcessBackend::kThreads;
+#else
+  return ProcessBackend::kFibers;
+#endif
+}
+
+}  // namespace
+
+const char* to_string(ProcessBackend b) {
+  switch (b) {
+    case ProcessBackend::kThreads: return "threads";
+    case ProcessBackend::kFibers: return "fibers";
+  }
+  return "?";
+}
+
+ProcessBackend default_process_backend() {
+  int ov = g_backend_override.load(std::memory_order_relaxed);
+  if (ov != 0) return static_cast<ProcessBackend>(ov - 1);
+  // Read the environment on every call (not cached) so tests and the CI
+  // harness can steer whole binaries through DFDBG_PROCESS_BACKEND.
+  if (const char* env = std::getenv("DFDBG_PROCESS_BACKEND")) {
+    if (std::strcmp(env, "threads") == 0) return ProcessBackend::kThreads;
+    if (std::strcmp(env, "fibers") == 0) return ProcessBackend::kFibers;
+    if (env[0] != '\0')
+      panic(__FILE__, __LINE__,
+            strformat("DFDBG_PROCESS_BACKEND='%s' (expected 'threads' or 'fibers')", env));
+  }
+  return compiled_default_backend();
+}
+
+void set_default_process_backend(ProcessBackend b) {
+  g_backend_override.store(1 + static_cast<int>(b), std::memory_order_relaxed);
+}
+
+std::size_t FiberContext::default_stack_bytes() {
+  static const std::size_t bytes = [] {
+    if (const char* env = std::getenv("DFDBG_FIBER_STACK_KB")) {
+      long kb = std::atol(env);
+      if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+    }
+    return std::size_t{1} << 20;  // 1 MiB of (lazily committed) stack
+  }();
+  return bytes;
+}
+
+FiberContext::FiberContext() { std::memset(&uc_, 0, sizeof uc_); }
+
+FiberContext::FiberContext(std::size_t stack_bytes, Entry entry, void* arg)
+    : entry_(entry), arg_(arg) {
+  std::size_t page = page_size();
+  stack_bytes_ = round_up_pages(stack_bytes == 0 ? default_stack_bytes() : stack_bytes);
+  map_bytes_ = stack_bytes_ + page;  // +1 guard page at the low end
+  void* base = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  DFDBG_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+  // Stacks grow down: protect the lowest page so overflow faults immediately
+  // instead of scribbling over whatever the allocator placed below.
+  DFDBG_CHECK_MSG(::mprotect(base, page, PROT_NONE) == 0, "fiber guard mprotect failed");
+  map_base_ = base;
+
+  std::memset(&uc_, 0, sizeof uc_);
+  DFDBG_CHECK_MSG(::getcontext(&uc_) == 0, "getcontext failed");
+  uc_.uc_stack.ss_sp = static_cast<char*>(base) + page;
+  uc_.uc_stack.ss_size = stack_bytes_;
+  uc_.uc_link = nullptr;  // entry never returns; see header contract
+  // makecontext passes only ints — split `this` across two 32-bit halves.
+  auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&uc_, reinterpret_cast<void (*)()>(&FiberContext::trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+FiberContext::~FiberContext() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_bytes_);
+}
+
+void FiberContext::trampoline(unsigned hi, unsigned lo) {
+  auto self = reinterpret_cast<FiberContext*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                              static_cast<std::uintptr_t>(lo));
+  self->entry_(self->arg_);
+  panic(__FILE__, __LINE__, "fiber entry returned instead of switching away");
+}
+
+void FiberContext::switch_to(FiberContext& from, FiberContext& to) {
+  DFDBG_CHECK_MSG(::swapcontext(&from.uc_, &to.uc_) == 0, "swapcontext failed");
+}
+
+}  // namespace dfdbg::sim

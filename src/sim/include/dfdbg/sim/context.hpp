@@ -1,0 +1,96 @@
+// Stackful user-level execution contexts (fibers) for the simulation kernel.
+//
+// The paper debugs the P2012 *functional simulator*, whose actors run as
+// SystemC user-level cooperative threads (QuickThreads): switching between
+// them is a few dozen nanoseconds of register save/restore, invisible to the
+// OS and to a thread-level debugger. This file reproduces that substrate with
+// POSIX ucontext (`makecontext`/`swapcontext`): each fiber owns an `mmap`'d
+// stack with a PROT_NONE guard page below it, so a runaway recursion faults
+// deterministically instead of silently corrupting a neighbouring stack.
+//
+// The kernel keeps two interchangeable process backends:
+//   kFibers  (default) — dispatch is one user-space context switch each way;
+//                        no OS scheduling on the hot path.
+//   kThreads           — the original std::thread + two-semaphore handoff.
+//                        Slower by orders of magnitude, but sanitizer- and
+//                        valgrind-friendly (those tools do not follow raw
+//                        `swapcontext` stacks).
+// Both backends honour the same dispatch ordering, teardown-by-unwind and
+// public API, so any program produces identical schedules on either.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+
+namespace dfdbg::sim {
+
+/// How the kernel executes simulated processes. See file comment.
+enum class ProcessBackend {
+  kThreads,  ///< one OS thread per process, semaphore handoff per dispatch
+  kFibers,   ///< user-level stackful contexts, swapcontext per dispatch
+};
+
+/// Returns a short human-readable name for `b` ("threads" / "fibers").
+const char* to_string(ProcessBackend b);
+
+/// The backend new kernels use when none is passed to the constructor.
+/// Resolution order: set_default_process_backend() override, then the
+/// DFDBG_PROCESS_BACKEND environment variable ("threads"/"fibers"), then the
+/// compile-time default chosen by the DFDBG_PROCESS_BACKEND CMake option.
+[[nodiscard]] ProcessBackend default_process_backend();
+
+/// Overrides the process-wide default (benchmarks flip this to measure both
+/// backends in one run). Sticky until called again.
+void set_default_process_backend(ProcessBackend b);
+
+/// One stackful execution context. Two flavours:
+///  - default-constructed: an empty anchor the *scheduler* runs on; it has no
+///    stack of its own and is filled by the first switch away from it.
+///  - stack-constructed: a fiber with its own guarded stack, prepared so the
+///    first switch into it calls `entry(arg)`. `entry` must never return —
+///    it hands control back by switching to another context (the kernel
+///    switches out of a finished fiber and never re-enters it).
+class FiberContext {
+ public:
+  using Entry = void (*)(void*);
+
+  /// Empty scheduler-side anchor.
+  FiberContext();
+
+  /// Fiber with `stack_bytes` of usable stack (rounded up to whole pages)
+  /// plus one PROT_NONE guard page below it. Panics if the mapping fails.
+  FiberContext(std::size_t stack_bytes, Entry entry, void* arg);
+
+  ~FiberContext();
+
+  FiberContext(const FiberContext&) = delete;
+  FiberContext& operator=(const FiberContext&) = delete;
+
+  /// Saves the current context into `from` and resumes `to`. Returns when
+  /// some other context switches back into `from`.
+  static void switch_to(FiberContext& from, FiberContext& to);
+
+  /// True for stack-constructed fibers.
+  [[nodiscard]] bool has_stack() const { return map_base_ != nullptr; }
+
+  /// Usable stack bytes (0 for the scheduler anchor).
+  [[nodiscard]] std::size_t stack_bytes() const { return stack_bytes_; }
+
+  /// Stack size used for new simulated processes: the DFDBG_FIBER_STACK_KB
+  /// environment variable, or 1 MiB. Virtual memory only — pages are
+  /// committed on first touch, so idle processes stay cheap.
+  [[nodiscard]] static std::size_t default_stack_bytes();
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+
+  ucontext_t uc_;
+  void* map_base_ = nullptr;   ///< mmap base (guard page included)
+  std::size_t map_bytes_ = 0;  ///< total mapping size
+  std::size_t stack_bytes_ = 0;
+  Entry entry_ = nullptr;
+  void* arg_ = nullptr;
+};
+
+}  // namespace dfdbg::sim

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dfdbg/common/ids.hpp"
+#include "dfdbg/common/strings.hpp"
 
 namespace dfdbg::obs {
 class Counter;
@@ -211,7 +212,9 @@ class InstrumentPort {
   bool enabled_ = false;
   bool teardown_ = false;
   std::vector<std::string> symbol_names_;
-  std::unordered_map<std::string, std::uint32_t> symbol_index_;
+  // Transparent hash/equal: lookup(string_view) probes without allocating.
+  std::unordered_map<std::string, std::uint32_t, TransparentStringHash, std::equal_to<>>
+      symbol_index_;
   std::vector<SymbolHooks> per_symbol_;
   std::vector<HookRecord> hooks_;
   std::uint64_t enter_fired_ = 0;

@@ -14,6 +14,12 @@
 // then suspended with the process frozen mid-call and Kernel::run() returns
 // kStopped. A later run() resumes exactly where execution stopped, which is
 // what gives the CLI its `continue` semantics.
+//
+// Execution backends: processes run either on stackful user-level fibers
+// (default — dispatch is a ~100 ns swapcontext, mirroring the SystemC
+// QuickThreads model the paper's simulator uses) or on parked OS threads
+// (legacy — sanitizer/valgrind friendly). Schedules are bit-identical across
+// backends; see context.hpp and docs/KERNEL.md.
 #pragma once
 
 #include <cstdint>
@@ -23,8 +29,12 @@
 #include <queue>
 #include <semaphore>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "dfdbg/common/strings.hpp"
+#include "dfdbg/sim/context.hpp"
 #include "dfdbg/sim/event.hpp"
 #include "dfdbg/sim/instrument.hpp"
 #include "dfdbg/sim/process.hpp"
@@ -56,8 +66,13 @@ const char* to_string(RunResult r);
 /// Not thread-safe: the embedding application drives it from one thread.
 class Kernel {
  public:
-  Kernel();
+  /// `backend` selects how processes execute (fibers by default; see
+  /// context.hpp). Fixed for the kernel's lifetime.
+  explicit Kernel(ProcessBackend backend = default_process_backend());
   ~Kernel();
+
+  /// The process execution backend this kernel was built with.
+  [[nodiscard]] ProcessBackend backend() const { return backend_; }
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
@@ -78,8 +93,9 @@ class Kernel {
 
   /// Looks up a process by id (nullptr if unknown).
   [[nodiscard]] Process* process(ProcessId id) const;
-  /// Looks up a process by name (nullptr if unknown; first match).
-  [[nodiscard]] Process* process_by_name(const std::string& name) const;
+  /// Looks up a process by name (nullptr if unknown; first spawn with that
+  /// name wins). O(1): served from an index maintained at spawn.
+  [[nodiscard]] Process* process_by_name(std::string_view name) const;
   /// All processes ever spawned (stable order).
   [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const {
     return processes_;
@@ -108,8 +124,9 @@ class Kernel {
   /// Number of scheduler dispatches so far (for tests and benchmarks).
   [[nodiscard]] std::uint64_t dispatch_count() const { return dispatches_; }
 
-  /// Count of live (non-terminated) processes.
-  [[nodiscard]] std::size_t live_process_count() const;
+  /// Count of live (non-terminated) processes. O(1): maintained at
+  /// spawn/terminate rather than scanned.
+  [[nodiscard]] std::size_t live_process_count() const { return live_count_; }
 
   /// The instrumentation port the debugger attaches to (see instrument.hpp).
   [[nodiscard]] InstrumentPort& instrument() { return instrument_; }
@@ -137,9 +154,15 @@ class Kernel {
   void dispatch(Process* p);
   /// Enqueues a newly-ready process according to the active policy.
   void make_ready(Process* p);
+  /// Records the (single) transition to kTerminated: state + live count.
+  void mark_terminated(Process* p);
 
+  ProcessBackend backend_;
   SimTime now_ = 0;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::unordered_map<std::string, ProcessId, TransparentStringHash, std::equal_to<>>
+      name_index_;  ///< first spawn with a name wins (process_by_name contract)
+  std::size_t live_count_ = 0;
   std::deque<Process*> ready_;
   std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_;
   Process* current_ = nullptr;
@@ -148,7 +171,8 @@ class Kernel {
   std::uint64_t dispatches_ = 0;
   std::uint64_t wait_seq_counter_ = 0;
   ReadyPolicy policy_ = ReadyPolicy::kFifo;
-  std::binary_semaphore kernel_sem_{0};
+  std::binary_semaphore kernel_sem_{0};  ///< thread backend only
+  FiberContext sched_ctx_;               ///< fiber backend: the scheduler's context
   InstrumentPort instrument_;
 };
 

@@ -1,6 +1,11 @@
 // A simulated process: the kernel's unit of execution. Mirrors SystemC
 // SC_THREADs — user-level cooperative threads that a conventional
 // thread-level debugger cannot see individually (the paper's §VI-F point).
+//
+// Two interchangeable execution backends (see context.hpp and docs/KERNEL.md):
+// the default backs each process with a stackful fiber the scheduler swaps
+// into directly; the legacy backend parks each process on its own OS thread
+// behind a semaphore. Scheduling semantics are identical either way.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +16,7 @@
 #include <thread>
 
 #include "dfdbg/common/ids.hpp"
+#include "dfdbg/sim/context.hpp"
 #include "dfdbg/sim/time.hpp"
 
 namespace dfdbg::sim {
@@ -56,9 +62,15 @@ class Process {
   friend class Kernel;
   Process(Kernel* kernel, ProcessId id, std::string name, std::function<void()> body);
 
+  /// Thread backend: OS-thread body. Blocks until first dispatch / teardown.
   void thread_main();
-  /// Blocks the underlying OS thread until the kernel hands control back.
-  /// Throws Killed at kernel teardown.
+  /// Fiber backend: runs `body_` on the fiber's own stack, then hands control
+  /// back to the scheduler permanently. Never returns.
+  void fiber_main();
+  static void fiber_entry(void* self);
+
+  /// Yields the CPU back to the kernel scheduler and blocks until the kernel
+  /// hands control back. Throws Killed at kernel teardown.
   void park();
 
   Kernel* kernel_;
@@ -70,8 +82,14 @@ class Process {
   SimTime consumed_time_ = 0;
   std::uint64_t activations_ = 0;
   std::uint64_t wait_seq_ = 0;  ///< tie-break for deterministic timed wakeups
+
+  // Thread backend only.
   std::binary_semaphore resume_sem_{0};
   std::thread thread_;
+
+  // Fiber backend only.
+  std::unique_ptr<FiberContext> fiber_;
+  bool fiber_started_ = false;  ///< the fiber has been entered at least once
 };
 
 }  // namespace dfdbg::sim

@@ -41,7 +41,7 @@ SymbolId InstrumentPort::intern(std::string name) {
 }
 
 SymbolId InstrumentPort::lookup(std::string_view name) const {
-  auto it = symbol_index_.find(std::string(name));
+  auto it = symbol_index_.find(name);  // heterogeneous: no std::string temporary
   return it == symbol_index_.end() ? SymbolId{} : SymbolId(it->second);
 }
 

@@ -9,8 +9,8 @@
 namespace dfdbg::sim {
 
 namespace {
-/// Thrown inside parked process threads at kernel teardown to unwind their
-/// stacks cleanly through RAII frames.
+/// Thrown inside parked processes at kernel teardown to unwind their stacks
+/// cleanly through RAII frames (both backends).
 struct ProcessKilled {};
 
 /// Scheduler instruments, interned once (stable addresses by construction).
@@ -48,7 +48,12 @@ const char* to_string(ProcessState s) {
 
 Process::Process(Kernel* kernel, ProcessId id, std::string name, std::function<void()> body)
     : kernel_(kernel), id_(id), name_(std::move(name)), body_(std::move(body)) {
-  thread_ = std::thread([this] { thread_main(); });
+  if (kernel_->backend_ == ProcessBackend::kFibers) {
+    fiber_ = std::make_unique<FiberContext>(FiberContext::default_stack_bytes(),
+                                            &Process::fiber_entry, this);
+  } else {
+    thread_ = std::thread([this] { thread_main(); });
+  }
 }
 
 Process::~Process() {
@@ -59,15 +64,15 @@ void Process::thread_main() {
   // Wait for the first dispatch (or teardown).
   resume_sem_.acquire();
   if (kernel_->shutting_down_) {
-    state_ = ProcessState::kTerminated;
+    kernel_->mark_terminated(this);
     return;
   }
   try {
     body_();
-    state_ = ProcessState::kTerminated;
+    kernel_->mark_terminated(this);
     kernel_->kernel_sem_.release();  // hand control back to the scheduler
   } catch (const ProcessKilled&) {
-    state_ = ProcessState::kTerminated;
+    kernel_->mark_terminated(this);
     // Teardown: the kernel is not blocked in dispatch; do not signal it.
   } catch (const std::exception& e) {
     panic(__FILE__, __LINE__,
@@ -75,9 +80,31 @@ void Process::thread_main() {
   }
 }
 
+void Process::fiber_entry(void* self) { static_cast<Process*>(self)->fiber_main(); }
+
+void Process::fiber_main() {
+  try {
+    body_();
+  } catch (const ProcessKilled&) {
+    // Teardown: unwound through RAII frames; fall through to the final swap.
+  } catch (const std::exception& e) {
+    panic(__FILE__, __LINE__,
+          strformat("uncaught exception in simulated process '%s': %s", name_.c_str(), e.what()));
+  }
+  kernel_->mark_terminated(this);
+  // Permanent handoff: the scheduler (blocked in dispatch(), or in ~Kernel
+  // during teardown) resumes and never re-enters this fiber.
+  FiberContext::switch_to(*fiber_, kernel_->sched_ctx_);
+  DFDBG_UNREACHABLE("terminated fiber was resumed");
+}
+
 void Process::park() {
-  kernel_->kernel_sem_.release();
-  resume_sem_.acquire();
+  if (kernel_->backend_ == ProcessBackend::kFibers) {
+    FiberContext::switch_to(*fiber_, kernel_->sched_ctx_);
+  } else {
+    kernel_->kernel_sem_.release();
+    resume_sem_.acquire();
+  }
   if (kernel_->shutting_down_) throw ProcessKilled{};
 }
 
@@ -95,16 +122,29 @@ const char* to_string(RunResult r) {
   return "?";
 }
 
-Kernel::Kernel() = default;
+Kernel::Kernel(ProcessBackend backend) : backend_(backend) {}
 
 Kernel::~Kernel() {
   shutting_down_ = true;
   instrument_.set_teardown(true);
   for (auto& p : processes_) {
-    if (p->state_ != ProcessState::kTerminated) p->resume_sem_.release();
-  }
-  for (auto& p : processes_) {
-    if (p->thread_.joinable()) p->thread_.join();
+    if (backend_ == ProcessBackend::kFibers) {
+      if (p->state_ == ProcessState::kTerminated) continue;
+      if (!p->fiber_started_) {
+        // Body never began: nothing on the fiber stack to unwind.
+        mark_terminated(p.get());
+        continue;
+      }
+      // Resume the suspended fiber; park() throws ProcessKilled, the stack
+      // unwinds through its RAII frames, and fiber_main swaps back here.
+      FiberContext::switch_to(sched_ctx_, *p->fiber_);
+      DFDBG_DCHECK(p->state_ == ProcessState::kTerminated);
+    } else {
+      // Release and join one process at a time so the teardown unwinds are
+      // serialized like every other part of the cooperative kernel.
+      if (p->state_ != ProcessState::kTerminated) p->resume_sem_.release();
+      if (p->thread_.joinable()) p->thread_.join();
+    }
   }
 }
 
@@ -114,8 +154,11 @@ ProcessId Kernel::spawn(std::string name, std::function<void()> body) {
   // Private constructor: cannot use make_unique.
   processes_.emplace_back(
       std::unique_ptr<Process>(new Process(this, id, std::move(name), std::move(body))));
-  make_ready(processes_.back().get());
-  SchedMetrics::get().spawns.add();
+  Process* p = processes_.back().get();
+  name_index_.emplace(p->name(), id);  // keeps the first binding on collision
+  live_count_++;
+  make_ready(p);
+  if (obs::enabled()) SchedMetrics::get().spawns.add();
   return id;
 }
 
@@ -124,17 +167,16 @@ Process* Kernel::process(ProcessId id) const {
   return processes_[id.value()].get();
 }
 
-Process* Kernel::process_by_name(const std::string& name) const {
-  for (const auto& p : processes_)
-    if (p->name() == name) return p.get();
-  return nullptr;
+Process* Kernel::process_by_name(std::string_view name) const {
+  auto it = name_index_.find(name);
+  return it == name_index_.end() ? nullptr : processes_[it->second.value()].get();
 }
 
-std::size_t Kernel::live_process_count() const {
-  std::size_t n = 0;
-  for (const auto& p : processes_)
-    if (p->state() != ProcessState::kTerminated) ++n;
-  return n;
+void Kernel::mark_terminated(Process* p) {
+  DFDBG_DCHECK(p->state_ != ProcessState::kTerminated);
+  p->state_ = ProcessState::kTerminated;
+  DFDBG_DCHECK(live_count_ > 0);
+  live_count_--;
 }
 
 void Kernel::make_ready(Process* p) {
@@ -153,15 +195,22 @@ void Kernel::dispatch(Process* p) {
   if (obs::enabled()) {
     SchedMetrics& m = SchedMetrics::get();
     m.dispatches.add();
-    // One switch into the process, one back to the scheduler when it yields.
+    // Two control transfers per dispatch on either backend: one into the
+    // process, one back to the scheduler when it yields. (Fibers: two
+    // swapcontext calls; threads: two semaphore handoffs.)
     m.context_switches.add(2);
     // Depth observed when the process left the queue, i.e. the backlog it
     // waited behind.
     m.ready_depth.observe(ready_.size());
   }
   current_ = p;
-  p->resume_sem_.release();
-  kernel_sem_.acquire();  // until the process yields or terminates
+  if (backend_ == ProcessBackend::kFibers) {
+    p->fiber_started_ = true;
+    FiberContext::switch_to(sched_ctx_, *p->fiber_);  // until it yields/terminates
+  } else {
+    p->resume_sem_.release();
+    kernel_sem_.acquire();  // until the process yields or terminates
+  }
   current_ = nullptr;
 }
 
@@ -175,7 +224,7 @@ RunResult Kernel::run(SimTime until) {
     }
     if (ready_.empty()) {
       if (timed_.empty()) {
-        return live_process_count() == 0 ? RunResult::kFinished : RunResult::kDeadlock;
+        return live_count_ == 0 ? RunResult::kFinished : RunResult::kDeadlock;
       }
       SimTime t = timed_.top().when;
       if (t > until) {
@@ -187,7 +236,7 @@ RunResult Kernel::run(SimTime until) {
         Process* p = timed_.top().process;
         timed_.pop();
         make_ready(p);
-        SchedMetrics::get().timed_wakeups.add();
+        if (obs::enabled()) SchedMetrics::get().timed_wakeups.add();
       }
       continue;
     }
@@ -228,7 +277,7 @@ void Kernel::debug_break() {
   p->state_ = ProcessState::kReady;
   ready_.push_front(p);  // resume exactly here on the next run()
   stop_requested_ = true;
-  SchedMetrics::get().breaks.add();
+  if (obs::enabled()) SchedMetrics::get().breaks.add();
   p->park();
 }
 

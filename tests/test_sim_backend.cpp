@@ -1,0 +1,219 @@
+// Backend equivalence: the fiber and thread process backends must be
+// observationally identical — same dispatch/activation sequences, same
+// teardown-by-unwind behaviour, byte-identical trace output — so that every
+// golden file and replay recording is valid under either. Plus the fiber
+// backend's guard-page stack-overflow detection.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dfdbg/common/prng.hpp"
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/sim/kernel.hpp"
+#include "dfdbg/trace/trace.hpp"
+
+namespace dfdbg::sim {
+namespace {
+
+constexpr ProcessBackend kBoth[] = {ProcessBackend::kThreads, ProcessBackend::kFibers};
+
+/// A seeded workload exercising every scheduling primitive: yields, timed
+/// waits, event wait/notify, spawn-from-process and debug_break. Returns a
+/// full observational transcript of the run.
+std::vector<std::string> run_mixed_workload(ProcessBackend backend, std::uint64_t seed) {
+  Kernel k(backend);
+  std::vector<std::string> log;
+  Event ping("ping");
+  Event pong("pong");
+  for (int i = 0; i < 6; ++i) {
+    k.spawn("w" + std::to_string(i), [&k, &log, &ping, &pong, i, seed] {
+      Prng rng(seed + static_cast<std::uint64_t>(i));
+      for (int step = 0; step < 20; ++step) {
+        log.push_back("w" + std::to_string(i) + ":" + std::to_string(step));
+        switch (rng.next_below(5)) {
+          case 0: k.advance(0); break;
+          case 1: k.advance(1 + rng.next_below(7)); break;
+          case 2:
+            k.notify(i % 2 == 0 ? ping : pong);
+            k.advance(0);
+            break;
+          case 3:
+            if (i % 2 == 0) k.wait(pong);
+            else k.wait(ping);
+            break;
+          case 4:
+            if (step == 7) k.debug_break();
+            else k.advance(2);
+            break;
+        }
+      }
+      if (i == 2) {
+        k.spawn("late", [&k, &log] {
+          log.push_back("late:run");
+          k.advance(3);
+          log.push_back("late:done");
+        });
+      }
+      log.push_back("w" + std::to_string(i) + ":end");
+    });
+  }
+  for (int round = 0;; ++round) {
+    RunResult r = k.run();
+    log.push_back("run:" + std::string(to_string(r)) + "@" + std::to_string(k.now()));
+    if (r != RunResult::kStopped) {
+      // Untie any event deadlock once, then give up (deterministically).
+      if (r == RunResult::kDeadlock && round < 50) {
+        k.notify(ping);
+        k.notify(pong);
+        continue;
+      }
+      break;
+    }
+  }
+  log.push_back("dispatches:" + std::to_string(k.dispatch_count()));
+  log.push_back("live:" + std::to_string(k.live_process_count()));
+  for (const auto& p : k.processes())
+    log.push_back(p->name() + ":acts=" + std::to_string(p->activation_count()) +
+                  ",state=" + to_string(p->state()));
+  return log;
+}
+
+TEST(BackendEquivalence, MixedWorkloadTranscriptsIdentical) {
+  for (std::uint64_t seed : {1u, 42u, 1337u}) {
+    auto threads = run_mixed_workload(ProcessBackend::kThreads, seed);
+    auto fibers = run_mixed_workload(ProcessBackend::kFibers, seed);
+    EXPECT_EQ(threads, fibers) << "seed " << seed;
+  }
+}
+
+TEST(BackendEquivalence, LifoPolicyIdentical) {
+  auto run_once = [](ProcessBackend b) {
+    Kernel k(b);
+    k.set_ready_policy(ReadyPolicy::kLifo);
+    Event ev("e");
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+      k.spawn("w" + std::to_string(i), [&, i] {
+        k.wait(ev);
+        order.push_back(i);
+      });
+    }
+    k.spawn("n", [&] { k.notify(ev); });
+    k.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(ProcessBackend::kThreads), run_once(ProcessBackend::kFibers));
+}
+
+/// Teardown-by-unwind: killing suspended processes must run their RAII
+/// destructors, in spawn order, on both backends.
+TEST(BackendEquivalence, TeardownUnwindRunsDestructorsInOrder) {
+  for (ProcessBackend b : kBoth) {
+    std::vector<std::string> unwound;
+    struct Sentinel {
+      std::vector<std::string>* log;
+      std::string name;
+      ~Sentinel() { log->push_back(name); }
+    };
+    {
+      Kernel k(b);
+      Event never("never");
+      for (int i = 0; i < 3; ++i) {
+        k.spawn("s" + std::to_string(i), [&k, &never, &unwound, i] {
+          Sentinel s{&unwound, "s" + std::to_string(i)};
+          k.wait(never);
+        });
+      }
+      EXPECT_EQ(k.run(), RunResult::kDeadlock);
+      EXPECT_EQ(k.live_process_count(), 3u);
+    }
+    EXPECT_EQ(unwound, (std::vector<std::string>{"s0", "s1", "s2"})) << to_string(b);
+  }
+}
+
+/// The full stack: H.264 decode under the offline trace collector must give
+/// a byte-identical CSV trace and a bit-exact decode on both backends.
+TEST(BackendEquivalence, H264TraceByteIdentical) {
+  auto run_traced = [](ProcessBackend b, std::string* csv, std::uint64_t* dispatches) {
+    set_default_process_backend(b);
+    h264::H264AppConfig cfg;
+    cfg.params.width = 32;
+    cfg.params.height = 32;
+    cfg.params.frame_count = 1;
+    auto app = h264::H264App::build(cfg);
+    ASSERT_TRUE(app.ok());
+    ASSERT_EQ((*app)->kernel().backend(), b);
+    trace::TraceCollector tc((*app)->app(), 1 << 16);
+    tc.attach();
+    (*app)->start();
+    EXPECT_EQ((*app)->kernel().run(), sim::RunResult::kFinished);
+    EXPECT_TRUE((*app)->decoded_matches_golden());
+    *csv = tc.to_csv();
+    *dispatches = (*app)->kernel().dispatch_count();
+  };
+  const auto saved = default_process_backend();
+  std::string csv_threads, csv_fibers;
+  std::uint64_t disp_threads = 0, disp_fibers = 0;
+  run_traced(ProcessBackend::kThreads, &csv_threads, &disp_threads);
+  run_traced(ProcessBackend::kFibers, &csv_fibers, &disp_fibers);
+  set_default_process_backend(saved);
+  EXPECT_GT(disp_threads, 0u);
+  EXPECT_EQ(disp_threads, disp_fibers);
+  EXPECT_FALSE(csv_threads.empty());
+  EXPECT_EQ(csv_threads, csv_fibers);
+}
+
+// --- backend selection -------------------------------------------------------
+
+TEST(BackendSelection, ExplicitConstructorArgWins) {
+  Kernel threads(ProcessBackend::kThreads);
+  Kernel fibers(ProcessBackend::kFibers);
+  EXPECT_EQ(threads.backend(), ProcessBackend::kThreads);
+  EXPECT_EQ(fibers.backend(), ProcessBackend::kFibers);
+}
+
+TEST(BackendSelection, EnvVarSteersDefault) {
+  const auto saved = default_process_backend();
+  // An explicit override beats the environment...
+  set_default_process_backend(ProcessBackend::kThreads);
+  ::setenv("DFDBG_PROCESS_BACKEND", "fibers", 1);
+  EXPECT_EQ(default_process_backend(), ProcessBackend::kThreads);
+  // ...and the override is what kernels pick up by default.
+  EXPECT_EQ(Kernel{}.backend(), ProcessBackend::kThreads);
+  set_default_process_backend(saved);
+  ::unsetenv("DFDBG_PROCESS_BACKEND");
+}
+
+// --- fiber stacks ------------------------------------------------------------
+
+TEST(FiberStacks, DefaultStackSizeIsSane) {
+  EXPECT_GE(FiberContext::default_stack_bytes(), 64u * 1024);
+}
+
+volatile int g_sink = 0;
+
+// Non-tail recursion with a per-frame footprint the optimizer cannot elide.
+int deep_recursion(int depth) {  // NOLINT(misc-no-recursion)
+  volatile char pad[512];
+  pad[0] = static_cast<char>(depth);
+  g_sink += pad[0];
+  return deep_recursion(depth + 1) + pad[0];
+}
+
+/// Blowing a fiber's stack must hit the PROT_NONE guard page and die with a
+/// signal — never silently corrupt a neighbouring mapping.
+TEST(FiberStacks, GuardPageCatchesOverflowDeathTest) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Kernel k(ProcessBackend::kFibers);
+        k.spawn("runaway", [] { g_sink = deep_recursion(0); });
+        k.run();
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace dfdbg::sim

@@ -188,6 +188,30 @@ TEST(Kernel, ProcessLookup) {
   EXPECT_EQ(k.process_by_name("ghost"), nullptr);
 }
 
+TEST(Kernel, ProcessLookupFirstSpawnWinsOnDuplicateName) {
+  Kernel k;
+  ProcessId first = k.spawn("dup", [] {});
+  k.spawn("dup", [] {});
+  EXPECT_EQ(k.process_by_name("dup"), k.process(first));
+  // string_view lookups hit the same index.
+  std::string_view sv("dup");
+  EXPECT_EQ(k.process_by_name(sv), k.process(first));
+}
+
+TEST(Kernel, LiveCountMaintainedAcrossLifecycle) {
+  Kernel k;
+  Event ev("ev");
+  EXPECT_EQ(k.live_process_count(), 0u);
+  k.spawn("a", [&] { k.wait(ev); });
+  k.spawn("b", [] {});
+  EXPECT_EQ(k.live_process_count(), 2u);
+  EXPECT_EQ(k.run(), RunResult::kDeadlock);
+  EXPECT_EQ(k.live_process_count(), 1u);  // b terminated, a still blocked
+  k.notify(ev);
+  EXPECT_EQ(k.run(), RunResult::kFinished);
+  EXPECT_EQ(k.live_process_count(), 0u);
+}
+
 TEST(Kernel, ConsumedTimeTracked) {
   Kernel k;
   ProcessId id = k.spawn("t", [&] {
