@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "dfdbg/obs/journal.hpp"
 
 using namespace dfdbg;
 
@@ -84,6 +85,40 @@ void BM_MetricsOverhead(benchmark::State& state) {
       static_cast<double>(reg.counter("hook.invocation").value());
 }
 BENCHMARK(BM_MetricsOverhead)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+
+// The flight recorder's intrusiveness on top of live metrics: both arms run
+// with the registry enabled; arm 0 silences the journal (recording off, so a
+// push costs the counters plus one branch), arm 1 records every push/pop/
+// fire/dispatch into the ring (one fixed-size POD store each, no allocation).
+// Acceptance bar (ISSUE PR3): journal-on token throughput within 2x of
+// journal-off with metrics on.
+void BM_JournalOverhead(benchmark::State& state) {
+  bool journal_on = state.range(0) != 0;
+  h264::H264AppConfig cfg = benchutil::decoder_config(2, 2, 2);
+  obs::Registry::global().reset();
+  obs::Journal& journal = obs::Journal::global();
+  journal.set_capacity(obs::Journal::kDefaultCapacity);  // also clears the window
+  obs::set_enabled(true);
+  journal.set_recording(journal_on);
+  double secs = 0.0;
+  for (auto _ : state) {
+    double t = benchutil::run_decoder_once(cfg, /*attach_debugger=*/false, nullptr);
+    secs += t;
+    benchmark::DoNotOptimize(t);
+  }
+  journal.set_recording(true);
+  obs::set_enabled(false);
+  state.SetLabel(journal_on ? "journal recording" : "journal off (metrics only)");
+  auto& reg = obs::Registry::global();
+  double tokens = static_cast<double>(reg.counter("link.push").value());
+  state.counters["tokens"] = tokens;
+  state.counters["tokens_per_sec"] = secs > 0 ? tokens / secs : 0;
+  state.counters["journal_recorded"] =
+      static_cast<double>(reg.counter("journal.recorded").value());
+  state.counters["journal_dropped"] =
+      static_cast<double>(reg.counter("journal.dropped").value());
+}
+BENCHMARK(BM_JournalOverhead)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
 
 // The kernel's own intrusiveness: the same native decode on each process
 // backend. The thread backend pays two OS semaphore hops per dispatch; the

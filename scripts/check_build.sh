@@ -21,11 +21,48 @@ echo "== observability gate =="
 # explicitly so a skip/filter in the main sweep cannot mask them.
 ./build/tests/test_obs --gtest_filter='ChromeTrace.*:Obs*:CliObs.*:TraceStats.*'
 
+have_python=0
+command -v python3 >/dev/null 2>&1 && have_python=1
+
+echo "== flight-recorder gate =="
+# The journal must behave identically on both process backends (token ids
+# come from the deterministic kernel, not from scheduling accidents).
+for backend in fibers threads; do
+  echo "-- test_journal under DFDBG_PROCESS_BACKEND=$backend"
+  DFDBG_PROCESS_BACKEND=$backend ./build/tests/test_journal
+done
+
+# End-to-end flow-event export: drive the REPL through a full decode, dump
+# the journal and the profile overlay, then validate both files are loadable
+# JSON with the required metadata and at least one matched "s"/"f" flow pair.
+if [ "$have_python" -eq 1 ]; then
+  echo "-- flow-event JSON validation (dfdbg_repl none)"
+  printf 'trace on\nrun\njournal dump build/flow_check.json\nprofile export build/profile_check.json\nquit\n' \
+    | ./build/examples/dfdbg_repl none >/dev/null
+  python3 - build/flow_check.json build/profile_check.json <<'PYEOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert isinstance(doc.get("traceEvents"), list), f"{path}: no traceEvents list"
+    meta = doc.get("metadata", {})
+    for key in ("retained_events", "dropped_events", "flow_pairs"):
+        assert key in meta, f"{path}: metadata missing {key}"
+    starts = {e["id"] for e in doc["traceEvents"] if e.get("ph") == "s"}
+    finishes = {e["id"] for e in doc["traceEvents"] if e.get("ph") == "f"}
+    matched = starts & finishes
+    assert matched, f"{path}: no matched flow start/finish pair"
+    assert meta["flow_pairs"] >= len(matched), f"{path}: flow_pairs undercounts"
+    print(f"ok: {path} ({len(doc['traceEvents'])} events, "
+          f"{len(matched)} matched flow id(s))")
+PYEOF
+else
+  echo "-- python3 unavailable; skipping flow-event JSON validation"
+fi
+
 echo "== bench smoke (BENCH_JSON well-formedness) =="
 # A token measurement time per benchmark: enough to prove the binary runs
 # and its BENCH_JSON records parse. Validated with python3 when available.
-have_python=0
-command -v python3 >/dev/null 2>&1 && have_python=1
 for bench in build/bench/bench_*; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "dfdbg/common/strings.hpp"
 #include "dfdbg/debug/export.hpp"
+#include "dfdbg/obs/journal.hpp"
 #include "dfdbg/obs/metrics.hpp"
 #include "dfdbg/trace/chrome_trace.hpp"
 #include "dfdbg/trace/trace.hpp"
@@ -110,6 +112,10 @@ Status Interpreter::execute(const std::string& line) {
     s = cmd_trace(args);
   } else if (cmd == "profile") {
     s = cmd_profile(args);
+  } else if (cmd == "journal") {
+    s = cmd_journal(args);
+  } else if (cmd == "whence") {
+    s = cmd_whence(args);
   } else if (cmd == "unfocus") {
     session_.clear_selective_data_hooks();
     console_.println("[Data-exchange breakpoints restored on every interface]");
@@ -439,6 +445,32 @@ Status Interpreter::cmd_info(const std::vector<std::string>& args) {
         session_.graph().token_memory_bytes()));
     return Status{};
   }
+  if (args[0] == "flow") {
+    // Per-link token-flow view: live occupancy from the framework, plus the
+    // push/pop traffic the flight recorder still retains for that link.
+    const obs::Journal& j = obs::Journal::global();
+    std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> window;  // pushes, pops
+    for (std::size_t i = 0; i < j.size(); ++i) {
+      const obs::JournalEvent& ev = j.at(i);
+      if (ev.kind == obs::JournalKind::kTokenPush ||
+          ev.kind == obs::JournalKind::kTokenInject)
+        window[ev.link].first++;
+      else if (ev.kind == obs::JournalKind::kTokenPop)
+        window[ev.link].second++;
+    }
+    console_.println(strformat("%-60s %8s %14s %12s", "link", "tokens", "window pushes",
+                               "window pops"));
+    for (const auto& l : session_.app().links()) {
+      auto it = window.find(l->id().value());
+      std::uint64_t wp = it != window.end() ? it->second.first : 0;
+      std::uint64_t wo = it != window.end() ? it->second.second : 0;
+      console_.println(strformat("%-60s %8zu %14llu %12llu", l->name().c_str(), l->occupancy(),
+                                 static_cast<unsigned long long>(wp),
+                                 static_cast<unsigned long long>(wo)));
+    }
+    console_.print(j.summary());
+    return Status{};
+  }
   return Status::error("unknown info topic: " + args[0]);
 }
 
@@ -630,11 +662,73 @@ Status Interpreter::cmd_profile(const std::vector<std::string>& args) {
     return Status::error("usage: profile export <file.json>");
   if (trace_ == nullptr)
     return Status::error("no trace collector — `trace on`, run, then export");
-  Status s = trace::write_chrome_trace(args[1], *trace_, session_.app());
+  trace::ChromeTraceOptions options;
+  options.journal = &obs::Journal::global();  // overlay token flow arrows
+  Status s = trace::write_chrome_trace(args[1], *trace_, session_.app(), options);
   if (!s.ok()) return s;
   console_.println(strformat(
       "Exported %zu event(s) to %s (load in https://ui.perfetto.dev or chrome://tracing)",
       trace_->events().size(), args[1].c_str()));
+  return Status{};
+}
+
+Status Interpreter::cmd_journal(const std::vector<std::string>& args) {
+  obs::Journal& j = obs::Journal::global();
+  if (args.empty()) {
+    console_.print(j.summary());
+    return Status{};
+  }
+  if (args[0] == "last") {
+    std::size_t n = 20;
+    if (args.size() > 1) {
+      n = std::strtoull(args[1].c_str(), nullptr, 0);
+      if (n == 0) return Status::error("malformed count: " + args[1]);
+    }
+    console_.print(j.format_last(n, [this](std::uint32_t link) {
+      pedf::Link* l = session_.app().link_by_id(pedf::LinkId(link));
+      return l != nullptr ? l->name() : strformat("link#%u", link);
+    }));
+    return Status{};
+  }
+  if (args[0] == "dump") {
+    if (args.size() < 2) return Status::error("usage: journal dump <file.json>");
+    trace::ChromeTraceOptions options;
+    options.dispatch_instants = true;
+    Status s = trace::write_journal_chrome_trace(args[1], j, session_.app(), options);
+    if (!s.ok()) return s;
+    console_.println(strformat(
+        "Journal exported to %s: %zu event(s), %llu dropped (Perfetto flow arrows included)",
+        args[1].c_str(), j.size(), static_cast<unsigned long long>(j.dropped())));
+    return Status{};
+  }
+  if (args[0] == "capacity") {
+    if (args.size() < 2) return Status::error("usage: journal capacity <events>");
+    std::size_t cap = std::strtoull(args[1].c_str(), nullptr, 0);
+    if (cap == 0) return Status::error("malformed capacity: " + args[1]);
+    j.set_capacity(cap);
+    console_.println(strformat("[Journal capacity set to %zu event(s); window cleared]", cap));
+    return Status{};
+  }
+  if (args[0] == "on" || args[0] == "off") {
+    j.set_recording(args[0] == "on");
+    console_.println(std::string("[Journal recording ") +
+                     (j.recording() ? "enabled]" : "disabled]"));
+    return Status{};
+  }
+  if (args[0] == "clear") {
+    j.clear();
+    console_.println("[Journal cleared]");
+    return Status{};
+  }
+  return Status::error("usage: journal [last N | dump <file> | capacity N | on | off | clear]");
+}
+
+Status Interpreter::cmd_whence(const std::vector<std::string>& args) {
+  if (args.empty()) return Status::error("usage: whence <actor::port> <slot> [depth]");
+  std::size_t slot = args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 0) : 0;
+  std::size_t depth = args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 0) : 8;
+  if (depth == 0) return Status::error("depth must be >= 1");
+  console_.print(session_.whence(args[0], slot, depth));
   return Status{};
 }
 
@@ -671,6 +765,9 @@ std::string Interpreter::help_text() {
       "  stats [reset|json]                debugger self-metrics (obs registry)\n"
       "  trace on [capacity] | off | stats offline event collection window\n"
       "  profile export <file.json>        trace window as Chrome/Perfetto JSON\n"
+      "  journal [last N|dump <f>|capacity N|on|off|clear]  flight recorder\n"
+      "  whence <a::p> <slot> [depth]      causal chain of a queued token\n"
+      "  info flow                         live occupancy + journal window per link\n"
       "  delete <bp> / help\n";
 }
 
@@ -788,7 +885,8 @@ std::vector<std::string> Interpreter::complete(const std::string& partial) const
   static const std::vector<std::string> kCommands = {
       "run",    "continue", "filter", "iface",  "step_both", "break",   "watch",
       "list",   "print",    "graph",  "info",   "module",    "tok",     "delete",
-      "enable", "disable",  "focus",  "unfocus", "stats",    "trace",   "profile"};
+      "enable", "disable",  "focus",  "unfocus", "stats",    "trace",   "profile",
+      "journal", "whence"};
   static const std::vector<std::string> kFilterVerbs = {"catch", "configure", "info", "print"};
   static const std::vector<std::string> kIfaceVerbs = {"record", "print", "catch"};
 
@@ -820,7 +918,9 @@ std::vector<std::string> Interpreter::complete(const std::string& partial) const
     for (const dbg::DConnection& c : session_.graph().connections()) pool.push_back(c.iface());
   } else if (words[0] == "iface" && done == 2) {
     pool = kIfaceVerbs;
-  } else if ((words[0] == "step_both" || words[0] == "tok" || words[0] == "focus") && done >= 1) {
+  } else if ((words[0] == "step_both" || words[0] == "tok" || words[0] == "focus" ||
+              words[0] == "whence") &&
+             done >= 1) {
     for (const dbg::DConnection& c : session_.graph().connections()) pool.push_back(c.iface());
   } else {
     pool = session_.graph().completion_names();

@@ -102,6 +102,8 @@ class Interpreter {
   Status cmd_stats(const std::vector<std::string>& args);
   Status cmd_trace(const std::vector<std::string>& args);
   Status cmd_profile(const std::vector<std::string>& args);
+  Status cmd_journal(const std::vector<std::string>& args);
+  Status cmd_whence(const std::vector<std::string>& args);
   static std::string help_text();
 
   void report_outcome(const dbg::RunOutcome& outcome);

@@ -55,6 +55,7 @@ const char* to_string(SchedState s);
 struct DToken {
   TokenId id;
   pedf::Value value;            ///< payload snapshot at send time
+  std::uint64_t uid = 0;        ///< framework provenance id (journal token id)
   std::uint32_t link = UINT32_MAX;
   std::uint64_t push_index = 0;
   sim::SimTime pushed_at = 0;
@@ -136,7 +137,8 @@ class GraphModel {
   /// A push completed: creates the token, applies provenance chaining.
   /// Returns the new token's id.
   TokenId on_push(std::uint32_t link, std::uint64_t index, const pedf::Value& value,
-                  const std::string& actor_path, sim::SimTime now, bool injected = false);
+                  const std::string& actor_path, sim::SimTime now, bool injected = false,
+                  std::uint64_t uid = 0);
   /// A pop completed: marks the head token consumed. Returns its id (invalid
   /// if the model had no token to match, e.g. data hooks were disabled).
   TokenId on_pop(std::uint32_t link, const std::string& actor_path, sim::SimTime now);

@@ -28,6 +28,7 @@ class TokenRecorder {
     std::uint64_t index;  ///< link push index
     pedf::Value value;
     sim::SimTime time;
+    std::uint64_t token = 0;  ///< provenance id (journal token id, 0 = unknown)
   };
 
   /// Enables recording on `iface` ("actor::port"). `bound` applies to
@@ -39,7 +40,7 @@ class TokenRecorder {
 
   /// Feed: called by the session's data-exchange hooks.
   void on_token(const std::string& iface, std::uint64_t index, const pedf::Value& value,
-                sim::SimTime time);
+                sim::SimTime time, std::uint64_t token = 0);
 
   /// Records of `iface` (nullptr if not recording).
   [[nodiscard]] const std::deque<Record>* records(const std::string& iface) const;

@@ -174,6 +174,12 @@ class Session {
   [[nodiscard]] std::string info_last_token(const std::string& filter,
                                             std::size_t depth = 8) const;
 
+  /// `whence <iface> <slot>`: causal chain of a token still queued on the
+  /// link of `iface` (slot 0 = oldest), newest first, back to its source
+  /// filter — each hop stamped with its provenance id and push time.
+  [[nodiscard]] std::string whence(const std::string& iface, std::size_t slot,
+                                   std::size_t depth = 8) const;
+
   /// Per-filter state: scheduling state, current source line, blocked-on.
   [[nodiscard]] std::string info_filter(const std::string& filter) const;
   /// Occupancy of every link.

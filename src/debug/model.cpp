@@ -125,13 +125,15 @@ void GraphModel::on_graph_ready() { ready_ = true; }
 // ---------------------------------------------------------------------------
 
 TokenId GraphModel::on_push(std::uint32_t link, std::uint64_t index, const pedf::Value& value,
-                            const std::string& actor_path, sim::SimTime now, bool injected) {
+                            const std::string& actor_path, sim::SimTime now, bool injected,
+                            std::uint64_t uid) {
   if (link >= links_.size()) return TokenId{};
   DLink& l = links_[link];
   TokenId id(static_cast<std::uint32_t>(next_token_++));
   DToken t;
   t.id = id;
   t.value = value;
+  t.uid = uid;
   t.link = link;
   t.push_index = index;
   t.pushed_at = now;

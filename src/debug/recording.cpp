@@ -28,11 +28,11 @@ bool TokenRecorder::enabled(const std::string& iface) const {
 }
 
 void TokenRecorder::on_token(const std::string& iface, std::uint64_t index,
-                             const pedf::Value& value, sim::SimTime time) {
+                             const pedf::Value& value, sim::SimTime time, std::uint64_t token) {
   auto it = streams_.find(iface);
   if (it == streams_.end() || it->second.policy == RecordPolicy::kOff) return;
   Stream& s = it->second;
-  s.records.push_back(Record{index, value, time});
+  s.records.push_back(Record{index, value, time, token});
   total_++;
   if (s.policy == RecordPolicy::kBounded && s.records.size() > s.bound) {
     s.records.pop_front();

@@ -4,6 +4,7 @@
 
 #include "dfdbg/common/assert.hpp"
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/journal.hpp"
 #include "dfdbg/obs/metrics.hpp"
 #include "dfdbg/pedf/symbols.hpp"
 
@@ -255,9 +256,11 @@ void Session::install_core_hooks() {
 
   // Debugger-initiated alterations are observable events too.
   add(syms.debug_inject, [this](Frame& f) {
+    auto link = static_cast<std::uint32_t>(f.arg("link")->u64);
     auto* v = static_cast<const pedf::Value*>(f.arg("value")->ptr);
-    model_.on_push(static_cast<std::uint32_t>(f.arg("link")->u64), f.arg("index")->u64, *v, "",
-                   app_.kernel().now(), /*injected=*/true);
+    pedf::Link* fl = app_.link_by_id(pedf::LinkId(link));
+    model_.on_push(link, f.arg("index")->u64, *v, "", app_.kernel().now(), /*injected=*/true,
+                   fl != nullptr ? fl->last_pushed_uid() : 0);
   });
   add(syms.debug_remove, [this](Frame& f) {
     model_.on_remove(static_cast<std::uint32_t>(f.arg("link")->u64),
@@ -320,10 +323,15 @@ void Session::handle_push(const Frame& frame) {
   std::string actor_path = frame.arg("actor")->str;
   sim::SimTime now = app_.kernel().now();
 
-  TokenId tok = model_.on_push(link, index, *value, actor_path, now);
+  // The exit hook runs synchronously in the pushing process, before any
+  // context switch: the link's last-pushed provenance id still belongs to
+  // this very event.
+  pedf::Link* fl = app_.link_by_id(pedf::LinkId(link));
+  std::uint64_t uid = fl != nullptr ? fl->last_pushed_uid() : 0;
+  TokenId tok = model_.on_push(link, index, *value, actor_path, now, /*injected=*/false, uid);
   const DLink* dl = model_.link(link);
   if (dl == nullptr) return;
-  recorder_.on_token(dl->src_iface(), index, *value, now);
+  recorder_.on_token(dl->src_iface(), index, *value, now, uid);
 
   scan_rules([&](Rule& r) {
     switch (r.type) {
@@ -407,8 +415,11 @@ void Session::handle_pop_exit(const Frame& frame) {
   TokenId tok = model_.on_pop(link, actor_path, now);
   const DLink* dl = model_.link(link);
   if (dl == nullptr) return;
-  if (value != nullptr)
-    recorder_.on_token(dl->dst_iface(), frame.arg("index")->u64, *value, now);
+  if (value != nullptr) {
+    pedf::Link* fl = app_.link_by_id(pedf::LinkId(link));
+    recorder_.on_token(dl->dst_iface(), frame.arg("index")->u64, *value, now,
+                       fl != nullptr ? fl->last_popped_uid() : 0);
+  }
 
   scan_rules([&](Rule& r) {
     switch (r.type) {
@@ -536,6 +547,17 @@ void Session::trigger_stop(StopEvent ev, Rule* rule) {
   }
   ev.time = app_.kernel().now();
   current_actor_ = ev.actor;
+  if (obs::enabled()) {
+    obs::Journal& j = obs::Journal::global();
+    if (j.recording()) {
+      obs::JournalEvent jev;
+      jev.time = ev.time;
+      jev.kind = obs::JournalKind::kCatchpoint;
+      jev.actor = j.intern_name(ev.actor);
+      jev.index = ev.breakpoint.valid() ? ev.breakpoint.value() : 0;
+      j.record(jev);
+    }
+  }
   pending_.push_back(std::move(ev));
   if (app_.kernel().current() != nullptr) app_.kernel().debug_break();
 }
@@ -989,6 +1011,37 @@ std::string Session::info_last_token(const std::string& filter, std::size_t dept
   for (const DToken* t : path) {
     out += strformat("#%d %s", n++, model_.describe_token(t->id).c_str());
     if (t->injected) out += "  (injected by debugger)";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Session::whence(const std::string& iface, std::size_t slot, std::size_t depth) const {
+  const DLink* dl = model_.link_by_iface(iface);
+  if (dl == nullptr) return "<no link on interface: " + iface + ">";
+  if (slot >= dl->queue.size())
+    return strformat("<link `%s' holds %zu token(s), no slot %zu>", dl->name.c_str(),
+                     dl->queue.size(), slot);
+  TokenId start = dl->queue[slot];
+  auto path = model_.token_path(start, depth);
+  if (path.empty()) return "<token in slot " + std::to_string(slot) + " was pruned>";
+  std::string out = strformat("causal chain of slot %zu of `%s' (newest first):\n", slot,
+                              dl->name.c_str());
+  int n = 1;
+  for (const DToken* t : path) {
+    out += strformat("#%d tok#%llu %s", n++, static_cast<unsigned long long>(t->uid),
+                     model_.describe_token(t->id).c_str());
+    if (t->injected) out += "  (injected by debugger)";
+    out += strformat("  [pushed@t=%llu]", static_cast<unsigned long long>(t->pushed_at));
+    out += "\n";
+  }
+  if (path.size() == depth && path.back()->produced_from.valid())
+    out += strformat("... (chain truncated at %zu hops)\n", depth);
+  const DToken* root = path.back();
+  if (!root->produced_from.valid()) {
+    const DLink* rl = model_.link(root->link);
+    out += "source: " + (rl != nullptr ? rl->src_actor : std::string("?"));
+    if (root->injected) out += " (debugger injection)";
     out += "\n";
   }
   return out;

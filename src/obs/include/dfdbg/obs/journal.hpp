@@ -1,0 +1,162 @@
+// Token provenance flight recorder: an always-on causal event journal.
+//
+// A fixed-capacity ring of typed events — token push/pop, actor fire
+// begin/end, scheduler dispatch, catchpoint hit, debugger alterations —
+// each stamped with simulated time, link, actor/process and a monotonically
+// assigned *token id* threaded through `pedf::Link::push_raw/pop_raw`. The
+// journal closes the gap between the aggregate metrics registry (how many
+// tokens?) and the offline TraceCollector window (what happened when?): it
+// records *which token* moved where, so the debugger can answer causal
+// questions (`whence`, flow-event arrows in the Chrome-trace export)
+// without retaining unbounded history.
+//
+// Cost model, same contract as the metrics registry:
+//   - `obs::enabled()` off (the default): `record()` is one predictable
+//     branch; call sites additionally gate their event construction, so the
+//     framework pays nothing.
+//   - memory is bounded always: the ring overwrites its oldest event and
+//     counts the drops (`journal.dropped` in the metrics registry), the
+//     paper's recording caveat ("may require a significant quantity of
+//     memory") answered the same way as `iface ... record bounded`.
+//   - token ids are allocated even while disabled — a single counter
+//     increment — so provenance stays stable across observers attaching
+//     mid-run, and a `reset()` restarts the sequence for replay-identical
+//     executions.
+//
+// Actor/process names are interned into the journal (stable u32 ids), so an
+// event is a fixed-size POD and recording never allocates after the first
+// sighting of a name. The cooperative kernel runs one process at a time, so
+// plain fields suffice ("lock-free-friendly": a single writer, readers only
+// between runs).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "dfdbg/common/ring_buffer.hpp"
+#include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/metrics.hpp"
+
+namespace dfdbg::obs {
+
+/// Event type of one journal record.
+enum class JournalKind : std::uint8_t {
+  kTokenPush,    ///< a producer pushed a token on a link
+  kTokenPop,     ///< a consumer popped a token from a link
+  kFireBegin,    ///< an actor entered its WORK method
+  kFireEnd,      ///< an actor left its WORK method
+  kDispatch,     ///< the scheduler resumed a process
+  kCatchpoint,   ///< a debugger stop event triggered
+  kTokenInject,  ///< debugger alteration: token inserted
+  kTokenRemove,  ///< debugger alteration: queued token deleted
+  kTokenReplace, ///< debugger alteration: queued token overwritten
+};
+
+const char* to_string(JournalKind k);
+
+/// One fixed-size journal record. Field use by kind:
+///   kTokenPush/kTokenInject: link, actor (producer), token, index (push
+///     index), firing (producer firing sequence number)
+///   kTokenPop: link, actor (consumer), token, index (pop index), firing
+///   kFireBegin/kFireEnd: actor, firing, index (controller step)
+///   kDispatch: actor (process name), index (activation count)
+///   kCatchpoint: actor (stop's actor), index (breakpoint id)
+///   kTokenRemove/kTokenReplace: link, token, index (queue slot)
+struct JournalEvent {
+  std::uint64_t time = 0;             ///< simulated cycles
+  std::uint64_t token = 0;            ///< token id (0 = none)
+  std::uint64_t index = 0;            ///< kind-specific ordinal
+  std::uint64_t firing = 0;           ///< actor firing sequence (0 = n/a)
+  std::uint32_t link = UINT32_MAX;    ///< link id (UINT32_MAX = none)
+  std::uint32_t actor = UINT32_MAX;   ///< interned name id (UINT32_MAX = none)
+  JournalKind kind = JournalKind::kTokenPush;
+};
+
+/// The process-wide flight recorder.
+class Journal {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 17;
+
+  /// The journal every built-in instrumentation point records into.
+  static Journal& global();
+
+  explicit Journal(std::size_t capacity = kDefaultCapacity) : ring_(capacity) {}
+
+  /// Recording gate below the process-wide `obs::enabled()` flag: lets an
+  /// observer keep metrics on while silencing the journal (the overhead
+  /// benchmark measures exactly this split). Default on.
+  [[nodiscard]] bool recording() const { return recording_; }
+  void set_recording(bool on) { recording_ = on; }
+
+  /// Replaces the ring with an empty one of `cap` events (>= 1). Retained
+  /// events and the drop count are discarded; interned names and the token
+  /// id sequence survive.
+  void set_capacity(std::size_t cap);
+
+  /// Drops retained events and the drop count; names and token ids survive.
+  void clear();
+
+  /// clear() plus a restart of the token id sequence — two runs separated
+  /// by reset() assign identical token ids (deterministic kernel), which is
+  /// what makes `whence` output replay-comparable.
+  void reset();
+
+  /// Allocates the next token id (1-based; 0 means "no token"). NOT gated
+  /// on obs::enabled(): ids must stay monotonic across observer attach/
+  /// detach so every token carries provenance from birth.
+  std::uint64_t alloc_token() { return ++last_token_; }
+  [[nodiscard]] std::uint64_t last_token() const { return last_token_; }
+
+  /// Appends one event; overwrites the oldest when full. No-op unless
+  /// `obs::enabled()` and `recording()`. Also feeds the
+  /// `journal.recorded` / `journal.dropped` registry counters.
+  void record(const JournalEvent& ev);
+
+  // --- window access (oldest first) ----------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
+  [[nodiscard]] const JournalEvent& at(std::size_t i) const { return ring_.at(i); }
+  /// Events ever recorded into the current window (including evicted).
+  [[nodiscard]] std::uint64_t total_recorded() const { return ring_.total_pushed(); }
+  /// Events evicted from the current window.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  // --- name interning --------------------------------------------------------
+
+  /// Interns `name`, returning its stable id. Re-interning a known name
+  /// never allocates (heterogeneous lookup).
+  std::uint32_t intern_name(std::string_view name);
+  /// Name for an interned id ("?" for UINT32_MAX / unknown ids).
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+
+  // --- reporting -------------------------------------------------------------
+
+  /// Resolves a link id to a display name (the journal itself only knows
+  /// numeric link ids; the CLI supplies the application's names).
+  using LinkNamer = std::function<std::string(std::uint32_t)>;
+
+  /// Human-readable status: capacity, recorded/retained/dropped, per-kind
+  /// tallies, token ids allocated.
+  [[nodiscard]] std::string summary() const;
+
+  /// The newest `n` retained events, oldest first, one line each.
+  [[nodiscard]] std::string format_last(std::size_t n,
+                                        const LinkNamer& link_name = nullptr) const;
+
+ private:
+  RingBuffer<JournalEvent> ring_;
+  bool recording_ = true;
+  std::uint64_t last_token_ = 0;
+  std::uint64_t dropped_ = 0;
+  // std::deque: name() returns stable references across growth.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t, TransparentStringHash, std::equal_to<>>
+      name_index_;
+};
+
+}  // namespace dfdbg::obs

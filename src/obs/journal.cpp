@@ -1,0 +1,155 @@
+#include "dfdbg/obs/journal.hpp"
+
+namespace dfdbg::obs {
+
+namespace {
+/// Journal instruments, interned once (stable addresses by construction).
+struct JournalMetrics {
+  Counter& recorded;
+  Counter& dropped;
+  static JournalMetrics& get() {
+    auto& r = Registry::global();
+    static JournalMetrics m{r.counter("journal.recorded"), r.counter("journal.dropped")};
+    return m;
+  }
+};
+
+const std::string kUnknownName = "?";
+}  // namespace
+
+const char* to_string(JournalKind k) {
+  switch (k) {
+    case JournalKind::kTokenPush: return "push";
+    case JournalKind::kTokenPop: return "pop";
+    case JournalKind::kFireBegin: return "fire-begin";
+    case JournalKind::kFireEnd: return "fire-end";
+    case JournalKind::kDispatch: return "dispatch";
+    case JournalKind::kCatchpoint: return "catchpoint";
+    case JournalKind::kTokenInject: return "inject";
+    case JournalKind::kTokenRemove: return "remove";
+    case JournalKind::kTokenReplace: return "replace";
+  }
+  return "?";
+}
+
+Journal& Journal::global() {
+  static Journal j;
+  return j;
+}
+
+void Journal::set_capacity(std::size_t cap) {
+  ring_ = RingBuffer<JournalEvent>(cap < 1 ? 1 : cap);
+  dropped_ = 0;
+}
+
+void Journal::clear() {
+  ring_ = RingBuffer<JournalEvent>(ring_.capacity());
+  dropped_ = 0;
+}
+
+void Journal::reset() {
+  clear();
+  last_token_ = 0;
+}
+
+void Journal::record(const JournalEvent& ev) {
+  if (!enabled() || !recording_) return;
+  JournalMetrics& m = JournalMetrics::get();
+  m.recorded.add();
+  if (ring_.push(ev)) {
+    dropped_++;
+    m.dropped.add();
+  }
+}
+
+std::uint32_t Journal::intern_name(std::string_view name) {
+  auto it = name_index_.find(name);
+  if (it != name_index_.end()) return it->second;
+  auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_index_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& Journal::name(std::uint32_t id) const {
+  if (id >= names_.size()) return kUnknownName;
+  return names_[id];
+}
+
+std::string Journal::summary() const {
+  std::uint64_t by_kind[9] = {};
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    auto k = static_cast<std::size_t>(ring_.at(i).kind);
+    if (k < 9) by_kind[k]++;
+  }
+  std::string out = strformat(
+      "journal: %s, capacity %zu, retained %zu, recorded %llu, dropped %llu\n"
+      "token ids allocated: %llu\n",
+      recording_ ? (enabled() ? "recording" : "idle (obs disabled)") : "off",
+      ring_.capacity(), ring_.size(), static_cast<unsigned long long>(ring_.total_pushed()),
+      static_cast<unsigned long long>(dropped_),
+      static_cast<unsigned long long>(last_token_));
+  for (std::size_t k = 0; k < 9; ++k) {
+    if (by_kind[k] == 0) continue;
+    out += strformat("  %-10s %llu\n", to_string(static_cast<JournalKind>(k)),
+                     static_cast<unsigned long long>(by_kind[k]));
+  }
+  return out;
+}
+
+std::string Journal::format_last(std::size_t n, const LinkNamer& link_name) const {
+  auto link_label = [&](std::uint32_t id) {
+    if (id == UINT32_MAX) return std::string("-");
+    if (link_name) return link_name(id);
+    return strformat("link#%u", id);
+  };
+  std::size_t count = n < ring_.size() ? n : ring_.size();
+  std::size_t start = ring_.size() - count;
+  std::string out;
+  for (std::size_t i = start; i < ring_.size(); ++i) {
+    const JournalEvent& ev = ring_.at(i);
+    out += strformat("t=%-8llu %-10s", static_cast<unsigned long long>(ev.time),
+                     to_string(ev.kind));
+    switch (ev.kind) {
+      case JournalKind::kTokenPush:
+      case JournalKind::kTokenInject:
+        out += strformat(" tok#%llu %s -> [%s] idx=%llu firing=%llu",
+                         static_cast<unsigned long long>(ev.token), name(ev.actor).c_str(),
+                         link_label(ev.link).c_str(),
+                         static_cast<unsigned long long>(ev.index),
+                         static_cast<unsigned long long>(ev.firing));
+        break;
+      case JournalKind::kTokenPop:
+        out += strformat(" tok#%llu [%s] -> %s idx=%llu firing=%llu",
+                         static_cast<unsigned long long>(ev.token),
+                         link_label(ev.link).c_str(), name(ev.actor).c_str(),
+                         static_cast<unsigned long long>(ev.index),
+                         static_cast<unsigned long long>(ev.firing));
+        break;
+      case JournalKind::kFireBegin:
+      case JournalKind::kFireEnd:
+        out += strformat(" %s firing=%llu", name(ev.actor).c_str(),
+                         static_cast<unsigned long long>(ev.firing));
+        break;
+      case JournalKind::kDispatch:
+        out += strformat(" %s activation=%llu", name(ev.actor).c_str(),
+                         static_cast<unsigned long long>(ev.index));
+        break;
+      case JournalKind::kCatchpoint:
+        out += strformat(" bp=%llu actor=%s", static_cast<unsigned long long>(ev.index),
+                         name(ev.actor).c_str());
+        break;
+      case JournalKind::kTokenRemove:
+      case JournalKind::kTokenReplace:
+        out += strformat(" tok#%llu [%s] slot=%llu",
+                         static_cast<unsigned long long>(ev.token),
+                         link_label(ev.link).c_str(),
+                         static_cast<unsigned long long>(ev.index));
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dfdbg::obs

@@ -6,11 +6,22 @@
 
 #include "dfdbg/common/assert.hpp"
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/journal.hpp"
 #include "dfdbg/pedf/symbols.hpp"
 
 namespace dfdbg::pedf {
 
 using sim::ArgValue;
+
+namespace {
+/// Firing sequence number of an actor, for journal provenance stamps
+/// (controllers and modules do not fire; they journal as firing 0).
+std::uint64_t firing_of(const Actor& actor) {
+  if (actor.kind() == ActorKind::kFilter || actor.kind() == ActorKind::kHostIo)
+    return static_cast<const Filter&>(actor).firings();
+  return 0;
+}
+}  // namespace
 
 Application::Application(sim::Platform& platform, std::string name)
     : platform_(platform), name_(std::move(name)) {
@@ -529,6 +540,18 @@ void Application::rt_link_push(Actor& actor, Port& port, const Value& v) {
   actor.set_blocked(BlockInfo{});
   if (model_latencies_) model_transfer_cost(*link);
   std::uint64_t idx = link->push_raw(v);
+  if (obs::enabled()) {
+    obs::Journal& j = obs::Journal::global();
+    obs::JournalEvent ev;
+    ev.time = kernel().now();
+    ev.kind = obs::JournalKind::kTokenPush;
+    ev.link = link->id().value();
+    ev.actor = j.intern_name(actor.path());
+    ev.token = link->last_pushed_uid();
+    ev.index = idx;
+    ev.firing = firing_of(actor);
+    j.record(ev);
+  }
   scope.set_return(ArgValue::of_u64("index", idx));
   kernel().notify(link->data_avail());
 }
@@ -558,7 +581,20 @@ std::optional<Value> Application::rt_link_pop(Actor& actor, Port& port) {
     }
     actor.set_blocked(BlockInfo{});
     if (model_latencies_) model_transfer_cost(*link);
+    std::uint64_t idx = link->pop_index();
     result = link->pop_raw();
+    if (obs::enabled()) {
+      obs::Journal& j = obs::Journal::global();
+      obs::JournalEvent ev;
+      ev.time = kernel().now();
+      ev.kind = obs::JournalKind::kTokenPop;
+      ev.link = link->id().value();
+      ev.actor = j.intern_name(actor.path());
+      ev.token = link->last_popped_uid();
+      ev.index = idx;
+      ev.firing = firing_of(actor);
+      j.record(ev);
+    }
     scope.set_return(ArgValue::of_ptr("value", &*result));
     kernel().notify(link->space_avail());
   }
@@ -576,6 +612,16 @@ void Application::rt_work_enter(Filter& f) {
       ArgValue::of_u64("firing", f.firings()),
   };
   kernel().instrument().fire_enter(kernel(), syms_.work_enter, args);
+  if (obs::enabled()) {
+    obs::Journal& j = obs::Journal::global();
+    obs::JournalEvent ev;
+    ev.time = kernel().now();
+    ev.kind = obs::JournalKind::kFireBegin;
+    ev.actor = j.intern_name(f.path());
+    ev.index = step;
+    ev.firing = f.firings();
+    j.record(ev);
+  }
   if (m != nullptr && !f.free_running_) {
     m->started_count_++;
     kernel().notify(m->init_done_);
@@ -591,6 +637,16 @@ void Application::rt_work_exit(Filter& f) {
       ArgValue::of_u64("firing", f.firings()),
   };
   kernel().instrument().fire_enter(kernel(), syms_.work_exit, args);
+  if (obs::enabled()) {
+    obs::Journal& j = obs::Journal::global();
+    obs::JournalEvent ev;
+    ev.time = kernel().now();
+    ev.kind = obs::JournalKind::kFireEnd;
+    ev.actor = j.intern_name(f.path());
+    ev.index = m != nullptr ? m->step() : f.firings();
+    ev.firing = f.firings();
+    j.record(ev);
+  }
   if (m != nullptr && !f.free_running_) {
     m->done_count_++;
     kernel().notify(m->sync_done_);
@@ -707,6 +763,17 @@ std::uint64_t Application::debug_inject(Link& link, Value v) {
                   "inject type mismatch on " + link.name() + ": " + v.type().name());
   DFDBG_CHECK_MSG(!link.full(), "inject on full link " + link.name());
   std::uint64_t idx = link.push_raw(std::move(v));
+  if (obs::enabled()) {
+    obs::Journal& j = obs::Journal::global();
+    obs::JournalEvent ev;
+    ev.time = kernel().now();
+    ev.kind = obs::JournalKind::kTokenInject;
+    ev.link = link.id().value();
+    ev.actor = j.intern_name("<debugger>");
+    ev.token = link.last_pushed_uid();
+    ev.index = idx;
+    j.record(ev);
+  }
   const ArgValue args[] = {
       ArgValue::of_u64("link", link.id().value()),
       ArgValue::of_u64("index", idx),
@@ -718,7 +785,19 @@ std::uint64_t Application::debug_inject(Link& link, Value v) {
 }
 
 Value Application::debug_remove(Link& link, std::size_t idx) {
+  std::uint64_t uid = link.token_uid_at(idx);
   Value v = link.erase_at(idx);
+  if (obs::enabled()) {
+    obs::Journal& j = obs::Journal::global();
+    obs::JournalEvent ev;
+    ev.time = kernel().now();
+    ev.kind = obs::JournalKind::kTokenRemove;
+    ev.link = link.id().value();
+    ev.actor = j.intern_name("<debugger>");
+    ev.token = uid;
+    ev.index = idx;
+    j.record(ev);
+  }
   const ArgValue args[] = {
       ArgValue::of_u64("link", link.id().value()),
       ArgValue::of_u64("slot", idx),
@@ -731,7 +810,20 @@ Value Application::debug_remove(Link& link, std::size_t idx) {
 
 void Application::debug_replace(Link& link, std::size_t idx, Value v) {
   DFDBG_CHECK_MSG(v.type() == link.type(), "replace type mismatch on " + link.name());
+  // poke keeps the slot's token uid: an altered token keeps its identity
+  // (and thereby its provenance chain) — only its payload changes.
   link.poke(idx, std::move(v));
+  if (obs::enabled()) {
+    obs::Journal& j = obs::Journal::global();
+    obs::JournalEvent ev;
+    ev.time = kernel().now();
+    ev.kind = obs::JournalKind::kTokenReplace;
+    ev.link = link.id().value();
+    ev.actor = j.intern_name("<debugger>");
+    ev.token = link.token_uid_at(idx);
+    ev.index = idx;
+    j.record(ev);
+  }
   const ArgValue args[] = {
       ArgValue::of_u64("link", link.id().value()),
       ArgValue::of_u64("slot", idx),

@@ -66,6 +66,20 @@ class Link {
   [[nodiscard]] LinkTransport transport() const { return transport_; }
   void set_transport(LinkTransport t) { transport_ = t; }
 
+  // Token provenance ids: every pushed token is assigned the next id from
+  // the process-wide sequence (obs::Journal::alloc_token) and carries it
+  // through the queue — including across debugger erase/replace, where the
+  // monotonic push/pop indexes alone lose the slot<->token mapping. The
+  // always-on cost is one counter increment plus one u64 deque op per
+  // token; ids are deterministic because the kernel is.
+
+  /// Provenance id assigned by the most recent push (0 before any push).
+  [[nodiscard]] std::uint64_t last_pushed_uid() const { return last_pushed_uid_; }
+  /// Provenance id of the most recently popped token (0 before any pop).
+  [[nodiscard]] std::uint64_t last_popped_uid() const { return last_popped_uid_; }
+  /// Provenance id of queued token `i` (0 = oldest).
+  [[nodiscard]] std::uint64_t token_uid_at(std::size_t i) const;
+
   /// Appends a value; returns its push index. Precondition: !full().
   std::uint64_t push_raw(Value v);
   /// Removes the oldest value; returns it. Precondition: !empty().
@@ -89,6 +103,9 @@ class Link {
   Port* src_;
   Port* dst_;
   std::deque<Value> q_;
+  std::deque<std::uint64_t> uids_;  ///< provenance ids, parallel to q_
+  std::uint64_t last_pushed_uid_ = 0;
+  std::uint64_t last_popped_uid_ = 0;
   std::uint64_t push_index_ = 0;
   std::uint64_t pop_index_ = 0;
   std::size_t high_watermark_ = 0;

@@ -1,6 +1,7 @@
 #include "dfdbg/pedf/link.hpp"
 
 #include "dfdbg/common/assert.hpp"
+#include "dfdbg/obs/journal.hpp"
 #include "dfdbg/obs/metrics.hpp"
 
 namespace dfdbg::pedf {
@@ -34,6 +35,8 @@ const char* to_string(LinkTransport t) {
 std::uint64_t Link::push_raw(Value v) {
   DFDBG_CHECK_MSG(!full(), "push on full link " + name_);
   q_.push_back(std::move(v));
+  last_pushed_uid_ = obs::Journal::global().alloc_token();
+  uids_.push_back(last_pushed_uid_);
   if (q_.size() > high_watermark_) high_watermark_ = q_.size();
   if (obs::enabled()) {
     LinkMetrics& m = LinkMetrics::get();
@@ -48,6 +51,8 @@ Value Link::pop_raw() {
   DFDBG_CHECK_MSG(!q_.empty(), "pop on empty link " + name_);
   Value v = std::move(q_.front());
   q_.pop_front();
+  last_popped_uid_ = uids_.front();
+  uids_.pop_front();
   pop_index_++;
   LinkMetrics::get().pops.add();
   return v;
@@ -67,9 +72,15 @@ Value Link::erase_at(std::size_t i) {
   DFDBG_CHECK(i < q_.size());
   Value v = std::move(q_[i]);
   q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+  uids_.erase(uids_.begin() + static_cast<std::ptrdiff_t>(i));
   // Removing a token does not rewind the monotonic indexes; it simply never
   // reaches the consumer. pop_index_ stays, push_index_ stays.
   return v;
+}
+
+std::uint64_t Link::token_uid_at(std::size_t i) const {
+  DFDBG_CHECK(i < uids_.size());
+  return uids_[i];
 }
 
 }  // namespace dfdbg::pedf

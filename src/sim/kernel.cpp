@@ -4,6 +4,7 @@
 
 #include "dfdbg/common/assert.hpp"
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/journal.hpp"
 #include "dfdbg/obs/metrics.hpp"
 
 namespace dfdbg::sim {
@@ -202,6 +203,15 @@ void Kernel::dispatch(Process* p) {
     // Depth observed when the process left the queue, i.e. the backlog it
     // waited behind.
     m.ready_depth.observe(ready_.size());
+    obs::Journal& j = obs::Journal::global();
+    if (j.recording()) {
+      obs::JournalEvent ev;
+      ev.time = now_;
+      ev.kind = obs::JournalKind::kDispatch;
+      ev.actor = j.intern_name(p->name());
+      ev.index = p->activations_;
+      j.record(ev);
+    }
   }
   current_ = p;
   if (backend_ == ProcessBackend::kFibers) {

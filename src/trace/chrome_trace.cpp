@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/journal.hpp"
 
 namespace dfdbg::trace {
 
@@ -61,15 +63,72 @@ struct EventWriter {
   }
 };
 
+/// One push/pop pair matched by provenance id across the journal window.
+struct FlowPair {
+  std::uint64_t uid = 0;
+  std::uint64_t push_ts = 0;
+  std::uint64_t pop_ts = 0;
+  std::uint32_t src_actor = UINT32_MAX;  ///< journal name ids
+  std::uint32_t dst_actor = UINT32_MAX;
+  std::uint32_t link = UINT32_MAX;
+};
+
+/// Matches every retained push (or debugger injection) to its retained pop.
+/// A bounded ring can evict the push of a retained pop — such pops emit no
+/// arrow, which is exactly what the viewer can render anyway.
+std::vector<FlowPair> collect_flow_pairs(const obs::Journal& j) {
+  std::vector<FlowPair> pairs;
+  std::unordered_map<std::uint64_t, std::size_t> pending;  // uid -> journal index
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    const obs::JournalEvent& ev = j.at(i);
+    if (ev.kind == obs::JournalKind::kTokenPush || ev.kind == obs::JournalKind::kTokenInject) {
+      if (ev.token != 0) pending[ev.token] = i;
+    } else if (ev.kind == obs::JournalKind::kTokenPop) {
+      auto it = pending.find(ev.token);
+      if (it == pending.end()) continue;
+      const obs::JournalEvent& push = j.at(it->second);
+      pairs.push_back(FlowPair{ev.token, push.time, ev.time, push.actor, ev.actor, ev.link});
+      pending.erase(it);
+    }
+  }
+  return pairs;
+}
+
+/// Emits one "s"/"f" arrow per pair; binding is (cat, name, id), so the
+/// provenance id alone ties the two halves together.
+void emit_flow_pairs(const std::vector<FlowPair>& pairs, const obs::Journal& j, TidTable& tids,
+                     EventWriter& w) {
+  for (const FlowPair& p : pairs) {
+    int src_tid = tids.tid_of(j.name(p.src_actor));
+    int dst_tid = tids.tid_of(j.name(p.dst_actor));
+    w.emit(strformat("{\"name\":\"token\",\"cat\":\"dataflow\",\"ph\":\"s\",\"id\":%llu,"
+                     "\"ts\":%llu,\"pid\":1,\"tid\":%d}",
+                     static_cast<unsigned long long>(p.uid),
+                     static_cast<unsigned long long>(p.push_ts), src_tid));
+    w.emit(strformat("{\"name\":\"token\",\"cat\":\"dataflow\",\"ph\":\"f\",\"bp\":\"e\","
+                     "\"id\":%llu,\"ts\":%llu,\"pid\":1,\"tid\":%d}",
+                     static_cast<unsigned long long>(p.uid),
+                     static_cast<unsigned long long>(p.pop_ts), dst_tid));
+  }
+}
+
 }  // namespace
 
 std::string export_chrome_trace(const TraceCollector& trace, pedf::Application& app,
                                 const ChromeTraceOptions& options) {
   const auto& events = trace.events();
+  const obs::Journal* journal = options.flow_events ? options.journal : nullptr;
+  std::vector<FlowPair> pairs;
+  if (journal != nullptr) pairs = collect_flow_pairs(*journal);
+
   TidTable tids;
   // Pass 1: discover every track so thread metadata leads the event stream
   // (Perfetto applies thread names only to already-declared tracks).
   for (std::size_t i = 0; i < events.size(); ++i) tids.tid_of(events.at(i).actor);
+  for (const FlowPair& p : pairs) {
+    tids.tid_of(journal->name(p.src_actor));
+    tids.tid_of(journal->name(p.dst_actor));
+  }
 
   std::string out = "{\n\"traceEvents\": [\n";
   EventWriter w{out};
@@ -165,12 +224,138 @@ std::string export_chrome_trace(const TraceCollector& trace, pedf::Application& 
     }
   }
 
+  if (journal != nullptr) emit_flow_pairs(pairs, *journal, tids, w);
+
   out += strformat(
       "\n],\n\"metadata\": {\"app\":\"%s\",\"clock\":\"simulated-cycles\","
-      "\"retained_events\":%llu,\"dropped_events\":%llu}\n}\n",
+      "\"retained_events\":%llu,\"dropped_events\":%llu,\"flow_pairs\":%llu}\n}\n",
       json_escape(app.name()).c_str(), static_cast<unsigned long long>(events.size()),
-      static_cast<unsigned long long>(trace.dropped()));
+      static_cast<unsigned long long>(trace.dropped()),
+      static_cast<unsigned long long>(pairs.size()));
   return out;
+}
+
+std::string export_journal_chrome_trace(const obs::Journal& journal, pedf::Application& app,
+                                        const ChromeTraceOptions& options) {
+  std::vector<FlowPair> pairs;
+  if (options.flow_events) pairs = collect_flow_pairs(journal);
+
+  TidTable tids;
+  // Pass 1: tracks in first-seen order, flow endpoints included.
+  for (std::size_t i = 0; i < journal.size(); ++i) {
+    const obs::JournalEvent& ev = journal.at(i);
+    if (ev.actor != UINT32_MAX) tids.tid_of(journal.name(ev.actor));
+  }
+  for (const FlowPair& p : pairs) {
+    tids.tid_of(journal.name(p.src_actor));
+    tids.tid_of(journal.name(p.dst_actor));
+  }
+
+  std::string out = "{\n\"traceEvents\": [\n";
+  EventWriter w{out};
+
+  w.emit(strformat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                   "\"args\":{\"name\":\"%s\"}}",
+                   json_escape(options.process_name).c_str()));
+  for (const std::string& track : tids.tracks()) {
+    w.emit(strformat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                     "\"args\":{\"name\":\"%s\"}}",
+                     tids.lookup(track), json_escape(track).c_str()));
+  }
+
+  auto link_label = [&app](std::uint32_t link_id) {
+    pedf::Link* l = app.link_by_id(pedf::LinkId(link_id));
+    return l != nullptr ? l->name() : strformat("link#%u", link_id);
+  };
+
+  std::map<int, std::vector<std::pair<const char*, std::uint64_t>>> open_slices;
+  std::map<std::uint32_t, std::int64_t> occupancy;
+  std::uint64_t last_ts = 0;
+
+  for (std::size_t i = 0; i < journal.size(); ++i) {
+    const obs::JournalEvent& ev = journal.at(i);
+    int tid = ev.actor != UINT32_MAX ? tids.lookup(journal.name(ev.actor)) : 0;
+    if (ev.time > last_ts) last_ts = ev.time;
+    auto ts = static_cast<unsigned long long>(ev.time);
+    switch (ev.kind) {
+      case obs::JournalKind::kFireBegin:
+        w.emit(strformat("{\"name\":\"WORK\",\"cat\":\"work\",\"ph\":\"B\",\"ts\":%llu,"
+                         "\"pid\":1,\"tid\":%d,\"args\":{\"firing\":%llu}}",
+                         ts, tid, static_cast<unsigned long long>(ev.firing)));
+        open_slices[tid].emplace_back("WORK", ev.time);
+        break;
+      case obs::JournalKind::kFireEnd:
+        if (open_slices[tid].empty()) break;  // begin fell out of the ring
+        open_slices[tid].pop_back();
+        w.emit(strformat(
+            "{\"name\":\"WORK\",\"cat\":\"work\",\"ph\":\"E\",\"ts\":%llu,\"pid\":1,"
+            "\"tid\":%d}",
+            ts, tid));
+        break;
+      case obs::JournalKind::kTokenPush:
+      case obs::JournalKind::kTokenInject:
+      case obs::JournalKind::kTokenPop: {
+        if (!options.link_counters || ev.link == UINT32_MAX) break;
+        std::int64_t& occ = occupancy[ev.link];
+        occ += ev.kind == obs::JournalKind::kTokenPop ? -1 : 1;
+        std::int64_t shown = occ < 0 ? 0 : occ;  // ring may open mid-stream
+        w.emit(strformat("{\"name\":\"occ:%s\",\"cat\":\"link\",\"ph\":\"C\",\"ts\":%llu,"
+                         "\"pid\":1,\"args\":{\"tokens\":%lld}}",
+                         json_escape(link_label(ev.link)).c_str(), ts,
+                         static_cast<long long>(shown)));
+        break;
+      }
+      case obs::JournalKind::kDispatch:
+        if (!options.dispatch_instants) break;
+        w.emit(strformat("{\"name\":\"DISPATCH\",\"cat\":\"sched\",\"ph\":\"i\",\"ts\":%llu,"
+                         "\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{\"activation\":%llu}}",
+                         ts, tid, static_cast<unsigned long long>(ev.index)));
+        break;
+      case obs::JournalKind::kCatchpoint:
+        w.emit(strformat("{\"name\":\"CATCHPOINT\",\"cat\":\"debug\",\"ph\":\"i\",\"ts\":%llu,"
+                         "\"pid\":1,\"tid\":%d,\"s\":\"p\",\"args\":{\"bp\":%llu}}",
+                         ts, tid, static_cast<unsigned long long>(ev.index)));
+        break;
+      case obs::JournalKind::kTokenRemove:
+      case obs::JournalKind::kTokenReplace:
+        w.emit(strformat("{\"name\":\"%s\",\"cat\":\"alter\",\"ph\":\"i\",\"ts\":%llu,"
+                         "\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{\"token\":%llu}}",
+                         ev.kind == obs::JournalKind::kTokenRemove ? "REMOVE" : "REPLACE", ts,
+                         tid, static_cast<unsigned long long>(ev.token)));
+        break;
+    }
+  }
+
+  for (auto& [tid, stack] : open_slices) {
+    while (!stack.empty()) {
+      const auto& [name, began] = stack.back();
+      w.emit(strformat("{\"name\":\"%s\",\"cat\":\"truncated\",\"ph\":\"E\",\"ts\":%llu,"
+                       "\"pid\":1,\"tid\":%d}",
+                       name, static_cast<unsigned long long>(last_ts < began ? began : last_ts),
+                       tid));
+      stack.pop_back();
+    }
+  }
+
+  emit_flow_pairs(pairs, journal, tids, w);
+
+  out += strformat(
+      "\n],\n\"metadata\": {\"app\":\"%s\",\"clock\":\"simulated-cycles\","
+      "\"retained_events\":%llu,\"dropped_events\":%llu,\"flow_pairs\":%llu}\n}\n",
+      json_escape(app.name()).c_str(), static_cast<unsigned long long>(journal.size()),
+      static_cast<unsigned long long>(journal.dropped()),
+      static_cast<unsigned long long>(pairs.size()));
+  return out;
+}
+
+Status write_journal_chrome_trace(const std::string& path, const obs::Journal& journal,
+                                  pedf::Application& app, const ChromeTraceOptions& options) {
+  std::string json = export_journal_chrome_trace(journal, app, options);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::error("cannot write trace: " + path);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return Status{};
 }
 
 Status write_chrome_trace(const std::string& path, const TraceCollector& trace,

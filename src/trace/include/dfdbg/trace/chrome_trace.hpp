@@ -10,6 +10,9 @@
 //   step begin/end   -> "B"/"E" slices on the owning module's track
 //   ACTOR_START      -> "i" instant events on the scheduled filter's track
 //   push/pop         -> "C" counter series per link (occupancy over time)
+//   journal pairs    -> "s"/"f" flow arrows from a token's push (producer
+//                       track) to its pop (consumer track), bound by the
+//                       token's provenance id
 //
 // Timestamps are simulated cycles emitted in the format's microsecond field:
 // 1 cycle renders as 1 us. Durations therefore read directly in cycles.
@@ -25,17 +28,27 @@
 #include "dfdbg/common/status.hpp"
 #include "dfdbg/trace/trace.hpp"
 
+namespace dfdbg::obs {
+class Journal;
+}
+
 namespace dfdbg::trace {
 
 /// Export options.
 struct ChromeTraceOptions {
   bool link_counters = true;    ///< emit per-link occupancy "C" series
   bool schedule_instants = true;  ///< emit ACTOR_START instant events
+  bool flow_events = true;      ///< emit "s"/"f" token flow arrows (needs journal)
+  bool dispatch_instants = false;  ///< emit scheduler-dispatch instants (journal export)
   std::string process_name = "dataflow-dbg";
+  /// Flight recorder supplying push/pop provenance pairs for flow arrows
+  /// (and the event stream of export_journal_chrome_trace). Not owned.
+  const obs::Journal* journal = nullptr;
 };
 
 /// Renders the retained trace window as one Trace Event Format JSON object:
-/// {"traceEvents":[...],"metadata":{...}}.
+/// {"traceEvents":[...],"metadata":{...}}. If `options.journal` is set,
+/// matched push/pop pairs become flow arrows overlaid on the actor tracks.
 [[nodiscard]] std::string export_chrome_trace(const TraceCollector& trace,
                                               pedf::Application& app,
                                               const ChromeTraceOptions& options = {});
@@ -43,5 +56,17 @@ struct ChromeTraceOptions {
 /// export_chrome_trace + write to `path`.
 Status write_chrome_trace(const std::string& path, const TraceCollector& trace,
                           pedf::Application& app, const ChromeTraceOptions& options = {});
+
+/// Renders the flight recorder alone (no TraceCollector needed): fire
+/// begin/end become WORK slices, push/pop become occupancy counters plus
+/// flow arrows, catchpoints and debugger alterations become instants.
+[[nodiscard]] std::string export_journal_chrome_trace(const obs::Journal& journal,
+                                                      pedf::Application& app,
+                                                      const ChromeTraceOptions& options = {});
+
+/// export_journal_chrome_trace + write to `path`.
+Status write_journal_chrome_trace(const std::string& path, const obs::Journal& journal,
+                                  pedf::Application& app,
+                                  const ChromeTraceOptions& options = {});
 
 }  // namespace dfdbg::trace
