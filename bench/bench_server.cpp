@@ -1,0 +1,171 @@
+// SERVER — cost of the multi-client debug protocol: JSON-RPC round trips
+// against a live paused H.264 session, over a real localhost TCP socket and
+// in-process (socket excluded), for the two hot query verbs `info_links`
+// and `whence`. Requests/sec comes from the benchmark loop; p50/p99 request
+// service latency comes from the server's own `server.request_ns` histogram
+// (the observability layer measuring the server that hosts it).
+#include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <future>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "dfdbg/server/server.hpp"
+
+using namespace dfdbg;
+
+namespace {
+
+/// Rig + server on a dedicated thread (fibers stay on one thread); the
+/// session is paused at the first `pipe` WORK catchpoint so links hold
+/// tokens and `whence` has a causal chain to walk.
+struct ServerFixture {
+  std::thread thread;
+  server::DebugServer* server = nullptr;
+  int port = 0;
+
+  ServerFixture() {
+    std::promise<int> ready;
+    thread = std::thread([this, &ready] {
+      auto built = h264::H264App::build(benchutil::decoder_config(2, 2, 1));
+      DFDBG_CHECK(built.ok());
+      auto& app = **built;
+      dbg::Session session(app.app());
+      session.attach();
+      app.start();
+      DFDBG_CHECK(session.catch_work("pipe").ok());
+      DFDBG_CHECK(session.run().result == sim::RunResult::kStopped);
+      server::DebugServer srv(session);
+      auto p = srv.listen_tcp();
+      DFDBG_CHECK(p.ok());
+      server = &srv;
+      ready.set_value(*p);
+      DFDBG_CHECK(srv.serve().ok());
+    });
+    port = ready.get_future().get();
+  }
+
+  ~ServerFixture() {
+    server->request_shutdown();
+    thread.join();
+  }
+};
+
+int connect_tcp(int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  DFDBG_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  DFDBG_CHECK(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// One blocking request/response round trip.
+std::string round_trip(int fd, const std::string& frame, std::string& spill) {
+  std::string wire = frame + "\n";
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t n = send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    DFDBG_CHECK(n > 0);
+    off += static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    std::size_t nl = spill.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = spill.substr(0, nl);
+      spill.erase(0, nl + 1);
+      return line;
+    }
+    char buf[65536];
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    DFDBG_CHECK(n > 0);
+    spill.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void report_latency(benchmark::State& state, std::size_t response_bytes) {
+  const obs::Histogram& h = obs::Registry::global().histogram("server.request_ns");
+  state.counters["p50_ns"] = static_cast<double>(h.percentile(0.50));
+  state.counters["p99_ns"] = static_cast<double>(h.percentile(0.99));
+  state.counters["response_bytes"] = static_cast<double>(response_bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bench_socket_verb(benchmark::State& state, const std::string& frame) {
+  ServerFixture fx;
+  int fd = connect_tcp(fx.port);
+  std::string spill;
+  // Warm-up (and sanity): the verb must answer with a result frame.
+  std::string first = round_trip(fd, frame, spill);
+  DFDBG_CHECK(first.find("\"result\":") != std::string::npos);
+  obs::Registry::global().histogram("server.request_ns").reset();
+  for (auto _ : state) {
+    std::string resp = round_trip(fd, frame, spill);
+    benchmark::DoNotOptimize(resp.data());
+  }
+  report_latency(state, first.size());
+  close(fd);
+}
+
+void BM_ServerInfoLinks(benchmark::State& state) {
+  bench_socket_verb(state, R"({"jsonrpc":"2.0","id":1,"method":"info_links"})");
+}
+BENCHMARK(BM_ServerInfoLinks)->UseRealTime();
+
+void BM_ServerWhence(benchmark::State& state) {
+  // pipe::coeff_in holds the decoded-coefficient backlog at the catchpoint,
+  // so slot 0 has a non-trivial provenance chain.
+  bench_socket_verb(
+      state,
+      R"({"jsonrpc":"2.0","id":1,"method":"whence","params":{"iface":"pipe::coeff_in"}})");
+}
+BENCHMARK(BM_ServerWhence)->UseRealTime();
+
+void BM_ServerExecInfoLinks(benchmark::State& state) {
+  // The same query through the CLI-compatibility verb: JSON framing plus
+  // interpreter dispatch plus text rendering.
+  bench_socket_verb(
+      state,
+      R"({"jsonrpc":"2.0","id":1,"method":"exec","params":{"line":"info links"}})");
+}
+BENCHMARK(BM_ServerExecInfoLinks)->UseRealTime();
+
+/// Protocol without the socket: handle_frame directly on the serving state.
+void BM_HandleFrameInfoLinks(benchmark::State& state) {
+  auto built = h264::H264App::build(benchutil::decoder_config(2, 2, 1));
+  DFDBG_CHECK(built.ok());
+  auto& app = **built;
+  dbg::Session session(app.app());
+  session.attach();
+  app.start();
+  DFDBG_CHECK(session.catch_work("pipe").ok());
+  DFDBG_CHECK(session.run().result == sim::RunResult::kStopped);
+  server::DebugServer srv(session);
+  const std::string frame = R"({"jsonrpc":"2.0","id":1,"method":"info_links"})";
+  std::string first = srv.handle_frame(frame);
+  DFDBG_CHECK(first.find("\"result\":") != std::string::npos);
+  obs::Registry::global().histogram("server.request_ns").reset();
+  for (auto _ : state) {
+    std::string resp = srv.handle_frame(frame);
+    benchmark::DoNotOptimize(resp.data());
+  }
+  report_latency(state, first.size());
+}
+BENCHMARK(BM_HandleFrameInfoLinks);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::run_all_benchmarks(&argc, argv);
+}

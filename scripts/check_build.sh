@@ -60,6 +60,64 @@ else
   echo "-- python3 unavailable; skipping flow-event JSON validation"
 fi
 
+echo "== debug-server gate =="
+# Start dfdbg-serve on a unix socket, drive it end-to-end with dfdbg-client
+# (structured verbs + CLI-compat exec), and validate the responses are
+# schema-correct JSON-RPC. Run on both process backends: the protocol sits
+# on top of the deterministic kernel and must answer identically.
+for backend in fibers threads; do
+  echo "-- dfdbg-serve/dfdbg-client round trip ($backend backend)"
+  sock="build/dfdbg_check_$backend.sock"
+  rm -f "$sock"
+  DFDBG_PROCESS_BACKEND=$backend ./build/tools/dfdbg-serve --unix "$sock" \
+    >"build/serve_$backend.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "FAIL: dfdbg-serve died"; cat "build/serve_$backend.log"; exit 1; }
+    sleep 0.05
+  done
+  [ -S "$sock" ] || { echo "FAIL: dfdbg-serve never listened"; exit 1; }
+  grep -q '^LISTENING unix=' "build/serve_$backend.log" \
+    || { echo "FAIL: no LISTENING line"; cat "build/serve_$backend.log"; exit 1; }
+  out="build/server_check_$backend.txt"
+  printf '%s\n' \
+    ':ping' \
+    ':capabilities' \
+    ':catch_work {"filter":"pipe"}' \
+    ':run' \
+    'info links' \
+    ':whence {"iface":"pipe::coeff_in"}' \
+    ':shutdown' \
+    | ./build/tools/dfdbg-client --unix "$sock" --raw >"$out" \
+    || { echo "FAIL: dfdbg-client exited non-zero"; cat "$out"; exit 1; }
+  wait "$serve_pid" || { echo "FAIL: dfdbg-serve exited non-zero"; exit 1; }
+  if [ "$have_python" -eq 1 ]; then
+    python3 - "$out" <<'PYEOF'
+import json, sys
+frames = [json.loads(ln) for ln in open(sys.argv[1]) if ln.strip()]
+assert len(frames) == 7, f"expected 7 response frames, got {len(frames)}"
+for f in frames:
+    assert f.get("jsonrpc") == "2.0", f"bad jsonrpc tag: {f}"
+    assert ("result" in f) != ("error" in f), f"not exactly one of result/error: {f}"
+    assert "error" not in f, f"unexpected error frame: {f}"
+ping, caps, bp, run, links, whence, _ = frames
+assert ping["result"]["pong"] is True
+assert "info_links" in caps["result"]["methods"], "capabilities missing info_links"
+assert "breakpoint" in bp["result"], f"catch_work returned no breakpoint id: {bp}"
+assert run["result"]["result"] == "stopped", f"run did not stop: {run}"
+assert links["result"]["ok"] is True and "pipe::coeff_in" in links["result"]["output"]
+assert "pipe::coeff_in" in whence["result"]["link"], f"whence on wrong link: {whence}"
+assert isinstance(whence["result"]["hops"], list) and whence["result"]["hops"]
+print(f"ok: {len(frames)} schema-valid frames")
+PYEOF
+  else
+    grep -q '"result"' "$out" || { echo "FAIL: no result frames"; exit 1; }
+    if grep -q '"error"' "$out"; then echo "FAIL: error frame in transcript"; exit 1; fi
+  fi
+  rm -f "$sock"
+done
+
 echo "== bench smoke (BENCH_JSON well-formedness) =="
 # A token measurement time per benchmark: enough to prove the binary runs
 # and its BENCH_JSON records parse. Validated with python3 when available.

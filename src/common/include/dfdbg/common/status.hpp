@@ -3,6 +3,7 @@
 // DFDBG_CHECK instead.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -11,17 +12,59 @@
 
 namespace dfdbg {
 
-/// Outcome of an operation that can fail with a human-readable message.
-/// Cheap to move; empty message means OK.
+/// Stable machine-readable failure categories. Every CLI / server command
+/// path classifies its failures with one of these; the wire protocol maps
+/// them onto JSON-RPC error codes (docs/PROTOCOL.md), so the enumerator
+/// values and spellings below are part of the protocol contract — append,
+/// never renumber.
+enum class ErrCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed user input: bad verb syntax, bad value literal
+  kNotFound,            ///< named entity does not exist (filter, link, breakpoint, slot token)
+  kFailedPrecondition,  ///< command valid but state refuses it (running, link full, no token yet)
+  kOutOfRange,          ///< index beyond the live range (queue slot, journal index)
+  kParseError,          ///< unparseable frame/document (JSON, trace file)
+  kIo,                  ///< OS-level failure (socket, file)
+  kUnimplemented,       ///< verb recognized but not supported by this build
+  kInternal,            ///< invariant violation surfaced as an error instead of a check
+  kUnknown,             ///< legacy untyped Status::error(message)
+};
+
+/// Protocol spelling of an ErrCode ("not-found", "invalid-argument", ...).
+[[nodiscard]] constexpr const char* to_string(ErrCode code) {
+  switch (code) {
+    case ErrCode::kOk: return "ok";
+    case ErrCode::kInvalidArgument: return "invalid-argument";
+    case ErrCode::kNotFound: return "not-found";
+    case ErrCode::kFailedPrecondition: return "failed-precondition";
+    case ErrCode::kOutOfRange: return "out-of-range";
+    case ErrCode::kParseError: return "parse-error";
+    case ErrCode::kIo: return "io";
+    case ErrCode::kUnimplemented: return "unimplemented";
+    case ErrCode::kInternal: return "internal";
+    case ErrCode::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+/// Outcome of an operation that can fail with a human-readable message and
+/// a stable ErrCode. Cheap to move; default-constructed means OK.
 class Status {
  public:
   /// Constructs a success status.
   Status() = default;
 
-  /// Constructs a failure status carrying `message`.
+  /// Constructs a failure status carrying `message` (legacy untyped form;
+  /// classified as ErrCode::kUnknown).
   static Status error(std::string message) {
+    return error(ErrCode::kUnknown, std::move(message));
+  }
+
+  /// Constructs a failure status with a machine-readable code.
+  static Status error(ErrCode code, std::string message) {
     Status s;
     s.message_ = std::move(message);
+    s.code_ = code;
     s.ok_ = false;
     return s;
   }
@@ -30,12 +73,14 @@ class Status {
   static Status ok_status() { return Status{}; }
 
   [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] ErrCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return message_; }
 
   explicit operator bool() const { return ok_; }
 
  private:
   bool ok_ = true;
+  ErrCode code_ = ErrCode::kOk;
   std::string message_;
 };
 

@@ -1,0 +1,377 @@
+#include "dfdbg/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "dfdbg/common/strings.hpp"
+
+namespace dfdbg {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  sep();
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN; null is the least-bad spelling
+    out_ += "null";
+    return *this;
+  }
+  // %.17g round-trips every double but produces noisy output for the common
+  // case; prefer the shortest of %g precisions that parses back exactly.
+  char buf[32];
+  for (int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out_ += buf;
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::str_or(std::string_view key, std::string_view dflt) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->s_ : std::string(dflt);
+}
+
+std::uint64_t JsonValue::u64_or(std::string_view key, std::uint64_t dflt) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_u64(dflt) : dflt;
+}
+
+bool JsonValue::bool_or(std::string_view key, bool dflt) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->b_ : dflt;
+}
+
+void JsonValue::write(JsonWriter& w) const {
+  switch (kind_) {
+    case Kind::kNull: w.null(); break;
+    case Kind::kBool: w.value(b_); break;
+    case Kind::kNumber:
+      if (int_ && neg_) {
+        w.value(-static_cast<std::int64_t>(u_));
+      } else if (int_) {
+        w.value(u_);
+      } else {
+        w.value(d_);
+      }
+      break;
+    case Kind::kString: w.value(s_); break;
+    case Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& e : arr_) e.write(w);
+      w.end_array();
+      break;
+    case Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, v] : members_) {
+        w.key(k);
+        v.write(w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+std::string JsonValue::dump() const {
+  JsonWriter w;
+  write(w);
+  return w.take();
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+/// Recursive-descent parser over a string_view. Errors report a byte offset.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> run() {
+    JsonValue v;
+    Status st = parse_value(v, 0);
+    if (!st.ok()) return st;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Status parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': out.kind_ = JsonValue::Kind::kString; return parse_string(out.s_);
+      case 't':
+        if (!literal("true")) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kBool;
+        out.b_ = true;
+        return {};
+      case 'f':
+        if (!literal("false")) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kBool;
+        out.b_ = false;
+        return {};
+      case 'n':
+        if (!literal("null")) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kNull;
+        return {};
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_object(JsonValue& out, int depth) {
+    out.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return {};
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail("expected object key");
+      std::string key;
+      if (Status st = parse_string(key); !st.ok()) return st;
+      skip_ws();
+      if (peek() != ':') return fail("expected ':'");
+      ++pos_;
+      JsonValue v;
+      if (Status st = parse_value(v, depth + 1); !st.ok()) return st;
+      out.members_.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return {};
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Status parse_array(JsonValue& out, int depth) {
+    out.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return {};
+    }
+    while (true) {
+      JsonValue v;
+      if (Status st = parse_value(v, depth + 1); !st.ok()) return st;
+      out.arr_.push_back(std::move(v));
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return {};
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Status parse_string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return {};
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned cp = 0;
+            if (!hex4(cp)) return fail("bad \\u escape");
+            // Combine a surrogate pair when one follows; else emit as-is.
+            if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() &&
+                text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              unsigned lo = 0;
+              if (!hex4(lo)) return fail("bad \\u escape");
+              if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                append_utf8(out, cp);
+                cp = lo;
+              }
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: return fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parse_number(JsonValue& out) {
+    std::size_t start = pos_;
+    out.kind_ = JsonValue::Kind::kNumber;
+    bool neg = false;
+    if (peek() == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail("bad number");
+    std::uint64_t mag = 0;
+    bool overflow = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      unsigned digit = static_cast<unsigned>(peek() - '0');
+      if (mag > (UINT64_MAX - digit) / 10) overflow = true;
+      mag = mag * 10 + digit;
+      ++pos_;
+    }
+    bool integral = true;
+    if (peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail("bad number");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail("bad number");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    std::string tok(text_.substr(start, pos_ - start));
+    out.d_ = std::strtod(tok.c_str(), nullptr);
+    out.int_ = integral && !overflow;
+    out.neg_ = neg;
+    out.u_ = out.int_ ? mag : 0;
+    return {};
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool hex4(unsigned& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return false;
+      char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Status fail(const char* what) const {
+    return Status::error(ErrCode::kParseError,
+                         strformat("json: %s at offset %zu", what, pos_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+}  // namespace dfdbg

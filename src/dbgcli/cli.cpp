@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <map>
 
+#include "dfdbg/common/json.hpp"
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/debug/export.hpp"
 #include "dfdbg/obs/journal.hpp"
 #include "dfdbg/obs/metrics.hpp"
@@ -90,7 +92,7 @@ Status Interpreter::execute(const std::string& line) {
   else if (cmd == "tok") s = cmd_tok(args);
   else if (cmd == "delete") s = cmd_delete(args);
   else if (cmd == "ignore") {
-    if (args.size() < 2) s = Status::error("usage: ignore <bp-id> <count>");
+    if (args.size() < 2) s = Status::error(ErrCode::kInvalidArgument, "usage: ignore <bp-id> <count>");
     else s = session_.set_breakpoint_ignore(
              dbg::BpId(static_cast<std::uint32_t>(std::strtoul(args[0].c_str(), nullptr, 0))),
              std::strtoull(args[1].c_str(), nullptr, 0));
@@ -120,7 +122,7 @@ Status Interpreter::execute(const std::string& line) {
     session_.clear_selective_data_hooks();
     console_.println("[Data-exchange breakpoints restored on every interface]");
   } else {
-    s = Status::error("unknown command: " + cmd);
+    s = Status::error(ErrCode::kInvalidArgument, "unknown command: " + cmd);
   }
   if (!s.ok()) console_.println("error: " + s.message());
   // Remember successful commands that create replayable debugger state, so
@@ -168,26 +170,26 @@ Status Interpreter::cmd_run(const std::vector<std::string>& args, bool is_contin
 }
 
 Status Interpreter::cmd_filter(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: filter <name|print> ...");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: filter <name|print> ...");
   // `filter print last_token` — applies to the filter of the current stop.
   if (args[0] == "print") {
     if (args.size() < 2 || args[1] != "last_token")
-      return Status::error("usage: filter print last_token");
+      return Status::error(ErrCode::kInvalidArgument, "usage: filter print last_token");
     const std::string& cur = session_.current_actor();
-    if (cur.empty()) return Status::error("no current filter (execution never stopped)");
+    if (cur.empty()) return Status::error(ErrCode::kFailedPrecondition, "no current filter (execution never stopped)");
     const dbg::DToken* t = session_.last_token(cur);
-    if (t == nullptr) return Status::error("filter " + cur + " has no last token");
+    if (t == nullptr) return Status::error(ErrCode::kFailedPrecondition, "filter " + cur + " has no last token");
     int n = session_.store_value(t->value);
     console_.println(strformat("$%d = %s", n, t->value.to_string().c_str()));
     return Status{};
   }
 
-  if (args.size() < 2) return Status::error("usage: filter <name> <catch|configure|info> ...");
+  if (args.size() < 2) return Status::error(ErrCode::kInvalidArgument, "usage: filter <name> <catch|configure|info> ...");
   const std::string& name = args[0];
   const std::string& verb = args[1];
 
   if (verb == "catch") {
-    if (args.size() < 3) return Status::error("usage: filter <name> catch <spec>");
+    if (args.size() < 3) return Status::error(ErrCode::kInvalidArgument, "usage: filter <name> catch <spec>");
     if (args[2] == "work") {
       auto id = session_.catch_work(name);
       if (!id.ok()) return id.status();
@@ -206,7 +208,7 @@ Status Interpreter::cmd_filter(const std::vector<std::string>& args) {
     if (args.size() >= 4 && args[3] == "if") {
       std::string iface = name + "::" + args[2];
       const dbg::DLink* dl = session_.graph().link_by_iface(iface);
-      if (dl == nullptr) return Status::error("no link on interface: " + iface);
+      if (dl == nullptr) return Status::error(ErrCode::kNotFound, "no link on interface: " + iface);
       pedf::Link* fl = session_.app().link_by_id(pedf::LinkId(dl->id));
       auto cond = parse_condition(fl->type(),
                                   std::vector<std::string>(args.begin() + 4, args.end()));
@@ -234,7 +236,7 @@ Status Interpreter::cmd_filter(const std::vector<std::string>& args) {
     for (const std::string& part : split(spec, ',')) {
       if (part.empty()) continue;
       auto eq = part.find('=');
-      if (eq == std::string::npos) return Status::error("malformed catch condition: " + part);
+      if (eq == std::string::npos) return Status::error(ErrCode::kInvalidArgument, "malformed catch condition: " + part);
       std::string port = part.substr(0, eq);
       std::uint64_t n = std::strtoull(part.c_str() + eq + 1, nullptr, 0);
       if (port == "*in") {
@@ -253,12 +255,12 @@ Status Interpreter::cmd_filter(const std::vector<std::string>& args) {
   }
 
   if (verb == "configure") {
-    if (args.size() < 3) return Status::error("usage: filter <name> configure <behavior>");
+    if (args.size() < 3) return Status::error(ErrCode::kInvalidArgument, "usage: filter <name> configure <behavior>");
     ActorBehavior b;
     if (args[2] == "splitter") b = ActorBehavior::kSplitter;
     else if (args[2] == "pipeline") b = ActorBehavior::kPipeline;
     else if (args[2] == "merger") b = ActorBehavior::kMerger;
-    else return Status::error("unknown behavior: " + args[2]);
+    else return Status::error(ErrCode::kInvalidArgument, "unknown behavior: " + args[2]);
     if (Status s = session_.configure_behavior(name, b); !s.ok()) return s;
     console_.println("Filter `" + name + "' configured as " + args[2]);
     return Status{};
@@ -266,18 +268,20 @@ Status Interpreter::cmd_filter(const std::vector<std::string>& args) {
 
   if (verb == "info") {
     if (args.size() >= 3 && args[2] == "last_token") {
-      console_.print(session_.info_last_token(name));
+      auto v = session_.last_token_view(name);
+      console_.print(v.ok() ? render_text(*v) : render_error(v.status()));
       return Status{};
     }
-    console_.print(session_.info_filter(name));
+    auto v = session_.filter_view(name);
+    console_.print(v.ok() ? render_text(*v) : render_error(v.status()));
     return Status{};
   }
 
-  return Status::error("unknown filter verb: " + verb);
+  return Status::error(ErrCode::kInvalidArgument, "unknown filter verb: " + verb);
 }
 
 Status Interpreter::cmd_iface(const std::vector<std::string>& args) {
-  if (args.size() < 2) return Status::error("usage: iface <actor::port> <record|print|catch>");
+  if (args.size() < 2) return Status::error(ErrCode::kInvalidArgument, "usage: iface <actor::port> <record|print|catch>");
   const std::string& iface = args[0];
   const std::string& verb = args[1];
   if (verb == "record") {
@@ -296,7 +300,8 @@ Status Interpreter::cmd_iface(const std::vector<std::string>& args) {
     return Status{};
   }
   if (verb == "tokens") {
-    console_.print(session_.info_link_tokens(iface));
+    auto v = session_.link_tokens_view(iface);
+    console_.print(v.ok() ? render_text(*v) : render_error(v.status()));
     return Status{};
   }
   if (verb == "catch") {
@@ -318,7 +323,7 @@ Status Interpreter::cmd_iface(const std::vector<std::string>& args) {
     }
     if (args.size() >= 3 && args[2] == "if") {
       const dbg::DLink* dl = session_.graph().link_by_iface(iface);
-      if (dl == nullptr) return Status::error("no link on interface: " + iface);
+      if (dl == nullptr) return Status::error(ErrCode::kNotFound, "no link on interface: " + iface);
       pedf::Link* fl = session_.app().link_by_id(pedf::LinkId(dl->id));
       auto cond = parse_condition(fl->type(),
                                   std::vector<std::string>(args.begin() + 3, args.end()));
@@ -330,13 +335,13 @@ Status Interpreter::cmd_iface(const std::vector<std::string>& args) {
       return Status{};
     }
     const dbg::DConnection* c = session_.graph().connection_by_iface(iface);
-    if (c == nullptr) return Status::error("no such interface: " + iface);
+    if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + iface);
     auto id = c->is_input ? session_.break_on_receive(iface) : session_.break_on_send(iface);
     if (!id.ok()) return id.status();
     console_.println(strformat("Catchpoint %u on interface `%s'", id->value(), iface.c_str()));
     return Status{};
   }
-  return Status::error("unknown iface verb: " + verb);
+  return Status::error(ErrCode::kInvalidArgument, "unknown iface verb: " + verb);
 }
 
 Status Interpreter::cmd_step_both(const std::vector<std::string>& args) {
@@ -347,9 +352,9 @@ Status Interpreter::cmd_step_both(const std::vector<std::string>& args) {
 }
 
 Status Interpreter::cmd_break(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: break <filter>:<line>");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: break <filter>:<line>");
   auto colon = args[0].find(':');
-  if (colon == std::string::npos) return Status::error("usage: break <filter>:<line>");
+  if (colon == std::string::npos) return Status::error(ErrCode::kInvalidArgument, "usage: break <filter>:<line>");
   std::string filter = args[0].substr(0, colon);
   int line = std::atoi(args[0].c_str() + colon + 1);
   auto id = session_.break_source_line(filter, line);
@@ -359,7 +364,7 @@ Status Interpreter::cmd_break(const std::vector<std::string>& args) {
 }
 
 Status Interpreter::cmd_watch(const std::vector<std::string>& args) {
-  if (args.size() < 3) return Status::error("usage: watch <filter> <data|attribute> <name>");
+  if (args.size() < 3) return Status::error(ErrCode::kInvalidArgument, "usage: watch <filter> <data|attribute> <name>");
   auto id = session_.watch_variable(args[0], args[1], args[2]);
   if (!id.ok()) return id.status();
   console_.println(strformat("Watchpoint %u: %s.%s.%s", id->value(), args[0].c_str(),
@@ -370,7 +375,7 @@ Status Interpreter::cmd_watch(const std::vector<std::string>& args) {
 Status Interpreter::cmd_list(const std::vector<std::string>& args) {
   if (args.empty()) {
     const std::string& cur = session_.current_actor();
-    if (cur.empty()) return Status::error("usage: list <filter> [line]");
+    if (cur.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: list <filter> [line]");
     console_.print(session_.list_source(cur));
     return Status{};
   }
@@ -380,7 +385,7 @@ Status Interpreter::cmd_list(const std::vector<std::string>& args) {
 }
 
 Status Interpreter::cmd_print(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: print <expr>");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: print <expr>");
   std::string expr = join(args, " ");
   auto v = eval(expr);
   if (!v.ok()) return v.status();
@@ -395,7 +400,7 @@ Status Interpreter::cmd_graph(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i + 1 < args.size(); ++i) {
     if (args[i] == ">") {
       FILE* f = std::fopen(args[i + 1].c_str(), "w");
-      if (f == nullptr) return Status::error("cannot open " + args[i + 1]);
+      if (f == nullptr) return Status::error(ErrCode::kIo, "cannot open " + args[i + 1]);
       std::fputs(dot.c_str(), f);
       std::fclose(f);
       console_.println("Graph written to " + args[i + 1]);
@@ -407,9 +412,9 @@ Status Interpreter::cmd_graph(const std::vector<std::string>& args) {
 }
 
 Status Interpreter::cmd_info(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: info <links|breakpoints|sched|actors|tokens>");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: info <links|breakpoints|sched|actors|tokens>");
   if (args[0] == "links") {
-    console_.print(session_.info_links());
+    console_.print(render_text(session_.links_view()));
     return Status{};
   }
   if (args[0] == "breakpoints") {
@@ -422,8 +427,9 @@ Status Interpreter::cmd_info(const std::vector<std::string>& args) {
     return Status{};
   }
   if (args[0] == "sched") {
-    if (args.size() < 2) return Status::error("usage: info sched <module>");
-    console_.print(session_.info_sched(args[1]));
+    if (args.size() < 2) return Status::error(ErrCode::kInvalidArgument, "usage: info sched <module>");
+    auto v = session_.sched_view(args[1]);
+    console_.print(v.ok() ? render_text(*v) : render_error(v.status()));
     return Status{};
   }
   if (args[0] == "actors") {
@@ -434,7 +440,7 @@ Status Interpreter::cmd_info(const std::vector<std::string>& args) {
     return Status{};
   }
   if (args[0] == "profile") {
-    console_.print(session_.info_profile());
+    console_.print(render_text(session_.profile_snapshot()));
     return Status{};
   }
   if (args[0] == "tokens") {
@@ -471,14 +477,14 @@ Status Interpreter::cmd_info(const std::vector<std::string>& args) {
     console_.print(j.summary());
     return Status{};
   }
-  return Status::error("unknown info topic: " + args[0]);
+  return Status::error(ErrCode::kInvalidArgument, "unknown info topic: " + args[0]);
 }
 
 Status Interpreter::cmd_module(const std::vector<std::string>& args) {
   if (args.size() < 3 || args[1] != "break")
-    return Status::error("usage: module <name> break <step_begin|step_end|predicate <p>>");
+    return Status::error(ErrCode::kInvalidArgument, "usage: module <name> break <step_begin|step_end|predicate <p>>");
   if (args[2] == "predicate") {
-    if (args.size() < 4) return Status::error("usage: module <name> break predicate <name>");
+    if (args.size() < 4) return Status::error(ErrCode::kInvalidArgument, "usage: module <name> break predicate <name>");
     auto id = session_.break_on_predicate(args[0], args[3]);
     if (!id.ok()) return id.status();
     console_.println(strformat("Breakpoint %u on predicate `%s' of module `%s'", id->value(),
@@ -487,7 +493,7 @@ Status Interpreter::cmd_module(const std::vector<std::string>& args) {
   }
   bool at_end = args[2] == "step_end";
   if (!at_end && args[2] != "step_begin")
-    return Status::error("usage: module <name> break <step_begin|step_end|predicate <p>>");
+    return Status::error(ErrCode::kInvalidArgument, "usage: module <name> break <step_begin|step_end|predicate <p>>");
   auto id = session_.break_on_step(args[0], at_end);
   if (!id.ok()) return id.status();
   console_.println(strformat("Breakpoint %u at %s of module `%s'", id->value(), args[2].c_str(),
@@ -496,15 +502,15 @@ Status Interpreter::cmd_module(const std::vector<std::string>& args) {
 }
 
 Status Interpreter::cmd_tok(const std::vector<std::string>& args) {
-  if (args.size() < 2) return Status::error("usage: tok <insert|del|set> <iface> ...");
+  if (args.size() < 2) return Status::error(ErrCode::kInvalidArgument, "usage: tok <insert|del|set> <iface> ...");
   const std::string& verb = args[0];
   const std::string& iface = args[1];
   const dbg::DLink* dl = session_.graph().link_by_iface(iface);
-  if (dl == nullptr) return Status::error("no link on interface: " + iface);
+  if (dl == nullptr) return Status::error(ErrCode::kNotFound, "no link on interface: " + iface);
   pedf::Link* fl = session_.app().link_by_id(pedf::LinkId(dl->id));
 
   if (verb == "insert") {
-    if (args.size() < 3) return Status::error("usage: tok insert <iface> <value>");
+    if (args.size() < 3) return Status::error(ErrCode::kInvalidArgument, "usage: tok insert <iface> <value>");
     auto v = parse_value(fl->type(), args[2]);
     if (!v.ok()) return v.status();
     if (Status s = session_.inject_token(iface, std::move(*v)); !s.ok()) return s;
@@ -512,14 +518,14 @@ Status Interpreter::cmd_tok(const std::vector<std::string>& args) {
     return Status{};
   }
   if (verb == "del") {
-    if (args.size() < 3) return Status::error("usage: tok del <iface> <idx>");
+    if (args.size() < 3) return Status::error(ErrCode::kInvalidArgument, "usage: tok del <iface> <idx>");
     std::size_t idx = std::strtoull(args[2].c_str(), nullptr, 0);
     if (Status s = session_.remove_token(iface, idx); !s.ok()) return s;
     console_.println(strformat("Token %zu deleted from `%s'", idx, iface.c_str()));
     return Status{};
   }
   if (verb == "set") {
-    if (args.size() < 4) return Status::error("usage: tok set <iface> <idx> <value>");
+    if (args.size() < 4) return Status::error(ErrCode::kInvalidArgument, "usage: tok set <iface> <idx> <value>");
     std::size_t idx = std::strtoull(args[2].c_str(), nullptr, 0);
     auto v = parse_value(fl->type(), args[3]);
     if (!v.ok()) return v.status();
@@ -527,17 +533,17 @@ Status Interpreter::cmd_tok(const std::vector<std::string>& args) {
     console_.println(strformat("Token %zu of `%s' modified", idx, iface.c_str()));
     return Status{};
   }
-  return Status::error("unknown tok verb: " + verb);
+  return Status::error(ErrCode::kInvalidArgument, "unknown tok verb: " + verb);
 }
 
 Status Interpreter::cmd_delete(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: delete <bp-id>");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: delete <bp-id>");
   return session_.delete_breakpoint(
       BpId(static_cast<std::uint32_t>(std::strtoul(args[0].c_str(), nullptr, 0))));
 }
 
 Status Interpreter::cmd_enable(const std::vector<std::string>& args, bool enable) {
-  if (args.empty()) return Status::error("usage: enable|disable <bp-id|data-exchange>");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: enable|disable <bp-id|data-exchange>");
   if (args[0] == "data-exchange") {
     session_.set_data_exchange_hooks(enable);
     console_.println(std::string("[Data-exchange breakpoints ") +
@@ -549,7 +555,7 @@ Status Interpreter::cmd_enable(const std::vector<std::string>& args, bool enable
 }
 
 Status Interpreter::cmd_focus(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: focus <iface> [iface...]");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: focus <iface> [iface...]");
   if (Status s = session_.use_selective_data_hooks(args); !s.ok()) return s;
   console_.println(strformat(
       "[Framework cooperation: data-exchange breakpoints restricted to %zu interface(s)]",
@@ -558,9 +564,9 @@ Status Interpreter::cmd_focus(const std::vector<std::string>& args) {
 }
 
 Status Interpreter::cmd_source(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: source <script-file>");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: source <script-file>");
   FILE* f = std::fopen(args[0].c_str(), "r");
-  if (f == nullptr) return Status::error("cannot open script: " + args[0]);
+  if (f == nullptr) return Status::error(ErrCode::kIo, "cannot open script: " + args[0]);
   std::vector<std::string> lines;
   char buf[1024];
   while (std::fgets(buf, sizeof buf, f) != nullptr) {
@@ -576,9 +582,9 @@ Status Interpreter::cmd_source(const std::vector<std::string>& args) {
 }
 
 Status Interpreter::cmd_save(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: save <script-file>");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: save <script-file>");
   FILE* f = std::fopen(args[0].c_str(), "w");
-  if (f == nullptr) return Status::error("cannot write script: " + args[0]);
+  if (f == nullptr) return Status::error(ErrCode::kIo, "cannot write script: " + args[0]);
   std::fputs("# dataflow-dbg session script (replay with `source`)\n", f);
   for (const std::string& line : replayable_) {
     std::fputs(line.c_str(), f);
@@ -597,7 +603,7 @@ Status Interpreter::cmd_export(const std::vector<std::string>& args) {
     return Status{};
   }
   FILE* f = std::fopen(args[0].c_str(), "w");
-  if (f == nullptr) return Status::error("cannot write: " + args[0]);
+  if (f == nullptr) return Status::error(ErrCode::kIo, "cannot write: " + args[0]);
   std::fputs(json.c_str(), f);
   std::fclose(f);
   console_.println(strformat("State exported to %s (%zu bytes)", args[0].c_str(), json.size()));
@@ -620,18 +626,18 @@ Status Interpreter::cmd_stats(const std::vector<std::string>& args) {
     console_.print("\n");
     return Status{};
   }
-  return Status::error("usage: stats [reset|json]");
+  return Status::error(ErrCode::kInvalidArgument, "usage: stats [reset|json]");
 }
 
 Status Interpreter::cmd_trace(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: trace on [capacity] | off | stats");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: trace on [capacity] | off | stats");
   if (args[0] == "on") {
     if (trace_ != nullptr && trace_->attached())
-      return Status::error("trace collector already attached");
+      return Status::error(ErrCode::kFailedPrecondition, "trace collector already attached");
     std::size_t capacity = 65536;
     if (args.size() > 1) {
       capacity = std::strtoull(args[1].c_str(), nullptr, 0);
-      if (capacity == 0) return Status::error("malformed capacity: " + args[1]);
+      if (capacity == 0) return Status::error(ErrCode::kInvalidArgument, "malformed capacity: " + args[1]);
     }
     // `trace on` after `trace off` starts a fresh window: the old collector
     // (still readable via `trace stats` / `profile export`) is replaced.
@@ -642,7 +648,7 @@ Status Interpreter::cmd_trace(const std::vector<std::string>& args) {
   }
   if (args[0] == "off") {
     if (trace_ == nullptr || !trace_->attached())
-      return Status::error("no trace collector attached");
+      return Status::error(ErrCode::kFailedPrecondition, "no trace collector attached");
     trace_->detach();
     console_.println(strformat(
         "[Trace collector detached; %zu event(s) retained — `profile export` to save]",
@@ -650,18 +656,18 @@ Status Interpreter::cmd_trace(const std::vector<std::string>& args) {
     return Status{};
   }
   if (args[0] == "stats") {
-    if (trace_ == nullptr) return Status::error("no trace collector — `trace on` first");
+    if (trace_ == nullptr) return Status::error(ErrCode::kFailedPrecondition, "no trace collector — `trace on` first");
     console_.print(trace_->summary());
     return Status{};
   }
-  return Status::error("usage: trace on [capacity] | off | stats");
+  return Status::error(ErrCode::kInvalidArgument, "usage: trace on [capacity] | off | stats");
 }
 
 Status Interpreter::cmd_profile(const std::vector<std::string>& args) {
   if (args.size() < 2 || args[0] != "export")
-    return Status::error("usage: profile export <file.json>");
+    return Status::error(ErrCode::kInvalidArgument, "usage: profile export <file.json>");
   if (trace_ == nullptr)
-    return Status::error("no trace collector — `trace on`, run, then export");
+    return Status::error(ErrCode::kFailedPrecondition, "no trace collector — `trace on`, run, then export");
   trace::ChromeTraceOptions options;
   options.journal = &obs::Journal::global();  // overlay token flow arrows
   Status s = trace::write_chrome_trace(args[1], *trace_, session_.app(), options);
@@ -682,7 +688,7 @@ Status Interpreter::cmd_journal(const std::vector<std::string>& args) {
     std::size_t n = 20;
     if (args.size() > 1) {
       n = std::strtoull(args[1].c_str(), nullptr, 0);
-      if (n == 0) return Status::error("malformed count: " + args[1]);
+      if (n == 0) return Status::error(ErrCode::kInvalidArgument, "malformed count: " + args[1]);
     }
     console_.print(j.format_last(n, [this](std::uint32_t link) {
       pedf::Link* l = session_.app().link_by_id(pedf::LinkId(link));
@@ -691,7 +697,26 @@ Status Interpreter::cmd_journal(const std::vector<std::string>& args) {
     return Status{};
   }
   if (args[0] == "dump") {
-    if (args.size() < 2) return Status::error("usage: journal dump <file.json>");
+    if (args.size() < 2) return Status::error(ErrCode::kInvalidArgument, "usage: journal dump <file.json> [--json]");
+    // `--json` writes the raw event window through the shared encoder
+    // instead of the Chrome-trace flow-event projection.
+    bool raw_json = std::find(args.begin() + 2, args.end(), "--json") != args.end();
+    if (raw_json) {
+      JsonWriter w;
+      j.write_json(w, [this](std::uint32_t link) {
+        pedf::Link* l = session_.app().link_by_id(pedf::LinkId(link));
+        return l != nullptr ? l->name() : strformat("link#%u", link);
+      });
+      FILE* f = std::fopen(args[1].c_str(), "w");
+      if (f == nullptr) return Status::error(ErrCode::kIo, "cannot write: " + args[1]);
+      std::fputs(w.str().c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      console_.println(strformat("Journal exported to %s: %zu raw event(s), %llu dropped",
+                                 args[1].c_str(), j.size(),
+                                 static_cast<unsigned long long>(j.dropped())));
+      return Status{};
+    }
     trace::ChromeTraceOptions options;
     options.dispatch_instants = true;
     Status s = trace::write_journal_chrome_trace(args[1], j, session_.app(), options);
@@ -702,9 +727,9 @@ Status Interpreter::cmd_journal(const std::vector<std::string>& args) {
     return Status{};
   }
   if (args[0] == "capacity") {
-    if (args.size() < 2) return Status::error("usage: journal capacity <events>");
+    if (args.size() < 2) return Status::error(ErrCode::kInvalidArgument, "usage: journal capacity <events>");
     std::size_t cap = std::strtoull(args[1].c_str(), nullptr, 0);
-    if (cap == 0) return Status::error("malformed capacity: " + args[1]);
+    if (cap == 0) return Status::error(ErrCode::kInvalidArgument, "malformed capacity: " + args[1]);
     j.set_capacity(cap);
     console_.println(strformat("[Journal capacity set to %zu event(s); window cleared]", cap));
     return Status{};
@@ -720,15 +745,32 @@ Status Interpreter::cmd_journal(const std::vector<std::string>& args) {
     console_.println("[Journal cleared]");
     return Status{};
   }
-  return Status::error("usage: journal [last N | dump <file> | capacity N | on | off | clear]");
+  return Status::error(ErrCode::kInvalidArgument, "usage: journal [last N | dump <file> | capacity N | on | off | clear]");
 }
 
-Status Interpreter::cmd_whence(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error("usage: whence <actor::port> <slot> [depth]");
+Status Interpreter::cmd_whence(const std::vector<std::string>& args_in) {
+  // `--json` switches to the wire encoding (the same serializer the debug
+  // server uses); it may appear anywhere on the line.
+  std::vector<std::string> args;
+  bool json = false;
+  for (const std::string& a : args_in) {
+    if (a == "--json") json = true;
+    else args.push_back(a);
+  }
+  if (args.empty())
+    return Status::error(ErrCode::kInvalidArgument, "usage: whence <actor::port> <slot> [depth] [--json]");
   std::size_t slot = args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 0) : 0;
   std::size_t depth = args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 0) : 8;
-  if (depth == 0) return Status::error("depth must be >= 1");
-  console_.print(session_.whence(args[0], slot, depth));
+  if (depth == 0) return Status::error(ErrCode::kInvalidArgument, "depth must be >= 1");
+  auto v = session_.whence_chain(args[0], slot, depth);
+  if (json) {
+    if (!v.ok()) return v.status();
+    JsonWriter w;
+    dbg::to_json(w, *v);
+    console_.println(w.take());
+    return Status{};
+  }
+  console_.print(v.ok() ? render_text(*v) : render_error(v.status()));
   return Status{};
 }
 
@@ -765,8 +807,8 @@ std::string Interpreter::help_text() {
       "  stats [reset|json]                debugger self-metrics (obs registry)\n"
       "  trace on [capacity] | off | stats offline event collection window\n"
       "  profile export <file.json>        trace window as Chrome/Perfetto JSON\n"
-      "  journal [last N|dump <f>|capacity N|on|off|clear]  flight recorder\n"
-      "  whence <a::p> <slot> [depth]      causal chain of a queued token\n"
+      "  journal [last N|dump <f> [--json]|capacity N|on|off|clear]  flight recorder\n"
+      "  whence <a::p> <slot> [depth] [--json]   causal chain of a queued token\n"
       "  info flow                         live occupancy + journal window per link\n"
       "  delete <bp> / help\n";
 }
@@ -775,11 +817,11 @@ std::string Interpreter::help_text() {
 // Values & expressions
 // ---------------------------------------------------------------------------
 
-Result<Value> Interpreter::parse_value(const TypeDesc& type, const std::string& text) const {
+Result<Value> Interpreter::parse_value(const TypeDesc& type, const std::string& text) {
   if (!type.is_struct()) {
     char* end = nullptr;
     std::uint64_t bits = std::strtoull(text.c_str(), &end, 0);
-    if (end == text.c_str()) return Status::error("malformed scalar value: " + text);
+    if (end == text.c_str()) return Status::error(ErrCode::kInvalidArgument, "malformed scalar value: " + text);
     Value v = Value::zero_of(type);
     v.set_scalar_u64(bits);
     return v;
@@ -789,35 +831,35 @@ Result<Value> Interpreter::parse_value(const TypeDesc& type, const std::string& 
     if (part.empty()) continue;
     auto eq = part.find('=');
     if (eq == std::string::npos)
-      return Status::error("malformed struct field assignment: " + part);
+      return Status::error(ErrCode::kInvalidArgument, "malformed struct field assignment: " + part);
     std::string field = part.substr(0, eq);
     if (type.struct_type()->field_index(field) < 0)
-      return Status::error("struct " + type.name() + " has no field '" + field + "'");
+      return Status::error(ErrCode::kNotFound, "struct " + type.name() + " has no field '" + field + "'");
     v.set_field(field, std::strtoull(part.c_str() + eq + 1, nullptr, 0));
   }
   return v;
 }
 
 Result<std::pair<std::function<bool(const Value&)>, std::string>> Interpreter::parse_condition(
-    const TypeDesc& type, const std::vector<std::string>& words) const {
+    const TypeDesc& type, const std::vector<std::string>& words) {
   if (words.size() != 3)
-    return Status::error("condition must be `<value|field> <op> <number>`");
+    return Status::error(ErrCode::kInvalidArgument, "condition must be `<value|field> <op> <number>`");
   const std::string& lhs = words[0];
   const std::string& op = words[1];
   char* end = nullptr;
   std::uint64_t rhs = std::strtoull(words[2].c_str(), &end, 0);
-  if (end == words[2].c_str()) return Status::error("malformed number: " + words[2]);
+  if (end == words[2].c_str()) return Status::error(ErrCode::kInvalidArgument, "malformed number: " + words[2]);
 
   int field_index = -1;
   if (lhs == "value") {
     if (type.is_struct())
-      return Status::error("tokens of type " + type.name() + " need a field name, not `value`");
+      return Status::error(ErrCode::kInvalidArgument, "tokens of type " + type.name() + " need a field name, not `value`");
   } else {
     if (!type.is_struct())
-      return Status::error("scalar tokens are addressed as `value`, not `" + lhs + "`");
+      return Status::error(ErrCode::kInvalidArgument, "scalar tokens are addressed as `value`, not `" + lhs + "`");
     field_index = type.struct_type()->field_index(lhs);
     if (field_index < 0)
-      return Status::error("struct " + type.name() + " has no field '" + lhs + "'");
+      return Status::error(ErrCode::kNotFound, "struct " + type.name() + " has no field '" + lhs + "'");
   }
 
   std::function<bool(std::uint64_t, std::uint64_t)> cmp;
@@ -827,7 +869,7 @@ Result<std::pair<std::function<bool(const Value&)>, std::string>> Interpreter::p
   else if (op == "<=") cmp = [](std::uint64_t a, std::uint64_t b) { return a <= b; };
   else if (op == ">") cmp = [](std::uint64_t a, std::uint64_t b) { return a > b; };
   else if (op == ">=") cmp = [](std::uint64_t a, std::uint64_t b) { return a >= b; };
-  else return Status::error("unknown comparison operator: " + op);
+  else return Status::error(ErrCode::kInvalidArgument, "unknown comparison operator: " + op);
 
   auto pred = [field_index, cmp, rhs](const Value& v) {
     std::uint64_t actual = field_index < 0
@@ -849,32 +891,32 @@ Result<Value> Interpreter::eval(const std::string& expr_in) const {
     if (!v.ok()) return v.status();
     if (dot == std::string::npos) return *v;
     std::string field = expr.substr(dot + 1);
-    if (!v->type().is_struct()) return Status::error("$" + std::to_string(n) + " is not a struct");
+    if (!v->type().is_struct()) return Status::error(ErrCode::kInvalidArgument, "$" + std::to_string(n) + " is not a struct");
     if (v->type().struct_type()->field_index(field) < 0)
-      return Status::error("no field '" + field + "' in " + v->type().name());
+      return Status::error(ErrCode::kNotFound, "no field '" + field + "' in " + v->type().name());
     return Value::u32(static_cast<std::uint32_t>(v->field_u64(field)));
   }
   // last_token[.field] — of the current stop's filter
   if (starts_with(expr, "last_token")) {
     const std::string& cur = session_.current_actor();
-    if (cur.empty()) return Status::error("no current filter");
+    if (cur.empty()) return Status::error(ErrCode::kFailedPrecondition, "no current filter");
     const dbg::DToken* t = session_.last_token(cur);
-    if (t == nullptr) return Status::error("filter " + cur + " has no last token");
+    if (t == nullptr) return Status::error(ErrCode::kFailedPrecondition, "filter " + cur + " has no last token");
     if (expr == "last_token") return t->value;
     if (expr.size() > 11 && expr[10] == '.') {
       std::string field = expr.substr(11);
-      if (!t->value.type().is_struct()) return Status::error("last_token is not a struct");
+      if (!t->value.type().is_struct()) return Status::error(ErrCode::kInvalidArgument, "last_token is not a struct");
       if (t->value.type().struct_type()->field_index(field) < 0)
-        return Status::error("no field '" + field + "' in " + t->value.type().name());
+        return Status::error(ErrCode::kNotFound, "no field '" + field + "' in " + t->value.type().name());
       return Value::u32(static_cast<std::uint32_t>(t->value.field_u64(field)));
     }
-    return Status::error("malformed expression: " + expr);
+    return Status::error(ErrCode::kInvalidArgument, "malformed expression: " + expr);
   }
   // <filter>.data.<name> / <filter>.attribute.<name>
   std::vector<std::string> parts = split(expr, '.');
   if (parts.size() == 3 && (parts[1] == "data" || parts[1] == "attribute"))
     return session_.read_variable(parts[0], parts[1], parts[2]);
-  return Status::error("cannot evaluate expression: " + expr);
+  return Status::error(ErrCode::kInvalidArgument, "cannot evaluate expression: " + expr);
 }
 
 // ---------------------------------------------------------------------------

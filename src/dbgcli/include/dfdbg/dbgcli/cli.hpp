@@ -80,6 +80,17 @@ class Interpreter {
   /// by the time-travel harness to replay a session deterministically.
   [[nodiscard]] const std::vector<std::string>& replayable() const { return replayable_; }
 
+  /// Parses a token value for link type `type`: "5", "0x1f", or
+  /// "Field=1,Other=0x2" for structs. Public and static: the debug server's
+  /// structured inject/replace verbs parse values the same way the CLI does.
+  static Result<pedf::Value> parse_value(const pedf::TypeDesc& type, const std::string& text);
+  /// Parses a content condition over tokens of `type`: three words
+  /// `<lhs> <op> <rhs>` where lhs is `value` (scalars) or a field name,
+  /// op is ==, !=, <, <=, >, >= and rhs a number. Returns the predicate
+  /// plus its normalized description.
+  static Result<std::pair<std::function<bool(const pedf::Value&)>, std::string>> parse_condition(
+      const pedf::TypeDesc& type, const std::vector<std::string>& words);
+
  private:
   Status cmd_run(const std::vector<std::string>& args, bool is_continue);
   Status cmd_filter(const std::vector<std::string>& args);
@@ -108,15 +119,6 @@ class Interpreter {
 
   void report_outcome(const dbg::RunOutcome& outcome);
   void flush_notes();
-  /// Parses a token value for link type `type`: "5", "0x1f", or
-  /// "Field=1,Other=0x2" for structs.
-  Result<pedf::Value> parse_value(const pedf::TypeDesc& type, const std::string& text) const;
-  /// Parses a content condition over tokens of `type`: three words
-  /// `<lhs> <op> <rhs>` where lhs is `value` (scalars) or a field name,
-  /// op is ==, !=, <, <=, >, >= and rhs a number. Returns the predicate
-  /// plus its normalized description.
-  Result<std::pair<std::function<bool(const pedf::Value&)>, std::string>> parse_condition(
-      const pedf::TypeDesc& type, const std::vector<std::string>& words) const;
   /// Evaluates a print expression; stores the value in history ($N).
   Result<pedf::Value> eval(const std::string& expr) const;
 

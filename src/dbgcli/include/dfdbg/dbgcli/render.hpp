@@ -1,0 +1,26 @@
+// Transcript-text renderers for the structured inspection views
+// (dfdbg/debug/views.hpp). Each render_text() emits exactly the bytes the
+// old string-returning Session queries produced — the CLI golden tests pin
+// that — so the CLI is now a thin presentation layer over the typed API,
+// parallel to the JSON layer (views.hpp to_json) the debug server speaks.
+#pragma once
+
+#include <string>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/debug/views.hpp"
+
+namespace dfdbg::cli {
+
+[[nodiscard]] std::string render_text(const dbg::LinkView& v);
+[[nodiscard]] std::string render_text(const dbg::FilterView& v);
+[[nodiscard]] std::string render_text(const dbg::SchedView& v);
+[[nodiscard]] std::string render_text(const dbg::TokenView& v);
+[[nodiscard]] std::string render_text(const dbg::WhenceChain& v);
+[[nodiscard]] std::string render_text(const dbg::LinkTokensView& v);
+[[nodiscard]] std::string render_text(const dbg::ProfileSnapshot& v);
+
+/// The legacy inline-error body of a failed query: "<" + message + ">".
+[[nodiscard]] std::string render_error(const Status& s);
+
+}  // namespace dfdbg::cli

@@ -1,0 +1,163 @@
+// Text renderers over the structured views, plus the deprecated
+// string-returning Session query shims. The shims are member functions of
+// dbg::Session declared in dfdbg/debug/session.hpp but defined HERE, in the
+// CLI library: rendering is a presentation concern, and placing the
+// definitions in dfdbg::cli means a target calling a deprecated query
+// without linking the CLI gets a link error nudging it to the *_view API.
+// Every in-tree consumer already links dfdbg::cli.
+#include "dfdbg/dbgcli/render.hpp"
+
+#include "dfdbg/common/strings.hpp"
+#include "dfdbg/debug/session.hpp"
+
+namespace dfdbg::cli {
+
+using ull = unsigned long long;
+
+std::string render_text(const dbg::LinkView& v) {
+  std::string out;
+  for (const dbg::LinkRow& l : v.links) {
+    out += strformat("%-60s %6zu token(s)  pushes=%llu pops=%llu hwm=%zu [%s]\n", l.name.c_str(),
+                     l.occupancy, static_cast<ull>(l.pushes), static_cast<ull>(l.pops),
+                     l.high_watermark, l.transport.c_str());
+  }
+  return out;
+}
+
+std::string render_text(const dbg::FilterView& v) {
+  std::string out = "filter `" + v.name + "' (" + v.path + ")\n";
+  out += "  state:    " + v.state + "\n";
+  out += strformat("  firings:  %llu\n", static_cast<ull>(v.firings));
+  if (v.line > 0) out += strformat("  line:     %d\n", v.line);
+  out += "  pe:       " + v.pe + "\n";
+  out += "  behavior: " + v.behavior + "\n";
+  if (v.has_blocked) {
+    switch (v.blocked) {
+      case dbg::FilterView::Blocked::kNone:
+        out += "  blocked:  no\n";
+        break;
+      case dbg::FilterView::Blocked::kLinkEmpty:
+        out += "  blocked:  waiting for data on `" + v.blocked_link + "'\n";
+        break;
+      case dbg::FilterView::Blocked::kLinkFull:
+        out += "  blocked:  waiting for space on `" + v.blocked_link + "'\n";
+        break;
+      case dbg::FilterView::Blocked::kStart:
+        out += "  blocked:  waiting to be scheduled\n";
+        break;
+      case dbg::FilterView::Blocked::kStep:
+        out += "  blocked:  waiting for step completion\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string render_text(const dbg::SchedView& v) {
+  std::string out = strformat("module `%s' step %llu\n", v.module.c_str(),
+                              static_cast<ull>(v.step));
+  for (const dbg::SchedRow& r : v.rows) {
+    out += strformat("  %-16s %-14s firings=%llu\n", r.name.c_str(), r.state.c_str(),
+                     static_cast<ull>(r.firings));
+  }
+  return out;
+}
+
+std::string render_text(const dbg::TokenView& v) {
+  std::string out;
+  int n = 1;
+  for (const dbg::TokenHop& h : v.hops) {
+    out += strformat("#%d %s", n++, h.desc.c_str());
+    if (h.injected) out += "  (injected by debugger)";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_text(const dbg::WhenceChain& v) {
+  std::string out =
+      strformat("causal chain of slot %zu of `%s' (newest first):\n", v.slot, v.link.c_str());
+  int n = 1;
+  for (const dbg::TokenHop& h : v.hops) {
+    out += strformat("#%d tok#%llu %s", n++, static_cast<ull>(h.uid), h.desc.c_str());
+    if (h.injected) out += "  (injected by debugger)";
+    out += strformat("  [pushed@t=%llu]", static_cast<ull>(h.pushed_at));
+    out += "\n";
+  }
+  if (v.truncated) out += strformat("... (chain truncated at %zu hops)\n", v.depth);
+  if (v.has_source) {
+    out += "source: " + v.source_actor;
+    if (v.source_injected) out += " (debugger injection)";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_text(const dbg::LinkTokensView& v) {
+  if (v.tokens.empty()) return "link `" + v.link + "' is empty\n";
+  std::string out = strformat("link `%s' holds %zu token(s):\n", v.link.c_str(), v.tokens.size());
+  for (const dbg::LinkTokenRow& t : v.tokens) {
+    if (t.pruned) {
+      out += strformat("  #%zu <pruned>\n", t.slot);
+    } else {
+      out += strformat("  #%zu %s  (pushed at t=%llu%s)\n", t.slot, t.value.c_str(),
+                       static_cast<ull>(t.pushed_at),
+                       t.injected ? ", injected by debugger" : "");
+    }
+  }
+  return out;
+}
+
+std::string render_text(const dbg::ProfileSnapshot& v) {
+  std::string out = strformat("t=%llu cycles, %llu scheduler dispatches\n",
+                              static_cast<ull>(v.now), static_cast<ull>(v.dispatches));
+  out += strformat("%-22s %-10s %9s %14s %13s\n", "actor", "pe", "firings", "sim cycles",
+                   "activations");
+  for (const dbg::ProfileRow& r : v.rows) {
+    out += strformat("%-22s %-10s %9llu %14llu %13llu\n", r.path.c_str(), r.pe.c_str(),
+                     static_cast<ull>(r.firings), static_cast<ull>(r.cycles),
+                     static_cast<ull>(r.activations));
+  }
+  return out;
+}
+
+std::string render_error(const Status& s) { return "<" + s.message() + ">"; }
+
+}  // namespace dfdbg::cli
+
+// ---------------------------------------------------------------------------
+// Deprecated Session string-query shims (one PR of grace; see session.hpp)
+// ---------------------------------------------------------------------------
+
+namespace dfdbg::dbg {
+
+std::string Session::info_links() const { return cli::render_text(links_view()); }
+
+std::string Session::info_filter(const std::string& filter) const {
+  auto v = filter_view(filter);
+  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
+}
+
+std::string Session::info_sched(const std::string& module) const {
+  auto v = sched_view(module);
+  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
+}
+
+std::string Session::info_last_token(const std::string& filter, std::size_t depth) const {
+  auto v = last_token_view(filter, depth);
+  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
+}
+
+std::string Session::whence(const std::string& iface, std::size_t slot, std::size_t depth) const {
+  auto v = whence_chain(iface, slot, depth);
+  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
+}
+
+std::string Session::info_link_tokens(const std::string& iface) const {
+  auto v = link_tokens_view(iface);
+  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
+}
+
+std::string Session::info_profile() const { return cli::render_text(profile_snapshot()); }
+
+}  // namespace dfdbg::dbg

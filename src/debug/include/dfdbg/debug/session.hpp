@@ -31,6 +31,7 @@
 #include "dfdbg/debug/events.hpp"
 #include "dfdbg/debug/model.hpp"
 #include "dfdbg/debug/recording.hpp"
+#include "dfdbg/debug/views.hpp"
 #include "dfdbg/pedf/application.hpp"
 
 namespace dfdbg::dbg {
@@ -168,33 +169,57 @@ class Session {
   /// Most recent token consumed by `filter` (nullptr if none/pruned).
   [[nodiscard]] const DToken* last_token(const std::string& filter) const;
 
-  /// `filter <f> info last_token`: the provenance chain, transcript-style:
-  ///   #1 red -> pipe (CbCrMB_t){Addr=0x145D, ...}
-  ///   #2 bh -> red (U32) 127
-  [[nodiscard]] std::string info_last_token(const std::string& filter,
-                                            std::size_t depth = 8) const;
+  // Structured views (dfdbg/debug/views.hpp): the typed query API. The CLI
+  // renders these to transcript text (dfdbg/dbgcli/render.hpp) and the debug
+  // server serializes them with the to_json() overloads — two thin
+  // presentation layers over the same data.
 
+  /// Occupancy of every link.
+  [[nodiscard]] LinkView links_view() const;
+  /// Per-filter state: scheduling state, current source line, blocked-on.
+  [[nodiscard]] Result<FilterView> filter_view(const std::string& filter) const;
+  /// Scheduling monitor view of one module (Contribution #2).
+  [[nodiscard]] Result<SchedView> sched_view(const std::string& module) const;
+  /// `filter <f> info last_token`: provenance chain of the most recent token
+  /// consumed by `filter`, newest first.
+  [[nodiscard]] Result<TokenView> last_token_view(const std::string& filter,
+                                                  std::size_t depth = 8) const;
   /// `whence <iface> <slot>`: causal chain of a token still queued on the
   /// link of `iface` (slot 0 = oldest), newest first, back to its source
   /// filter — each hop stamped with its provenance id and push time.
-  [[nodiscard]] std::string whence(const std::string& iface, std::size_t slot,
-                                   std::size_t depth = 8) const;
-
-  /// Per-filter state: scheduling state, current source line, blocked-on.
-  [[nodiscard]] std::string info_filter(const std::string& filter) const;
-  /// Occupancy of every link.
-  [[nodiscard]] std::string info_links() const;
+  [[nodiscard]] Result<WhenceChain> whence_chain(const std::string& iface, std::size_t slot,
+                                                 std::size_t depth = 8) const;
   /// Payloads of the tokens currently in flight on the link of `iface`
   /// (§III: "an overview of the tokens currently available in the data
   /// links"), from the debugger's own token mirror.
-  [[nodiscard]] std::string info_link_tokens(const std::string& iface) const;
-  /// Scheduling monitor view of one module (Contribution #2).
-  [[nodiscard]] std::string info_sched(const std::string& module) const;
-
+  [[nodiscard]] Result<LinkTokensView> link_tokens_view(const std::string& iface) const;
   /// Profiling view (paper §I: debuggers "monitor and profile applications
   /// ... real-time feedback about the actual application execution"):
   /// per actor firings, mapped PE, simulated cycles consumed and scheduler
   /// activations, straight from the live kernel/platform state.
+  [[nodiscard]] ProfileSnapshot profile_snapshot() const;
+
+  // DEPRECATED string-rendered queries, kept as shims for one PR: each is
+  // `render_text(<view>)` / `"<" + status.message() + ">"` on error, exactly
+  // the historical output. Defined in src/dbgcli/render.cpp next to the
+  // renderers, so callers must link dfdbg::cli (every in-tree consumer
+  // already does). New code should use the *_view queries above.
+
+  /// DEPRECATED — use last_token_view() + cli::render_text().
+  [[nodiscard]] std::string info_last_token(const std::string& filter,
+                                            std::size_t depth = 8) const;
+  /// DEPRECATED — use whence_chain() + cli::render_text().
+  [[nodiscard]] std::string whence(const std::string& iface, std::size_t slot,
+                                   std::size_t depth = 8) const;
+  /// DEPRECATED — use filter_view() + cli::render_text().
+  [[nodiscard]] std::string info_filter(const std::string& filter) const;
+  /// DEPRECATED — use links_view() + cli::render_text().
+  [[nodiscard]] std::string info_links() const;
+  /// DEPRECATED — use link_tokens_view() + cli::render_text().
+  [[nodiscard]] std::string info_link_tokens(const std::string& iface) const;
+  /// DEPRECATED — use sched_view() + cli::render_text().
+  [[nodiscard]] std::string info_sched(const std::string& module) const;
+  /// DEPRECATED — use profile_snapshot() + cli::render_text().
   [[nodiscard]] std::string info_profile() const;
 
   // --- information flow --------------------------------------------------------

@@ -636,7 +636,7 @@ std::vector<std::string> Session::take_notes() {
 
 namespace {
 Status unknown_filter(const std::string& name) {
-  return Status::error("no such filter: " + name);
+  return Status::error(ErrCode::kNotFound, "no such filter: " + name);
 }
 }  // namespace
 
@@ -667,14 +667,14 @@ Result<BpId> Session::catch_tokens(
   for (auto& [port, count] : port_counts) {
     std::string iface = filter + "::" + port;
     const DConnection* c = model_.connection_by_iface(iface);
-    if (c == nullptr) return Status::error("no such interface: " + iface);
-    if (!c->is_input) return Status::error(iface + " is not an inbound interface");
-    if (c->link == UINT32_MAX) return Status::error(iface + " is not bound to a link");
+    if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + iface);
+    if (!c->is_input) return Status::error(ErrCode::kInvalidArgument, iface + " is not an inbound interface");
+    if (c->link == UINT32_MAX) return Status::error(ErrCode::kInvalidArgument, iface + " is not bound to a link");
     // Stop messages use the bare port name, matching the command syntax.
     r->counts.push_back(Rule::CountCond{c->link, port, count});
     parts.push_back(port + "=" + std::to_string(count));
   }
-  if (r->counts.empty()) return Status::error("catch condition lists no interfaces");
+  if (r->counts.empty()) return Status::error(ErrCode::kInvalidArgument, "catch condition lists no interfaces");
   r->desc = "filter " + filter + " catch " + join(parts, ",");
   BpId id = r->id;
   rules_.push_back(std::move(r));
@@ -690,15 +690,15 @@ Result<BpId> Session::catch_all_inputs(const std::string& filter, std::uint64_t 
     if (c.link == UINT32_MAX) continue;
     ports.emplace_back(c.port, count);
   }
-  if (ports.empty()) return Status::error("filter " + filter + " has no bound inputs");
+  if (ports.empty()) return Status::error(ErrCode::kFailedPrecondition, "filter " + filter + " has no bound inputs");
   return catch_tokens(filter, std::move(ports));
 }
 
 Result<BpId> Session::break_on_receive(const std::string& iface) {
   const DConnection* c = model_.connection_by_iface(iface);
-  if (c == nullptr) return Status::error("no such interface: " + iface);
-  if (!c->is_input) return Status::error(iface + " is not an inbound interface");
-  if (c->link == UINT32_MAX) return Status::error(iface + " is not bound to a link");
+  if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + iface);
+  if (!c->is_input) return Status::error(ErrCode::kInvalidArgument, iface + " is not an inbound interface");
+  if (c->link == UINT32_MAX) return Status::error(ErrCode::kInvalidArgument, iface + " is not bound to a link");
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
   r->type = Rule::Type::kReceive;
@@ -713,9 +713,9 @@ Result<BpId> Session::break_on_receive(const std::string& iface) {
 
 Result<BpId> Session::break_on_send(const std::string& iface) {
   const DConnection* c = model_.connection_by_iface(iface);
-  if (c == nullptr) return Status::error("no such interface: " + iface);
-  if (c->is_input) return Status::error(iface + " is not an outbound interface");
-  if (c->link == UINT32_MAX) return Status::error(iface + " is not bound to a link");
+  if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + iface);
+  if (c->is_input) return Status::error(ErrCode::kInvalidArgument, iface + " is not an outbound interface");
+  if (c->link == UINT32_MAX) return Status::error(ErrCode::kInvalidArgument, iface + " is not bound to a link");
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
   r->type = Rule::Type::kSend;
@@ -732,8 +732,8 @@ Result<BpId> Session::catch_token_content(const std::string& iface,
                                           std::function<bool(const pedf::Value&)> pred,
                                           std::string description) {
   const DConnection* c = model_.connection_by_iface(iface);
-  if (c == nullptr) return Status::error("no such interface: " + iface);
-  if (c->link == UINT32_MAX) return Status::error(iface + " is not bound to a link");
+  if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + iface);
+  if (c->link == UINT32_MAX) return Status::error(ErrCode::kInvalidArgument, iface + " is not bound to a link");
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
   r->type = Rule::Type::kContent;
@@ -751,11 +751,11 @@ Result<BpId> Session::catch_token_content(const std::string& iface,
 Result<BpId> Session::catch_token_from(const std::string& iface, const std::string& src_actor,
                                        std::size_t depth) {
   const DConnection* c = model_.connection_by_iface(iface);
-  if (c == nullptr) return Status::error("no such interface: " + iface);
-  if (!c->is_input) return Status::error(iface + " is not an inbound interface");
-  if (c->link == UINT32_MAX) return Status::error(iface + " is not bound to a link");
+  if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + iface);
+  if (!c->is_input) return Status::error(ErrCode::kInvalidArgument, iface + " is not an inbound interface");
+  if (c->link == UINT32_MAX) return Status::error(ErrCode::kInvalidArgument, iface + " is not bound to a link");
   if (model_.actor_by_name(src_actor) == nullptr)
-    return Status::error("no such actor: " + src_actor);
+    return Status::error(ErrCode::kNotFound, "no such actor: " + src_actor);
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
   r->type = Rule::Type::kTokenFrom;
@@ -772,8 +772,8 @@ Result<BpId> Session::catch_token_from(const std::string& iface, const std::stri
 
 Result<BpId> Session::break_on_occupancy(const std::string& iface, std::size_t threshold) {
   const DLink* dl = model_.link_by_iface(iface);
-  if (dl == nullptr) return Status::error("no link on interface: " + iface);
-  if (threshold == 0) return Status::error("occupancy threshold must be >= 1");
+  if (dl == nullptr) return Status::error(ErrCode::kNotFound, "no link on interface: " + iface);
+  if (threshold == 0) return Status::error(ErrCode::kInvalidArgument, "occupancy threshold must be >= 1");
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
   r->type = Rule::Type::kOccupancy;
@@ -792,7 +792,7 @@ Result<BpId> Session::break_on_predicate(const std::string& module,
   const DActor* a = model_.actor_by_name(module);
   if (a == nullptr) a = model_.actor_by_path(module);
   if (a == nullptr || a->kind != DActorKind::kModule)
-    return Status::error("no such module: " + module);
+    return Status::error(ErrCode::kNotFound, "no such module: " + module);
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
   r->type = Rule::Type::kPredicate;
@@ -823,7 +823,7 @@ Result<BpId> Session::break_on_step(const std::string& module, bool at_end) {
   const DActor* a = model_.actor_by_name(module);
   if (a == nullptr) a = model_.actor_by_path(module);
   if (a == nullptr || a->kind != DActorKind::kModule)
-    return Status::error("no such module: " + module);
+    return Status::error(ErrCode::kNotFound, "no such module: " + module);
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
   r->type = at_end ? Rule::Type::kStepEnd : Rule::Type::kStepBegin;
@@ -856,11 +856,11 @@ Result<BpId> Session::watch_variable(const std::string& filter, const std::strin
   const DActor* a = model_.actor_by_name(filter);
   if (a == nullptr) return unknown_filter(filter);
   if (kind != "data" && kind != "attribute")
-    return Status::error("watch kind must be 'data' or 'attribute'");
+    return Status::error(ErrCode::kInvalidArgument, "watch kind must be 'data' or 'attribute'");
   pedf::Filter* f = app_.filter_by_name(filter);
   if (f == nullptr) return unknown_filter(filter);
   pedf::Value* v = kind == "attribute" ? f->attribute(name) : f->data(name);
-  if (v == nullptr) return Status::error(filter + " has no " + kind + " '" + name + "'");
+  if (v == nullptr) return Status::error(ErrCode::kNotFound, filter + " has no " + kind + " '" + name + "'");
   ensure_line_hook();  // watchpoints sample at line markers too
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
@@ -890,19 +890,19 @@ Status Session::delete_breakpoint(BpId id) {
       return Status{};
     }
   }
-  return Status::error("no such breakpoint: " + std::to_string(id.value()));
+  return Status::error(ErrCode::kNotFound, "no such breakpoint: " + std::to_string(id.value()));
 }
 
 Status Session::set_breakpoint_enabled(BpId id, bool enabled) {
   Rule* r = find_rule(id);
-  if (r == nullptr) return Status::error("no such breakpoint: " + std::to_string(id.value()));
+  if (r == nullptr) return Status::error(ErrCode::kNotFound, "no such breakpoint: " + std::to_string(id.value()));
   r->enabled = enabled;
   return Status{};
 }
 
 Status Session::set_breakpoint_ignore(BpId id, std::uint64_t count) {
   Rule* r = find_rule(id);
-  if (r == nullptr) return Status::error("no such breakpoint: " + std::to_string(id.value()));
+  if (r == nullptr) return Status::error(ErrCode::kNotFound, "no such breakpoint: " + std::to_string(id.value()));
   r->ignore = count;
   return Status{};
 }
@@ -927,9 +927,9 @@ std::vector<BreakpointInfo> Session::breakpoints() const {
 
 Status Session::step_both_iface(const std::string& out_iface) {
   const DConnection* c = model_.connection_by_iface(out_iface);
-  if (c == nullptr) return Status::error("no such interface: " + out_iface);
-  if (c->is_input) return Status::error(out_iface + " is not an outbound interface");
-  if (c->link == UINT32_MAX) return Status::error(out_iface + " is not bound to a link");
+  if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + out_iface);
+  if (c->is_input) return Status::error(ErrCode::kInvalidArgument, out_iface + " is not an outbound interface");
+  if (c->link == UINT32_MAX) return Status::error(ErrCode::kInvalidArgument, out_iface + " is not bound to a link");
   const DLink* dl = model_.link(c->link);
   DFDBG_CHECK(dl != nullptr);
 
@@ -959,9 +959,9 @@ Status Session::step_both_iface(const std::string& out_iface) {
 
 Status Session::step_both() {
   if (current_actor_.empty())
-    return Status::error("step_both: no current filter (execution never stopped)");
+    return Status::error(ErrCode::kFailedPrecondition, "step_both: no current filter (execution never stopped)");
   const DActor* a = model_.actor_by_name(current_actor_);
-  if (a == nullptr) return Status::error("step_both: unknown current actor " + current_actor_);
+  if (a == nullptr) return Status::error(ErrCode::kNotFound, "step_both: unknown current actor " + current_actor_);
   auto arm = std::make_unique<Rule>();
   arm->id = BpId(next_bp_++);
   arm->type = Rule::Type::kStepBothArm;
@@ -976,9 +976,9 @@ Status Session::step_both() {
 
 Status Session::step_line() {
   if (current_actor_.empty())
-    return Status::error("step: no current filter (execution never stopped)");
+    return Status::error(ErrCode::kFailedPrecondition, "step: no current filter (execution never stopped)");
   const DActor* a = model_.actor_by_name(current_actor_);
-  if (a == nullptr) return Status::error("step: unknown current actor " + current_actor_);
+  if (a == nullptr) return Status::error(ErrCode::kNotFound, "step: unknown current actor " + current_actor_);
   ensure_line_hook();
   auto r = std::make_unique<Rule>();
   r->id = BpId(next_bp_++);
@@ -1001,153 +1001,9 @@ const DToken* Session::last_token(const std::string& filter) const {
   return model_.token(a->last_token_in);
 }
 
-std::string Session::info_last_token(const std::string& filter, std::size_t depth) const {
-  const DActor* a = model_.actor_by_name(filter);
-  if (a == nullptr) return "<no such filter: " + filter + ">";
-  if (!a->last_token_in.valid()) return "<filter " + filter + " has not received any token>";
-  auto path = model_.token_path(a->last_token_in, depth);
-  std::string out;
-  int n = 1;
-  for (const DToken* t : path) {
-    out += strformat("#%d %s", n++, model_.describe_token(t->id).c_str());
-    if (t->injected) out += "  (injected by debugger)";
-    out += "\n";
-  }
-  return out;
-}
-
-std::string Session::whence(const std::string& iface, std::size_t slot, std::size_t depth) const {
-  const DLink* dl = model_.link_by_iface(iface);
-  if (dl == nullptr) return "<no link on interface: " + iface + ">";
-  if (slot >= dl->queue.size())
-    return strformat("<link `%s' holds %zu token(s), no slot %zu>", dl->name.c_str(),
-                     dl->queue.size(), slot);
-  TokenId start = dl->queue[slot];
-  auto path = model_.token_path(start, depth);
-  if (path.empty()) return "<token in slot " + std::to_string(slot) + " was pruned>";
-  std::string out = strformat("causal chain of slot %zu of `%s' (newest first):\n", slot,
-                              dl->name.c_str());
-  int n = 1;
-  for (const DToken* t : path) {
-    out += strformat("#%d tok#%llu %s", n++, static_cast<unsigned long long>(t->uid),
-                     model_.describe_token(t->id).c_str());
-    if (t->injected) out += "  (injected by debugger)";
-    out += strformat("  [pushed@t=%llu]", static_cast<unsigned long long>(t->pushed_at));
-    out += "\n";
-  }
-  if (path.size() == depth && path.back()->produced_from.valid())
-    out += strformat("... (chain truncated at %zu hops)\n", depth);
-  const DToken* root = path.back();
-  if (!root->produced_from.valid()) {
-    const DLink* rl = model_.link(root->link);
-    out += "source: " + (rl != nullptr ? rl->src_actor : std::string("?"));
-    if (root->injected) out += " (debugger injection)";
-    out += "\n";
-  }
-  return out;
-}
-
-std::string Session::info_filter(const std::string& filter) const {
-  const DActor* a = model_.actor_by_name(filter);
-  if (a == nullptr) return "<no such filter: " + filter + ">";
-  std::string out = "filter `" + a->name + "' (" + a->path + ")\n";
-  out += "  state:    " + std::string(to_string(a->sched)) + "\n";
-  out += strformat("  firings:  %llu\n", static_cast<unsigned long long>(a->firings));
-  if (a->current_line > 0) out += strformat("  line:     %d\n", a->current_line);
-  out += "  pe:       " + a->pe + "\n";
-  out += "  behavior: " + std::string(to_string(a->behavior)) + "\n";
-  const pedf::Actor* fa = app_.actor_by_name(filter);
-  if (fa != nullptr) {
-    const pedf::BlockInfo& b = fa->blocked();
-    switch (b.kind) {
-      case pedf::BlockInfo::Kind::kNone:
-        out += "  blocked:  no\n";
-        break;
-      case pedf::BlockInfo::Kind::kLinkEmpty:
-        out += "  blocked:  waiting for data on `" + b.link->name() + "'\n";
-        break;
-      case pedf::BlockInfo::Kind::kLinkFull:
-        out += "  blocked:  waiting for space on `" + b.link->name() + "'\n";
-        break;
-      case pedf::BlockInfo::Kind::kStart:
-        out += "  blocked:  waiting to be scheduled\n";
-        break;
-      case pedf::BlockInfo::Kind::kStep:
-        out += "  blocked:  waiting for step completion\n";
-        break;
-    }
-  }
-  return out;
-}
-
-std::string Session::info_links() const {
-  std::string out;
-  for (const auto& l : app_.links()) {
-    out += strformat("%-60s %6zu token(s)  pushes=%llu pops=%llu hwm=%zu [%s]\n",
-                     l->name().c_str(), l->occupancy(),
-                     static_cast<unsigned long long>(l->push_index()),
-                     static_cast<unsigned long long>(l->pop_index()), l->high_watermark(),
-                     to_string(l->transport()));
-  }
-  return out;
-}
-
-std::string Session::info_link_tokens(const std::string& iface) const {
-  const DLink* dl = model_.link_by_iface(iface);
-  if (dl == nullptr) return "<no link on interface: " + iface + ">";
-  if (dl->queue.empty()) return "link `" + dl->name + "' is empty\n";
-  std::string out = strformat("link `%s' holds %zu token(s):\n", dl->name.c_str(),
-                              dl->queue.size());
-  std::size_t slot = 0;
-  for (TokenId id : dl->queue) {
-    const DToken* t = model_.token(id);
-    if (t != nullptr) {
-      out += strformat("  #%zu %s  (pushed at t=%llu%s)\n", slot, t->value.to_string().c_str(),
-                       static_cast<unsigned long long>(t->pushed_at),
-                       t->injected ? ", injected by debugger" : "");
-    } else {
-      out += strformat("  #%zu <pruned>\n", slot);
-    }
-    slot++;
-  }
-  return out;
-}
-
-std::string Session::info_sched(const std::string& module) const {
-  const DActor* m = model_.actor_by_name(module);
-  if (m == nullptr) m = model_.actor_by_path(module);
-  if (m == nullptr || m->kind != DActorKind::kModule) return "<no such module: " + module + ">";
-  std::string out =
-      strformat("module `%s' step %llu\n", m->name.c_str(), static_cast<unsigned long long>(m->step));
-  for (const DActor& a : model_.actors()) {
-    if (a.parent_path != m->path || a.kind != DActorKind::kFilter) continue;
-    out += strformat("  %-16s %-14s firings=%llu\n", a.name.c_str(), to_string(a.sched),
-                     static_cast<unsigned long long>(a.firings));
-  }
-  return out;
-}
-
-std::string Session::info_profile() const {
-  std::string out = strformat("t=%llu cycles, %llu scheduler dispatches\n",
-                              static_cast<unsigned long long>(app_.kernel().now()),
-                              static_cast<unsigned long long>(app_.kernel().dispatch_count()));
-  out += strformat("%-22s %-10s %9s %14s %13s\n", "actor", "pe", "firings", "sim cycles",
-                   "activations");
-  for (const pedf::Actor* a : app_.actors()) {
-    if (a->kind() == pedf::ActorKind::kModule) continue;
-    const sim::Process* proc = app_.kernel().process_by_name(a->path());
-    std::uint64_t firings = 0;
-    if (a->kind() == pedf::ActorKind::kFilter || a->kind() == pedf::ActorKind::kHostIo)
-      firings = static_cast<const pedf::Filter*>(a)->firings();
-    out += strformat("%-22s %-10s %9llu %14llu %13llu\n", a->path().c_str(),
-                     a->pe() != nullptr ? a->pe()->name().c_str() : "-",
-                     static_cast<unsigned long long>(firings),
-                     static_cast<unsigned long long>(proc != nullptr ? proc->consumed_time() : 0),
-                     static_cast<unsigned long long>(proc != nullptr ? proc->activation_count()
-                                                                     : 0));
-  }
-  return out;
-}
+// The structured view builders (links_view, filter_view, whence_chain, ...)
+// live in views.cpp; the deprecated string-rendered shims (info_links,
+// whence, ...) are defined with the text renderers in src/dbgcli/render.cpp.
 
 Status Session::configure_behavior(const std::string& filter, ActorBehavior behavior) {
   DActor* a = model_.actor_by_name_mut(filter);
@@ -1158,7 +1014,7 @@ Status Session::configure_behavior(const std::string& filter, ActorBehavior beha
 
 Status Session::record_iface(const std::string& iface, RecordPolicy policy, std::size_t bound) {
   const DConnection* c = model_.connection_by_iface(iface);
-  if (c == nullptr) return Status::error("no such interface: " + iface);
+  if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + iface);
   recorder_.enable(iface, policy, bound);
   return Status{};
 }
@@ -1173,7 +1029,7 @@ std::string Session::print_recorded(const std::string& iface) const {
 
 Result<const DLink*> Session::resolve_link(const std::string& iface) const {
   const DLink* dl = model_.link_by_iface(iface);
-  if (dl == nullptr) return Status::error("no link on interface: " + iface);
+  if (dl == nullptr) return Status::error(ErrCode::kNotFound, "no link on interface: " + iface);
   return dl;
 }
 
@@ -1183,28 +1039,28 @@ pedf::Link* Session::framework_link(const DLink& dl) const {
 
 Status Session::inject_token(const std::string& iface, pedf::Value v) {
   if (app_.kernel().current() != nullptr)
-    return Status::error("inject_token only while the execution is stopped");
+    return Status::error(ErrCode::kFailedPrecondition, "inject_token only while the execution is stopped");
   auto dl = resolve_link(iface);
   if (!dl.ok()) return dl.status();
   pedf::Link* fl = framework_link(**dl);
   DFDBG_CHECK(fl != nullptr);
   if (!(v.type() == fl->type()))
-    return Status::error("token type " + v.type().name() + " does not match link type " +
+    return Status::error(ErrCode::kFailedPrecondition, "token type " + v.type().name() + " does not match link type " +
                          fl->type().name());
-  if (fl->full()) return Status::error("link is full: " + fl->name());
+  if (fl->full()) return Status::error(ErrCode::kFailedPrecondition, "link is full: " + fl->name());
   app_.debug_inject(*fl, std::move(v));
   return Status{};
 }
 
 Status Session::remove_token(const std::string& iface, std::size_t idx) {
   if (app_.kernel().current() != nullptr)
-    return Status::error("remove_token only while the execution is stopped");
+    return Status::error(ErrCode::kFailedPrecondition, "remove_token only while the execution is stopped");
   auto dl = resolve_link(iface);
   if (!dl.ok()) return dl.status();
   pedf::Link* fl = framework_link(**dl);
   DFDBG_CHECK(fl != nullptr);
   if (idx >= fl->occupancy())
-    return Status::error(strformat("link holds %zu token(s), cannot remove slot %zu",
+    return Status::error(ErrCode::kOutOfRange, strformat("link holds %zu token(s), cannot remove slot %zu",
                                    fl->occupancy(), idx));
   app_.debug_remove(*fl, idx);
   return Status{};
@@ -1212,16 +1068,16 @@ Status Session::remove_token(const std::string& iface, std::size_t idx) {
 
 Status Session::replace_token(const std::string& iface, std::size_t idx, pedf::Value v) {
   if (app_.kernel().current() != nullptr)
-    return Status::error("replace_token only while the execution is stopped");
+    return Status::error(ErrCode::kFailedPrecondition, "replace_token only while the execution is stopped");
   auto dl = resolve_link(iface);
   if (!dl.ok()) return dl.status();
   pedf::Link* fl = framework_link(**dl);
   DFDBG_CHECK(fl != nullptr);
   if (idx >= fl->occupancy())
-    return Status::error(strformat("link holds %zu token(s), cannot replace slot %zu",
+    return Status::error(ErrCode::kOutOfRange, strformat("link holds %zu token(s), cannot replace slot %zu",
                                    fl->occupancy(), idx));
   if (!(v.type() == fl->type()))
-    return Status::error("token type " + v.type().name() + " does not match link type " +
+    return Status::error(ErrCode::kFailedPrecondition, "token type " + v.type().name() + " does not match link type " +
                          fl->type().name());
   app_.debug_replace(*fl, idx, std::move(v));
   return Status{};
@@ -1258,8 +1114,8 @@ Status Session::use_selective_data_hooks(const std::vector<std::string>& ifaces)
   clear_selective_data_hooks();
   for (const std::string& iface : ifaces) {
     const DConnection* c = model_.connection_by_iface(iface);
-    if (c == nullptr) return Status::error("no such interface: " + iface);
-    if (c->link == UINT32_MAX) return Status::error(iface + " is not bound to a link");
+    if (c == nullptr) return Status::error(ErrCode::kNotFound, "no such interface: " + iface);
+    if (c->link == UINT32_MAX) return Status::error(ErrCode::kInvalidArgument, iface + " is not bound to a link");
     const pedf::LinkSymbols& ls = app_.link_syms(pedf::LinkId(c->link));
     if (c->is_input) {
       selective_hooks_.push_back(
@@ -1319,9 +1175,9 @@ std::string Session::list_source(const std::string& filter, int line, int contex
 Result<pedf::Value> Session::read_variable(const std::string& filter, const std::string& kind,
                                            const std::string& name) const {
   pedf::Filter* f = app_.filter_by_name(filter);
-  if (f == nullptr) return Status::error("no such filter: " + filter);
+  if (f == nullptr) return Status::error(ErrCode::kNotFound, "no such filter: " + filter);
   pedf::Value* v = kind == "attribute" ? f->attribute(name) : f->data(name);
-  if (v == nullptr) return Status::error(filter + " has no " + kind + " '" + name + "'");
+  if (v == nullptr) return Status::error(ErrCode::kNotFound, filter + " has no " + kind + " '" + name + "'");
   return *v;
 }
 
@@ -1332,7 +1188,7 @@ int Session::store_value(pedf::Value v) {
 
 Result<pedf::Value> Session::value_history(int n) const {
   if (n < 1 || static_cast<std::size_t>(n) > value_history_.size())
-    return Status::error("no value history entry $" + std::to_string(n));
+    return Status::error(ErrCode::kNotFound, "no value history entry $" + std::to_string(n));
   return value_history_[static_cast<std::size_t>(n - 1)];
 }
 

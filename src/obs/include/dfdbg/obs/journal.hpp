@@ -37,6 +37,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "dfdbg/common/json.hpp"
 #include "dfdbg/common/ring_buffer.hpp"
 #include "dfdbg/common/strings.hpp"
 #include "dfdbg/obs/metrics.hpp"
@@ -147,6 +148,12 @@ class Journal {
   /// The newest `n` retained events, oldest first, one line each.
   [[nodiscard]] std::string format_last(std::size_t n,
                                         const LinkNamer& link_name = nullptr) const;
+
+  /// The retained window as one JSON document through the shared encoder
+  /// (dfdbg/common/json.hpp): window counters plus an `events` array, oldest
+  /// first. The raw-event twin of the Chrome-trace export — used by the CLI
+  /// `journal dump <file> --json` and the debug server's `journal` verb.
+  void write_json(JsonWriter& w, const LinkNamer& link_name = nullptr) const;
 
  private:
   RingBuffer<JournalEvent> ring_;

@@ -152,4 +152,27 @@ std::string Journal::format_last(std::size_t n, const LinkNamer& link_name) cons
   return out;
 }
 
+void Journal::write_json(JsonWriter& w, const LinkNamer& link_name) const {
+  w.begin_object()
+      .kv("capacity", static_cast<std::uint64_t>(ring_.capacity()))
+      .kv("recorded", total_recorded())
+      .kv("retained", static_cast<std::uint64_t>(ring_.size()))
+      .kv("dropped", dropped_)
+      .kv("token_ids", last_token_)
+      .key("events")
+      .begin_array();
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const JournalEvent& ev = ring_.at(i);
+    w.begin_object().kv("t", ev.time).kv("kind", to_string(ev.kind));
+    if (ev.token != 0) w.kv("token", ev.token);
+    if (ev.link != UINT32_MAX)
+      w.kv("link", link_name ? link_name(ev.link) : strformat("link#%u", ev.link));
+    if (ev.actor != UINT32_MAX) w.kv("actor", name(ev.actor));
+    w.kv("index", ev.index);
+    if (ev.firing != 0) w.kv("firing", ev.firing);
+    w.end_object();
+  }
+  w.end_array().end_object();
+}
+
 }  // namespace dfdbg::obs

@@ -1,0 +1,51 @@
+// Wire protocol of the debug server: JSON-RPC 2.0 objects, one per line
+// (newline-delimited JSON), over a TCP or Unix-domain stream socket.
+//
+//   --> {"jsonrpc":"2.0","id":1,"method":"info_links"}
+//   <-- {"jsonrpc":"2.0","id":1,"result":{"links":[...]}}
+//   --> {"jsonrpc":"2.0","id":2,"method":"whence","params":{"iface":"x::y"}}
+//   <-- {"jsonrpc":"2.0","id":2,"error":{"code":-32001,"message":"...",
+//        "data":{"err":"not-found"}}}
+//
+// Requests and responses never contain a raw newline (the JSON encoder
+// escapes them), so '\n' is an unambiguous frame delimiter. See
+// docs/PROTOCOL.md for the verb catalogue.
+#pragma once
+
+#include <string>
+
+#include "dfdbg/common/json.hpp"
+#include "dfdbg/common/status.hpp"
+
+namespace dfdbg::server {
+
+// JSON-RPC 2.0 pre-defined error codes.
+inline constexpr int kErrParse = -32700;
+inline constexpr int kErrInvalidRequest = -32600;
+inline constexpr int kErrMethodNotFound = -32601;
+inline constexpr int kErrInvalidParams = -32602;
+inline constexpr int kErrInternal = -32603;
+// Implementation-defined range (-32000..-32099): dfdbg Status codes that
+// have no JSON-RPC equivalent.
+inline constexpr int kErrNotFound = -32001;
+inline constexpr int kErrFailedPrecondition = -32002;
+inline constexpr int kErrOutOfRange = -32003;
+inline constexpr int kErrIo = -32004;
+
+/// Maps a Status error code onto the JSON-RPC error-code space.
+[[nodiscard]] int jsonrpc_code(ErrCode code);
+
+/// Serializes a success response: {"jsonrpc":"2.0","id":<id>,"result":<r>}.
+/// `id_json` and `result_json` are pre-serialized JSON fragments.
+[[nodiscard]] std::string make_result_frame(const std::string& id_json,
+                                            const std::string& result_json);
+
+/// Serializes an error response; `data.err` carries the stable dfdbg error
+/// code string (to_string(ErrCode)) so clients need not parse messages.
+[[nodiscard]] std::string make_error_frame(const std::string& id_json, int code,
+                                           const std::string& message, ErrCode err);
+
+/// Same, straight from a failed Status.
+[[nodiscard]] std::string make_error_frame(const std::string& id_json, const Status& s);
+
+}  // namespace dfdbg::server

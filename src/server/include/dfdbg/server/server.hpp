@@ -1,0 +1,106 @@
+// The multi-client debug server: exposes a Session's command surface over
+// newline-delimited JSON-RPC on a TCP or Unix-domain socket (protocol.hpp).
+//
+// Concurrency model: ONE thread runs serve() — a poll(2) event loop that
+// accepts clients, reassembles frames and executes verbs synchronously
+// against the Session. The simulation kernel is cooperative and
+// deterministic (fibers or blocked threads), so every verb — including
+// `run`, which resumes the simulation — executes on the serving thread and
+// clients observe a single consistent interleaving; no locks are needed and
+// the determinism guarantees of the kernel are preserved. Multiple clients
+// are multiplexed, not parallelized: requests are handled in arrival order.
+//
+// serve() blocks until the `shutdown` verb arrives or request_shutdown() is
+// called from another thread (a self-pipe wakes the poll loop).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/dbgcli/cli.hpp"
+#include "dfdbg/debug/session.hpp"
+
+namespace dfdbg::server {
+
+struct ServerConfig {
+  /// A request line longer than this is rejected (-32600) and the client
+  /// disconnected: a stream that never produces '\n' would otherwise grow
+  /// the reassembly buffer without bound.
+  std::size_t max_frame_bytes = 1 << 20;
+  /// Accepted connections beyond this are refused (accept+close).
+  std::size_t max_clients = 32;
+  /// Gate for the `exec` verb (raw CLI line execution). Disable to restrict
+  /// remote clients to the structured verb set.
+  bool allow_exec = true;
+};
+
+class DebugServer {
+ public:
+  explicit DebugServer(dbg::Session& session, ServerConfig config = {});
+  ~DebugServer();
+
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  /// Binds and listens on `host:port` (port 0 = ephemeral). Returns the
+  /// bound port.
+  Result<int> listen_tcp(const std::string& host = "127.0.0.1", int port = 0);
+  /// Binds and listens on a Unix-domain socket path (unlinked first).
+  Status listen_unix(const std::string& path);
+
+  /// Runs the event loop on the calling thread until shutdown. Requires a
+  /// prior successful listen_tcp()/listen_unix().
+  Status serve();
+
+  /// Thread-safe: wakes the poll loop and makes serve() return.
+  void request_shutdown();
+
+  /// Bound TCP port (0 before listen_tcp()).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Decodes and executes ONE request frame (no trailing newline), returns
+  /// the response frame. This is the whole protocol minus the socket —
+  /// public so tests and benchmarks can drive the verb table in-process.
+  std::string handle_frame(std::string_view frame);
+
+  [[nodiscard]] dbg::Session& session() { return session_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string in;   ///< bytes received, not yet framed
+    std::string out;  ///< responses not yet written
+    bool close_after_flush = false;
+  };
+
+  std::string dispatch(const std::string& method, const JsonValue& params,
+                       const std::string& id_json);
+  void accept_clients();
+  /// Reads from client `i`; frames and executes requests. Returns false if
+  /// the client disconnected (and was closed).
+  bool service_input(std::size_t i);
+  /// Flushes pending output of client `i`. Returns false on write error.
+  bool flush_output(std::size_t i);
+  void close_client(std::size_t i);
+  void enqueue(Client& c, std::string frame);
+
+  dbg::Session& session_;
+  ServerConfig config_;
+  /// Executes `exec` verbs; its console buffers each command's transcript.
+  std::unique_ptr<cli::Interpreter> interp_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string unix_path_;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: request_shutdown() -> poll()
+  bool shutdown_ = false;
+  std::vector<Client> clients_;
+};
+
+}  // namespace dfdbg::server

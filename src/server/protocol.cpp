@@ -1,0 +1,62 @@
+#include "dfdbg/server/protocol.hpp"
+
+namespace dfdbg::server {
+
+int jsonrpc_code(ErrCode code) {
+  switch (code) {
+    case ErrCode::kOk:
+      return 0;
+    case ErrCode::kInvalidArgument:
+      return kErrInvalidParams;
+    case ErrCode::kNotFound:
+      return kErrNotFound;
+    case ErrCode::kFailedPrecondition:
+      return kErrFailedPrecondition;
+    case ErrCode::kOutOfRange:
+      return kErrOutOfRange;
+    case ErrCode::kParseError:
+      return kErrParse;
+    case ErrCode::kIo:
+      return kErrIo;
+    case ErrCode::kUnimplemented:
+      return kErrMethodNotFound;
+    case ErrCode::kInternal:
+    case ErrCode::kUnknown:
+      return kErrInternal;
+  }
+  return kErrInternal;
+}
+
+std::string make_result_frame(const std::string& id_json, const std::string& result_json) {
+  std::string out = "{\"jsonrpc\":\"2.0\",\"id\":";
+  out += id_json;
+  out += ",\"result\":";
+  out += result_json;
+  out += "}";
+  return out;
+}
+
+std::string make_error_frame(const std::string& id_json, int code, const std::string& message,
+                             ErrCode err) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("code", static_cast<std::int64_t>(code));
+  w.kv("message", message);
+  w.key("data");
+  w.begin_object();
+  w.kv("err", to_string(err));
+  w.end_object();
+  w.end_object();
+  std::string out = "{\"jsonrpc\":\"2.0\",\"id\":";
+  out += id_json;
+  out += ",\"error\":";
+  out += w.take();
+  out += "}";
+  return out;
+}
+
+std::string make_error_frame(const std::string& id_json, const Status& s) {
+  return make_error_frame(id_json, jsonrpc_code(s.code()), s.message(), s.code());
+}
+
+}  // namespace dfdbg::server

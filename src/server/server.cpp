@@ -1,0 +1,554 @@
+#include "dfdbg/server/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "dfdbg/common/json.hpp"
+#include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/journal.hpp"
+#include "dfdbg/obs/metrics.hpp"
+#include "dfdbg/server/protocol.hpp"
+
+namespace dfdbg::server {
+
+namespace {
+
+Status errno_status(const char* what) {
+  return Status::error(ErrCode::kIo, strformat("%s: %s", what, std::strerror(errno)));
+}
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Serializes one structured view as a full result frame.
+template <typename V>
+std::string view_frame(const std::string& id_json, const V& v) {
+  JsonWriter w;
+  dbg::to_json(w, v);
+  return make_result_frame(id_json, w.take());
+}
+
+/// Result<View> -> result frame or mapped error frame.
+template <typename V>
+std::string result_frame(const std::string& id_json, const Result<V>& r) {
+  if (!r.ok()) return make_error_frame(id_json, r.status());
+  return view_frame(id_json, *r);
+}
+
+/// Result<BpId> -> {"breakpoint":<id>}.
+std::string bp_frame(const std::string& id_json, const Result<dbg::BpId>& r) {
+  if (!r.ok()) return make_error_frame(id_json, r.status());
+  JsonWriter w;
+  w.begin_object().kv("breakpoint", r->value()).end_object();
+  return make_result_frame(id_json, w.take());
+}
+
+/// Status -> {"ok":true} or error frame.
+std::string status_frame(const std::string& id_json, const Status& s) {
+  if (!s.ok()) return make_error_frame(id_json, s);
+  return make_result_frame(id_json, "{\"ok\":true}");
+}
+
+constexpr const char* kMethods[] = {
+    "ping",           "capabilities",      "run",
+    "info_links",     "info_filter",       "info_sched",
+    "info_profile",   "info_last_token",   "link_tokens",
+    "whence",         "breakpoints",       "catch_work",
+    "catch_tokens",   "catch_all_inputs",  "break_receive",
+    "break_send",     "break_occupancy",   "break_schedule",
+    "delete_breakpoint", "enable_breakpoint", "step_both",
+    "inject",         "remove",            "replace",
+    "exec",           "journal",           "stats",
+    "shutdown",
+};
+
+}  // namespace
+
+DebugServer::DebugServer(dbg::Session& session, ServerConfig config)
+    : session_(session),
+      config_(config),
+      interp_(std::make_unique<cli::Interpreter>(session)) {
+  if (pipe(wake_pipe_) == 0) {
+    set_nonblocking(wake_pipe_[0]);
+    set_nonblocking(wake_pipe_[1]);
+  }
+}
+
+DebugServer::~DebugServer() {
+  for (std::size_t i = clients_.size(); i > 0; --i) close_client(i - 1);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (!unix_path_.empty()) unlink(unix_path_.c_str());
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+}
+
+Result<int> DebugServer::listen_tcp(const std::string& host, int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::error(ErrCode::kInvalidArgument, "bad listen address: " + host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = errno_status("bind");
+    close(fd);
+    return s;
+  }
+  if (listen(fd, 16) != 0) {
+    Status s = errno_status("listen");
+    close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return port_;
+}
+
+Status DebugServer::listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path))
+    return Status::error(ErrCode::kInvalidArgument, "socket path too long: " + path);
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = errno_status("bind");
+    close(fd);
+    return s;
+  }
+  if (listen(fd, 16) != 0) {
+    Status s = errno_status("listen");
+    close(fd);
+    return s;
+  }
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+  unix_path_ = path;
+  return Status{};
+}
+
+void DebugServer::request_shutdown() {
+  char b = 1;
+  if (wake_pipe_[1] >= 0) {
+    ssize_t n = write(wake_pipe_[1], &b, 1);
+    (void)n;
+  }
+}
+
+void DebugServer::accept_clients() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    if (clients_.size() >= config_.max_clients) {
+      close(fd);
+      obs::Registry::global().counter("server.refused").add();
+      continue;
+    }
+    set_nonblocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // no-op on AF_UNIX
+    Client c;
+    c.fd = fd;
+    clients_.push_back(std::move(c));
+    obs::Registry::global().counter("server.accepts").add();
+    obs::Registry::global().gauge("server.clients").set(static_cast<std::int64_t>(clients_.size()));
+  }
+}
+
+void DebugServer::close_client(std::size_t i) {
+  close(clients_[i].fd);
+  clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(i));
+  obs::Registry::global().gauge("server.clients").set(static_cast<std::int64_t>(clients_.size()));
+}
+
+void DebugServer::enqueue(Client& c, std::string frame) {
+  obs::Registry::global().counter("server.bytes_out").add(frame.size() + 1);
+  c.out += frame;
+  c.out += '\n';
+}
+
+bool DebugServer::service_input(std::size_t i) {
+  Client& c = clients_[i];
+  char buf[65536];
+  bool eof = false;
+  for (;;) {
+    ssize_t n = recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      obs::Registry::global().counter("server.bytes_in").add(static_cast<std::uint64_t>(n));
+      c.in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // 0 = orderly disconnect, <0 = error. Complete frames already received
+    // are still executed below (shutdown(SHUT_WR)-then-read clients, and
+    // fire-and-forget requests whose effects must land); then we close.
+    eof = true;
+    break;
+  }
+  std::size_t start = 0;
+  for (;;) {
+    std::size_t nl = c.in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string_view line(c.in.data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = nl + 1;
+    if (line.empty()) continue;
+    if (line.size() > config_.max_frame_bytes) {
+      enqueue(c, make_error_frame("null", kErrInvalidRequest, "frame too large",
+                                  ErrCode::kInvalidArgument));
+      c.close_after_flush = true;
+      break;
+    }
+    enqueue(c, handle_frame(line));
+    if (shutdown_) break;
+  }
+  c.in.erase(0, start);
+  if (c.in.size() > config_.max_frame_bytes) {
+    // The peer is streaming an unterminated frame; cut it off.
+    enqueue(c, make_error_frame("null", kErrInvalidRequest, "frame too large",
+                                ErrCode::kInvalidArgument));
+    c.close_after_flush = true;
+    c.in.clear();
+  }
+  if (eof) {
+    if (c.out.empty()) {
+      close_client(i);
+      return false;
+    }
+    c.close_after_flush = true;
+  }
+  return true;
+}
+
+bool DebugServer::flush_output(std::size_t i) {
+  Client& c = clients_[i];
+  while (!c.out.empty()) {
+    ssize_t n = send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    close_client(i);
+    return false;
+  }
+  if (c.close_after_flush) {
+    close_client(i);
+    return false;
+  }
+  return true;
+}
+
+Status DebugServer::serve() {
+  if (listen_fd_ < 0)
+    return Status::error(ErrCode::kFailedPrecondition, "serve: not listening (call listen_* first)");
+  shutdown_ = false;
+  while (!shutdown_) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Client& c : clients_)
+      fds.push_back({c.fd, static_cast<short>(POLLIN | (c.out.empty() ? 0 : POLLOUT)), 0});
+    int rc = poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll");
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+      shutdown_ = true;
+    }
+    // Service only the clients that were polled (fds built before accept:
+    // connections accepted this round are polled next round). Walk back to
+    // front: close_client erases by index, leaving lower indexes stable.
+    std::size_t polled = fds.size() - 2;
+    if ((fds[1].revents & POLLIN) != 0) accept_clients();
+    for (std::size_t i = polled; i > 0; --i) {
+      std::size_t idx = i - 1;
+      short re = fds[2 + idx].revents;
+      if (re == 0) continue;
+      if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0 && (re & POLLIN) == 0) {
+        close_client(idx);
+        continue;
+      }
+      if ((re & POLLIN) != 0 && !service_input(idx)) continue;
+      if ((re & (POLLOUT | POLLIN)) != 0) flush_output(idx);
+    }
+  }
+  // Graceful exit: flush what clients are owed (briefly, blocking), then close.
+  for (std::size_t i = clients_.size(); i > 0; --i) {
+    Client& c = clients_[i - 1];
+    if (!c.out.empty()) {
+      int flags = fcntl(c.fd, F_GETFL, 0);
+      if (flags >= 0) fcntl(c.fd, F_SETFL, flags & ~O_NONBLOCK);
+      (void)send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+    }
+    close_client(i - 1);
+  }
+  return Status{};
+}
+
+std::string DebugServer::handle_frame(std::string_view frame) {
+  obs::Registry::global().counter("server.requests").add();
+  obs::ScopedTimer timer(obs::Registry::global().histogram("server.request_ns"));
+  auto parsed = JsonValue::parse(frame);
+  if (!parsed.ok()) {
+    obs::Registry::global().counter("server.errors").add();
+    return make_error_frame("null", kErrParse, parsed.status().message(), ErrCode::kParseError);
+  }
+  if (!parsed->is_object()) {
+    obs::Registry::global().counter("server.errors").add();
+    return make_error_frame("null", kErrInvalidRequest, "request is not a JSON object",
+                            ErrCode::kInvalidArgument);
+  }
+  const JsonValue* id = parsed->find("id");
+  std::string id_json = id != nullptr ? id->dump() : "null";
+  std::string method = parsed->str_or("method");
+  if (method.empty()) {
+    obs::Registry::global().counter("server.errors").add();
+    return make_error_frame(id_json, kErrInvalidRequest, "missing method",
+                            ErrCode::kInvalidArgument);
+  }
+  obs::Registry::global().counter(std::string("server.req.") + method).add();
+  static const JsonValue kNoParams;
+  const JsonValue* params = parsed->find("params");
+  std::string response = dispatch(method, params != nullptr ? *params : kNoParams, id_json);
+  // Every error frame carries this exact unescaped marker (protocol.cpp);
+  // inside result payloads the quotes would be \"-escaped.
+  if (response.find(",\"error\":{\"code\":") != std::string::npos)
+    obs::Registry::global().counter("server.errors").add();
+  return response;
+}
+
+std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
+                                  const std::string& id_json) {
+  auto missing = [&](const char* param) {
+    return make_error_frame(id_json, kErrInvalidParams,
+                            strformat("missing required param: %s", param),
+                            ErrCode::kInvalidArgument);
+  };
+
+  if (method == "ping") return make_result_frame(id_json, "{\"pong\":true}");
+
+  if (method == "capabilities") {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("protocol", 1);
+    w.kv("exec", config_.allow_exec);
+    w.kv("max_frame_bytes", static_cast<std::uint64_t>(config_.max_frame_bytes));
+    w.key("methods").begin_array();
+    for (const char* m : kMethods) w.value(m);
+    w.end_array();
+    w.end_object();
+    return make_result_frame(id_json, w.take());
+  }
+
+  if (method == "run") {
+    sim::SimTime until = p.u64_or("until", sim::kMaxSimTime);
+    dbg::RunOutcome outcome = session_.run(until);
+    JsonWriter w;
+    dbg::to_json(w, outcome);
+    // Fold in async insertion notes so clients see what stepping armed.
+    std::string doc = w.take();
+    std::vector<std::string> notes = session_.take_notes();
+    if (!notes.empty()) {
+      JsonWriter nw;
+      nw.begin_array();
+      for (const std::string& n : notes) nw.value(n);
+      nw.end_array();
+      doc.back() = ',';
+      doc += "\"notes\":" + nw.take() + "}";
+    }
+    return make_result_frame(id_json, doc);
+  }
+
+  if (method == "info_links") return view_frame(id_json, session_.links_view());
+  if (method == "info_profile") return view_frame(id_json, session_.profile_snapshot());
+  if (method == "info_filter") {
+    std::string name = p.str_or("name");
+    if (name.empty()) return missing("name");
+    return result_frame(id_json, session_.filter_view(name));
+  }
+  if (method == "info_sched") {
+    std::string module = p.str_or("module");
+    if (module.empty()) return missing("module");
+    return result_frame(id_json, session_.sched_view(module));
+  }
+  if (method == "info_last_token") {
+    std::string filter = p.str_or("filter");
+    if (filter.empty()) return missing("filter");
+    return result_frame(id_json, session_.last_token_view(filter, p.u64_or("depth", 8)));
+  }
+  if (method == "link_tokens") {
+    std::string iface = p.str_or("iface");
+    if (iface.empty()) return missing("iface");
+    return result_frame(id_json, session_.link_tokens_view(iface));
+  }
+  if (method == "whence") {
+    std::string iface = p.str_or("iface");
+    if (iface.empty()) return missing("iface");
+    return result_frame(id_json,
+                        session_.whence_chain(iface, p.u64_or("slot", 0), p.u64_or("depth", 8)));
+  }
+
+  if (method == "breakpoints") {
+    JsonWriter w;
+    w.begin_object().key("breakpoints").begin_array();
+    for (const dbg::BreakpointInfo& bp : session_.breakpoints()) dbg::to_json(w, bp);
+    w.end_array().end_object();
+    return make_result_frame(id_json, w.take());
+  }
+  if (method == "catch_work") {
+    std::string filter = p.str_or("filter");
+    if (filter.empty()) return missing("filter");
+    return bp_frame(id_json, session_.catch_work(filter));
+  }
+  if (method == "catch_tokens") {
+    std::string filter = p.str_or("filter");
+    if (filter.empty()) return missing("filter");
+    const JsonValue* counts = p.find("counts");
+    if (counts == nullptr || !counts->is_object() || counts->size() == 0)
+      return missing("counts");
+    std::vector<std::pair<std::string, std::uint64_t>> pairs;
+    for (std::size_t i = 0; i < counts->size(); ++i)
+      pairs.emplace_back(counts->key_at(i), counts->at(i).as_u64());
+    return bp_frame(id_json, session_.catch_tokens(filter, std::move(pairs)));
+  }
+  if (method == "catch_all_inputs") {
+    std::string filter = p.str_or("filter");
+    if (filter.empty()) return missing("filter");
+    return bp_frame(id_json, session_.catch_all_inputs(filter, p.u64_or("count", 1)));
+  }
+  if (method == "break_receive") {
+    std::string iface = p.str_or("iface");
+    if (iface.empty()) return missing("iface");
+    return bp_frame(id_json, session_.break_on_receive(iface));
+  }
+  if (method == "break_send") {
+    std::string iface = p.str_or("iface");
+    if (iface.empty()) return missing("iface");
+    return bp_frame(id_json, session_.break_on_send(iface));
+  }
+  if (method == "break_occupancy") {
+    std::string iface = p.str_or("iface");
+    if (iface.empty()) return missing("iface");
+    return bp_frame(id_json,
+                    session_.break_on_occupancy(iface, p.u64_or("threshold", 1)));
+  }
+  if (method == "break_schedule") {
+    std::string filter = p.str_or("filter");
+    if (filter.empty()) return missing("filter");
+    return bp_frame(id_json, session_.break_on_schedule(filter));
+  }
+  if (method == "delete_breakpoint") {
+    const JsonValue* bid = p.find("id");
+    if (bid == nullptr) return missing("id");
+    return status_frame(id_json, session_.delete_breakpoint(
+                                     dbg::BpId(static_cast<std::uint32_t>(bid->as_u64()))));
+  }
+  if (method == "enable_breakpoint") {
+    const JsonValue* bid = p.find("id");
+    if (bid == nullptr) return missing("id");
+    return status_frame(
+        id_json, session_.set_breakpoint_enabled(
+                     dbg::BpId(static_cast<std::uint32_t>(bid->as_u64())),
+                     p.bool_or("enabled", true)));
+  }
+  if (method == "step_both") {
+    std::string iface = p.str_or("iface");
+    Status s = iface.empty() ? session_.step_both() : session_.step_both_iface(iface);
+    return status_frame(id_json, s);
+  }
+
+  if (method == "inject" || method == "replace") {
+    std::string iface = p.str_or("iface");
+    if (iface.empty()) return missing("iface");
+    const JsonValue* value = p.find("value");
+    if (value == nullptr || !value->is_string()) return missing("value");
+    const dbg::DLink* dl = session_.graph().link_by_iface(iface);
+    if (dl == nullptr)
+      return make_error_frame(
+          id_json, Status::error(ErrCode::kNotFound, "no link on interface: " + iface));
+    pedf::Link* fl = session_.app().link_by_id(pedf::LinkId(dl->id));
+    // The same value grammar the CLI accepts: "5", "0x1f", "Field=1,Other=2".
+    auto v = cli::Interpreter::parse_value(fl->type(), value->as_string());
+    if (!v.ok()) return make_error_frame(id_json, v.status());
+    Status s = method == "inject"
+                   ? session_.inject_token(iface, std::move(*v))
+                   : session_.replace_token(iface, p.u64_or("slot", 0), std::move(*v));
+    return status_frame(id_json, s);
+  }
+  if (method == "remove") {
+    std::string iface = p.str_or("iface");
+    if (iface.empty()) return missing("iface");
+    return status_frame(id_json, session_.remove_token(iface, p.u64_or("slot", 0)));
+  }
+
+  if (method == "exec") {
+    if (!config_.allow_exec)
+      return make_error_frame(id_json,
+                              Status::error(ErrCode::kFailedPrecondition,
+                                            "exec is disabled on this server"));
+    const JsonValue* line = p.find("line");
+    if (line == nullptr || !line->is_string()) return missing("line");
+    Status s = interp_->execute(line->as_string());
+    std::string output = interp_->console().take();
+    JsonWriter w;
+    w.begin_object();
+    w.kv("ok", s.ok());
+    w.kv("output", output);
+    if (!s.ok()) {
+      w.kv("error", s.message());
+      w.kv("err", to_string(s.code()));
+    }
+    w.end_object();
+    return make_result_frame(id_json, w.take());
+  }
+
+  if (method == "journal") {
+    JsonWriter w;
+    obs::Journal::global().write_json(w, [this](std::uint32_t link) {
+      pedf::Link* l = session_.app().link_by_id(pedf::LinkId(link));
+      return l != nullptr ? l->name() : strformat("link#%u", link);
+    });
+    return make_result_frame(id_json, w.take());
+  }
+
+  if (method == "stats") {
+    // Registry::to_json() already emits one compact JSON object.
+    return make_result_frame(id_json, obs::Registry::global().to_json());
+  }
+
+  if (method == "shutdown") {
+    shutdown_ = true;
+    return make_result_frame(id_json, "{\"ok\":true,\"shutdown\":true}");
+  }
+
+  return make_error_frame(id_json, kErrMethodNotFound, "unknown method: " + method,
+                          ErrCode::kUnimplemented);
+}
+
+}  // namespace dfdbg::server

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "dfdbg/common/ids.hpp"
+#include "dfdbg/common/json.hpp"
 #include "dfdbg/common/prng.hpp"
 #include "dfdbg/common/ring_buffer.hpp"
 #include "dfdbg/common/status.hpp"
@@ -143,6 +144,89 @@ TEST(Prng, DoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+// --- the shared JSON layer ---------------------------------------------------
+
+TEST(Json, QuoteEscapesControlAndSpecials) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_quote("x\n\t\r"), "\"x\\n\\t\\r\"");
+  EXPECT_EQ(json_quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Json, WriterPlacesCommasAndColons) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a", 1).kv("b", "two");
+  w.key("c").begin_array().value(true).null().value(3.5).end_array();
+  w.key("d").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":[true,null,3.5],"d":{}})");
+}
+
+TEST(Json, ParseScalarsAndContainers) {
+  auto v = JsonValue::parse(R"({"n":-7,"big":18446744073709551615,"f":0.25,)"
+                            R"("s":"hi","t":true,"z":null,"arr":[1,2,3]})");
+  ASSERT_TRUE(v.ok()) << v.status().message();
+  EXPECT_EQ(v->find("n")->as_i64(), -7);
+  // u64 survives without a double round-trip (the provenance uid case).
+  EXPECT_EQ(v->find("big")->as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(v->find("f")->as_double(), 0.25);
+  EXPECT_EQ(v->str_or("s"), "hi");
+  EXPECT_TRUE(v->bool_or("t"));
+  EXPECT_TRUE(v->find("z")->is_null());
+  ASSERT_EQ(v->find("arr")->size(), 3u);
+  EXPECT_EQ(v->find("arr")->at(1).as_u64(), 2u);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, ParseStringEscapes) {
+  auto v = JsonValue::parse(R"(["a\"b","\u0041\u00e9","\ud83d\ude00","\n\t"])");
+  ASSERT_TRUE(v.ok()) << v.status().message();
+  EXPECT_EQ(v->at(0).as_string(), "a\"b");
+  EXPECT_EQ(v->at(1).as_string(), "A\xc3\xa9");
+  EXPECT_EQ(v->at(2).as_string(), "\xf0\x9f\x98\x80");  // surrogate pair
+  EXPECT_EQ(v->at(3).as_string(), "\n\t");
+}
+
+TEST(Json, ParseErrorsAreTyped) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"}) {
+    auto v = JsonValue::parse(bad);
+    ASSERT_FALSE(v.ok()) << "accepted: " << bad;
+    EXPECT_EQ(v.status().code(), ErrCode::kParseError) << bad;
+    EXPECT_NE(v.status().message().find("json:"), std::string::npos) << bad;
+  }
+}
+
+TEST(Json, ParseRejectsRunawayNesting) {
+  std::string deep(100, '[');
+  auto v = JsonValue::parse(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrCode::kParseError);
+}
+
+TEST(Json, DumpRoundTripsThroughWriter) {
+  const char* doc = R"({"a":[1,-2,true,null],"b":{"c":"x\ny"},"d":0.5})";
+  auto v = JsonValue::parse(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->dump(), doc);
+  auto again = JsonValue::parse(v->dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->dump(), doc);
+}
+
+TEST(Status, ErrorCodesAreStableStrings) {
+  EXPECT_STREQ(to_string(ErrCode::kOk), "ok");
+  EXPECT_STREQ(to_string(ErrCode::kInvalidArgument), "invalid-argument");
+  EXPECT_STREQ(to_string(ErrCode::kNotFound), "not-found");
+  EXPECT_STREQ(to_string(ErrCode::kFailedPrecondition), "failed-precondition");
+  EXPECT_STREQ(to_string(ErrCode::kOutOfRange), "out-of-range");
+  EXPECT_STREQ(to_string(ErrCode::kParseError), "parse-error");
+  // Untyped errors stay kUnknown: old call sites keep compiling and map to
+  // JSON-RPC internal-error on the wire.
+  EXPECT_EQ(Status::error("legacy").code(), ErrCode::kUnknown);
+  EXPECT_EQ(Status::error(ErrCode::kNotFound, "x").code(), ErrCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// dfdbg-client: line-oriented client for the debug server (docs/PROTOCOL.md).
+//
+//   dfdbg-client [--host H] --port N   connect over TCP
+//   dfdbg-client --unix PATH           connect over a Unix-domain socket
+//   dfdbg-client ... --raw             print raw response frames (for tooling)
+//
+// Reads commands from stdin, one per line, until EOF:
+//
+//   info links                 a plain line is wrapped as the `exec` verb
+//   :whence {"iface":"x::y"}   a `:method {params}` line is sent structured
+//   :ping                      params may be omitted
+//
+// Per response, the default mode prints an exec result's transcript output
+// verbatim, any other result as its JSON, and errors as `error[CODE] ...` on
+// stderr. Exit status: 0 = all requests succeeded, 1 = at least one error
+// response, 2 = connection or protocol failure.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dfdbg/common/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--host H] --port N | --unix PATH  [--raw]\n", argv0);
+  return 2;
+}
+
+int connect_tcp(const std::string& host, int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends `frame` + '\n' and reads one '\n'-terminated response. Returns
+/// false on socket failure.
+bool round_trip(int fd, const std::string& frame, std::string& spill, std::string& response) {
+  std::string wire = frame + "\n";
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t n = send(fd, wire.data() + off, wire.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    std::size_t nl = spill.find('\n');
+    if (nl != std::string::npos) {
+      response = spill.substr(0, nl);
+      spill.erase(0, nl + 1);
+      return true;
+    }
+    char buf[65536];
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    spill.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dfdbg::JsonValue;
+  using dfdbg::json_quote;
+
+  std::string host = "127.0.0.1";
+  std::string unix_path;
+  int port = 0;
+  bool raw = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--host") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      host = v;
+    } else if (a == "--port") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      port = std::atoi(v);
+    } else if (a == "--unix") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      unix_path = v;
+    } else if (a == "--raw") {
+      raw = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (unix_path.empty() && port == 0) return usage(argv[0]);
+
+  int fd = unix_path.empty() ? connect_tcp(host, port) : connect_unix(unix_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "connect failed: %s\n", std::strerror(errno));
+    return 2;
+  }
+
+  int rc = 0;
+  int next_id = 1;
+  std::string spill;
+  char linebuf[1 << 16];
+  while (std::fgets(linebuf, sizeof(linebuf), stdin) != nullptr) {
+    std::string line = linebuf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+
+    std::string frame;
+    if (line[0] == ':') {
+      std::size_t sp = line.find(' ');
+      std::string method = line.substr(1, sp == std::string::npos ? sp : sp - 1);
+      std::string params = sp == std::string::npos ? "" : line.substr(sp + 1);
+      frame = "{\"jsonrpc\":\"2.0\",\"id\":" + std::to_string(next_id++) +
+              ",\"method\":" + json_quote(method);
+      if (!params.empty()) frame += ",\"params\":" + params;
+      frame += "}";
+    } else {
+      frame = "{\"jsonrpc\":\"2.0\",\"id\":" + std::to_string(next_id++) +
+              ",\"method\":\"exec\",\"params\":{\"line\":" + json_quote(line) + "}}";
+    }
+
+    std::string response;
+    if (!round_trip(fd, frame, spill, response)) {
+      std::fprintf(stderr, "connection lost\n");
+      close(fd);
+      return 2;
+    }
+    if (raw) {
+      std::printf("%s\n", response.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    auto parsed = JsonValue::parse(response);
+    if (!parsed.ok() || !parsed->is_object()) {
+      std::fprintf(stderr, "bad response frame: %s\n", response.c_str());
+      close(fd);
+      return 2;
+    }
+    if (const JsonValue* err = parsed->find("error"); err != nullptr) {
+      const JsonValue* code = err->find("code");
+      std::fprintf(stderr, "error[%lld] %s\n",
+                   static_cast<long long>(code != nullptr ? code->as_i64() : 0),
+                   err->str_or("message").c_str());
+      rc = 1;
+      continue;
+    }
+    const JsonValue* result = parsed->find("result");
+    if (result == nullptr) {
+      std::fprintf(stderr, "bad response frame: %s\n", response.c_str());
+      close(fd);
+      return 2;
+    }
+    // exec results carry the CLI transcript; print it as the CLI would.
+    if (const JsonValue* output = result->find("output"); output != nullptr) {
+      std::fputs(output->as_string().c_str(), stdout);
+      if (!result->bool_or("ok", true)) {
+        std::fprintf(stderr, "error %s\n", result->str_or("error").c_str());
+        rc = 1;
+      }
+    } else {
+      std::printf("%s\n", result->dump().c_str());
+    }
+    std::fflush(stdout);
+  }
+  close(fd);
+  return rc;
+}

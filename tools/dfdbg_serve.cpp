@@ -1,0 +1,121 @@
+// dfdbg-serve: stand up the H.264 decoder rig with an attached debug
+// Session and serve it over the JSON-RPC debug protocol (docs/PROTOCOL.md).
+//
+//   dfdbg-serve [--port N]          TCP on 127.0.0.1 (0/default = ephemeral)
+//               [--unix PATH]       Unix-domain socket instead of TCP
+//               [--width N] [--height N] [--frames N]
+//               [--fault none|rate-mismatch|corrupt-splitter|drop-config|skip-ipf]
+//               [--trigger-mb N]    fault trigger macroblock (default 5)
+//               [--no-exec]         disable the raw-CLI `exec` verb
+//
+// Prints exactly one "LISTENING ..." line on stdout once ready (scripts
+// scrape it for the ephemeral port), then blocks serving until a client
+// sends the `shutdown` verb.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dfdbg/debug/session.hpp"
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/server/server.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N | --unix PATH] [--width N] [--height N] [--frames N]\n"
+               "          [--fault KIND] [--trigger-mb N] [--no-exec]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfdbg;
+
+  int port = 0;
+  std::string unix_path;
+  bool no_exec = false;
+  h264::H264AppConfig cfg;
+  cfg.params.width = 32;
+  cfg.params.height = 32;
+  cfg.params.frame_count = 1;
+  cfg.fault.trigger_mb = 5;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--port") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      port = std::atoi(v);
+    } else if (a == "--unix") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      unix_path = v;
+    } else if (a == "--width" || a == "--height" || a == "--frames" || a == "--trigger-mb") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      int n = std::atoi(v);
+      if (a == "--width") cfg.params.width = n;
+      else if (a == "--height") cfg.params.height = n;
+      else if (a == "--frames") cfg.params.frame_count = n;
+      else cfg.fault.trigger_mb = static_cast<std::size_t>(n);
+    } else if (a == "--fault") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      std::string k = v;
+      if (k == "none") cfg.fault.kind = h264::FaultPlan::Kind::kNone;
+      else if (k == "rate-mismatch") cfg.fault.kind = h264::FaultPlan::Kind::kRateMismatch;
+      else if (k == "corrupt-splitter") cfg.fault.kind = h264::FaultPlan::Kind::kCorruptSplitter;
+      else if (k == "drop-config") cfg.fault.kind = h264::FaultPlan::Kind::kDropConfig;
+      else if (k == "skip-ipf") cfg.fault.kind = h264::FaultPlan::Kind::kSkipIpf;
+      else return usage(argv[0]);
+    } else if (a == "--no-exec") {
+      no_exec = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  auto built = h264::H264App::build(cfg);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().message().c_str());
+    return 1;
+  }
+  h264::H264App& app = **built;
+  dbg::Session session(app.app());
+  session.attach();
+  app.start();
+
+  server::ServerConfig scfg;
+  scfg.allow_exec = !no_exec;
+  server::DebugServer server(session, scfg);
+  if (!unix_path.empty()) {
+    Status s = server.listen_unix(unix_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::printf("LISTENING unix=%s\n", unix_path.c_str());
+  } else {
+    auto p = server.listen_tcp("127.0.0.1", port);
+    if (!p.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", p.status().message().c_str());
+      return 1;
+    }
+    std::printf("LISTENING port=%d\n", *p);
+  }
+  std::fflush(stdout);
+
+  // The kernel's fibers and the verb handlers all run on this one thread:
+  // serving IS the simulation driver.
+  Status s = server.serve();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}
