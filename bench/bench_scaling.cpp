@@ -7,6 +7,9 @@
 
 #include "bench_util.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <sstream>
 
 #include "dfdbg/debug/session.hpp"
@@ -15,9 +18,50 @@
 #include "dfdbg/mind/parser.hpp"
 #include "dfdbg/pedf/application.hpp"
 
+// --- allocation observatory -------------------------------------------------
+// Replacement global operator new/delete that counts heap allocations while
+// `g_count_allocs` is set. Linked into this benchmark binary only; the token
+// hot-path benches report `allocs_per_token` from it, pinning the headline
+// claim (steady-state token transport never allocates) to a measured number.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+}  // namespace
+
+// GCC flags free() on new'ed pointers, but these replacements are matched:
+// every operator new here mallocs, every operator delete frees.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
 using namespace dfdbg;
 
 namespace {
+
+/// RAII window over the allocation counter: resets it on entry, stops
+/// counting on exit; `count()` reads the tally.
+struct AllocWindow {
+  AllocWindow() {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+  }
+  ~AllocWindow() { g_count_allocs.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] static std::uint64_t count() {
+    return g_alloc_count.load(std::memory_order_relaxed);
+  }
+};
 
 /// Layered architecture text: `layers` x `width` rate-1 stages.
 std::string layered_adl(int layers, int width) {
@@ -175,12 +219,20 @@ void BM_PipelineBackend(benchmark::State& state) {
   sim::set_default_process_backend(backend);
   std::uint64_t dispatches = 0;
   double secs = 0.0;
+  std::uint64_t allocs = 0;
+  std::uint64_t tokens = 0;
   for (auto _ : state) {
     auto w = build_world(4, 4, 32);
     DFDBG_CHECK(w->app->elaborate().ok());
     w->app->start();
-    secs += benchutil::time_s([&] { w->kernel->run(); });
+    {
+      AllocWindow window;
+      secs += benchutil::time_s([&] { w->kernel->run(); });
+      allocs += AllocWindow::count();
+    }
     dispatches += w->kernel->dispatch_count();
+    // 4 lanes x 32 tokens, each crossing 5 links (4 stages + host edges).
+    for (const auto* snk : w->sinks) tokens += snk->received().size() * 5;
   }
   sim::set_default_process_backend(saved);
   state.SetLabel(sim::to_string(backend));
@@ -189,8 +241,138 @@ void BM_PipelineBackend(benchmark::State& state) {
   state.counters["dispatches_per_sec"] = secs > 0 ? static_cast<double>(dispatches) / secs : 0;
   state.counters["ns_per_dispatch"] =
       dispatches > 0 ? secs * 1e9 / static_cast<double>(dispatches) : 0;
+  state.counters["allocs_per_token"] =
+      tokens > 0 ? static_cast<double>(allocs) / static_cast<double>(tokens) : 0;
 }
 BENCHMARK(BM_PipelineBackend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// --- token hot path ---------------------------------------------------------
+
+/// The H.264 decoder's steady-state chroma token (3 fields, inline in the
+/// small-buffer-optimized Value).
+const pedf::StructType* chroma_type(pedf::TypeRegistry& reg) {
+  const pedf::StructType* st = reg.find_struct("CbCrMB_t");
+  if (st != nullptr) return st;
+  return reg.define_struct("CbCrMB_t", {{"Addr", pedf::ScalarType::kU32, true},
+                                        {"InterNotIntra", pedf::ScalarType::kU32, false},
+                                        {"Izz", pedf::ScalarType::kU32, false}});
+}
+
+pedf::Value chroma_token(const pedf::StructType* st) {
+  pedf::Value v = pedf::Value::make_struct(st);
+  v.set_field("Addr", 0x145D);
+  v.set_field("InterNotIntra", 1);
+  v.set_field("Izz", 168460492);
+  return v;
+}
+
+// The link layer alone: push/pop of struct-payload tokens on the contiguous
+// {Value, uid} slot ring, no kernel, no instrumentation scopes. Arg = batch
+// size: 1 uses push_raw/pop_raw, >1 the push_raw_n/pop_raw_n fast paths.
+// The acceptance bar is allocs_per_token == 0 in steady state.
+void BM_LinkRing(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  pedf::TypeRegistry reg;
+  const pedf::StructType* st = chroma_type(reg);
+  const pedf::Value proto = chroma_token(st);
+  std::vector<pedf::Value> in(batch, proto);
+  std::vector<pedf::Value> out(batch);
+  pedf::Link link(pedf::LinkId(0), "bm", pedf::TypeDesc(st), nullptr, nullptr);
+  for (std::size_t i = 0; i < 64; ++i) {  // warm the ring past growth
+    link.push_raw(proto);
+    link.pop_raw();
+  }
+  if (batch > 1) {  // grow the ring to the batch width before measuring
+    link.push_raw_n(in.data(), batch);
+    link.pop_raw_n(out.data(), batch);
+  }
+  std::uint64_t tokens = 0;
+  AllocWindow window;
+  for (auto _ : state) {
+    if (batch == 1) {
+      link.push_raw(proto);
+      out[0] = link.pop_raw();
+    } else {
+      link.push_raw_n(in.data(), batch);
+      link.pop_raw_n(out.data(), batch);
+    }
+    tokens += batch;
+    benchmark::DoNotOptimize(out.data());
+  }
+  const std::uint64_t allocs = AllocWindow::count();
+  state.counters["tokens_per_sec"] =
+      benchmark::Counter(static_cast<double>(tokens), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_token"] =
+      tokens > 0 ? static_cast<double>(allocs) / static_cast<double>(tokens) : 0;
+}
+BENCHMARK(BM_LinkRing)->Arg(1)->Arg(32);
+
+// The full framework stack on struct tokens: host source -> relay filter ->
+// host sink through the pedf__link_push/pop shims (fibers backend, latencies
+// off so token transport dominates). Arg = firing batch: 1 is the
+// paper-faithful token-at-a-time hook stream, >1 opts every endpoint into
+// the batched firing fast path (one instrumentation scope and one coalesced
+// notify per burst).
+void BM_TokenHotPath(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const auto saved = sim::default_process_backend();
+  sim::set_default_process_backend(sim::ProcessBackend::kFibers);
+  const std::size_t kTokens = 64 * 1024;  // multiple of every batch size
+  std::uint64_t tokens = 0;
+  std::uint64_t allocs = 0;
+  double secs = 0.0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::PlatformConfig pc;
+    pc.clusters = 1;
+    pc.pes_per_cluster = 4;
+    sim::Platform plat(k, pc);
+    pedf::Application app(plat, "bm");
+    app.set_model_latencies(false);
+    const pedf::StructType* st = chroma_type(app.types());
+    auto root = std::make_unique<pedf::Module>("top");
+    auto* relay = new pedf::FnFilter(
+        "relay", [buf = std::vector<pedf::Value>()](pedf::FilterContext& pedf) mutable {
+          const std::size_t b = pedf.fire_batch();
+          if (b > 1) {
+            buf.resize(b);
+            const std::size_t got = pedf.in("in").get_n(buf.data(), b);
+            if (got > 0) pedf.out("out").put_n(buf.data(), got);
+            if (got < b) pedf.stop();
+          } else {
+            auto v = pedf.in("in").get_opt();
+            if (v.has_value()) pedf.out("out").put(*v);
+          }
+        });
+    relay->add_port("in", pedf::PortDir::kIn, pedf::TypeDesc(st));
+    relay->add_port("out", pedf::PortDir::kOut, pedf::TypeDesc(st));
+    relay->set_free_running(true);
+    relay->set_fire_batch(batch);
+    root->add_filter(std::unique_ptr<pedf::Filter>(relay));
+    root->add_port("min", pedf::PortDir::kIn, pedf::TypeDesc(st));
+    root->add_port("mout", pedf::PortDir::kOut, pedf::TypeDesc(st));
+    root->bind("this.min", "relay.in");
+    root->bind("relay.out", "this.mout");
+    std::vector<pedf::Value> stream(kTokens, chroma_token(st));
+    app.set_root(std::move(root));
+    app.add_host_source("src", "top.min", std::move(stream)).set_fire_batch(batch);
+    app.add_host_sink("snk", "top.mout", kTokens).set_fire_batch(batch);
+    DFDBG_CHECK(app.elaborate().ok());
+    app.start();
+    {
+      AllocWindow window;
+      secs += benchutil::time_s([&] { k.run(); });
+      allocs += AllocWindow::count();
+    }
+    tokens += kTokens * 2;  // each token crosses two links
+  }
+  sim::set_default_process_backend(saved);
+  state.counters["fire_batch"] = static_cast<double>(batch);
+  state.counters["tokens_per_sec"] = secs > 0 ? static_cast<double>(tokens) / secs : 0;
+  state.counters["allocs_per_token"] =
+      tokens > 0 ? static_cast<double>(allocs) / static_cast<double>(tokens) : 0;
+}
+BENCHMARK(BM_TokenHotPath)->Arg(1)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -118,6 +118,23 @@ PYEOF
   rm -f "$sock"
 done
 
+echo "== sanitizer gate (ASan+UBSan) =="
+# The token hot path (SBO Value, ring-buffer Link, batched push_n/pop_n) is
+# manual-lifetime code: build it under AddressSanitizer + UBSan and run the
+# tests that hammer it hardest. Threads backend only — the fibers backend
+# swaps ucontext stacks, which ASan's stack bookkeeping cannot follow.
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+cmake --build build-asan -j "$(nproc)" --target test_journal test_link_ring
+for t in test_link_ring test_journal; do
+  echo "-- $t under ASan+UBSan (threads backend)"
+  DFDBG_PROCESS_BACKEND=threads ASAN_OPTIONS=detect_leaks=0 \
+    ./build-asan/tests/$t >/dev/null \
+    || { echo "FAIL: $t under sanitizers"; exit 1; }
+done
+
 echo "== bench smoke (BENCH_JSON well-formedness) =="
 # A token measurement time per benchmark: enough to prove the binary runs
 # and its BENCH_JSON records parse. Validated with python3 when available.

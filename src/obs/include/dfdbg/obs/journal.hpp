@@ -110,6 +110,14 @@ class Journal {
   /// on obs::enabled(): ids must stay monotonic across observer attach/
   /// detach so every token carries provenance from birth.
   std::uint64_t alloc_token() { return ++last_token_; }
+  /// Allocates `n` consecutive token ids, returning the first. Identical to
+  /// n alloc_token() calls — the batch link fast path uses this so batched
+  /// and token-at-a-time runs assign the same provenance ids.
+  std::uint64_t alloc_tokens(std::uint64_t n) {
+    std::uint64_t first = last_token_ + 1;
+    last_token_ += n;
+    return first;
+  }
   [[nodiscard]] std::uint64_t last_token() const { return last_token_; }
 
   /// Appends one event; overwrites the oldest when full. No-op unless

@@ -494,10 +494,10 @@ void Application::finish_io() {
 // Runtime shims (the framework API the debugger breakpoints)
 // ---------------------------------------------------------------------------
 
-void Application::model_transfer_cost(Link& link) {
+void Application::model_transfer_cost(Link& link, std::size_t n) {
   sim::Kernel& k = kernel();
   if (k.current() == nullptr) return;  // debugger-context access: free
-  std::uint64_t bytes = link.type().byte_size();
+  std::uint64_t bytes = link.type().byte_size() * n;
   switch (link.transport()) {
     case LinkTransport::kLocal: {
       int c = link.src()->owner().pe()->cluster_index();
@@ -553,7 +553,62 @@ void Application::rt_link_push(Actor& actor, Port& port, const Value& v) {
     j.record(ev);
   }
   scope.set_return(ArgValue::of_u64("index", idx));
-  kernel().notify(link->data_avail());
+  // Coalesced wakeup: a consumer only ever blocks on the empty->non-empty
+  // edge, so when nobody is waiting the notify would wake nobody — skip it
+  // (scheduling-identical, and the hot path saves the call per token).
+  kernel().notify_if_waiting(link->data_avail());
+}
+
+void Application::rt_link_push_n(Actor& actor, Port& port, const Value* vs, std::size_t n) {
+  if (n == 0) return;
+  if (n == 1) {  // the batch API degenerates to the paper-faithful shim
+    rt_link_push(actor, port, vs[0]);
+    return;
+  }
+  Link* link = port.link();
+  DFDBG_CHECK_MSG(link != nullptr, actor.path() + "." + port.name() + " is not bound");
+  for (std::size_t i = 0; i < n; ++i)
+    DFDBG_CHECK_MSG(vs[i].type() == link->type(),
+                    "type mismatch pushing " + vs[i].type().name() + " on " + link->name());
+  const ArgValue args[] = {
+      ArgValue::of_u64("link", link->id().value()),
+      ArgValue::of_u64("index", link->push_index()),
+      ArgValue::of_u64("count", n),
+      ArgValue::of_str("actor", actor.path().c_str()),
+      ArgValue::of_str("port", port.name().c_str()),
+  };
+  sim::SymbolId inst;
+  if (cooperation_) inst = link_syms_[link->id().value()].push_iface;
+  sim::InstrScope scope(kernel(), syms_.link_push, args, inst);
+  std::size_t done = 0;
+  while (done < n) {
+    while (link->full()) {
+      actor.set_blocked(BlockInfo{BlockInfo::Kind::kLinkFull, link});
+      kernel().wait(link->space_avail());
+    }
+    actor.set_blocked(BlockInfo{});
+    const std::size_t chunk = std::min(n - done, link->capacity() - link->occupancy());
+    if (model_latencies_) model_transfer_cost(*link, chunk);
+    const std::uint64_t idx0 = link->push_raw_n(vs + done, chunk);
+    if (obs::enabled()) {
+      obs::Journal& j = obs::Journal::global();
+      obs::JournalEvent ev;
+      ev.time = kernel().now();
+      ev.kind = obs::JournalKind::kTokenPush;
+      ev.link = link->id().value();
+      ev.actor = j.intern_name(actor.path());
+      ev.firing = firing_of(actor);
+      const std::uint64_t uid0 = link->last_pushed_uid() - chunk + 1;
+      for (std::size_t i = 0; i < chunk; ++i) {
+        ev.token = uid0 + i;
+        ev.index = idx0 + i;
+        j.record(ev);
+      }
+    }
+    done += chunk;
+    kernel().notify_if_waiting(link->data_avail());
+  }
+  scope.set_return(ArgValue::of_u64("index", link->push_index() - 1));
 }
 
 std::optional<Value> Application::rt_link_pop(Actor& actor, Port& port) {
@@ -596,9 +651,71 @@ std::optional<Value> Application::rt_link_pop(Actor& actor, Port& port) {
       j.record(ev);
     }
     scope.set_return(ArgValue::of_ptr("value", &*result));
-    kernel().notify(link->space_avail());
+    // Producers only block on the full->non-full edge (see rt_link_push).
+    kernel().notify_if_waiting(link->space_avail());
   }
   return result;
+}
+
+std::size_t Application::rt_link_pop_n(Actor& actor, Port& port, Value* out, std::size_t n) {
+  if (n == 0) return 0;
+  if (n == 1) {
+    std::optional<Value> v = rt_link_pop(actor, port);
+    if (!v.has_value()) return 0;
+    out[0] = std::move(*v);
+    return 1;
+  }
+  Link* link = port.link();
+  DFDBG_CHECK_MSG(link != nullptr, actor.path() + "." + port.name() + " is not bound");
+  const ArgValue args[] = {
+      ArgValue::of_u64("link", link->id().value()),
+      ArgValue::of_u64("index", link->pop_index()),
+      ArgValue::of_u64("count", n),
+      ArgValue::of_str("actor", actor.path().c_str()),
+      ArgValue::of_str("port", port.name().c_str()),
+  };
+  sim::SymbolId inst;
+  if (cooperation_) inst = link_syms_[link->id().value()].pop_iface;
+  sim::InstrScope scope(kernel(), syms_.link_pop, args, inst);
+  auto* as_filter =
+      (actor.kind() == ActorKind::kFilter || actor.kind() == ActorKind::kHostIo)
+          ? static_cast<Filter*>(&actor)
+          : nullptr;
+  std::size_t done = 0;
+  while (done < n) {
+    while (link->empty()) {
+      if (as_filter != nullptr && as_filter->terminate_requested()) return done;
+      actor.set_blocked(BlockInfo{BlockInfo::Kind::kLinkEmpty, link});
+      kernel().wait(link->data_avail());
+    }
+    actor.set_blocked(BlockInfo{});
+    const std::size_t chunk = std::min(n - done, link->occupancy());
+    if (model_latencies_) model_transfer_cost(*link, chunk);
+    const std::uint64_t idx0 = link->pop_index();
+    if (obs::enabled()) {
+      // With observers attached take the token-at-a-time pops so journal
+      // records are identical in content and order to `chunk` single pops.
+      obs::Journal& j = obs::Journal::global();
+      obs::JournalEvent ev;
+      ev.time = kernel().now();
+      ev.kind = obs::JournalKind::kTokenPop;
+      ev.link = link->id().value();
+      ev.actor = j.intern_name(actor.path());
+      ev.firing = firing_of(actor);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        out[done + i] = link->pop_raw();
+        ev.token = link->last_popped_uid();
+        ev.index = idx0 + i;
+        j.record(ev);
+      }
+    } else {
+      link->pop_raw_n(out + done, chunk);
+    }
+    done += chunk;
+    kernel().notify_if_waiting(link->space_avail());
+  }
+  scope.set_return(ArgValue::of_u64("count", done));
+  return done;
 }
 
 void Application::rt_work_enter(Filter& f) {
@@ -844,10 +961,17 @@ HostSource::HostSource(std::string name, TypeDesc type, std::vector<Value> strea
 }
 
 void HostSource::work(FilterContext& pedf) {
+  const std::size_t batch = pedf.fire_batch();
   while (produced_ < stream_.size() && !terminate_requested()) {
     if (period_ > 0) pedf.compute(period_);
-    pedf.out("out").put(stream_[produced_]);
-    produced_++;
+    if (batch > 1) {
+      const std::size_t n = std::min(batch, stream_.size() - produced_);
+      pedf.out("out").put_n(stream_.data() + produced_, n);
+      produced_ += n;
+    } else {
+      pedf.out("out").put(stream_[produced_]);
+      produced_++;
+    }
   }
   pedf.stop();
 }
@@ -859,10 +983,23 @@ HostSink::HostSink(std::string name, TypeDesc type, std::size_t expected)
 }
 
 void HostSink::work(FilterContext& pedf) {
-  while (received_.size() < expected_) {
-    auto v = pedf.in("in").get_opt();
-    if (!v.has_value()) break;
-    received_.push_back(std::move(*v));
+  if (expected_ != SIZE_MAX) received_.reserve(expected_);
+  const std::size_t batch = pedf.fire_batch();
+  if (batch > 1) {
+    std::vector<Value> buf(batch);
+    while (received_.size() < expected_) {
+      const std::size_t want =
+          expected_ == SIZE_MAX ? batch : std::min(batch, expected_ - received_.size());
+      const std::size_t got = pedf.in("in").get_n(buf.data(), want);
+      for (std::size_t i = 0; i < got; ++i) received_.push_back(std::move(buf[i]));
+      if (got < want) break;  // I/O shutdown
+    }
+  } else {
+    while (received_.size() < expected_) {
+      auto v = pedf.in("in").get_opt();
+      if (!v.has_value()) break;
+      received_.push_back(std::move(*v));
+    }
   }
   pedf.stop();
 }

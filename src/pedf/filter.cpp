@@ -74,12 +74,20 @@ std::optional<Value> FilterContext::In::get_opt() {
   return ctx_->app_.rt_link_pop(ctx_->self_, *port_);
 }
 
+std::size_t FilterContext::In::get_n(Value* out, std::size_t n) {
+  return ctx_->app_.rt_link_pop_n(ctx_->self_, *port_, out, n);
+}
+
 std::size_t FilterContext::In::available() const {
   Link* l = port_->link();
   return l == nullptr ? 0 : l->occupancy();
 }
 
 void FilterContext::Out::put(const Value& v) { ctx_->app_.rt_link_push(ctx_->self_, *port_, v); }
+
+void FilterContext::Out::put_n(const Value* vs, std::size_t n) {
+  ctx_->app_.rt_link_push_n(ctx_->self_, *port_, vs, n);
+}
 
 Value& FilterContext::data(std::string_view name) {
   Value* v = self_.data(name);
@@ -103,5 +111,7 @@ void FilterContext::compute(sim::SimTime cycles) {
 bool FilterContext::sync_requested() const { return self_.sync_requested_; }
 
 void FilterContext::stop() { self_.terminate_ = true; }
+
+std::size_t FilterContext::fire_batch() const { return self_.fire_batch_; }
 
 }  // namespace dfdbg::pedf

@@ -157,6 +157,13 @@ class Application {
   // InstrScope so entry/exit hooks ("function"/"finish" breakpoints) fire.
   void rt_link_push(Actor& actor, Port& port, const Value& v);
   std::optional<Value> rt_link_pop(Actor& actor, Port& port);
+  // Batch fast paths (the batched-fire option): one instrumentation scope,
+  // one blocking check and one coalesced notify per chunk instead of per
+  // token. Journal provenance is still recorded per token. Only reachable
+  // through FilterContext::{put_n,get_n}, so filters that never opt in see
+  // the token-at-a-time hook stream unchanged.
+  void rt_link_push_n(Actor& actor, Port& port, const Value* vs, std::size_t n);
+  std::size_t rt_link_pop_n(Actor& actor, Port& port, Value* out, std::size_t n);
   void rt_work_enter(Filter& f);
   void rt_work_exit(Filter& f);
   void rt_filter_line(Filter& f, int line);
@@ -168,8 +175,9 @@ class Application {
   void rt_step_end(Controller& c, Module& m);
   bool rt_predicate_eval(Controller& c, Module& m, std::string_view name);
 
-  /// Models the platform cost of moving `v` across `link` (memory + DMA).
-  void model_transfer_cost(Link& link);
+  /// Models the platform cost of moving `n` tokens across `link` (memory +
+  /// DMA); a batch is one access of n*byte_size bytes, like a burst DMA.
+  void model_transfer_cost(Link& link, std::size_t n = 1);
 
   void collect_actors(Module& m);
   Status resolve_bindings();

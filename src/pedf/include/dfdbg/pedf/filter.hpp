@@ -48,6 +48,10 @@ class FilterContext {
     /// Blocking read that returns nullopt if the application is shutting
     /// down I/O instead of ever producing data again.
     std::optional<Value> get_opt();
+    /// Batched blocking read of up to `n` tokens into `out` (the batched
+    /// firing fast path: one framework-API call for the whole burst).
+    /// Returns the number read — short only when I/O is shutting down.
+    std::size_t get_n(Value* out, std::size_t n);
     /// Tokens currently waiting on this interface.
     [[nodiscard]] std::size_t available() const;
 
@@ -63,6 +67,8 @@ class FilterContext {
    public:
     /// Blocking write of one token (paper: pedf.io.an_output[n] = d).
     void put(const Value& v);
+    /// Batched blocking write of `n` tokens (the batched firing fast path).
+    void put_n(const Value* vs, std::size_t n);
 
    private:
     friend class FilterContext;
@@ -94,6 +100,10 @@ class FilterContext {
 
   /// For free-running (host I/O) filters: requests loop termination.
   void stop();
+
+  /// The filter's configured firing batch size (Filter::set_fire_batch);
+  /// batch-aware WORK methods use it to size their get_n/put_n bursts.
+  [[nodiscard]] std::size_t fire_batch() const;
 
   [[nodiscard]] Filter& self() { return self_; }
   [[nodiscard]] Application& app() { return app_; }
@@ -152,6 +162,14 @@ class Filter : public Actor {
   [[nodiscard]] bool free_running() const { return free_running_; }
   void set_free_running(bool fr) { free_running_ = fr; }
 
+  /// Firing batch size: how many tokens a batch-aware WORK moves per
+  /// framework-API call (FilterContext get_n/put_n). Default 1 — the
+  /// paper-faithful token-at-a-time hook stream; opting in trades hook
+  /// granularity (one pedf__link_push/pop scope per burst instead of per
+  /// token) for throughput. Journal provenance stays per-token either way.
+  [[nodiscard]] std::size_t fire_batch() const { return fire_batch_; }
+  void set_fire_batch(std::size_t n) { fire_batch_ = n == 0 ? 1 : n; }
+
  private:
   friend class Application;
   friend class ControllerContext;
@@ -167,6 +185,7 @@ class Filter : public Actor {
   bool sync_requested_ = false;
   bool terminate_ = false;
   bool free_running_ = false;
+  std::size_t fire_batch_ = 1;
   std::uint64_t firings_ = 0;
   int current_line_ = 0;
   sim::Event start_event_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dfdbg/common/assert.hpp"
+#include "dfdbg/common/strings.hpp"
 
 namespace dfdbg::pedf {
 
@@ -34,18 +35,23 @@ struct FieldDesc {
 /// A flat struct-of-scalars type (token payload of a coarse-grain link).
 class StructType {
  public:
-  StructType(std::string name, std::vector<FieldDesc> fields)
-      : name_(std::move(name)), fields_(std::move(fields)) {}
+  StructType(std::string name, std::vector<FieldDesc> fields);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<FieldDesc>& fields() const { return fields_; }
 
-  /// Index of `field`, or -1 if absent.
-  [[nodiscard]] int field_index(std::string_view field) const;
+  /// Index of `field`, or -1 if absent. O(1): served from a precomputed
+  /// name->index map with heterogeneous lookup (no temporary std::string).
+  [[nodiscard]] int field_index(std::string_view field) const {
+    auto it = index_.find(field);
+    return it == index_.end() ? -1 : static_cast<int>(it->second);
+  }
 
  private:
   std::string name_;
   std::vector<FieldDesc> fields_;
+  std::unordered_map<std::string, std::uint32_t, TransparentStringHash, std::equal_to<>>
+      index_;
 };
 
 /// A value type: either a scalar or a registered struct.
@@ -89,12 +95,35 @@ class TypeRegistry {
   std::unordered_map<std::string, std::unique_ptr<StructType>> structs_;
 };
 
-/// A token payload. Scalars store their bits inline; structs store one
-/// 64-bit slot per field. Values are small and copyable.
+/// A token payload. Small-buffer optimized: scalars and structs of up to
+/// kInlineFields fields store their 64-bit slots inline (copying a token is
+/// a 32-byte memcpy, no heap traffic — the steady-state H.264 types
+/// CbCrMB_t/MbHdr_t/MbDone_t all fit); wider structs (Blk_t's 23 coefficient
+/// fields) spill their slots to one heap array.
 class Value {
  public:
+  /// Struct payloads of up to this many fields live inline.
+  static constexpr std::size_t kInlineFields = 4;
+
   /// Default: U32 zero.
   Value() = default;
+  Value(const Value& o) { copy_from(o); }
+  Value(Value&& o) noexcept { steal_from(o); }
+  Value& operator=(const Value& o) {
+    if (this != &o) {
+      release();
+      copy_from(o);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal_from(o);
+    }
+    return *this;
+  }
+  ~Value() { release(); }
 
   static Value u8(std::uint8_t v);
   static Value u16(std::uint16_t v);
@@ -107,6 +136,11 @@ class Value {
   static Value zero_of(const TypeDesc& type);
 
   [[nodiscard]] const TypeDesc& type() const { return type_; }
+
+  /// True when the payload lives on the heap (struct wider than
+  /// kInlineFields). Exposed so tests and benchmarks can pin down the
+  /// SBO/spill boundary.
+  [[nodiscard]] bool spilled() const { return spilled_; }
 
   // --- scalar access (preconditions: !is_struct) ---------------------------
   [[nodiscard]] std::uint64_t as_u64() const;
@@ -127,13 +161,53 @@ class Value {
   [[nodiscard]] std::string payload_string() const;
 
   friend bool operator==(const Value& a, const Value& b) {
-    return a.type_ == b.type_ && a.bits_ == b.bits_ && a.fields_ == b.fields_;
+    if (!(a.type_ == b.type_)) return false;
+    const std::size_t n = a.word_count();
+    const std::uint64_t* wa = a.words();
+    const std::uint64_t* wb = b.words();
+    for (std::size_t i = 0; i < n; ++i)
+      if (wa[i] != wb[i]) return false;
+    return true;
   }
 
  private:
+  /// 64-bit payload slots: scalar bits in words()[0], struct fields in
+  /// declaration order.
+  [[nodiscard]] const std::uint64_t* words() const { return spilled_ ? heap_ : inl_; }
+  [[nodiscard]] std::uint64_t* words() { return spilled_ ? heap_ : inl_; }
+  /// Slots in use: 1 for scalars, the field count for structs.
+  [[nodiscard]] std::size_t word_count() const {
+    return type_.is_struct() ? type_.struct_type()->fields().size() : 1;
+  }
+  [[nodiscard]] std::size_t field_count() const {
+    DFDBG_DCHECK(type_.is_struct());
+    return type_.struct_type()->fields().size();
+  }
+
+  void release() {
+    if (spilled_) delete[] heap_;
+  }
+  void copy_from(const Value& o);
+  /// Takes o's payload (a pointer steal when spilled); o becomes U32 zero.
+  void steal_from(Value& o) noexcept {
+    type_ = o.type_;
+    spilled_ = o.spilled_;
+    if (spilled_) {
+      heap_ = o.heap_;
+      o.type_ = TypeDesc();
+      o.spilled_ = false;
+      o.inl_[0] = 0;
+    } else {
+      for (std::size_t i = 0; i < kInlineFields; ++i) inl_[i] = o.inl_[i];
+    }
+  }
+
   TypeDesc type_;
-  std::uint64_t bits_ = 0;
-  std::vector<std::uint64_t> fields_;
+  bool spilled_ = false;
+  union {
+    std::uint64_t inl_[kInlineFields] = {0, 0, 0, 0};
+    std::uint64_t* heap_;
+  };
 };
 
 }  // namespace dfdbg::pedf

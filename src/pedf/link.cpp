@@ -21,6 +21,8 @@ struct LinkMetrics {
     return m;
   }
 };
+
+constexpr std::size_t kInitialSlots = 8;
 }  // namespace
 
 const char* to_string(LinkTransport t) {
@@ -32,55 +34,115 @@ const char* to_string(LinkTransport t) {
   return "?";
 }
 
+void Link::reserve_slots(std::size_t needed) {
+  if (ring_.size() - count_ >= needed) return;
+  std::size_t want = count_ + needed;
+  std::size_t nsize = ring_.empty() ? kInitialSlots : ring_.size();
+  while (nsize < want) nsize *= 2;
+  std::vector<Slot> next(nsize);
+  for (std::size_t i = 0; i < count_; ++i) next[i] = std::move(ring_[(head_ + i) & mask_]);
+  ring_ = std::move(next);
+  mask_ = nsize - 1;
+  head_ = 0;
+  dcheck_slots();
+}
+
 std::uint64_t Link::push_raw(Value v) {
   DFDBG_CHECK_MSG(!full(), "push on full link " + name_);
-  q_.push_back(std::move(v));
+  reserve_slots(1);
+  Slot& s = ring_[(head_ + count_) & mask_];
+  s.value = std::move(v);
   last_pushed_uid_ = obs::Journal::global().alloc_token();
-  uids_.push_back(last_pushed_uid_);
-  if (q_.size() > high_watermark_) high_watermark_ = q_.size();
+  s.uid = last_pushed_uid_;
+  ++count_;
+  dcheck_slots();
+  if (count_ > high_watermark_) high_watermark_ = count_;
   if (obs::enabled()) {
     LinkMetrics& m = LinkMetrics::get();
     m.pushes.add();
-    m.occupancy.observe(q_.size());
-    m.occupancy_hwm.set(static_cast<std::int64_t>(q_.size()));
+    m.occupancy.observe(count_);
+    m.occupancy_hwm.set(static_cast<std::int64_t>(count_));
   }
   return push_index_++;
 }
 
+std::uint64_t Link::push_raw_n(const Value* vs, std::size_t n) {
+  if (n == 1) return push_raw(Value(vs[0]));
+  DFDBG_CHECK_MSG(capacity_ - count_ >= n, "batch push overflows link " + name_);
+  reserve_slots(n);
+  // One range allocation gives the same ids as n sequential alloc_token
+  // calls, so batch and token-at-a-time runs stay provenance-identical.
+  std::uint64_t uid = obs::Journal::global().alloc_tokens(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& s = ring_[(head_ + count_ + i) & mask_];
+    s.value = vs[i];
+    s.uid = uid + i;
+  }
+  last_pushed_uid_ = uid + n - 1;
+  count_ += n;
+  dcheck_slots();
+  if (count_ > high_watermark_) high_watermark_ = count_;
+  if (obs::enabled()) {
+    LinkMetrics& m = LinkMetrics::get();
+    m.pushes.add(n);
+    m.occupancy.observe(count_);
+    m.occupancy_hwm.set(static_cast<std::int64_t>(count_));
+  }
+  std::uint64_t first = push_index_;
+  push_index_ += n;
+  return first;
+}
+
 Value Link::pop_raw() {
-  DFDBG_CHECK_MSG(!q_.empty(), "pop on empty link " + name_);
-  Value v = std::move(q_.front());
-  q_.pop_front();
-  last_popped_uid_ = uids_.front();
-  uids_.pop_front();
+  DFDBG_CHECK_MSG(count_ != 0, "pop on empty link " + name_);
+  Slot& s = ring_[head_];
+  Value v = std::move(s.value);
+  last_popped_uid_ = s.uid;
+  head_ = (head_ + 1) & mask_;
+  --count_;
+  dcheck_slots();
   pop_index_++;
-  LinkMetrics::get().pops.add();
+  if (obs::enabled()) LinkMetrics::get().pops.add();
   return v;
 }
 
-const Value& Link::peek(std::size_t i) const {
-  DFDBG_CHECK(i < q_.size());
-  return q_[i];
+void Link::pop_raw_n(Value* out, std::size_t n) {
+  DFDBG_CHECK_MSG(n <= count_, "batch pop underflows link " + name_);
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& s = ring_[(head_ + i) & mask_];
+    out[i] = std::move(s.value);
+  }
+  if (n != 0) last_popped_uid_ = ring_[(head_ + n - 1) & mask_].uid;
+  head_ = (head_ + n) & mask_;
+  count_ -= n;
+  dcheck_slots();
+  pop_index_ += n;
+  if (obs::enabled()) LinkMetrics::get().pops.add(n);
 }
 
 void Link::poke(std::size_t i, Value v) {
-  DFDBG_CHECK(i < q_.size());
-  q_[i] = std::move(v);
+  DFDBG_CHECK(i < count_);
+  ring_[(head_ + i) & mask_].value = std::move(v);
 }
 
 Value Link::erase_at(std::size_t i) {
-  DFDBG_CHECK(i < q_.size());
-  Value v = std::move(q_[i]);
-  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
-  uids_.erase(uids_.begin() + static_cast<std::ptrdiff_t>(i));
+  DFDBG_CHECK(i < count_);
+  Value v = std::move(ring_[(head_ + i) & mask_].value);
+  // Close the gap by shifting the shorter side; both directions preserve
+  // FIFO order of the surviving slots (and their uids, which ride along).
+  if (i < count_ - i - 1) {
+    for (std::size_t j = i; j > 0; --j)
+      ring_[(head_ + j) & mask_] = std::move(ring_[(head_ + j - 1) & mask_]);
+    head_ = (head_ + 1) & mask_;
+  } else {
+    for (std::size_t j = i; j + 1 < count_; ++j)
+      ring_[(head_ + j) & mask_] = std::move(ring_[(head_ + j + 1) & mask_]);
+  }
+  --count_;
+  dcheck_slots();
   // Removing a token does not rewind the monotonic indexes; it simply never
   // reaches the consumer. pop_index_ stays, push_index_ stays.
   return v;
-}
-
-std::uint64_t Link::token_uid_at(std::size_t i) const {
-  DFDBG_CHECK(i < uids_.size());
-  return uids_[i];
 }
 
 }  // namespace dfdbg::pedf

@@ -27,10 +27,11 @@ bool parse_scalar_type(const std::string& name, ScalarType* out) {
   return true;
 }
 
-int StructType::field_index(std::string_view field) const {
+StructType::StructType(std::string name, std::vector<FieldDesc> fields)
+    : name_(std::move(name)), fields_(std::move(fields)) {
+  index_.reserve(fields_.size());
   for (std::size_t i = 0; i < fields_.size(); ++i)
-    if (fields_[i].name == field) return static_cast<int>(i);
-  return -1;
+    index_.emplace(fields_[i].name, static_cast<std::uint32_t>(i));
 }
 
 std::string TypeDesc::name() const {
@@ -76,28 +77,40 @@ bool TypeRegistry::resolve(const std::string& name, TypeDesc* out) const {
   return false;
 }
 
+void Value::copy_from(const Value& o) {
+  type_ = o.type_;
+  spilled_ = o.spilled_;
+  if (spilled_) {
+    const std::size_t n = field_count();
+    heap_ = new std::uint64_t[n];
+    std::memcpy(heap_, o.heap_, n * sizeof(std::uint64_t));
+  } else {
+    for (std::size_t i = 0; i < kInlineFields; ++i) inl_[i] = o.inl_[i];
+  }
+}
+
 Value Value::u8(std::uint8_t v) {
   Value x;
   x.type_ = TypeDesc(ScalarType::kU8);
-  x.bits_ = v;
+  x.inl_[0] = v;
   return x;
 }
 Value Value::u16(std::uint16_t v) {
   Value x;
   x.type_ = TypeDesc(ScalarType::kU16);
-  x.bits_ = v;
+  x.inl_[0] = v;
   return x;
 }
 Value Value::u32(std::uint32_t v) {
   Value x;
   x.type_ = TypeDesc(ScalarType::kU32);
-  x.bits_ = v;
+  x.inl_[0] = v;
   return x;
 }
 Value Value::i32(std::int32_t v) {
   Value x;
   x.type_ = TypeDesc(ScalarType::kI32);
-  x.bits_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+  x.inl_[0] = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
   return x;
 }
 Value Value::f32(float v) {
@@ -105,7 +118,7 @@ Value Value::f32(float v) {
   x.type_ = TypeDesc(ScalarType::kF32);
   std::uint32_t bits;
   std::memcpy(&bits, &v, sizeof bits);
-  x.bits_ = bits;
+  x.inl_[0] = bits;
   return x;
 }
 
@@ -113,7 +126,12 @@ Value Value::make_struct(const StructType* st) {
   DFDBG_CHECK(st != nullptr);
   Value x;
   x.type_ = TypeDesc(st);
-  x.fields_.assign(st->fields().size(), 0);
+  const std::size_t n = st->fields().size();
+  if (n > kInlineFields) {
+    x.heap_ = new std::uint64_t[n]();  // value-initialized: all zero
+    x.spilled_ = true;
+  }
+  // n <= kInlineFields: inl_ is already zeroed by the default initializer.
   return x;
 }
 
@@ -126,19 +144,19 @@ Value Value::zero_of(const TypeDesc& type) {
 
 std::uint64_t Value::as_u64() const {
   DFDBG_CHECK(!type_.is_struct());
-  return bits_;
+  return inl_[0];
 }
 
 std::int64_t Value::as_i64() const {
   DFDBG_CHECK(!type_.is_struct());
   if (type_.scalar() == ScalarType::kI32)
-    return static_cast<std::int64_t>(static_cast<std::int32_t>(bits_));
-  return static_cast<std::int64_t>(bits_);
+    return static_cast<std::int64_t>(static_cast<std::int32_t>(inl_[0]));
+  return static_cast<std::int64_t>(inl_[0]);
 }
 
 float Value::as_f32() const {
   DFDBG_CHECK(!type_.is_struct());
-  std::uint32_t b = static_cast<std::uint32_t>(bits_);
+  std::uint32_t b = static_cast<std::uint32_t>(inl_[0]);
   float f;
   std::memcpy(&f, &b, sizeof f);
   return f;
@@ -147,11 +165,11 @@ float Value::as_f32() const {
 void Value::set_scalar_u64(std::uint64_t bits) {
   DFDBG_CHECK(!type_.is_struct());
   switch (type_.scalar()) {
-    case ScalarType::kU8: bits_ = bits & 0xffu; break;
-    case ScalarType::kU16: bits_ = bits & 0xffffu; break;
+    case ScalarType::kU8: inl_[0] = bits & 0xffu; break;
+    case ScalarType::kU16: inl_[0] = bits & 0xffffu; break;
     case ScalarType::kU32:
     case ScalarType::kI32:
-    case ScalarType::kF32: bits_ = bits & 0xffffffffu; break;
+    case ScalarType::kF32: inl_[0] = bits & 0xffffffffu; break;
   }
 }
 
@@ -159,41 +177,42 @@ std::uint64_t Value::field_u64(std::string_view field) const {
   DFDBG_CHECK(type_.is_struct());
   int idx = type_.struct_type()->field_index(field);
   DFDBG_CHECK_MSG(idx >= 0, "no such field: " + std::string(field));
-  return fields_[static_cast<std::size_t>(idx)];
+  return words()[static_cast<std::size_t>(idx)];
 }
 
 std::uint64_t Value::field_u64_at(std::size_t idx) const {
-  DFDBG_CHECK(type_.is_struct() && idx < fields_.size());
-  return fields_[idx];
+  DFDBG_CHECK(type_.is_struct() && idx < field_count());
+  return words()[idx];
 }
 
 void Value::set_field(std::string_view field, std::uint64_t bits) {
   DFDBG_CHECK(type_.is_struct());
   int idx = type_.struct_type()->field_index(field);
   DFDBG_CHECK_MSG(idx >= 0, "no such field: " + std::string(field));
-  fields_[static_cast<std::size_t>(idx)] = bits;
+  words()[static_cast<std::size_t>(idx)] = bits;
 }
 
 void Value::set_field_at(std::size_t idx, std::uint64_t bits) {
-  DFDBG_CHECK(type_.is_struct() && idx < fields_.size());
-  fields_[idx] = bits;
+  DFDBG_CHECK(type_.is_struct() && idx < field_count());
+  words()[idx] = bits;
 }
 
 std::string Value::payload_string() const {
   if (!type_.is_struct()) {
     if (type_.scalar() == ScalarType::kF32) return strformat("%g", static_cast<double>(as_f32()));
     if (type_.scalar() == ScalarType::kI32) return strformat("%lld", static_cast<long long>(as_i64()));
-    return strformat("%llu", static_cast<unsigned long long>(bits_));
+    return strformat("%llu", static_cast<unsigned long long>(inl_[0]));
   }
   std::string out = "{";
   const auto& fs = type_.struct_type()->fields();
+  const std::uint64_t* w = words();
   for (std::size_t i = 0; i < fs.size(); ++i) {
     if (i) out += ", ";
     out += fs[i].name;
     out += "=";
     out += fs[i].print_hex
-               ? strformat("0x%llX", static_cast<unsigned long long>(fields_[i]))
-               : strformat("%llu", static_cast<unsigned long long>(fields_[i]));
+               ? strformat("0x%llX", static_cast<unsigned long long>(w[i]))
+               : strformat("%llu", static_cast<unsigned long long>(w[i]));
   }
   out += "}";
   return out;

@@ -28,11 +28,17 @@ class Event {
   /// Number of times this event has been notified.
   [[nodiscard]] std::uint64_t notify_count() const { return notify_count_; }
 
+  /// Number of notifies elided by Kernel::notify_if_waiting because no
+  /// process was blocked (edge-coalescing on the token hot path: a link
+  /// only signals data/space availability when a waiter can make progress).
+  [[nodiscard]] std::uint64_t coalesced_count() const { return coalesced_count_; }
+
  private:
   friend class Kernel;
   std::string name_;
   std::vector<Process*> waiters_;
   std::uint64_t notify_count_ = 0;
+  std::uint64_t coalesced_count_ = 0;
 };
 
 }  // namespace dfdbg::sim

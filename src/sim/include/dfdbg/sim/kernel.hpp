@@ -121,6 +121,21 @@ class Kernel {
   /// which is how the debugger "unties" deadlocks after altering state.
   void notify(Event& e);
 
+  /// notify(e) only when someone is actually blocked on `e`; otherwise a
+  /// no-op that counts the elision (Event::coalesced_count). Scheduling is
+  /// identical to an unconditional notify — waking zero waiters changes
+  /// nothing — but the hot path skips the call overhead and the token-path
+  /// shims use it to signal only empty→non-empty / full→non-full edges.
+  /// Returns true when a notify was issued.
+  bool notify_if_waiting(Event& e) {
+    if (e.waiters_.empty()) {
+      e.coalesced_count_++;
+      return false;
+    }
+    notify(e);
+    return true;
+  }
+
   /// Number of scheduler dispatches so far (for tests and benchmarks).
   [[nodiscard]] std::uint64_t dispatch_count() const { return dispatches_; }
 
