@@ -9,12 +9,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <future>
 #include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "dfdbg/server/server.hpp"
@@ -31,9 +34,9 @@ struct ServerFixture {
   server::DebugServer* server = nullptr;
   int port = 0;
 
-  ServerFixture() {
+  explicit ServerFixture(server::ServerConfig scfg = {}) {
     std::promise<int> ready;
-    thread = std::thread([this, &ready] {
+    thread = std::thread([this, scfg, &ready] {
       auto built = h264::H264App::build(benchutil::decoder_config(2, 2, 1));
       DFDBG_CHECK(built.ok());
       auto& app = **built;
@@ -42,7 +45,7 @@ struct ServerFixture {
       app.start();
       DFDBG_CHECK(session.catch_work("pipe").ok());
       DFDBG_CHECK(session.run().result == sim::RunResult::kStopped);
-      server::DebugServer srv(session);
+      server::DebugServer srv(session, scfg);
       auto p = srv.listen_tcp();
       DFDBG_CHECK(p.ok());
       server = &srv;
@@ -140,6 +143,87 @@ void BM_ServerExecInfoLinks(benchmark::State& state) {
       R"({"jsonrpc":"2.0","id":1,"method":"exec","params":{"line":"info links"}})");
 }
 BENCHMARK(BM_ServerExecInfoLinks)->UseRealTime();
+
+/// Subscription fan-out: N clients subscribe to the `journal` stream, a
+/// driver client mutates link state (`inject` + `remove`, two journal events
+/// per pair), and every mutation is pushed to all N subscribers. A background
+/// drainer keeps the subscriber sockets empty so the server's slow-consumer
+/// policy stays out of the measurement; the server's own `server.sub.*`
+/// counters report delivered-notification throughput and the drop rate.
+void BM_SubscribeFanout(benchmark::State& state) {
+  const int subs = static_cast<int>(state.range(0));
+  server::ServerConfig scfg;
+  scfg.max_clients = static_cast<std::size_t>(subs) + 8;
+  ServerFixture fx(scfg);
+
+  std::vector<int> sub_fds;
+  for (int i = 0; i < subs; ++i) {
+    int fd = connect_tcp(fx.port);
+    std::string spill;
+    std::string resp = round_trip(
+        fd, R"({"jsonrpc":"2.0","id":1,"method":"subscribe","params":{"stream":"journal"}})",
+        spill);
+    DFDBG_CHECK(resp.find("\"ok\":true") != std::string::npos);
+    sub_fds.push_back(fd);
+  }
+
+  // Drain subscriber sockets continuously; the stream content is not the
+  // subject here, only the server-side cost of producing and sending it.
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    std::vector<pollfd> pfds(sub_fds.size());
+    for (std::size_t i = 0; i < sub_fds.size(); ++i) pfds[i] = {sub_fds[i], POLLIN, 0};
+    char buf[65536];
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (poll(pfds.data(), pfds.size(), 10) <= 0) continue;
+      for (pollfd& p : pfds)
+        if ((p.revents & POLLIN) != 0)
+          while (recv(p.fd, buf, sizeof(buf), MSG_DONTWAIT) > 0) {
+          }
+    }
+  });
+
+  int driver = connect_tcp(fx.port);
+  std::string spill;
+  const std::string inject =
+      R"({"jsonrpc":"2.0","id":1,"method":"inject","params":{"iface":"pipe::MbType_in","value":"7"}})";
+  const std::string remove =
+      R"({"jsonrpc":"2.0","id":2,"method":"remove","params":{"iface":"pipe::MbType_in","slot":0}})";
+  DFDBG_CHECK(round_trip(driver, inject, spill).find("\"ok\":true") != std::string::npos);
+  DFDBG_CHECK(round_trip(driver, remove, spill).find("\"ok\":true") != std::string::npos);
+
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t notif0 = reg.counter("server.sub.notifications").value();
+  const std::uint64_t drop0 = reg.counter("server.sub.dropped").value();
+  const std::uint64_t cursor0 = obs::Journal::global().cursor();
+  for (auto _ : state) {
+    std::string r1 = round_trip(driver, inject, spill);
+    std::string r2 = round_trip(driver, remove, spill);
+    benchmark::DoNotOptimize(r1.data());
+    benchmark::DoNotOptimize(r2.data());
+  }
+  const std::uint64_t events = obs::Journal::global().cursor() - cursor0;
+  const std::uint64_t delivered = reg.counter("server.sub.notifications").value() - notif0;
+  const std::uint64_t dropped = reg.counter("server.sub.dropped").value() - drop0;
+
+  state.counters["subscribers"] = subs;
+  state.counters["journal_events"] = static_cast<double>(events);
+  state.counters["notifications"] = static_cast<double>(delivered);
+  state.counters["drop_rate"] =
+      events == 0 ? 0.0
+                  : static_cast<double>(dropped) /
+                        static_cast<double>(events * static_cast<std::uint64_t>(subs));
+  // Fan-out throughput: journal events delivered per wall second across all
+  // subscriber streams (events * subscribers when nothing is dropped).
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(events * static_cast<std::uint64_t>(subs) - dropped));
+
+  stop.store(true);
+  drainer.join();
+  close(driver);
+  for (int fd : sub_fds) close(fd);
+}
+BENCHMARK(BM_SubscribeFanout)->Arg(1)->Arg(8)->Arg(64)->UseRealTime();
 
 /// Protocol without the socket: handle_frame directly on the serving state.
 void BM_HandleFrameInfoLinks(benchmark::State& state) {

@@ -118,6 +118,99 @@ PYEOF
   rm -f "$sock"
 done
 
+echo "== subscription gate =="
+# Server push: subscribe to all four streams over a unix socket, run a full
+# decode, and validate the pushed notification frames (docs/PROTOCOL.md
+# "Subscriptions"). --drain keeps dfdbg-client printing pushed frames after
+# stdin closes, until `shutdown` drops the connection. Both backends: the
+# journal stream rides the deterministic kernel.
+for backend in fibers threads; do
+  echo "-- subscribe/notify round trip ($backend backend)"
+  sock="build/dfdbg_sub_$backend.sock"
+  rm -f "$sock"
+  DFDBG_PROCESS_BACKEND=$backend ./build/tools/dfdbg-serve --unix "$sock" \
+    >"build/serve_sub_$backend.log" 2>&1 &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "FAIL: dfdbg-serve died"; cat "build/serve_sub_$backend.log"; exit 1; }
+    sleep 0.05
+  done
+  [ -S "$sock" ] || { echo "FAIL: dfdbg-serve never listened"; exit 1; }
+  out="build/subscribe_check_$backend.txt"
+  printf '%s\n' \
+    ':subscribe {"stream":"journal"}' \
+    ':subscribe {"stream":"info_flow"}' \
+    ':subscribe {"stream":"stats"}' \
+    ':subscribe {"stream":"run_events"}' \
+    ':run' \
+    ':unsubscribe' \
+    ':shutdown' \
+    | ./build/tools/dfdbg-client --unix "$sock" --raw --drain >"$out" \
+    || { echo "FAIL: dfdbg-client exited non-zero"; cat "$out"; exit 1; }
+  wait "$serve_pid" || { echo "FAIL: dfdbg-serve exited non-zero"; exit 1; }
+  if [ "$have_python" -eq 1 ]; then
+    python3 - "$out" <<'PYEOF'
+import json, sys
+frames = [json.loads(ln) for ln in open(sys.argv[1]) if ln.strip()]
+streams = {"journal.delta", "flow.snapshot", "stats.delta", "run.event"}
+responses = [f for f in frames if "id" in f]
+notifs = [f for f in frames if "id" not in f]
+assert len(responses) == 7, f"expected 7 responses, got {len(responses)}"
+for f in responses:
+    assert "error" not in f, f"error frame: {f}"
+for n in notifs:
+    assert n.get("jsonrpc") == "2.0", f"bad notification: {n}"
+    assert n.get("method") in streams, f"unknown stream method: {n}"
+    assert isinstance(n.get("params"), dict), f"notification without params: {n}"
+deltas = [n for n in notifs if n["method"] == "journal.delta"]
+assert deltas, "no journal.delta pushed during the run"
+events = 0
+cursor = None
+for d in deltas:
+    p = d["params"]
+    for key in ("from", "next", "gap", "events"):
+        assert key in p, f"journal.delta missing {key}: {d}"
+    if cursor is not None:
+        assert p["from"] == cursor, "journal deltas not contiguous"
+    cursor = p["next"]
+    events += len(p["events"])
+    for ev in p["events"]:
+        for key in ("t", "kind", "index"):
+            assert key in ev, f"journal event missing {key}: {ev}"
+assert events >= 1000, f"full decode should push >=1000 journal events, got {events}"
+assert any(n["method"] == "run.event" for n in notifs), "no run.event pushed"
+print(f"ok: {len(notifs)} notifications ({events} journal events, "
+      f"{len(deltas)} deltas)")
+PYEOF
+  else
+    grep -q '"journal.delta"' "$out" || { echo "FAIL: no journal.delta frames"; exit 1; }
+  fi
+  rm -f "$sock"
+done
+
+echo "== dashboard smoke (dfdbg-top) =="
+# dfdbg-top subscribes to every stream and renders from pushed frames alone;
+# --no-ansi --run --max-frames bounds it for CI.
+sock="build/dfdbg_top.sock"
+rm -f "$sock"
+./build/tools/dfdbg-serve --unix "$sock" >"build/serve_top.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { echo "FAIL: dfdbg-serve died"; cat "build/serve_top.log"; exit 1; }
+  sleep 0.05
+done
+./build/tools/dfdbg-top --unix "$sock" --no-ansi --run --max-frames 200 \
+  >"build/top_check.txt" 2>&1 \
+  || { echo "FAIL: dfdbg-top exited non-zero"; cat "build/top_check.txt"; exit 1; }
+grep -q 'dfdbg-top  sim t=' "build/top_check.txt" || { echo "FAIL: dfdbg-top rendered nothing"; cat "build/top_check.txt"; exit 1; }
+grep -q '^links' "build/top_check.txt" || { echo "FAIL: dfdbg-top rendered no link table"; cat "build/top_check.txt"; exit 1; }
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+rm -f "$sock"
+echo "ok: dfdbg-top rendered from pushed frames"
+
 echo "== sanitizer gate (ASan+UBSan) =="
 # The token hot path (SBO Value, ring-buffer Link, batched push_n/pop_n) is
 # manual-lifetime code: build it under AddressSanitizer + UBSan and run the

@@ -626,7 +626,17 @@ Status Interpreter::cmd_stats(const std::vector<std::string>& args) {
     console_.print("\n");
     return Status{};
   }
-  return Status::error(ErrCode::kInvalidArgument, "usage: stats [reset|json]");
+  if (args[0] == "delta") {
+    // Changed keys since the previous `stats delta` (the first call prints
+    // the whole registry) — the CLI's view of the server's stats.delta push
+    // stream, backed by the same snapshot API.
+    std::size_t changed = 0;
+    console_.print(reg.snapshot_delta(stats_prev_, &changed));
+    console_.print("\n");
+    console_.println(strformat("[%zu instrument(s) changed]", changed));
+    return Status{};
+  }
+  return Status::error(ErrCode::kInvalidArgument, "usage: stats [reset|json|delta]");
 }
 
 Status Interpreter::cmd_trace(const std::vector<std::string>& args) {
@@ -745,7 +755,36 @@ Status Interpreter::cmd_journal(const std::vector<std::string>& args) {
     console_.println("[Journal cleared]");
     return Status{};
   }
-  return Status::error(ErrCode::kInvalidArgument, "usage: journal [last N | dump <file> | capacity N | on | off | clear]");
+  if (args[0] == "tail") {
+    // Cursor-based resumable read: `journal tail` continues from the last
+    // tail (from "now" on first use); `journal tail <cursor>` resumes an
+    // explicit position (0 = oldest retained, reporting what was lost).
+    if (args.size() > 1) {
+      char* end = nullptr;
+      journal_cursor_ = std::strtoull(args[1].c_str(), &end, 0);
+      if (end == args[1].c_str())
+        return Status::error(ErrCode::kInvalidArgument, "malformed cursor: " + args[1]);
+    } else if (!journal_tailing_) {
+      journal_cursor_ = j.cursor();
+    }
+    journal_tailing_ = true;
+    auto namer = [this](std::uint32_t link) {
+      pedf::Link* l = session_.app().link_by_id(pedf::LinkId(link));
+      return l != nullptr ? l->name() : strformat("link#%u", link);
+    };
+    obs::Journal::Slice s =
+        j.read_from(journal_cursor_, SIZE_MAX,
+                    [&](const obs::JournalEvent& ev) { console_.println(j.format_event(ev, namer)); });
+    if (s.gap > 0)
+      console_.println(strformat("[gap: %llu event(s) evicted before the cursor]",
+                                 static_cast<unsigned long long>(s.gap)));
+    journal_cursor_ = s.next;
+    console_.println(strformat("[%zu event(s); next cursor %llu]", s.count,
+                               static_cast<unsigned long long>(s.next)));
+    return Status{};
+  }
+  return Status::error(ErrCode::kInvalidArgument,
+                       "usage: journal [last N | tail [cursor] | dump <file> | capacity N | on | off | clear]");
 }
 
 Status Interpreter::cmd_whence(const std::vector<std::string>& args_in) {
@@ -804,10 +843,10 @@ std::string Interpreter::help_text() {
       "  focus <iface...> / unfocus        framework cooperation (option 2)\n"
       "  save <file> / source <script>     persist & replay the session setup\n"
       "  export [file]                     session state as JSON (for UIs)\n"
-      "  stats [reset|json]                debugger self-metrics (obs registry)\n"
+      "  stats [reset|json|delta]          debugger self-metrics (obs registry)\n"
       "  trace on [capacity] | off | stats offline event collection window\n"
       "  profile export <file.json>        trace window as Chrome/Perfetto JSON\n"
-      "  journal [last N|dump <f> [--json]|capacity N|on|off|clear]  flight recorder\n"
+      "  journal [last N|tail [cur]|dump <f> [--json]|capacity N|on|off|clear]  flight recorder\n"
       "  whence <a::p> <slot> [depth] [--json]   causal chain of a queued token\n"
       "  info flow                         live occupancy + journal window per link\n"
       "  delete <bp> / help\n";

@@ -25,6 +25,7 @@
 
 #include "dfdbg/common/status.hpp"
 #include "dfdbg/debug/session.hpp"
+#include "dfdbg/obs/metrics.hpp"
 
 namespace dfdbg::trace {
 class TraceCollector;
@@ -128,6 +129,11 @@ class Interpreter {
   std::vector<std::string> replayable_;
   /// Event collector behind `trace on/off/stats` and `profile export`.
   std::unique_ptr<trace::TraceCollector> trace_;
+  /// `stats delta` baseline: registry values as of the previous delta.
+  obs::StatsSnapshot stats_prev_;
+  /// `journal tail` resume point (valid once journal_tailing_).
+  std::uint64_t journal_cursor_ = 0;
+  bool journal_tailing_ = false;
 };
 
 }  // namespace dfdbg::cli

@@ -85,6 +85,15 @@ class Session {
 
   /// All stop events seen so far, oldest first.
   [[nodiscard]] const std::vector<StopEvent>& history() const { return history_; }
+
+  /// Observer called once per stop event as it is produced — catchpoints
+  /// and breakpoints fire from inside the simulation (before run() returns);
+  /// deadlock/finished/time-limit stops fire as run() synthesizes them. The
+  /// debug server uses this to push `run.event` notifications while the
+  /// `run` response is still pending. One observer; set empty to clear.
+  void set_stop_observer(std::function<void(const StopEvent&)> fn) {
+    stop_observer_ = std::move(fn);
+  }
   /// Insertion notes and other async messages since the last take_notes().
   std::vector<std::string> take_notes();
 
@@ -317,6 +326,7 @@ class Session {
 
   std::vector<StopEvent> pending_;
   std::vector<StopEvent> history_;
+  std::function<void(const StopEvent&)> stop_observer_;
   std::vector<std::string> notes_;
   std::string current_actor_;
   std::vector<pedf::Value> value_history_;

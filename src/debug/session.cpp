@@ -558,6 +558,7 @@ void Session::trigger_stop(StopEvent ev, Rule* rule) {
       j.record(jev);
     }
   }
+  if (stop_observer_) stop_observer_(ev);
   pending_.push_back(std::move(ev));
   if (app_.kernel().current() != nullptr) app_.kernel().debug_break();
 }
@@ -620,6 +621,10 @@ RunOutcome Session::run(sim::SimTime until) {
       break;
     }
   }
+  // Catchpoint/breakpoint stops were observed from trigger_stop() as they
+  // fired; the synthesized terminal stops are observed here.
+  if (r != sim::RunResult::kStopped && stop_observer_)
+    for (const StopEvent& ev : out.stops) stop_observer_(ev);
   history_.insert(history_.end(), out.stops.begin(), out.stops.end());
   return out;
 }

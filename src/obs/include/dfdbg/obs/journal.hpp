@@ -135,6 +135,32 @@ class Journal {
   /// Events evicted from the current window.
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
+  // --- cursors: resumable tailing over the ring ------------------------------
+  // Every event carries an implicit absolute sequence number: the i-th event
+  // ever recorded into the current window has sequence i (clear()/
+  // set_capacity() restart the sequence with the window). A *cursor* is the
+  // sequence number of the next unread event, so `cursor() - reader_cursor`
+  // is the reader's lag and readers resume across reads without the journal
+  // keeping any per-reader state. When the ring laps a slow reader, the
+  // lapped events are unrecoverable; reads report that as a `gap`.
+
+  /// One read from a cursor: how far the cursor advanced and what was lost.
+  struct Slice {
+    std::uint64_t next = 0;   ///< cursor to resume from
+    std::uint64_t gap = 0;    ///< events lost between the cursor and the window
+    std::size_t count = 0;    ///< events delivered by this read
+  };
+
+  /// The cursor one past the newest recorded event (== total_recorded()).
+  [[nodiscard]] std::uint64_t cursor() const { return ring_.total_pushed(); }
+
+  /// Visits up to `max_n` retained events starting at absolute sequence
+  /// `from`, oldest first. If the ring has already evicted part of that
+  /// range, the visit starts at the oldest retained event and the skipped
+  /// span is returned as `gap`.
+  Slice read_from(std::uint64_t from, std::size_t max_n,
+                  const std::function<void(const JournalEvent&)>& fn) const;
+
   // --- name interning --------------------------------------------------------
 
   /// Interns `name`, returning its stable id. Re-interning a known name
@@ -153,6 +179,10 @@ class Journal {
   /// tallies, token ids allocated.
   [[nodiscard]] std::string summary() const;
 
+  /// One event as one transcript line (no trailing newline).
+  [[nodiscard]] std::string format_event(const JournalEvent& ev,
+                                         const LinkNamer& link_name = nullptr) const;
+
   /// The newest `n` retained events, oldest first, one line each.
   [[nodiscard]] std::string format_last(std::size_t n,
                                         const LinkNamer& link_name = nullptr) const;
@@ -162,6 +192,22 @@ class Journal {
   /// first. The raw-event twin of the Chrome-trace export — used by the CLI
   /// `journal dump <file> --json` and the debug server's `journal` verb.
   void write_json(JsonWriter& w, const LinkNamer& link_name = nullptr) const;
+
+  /// One event as one JSON object (the element schema of write_json's
+  /// `events` array and of the server's `journal.delta` notifications).
+  void write_event_json(JsonWriter& w, const JournalEvent& ev,
+                        const LinkNamer& link_name = nullptr) const;
+
+  /// A cursor read as one JSON object:
+  ///   {"from":F,"next":N,"gap":G,"events":[...]}
+  /// where F is the effective start (the request clamped into the window),
+  /// G counts the events the ring already evicted between the requested
+  /// cursor and F, and `events` holds at most `max_n` objects in
+  /// write_event_json schema. This is the NDJSON delta payload the debug
+  /// server pushes to `subscribe journal` clients and the CLI `journal tail`
+  /// prints; both resume from the returned Slice::next.
+  Slice write_delta_json(JsonWriter& w, std::uint64_t from, std::size_t max_n,
+                         const LinkNamer& link_name = nullptr) const;
 
  private:
   RingBuffer<JournalEvent> ring_;

@@ -125,6 +125,19 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
+/// A reader-side snapshot of registry values, used to compute deltas: one
+/// snapshot per subscriber, so several observers (debug-server push streams,
+/// the CLI `stats delta` verb) each see their own changed-keys view without
+/// the registry keeping any per-reader state.
+struct StatsSnapshot {
+  std::unordered_map<std::string, std::uint64_t> counters;
+  /// value, high-water.
+  std::unordered_map<std::string, std::pair<std::int64_t, std::int64_t>> gauges;
+  /// count, sum — enough to detect any observation (count moves) and most
+  /// distribution shifts (sum moves) without storing all 65 buckets.
+  std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>> histograms;
+};
+
 /// The registry: named instruments, lazily interned, stable addresses.
 class Registry {
  public:
@@ -151,7 +164,18 @@ class Registry {
   /// Human-readable dump (the CLI `stats` command).
   [[nodiscard]] std::string to_text() const;
   /// One JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histogram entries carry count/sum/min/max plus p50/p90/p99 estimates
+  /// from the log2 buckets — not the raw bucket array.
   [[nodiscard]] std::string to_json() const;
+
+  /// Changed-keys delta against `prev`, in to_json()'s shape but holding
+  /// only instruments whose value moved since the snapshot (counters by
+  /// value, gauges by value/high-water, histograms by count/sum — emitted
+  /// with the same percentile estimates as to_json()). Updates `prev` to
+  /// the current values and stores the changed-key count in `*changed`
+  /// (optional). An unchanged registry yields {"counters":{},"gauges":{},
+  /// "histograms":{}} and *changed == 0.
+  std::string snapshot_delta(StatsSnapshot& prev, std::size_t* changed = nullptr) const;
 
  private:
   // Transparent hash/equal: interning an already-known name from a

@@ -97,59 +97,79 @@ std::string Journal::summary() const {
   return out;
 }
 
-std::string Journal::format_last(std::size_t n, const LinkNamer& link_name) const {
+std::string Journal::format_event(const JournalEvent& ev, const LinkNamer& link_name) const {
   auto link_label = [&](std::uint32_t id) {
     if (id == UINT32_MAX) return std::string("-");
     if (link_name) return link_name(id);
     return strformat("link#%u", id);
   };
+  std::string out = strformat("t=%-8llu %-10s", static_cast<unsigned long long>(ev.time),
+                              to_string(ev.kind));
+  switch (ev.kind) {
+    case JournalKind::kTokenPush:
+    case JournalKind::kTokenInject:
+      out += strformat(" tok#%llu %s -> [%s] idx=%llu firing=%llu",
+                       static_cast<unsigned long long>(ev.token), name(ev.actor).c_str(),
+                       link_label(ev.link).c_str(),
+                       static_cast<unsigned long long>(ev.index),
+                       static_cast<unsigned long long>(ev.firing));
+      break;
+    case JournalKind::kTokenPop:
+      out += strformat(" tok#%llu [%s] -> %s idx=%llu firing=%llu",
+                       static_cast<unsigned long long>(ev.token),
+                       link_label(ev.link).c_str(), name(ev.actor).c_str(),
+                       static_cast<unsigned long long>(ev.index),
+                       static_cast<unsigned long long>(ev.firing));
+      break;
+    case JournalKind::kFireBegin:
+    case JournalKind::kFireEnd:
+      out += strformat(" %s firing=%llu", name(ev.actor).c_str(),
+                       static_cast<unsigned long long>(ev.firing));
+      break;
+    case JournalKind::kDispatch:
+      out += strformat(" %s activation=%llu", name(ev.actor).c_str(),
+                       static_cast<unsigned long long>(ev.index));
+      break;
+    case JournalKind::kCatchpoint:
+      out += strformat(" bp=%llu actor=%s", static_cast<unsigned long long>(ev.index),
+                       name(ev.actor).c_str());
+      break;
+    case JournalKind::kTokenRemove:
+    case JournalKind::kTokenReplace:
+      out += strformat(" tok#%llu [%s] slot=%llu",
+                       static_cast<unsigned long long>(ev.token),
+                       link_label(ev.link).c_str(),
+                       static_cast<unsigned long long>(ev.index));
+      break;
+  }
+  return out;
+}
+
+std::string Journal::format_last(std::size_t n, const LinkNamer& link_name) const {
   std::size_t count = n < ring_.size() ? n : ring_.size();
   std::size_t start = ring_.size() - count;
   std::string out;
   for (std::size_t i = start; i < ring_.size(); ++i) {
-    const JournalEvent& ev = ring_.at(i);
-    out += strformat("t=%-8llu %-10s", static_cast<unsigned long long>(ev.time),
-                     to_string(ev.kind));
-    switch (ev.kind) {
-      case JournalKind::kTokenPush:
-      case JournalKind::kTokenInject:
-        out += strformat(" tok#%llu %s -> [%s] idx=%llu firing=%llu",
-                         static_cast<unsigned long long>(ev.token), name(ev.actor).c_str(),
-                         link_label(ev.link).c_str(),
-                         static_cast<unsigned long long>(ev.index),
-                         static_cast<unsigned long long>(ev.firing));
-        break;
-      case JournalKind::kTokenPop:
-        out += strformat(" tok#%llu [%s] -> %s idx=%llu firing=%llu",
-                         static_cast<unsigned long long>(ev.token),
-                         link_label(ev.link).c_str(), name(ev.actor).c_str(),
-                         static_cast<unsigned long long>(ev.index),
-                         static_cast<unsigned long long>(ev.firing));
-        break;
-      case JournalKind::kFireBegin:
-      case JournalKind::kFireEnd:
-        out += strformat(" %s firing=%llu", name(ev.actor).c_str(),
-                         static_cast<unsigned long long>(ev.firing));
-        break;
-      case JournalKind::kDispatch:
-        out += strformat(" %s activation=%llu", name(ev.actor).c_str(),
-                         static_cast<unsigned long long>(ev.index));
-        break;
-      case JournalKind::kCatchpoint:
-        out += strformat(" bp=%llu actor=%s", static_cast<unsigned long long>(ev.index),
-                         name(ev.actor).c_str());
-        break;
-      case JournalKind::kTokenRemove:
-      case JournalKind::kTokenReplace:
-        out += strformat(" tok#%llu [%s] slot=%llu",
-                         static_cast<unsigned long long>(ev.token),
-                         link_label(ev.link).c_str(),
-                         static_cast<unsigned long long>(ev.index));
-        break;
-    }
+    out += format_event(ring_.at(i), link_name);
     out += "\n";
   }
   return out;
+}
+
+Journal::Slice Journal::read_from(std::uint64_t from, std::size_t max_n,
+                                  const std::function<void(const JournalEvent&)>& fn) const {
+  Slice s;
+  std::uint64_t total = ring_.total_pushed();
+  std::uint64_t oldest = total - ring_.size();
+  if (from > total) from = total;  // a cursor from a cleared window restarts
+  std::uint64_t start = from < oldest ? oldest : from;
+  s.gap = start - from;
+  std::uint64_t avail = total - start;
+  s.count = static_cast<std::size_t>(avail < max_n ? avail : max_n);
+  for (std::size_t i = 0; i < s.count; ++i)
+    fn(ring_.at(static_cast<std::size_t>(start - oldest) + i));
+  s.next = start + s.count;
+  return s;
 }
 
 void Journal::write_json(JsonWriter& w, const LinkNamer& link_name) const {
@@ -161,18 +181,43 @@ void Journal::write_json(JsonWriter& w, const LinkNamer& link_name) const {
       .kv("token_ids", last_token_)
       .key("events")
       .begin_array();
-  for (std::size_t i = 0; i < ring_.size(); ++i) {
-    const JournalEvent& ev = ring_.at(i);
-    w.begin_object().kv("t", ev.time).kv("kind", to_string(ev.kind));
-    if (ev.token != 0) w.kv("token", ev.token);
-    if (ev.link != UINT32_MAX)
-      w.kv("link", link_name ? link_name(ev.link) : strformat("link#%u", ev.link));
-    if (ev.actor != UINT32_MAX) w.kv("actor", name(ev.actor));
-    w.kv("index", ev.index);
-    if (ev.firing != 0) w.kv("firing", ev.firing);
-    w.end_object();
-  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) write_event_json(w, ring_.at(i), link_name);
   w.end_array().end_object();
+}
+
+void Journal::write_event_json(JsonWriter& w, const JournalEvent& ev,
+                               const LinkNamer& link_name) const {
+  w.begin_object().kv("t", ev.time).kv("kind", to_string(ev.kind));
+  if (ev.token != 0) w.kv("token", ev.token);
+  if (ev.link != UINT32_MAX)
+    w.kv("link", link_name ? link_name(ev.link) : strformat("link#%u", ev.link));
+  if (ev.actor != UINT32_MAX) w.kv("actor", name(ev.actor));
+  w.kv("index", ev.index);
+  if (ev.firing != 0) w.kv("firing", ev.firing);
+  w.end_object();
+}
+
+Journal::Slice Journal::write_delta_json(JsonWriter& w, std::uint64_t from, std::size_t max_n,
+                                         const LinkNamer& link_name) const {
+  // Two passes would re-walk the ring; instead record where `events` starts
+  // and let read_from stream straight into the writer.
+  std::uint64_t total = ring_.total_pushed();
+  std::uint64_t oldest = total - ring_.size();
+  std::uint64_t effective = from > total ? total : (from < oldest ? oldest : from);
+  w.begin_object().kv("from", effective);
+  // `next`/`gap` are known before the events are emitted (read_from computes
+  // them from the same window bounds), so emit them up front — streaming
+  // parsers see the cursor before the payload.
+  Slice probe;
+  probe.gap = effective - (from > total ? total : from);
+  std::uint64_t avail = total - effective;
+  probe.count = static_cast<std::size_t>(avail < max_n ? avail : max_n);
+  probe.next = effective + probe.count;
+  w.kv("next", probe.next).kv("gap", probe.gap);
+  w.key("events").begin_array();
+  read_from(from, max_n, [&](const JournalEvent& ev) { write_event_json(w, ev, link_name); });
+  w.end_array().end_object();
+  return probe;
 }
 
 }  // namespace dfdbg::obs

@@ -135,39 +135,97 @@ std::string Registry::to_text() const {
   return out;
 }
 
+namespace {
+/// The shared JSON spelling of one instrument's value — to_json() and
+/// snapshot_delta() must stay byte-compatible per entry.
+std::string counter_json(const std::string& name, const Counter& c) {
+  return strformat("\"%s\":%llu", json_escape(name).c_str(),
+                   static_cast<unsigned long long>(c.value()));
+}
+
+std::string gauge_json(const std::string& name, const Gauge& g) {
+  return strformat("\"%s\":{\"value\":%lld,\"max\":%lld}", json_escape(name).c_str(),
+                   static_cast<long long>(g.value()), static_cast<long long>(g.max()));
+}
+
+std::string histogram_json(const std::string& name, const Histogram& h) {
+  return strformat(
+      "\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+      "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu}",
+      json_escape(name).c_str(), static_cast<unsigned long long>(h.count()),
+      static_cast<unsigned long long>(h.sum()), static_cast<unsigned long long>(h.min()),
+      static_cast<unsigned long long>(h.max()),
+      static_cast<unsigned long long>(h.percentile(0.50)),
+      static_cast<unsigned long long>(h.percentile(0.90)),
+      static_cast<unsigned long long>(h.percentile(0.99)));
+}
+}  // namespace
+
 std::string Registry::to_json() const {
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters()) {
     if (!first) out += ',';
     first = false;
-    out += strformat("\"%s\":%llu", json_escape(name).c_str(),
-                     static_cast<unsigned long long>(c->value()));
+    out += counter_json(name, *c);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : gauges()) {
     if (!first) out += ',';
     first = false;
-    out += strformat("\"%s\":{\"value\":%lld,\"max\":%lld}", json_escape(name).c_str(),
-                     static_cast<long long>(g->value()), static_cast<long long>(g->max()));
+    out += gauge_json(name, *g);
   }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms()) {
     if (!first) out += ',';
     first = false;
-    out += strformat(
-        "\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
-        "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu}",
-        json_escape(name).c_str(), static_cast<unsigned long long>(h->count()),
-        static_cast<unsigned long long>(h->sum()), static_cast<unsigned long long>(h->min()),
-        static_cast<unsigned long long>(h->max()),
-        static_cast<unsigned long long>(h->percentile(0.50)),
-        static_cast<unsigned long long>(h->percentile(0.90)),
-        static_cast<unsigned long long>(h->percentile(0.99)));
+    out += histogram_json(name, *h);
   }
   out += "}}";
+  return out;
+}
+
+std::string Registry::snapshot_delta(StatsSnapshot& prev, std::size_t* changed) const {
+  std::size_t n = 0;
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    auto it = prev.counters.find(name);
+    if (it != prev.counters.end() && it->second == c.value()) continue;
+    prev.counters[name] = c.value();
+    if (!first) out += ',';
+    first = false;
+    out += counter_json(name, c);
+    ++n;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    std::pair<std::int64_t, std::int64_t> cur{g.value(), g.max()};
+    auto it = prev.gauges.find(name);
+    if (it != prev.gauges.end() && it->second == cur) continue;
+    prev.gauges[name] = cur;
+    if (!first) out += ',';
+    first = false;
+    out += gauge_json(name, g);
+    ++n;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::pair<std::uint64_t, std::uint64_t> cur{h.count(), h.sum()};
+    auto it = prev.histograms.find(name);
+    if (it != prev.histograms.end() && it->second == cur) continue;
+    prev.histograms[name] = cur;
+    if (!first) out += ',';
+    first = false;
+    out += histogram_json(name, h);
+    ++n;
+  }
+  out += "}}";
+  if (changed != nullptr) *changed = n;
   return out;
 }
 

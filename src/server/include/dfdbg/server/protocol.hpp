@@ -48,4 +48,13 @@ inline constexpr int kErrIo = -32004;
 /// Same, straight from a failed Status.
 [[nodiscard]] std::string make_error_frame(const std::string& id_json, const Status& s);
 
+/// Serializes a server-push notification — a request object with no `id`,
+/// which per JSON-RPC 2.0 expects no response:
+///   {"jsonrpc":"2.0","method":<m>,"params":<p>}
+/// The subscription streams (journal.delta, flow.snapshot, stats.delta,
+/// run.event) are all delivered in this framing, interleaved with ordinary
+/// responses on the same connection; clients route on the presence of `id`.
+[[nodiscard]] std::string make_notification_frame(const std::string& method,
+                                                  const std::string& params_json);
+
 }  // namespace dfdbg::server

@@ -12,18 +12,37 @@
 //
 // serve() blocks until the `shutdown` verb arrives or request_shutdown() is
 // called from another thread (a self-pipe wakes the poll loop).
+//
+// Subscriptions (the streaming half of the protocol): a client may
+// `subscribe` to named streams — `journal` (provenance-event deltas with a
+// resumable cursor), `info_flow` (periodic link-occupancy snapshots),
+// `stats` (changed-keys registry deltas), `run_events` (stop events as they
+// happen) — and the server pushes JSON-RPC *notifications* (frames without
+// an `id`) interleaved with ordinary responses on the same connection.
+// Backpressure is explicit: each client's outbound buffer is bounded by
+// `max_outbound_bytes`; while a client is over the bound, periodic
+// snapshots are coalesced (skipped and counted in `server.sub.coalesced`)
+// and journal reads pause — if the ring then laps the paused cursor the
+// lost span is reported in-band as a `gap` and counted in
+// `server.sub.dropped`. A slow subscriber therefore costs bounded memory
+// and never blocks the loop or other clients.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dfdbg/common/status.hpp"
 #include "dfdbg/dbgcli/cli.hpp"
 #include "dfdbg/debug/session.hpp"
+#include "dfdbg/obs/journal.hpp"
+#include "dfdbg/obs/metrics.hpp"
 
 namespace dfdbg::server {
 
@@ -37,6 +56,17 @@ struct ServerConfig {
   /// Gate for the `exec` verb (raw CLI line execution). Disable to restrict
   /// remote clients to the structured verb set.
   bool allow_exec = true;
+  /// Slow-consumer bound: once a client's unsent output exceeds this, the
+  /// server stops producing for it (snapshots coalesce, journal reads
+  /// pause) until the socket drains. Responses to requests are exempt —
+  /// only push streams are throttled.
+  std::size_t max_outbound_bytes = 1 << 18;
+  /// Cadence of the periodic streams (flow.snapshot, stats.delta), in
+  /// milliseconds. Also the poll timeout while periodic subscribers exist.
+  int tick_ms = 50;
+  /// Max journal events per journal.delta notification. Smaller batches
+  /// interleave finer with snapshots; larger ones cost less framing.
+  std::size_t journal_batch = 64;
 };
 
 class DebugServer {
@@ -77,10 +107,33 @@ class DebugServer {
     std::string in;   ///< bytes received, not yet framed
     std::string out;  ///< responses not yet written
     bool close_after_flush = false;
+
+    // --- subscription state (all default-off) -------------------------------
+    bool sub_journal = false;
+    bool sub_flow = false;
+    bool sub_stats = false;
+    bool sub_run_events = false;
+    /// Resume point into the journal ring (absolute sequence).
+    std::uint64_t journal_cursor = 0;
+    /// Reader-side registry snapshot backing `stats.delta`.
+    obs::StatsSnapshot stats_prev;
+    /// Last-seen per-link (pushes, pops) backing the d_pushes/d_pops rates
+    /// in `flow.snapshot`.
+    std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>> flow_prev;
+
+    [[nodiscard]] bool subscribed() const {
+      return sub_journal || sub_flow || sub_stats || sub_run_events;
+    }
+    /// Periodic streams force a poll timeout; event streams do not.
+    [[nodiscard]] bool wants_tick() const { return sub_flow || sub_stats; }
   };
 
+  /// handle_frame with the requesting connection attached (nullptr for the
+  /// in-process entry point: subscribe verbs then report an error, since
+  /// there is no socket to push to).
+  std::string handle_frame_for(std::string_view frame, Client* client);
   std::string dispatch(const std::string& method, const JsonValue& params,
-                       const std::string& id_json);
+                       const std::string& id_json, Client* client);
   void accept_clients();
   /// Reads from client `i`; frames and executes requests. Returns false if
   /// the client disconnected (and was closed).
@@ -89,6 +142,21 @@ class DebugServer {
   bool flush_output(std::size_t i);
   void close_client(std::size_t i);
   void enqueue(Client& c, std::string frame);
+
+  // --- push-stream machinery ------------------------------------------------
+
+  /// Resolves journal link ids to application link names.
+  [[nodiscard]] obs::Journal::LinkNamer link_namer();
+  /// Enqueues one notification frame onto `c` (counts server.sub.*).
+  void push_notification(Client& c, const std::string& method, std::string params_json);
+  /// Produces everything `c` is owed — journal deltas up to the outbound
+  /// bound, plus flow/stats snapshots when `tick_due` — without flushing.
+  void pump_client(Client& c, bool tick_due);
+  /// Session stop observer: fans a stop event out to `run_events`
+  /// subscribers *while the triggering request is still executing*, with a
+  /// best-effort non-blocking send so the event precedes the response on
+  /// the wire. Never closes a client (the poll loop owns lifecycle).
+  void on_stop_event(const dbg::StopEvent& ev);
 
   dbg::Session& session_;
   ServerConfig config_;
@@ -101,6 +169,7 @@ class DebugServer {
   int wake_pipe_[2] = {-1, -1};  ///< self-pipe: request_shutdown() -> poll()
   bool shutdown_ = false;
   std::vector<Client> clients_;
+  std::chrono::steady_clock::time_point last_tick_{};
 };
 
 }  // namespace dfdbg::server

@@ -59,4 +59,13 @@ std::string make_error_frame(const std::string& id_json, const Status& s) {
   return make_error_frame(id_json, jsonrpc_code(s.code()), s.message(), s.code());
 }
 
+std::string make_notification_frame(const std::string& method, const std::string& params_json) {
+  std::string out = "{\"jsonrpc\":\"2.0\",\"method\":";
+  out += json_quote(method);
+  out += ",\"params\":";
+  out += params_json;
+  out += "}";
+  return out;
+}
+
 }  // namespace dfdbg::server

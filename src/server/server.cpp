@@ -70,7 +70,28 @@ constexpr const char* kMethods[] = {
     "delete_breakpoint", "enable_breakpoint", "step_both",
     "inject",         "remove",            "replace",
     "exec",           "journal",           "stats",
+    "info_stats",     "subscribe",         "unsubscribe",
     "shutdown",
+};
+
+/// The subscribable stream names (the protocol's spelling).
+constexpr const char* kStreamJournal = "journal";
+constexpr const char* kStreamFlow = "info_flow";
+constexpr const char* kStreamStats = "stats";
+constexpr const char* kStreamRunEvents = "run_events";
+
+/// Subscription-layer instruments, interned once.
+struct SubMetrics {
+  obs::Counter& notifications;  ///< push frames enqueued, any stream
+  obs::Counter& dropped;        ///< journal events lost to ring laps (gap total)
+  obs::Counter& coalesced;      ///< periodic snapshots skipped on a full buffer
+  static SubMetrics& get() {
+    auto& r = obs::Registry::global();
+    static SubMetrics m{r.counter("server.sub.notifications"),
+                        r.counter("server.sub.dropped"),
+                        r.counter("server.sub.coalesced")};
+    return m;
+  }
 };
 
 }  // namespace
@@ -83,9 +104,13 @@ DebugServer::DebugServer(dbg::Session& session, ServerConfig config)
     set_nonblocking(wake_pipe_[0]);
     set_nonblocking(wake_pipe_[1]);
   }
+  // Stops fire while a `run`/`exec` verb is still executing; the observer
+  // pushes them to run_events subscribers ahead of the pending response.
+  session_.set_stop_observer([this](const dbg::StopEvent& ev) { on_stop_event(ev); });
 }
 
 DebugServer::~DebugServer() {
+  session_.set_stop_observer(nullptr);
   for (std::size_t i = clients_.size(); i > 0; --i) close_client(i - 1);
   if (listen_fd_ >= 0) close(listen_fd_);
   if (!unix_path_.empty()) unlink(unix_path_.c_str());
@@ -183,9 +208,115 @@ void DebugServer::close_client(std::size_t i) {
 }
 
 void DebugServer::enqueue(Client& c, std::string frame) {
-  obs::Registry::global().counter("server.bytes_out").add(frame.size() + 1);
+  // server.bytes_out is counted at the actual send (flush_output / the
+  // graceful final flush), so short writes and dropped clients never
+  // over- or double-count.
   c.out += frame;
   c.out += '\n';
+}
+
+obs::Journal::LinkNamer DebugServer::link_namer() {
+  return [this](std::uint32_t link) {
+    pedf::Link* l = session_.app().link_by_id(pedf::LinkId(link));
+    return l != nullptr ? l->name() : strformat("link#%u", link);
+  };
+}
+
+void DebugServer::push_notification(Client& c, const std::string& method,
+                                    std::string params_json) {
+  enqueue(c, make_notification_frame(method, params_json));
+  SubMetrics::get().notifications.add();
+}
+
+void DebugServer::pump_client(Client& c, bool tick_due) {
+  // Journal deltas first: they are the stream with real history behind it,
+  // and pausing them (rather than dropping) is what makes the cursor/gap
+  // contract work — the ring only laps a reader that stays slow.
+  if (c.sub_journal) {
+    obs::Journal& j = obs::Journal::global();
+    while (c.out.size() < config_.max_outbound_bytes && c.journal_cursor < j.cursor()) {
+      JsonWriter w;
+      obs::Journal::Slice s =
+          j.write_delta_json(w, c.journal_cursor, config_.journal_batch, link_namer());
+      c.journal_cursor = s.next;
+      if (s.gap > 0) SubMetrics::get().dropped.add(s.gap);
+      if (s.count == 0 && s.gap == 0) break;
+      push_notification(c, "journal.delta", w.take());
+    }
+  }
+  if (!tick_due) return;
+  // Periodic snapshots: coalesce (skip whole ticks) while the client is
+  // over its outbound bound — a snapshot is a *current state*, so skipping
+  // loses nothing a later tick does not re-deliver.
+  if (c.sub_flow) {
+    if (c.out.size() >= config_.max_outbound_bytes) {
+      SubMetrics::get().coalesced.add();
+    } else {
+      JsonWriter w;
+      w.begin_object();
+      w.kv("time", session_.app().kernel().now());
+      w.key("links").begin_array();
+      for (const dbg::LinkRow& l : session_.links_view().links) {
+        auto& prev = c.flow_prev[l.name];
+        w.begin_object()
+            .kv("name", l.name)
+            .kv("occupancy", static_cast<std::uint64_t>(l.occupancy))
+            .kv("pushes", l.pushes)
+            .kv("pops", l.pops)
+            .kv("d_pushes", l.pushes - prev.first)
+            .kv("d_pops", l.pops - prev.second)
+            .end_object();
+        prev = {l.pushes, l.pops};
+      }
+      w.end_array();
+      w.key("filters").begin_array();
+      for (const dbg::ProfileRow& r : session_.profile_snapshot().rows) {
+        w.begin_object()
+            .kv("path", r.path)
+            .kv("firings", r.firings)
+            .kv("cycles", r.cycles)
+            .end_object();
+      }
+      w.end_array();
+      w.end_object();
+      push_notification(c, "flow.snapshot", w.take());
+    }
+  }
+  if (c.sub_stats) {
+    if (c.out.size() >= config_.max_outbound_bytes) {
+      SubMetrics::get().coalesced.add();
+    } else {
+      std::size_t changed = 0;
+      std::string delta = obs::Registry::global().snapshot_delta(c.stats_prev, &changed);
+      // An all-empty delta carries no information; skip the frame entirely.
+      if (changed > 0) push_notification(c, "stats.delta", std::move(delta));
+    }
+  }
+}
+
+void DebugServer::on_stop_event(const dbg::StopEvent& ev) {
+  bool any = false;
+  for (Client& c : clients_)
+    if (c.sub_run_events) any = true;
+  if (!any) return;
+  JsonWriter w;
+  dbg::to_json(w, ev);
+  std::string params = w.take();
+  for (Client& c : clients_) {
+    if (!c.sub_run_events) continue;
+    push_notification(c, "run.event", params);
+    // Best-effort immediate delivery: the poll loop is parked inside the
+    // dispatch that triggered this stop, so without this send the event
+    // would sit buffered until the response completes. Never closes the
+    // client here — on a hard error the data stays queued and the poll
+    // loop's next flush_output() sees the same error and owns the close.
+    while (!c.out.empty()) {
+      ssize_t n = send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      if (n <= 0) break;
+      obs::Registry::global().counter("server.bytes_out").add(static_cast<std::uint64_t>(n));
+      c.out.erase(0, static_cast<std::size_t>(n));
+    }
+  }
 }
 
 bool DebugServer::service_input(std::size_t i) {
@@ -220,7 +351,7 @@ bool DebugServer::service_input(std::size_t i) {
       c.close_after_flush = true;
       break;
     }
-    enqueue(c, handle_frame(line));
+    enqueue(c, handle_frame_for(line, &c));
     if (shutdown_) break;
   }
   c.in.erase(0, start);
@@ -246,6 +377,7 @@ bool DebugServer::flush_output(std::size_t i) {
   while (!c.out.empty()) {
     ssize_t n = send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
     if (n > 0) {
+      obs::Registry::global().counter("server.bytes_out").add(static_cast<std::uint64_t>(n));
       c.out.erase(0, static_cast<std::size_t>(n));
       continue;
     }
@@ -264,13 +396,19 @@ Status DebugServer::serve() {
   if (listen_fd_ < 0)
     return Status::error(ErrCode::kFailedPrecondition, "serve: not listening (call listen_* first)");
   shutdown_ = false;
+  last_tick_ = std::chrono::steady_clock::now();
   while (!shutdown_) {
     std::vector<pollfd> fds;
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     fds.push_back({listen_fd_, POLLIN, 0});
-    for (const Client& c : clients_)
+    bool periodic = false;
+    for (const Client& c : clients_) {
       fds.push_back({c.fd, static_cast<short>(POLLIN | (c.out.empty() ? 0 : POLLOUT)), 0});
-    int rc = poll(fds.data(), fds.size(), -1);
+      if (c.wants_tick()) periodic = true;
+    }
+    // Periodic subscribers turn the poll into a ticking one; otherwise the
+    // loop stays fully event-driven (no idle wakeups).
+    int rc = poll(fds.data(), fds.size(), periodic ? config_.tick_ms : -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
       return errno_status("poll");
@@ -290,12 +428,33 @@ Status DebugServer::serve() {
       std::size_t idx = i - 1;
       short re = fds[2 + idx].revents;
       if (re == 0) continue;
-      if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0 && (re & POLLIN) == 0) {
+      if ((re & (POLLERR | POLLNVAL)) != 0) {
         close_client(idx);
         continue;
       }
       if ((re & POLLIN) != 0 && !service_input(idx)) continue;
-      if ((re & (POLLOUT | POLLIN)) != 0) flush_output(idx);
+      // POLLHUP without readable data: the peer is gone and writes cannot
+      // succeed; anything still queued is undeliverable.
+      if ((re & POLLHUP) != 0 && (re & POLLIN) == 0) {
+        close_client(idx);
+        continue;
+      }
+      // A POLLOUT-only wakeup (no POLLIN this round) must still drain the
+      // pending out buffer, or a paused reader would deadlock the stream.
+      if ((re & POLLOUT) != 0) flush_output(idx);
+    }
+    // Push-stream pump: now that requests ran (the journal may have grown)
+    // and sockets drained (buffers may have room), produce what each
+    // subscriber is owed, then flush eagerly. Reverse walk: flush_output
+    // may close (erase) the client.
+    auto now = std::chrono::steady_clock::now();
+    bool tick_due =
+        periodic && now - last_tick_ >= std::chrono::milliseconds(config_.tick_ms);
+    if (tick_due) last_tick_ = now;
+    for (std::size_t i = clients_.size(); i > 0; --i) {
+      Client& c = clients_[i - 1];
+      if (c.subscribed()) pump_client(c, tick_due);
+      if (!c.out.empty()) flush_output(i - 1);
     }
   }
   // Graceful exit: flush what clients are owed (briefly, blocking), then close.
@@ -304,7 +463,9 @@ Status DebugServer::serve() {
     if (!c.out.empty()) {
       int flags = fcntl(c.fd, F_GETFL, 0);
       if (flags >= 0) fcntl(c.fd, F_SETFL, flags & ~O_NONBLOCK);
-      (void)send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      ssize_t n = send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      if (n > 0)
+        obs::Registry::global().counter("server.bytes_out").add(static_cast<std::uint64_t>(n));
     }
     close_client(i - 1);
   }
@@ -312,6 +473,10 @@ Status DebugServer::serve() {
 }
 
 std::string DebugServer::handle_frame(std::string_view frame) {
+  return handle_frame_for(frame, nullptr);
+}
+
+std::string DebugServer::handle_frame_for(std::string_view frame, Client* client) {
   obs::Registry::global().counter("server.requests").add();
   obs::ScopedTimer timer(obs::Registry::global().histogram("server.request_ns"));
   auto parsed = JsonValue::parse(frame);
@@ -335,7 +500,8 @@ std::string DebugServer::handle_frame(std::string_view frame) {
   obs::Registry::global().counter(std::string("server.req.") + method).add();
   static const JsonValue kNoParams;
   const JsonValue* params = parsed->find("params");
-  std::string response = dispatch(method, params != nullptr ? *params : kNoParams, id_json);
+  std::string response =
+      dispatch(method, params != nullptr ? *params : kNoParams, id_json, client);
   // Every error frame carries this exact unescaped marker (protocol.cpp);
   // inside result payloads the quotes would be \"-escaped.
   if (response.find(",\"error\":{\"code\":") != std::string::npos)
@@ -344,7 +510,7 @@ std::string DebugServer::handle_frame(std::string_view frame) {
 }
 
 std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
-                                  const std::string& id_json) {
+                                  const std::string& id_json, Client* client) {
   auto missing = [&](const char* param) {
     return make_error_frame(id_json, kErrInvalidParams,
                             strformat("missing required param: %s", param),
@@ -530,16 +696,62 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
 
   if (method == "journal") {
     JsonWriter w;
-    obs::Journal::global().write_json(w, [this](std::uint32_t link) {
-      pedf::Link* l = session_.app().link_by_id(pedf::LinkId(link));
-      return l != nullptr ? l->name() : strformat("link#%u", link);
-    });
+    obs::Journal::global().write_json(w, link_namer());
     return make_result_frame(id_json, w.take());
   }
 
-  if (method == "stats") {
-    // Registry::to_json() already emits one compact JSON object.
+  if (method == "stats" || method == "info_stats") {
+    // Registry::to_json() already emits one compact JSON object, histogram
+    // entries carrying p50/p90/p99 estimates from the log2 buckets.
     return make_result_frame(id_json, obs::Registry::global().to_json());
+  }
+
+  if (method == "subscribe" || method == "unsubscribe") {
+    if (client == nullptr)
+      return make_error_frame(
+          id_json, Status::error(ErrCode::kFailedPrecondition,
+                                 method + " requires a socket connection to push to"));
+    bool on = method == "subscribe";
+    std::string stream = p.str_or("stream");
+    if (stream.empty() && on) return missing("stream");
+    JsonWriter w;
+    w.begin_object().kv("ok", true);
+    if (stream == kStreamJournal) {
+      client->sub_journal = on;
+      if (on) {
+        // Default: tail from "now". An explicit cursor resumes an earlier
+        // read (0 replays the whole retained window, reporting the gap).
+        client->journal_cursor = p.find("cursor") != nullptr
+                                     ? p.u64_or("cursor", 0)
+                                     : obs::Journal::global().cursor();
+        w.kv("stream", stream).kv("cursor", client->journal_cursor);
+      }
+    } else if (stream == kStreamFlow) {
+      client->sub_flow = on;
+      if (on) {
+        client->flow_prev.clear();
+        w.kv("stream", stream);
+      }
+    } else if (stream == kStreamStats) {
+      client->sub_stats = on;
+      if (on) {
+        // A fresh snapshot makes the first delta carry the full registry.
+        client->stats_prev = obs::StatsSnapshot{};
+        w.kv("stream", stream);
+      }
+    } else if (stream == kStreamRunEvents) {
+      client->sub_run_events = on;
+      if (on) w.kv("stream", stream);
+    } else if (!on && (stream.empty() || stream == "all")) {
+      // `unsubscribe` with no stream (or "all") clears everything.
+      client->sub_journal = client->sub_flow = client->sub_stats = client->sub_run_events =
+          false;
+    } else {
+      return make_error_frame(
+          id_json, Status::error(ErrCode::kInvalidArgument, "unknown stream: " + stream));
+    }
+    w.end_object();
+    return make_result_frame(id_json, w.take());
   }
 
   if (method == "shutdown") {

@@ -1,0 +1,664 @@
+// Tests of the server push-subscription layer (docs/PROTOCOL.md
+// "Subscriptions"): notification framing, per-stream NDJSON schemas pinned
+// as a golden file, journal-cursor gap reporting when the ring laps a slow
+// reader, the slow-consumer policy (a stalled subscriber never blocks the
+// loop or other clients), unsubscribe + clean disconnect mid-stream, and
+// the run.event-before-run-response ordering guarantee.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dfdbg/common/json.hpp"
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/obs/journal.hpp"
+#include "dfdbg/server/protocol.hpp"
+#include "dfdbg/server/server.hpp"
+
+namespace dfdbg::server {
+namespace {
+
+using h264::H264App;
+using h264::H264AppConfig;
+
+H264AppConfig small_config() {
+  H264AppConfig cfg;
+  cfg.params.width = 32;
+  cfg.params.height = 32;
+  cfg.params.frame_count = 1;
+  return cfg;
+}
+
+/// In-process rig (handle_frame only — no socket, so no subscriptions).
+struct Rig {
+  std::unique_ptr<H264App> app;
+  std::unique_ptr<dbg::Session> session;
+  std::unique_ptr<DebugServer> server;
+
+  explicit Rig(ServerConfig scfg = {}, H264AppConfig cfg = small_config()) {
+    auto built = H264App::build(cfg);
+    EXPECT_TRUE(built.ok()) << built.status().message();
+    app = std::move(*built);
+    session = std::make_unique<dbg::Session>(app->app());
+    session->attach();
+    app->start();
+    server = std::make_unique<DebugServer>(*session, scfg);
+  }
+};
+
+/// Blocking line client with an optional receive timeout.
+struct TestClient {
+  int fd = -1;
+  std::string spill;
+
+  ~TestClient() {
+    if (fd >= 0) close(fd);
+  }
+
+  bool connect_tcp(int port) {
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+
+  void set_timeout_ms(int ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  bool send_line(const std::string& frame) {
+    std::string wire = frame + "\n";
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      ssize_t n = send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one frame; "" on EOF, error or timeout.
+  std::string read_line() {
+    for (;;) {
+      std::size_t nl = spill.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = spill.substr(0, nl);
+        spill.erase(0, nl + 1);
+        return line;
+      }
+      char buf[65536];
+      ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) return "";
+      spill.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Sends a request and reads frames until its response (id match, crude
+  /// string form), collecting notifications seen on the way.
+  std::string request(const std::string& frame, std::vector<std::string>* notifications = nullptr) {
+    if (!send_line(frame)) return "";
+    for (;;) {
+      std::string line = read_line();
+      if (line.empty()) return "";
+      auto doc = JsonValue::parse(line);
+      if (doc.ok() && doc->is_object() && doc->find("id") == nullptr) {
+        if (notifications != nullptr) notifications->push_back(line);
+        continue;
+      }
+      return line;
+    }
+  }
+};
+
+/// Full rig + poll-loop server on a dedicated thread.
+struct ServerThread {
+  std::thread thread;
+  DebugServer* server = nullptr;
+  int port = 0;
+
+  explicit ServerThread(std::function<void(dbg::Session&)> setup = nullptr,
+                        ServerConfig scfg = {}) {
+    std::promise<int> ready;
+    thread = std::thread([this, setup = std::move(setup), scfg, &ready] {
+      Rig rig(scfg);
+      if (setup) setup(*rig.session);
+      auto p = rig.server->listen_tcp();
+      EXPECT_TRUE(p.ok()) << p.status().message();
+      if (!p.ok()) {
+        ready.set_value(0);
+        return;
+      }
+      server = rig.server.get();
+      ready.set_value(*p);
+      EXPECT_TRUE(rig.server->serve().ok());
+    });
+    port = ready.get_future().get();
+    EXPECT_NE(port, 0);
+  }
+
+  ~ServerThread() {
+    if (thread.joinable()) {
+      server->request_shutdown();
+      thread.join();
+    }
+  }
+};
+
+/// Every push frame must be a JSON-RPC notification: jsonrpc 2.0, a stream
+/// method, a params object, and no id.
+void check_notification_framing(const std::string& frame) {
+  auto doc = JsonValue::parse(frame);
+  ASSERT_TRUE(doc.ok()) << frame;
+  ASSERT_TRUE(doc->is_object()) << frame;
+  EXPECT_EQ(doc->str_or("jsonrpc"), "2.0") << frame;
+  EXPECT_EQ(doc->find("id"), nullptr) << frame;
+  std::string method = doc->str_or("method");
+  EXPECT_TRUE(method == "journal.delta" || method == "flow.snapshot" ||
+              method == "stats.delta" || method == "run.event")
+      << method;
+  const JsonValue* params = doc->find("params");
+  ASSERT_NE(params, nullptr) << frame;
+  EXPECT_TRUE(params->is_object()) << frame;
+}
+
+// --- subscribe verb basics ---------------------------------------------------
+
+TEST(Subscribe, RequiresSocketConnection) {
+  Rig rig;
+  std::string resp = rig.server->handle_frame(
+      R"({"id":1,"method":"subscribe","params":{"stream":"journal"}})");
+  EXPECT_NE(resp.find("\"error\""), std::string::npos) << resp;
+  EXPECT_NE(resp.find("socket"), std::string::npos) << resp;
+}
+
+TEST(Subscribe, UnknownStreamRejected) {
+  ServerThread st;
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  std::string resp =
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"bogus"}})");
+  EXPECT_NE(resp.find("unknown stream"), std::string::npos) << resp;
+  // The connection survives the error.
+  resp = tc.request(R"({"id":2,"method":"ping"})");
+  EXPECT_NE(resp.find("\"pong\":true"), std::string::npos) << resp;
+}
+
+TEST(Subscribe, JournalAckCarriesCursor) {
+  ServerThread st;
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  std::string resp =
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"journal"}})");
+  auto doc = JsonValue::parse(resp);
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* result = doc->find("result");
+  ASSERT_NE(result, nullptr) << resp;
+  EXPECT_EQ(result->str_or("stream"), "journal");
+  EXPECT_NE(result->find("cursor"), nullptr) << resp;
+}
+
+// --- journal stream: deltas, cursors, gaps -----------------------------------
+
+TEST(Subscribe, JournalDeltasStreamDuringRun) {
+  ServerThread st;
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  tc.set_timeout_ms(20000);
+  ASSERT_FALSE(
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"journal"}})").empty());
+
+  // One full decode; deltas arrive with zero further requests from us.
+  std::vector<std::string> notifications;
+  std::string run_resp = tc.request(R"({"id":2,"method":"run"})", &notifications);
+  ASSERT_FALSE(run_resp.empty());
+
+  // Keep draining until the journal stream goes quiet.
+  tc.set_timeout_ms(300);
+  for (;;) {
+    std::string line = tc.read_line();
+    if (line.empty()) break;
+    notifications.push_back(line);
+  }
+
+  std::uint64_t events = 0;
+  std::uint64_t expected_cursor = 0;
+  bool have_cursor = false;
+  for (const std::string& n : notifications) {
+    check_notification_framing(n);
+    auto doc = JsonValue::parse(n);
+    ASSERT_TRUE(doc.ok());
+    if (doc->str_or("method") != "journal.delta") continue;
+    const JsonValue* p = doc->find("params");
+    ASSERT_NE(p->find("from"), nullptr) << n;
+    ASSERT_NE(p->find("next"), nullptr) << n;
+    ASSERT_NE(p->find("gap"), nullptr) << n;
+    const JsonValue* evs = p->find("events");
+    ASSERT_NE(evs, nullptr) << n;
+    ASSERT_TRUE(evs->is_array());
+    events += evs->size();
+    // Deltas are contiguous: each resumes where the previous ended.
+    if (have_cursor) {
+      EXPECT_EQ(p->u64_or("from", 0), expected_cursor);
+    }
+    expected_cursor = p->u64_or("next", 0);
+    have_cursor = true;
+    EXPECT_EQ(p->u64_or("next", 0), p->u64_or("from", 0) + p->u64_or("gap", 0) + evs->size());
+    for (std::size_t i = 0; i < evs->size(); ++i) {
+      const JsonValue& ev = evs->at(i);
+      EXPECT_NE(ev.find("t"), nullptr);
+      EXPECT_NE(ev.find("kind"), nullptr);
+      EXPECT_NE(ev.find("index"), nullptr);
+    }
+  }
+  EXPECT_GT(events, 100u) << "a full decode should stream its journal";
+}
+
+TEST(Subscribe, RingWrapReportsGapAndCountsDrops) {
+  // A tiny ring under a full decode laps any subscriber cursor.
+  ServerThread st([](dbg::Session&) { obs::Journal::global().set_capacity(64); });
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  tc.set_timeout_ms(20000);
+  ASSERT_FALSE(
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"journal"}})").empty());
+
+  std::vector<std::string> notifications;
+  ASSERT_FALSE(tc.request(R"({"id":2,"method":"run"})", &notifications).empty());
+  tc.set_timeout_ms(300);
+  for (;;) {
+    std::string line = tc.read_line();
+    if (line.empty()) break;
+    notifications.push_back(line);
+  }
+
+  std::uint64_t gap_total = 0;
+  for (const std::string& n : notifications) {
+    auto doc = JsonValue::parse(n);
+    ASSERT_TRUE(doc.ok());
+    if (doc->str_or("method") != "journal.delta") continue;
+    gap_total += doc->find("params")->u64_or("gap", 0);
+  }
+  EXPECT_GT(gap_total, 0u) << "a 64-event ring must lap the paused cursor";
+
+  // The loss is accounted: server.sub.dropped counts every lapped event.
+  tc.set_timeout_ms(20000);
+  std::string stats = tc.request(R"({"id":3,"method":"info_stats"})");
+  auto doc = JsonValue::parse(stats);
+  ASSERT_TRUE(doc.ok()) << stats;
+  const JsonValue* counters = doc->find("result")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* dropped = counters->find("server.sub.dropped");
+  ASSERT_NE(dropped, nullptr) << stats;
+  // >= because the registry is process-global and other tests may have
+  // contributed drops of their own; every gap we saw must be accounted for.
+  EXPECT_GE(dropped->as_u64(), gap_total);
+}
+
+// --- periodic streams --------------------------------------------------------
+
+TEST(Subscribe, FlowAndStatsSnapshotsTick) {
+  ServerConfig scfg;
+  scfg.tick_ms = 10;
+  ServerThread st(nullptr, scfg);
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  tc.set_timeout_ms(5000);
+  ASSERT_FALSE(
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"info_flow"}})").empty());
+  ASSERT_FALSE(
+      tc.request(R"({"id":2,"method":"subscribe","params":{"stream":"stats"}})").empty());
+
+  int flow_seen = 0;
+  bool stats_seen = false;
+  for (int i = 0; i < 200 && (flow_seen < 3 || !stats_seen); ++i) {
+    std::string line = tc.read_line();
+    ASSERT_FALSE(line.empty()) << "stream went quiet";
+    check_notification_framing(line);
+    auto doc = JsonValue::parse(line);
+    ASSERT_TRUE(doc.ok());
+    std::string method = doc->str_or("method");
+    const JsonValue* p = doc->find("params");
+    if (method == "flow.snapshot") {
+      flow_seen++;
+      const JsonValue* links = p->find("links");
+      ASSERT_NE(links, nullptr);
+      ASSERT_GT(links->size(), 0u) << "H.264 app has links";
+      const JsonValue& row = links->at(0);
+      EXPECT_NE(row.find("name"), nullptr);
+      EXPECT_NE(row.find("occupancy"), nullptr);
+      EXPECT_NE(row.find("d_pushes"), nullptr);
+      EXPECT_NE(row.find("d_pops"), nullptr);
+      ASSERT_NE(p->find("filters"), nullptr);
+    } else if (method == "stats.delta") {
+      stats_seen = true;
+      // Only-changed-keys contract: the first delta carries the registry,
+      // and every entry sits under one of the three instrument maps.
+      EXPECT_NE(p->find("counters"), nullptr);
+      EXPECT_NE(p->find("gauges"), nullptr);
+      EXPECT_NE(p->find("histograms"), nullptr);
+    }
+  }
+  EXPECT_GE(flow_seen, 3);
+  EXPECT_TRUE(stats_seen);
+}
+
+// --- run_events --------------------------------------------------------------
+
+TEST(Subscribe, RunEventPrecedesRunResponse) {
+  ServerThread st([](dbg::Session& s) { ASSERT_TRUE(s.catch_work("pipe").ok()); });
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  tc.set_timeout_ms(20000);
+  ASSERT_FALSE(
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"run_events"}})").empty());
+
+  // Raw frame order matters here: the stop notification must hit the wire
+  // before the run response that reports the same stop.
+  ASSERT_TRUE(tc.send_line(R"({"id":2,"method":"run"})"));
+  std::string first = tc.read_line();
+  std::string second = tc.read_line();
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  auto ev = JsonValue::parse(first);
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev->str_or("method"), "run.event") << first;
+  const JsonValue* p = ev->find("params");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->str_or("kind"), "catch-work") << first;
+  EXPECT_FALSE(p->str_or("actor").empty()) << first;
+  auto resp = JsonValue::parse(second);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_NE(resp->find("id"), nullptr) << second;
+  EXPECT_EQ(resp->find("id")->as_i64(), 2);
+  EXPECT_NE(resp->find("result"), nullptr) << second;
+}
+
+// --- slow consumers ----------------------------------------------------------
+
+TEST(Subscribe, SlowConsumerNeverBlocksOtherClients) {
+  ServerConfig scfg;
+  scfg.max_outbound_bytes = 4096;  // stall quickly
+  ServerThread st(nullptr, scfg);
+
+  TestClient slow;
+  ASSERT_TRUE(slow.connect_tcp(st.port));
+  slow.set_timeout_ms(20000);
+  ASSERT_FALSE(
+      slow.request(R"({"id":1,"method":"subscribe","params":{"stream":"journal"}})").empty());
+
+  // A second client drives a full decode and keeps round-tripping while the
+  // first never reads its stream.
+  TestClient active;
+  ASSERT_TRUE(active.connect_tcp(st.port));
+  active.set_timeout_ms(30000);
+  ASSERT_FALSE(active.request(R"({"id":1,"method":"run"})").empty());
+  for (int i = 0; i < 20; ++i) {
+    std::string resp = active.request(R"({"id":2,"method":"ping"})");
+    ASSERT_NE(resp.find("\"pong\":true"), std::string::npos) << "round " << i;
+  }
+
+  // The stalled subscriber's stream is intact once it finally drains:
+  // contiguous deltas, any loss declared as gaps.
+  std::uint64_t events = 0;
+  std::uint64_t gaps = 0;
+  slow.set_timeout_ms(1000);
+  for (;;) {
+    std::string line = slow.read_line();
+    if (line.empty()) break;
+    auto doc = JsonValue::parse(line);
+    ASSERT_TRUE(doc.ok());
+    if (doc->str_or("method") != "journal.delta") continue;
+    const JsonValue* p = doc->find("params");
+    events += p->find("events")->size();
+    gaps += p->u64_or("gap", 0);
+  }
+  EXPECT_GT(events + gaps, 0u) << "the subscriber was owed the decode's journal";
+}
+
+// --- unsubscribe + disconnect ------------------------------------------------
+
+TEST(Subscribe, UnsubscribeMidStreamThenCleanDisconnect) {
+  ServerConfig scfg;
+  scfg.tick_ms = 10;
+  ServerThread st(nullptr, scfg);
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  tc.set_timeout_ms(5000);
+  ASSERT_FALSE(
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"info_flow"}})").empty());
+  ASSERT_FALSE(
+      tc.request(R"({"id":2,"method":"subscribe","params":{"stream":"journal"}})").empty());
+
+  // Live stream confirmed...
+  std::string line = tc.read_line();
+  ASSERT_FALSE(line.empty());
+  check_notification_framing(line);
+
+  // ...then unsubscribe everything mid-stream.
+  std::string resp = tc.request(R"({"id":3,"method":"unsubscribe"})");
+  EXPECT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+
+  // Drain stragglers enqueued before the unsubscribe landed; then silence.
+  tc.set_timeout_ms(150);
+  int quiet_rounds = 0;
+  for (int i = 0; i < 50 && quiet_rounds < 2; ++i) {
+    if (tc.read_line().empty())
+      quiet_rounds++;
+    else
+      quiet_rounds = 0;
+  }
+  EXPECT_GE(quiet_rounds, 2) << "notifications kept flowing after unsubscribe";
+
+  // Clean disconnect mid-session; the server must stay healthy for others.
+  close(tc.fd);
+  tc.fd = -1;
+  TestClient after;
+  ASSERT_TRUE(after.connect_tcp(st.port));
+  after.set_timeout_ms(5000);
+  std::string pong = after.request(R"({"id":1,"method":"ping"})");
+  EXPECT_NE(pong.find("\"pong\":true"), std::string::npos) << pong;
+}
+
+// --- percentile reporting (satellite) ----------------------------------------
+
+TEST(ServerStats, HistogramsCarryPercentiles) {
+  Rig rig;
+  // Produce some latency observations, then read both spellings.
+  rig.server->handle_frame(R"({"id":1,"method":"ping"})");
+  rig.server->handle_frame(R"({"id":2,"method":"info_links"})");
+  for (const char* verb : {"stats", "info_stats"}) {
+    std::string frame = std::string(R"({"id":3,"method":")") + verb + R"("})";
+    std::string resp = rig.server->handle_frame(frame);
+    auto doc = JsonValue::parse(resp);
+    ASSERT_TRUE(doc.ok()) << resp;
+    const JsonValue* hists = doc->find("result")->find("histograms");
+    ASSERT_NE(hists, nullptr) << resp;
+    const JsonValue* req_ns = hists->find("server.request_ns");
+    ASSERT_NE(req_ns, nullptr) << "server.request_ns histogram missing";
+    for (const char* k : {"count", "sum", "min", "max", "p50", "p90", "p99"})
+      EXPECT_NE(req_ns->find(k), nullptr) << k;
+    EXPECT_GE(req_ns->u64_or("p90", 0), req_ns->u64_or("p50", 1)) << resp;
+  }
+}
+
+// --- golden NDJSON schemas ---------------------------------------------------
+
+/// Structural schema of a set of same-shaped JSON values: scalars become
+/// type tags, objects merge keys across every sample (keys missing from
+/// some samples are marked "?"), arrays merge all their elements into one
+/// canonical element. Values and counts are erased, so the result is
+/// byte-stable across runs and backends while still pinning the shape.
+std::string schema_of(const std::vector<const JsonValue*>& vs) {
+  if (vs.empty()) return "?";
+  std::set<std::string> tags;
+  bool objects = true;
+  bool arrays = true;
+  for (const JsonValue* v : vs) {
+    switch (v->kind()) {
+      case JsonValue::Kind::kNull: tags.insert("null"); break;
+      case JsonValue::Kind::kBool: tags.insert("bool"); break;
+      case JsonValue::Kind::kNumber: tags.insert("num"); break;
+      case JsonValue::Kind::kString: tags.insert("str"); break;
+      case JsonValue::Kind::kArray: tags.insert("array"); break;
+      case JsonValue::Kind::kObject: tags.insert("object"); break;
+    }
+    objects = objects && v->is_object();
+    arrays = arrays && v->is_array();
+  }
+  if (objects) {
+    std::map<std::string, std::vector<const JsonValue*>> members;
+    for (const JsonValue* v : vs)
+      for (std::size_t i = 0; i < v->size(); ++i) members[v->key_at(i)].push_back(&v->at(i));
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, subs] : members) {
+      if (!first) out += ",";
+      first = false;
+      out += key;
+      if (subs.size() != vs.size()) out += "?";  // optional member
+      out += ":" + schema_of(subs);
+    }
+    return out + "}";
+  }
+  if (arrays) {
+    std::vector<const JsonValue*> elems;
+    for (const JsonValue* v : vs)
+      for (std::size_t i = 0; i < v->size(); ++i) elems.push_back(&v->at(i));
+    return "[" + (elems.empty() ? std::string() : schema_of(elems)) + "]";
+  }
+  std::string out;
+  for (const std::string& t : tags) out += (out.empty() ? "" : "|") + t;
+  return out;
+}
+
+/// stats.delta keys are metric names (dynamic); fold each instrument map
+/// into a single "*" member before schema extraction.
+JsonValue wildcard_stats(const JsonValue& params) {
+  JsonWriter w;
+  w.begin_object();
+  for (const char* map_key : {"counters", "gauges", "histograms"}) {
+    // All entries of one map share a schema; keep them all under one "*"
+    // array so schema_of merges across every instrument. The "*" member is
+    // emitted even for empty maps so which-map-changed-this-tick timing
+    // cannot perturb the golden schema.
+    w.key(map_key).begin_object().key("*").begin_array();
+    const JsonValue* m = params.find(map_key);
+    if (m != nullptr && m->is_object())
+      for (std::size_t i = 0; i < m->size(); ++i) w.raw(m->at(i).dump());
+    w.end_array().end_object();
+  }
+  w.end_object();
+  auto parsed = JsonValue::parse(w.take());
+  EXPECT_TRUE(parsed.ok());
+  return parsed.ok() ? *parsed : JsonValue{};
+}
+
+TEST(Subscribe, GoldenStreamSchemas) {
+  ServerConfig scfg;
+  scfg.tick_ms = 10;
+  ServerThread st([](dbg::Session& s) { ASSERT_TRUE(s.catch_work("pipe").ok()); }, scfg);
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  tc.set_timeout_ms(20000);
+  for (const char* stream : {"journal", "info_flow", "stats", "run_events"}) {
+    std::string req = std::string(R"({"id":1,"method":"subscribe","params":{"stream":")") +
+                      stream + R"("}})";
+    ASSERT_FALSE(tc.request(req).empty());
+  }
+
+  // Run to the catchpoint, then to completion: the notification set then
+  // covers every stream and every journal event kind.
+  std::vector<std::string> notifications;
+  ASSERT_FALSE(tc.request(R"({"id":2,"method":"run"})", &notifications).empty());
+  ASSERT_FALSE(tc.request(R"({"id":3,"method":"run"})", &notifications).empty());
+  // Periodic streams only tick while the server is idle in poll(); wait for
+  // at least one flow.snapshot and one stats.delta before tearing down.
+  bool flow_seen = false;
+  bool stats_seen = false;
+  for (int i = 0; i < 400 && !(flow_seen && stats_seen); ++i) {
+    std::string line = tc.read_line();
+    ASSERT_FALSE(line.empty()) << "periodic streams went quiet";
+    notifications.push_back(line);
+    auto doc = JsonValue::parse(line);
+    ASSERT_TRUE(doc.ok());
+    flow_seen = flow_seen || doc->str_or("method") == "flow.snapshot";
+    stats_seen = stats_seen || doc->str_or("method") == "stats.delta";
+  }
+  // The periodic streams tick forever; unsubscribe everything, then drain
+  // the stragglers until the connection goes quiet.
+  ASSERT_FALSE(tc.request(R"({"id":4,"method":"unsubscribe"})", &notifications).empty());
+  tc.set_timeout_ms(300);
+  for (;;) {
+    std::string line = tc.read_line();
+    if (line.empty()) break;
+    notifications.push_back(line);
+  }
+
+  // Bucket params by method; every frame must satisfy notification framing.
+  std::map<std::string, std::vector<JsonValue>> params;
+  std::vector<JsonValue> stats_wildcarded;
+  for (const std::string& n : notifications) {
+    check_notification_framing(n);
+    auto doc = JsonValue::parse(n);
+    ASSERT_TRUE(doc.ok());
+    std::string method = doc->str_or("method");
+    if (method == "stats.delta")
+      stats_wildcarded.push_back(wildcard_stats(*doc->find("params")));
+    else
+      params[method].push_back(*doc->find("params"));
+  }
+  ASSERT_FALSE(params["journal.delta"].empty());
+  ASSERT_FALSE(params["flow.snapshot"].empty());
+  ASSERT_FALSE(params["run.event"].empty());
+  ASSERT_FALSE(stats_wildcarded.empty());
+
+  auto ptrs = [](const std::vector<JsonValue>& vs) {
+    std::vector<const JsonValue*> out;
+    out.reserve(vs.size());
+    for (const JsonValue& v : vs) out.push_back(&v);
+    return out;
+  };
+  std::string schema;
+  schema += "journal.delta " + schema_of(ptrs(params["journal.delta"])) + "\n";
+  schema += "flow.snapshot " + schema_of(ptrs(params["flow.snapshot"])) + "\n";
+  schema += "stats.delta " + schema_of(ptrs(stats_wildcarded)) + "\n";
+  schema += "run.event " + schema_of(ptrs(params["run.event"])) + "\n";
+
+  std::string golden_path = std::string(DFDBG_SOURCE_DIR) + "/tests/golden/subscribe_schema.txt";
+  if (std::getenv("DFDBG_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << schema;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run with DFDBG_REGEN_GOLDEN=1 to create)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(schema, buf.str())
+      << "stream schema diverged from tests/golden/subscribe_schema.txt; if "
+         "intentional, regenerate with DFDBG_REGEN_GOLDEN=1 and update docs/PROTOCOL.md";
+}
+
+}  // namespace
+}  // namespace dfdbg::server

@@ -3,6 +3,11 @@
 //   dfdbg-client [--host H] --port N   connect over TCP
 //   dfdbg-client --unix PATH           connect over a Unix-domain socket
 //   dfdbg-client ... --raw             print raw response frames (for tooling)
+//   dfdbg-client ... --drain           after stdin EOF, keep printing pushed
+//                                      frames until the server disconnects
+//
+// Server-push notifications (frames without an `id`, from `subscribe`) are
+// printed as raw NDJSON whenever they arrive, in both modes.
 //
 // Reads commands from stdin, one per line, until EOF:
 //
@@ -31,7 +36,8 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--host H] --port N | --unix PATH  [--raw]\n", argv0);
+  std::fprintf(stderr, "usage: %s [--host H] --port N | --unix PATH  [--raw] [--drain]\n",
+               argv0);
   return 2;
 }
 
@@ -65,7 +71,31 @@ int connect_unix(const std::string& path) {
   return fd;
 }
 
-/// Sends `frame` + '\n' and reads one '\n'-terminated response. Returns
+/// Reads one '\n'-terminated frame. Returns false on socket failure/EOF.
+bool read_frame(int fd, std::string& spill, std::string& frame) {
+  for (;;) {
+    std::size_t nl = spill.find('\n');
+    if (nl != std::string::npos) {
+      frame = spill.substr(0, nl);
+      spill.erase(0, nl + 1);
+      return true;
+    }
+    char buf[65536];
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    spill.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// A frame without an `id` is a server-push notification, not a response
+/// (docs/PROTOCOL.md "Subscriptions").
+bool is_notification(const std::string& frame) {
+  auto parsed = dfdbg::JsonValue::parse(frame);
+  return parsed.ok() && parsed->is_object() && parsed->find("id") == nullptr;
+}
+
+/// Sends `frame` + '\n' and reads frames until the response arrives;
+/// interleaved notifications are printed as raw NDJSON on the way. Returns
 /// false on socket failure.
 bool round_trip(int fd, const std::string& frame, std::string& spill, std::string& response) {
   std::string wire = frame + "\n";
@@ -76,16 +106,10 @@ bool round_trip(int fd, const std::string& frame, std::string& spill, std::strin
     off += static_cast<std::size_t>(n);
   }
   for (;;) {
-    std::size_t nl = spill.find('\n');
-    if (nl != std::string::npos) {
-      response = spill.substr(0, nl);
-      spill.erase(0, nl + 1);
-      return true;
-    }
-    char buf[65536];
-    ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
-    spill.append(buf, static_cast<std::size_t>(n));
+    if (!read_frame(fd, spill, response)) return false;
+    if (!is_notification(response)) return true;
+    std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
   }
 }
 
@@ -99,6 +123,7 @@ int main(int argc, char** argv) {
   std::string unix_path;
   int port = 0;
   bool raw = false;
+  bool drain = false;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -116,6 +141,8 @@ int main(int argc, char** argv) {
       unix_path = v;
     } else if (a == "--raw") {
       raw = true;
+    } else if (a == "--drain") {
+      drain = true;
     } else {
       return usage(argv[0]);
     }
@@ -193,6 +220,15 @@ int main(int argc, char** argv) {
       std::printf("%s\n", result->dump().c_str());
     }
     std::fflush(stdout);
+  }
+  // --drain: stdin is exhausted, but subscriptions may still be streaming;
+  // keep printing pushed frames until the server closes the connection.
+  if (drain) {
+    std::string frame;
+    while (read_frame(fd, spill, frame)) {
+      std::printf("%s\n", frame.c_str());
+      std::fflush(stdout);
+    }
   }
   close(fd);
   return rc;
