@@ -12,6 +12,10 @@
 #include "dfdbg/h264/app.hpp"
 #include "dfdbg/obs/metrics.hpp"
 
+// Seeded wide-synthetic-graph generator (N pipelines -> one sink), shared
+// with the parallel-backend tests.
+#include "wide_graph.hpp"
+
 namespace dfdbg::benchutil {
 
 inline h264::H264AppConfig decoder_config(int mbs_x = 2, int mbs_y = 2, int frames = 2) {

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite under BOTH
-# process backends (fibers + threads must be observationally identical; see
+# Tier-1 verification: configure, build, run the full test suite under ALL
+# process backends (fibers + threads must be observationally identical, and
+# the parallel backend must preserve per-link token order and goldens; see
 # docs/KERNEL.md), then gate on the observability layer's acceptance checks
 # and a benchmark smoke pass (every bench binary must still emit well-formed
 # BENCH_JSON lines). Faster than scripts/check.sh, which additionally sweeps
@@ -11,7 +12,7 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 
-for backend in fibers threads; do
+for backend in fibers threads parallel; do
   echo "== ctest under DFDBG_PROCESS_BACKEND=$backend =="
   (cd build && DFDBG_PROCESS_BACKEND=$backend ctest --output-on-failure -j "$(nproc)")
 done
@@ -227,6 +228,24 @@ for t in test_link_ring test_journal; do
     ./build-asan/tests/$t >/dev/null \
     || { echo "FAIL: $t under sanitizers"; exit 1; }
 done
+
+echo "== sanitizer gate (TSan, parallel backend) =="
+# The parallel backend's worker threads, boundary rings and barrier protocol
+# are the only genuinely concurrent code in the tree: build the parallel test
+# suite under ThreadSanitizer and run the multi-worker tests. The thread
+# substrate replaces fibers (TSan cannot follow raw swapcontext stacks), so
+# the two fibers-comparison tests are excluded — everything the workers do
+# concurrently is still exercised.
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target test_parallel_backend
+echo "-- test_parallel_backend under TSan (threads substrate)"
+DFDBG_PARALLEL_SUBSTRATE=threads ./build-tsan/tests/test_parallel_backend \
+  --gtest_filter='ParallelWide.*:ParallelH264.TraceCsvRunToRunDeterministic:ParallelH264.WhenceRunToRunDeterministic:ParallelH264.Catchpoint*' \
+  >/dev/null \
+  || { echo "FAIL: test_parallel_backend under TSan"; exit 1; }
 
 echo "== bench smoke (BENCH_JSON well-formedness) =="
 # A token measurement time per benchmark: enough to prove the binary runs

@@ -54,8 +54,9 @@ std::string render_text(const dbg::FilterView& v) {
 }
 
 std::string render_text(const dbg::SchedView& v) {
-  std::string out = strformat("module `%s' step %llu\n", v.module.c_str(),
-                              static_cast<ull>(v.step));
+  std::string out = strformat("module `%s' step %llu  [backend=%s workers=%d]\n",
+                              v.module.c_str(), static_cast<ull>(v.step), v.backend.c_str(),
+                              v.workers);
   for (const dbg::SchedRow& r : v.rows) {
     out += strformat("  %-16s %-14s firings=%llu\n", r.name.c_str(), r.state.c_str(),
                      static_cast<ull>(r.firings));

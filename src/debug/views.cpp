@@ -101,6 +101,8 @@ Result<SchedView> Session::sched_view(const std::string& module) const {
   SchedView v;
   v.module = m->name;
   v.step = m->step;
+  v.backend = sim::to_string(app_.kernel().backend());
+  v.workers = app_.kernel().partition_count();
   for (const DActor& a : model_.actors()) {
     if (a.parent_path != m->path || a.kind != DActorKind::kFilter) continue;
     v.rows.push_back(SchedRow{a.name, to_string(a.sched), a.firings});
@@ -242,7 +244,9 @@ void to_json(JsonWriter& w, const FilterView& v) {
 }
 
 void to_json(JsonWriter& w, const SchedView& v) {
-  w.begin_object().kv("module", v.module).kv("step", v.step).key("filters").begin_array();
+  w.begin_object().kv("module", v.module).kv("step", v.step);
+  w.kv("backend", v.backend).kv("workers", static_cast<std::uint64_t>(v.workers));
+  w.key("filters").begin_array();
   for (const SchedRow& r : v.rows) {
     w.begin_object().kv("name", r.name).kv("state", r.state).kv("firings", r.firings).end_object();
   }

@@ -25,14 +25,23 @@
 //
 // Actor/process names are interned into the journal (stable u32 ids), so an
 // event is a fixed-size POD and recording never allocates after the first
-// sighting of a name. The cooperative kernel runs one process at a time, so
-// plain fields suffice ("lock-free-friendly": a single writer, readers only
-// between runs).
+// sighting of a name (interning takes a mutex; hot call sites cache the id).
+//
+// Parallel backend: each worker thread owns a journal *shard* — a private
+// buffer it records into race-free — installed as that thread's
+// `Journal::global()` via set_thread_journal(). Shards allocate token ids
+// from a disjoint per-partition uid space (single-partition kernels delegate
+// to the parent so ids stay byte-identical to the sequential backends), and
+// the kernel merges every shard into the process-wide journal at each
+// barrier in partition order, which makes the merged stream deterministic
+// for a fixed partition map.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -82,16 +91,46 @@ class Journal {
  public:
   static constexpr std::size_t kDefaultCapacity = 1u << 17;
 
-  /// The journal every built-in instrumentation point records into.
+  /// The journal the calling thread records into: the thread's installed
+  /// shard (parallel-backend workers) or the process-wide journal.
   static Journal& global();
+
+  /// The process-wide journal, ignoring any thread-local shard override —
+  /// what readers (CLI, server, debugger) consume after shard merges.
+  static Journal& global_base();
+
+  /// Installs `j` as the calling thread's Journal::global() (nullptr
+  /// restores the process-wide journal). The kernel's parallel workers
+  /// install their shard at thread start.
+  static void set_thread_journal(Journal* j);
 
   explicit Journal(std::size_t capacity = kDefaultCapacity) : ring_(capacity) {}
 
+  /// Turns this journal into a shard of `parent`: intern ids come from the
+  /// parent (so merged events resolve names identically), the recording gate
+  /// follows the parent, and token ids are drawn from the disjoint range
+  /// starting at `uid_base` — except uid_base 0, which delegates allocation
+  /// to the parent (single-partition kernels: ids match sequential runs).
+  void configure_shard(Journal* parent, std::uint64_t uid_base) {
+    parent_ = parent;
+    uid_base_ = uid_base;
+  }
+
+  /// Moves every retained event of `shard` into this journal, oldest first,
+  /// preserving record order and accumulating the shard's drop count; the
+  /// shard buffer is left empty. Registry counters are not re-counted (the
+  /// shard counted them at record time).
+  void merge_from(Journal& shard);
+
   /// Recording gate below the process-wide `obs::enabled()` flag: lets an
   /// observer keep metrics on while silencing the journal (the overhead
-  /// benchmark measures exactly this split). Default on.
-  [[nodiscard]] bool recording() const { return recording_; }
-  void set_recording(bool on) { recording_ = on; }
+  /// benchmark measures exactly this split). Default on. Shards follow
+  /// their parent's gate.
+  [[nodiscard]] bool recording() const {
+    const Journal* j = parent_ != nullptr ? parent_ : this;
+    return j->recording_.load(std::memory_order_relaxed);
+  }
+  void set_recording(bool on) { recording_.store(on, std::memory_order_relaxed); }
 
   /// Replaces the ring with an empty one of `cap` events (>= 1). Retained
   /// events and the drop count are discarded; interned names and the token
@@ -108,17 +147,23 @@ class Journal {
 
   /// Allocates the next token id (1-based; 0 means "no token"). NOT gated
   /// on obs::enabled(): ids must stay monotonic across observer attach/
-  /// detach so every token carries provenance from birth.
-  std::uint64_t alloc_token() { return ++last_token_; }
+  /// detach so every token carries provenance from birth. Shards with a
+  /// non-zero uid base allocate from their own range; shards with base 0
+  /// delegate to the parent.
+  std::uint64_t alloc_token() {
+    if (parent_ != nullptr && uid_base_ == 0) return parent_->alloc_token();
+    return uid_base_ + last_token_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   /// Allocates `n` consecutive token ids, returning the first. Identical to
   /// n alloc_token() calls — the batch link fast path uses this so batched
   /// and token-at-a-time runs assign the same provenance ids.
   std::uint64_t alloc_tokens(std::uint64_t n) {
-    std::uint64_t first = last_token_ + 1;
-    last_token_ += n;
-    return first;
+    if (parent_ != nullptr && uid_base_ == 0) return parent_->alloc_tokens(n);
+    return uid_base_ + last_token_.fetch_add(n, std::memory_order_relaxed) + 1;
   }
-  [[nodiscard]] std::uint64_t last_token() const { return last_token_; }
+  [[nodiscard]] std::uint64_t last_token() const {
+    return last_token_.load(std::memory_order_relaxed);
+  }
 
   /// Appends one event; overwrites the oldest when full. No-op unless
   /// `obs::enabled()` and `recording()`. Also feeds the
@@ -211,10 +256,15 @@ class Journal {
 
  private:
   RingBuffer<JournalEvent> ring_;
-  bool recording_ = true;
-  std::uint64_t last_token_ = 0;
+  std::atomic<bool> recording_{true};
+  std::atomic<std::uint64_t> last_token_{0};
   std::uint64_t dropped_ = 0;
-  // std::deque: name() returns stable references across growth.
+  Journal* parent_ = nullptr;     ///< set on shards: intern/gate delegate here
+  std::uint64_t uid_base_ = 0;    ///< shard token-id range start (0 = delegate)
+  // Guards the intern table: parallel workers intern concurrently through
+  // their shard (which forwards here). std::deque: name() returns stable
+  // references across growth, so the returned ref outlives the lock.
+  mutable std::mutex names_mu_;
   std::deque<std::string> names_;
   std::unordered_map<std::string, std::uint32_t, TransparentStringHash, std::equal_to<>>
       name_index_;

@@ -16,16 +16,19 @@
 // framework itself, so the framework stays observer-agnostic exactly like
 // it stays debugger-agnostic.
 //
-// Threading: the simulation kernel is cooperatively scheduled (exactly one
-// process runs at a time, handed over through a user-level context switch or
-// a semaphore pair depending on the backend), so plain non-atomic fields are
-// sufficient and cheap. The registry is NOT safe for concurrent
-// unsynchronized mutation from free-running host threads.
+// Threading: instruments use relaxed atomics so the parallel simulation
+// backend's worker threads can mutate them concurrently (counts stay exact;
+// gauge/histogram high-water marks are maintained with CAS raises). Interning
+// takes a registry mutex — hot paths intern once and keep the reference, so
+// the lock never sits on a per-token path. Reporting reads are racy-by-design
+// while workers run; the debugger only reports from a stopped simulation.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -43,17 +46,34 @@ inline bool g_enabled = false;
 [[nodiscard]] inline bool enabled() { return detail::g_enabled; }
 inline void set_enabled(bool on) { detail::g_enabled = on; }
 
+namespace detail {
+/// Lock-free high-water raise (relaxed: marks are monotonic per instrument).
+template <typename T>
+inline void raise_max(std::atomic<T>& slot, T v) {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+/// Lock-free low-water lower.
+template <typename T>
+inline void lower_min(std::atomic<T>& slot, T v) {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
 /// Monotonic event counter.
 class Counter {
  public:
   void add(std::uint64_t n = 1) {
-    if (enabled()) v_ += n;
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t value() const { return v_; }
-  void reset() { v_ = 0; }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t v_ = 0;
+  std::atomic<std::uint64_t> v_{0};
 };
 
 /// Instantaneous level with a high-water mark (e.g. queue occupancy).
@@ -61,17 +81,24 @@ class Gauge {
  public:
   void set(std::int64_t v) {
     if (!enabled()) return;
-    v_ = v;
-    if (v > max_) max_ = v;
+    v_.store(v, std::memory_order_relaxed);
+    detail::raise_max(max_, v);
   }
-  void add(std::int64_t d) { set(v_ + d); }
-  [[nodiscard]] std::int64_t value() const { return v_; }
-  [[nodiscard]] std::int64_t max() const { return max_; }
-  void reset() { v_ = max_ = 0; }
+  void add(std::int64_t d) {
+    if (!enabled()) return;
+    std::int64_t nv = v_.fetch_add(d, std::memory_order_relaxed) + d;
+    detail::raise_max(max_, nv);
+  }
+  [[nodiscard]] std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t v_ = 0;
-  std::int64_t max_ = 0;
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
 };
 
 /// Histogram over fixed log2 buckets: bucket 0 holds the value 0, bucket i
@@ -83,21 +110,26 @@ class Histogram {
 
   void observe(std::uint64_t v) {
     if (!enabled()) return;
-    buckets_[bucket_of(v)]++;
-    count_++;
-    sum_ += v;
-    if (v > max_) max_ = v;
-    if (count_ == 1 || v < min_) min_ = v;
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    detail::raise_max(max_, v);
+    detail::lower_min(min_, v);
   }
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::uint64_t sum() const { return sum_; }
-  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  [[nodiscard]] std::uint64_t max() const { return max_; }
-  [[nodiscard]] double mean() const {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  [[nodiscard]] std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double mean() const {
+    std::uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
 
   /// Upper edge of the smallest bucket whose cumulative count reaches
   /// `p * count` (p in [0,1]). An approximation by construction: exact to
@@ -118,11 +150,11 @@ class Histogram {
   }
 
  private:
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 /// A reader-side snapshot of registry values, used to compute deltas: one
@@ -153,6 +185,7 @@ class Registry {
 
   /// Number of interned instruments (all kinds).
   [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -187,6 +220,9 @@ class Registry {
   T& intern(std::deque<std::pair<std::string, T>>& store, NameIndex& index,
             std::string_view name);
 
+  // Guards the intern tables (parallel-backend workers may intern a cold
+  // name concurrently). Instrument mutation itself is lock-free.
+  mutable std::mutex mu_;
   // std::deque: references returned by intern() must survive growth.
   std::deque<std::pair<std::string, Counter>> counters_;
   std::deque<std::pair<std::string, Gauge>> gauges_;

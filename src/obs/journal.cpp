@@ -32,9 +32,36 @@ const char* to_string(JournalKind k) {
   return "?";
 }
 
+namespace {
+/// Parallel-backend workers install their shard here (see set_thread_journal).
+thread_local Journal* t_journal = nullptr;
+}  // namespace
+
 Journal& Journal::global() {
+  if (t_journal != nullptr) return *t_journal;
+  return global_base();
+}
+
+Journal& Journal::global_base() {
   static Journal j;
   return j;
+}
+
+void Journal::set_thread_journal(Journal* j) { t_journal = j; }
+
+void Journal::merge_from(Journal& shard) {
+  std::size_t n = shard.ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Raw append: the shard already fed the registry counters at record
+    // time; only eviction from *this* window counts as a drop here.
+    if (ring_.push(shard.ring_.at(i))) {
+      dropped_++;
+      if (enabled()) JournalMetrics::get().dropped.add();
+    }
+  }
+  dropped_ += shard.dropped_;
+  shard.dropped_ = 0;
+  shard.ring_.clear();  // keeps the allocation; total_pushed is unused on shards
 }
 
 void Journal::set_capacity(std::size_t cap) {
@@ -49,11 +76,11 @@ void Journal::clear() {
 
 void Journal::reset() {
   clear();
-  last_token_ = 0;
+  last_token_.store(0, std::memory_order_relaxed);
 }
 
 void Journal::record(const JournalEvent& ev) {
-  if (!enabled() || !recording_) return;
+  if (!enabled() || !recording()) return;
   JournalMetrics& m = JournalMetrics::get();
   m.recorded.add();
   if (ring_.push(ev)) {
@@ -63,6 +90,8 @@ void Journal::record(const JournalEvent& ev) {
 }
 
 std::uint32_t Journal::intern_name(std::string_view name) {
+  if (parent_ != nullptr) return parent_->intern_name(name);  // one id space
+  std::lock_guard<std::mutex> lk(names_mu_);
   auto it = name_index_.find(name);
   if (it != name_index_.end()) return it->second;
   auto id = static_cast<std::uint32_t>(names_.size());
@@ -72,6 +101,8 @@ std::uint32_t Journal::intern_name(std::string_view name) {
 }
 
 const std::string& Journal::name(std::uint32_t id) const {
+  if (parent_ != nullptr) return parent_->name(id);
+  std::lock_guard<std::mutex> lk(names_mu_);
   if (id >= names_.size()) return kUnknownName;
   return names_[id];
 }
@@ -85,10 +116,10 @@ std::string Journal::summary() const {
   std::string out = strformat(
       "journal: %s, capacity %zu, retained %zu, recorded %llu, dropped %llu\n"
       "token ids allocated: %llu\n",
-      recording_ ? (enabled() ? "recording" : "idle (obs disabled)") : "off",
+      recording() ? (enabled() ? "recording" : "idle (obs disabled)") : "off",
       ring_.capacity(), ring_.size(), static_cast<unsigned long long>(ring_.total_pushed()),
       static_cast<unsigned long long>(dropped_),
-      static_cast<unsigned long long>(last_token_));
+      static_cast<unsigned long long>(last_token()));
   for (std::size_t k = 0; k < 9; ++k) {
     if (by_kind[k] == 0) continue;
     out += strformat("  %-10s %llu\n", to_string(static_cast<JournalKind>(k)),
@@ -178,7 +209,7 @@ void Journal::write_json(JsonWriter& w, const LinkNamer& link_name) const {
       .kv("recorded", total_recorded())
       .kv("retained", static_cast<std::uint64_t>(ring_.size()))
       .kv("dropped", dropped_)
-      .kv("token_ids", last_token_)
+      .kv("token_ids", last_token())
       .key("events")
       .begin_array();
   for (std::size_t i = 0; i < ring_.size(); ++i) write_event_json(w, ring_.at(i), link_name);

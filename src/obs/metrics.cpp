@@ -7,22 +7,26 @@
 namespace dfdbg::obs {
 
 std::uint64_t Histogram::percentile(double p) const {
-  if (count_ == 0) return 0;
+  std::uint64_t total = count();
+  if (total == 0) return 0;
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
-  auto target = static_cast<std::uint64_t>(p * static_cast<double>(count_));
+  auto target = static_cast<std::uint64_t>(p * static_cast<double>(total));
   if (target == 0) target = 1;
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    cum += buckets_[i];
-    if (cum >= target) return std::min(bucket_edge(i), max_);
+    cum += bucket(i);
+    if (cum >= target) return std::min(bucket_edge(i), max());
   }
-  return max_;
+  return max();
 }
 
 void Histogram::reset() {
-  for (auto& b : buckets_) b = 0;
-  count_ = sum_ = min_ = max_ = 0;
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 Registry& Registry::global() {
@@ -33,10 +37,13 @@ Registry& Registry::global() {
 template <typename T>
 T& Registry::intern(std::deque<std::pair<std::string, T>>& store, NameIndex& index,
                     std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = index.find(name);  // heterogeneous: hot-path hit allocates nothing
   if (it != index.end()) return store[it->second].second;
   index.emplace(std::string(name), store.size());
-  store.emplace_back(std::string(name), T{});
+  // std::deque: emplace never moves existing (atomic, non-movable) entries.
+  store.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                     std::forward_as_tuple());
   return store.back().second;
 }
 
@@ -51,6 +58,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
@@ -90,14 +98,17 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 std::vector<std::pair<std::string, const Counter*>> Registry::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
   return sorted_view(counters_);
 }
 
 std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lk(mu_);
   return sorted_view(gauges_);
 }
 
 std::vector<std::pair<std::string, const Histogram*>> Registry::histograms() const {
+  std::lock_guard<std::mutex> lk(mu_);
   return sorted_view(histograms_);
 }
 
@@ -188,6 +199,7 @@ std::string Registry::to_json() const {
 }
 
 std::string Registry::snapshot_delta(StatsSnapshot& prev, std::size_t* changed) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t n = 0;
   std::string out = "{\"counters\":{";
   bool first = true;

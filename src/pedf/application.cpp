@@ -7,6 +7,7 @@
 #include "dfdbg/common/assert.hpp"
 #include "dfdbg/common/strings.hpp"
 #include "dfdbg/obs/journal.hpp"
+#include "dfdbg/pedf/boundary.hpp"
 #include "dfdbg/pedf/symbols.hpp"
 
 namespace dfdbg::pedf {
@@ -429,8 +430,142 @@ const LinkSymbols& Application::link_syms(LinkId id) const {
 // Process spawning
 // ---------------------------------------------------------------------------
 
+void Application::set_partition(const std::string& path, int partition) {
+  DFDBG_CHECK_MSG(!started_, "set_partition after start");
+  partition_override_[path] = partition;
+}
+
+void Application::prepare_partitions() {
+  sim::Kernel& k = kernel();
+  const int K = k.partition_count();
+  partition_of_.assign(actors_.size(), 0);
+
+  // (1) Platform-derived defaults: one partition per cluster, folded onto
+  // the available workers. Host-mapped actors (no cluster) go to 0.
+  for (Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule) continue;
+    int c = a->pe() != nullptr ? a->pe()->cluster_index() : -1;
+    partition_of_[a->id().value()] = c < 0 ? 0 : c % K;
+  }
+
+  // (2) Explicit overrides. A module path stands for its controller and its
+  // filters. `forced` remembers user intent so step 3 can tell a genuine
+  // conflict from a default it is allowed to rewrite.
+  std::vector<char> forced(actors_.size(), 0);
+  for (const auto& [path, p] : partition_override_) {
+    Actor* a = actor_by_path(path);
+    if (a == nullptr) a = actor_by_name(path);
+    DFDBG_CHECK_MSG(a != nullptr, "set_partition: unknown actor '" + path + "'");
+    DFDBG_CHECK_MSG(p >= 0 && p < K, "set_partition('" + path + "'): partition " +
+                                         std::to_string(p) + " outside [0, " +
+                                         std::to_string(K) + ")");
+    std::vector<Actor*> members;
+    if (a->kind() == ActorKind::kModule) {
+      auto* m = static_cast<Module*>(a);
+      if (m->controller() != nullptr) members.push_back(m->controller());
+      for (const auto& f : m->filters()) members.push_back(f.get());
+    } else {
+      members.push_back(a);
+    }
+    for (Actor* mem : members) {
+      partition_of_[mem->id().value()] = p;
+      forced[mem->id().value()] = 1;
+    }
+  }
+
+  // (3) Atomicity: a controller and the filters it schedules are one unit —
+  // the controller mutates their step state and start events directly, which
+  // only stays race-free when they share a partition. Overrides on members
+  // of one unit must agree; absent an override the controller's slot wins.
+  for (Actor* a : actors_) {
+    if (a->kind() != ActorKind::kModule) continue;
+    auto* m = static_cast<Module*>(a);
+    Controller* c = m->controller();
+    if (c == nullptr) continue;
+    std::vector<Actor*> unit{c};
+    for (const auto& f : m->filters()) unit.push_back(f.get());
+    int want = -1;
+    const Actor* first = nullptr;
+    for (Actor* mem : unit) {
+      if (forced[mem->id().value()] == 0) continue;
+      int p = partition_of_[mem->id().value()];
+      if (want < 0) {
+        want = p;
+        first = mem;
+        continue;
+      }
+      DFDBG_CHECK_MSG(p == want,
+                      "set_partition: " + mem->path() + " (partition " + std::to_string(p) +
+                          ") and " + first->path() + " (partition " + std::to_string(want) +
+                          ") belong to module " + m->path() +
+                          ", whose controller and filters must share a partition "
+                          "(controllers drive filter scheduling state directly; "
+                          "see docs/KERNEL.md)");
+    }
+    if (want < 0) want = partition_of_[c->id().value()];
+    for (Actor* mem : unit) partition_of_[mem->id().value()] = want;
+  }
+
+  // (4) Actors sharing a PE must share a partition: the PE's exclusivity
+  // event (busy/free) can only serve waiters from one partition.
+  std::map<sim::Pe*, Actor*> pe_owner;
+  for (Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule || a->pe() == nullptr) continue;
+    auto [it, fresh] = pe_owner.emplace(a->pe(), a);
+    if (!fresh) {
+      DFDBG_CHECK_MSG(
+          partition_of_[it->second->id().value()] == partition_of_[a->id().value()],
+          "set_partition: " + a->path() + " and " + it->second->path() + " share PE " +
+              a->pe()->name() +
+              " but landed in different partitions; co-mapped actors must be "
+              "co-partitioned (see docs/KERNEL.md)");
+    }
+  }
+
+  // (5) Pre-bind every runtime event to its (single) waiting partition, and
+  // give each partition-crossing link a boundary channel. data_avail is
+  // waited by the consumer, space_avail by the producer; module step events
+  // by the controller; start events by the filter itself.
+  for (Actor* a : actors_) {
+    switch (a->kind()) {
+      case ActorKind::kFilter:
+      case ActorKind::kHostIo:
+        static_cast<Filter*>(a)->start_event_.bind_partition(actor_partition(*a));
+        break;
+      case ActorKind::kController: {
+        auto* c = static_cast<Controller*>(a);
+        c->module()->init_done_.bind_partition(actor_partition(*a));
+        c->module()->sync_done_.bind_partition(actor_partition(*a));
+        break;
+      }
+      case ActorKind::kModule:
+        break;
+    }
+  }
+  for (const auto& l : links_) {
+    const int ps = actor_partition(l->src()->owner());
+    const int pd = actor_partition(l->dst()->owner());
+    l->data_avail().bind_partition(pd);
+    l->space_avail().bind_partition(ps);
+    if (ps == pd) continue;
+    std::size_t cap = l->capacity() == SIZE_MAX
+                          ? BoundaryChannel::kDefaultSlots
+                          : std::min(l->capacity(), BoundaryChannel::kDefaultSlots);
+    boundaries_.push_back(std::make_unique<BoundaryChannel>(*l, cap));
+    boundaries_.back()->space_avail().bind_partition(ps);
+    l->set_outbox(boundaries_.back().get());
+  }
+  k.add_barrier_task([this] { return drain_boundaries(); });
+}
+
+bool Application::drain_boundaries() {
+  bool progress = false;
+  for (auto& ch : boundaries_) progress |= ch->drain(kernel());
+  return progress;
+}
+
 void Application::spawn_filter_process(Filter* f) {
-  kernel().spawn(f->path(), [this, f] {
+  kernel().spawn_in(actor_partition(*f), f->path(), [this, f] {
     FilterContext ctx(*this, *f);
     for (;;) {
       if (!f->free_running_) {
@@ -451,7 +586,7 @@ void Application::spawn_filter_process(Filter* f) {
 }
 
 void Application::spawn_controller_process(Controller* c, Module* m) {
-  kernel().spawn(c->path(), [this, c, m] {
+  kernel().spawn_in(actor_partition(*c), c->path(), [this, c, m] {
     ControllerContext ctx(*this, *c, *m);
     c->control(ctx);
     if (m->step_ > 0) rt_step_end(*c, *m);
@@ -466,6 +601,7 @@ void Application::spawn_controller_process(Controller* c, Module* m) {
 void Application::start() {
   DFDBG_CHECK_MSG(elaborated_, "start before elaborate");
   DFDBG_CHECK_MSG(!started_, "start called twice");
+  if (kernel().parallel()) prepare_partitions();
   for (Actor* a : actors_) {
     switch (a->kind()) {
       case ActorKind::kFilter:
@@ -523,6 +659,10 @@ void Application::rt_link_push(Actor& actor, Port& port, const Value& v) {
   DFDBG_CHECK_MSG(link != nullptr, actor.path() + "." + port.name() + " is not bound");
   DFDBG_CHECK_MSG(v.type() == link->type(),
                   "type mismatch pushing " + v.type().name() + " on " + link->name());
+  if (link->outbox() != nullptr) {
+    rt_link_push_boundary(actor, port, *link, v);
+    return;
+  }
   const ArgValue args[] = {
       ArgValue::of_u64("link", link->id().value()),
       ArgValue::of_u64("index", link->push_index()),
@@ -559,6 +699,48 @@ void Application::rt_link_push(Actor& actor, Port& port, const Value& v) {
   kernel().notify_if_waiting(link->data_avail());
 }
 
+void Application::rt_link_push_boundary(Actor& actor, Port& port, Link& link, const Value& v) {
+  BoundaryChannel& ob = *link.outbox();
+  // Same observable surface as the direct path: identical symbol, identical
+  // args — the channel's send index *is* the link's eventual push index.
+  const ArgValue args[] = {
+      ArgValue::of_u64("link", link.id().value()),
+      ArgValue::of_u64("index", ob.sent()),
+      ArgValue::of_ptr("value", const_cast<Value*>(&v)),
+      ArgValue::of_str("actor", actor.path().c_str()),
+      ArgValue::of_str("port", port.name().c_str()),
+  };
+  sim::SymbolId inst;
+  if (cooperation_) inst = link_syms_[link.id().value()].push_iface;
+  sim::InstrScope scope(kernel(), syms_.link_push, args, inst);
+  while (ob.full()) {
+    actor.set_blocked(BlockInfo{BlockInfo::Kind::kLinkFull, &link});
+    kernel().wait(ob.space_avail());
+  }
+  actor.set_blocked(BlockInfo{});
+  if (model_latencies_) model_transfer_cost(link);
+  // The producer's shard allocates the uid (disjoint per-partition ranges)
+  // and journals the push at send time in its own shard; delivery into the
+  // link at the barrier adds no further journal traffic.
+  const std::uint64_t uid = obs::Journal::global().alloc_token();
+  const std::uint64_t idx = ob.send(Value(v), uid);
+  if (obs::enabled()) {
+    obs::Journal& j = obs::Journal::global();
+    obs::JournalEvent ev;
+    ev.time = kernel().now();
+    ev.kind = obs::JournalKind::kTokenPush;
+    ev.link = link.id().value();
+    ev.actor = j.intern_name(actor.path());
+    ev.token = uid;
+    ev.index = idx;
+    ev.firing = firing_of(actor);
+    j.record(ev);
+  }
+  scope.set_return(ArgValue::of_u64("index", idx));
+  // No data_avail notify here: the token is not in the link yet. The
+  // coordinator wakes the consumer when it drains the channel.
+}
+
 void Application::rt_link_push_n(Actor& actor, Port& port, const Value* vs, std::size_t n) {
   if (n == 0) return;
   if (n == 1) {  // the batch API degenerates to the paper-faithful shim
@@ -570,6 +752,13 @@ void Application::rt_link_push_n(Actor& actor, Port& port, const Value* vs, std:
   for (std::size_t i = 0; i < n; ++i)
     DFDBG_CHECK_MSG(vs[i].type() == link->type(),
                     "type mismatch pushing " + vs[i].type().name() + " on " + link->name());
+  if (link->outbox() != nullptr) {
+    // Partition-crossing link: degrade to token-at-a-time sends so the
+    // channel's journal/provenance stream is exactly n single pushes (the
+    // batch API is a fast path, never a semantic change).
+    for (std::size_t i = 0; i < n; ++i) rt_link_push_boundary(actor, port, *link, vs[i]);
+    return;
+  }
   const ArgValue args[] = {
       ArgValue::of_u64("link", link->id().value()),
       ArgValue::of_u64("index", link->push_index()),

@@ -1,0 +1,41 @@
+#include "dfdbg/pedf/boundary.hpp"
+
+#include "dfdbg/common/assert.hpp"
+#include "dfdbg/pedf/link.hpp"
+#include "dfdbg/sim/kernel.hpp"
+
+namespace dfdbg::pedf {
+
+BoundaryChannel::BoundaryChannel(Link& link, std::size_t capacity)
+    : link_(&link), ring_(capacity < 1 ? 1 : capacity),
+      space_event_("boundary-space:" + link.name()) {}
+
+std::uint64_t BoundaryChannel::send(Value v, std::uint64_t uid) {
+  DFDBG_CHECK_MSG(size_ < ring_.size(), "send on full boundary channel of " + link_->name());
+  Slot& s = ring_[(head_ + size_) % ring_.size()];
+  s.value = std::move(v);
+  s.uid = uid;
+  ++size_;
+  return sent_++;
+}
+
+bool BoundaryChannel::drain(sim::Kernel& kernel) {
+  bool progress = false;
+  while (size_ != 0 && !link_->full()) {
+    Slot& s = ring_[head_];
+    link_->push_delivered(std::move(s.value), s.uid);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    ++delivered_;
+    progress = true;
+  }
+  if (progress) {
+    // Coordinator context: both wakeups deliver straight into the waiters'
+    // partitions' ready queues for the next round.
+    kernel.notify_if_waiting(link_->data_avail());
+    kernel.notify_if_waiting(space_event_);
+  }
+  return progress;
+}
+
+}  // namespace dfdbg::pedf

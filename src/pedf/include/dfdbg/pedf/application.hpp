@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,6 +29,7 @@
 
 namespace dfdbg::pedf {
 
+class BoundaryChannel;
 class HostSource;
 class HostSink;
 
@@ -83,6 +85,34 @@ class Application {
   /// Pins an actor (by hierarchical path) to a named PE; otherwise actors
   /// are mapped round-robin on fabric PEs (host I/O on host cores).
   void map_actor(std::string path, std::string pe_name);
+
+  // --- partitioning (parallel kernel backend) --------------------------------
+  // With a kParallel kernel, start() splits the graph's processes across the
+  // kernel's partitions. The default map follows the platform: an actor's
+  // partition is its PE's cluster index modulo the worker count (host-mapped
+  // actors land in partition 0), mirroring how a P2012 functional simulator
+  // would parallelize per cluster. Constraints (validated at start, fatal on
+  // violation): a controller and the filters of its module form one
+  // indivisible unit (controllers mutate their filters' scheduling state
+  // directly), and actors sharing a PE must share a partition (the PE's
+  // exclusivity event can only serve one partition). Links whose endpoints
+  // end up in different partitions get a BoundaryChannel (see boundary.hpp).
+
+  /// Overrides the partition of the actor at `path` (hierarchical path or
+  /// unique short name; a module applies to its controller and filters).
+  /// Ignored by sequential kernels. Call before start().
+  void set_partition(const std::string& path, int partition);
+
+  /// Partition the actor's process runs in (0 on sequential backends).
+  [[nodiscard]] int actor_partition(const Actor& a) const {
+    return a.id().value() < partition_of_.size() ? partition_of_[a.id().value()] : 0;
+  }
+
+  /// Channels of the links that cross partitions (empty on sequential
+  /// backends), in link-id order — also the barrier drain order.
+  [[nodiscard]] const std::vector<std::unique_ptr<BoundaryChannel>>& boundaries() const {
+    return boundaries_;
+  }
 
   // --- elaboration & execution ----------------------------------------------
 
@@ -156,6 +186,10 @@ class Application {
   // Runtime shims: the framework API functions. Each wraps its body in an
   // InstrScope so entry/exit hooks ("function"/"finish" breakpoints) fire.
   void rt_link_push(Actor& actor, Port& port, const Value& v);
+  /// Producer side of a partition-crossing link: same API surface (scope,
+  /// blocking, journal provenance), but the token goes to the link's
+  /// BoundaryChannel and is delivered by the coordinator at the barrier.
+  void rt_link_push_boundary(Actor& actor, Port& port, Link& link, const Value& v);
   std::optional<Value> rt_link_pop(Actor& actor, Port& port);
   // Batch fast paths (the batched-fire option): one instrumentation scope,
   // one blocking check and one coalesced notify per chunk instead of per
@@ -184,6 +218,13 @@ class Application {
   void assign_mapping();
   void intern_symbols();
   void intern_link_symbols();
+  /// Parallel backend, called from start(): computes the partition map
+  /// (defaults + overrides), validates the atomicity constraints, pre-binds
+  /// every runtime event to its waiting partition, builds the boundary
+  /// channels and registers the barrier drain.
+  void prepare_partitions();
+  /// The kernel barrier task: drains every boundary channel in link order.
+  bool drain_boundaries();
   void spawn_filter_process(Filter* f);
   void spawn_controller_process(Controller* c, Module* m);
 
@@ -204,6 +245,11 @@ class Application {
   std::unordered_map<std::string, Actor*> by_path_;
   std::unordered_map<std::string, Actor*> by_name_;
   std::unordered_map<std::string, std::string> pinned_;  // path -> pe name
+  // Partitioning state (parallel backend; empty otherwise). The override
+  // map is ordered so conflicting-override diagnostics are deterministic.
+  std::map<std::string, int> partition_override_;  // path/name -> partition
+  std::vector<int> partition_of_;                  // by ActorId value
+  std::vector<std::unique_ptr<BoundaryChannel>> boundaries_;
   ApiSymbols syms_;
   bool elaborated_ = false;
   bool started_ = false;

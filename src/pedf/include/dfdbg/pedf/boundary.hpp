@@ -1,0 +1,92 @@
+// Cross-partition token transport for the parallel simulation backend.
+//
+// A Link whose producer and consumer live in different partitions cannot be
+// mutated from both sides: all link state (ring, indexes, events) belongs to
+// the *consumer's* partition. Instead the producer enqueues {value, uid}
+// pairs into a BoundaryChannel — a single-producer ring the producing
+// worker alone writes during a round — and the coordinator drains every
+// channel at the barrier, delivering tokens into the link in channel order
+// and waking the consumer. The conservative barrier gives the
+// happens-before edge between the two sides, so the channel needs no
+// atomics of its own.
+//
+// Flow control is conservative: the channel is bounded (the link's capacity
+// when it has one, a fixed default otherwise) and a producer blocks on
+// space_avail() while it is full; the coordinator notifies after freeing
+// slots. Tokens therefore traverse a boundary with at least one barrier of
+// latency, but per-link FIFO order — the Kahn-network property every
+// determinism argument rests on — is preserved by construction.
+//
+// Provenance: the producer allocates the token uid from its own shard
+// journal (disjoint per-partition id ranges) and records the kTokenPush
+// journal event at send time, in its own shard; delivery adds no journal
+// traffic. The producer-side send index equals the link's eventual push
+// index (every push to a boundary link goes through its channel), so
+// journal streams stay per-link identical to a sequential run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfdbg/pedf/value.hpp"
+#include "dfdbg/sim/event.hpp"
+
+namespace dfdbg::sim {
+class Kernel;
+}  // namespace dfdbg::sim
+
+namespace dfdbg::pedf {
+
+class Link;
+
+/// The producer-side ring of one partition-crossing link. Owned by the
+/// Application; wired into the link via Link::set_outbox at start().
+class BoundaryChannel {
+ public:
+  /// Channel slots used when the link itself is unbounded.
+  static constexpr std::size_t kDefaultSlots = 1024;
+
+  BoundaryChannel(Link& link, std::size_t capacity);
+
+  BoundaryChannel(const BoundaryChannel&) = delete;
+  BoundaryChannel& operator=(const BoundaryChannel&) = delete;
+
+  [[nodiscard]] Link& link() const { return *link_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Tokens enqueued and not yet delivered.
+  [[nodiscard]] std::size_t pending() const { return size_; }
+  [[nodiscard]] bool full() const { return size_ == ring_.size(); }
+  /// Tokens ever accepted == the producer-side push index sequence.
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  /// Tokens delivered into the link so far.
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+  /// Producer worker: enqueues one token. Precondition: !full().
+  /// Returns the token's producer-side index (== its eventual push index).
+  std::uint64_t send(Value v, std::uint64_t uid);
+
+  /// Producers blocked on a full channel wait here; the coordinator
+  /// notifies after draining. Bound to the producer's partition.
+  [[nodiscard]] sim::Event& space_avail() { return space_event_; }
+
+  /// Coordinator, at a barrier: delivers queued tokens into the link while
+  /// it has room, wakes the consumer (data became available) and the
+  /// producer (space became available). Returns true when any token moved.
+  bool drain(sim::Kernel& kernel);
+
+ private:
+  struct Slot {
+    Value value;
+    std::uint64_t uid = 0;
+  };
+
+  Link* link_;
+  std::vector<Slot> ring_;
+  std::size_t head_ = 0;  ///< oldest undelivered slot
+  std::size_t size_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  sim::Event space_event_;
+};
+
+}  // namespace dfdbg::pedf

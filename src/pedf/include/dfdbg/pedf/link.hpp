@@ -23,6 +23,7 @@
 
 namespace dfdbg::pedf {
 
+class BoundaryChannel;
 class Port;
 
 struct LinkIdTag {};
@@ -93,6 +94,18 @@ class Link {
     return ring_[(head_ + i) & mask_].uid;
   }
 
+  /// Parallel backend: the producer-side transport when this link crosses a
+  /// partition boundary (nullptr otherwise — including on every sequential
+  /// backend). Owned by the Application; see boundary.hpp.
+  [[nodiscard]] BoundaryChannel* outbox() const { return outbox_; }
+  void set_outbox(BoundaryChannel* ch) { outbox_ = ch; }
+
+  /// Appends a token that already carries a provenance id (the boundary
+  /// delivery path: the producing partition allocated the uid at send time).
+  /// Identical bookkeeping to push_raw except no id is allocated.
+  /// Precondition: !full().
+  void push_delivered(Value v, std::uint64_t uid);
+
   /// Appends a value; returns its push index. Precondition: !full().
   std::uint64_t push_raw(Value v);
   /// Appends `n` values (batch fast path: one capacity check, one uid-range
@@ -158,6 +171,7 @@ class Link {
   std::size_t high_watermark_ = 0;
   std::size_t capacity_ = SIZE_MAX;
   LinkTransport transport_ = LinkTransport::kLocal;
+  BoundaryChannel* outbox_ = nullptr;
   sim::Event data_avail_;
   sim::Event space_avail_;
 };

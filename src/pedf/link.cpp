@@ -47,6 +47,25 @@ void Link::reserve_slots(std::size_t needed) {
   dcheck_slots();
 }
 
+void Link::push_delivered(Value v, std::uint64_t uid) {
+  DFDBG_CHECK_MSG(!full(), "delivery on full link " + name_);
+  reserve_slots(1);
+  Slot& s = ring_[(head_ + count_) & mask_];
+  s.value = std::move(v);
+  s.uid = uid;
+  last_pushed_uid_ = uid;
+  ++count_;
+  dcheck_slots();
+  if (count_ > high_watermark_) high_watermark_ = count_;
+  if (obs::enabled()) {
+    LinkMetrics& m = LinkMetrics::get();
+    m.pushes.add();
+    m.occupancy.observe(count_);
+    m.occupancy_hwm.set(static_cast<std::int64_t>(count_));
+  }
+  push_index_++;
+}
+
 std::uint64_t Link::push_raw(Value v) {
   DFDBG_CHECK_MSG(!full(), "push on full link " + name_);
   reserve_slots(1);

@@ -525,6 +525,8 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
     w.kv("protocol", 1);
     w.kv("exec", config_.allow_exec);
     w.kv("max_frame_bytes", static_cast<std::uint64_t>(config_.max_frame_bytes));
+    w.kv("backend", sim::to_string(session_.app().kernel().backend()));
+    w.kv("workers", static_cast<std::uint64_t>(session_.app().kernel().partition_count()));
     w.key("methods").begin_array();
     for (const char* m : kMethods) w.value(m);
     w.end_array();

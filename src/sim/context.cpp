@@ -31,6 +31,8 @@ std::atomic<int> g_backend_override{0};
 ProcessBackend compiled_default_backend() {
 #if defined(DFDBG_DEFAULT_BACKEND_THREADS)
   return ProcessBackend::kThreads;
+#elif defined(DFDBG_DEFAULT_BACKEND_PARALLEL)
+  return ProcessBackend::kParallel;
 #else
   return ProcessBackend::kFibers;
 #endif
@@ -42,6 +44,7 @@ const char* to_string(ProcessBackend b) {
   switch (b) {
     case ProcessBackend::kThreads: return "threads";
     case ProcessBackend::kFibers: return "fibers";
+    case ProcessBackend::kParallel: return "parallel";
   }
   return "?";
 }
@@ -54,15 +57,41 @@ ProcessBackend default_process_backend() {
   if (const char* env = std::getenv("DFDBG_PROCESS_BACKEND")) {
     if (std::strcmp(env, "threads") == 0) return ProcessBackend::kThreads;
     if (std::strcmp(env, "fibers") == 0) return ProcessBackend::kFibers;
+    if (std::strcmp(env, "parallel") == 0) return ProcessBackend::kParallel;
     if (env[0] != '\0')
       panic(__FILE__, __LINE__,
-            strformat("DFDBG_PROCESS_BACKEND='%s' (expected 'threads' or 'fibers')", env));
+            strformat("DFDBG_PROCESS_BACKEND='%s' (expected 'threads', 'fibers' or 'parallel')",
+                      env));
   }
   return compiled_default_backend();
 }
 
 void set_default_process_backend(ProcessBackend b) {
   g_backend_override.store(1 + static_cast<int>(b), std::memory_order_relaxed);
+}
+
+int default_parallel_workers() {
+  // Read on every call (not cached) so tests can sweep worker counts through
+  // the environment within one binary.
+  if (const char* env = std::getenv("DFDBG_PARALLEL_WORKERS")) {
+    long n = std::atol(env);
+    if (n >= 1 && n <= 256) return static_cast<int>(n);
+    if (env[0] != '\0')
+      panic(__FILE__, __LINE__,
+            strformat("DFDBG_PARALLEL_WORKERS='%s' (expected 1..256)", env));
+  }
+  return 2;
+}
+
+bool parallel_uses_thread_processes() {
+  if (const char* env = std::getenv("DFDBG_PARALLEL_SUBSTRATE")) {
+    if (std::strcmp(env, "threads") == 0) return true;
+    if (std::strcmp(env, "fibers") == 0) return false;
+    if (env[0] != '\0')
+      panic(__FILE__, __LINE__,
+            strformat("DFDBG_PARALLEL_SUBSTRATE='%s' (expected 'fibers' or 'threads')", env));
+  }
+  return false;
 }
 
 std::size_t FiberContext::default_stack_bytes() {

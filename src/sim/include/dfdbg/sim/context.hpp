@@ -8,15 +8,20 @@
 // stack with a PROT_NONE guard page below it, so a runaway recursion faults
 // deterministically instead of silently corrupting a neighbouring stack.
 //
-// The kernel keeps two interchangeable process backends:
+// The kernel keeps three interchangeable process backends:
 //   kFibers  (default) — dispatch is one user-space context switch each way;
 //                        no OS scheduling on the hot path.
 //   kThreads           — the original std::thread + two-semaphore handoff.
 //                        Slower by orders of magnitude, but sanitizer- and
 //                        valgrind-friendly (those tools do not follow raw
 //                        `swapcontext` stacks).
-// Both backends honour the same dispatch ordering, teardown-by-unwind and
-// public API, so any program produces identical schedules on either.
+//   kParallel          — the graph is partitioned into per-cluster sub-kernels,
+//                        each drained by its own worker thread (fibers inside a
+//                        partition, a conservative barrier between partitions).
+//                        See docs/KERNEL.md "Parallel backend".
+// All backends honour the same dispatch ordering (parallel: per partition, and
+// globally under a fixed single-partition map), teardown-by-unwind and public
+// API.
 #pragma once
 
 #include <ucontext.h>
@@ -27,18 +32,30 @@ namespace dfdbg::sim {
 
 /// How the kernel executes simulated processes. See file comment.
 enum class ProcessBackend {
-  kThreads,  ///< one OS thread per process, semaphore handoff per dispatch
-  kFibers,   ///< user-level stackful contexts, swapcontext per dispatch
+  kThreads,   ///< one OS thread per process, semaphore handoff per dispatch
+  kFibers,    ///< user-level stackful contexts, swapcontext per dispatch
+  kParallel,  ///< partitioned sub-kernels on worker threads, barrier-synced
 };
 
-/// Returns a short human-readable name for `b` ("threads" / "fibers").
+/// Returns a short human-readable name for `b` ("threads"/"fibers"/"parallel").
 const char* to_string(ProcessBackend b);
 
 /// The backend new kernels use when none is passed to the constructor.
 /// Resolution order: set_default_process_backend() override, then the
-/// DFDBG_PROCESS_BACKEND environment variable ("threads"/"fibers"), then the
-/// compile-time default chosen by the DFDBG_PROCESS_BACKEND CMake option.
+/// DFDBG_PROCESS_BACKEND environment variable ("threads"/"fibers"/"parallel"),
+/// then the compile-time default chosen by the DFDBG_PROCESS_BACKEND CMake
+/// option.
 [[nodiscard]] ProcessBackend default_process_backend();
+
+/// Worker-thread count new kParallel kernels use when none is passed to the
+/// constructor: the DFDBG_PARALLEL_WORKERS environment variable, or 2.
+[[nodiscard]] int default_parallel_workers();
+
+/// Substrate simulated processes run on inside a kParallel partition: fibers
+/// (default) or parked OS threads when DFDBG_PARALLEL_SUBSTRATE=threads —
+/// the sanitizer-friendly variant ThreadSanitizer CI uses, since TSan does
+/// not follow raw swapcontext stacks. Scheduling is identical either way.
+[[nodiscard]] bool parallel_uses_thread_processes();
 
 /// Overrides the process-wide default (benchmarks flip this to measure both
 /// backends in one run). Sticky until called again.

@@ -3,6 +3,7 @@
 // deterministically) to the ready queue.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -33,12 +34,26 @@ class Event {
   /// only signals data/space availability when a waiter can make progress).
   [[nodiscard]] std::uint64_t coalesced_count() const { return coalesced_count_; }
 
+  /// Parallel backend: the partition whose processes wait on this event, or
+  /// -1 while unclaimed. All waiters of one event must live in a single
+  /// partition (the kernel claims ownership at the first wait and panics on
+  /// a cross-partition wait); the pedf runtime pre-binds its events at
+  /// Application::start(). Notifies from any partition remain legal — a
+  /// non-owner's notify is deferred to the next barrier.
+  [[nodiscard]] int partition() const { return partition_.load(std::memory_order_relaxed); }
+  /// Pre-claims the owning partition (see partition()).
+  void bind_partition(int p) { partition_.store(p, std::memory_order_relaxed); }
+
  private:
   friend class Kernel;
   std::string name_;
   std::vector<Process*> waiters_;
   std::uint64_t notify_count_ = 0;
   std::uint64_t coalesced_count_ = 0;
+  std::atomic<int> partition_{-1};
+  /// Set while this event sits in some shard's deferred-notify list (dedupe:
+  /// at most one barrier delivery per event per round).
+  std::atomic<bool> deferred_pending_{false};
 };
 
 }  // namespace dfdbg::sim

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -180,6 +181,34 @@ class InstrumentPort {
   void set_teardown(bool teardown) { teardown_ = teardown; }
   [[nodiscard]] bool teardown() const { return teardown_; }
 
+  /// Serializes hook dispatch under the parallel backend: workers of
+  /// different partitions may hit armed framework functions concurrently,
+  /// but debugger hooks (and the port's own bookkeeping) assume the
+  /// stopped-world view the sequential backends give them. Construction
+  /// takes the port's dispatch mutex (re-entrant via a thread-local depth,
+  /// so a hook that triggers another armed call does not self-deadlock) and
+  /// brackets the kernel (hook_dispatch_enter/exit) so a debug_break()
+  /// issued inside a hook parks only after the mutex is released.
+  /// Sequential backends: a no-op. fire_enter/fire_exit take this scope
+  /// themselves; it is public for debugger code that needs the same
+  /// exclusion around out-of-band port mutation while workers run.
+  class DispatchScope {
+   public:
+    DispatchScope(InstrumentPort& port, Kernel& kernel);
+    // noexcept(false): a deferred debug_break parks the process *inside*
+    // this destructor (after the unlock, in hook_dispatch_exit). Kernel
+    // teardown unwinds such frozen processes by throwing through park(),
+    // and that exception must be able to leave this frame.
+    ~DispatchScope() noexcept(false);
+    DispatchScope(const DispatchScope&) = delete;
+    DispatchScope& operator=(const DispatchScope&) = delete;
+
+   private:
+    InstrumentPort& port_;
+    Kernel& kernel_;
+    bool active_;  ///< kernel is parallel: the bracket applies
+  };
+
   // --- statistics (benchmarks & tests) -------------------------------------
 
   [[nodiscard]] std::uint64_t enter_fired() const { return enter_fired_; }
@@ -211,6 +240,10 @@ class InstrumentPort {
 
   bool enabled_ = false;
   bool teardown_ = false;
+  /// Parallel backend: held for the duration of every hook dispatch (see
+  /// DispatchScope). All mutable port state below is only touched while the
+  /// owning kernel is stopped or under this mutex.
+  std::mutex dispatch_mu_;
   std::vector<std::string> symbol_names_;
   // Transparent hash/equal: lookup(string_view) probes without allocating.
   std::unordered_map<std::string, std::uint32_t, TransparentStringHash, std::equal_to<>>

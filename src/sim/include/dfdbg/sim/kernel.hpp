@@ -17,19 +17,27 @@
 //
 // Execution backends: processes run either on stackful user-level fibers
 // (default — dispatch is a ~100 ns swapcontext, mirroring the SystemC
-// QuickThreads model the paper's simulator uses) or on parked OS threads
-// (legacy — sanitizer/valgrind friendly). Schedules are bit-identical across
-// backends; see context.hpp and docs/KERNEL.md.
+// QuickThreads model the paper's simulator uses), on parked OS threads
+// (legacy — sanitizer/valgrind friendly), or on the *parallel* backend: the
+// process set is partitioned into per-cluster sub-kernels, each drained to
+// quiescence by its own worker thread between conservative barriers, with
+// virtual time advancing globally. Schedules are bit-identical across the
+// sequential backends and across parallel runs under a fixed partition map;
+// see context.hpp and docs/KERNEL.md.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <semaphore>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +47,11 @@
 #include "dfdbg/sim/instrument.hpp"
 #include "dfdbg/sim/process.hpp"
 #include "dfdbg/sim/time.hpp"
+
+namespace dfdbg::obs {
+class Counter;
+class Journal;
+}  // namespace dfdbg::obs
 
 namespace dfdbg::sim {
 
@@ -63,23 +76,42 @@ enum class RunResult {
 const char* to_string(RunResult r);
 
 /// The simulation kernel. Owns all processes and the instrumentation port.
-/// Not thread-safe: the embedding application drives it from one thread.
+/// The embedding application drives it from one thread; under the parallel
+/// backend the kernel additionally owns its worker threads, and the public
+/// primitives are safe to call from simulated-process context on any worker.
 class Kernel {
  public:
   /// `backend` selects how processes execute (fibers by default; see
-  /// context.hpp). Fixed for the kernel's lifetime.
-  explicit Kernel(ProcessBackend backend = default_process_backend());
+  /// context.hpp). Fixed for the kernel's lifetime. `workers` is the
+  /// partition/worker-thread count of the parallel backend (0 = the
+  /// default_parallel_workers() resolution; ignored by other backends).
+  explicit Kernel(ProcessBackend backend = default_process_backend(), int workers = 0);
   ~Kernel();
 
   /// The process execution backend this kernel was built with.
   [[nodiscard]] ProcessBackend backend() const { return backend_; }
 
+  /// True when this kernel runs the parallel (partitioned) backend.
+  [[nodiscard]] bool parallel() const { return parallel_; }
+
+  /// Number of partitions (== worker threads) under the parallel backend;
+  /// 1 otherwise.
+  [[nodiscard]] int partition_count() const {
+    return parallel_ ? static_cast<int>(shards_.size()) : 1;
+  }
+
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   /// Creates a process executing `body`. May be called before run() or from
-  /// inside a running process. The process becomes ready immediately.
+  /// inside a running process. The process becomes ready immediately. Under
+  /// the parallel backend the process joins the spawner's partition
+  /// (partition 0 when spawned from the coordinator).
   ProcessId spawn(std::string name, std::function<void()> body);
+
+  /// spawn() into an explicit partition (parallel backend; other backends
+  /// require partition 0). Partitioning is fixed at spawn.
+  ProcessId spawn_in(int partition, std::string name, std::function<void()> body);
 
   /// Runs the simulation until it finishes, deadlocks, breaks, or simulated
   /// time would exceed `until`. Resumable after kStopped / kTimeLimit.
@@ -89,7 +121,17 @@ class Kernel {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// The process currently executing, or nullptr outside process context.
-  [[nodiscard]] Process* current() const { return current_; }
+  /// Parallel backend: the calling worker's current process (nullptr on the
+  /// coordinator thread, e.g. inside the debugger while stopped).
+  [[nodiscard]] Process* current() const {
+    if (!parallel_) return current_;
+    return current_parallel();
+  }
+
+  /// Parallel backend: the partition whose worker thread is executing the
+  /// caller, or -1 on the coordinator/main thread (and always -1 on the
+  /// sequential backends).
+  [[nodiscard]] int current_partition() const;
 
   /// Looks up a process by id (nullptr if unknown).
   [[nodiscard]] Process* process(ProcessId id) const;
@@ -126,8 +168,9 @@ class Kernel {
   /// identical to an unconditional notify — waking zero waiters changes
   /// nothing — but the hot path skips the call overhead and the token-path
   /// shims use it to signal only empty→non-empty / full→non-full edges.
-  /// Returns true when a notify was issued.
+  /// Returns true when a notify was issued (parallel: or deferred).
   bool notify_if_waiting(Event& e) {
+    if (parallel_) return notify_if_waiting_parallel(e);
     if (e.waiters_.empty()) {
       e.coalesced_count_++;
       return false;
@@ -136,12 +179,33 @@ class Kernel {
     return true;
   }
 
+  /// Parallel backend: registers a function the coordinator invokes at every
+  /// barrier, after all workers quiesce and deferred notifies flush, before
+  /// virtual time advances. Returns true when it made progress (delivered
+  /// tokens, woke a process), which triggers another delta round at the same
+  /// virtual time. The pedf runtime registers its boundary-ring drain here.
+  /// Tasks run in registration order; register before the first run().
+  void add_barrier_task(std::function<bool()> task);
+
+  /// Parallel backend: barrier rounds completed so far (0 otherwise).
+  [[nodiscard]] std::uint64_t round_count() const { return rounds_; }
+
+  /// Bracketing for instrumentation-hook dispatch (see InstrumentPort): under
+  /// the parallel backend hooks run holding the port's dispatch mutex, so a
+  /// debug_break() issued inside a hook is deferred and taken here, at
+  /// hook_dispatch_exit(), once the mutex is released. No-ops otherwise.
+  void hook_dispatch_enter();
+  void hook_dispatch_exit();
+
   /// Number of scheduler dispatches so far (for tests and benchmarks).
-  [[nodiscard]] std::uint64_t dispatch_count() const { return dispatches_; }
+  /// Parallel backend: aggregated over all partitions.
+  [[nodiscard]] std::uint64_t dispatch_count() const;
 
   /// Count of live (non-terminated) processes. O(1): maintained at
   /// spawn/terminate rather than scanned.
-  [[nodiscard]] std::size_t live_process_count() const { return live_count_; }
+  [[nodiscard]] std::size_t live_process_count() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
 
   /// The instrumentation port the debugger attaches to (see instrument.hpp).
   [[nodiscard]] InstrumentPort& instrument() { return instrument_; }
@@ -165,19 +229,69 @@ class Kernel {
     }
   };
 
+  /// One partition of the parallel backend: a sub-kernel with its own ready
+  /// queue, timed queue, scheduler anchor and journal shard, drained to
+  /// quiescence by one worker thread between barriers. Mutated only by its
+  /// worker during a round and only by the coordinator between rounds (the
+  /// round handshake's mutex orders the two).
+  struct Shard {
+    int index = 0;
+    std::deque<Process*> ready;
+    std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed;
+    std::uint64_t wait_seq = 0;
+    Process* current = nullptr;
+    std::uint64_t dispatches = 0;
+    bool stop_round = false;  ///< debug_break: end this round after the park
+    std::vector<Event*> deferred_notifies;  ///< cross-partition, flushed at barrier
+    FiberContext sched_ctx;                 ///< this worker's scheduler anchor
+    std::binary_semaphore sem{0};           ///< thread-process substrate handoff
+    std::unique_ptr<obs::Journal> journal;  ///< per-worker flight-recorder shard
+    obs::Counter* m_dispatches = nullptr;   ///< sim.worker.<i>.dispatch
+    std::thread thread;
+  };
+
+  /// True when simulated processes run on fibers (kFibers, and kParallel
+  /// unless DFDBG_PARALLEL_SUBSTRATE=threads).
+  [[nodiscard]] bool uses_fiber_processes() const;
+
   /// Hands the CPU to `p` and blocks until it yields back.
   void dispatch(Process* p);
-  /// Enqueues a newly-ready process according to the active policy.
+  /// Enqueues a newly-ready process according to the active policy (parallel:
+  /// into the process's own partition).
   void make_ready(Process* p);
   /// Records the (single) transition to kTerminated: state + live count.
   void mark_terminated(Process* p);
 
+  // --- parallel backend internals (kernel.cpp) ------------------------------
+  [[nodiscard]] Process* current_parallel() const;
+  RunResult run_parallel(SimTime until);
+  void ensure_workers_started();
+  void worker_main(int shard);
+  void run_round();
+  void drain_shard(Shard& s);
+  void dispatch_shard(Shard& s, Process* p);
+  void wait_parallel(Event& e);
+  void advance_parallel(SimTime dt);
+  void debug_break_parallel();
+  void notify_parallel(Event& e);
+  bool notify_if_waiting_parallel(Event& e);
+  /// Wakes `e`'s waiters into their partitions' ready queues (coordinator
+  /// or owning-shard context only).
+  void notify_deliver(Event& e);
+  /// Coordinator: flushes deferred notifies then runs barrier tasks; true
+  /// when any progress was made.
+  bool flush_barrier();
+  void merge_shard_journals();
+  void stop_workers();
+
   ProcessBackend backend_;
+  bool parallel_ = false;
+  bool parallel_thread_processes_ = false;  ///< see parallel_uses_thread_processes()
   SimTime now_ = 0;
   std::vector<std::unique_ptr<Process>> processes_;
   std::unordered_map<std::string, ProcessId, TransparentStringHash, std::equal_to<>>
       name_index_;  ///< first spawn with a name wins (process_by_name contract)
-  std::size_t live_count_ = 0;
+  std::atomic<std::size_t> live_count_{0};
   std::deque<Process*> ready_;
   std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_;
   Process* current_ = nullptr;
@@ -189,6 +303,23 @@ class Kernel {
   std::binary_semaphore kernel_sem_{0};  ///< thread backend only
   FiberContext sched_ctx_;               ///< fiber backend: the scheduler's context
   InstrumentPort instrument_;
+
+  // Parallel backend state.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::function<bool()>> barrier_tasks_;
+  std::uint64_t rounds_ = 0;
+  std::atomic<bool> stop_flag_{false};  ///< some shard requested a debug stop
+  std::mutex spawn_mu_;                 ///< serializes mid-run spawns from workers
+  // Round handshake: coordinator bumps round_gen_ and waits for
+  // workers_running_ to fall back to zero; the mutex carries the
+  // happens-before edges between coordinator and workers each round.
+  std::mutex round_mu_;
+  std::condition_variable round_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t round_gen_ = 0;
+  int workers_running_ = 0;
+  bool workers_exit_ = false;
+  bool workers_started_ = false;
 };
 
 }  // namespace dfdbg::sim

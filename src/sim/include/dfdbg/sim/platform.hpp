@@ -9,6 +9,7 @@
 // actors mapped to the same PE serialize).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -52,15 +53,21 @@ class MemoryModel {
   /// a per-word cost. Must be called from process context.
   void access(Kernel& kernel, std::uint64_t bytes);
 
-  [[nodiscard]] std::uint64_t access_count() const { return accesses_; }
-  [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_moved_; }
+  [[nodiscard]] std::uint64_t access_count() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const {
+    return bytes_moved_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string name_;
   std::uint64_t bytes_;
   SimTime latency_;
-  std::uint64_t accesses_ = 0;
-  std::uint64_t bytes_moved_ = 0;
+  // Shared memories (L1, L2, L3) are touched by every partition's workers
+  // under the parallel backend; relaxed atomics keep the tallies exact.
+  std::atomic<std::uint64_t> accesses_{0};
+  std::atomic<std::uint64_t> bytes_moved_{0};
 };
 
 /// Where a processing element lives.
@@ -116,11 +123,18 @@ class DmaEngine {
 
   /// Transfers `bytes` from `src` to `dst`; advances time by setup plus
   /// bytes/bandwidth, serializing concurrent users of this engine. Must be
-  /// called from process context.
+  /// called from process context. Parallel backend: a DMA engine is the one
+  /// platform resource deliberately shared across partitions, so exclusivity
+  /// is waived there — each worker pays the full transfer latency but engine
+  /// contention is not modelled (see docs/KERNEL.md "Parallel backend").
   void transfer(Kernel& kernel, MemoryModel& src, MemoryModel& dst, std::uint64_t bytes);
 
-  [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
-  [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_moved_; }
+  [[nodiscard]] std::uint64_t transfer_count() const {
+    return transfers_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const {
+    return bytes_moved_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string name_;
@@ -128,8 +142,8 @@ class DmaEngine {
   std::uint64_t bw_;
   bool busy_ = false;
   Event free_event_;
-  std::uint64_t transfers_ = 0;
-  std::uint64_t bytes_moved_ = 0;
+  std::atomic<std::uint64_t> transfers_{0};
+  std::atomic<std::uint64_t> bytes_moved_{0};
 };
 
 /// The whole platform instance. Owns all hardware models.

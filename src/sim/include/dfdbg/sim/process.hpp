@@ -8,6 +8,7 @@
 // behind a semaphore. Scheduling semantics are identical either way.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,11 +53,20 @@ class Process {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] ProcessState state() const { return state_; }
 
+  /// Partition this process belongs to (always 0 outside the parallel
+  /// backend). Fixed at spawn.
+  [[nodiscard]] int partition() const { return shard_; }
+
   /// Total simulated cycles this process spent advancing time.
   [[nodiscard]] SimTime consumed_time() const { return consumed_time_; }
 
   /// Number of times this process has been scheduled in.
   [[nodiscard]] std::uint64_t activation_count() const { return activations_; }
+
+  /// Cached journal intern id of name() (UINT32_MAX until first dispatch);
+  /// kernel plumbing — see jname_.
+  [[nodiscard]] std::uint32_t jname() const { return jname_.load(std::memory_order_relaxed); }
+  void set_jname(std::uint32_t id) { jname_.store(id, std::memory_order_relaxed); }
 
  private:
   friend class Kernel;
@@ -82,13 +92,21 @@ class Process {
   SimTime consumed_time_ = 0;
   std::uint64_t activations_ = 0;
   std::uint64_t wait_seq_ = 0;  ///< tie-break for deterministic timed wakeups
+  int shard_ = 0;               ///< parallel backend: owning partition
 
-  // Thread backend only.
+  /// Journal intern id of name_, cached at the first dispatch so the hot
+  /// path skips the (locked, in parallel mode) intern table. UINT32_MAX =
+  /// not yet interned. Benign racing writes store the same value.
+  std::atomic<std::uint32_t> jname_{UINT32_MAX};
+
+  // Thread-process substrates (kThreads, kParallel with thread processes).
   std::binary_semaphore resume_sem_{0};
+  std::binary_semaphore* sched_sem_ = nullptr;  ///< scheduler side of the handoff
   std::thread thread_;
 
-  // Fiber backend only.
+  // Fiber-process substrates (kFibers, kParallel default).
   std::unique_ptr<FiberContext> fiber_;
+  FiberContext* resume_anchor_ = nullptr;  ///< context park() yields back to
   bool fiber_started_ = false;  ///< the fiber has been entered at least once
 };
 

@@ -22,7 +22,25 @@ struct HookMetrics {
     return m;
   }
 };
+/// Re-entrancy depth of DispatchScope on this thread (a hook that triggers
+/// another armed framework call must not re-lock the dispatch mutex).
+thread_local int t_dispatch_depth = 0;
 }  // namespace
+
+InstrumentPort::DispatchScope::DispatchScope(InstrumentPort& port, Kernel& kernel)
+    : port_(port), kernel_(kernel), active_(kernel.parallel()) {
+  if (!active_) return;
+  if (t_dispatch_depth++ == 0) port_.dispatch_mu_.lock();
+  kernel_.hook_dispatch_enter();
+}
+
+InstrumentPort::DispatchScope::~DispatchScope() noexcept(false) {
+  if (!active_) return;
+  if (--t_dispatch_depth == 0) port_.dispatch_mu_.unlock();
+  // After the unlock: a debug_break() deferred by a hook parks here, with
+  // the mutex free for the other workers finishing their round.
+  kernel_.hook_dispatch_exit();
+}
 
 const ArgValue* Frame::arg(std::string_view name) const {
   for (const ArgValue& a : args_)
@@ -138,6 +156,7 @@ void InstrumentPort::fire_list(Kernel& kernel, const std::vector<std::uint32_t>&
 void InstrumentPort::fire_enter(Kernel& kernel, SymbolId symbol, std::span<const ArgValue> args,
                                 SymbolId instance) {
   if (!enabled_ || teardown_) return;
+  DispatchScope scope(*this, kernel);
   enter_fired_++;
   HookMetrics::get().enter_fired.add();
   if (symbol.valid() && symbol.value() < per_symbol_.size())
@@ -149,6 +168,7 @@ void InstrumentPort::fire_enter(Kernel& kernel, SymbolId symbol, std::span<const
 void InstrumentPort::fire_exit(Kernel& kernel, SymbolId symbol, std::span<const ArgValue> args,
                                const ArgValue* ret, SymbolId instance) {
   if (!enabled_ || teardown_) return;
+  DispatchScope scope(*this, kernel);
   exit_fired_++;
   HookMetrics::get().exit_fired.add();
   if (symbol.valid() && symbol.value() < per_symbol_.size())

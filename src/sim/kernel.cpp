@@ -21,15 +21,41 @@ struct SchedMetrics {
   obs::Counter& spawns;
   obs::Counter& timed_wakeups;
   obs::Counter& breaks;
+  obs::Counter& rounds;
   obs::Histogram& ready_depth;
   static SchedMetrics& get() {
     auto& r = obs::Registry::global();
-    static SchedMetrics m{r.counter("sim.dispatch"),     r.counter("sim.context_switch"),
+    static SchedMetrics m{r.counter("sim.dispatch"),      r.counter("sim.context_switch"),
                           r.counter("sim.process_spawn"), r.counter("sim.timed_wakeup"),
-                          r.counter("sim.debug_break"),  r.histogram("sim.ready_depth")};
+                          r.counter("sim.debug_break"),   r.counter("sim.barrier.round"),
+                          r.histogram("sim.ready_depth")};
     return m;
   }
 };
+
+/// Parallel backend: identifies the worker thread (and hence partition) the
+/// calling code runs on, plus the deferred-break bookkeeping for hooks that
+/// request a stop while the instrumentation dispatch mutex is held.
+struct WorkerTls {
+  Kernel* kernel = nullptr;
+  int shard = -1;
+  int hook_depth = 0;
+  bool pending_break = false;
+};
+thread_local WorkerTls t_worker;
+
+/// Journal intern id of `p`'s name, cached on the process (the intern table
+/// is a locked hash map in parallel mode; the dispatch hot path must not
+/// take it per event).
+std::uint32_t journal_name_of(obs::Journal& j, Process* p) {
+  std::uint32_t id = p->jname();
+  if (id == UINT32_MAX) {
+    id = j.intern_name(p->name());
+    p->set_jname(id);
+  }
+  return id;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -49,7 +75,9 @@ const char* to_string(ProcessState s) {
 
 Process::Process(Kernel* kernel, ProcessId id, std::string name, std::function<void()> body)
     : kernel_(kernel), id_(id), name_(std::move(name)), body_(std::move(body)) {
-  if (kernel_->backend_ == ProcessBackend::kFibers) {
+  resume_anchor_ = &kernel_->sched_ctx_;
+  sched_sem_ = &kernel_->kernel_sem_;
+  if (kernel_->uses_fiber_processes()) {
     fiber_ = std::make_unique<FiberContext>(FiberContext::default_stack_bytes(),
                                             &Process::fiber_entry, this);
   } else {
@@ -68,10 +96,20 @@ void Process::thread_main() {
     kernel_->mark_terminated(this);
     return;
   }
+  if (kernel_->parallel_) {
+    // Thread-substrate parallel processes run on their own OS thread, not the
+    // shard's worker thread: adopt the shard identity so wait()/notify()/
+    // debug_break() resolve the right sub-kernel, and the shard journal so
+    // records land in the same buffer they would under the fiber substrate.
+    // Safe because the worker blocks in dispatch_shard while this thread runs.
+    t_worker.kernel = kernel_;
+    t_worker.shard = shard_;
+    obs::Journal::set_thread_journal(kernel_->shards_[shard_]->journal.get());
+  }
   try {
     body_();
     kernel_->mark_terminated(this);
-    kernel_->kernel_sem_.release();  // hand control back to the scheduler
+    sched_sem_->release();  // hand control back to the scheduler
   } catch (const ProcessKilled&) {
     kernel_->mark_terminated(this);
     // Teardown: the kernel is not blocked in dispatch; do not signal it.
@@ -93,24 +131,25 @@ void Process::fiber_main() {
           strformat("uncaught exception in simulated process '%s': %s", name_.c_str(), e.what()));
   }
   kernel_->mark_terminated(this);
-  // Permanent handoff: the scheduler (blocked in dispatch(), or in ~Kernel
-  // during teardown) resumes and never re-enters this fiber.
-  FiberContext::switch_to(*fiber_, kernel_->sched_ctx_);
+  // Permanent handoff: the scheduler (blocked in dispatch() — per-shard in
+  // parallel mode — or in ~Kernel during teardown) resumes and never
+  // re-enters this fiber.
+  FiberContext::switch_to(*fiber_, *resume_anchor_);
   DFDBG_UNREACHABLE("terminated fiber was resumed");
 }
 
 void Process::park() {
-  if (kernel_->backend_ == ProcessBackend::kFibers) {
-    FiberContext::switch_to(*fiber_, kernel_->sched_ctx_);
+  if (fiber_ != nullptr) {
+    FiberContext::switch_to(*fiber_, *resume_anchor_);
   } else {
-    kernel_->kernel_sem_.release();
+    sched_sem_->release();
     resume_sem_.acquire();
   }
   if (kernel_->shutting_down_) throw ProcessKilled{};
 }
 
 // ---------------------------------------------------------------------------
-// Kernel
+// Kernel — construction, spawning, shared plumbing
 // ---------------------------------------------------------------------------
 
 const char* to_string(RunResult r) {
@@ -123,21 +162,45 @@ const char* to_string(RunResult r) {
   return "?";
 }
 
-Kernel::Kernel(ProcessBackend backend) : backend_(backend) {}
+Kernel::Kernel(ProcessBackend backend, int workers) : backend_(backend) {
+  parallel_ = backend_ == ProcessBackend::kParallel;
+  if (!parallel_) return;
+  parallel_thread_processes_ = parallel_uses_thread_processes();
+  int k = workers > 0 ? workers : default_parallel_workers();
+  obs::Journal& base = obs::Journal::global_base();
+  for (int i = 0; i < k; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->index = i;
+    sh->journal = std::make_unique<obs::Journal>(base.capacity());
+    // Partition 0 of a single-partition kernel delegates token-id allocation
+    // to the process-wide journal (uid base 0): ids — and therefore `whence`
+    // output — stay byte-identical to the sequential backends. Multi-
+    // partition kernels give each shard a disjoint 48-bit-offset range.
+    std::uint64_t uid_base = k == 1 ? 0 : (static_cast<std::uint64_t>(i) + 1) << 48;
+    sh->journal->configure_shard(&base, uid_base);
+    sh->m_dispatches =
+        &obs::Registry::global().counter(strformat("sim.worker.%d.dispatch", i));
+    shards_.push_back(std::move(sh));
+  }
+  obs::Registry::global().gauge("sim.worker.count").set(k);
+}
 
 Kernel::~Kernel() {
+  stop_workers();
   shutting_down_ = true;
   instrument_.set_teardown(true);
   for (auto& p : processes_) {
-    if (backend_ == ProcessBackend::kFibers) {
+    if (p->fiber_ != nullptr) {
       if (p->state_ == ProcessState::kTerminated) continue;
       if (!p->fiber_started_) {
         // Body never began: nothing on the fiber stack to unwind.
         mark_terminated(p.get());
         continue;
       }
-      // Resume the suspended fiber; park() throws ProcessKilled, the stack
-      // unwinds through its RAII frames, and fiber_main swaps back here.
+      // Resume the suspended fiber on this (the main) thread; park() throws
+      // ProcessKilled, the stack unwinds through its RAII frames, and
+      // fiber_main swaps back here.
+      p->resume_anchor_ = &sched_ctx_;
       FiberContext::switch_to(sched_ctx_, *p->fiber_);
       DFDBG_DCHECK(p->state_ == ProcessState::kTerminated);
     } else {
@@ -149,15 +212,46 @@ Kernel::~Kernel() {
   }
 }
 
+bool Kernel::uses_fiber_processes() const {
+  if (backend_ == ProcessBackend::kFibers) return true;
+  return parallel_ && !parallel_thread_processes_;
+}
+
 ProcessId Kernel::spawn(std::string name, std::function<void()> body) {
+  int partition = 0;
+  if (parallel_ && t_worker.kernel == this) partition = t_worker.shard;
+  return spawn_in(partition, std::move(name), std::move(body));
+}
+
+ProcessId Kernel::spawn_in(int partition, std::string name, std::function<void()> body) {
   DFDBG_CHECK_MSG(!shutting_down_, "spawn during teardown");
+  if (parallel_) {
+    DFDBG_CHECK_MSG(partition >= 0 && partition < partition_count(),
+                    "spawn_in: partition out of range");
+    // A worker may only spawn into its own partition: another shard's ready
+    // queue is in concurrent use during a round.
+    DFDBG_CHECK_MSG(t_worker.kernel != this || t_worker.shard == partition,
+                    "spawn_in: cross-partition spawn from a worker");
+  } else {
+    DFDBG_CHECK_MSG(partition == 0, "spawn_in: sequential backends have one partition");
+  }
+  // Serialize the process table: workers of distinct shards may spawn
+  // concurrently mid-round. (Lookups race only with mid-run spawns, which
+  // the pedf runtime never performs.)
+  std::unique_lock<std::mutex> lk(spawn_mu_, std::defer_lock);
+  if (parallel_) lk.lock();
   auto id = ProcessId(static_cast<std::uint32_t>(processes_.size()));
   // Private constructor: cannot use make_unique.
   processes_.emplace_back(
       std::unique_ptr<Process>(new Process(this, id, std::move(name), std::move(body))));
   Process* p = processes_.back().get();
+  p->shard_ = partition;
+  if (parallel_) {
+    p->sched_sem_ = &shards_[partition]->sem;
+    p->resume_anchor_ = &shards_[partition]->sched_ctx;
+  }
   name_index_.emplace(p->name(), id);  // keeps the first binding on collision
-  live_count_++;
+  live_count_.fetch_add(1, std::memory_order_relaxed);
   make_ready(p);
   if (obs::enabled()) SchedMetrics::get().spawns.add();
   return id;
@@ -176,17 +270,57 @@ Process* Kernel::process_by_name(std::string_view name) const {
 void Kernel::mark_terminated(Process* p) {
   DFDBG_DCHECK(p->state_ != ProcessState::kTerminated);
   p->state_ = ProcessState::kTerminated;
-  DFDBG_DCHECK(live_count_ > 0);
-  live_count_--;
+  DFDBG_DCHECK(live_count_.load(std::memory_order_relaxed) > 0);
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Kernel::make_ready(Process* p) {
   p->state_ = ProcessState::kReady;
+  std::deque<Process*>& q = parallel_ ? shards_[p->shard_]->ready : ready_;
   if (policy_ == ReadyPolicy::kLifo)
-    ready_.push_front(p);
+    q.push_front(p);
   else
-    ready_.push_back(p);
+    q.push_back(p);
 }
+
+std::uint64_t Kernel::dispatch_count() const {
+  if (!parallel_) return dispatches_;
+  std::uint64_t n = dispatches_;
+  for (const auto& sh : shards_) n += sh->dispatches;
+  return n;
+}
+
+int Kernel::current_partition() const {
+  if (!parallel_ || t_worker.kernel != this) return -1;
+  return t_worker.shard;
+}
+
+void Kernel::add_barrier_task(std::function<bool()> task) {
+  DFDBG_CHECK_MSG(parallel_, "add_barrier_task: parallel backend only");
+  barrier_tasks_.push_back(std::move(task));
+}
+
+void Kernel::hook_dispatch_enter() {
+  if (!parallel_) return;
+  if (t_worker.kernel == this) t_worker.hook_depth++;
+}
+
+void Kernel::hook_dispatch_exit() {
+  if (!parallel_) return;
+  WorkerTls& t = t_worker;
+  if (t.kernel != this || t.hook_depth == 0) return;
+  if (--t.hook_depth == 0 && t.pending_break) {
+    // A hook asked for debug_break() while the dispatch mutex was held;
+    // take the stop now that the mutex is released (parking while holding
+    // it would deadlock this shard's scheduler).
+    t.pending_break = false;
+    debug_break_parallel();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel — sequential backends
+// ---------------------------------------------------------------------------
 
 void Kernel::dispatch(Process* p) {
   DFDBG_DCHECK(p->state_ == ProcessState::kReady);
@@ -208,13 +342,13 @@ void Kernel::dispatch(Process* p) {
       obs::JournalEvent ev;
       ev.time = now_;
       ev.kind = obs::JournalKind::kDispatch;
-      ev.actor = j.intern_name(p->name());
+      ev.actor = journal_name_of(j, p);
       ev.index = p->activations_;
       j.record(ev);
     }
   }
   current_ = p;
-  if (backend_ == ProcessBackend::kFibers) {
+  if (p->fiber_ != nullptr) {
     p->fiber_started_ = true;
     FiberContext::switch_to(sched_ctx_, *p->fiber_);  // until it yields/terminates
   } else {
@@ -225,6 +359,7 @@ void Kernel::dispatch(Process* p) {
 }
 
 RunResult Kernel::run(SimTime until) {
+  if (parallel_) return run_parallel(until);
   DFDBG_CHECK_MSG(current_ == nullptr, "Kernel::run called from process context");
   stop_requested_ = false;
   while (true) {
@@ -234,7 +369,8 @@ RunResult Kernel::run(SimTime until) {
     }
     if (ready_.empty()) {
       if (timed_.empty()) {
-        return live_count_ == 0 ? RunResult::kFinished : RunResult::kDeadlock;
+        return live_count_.load(std::memory_order_relaxed) == 0 ? RunResult::kFinished
+                                                                : RunResult::kDeadlock;
       }
       SimTime t = timed_.top().when;
       if (t > until) {
@@ -258,6 +394,10 @@ RunResult Kernel::run(SimTime until) {
 }
 
 void Kernel::wait(Event& e) {
+  if (parallel_) {
+    wait_parallel(e);
+    return;
+  }
   Process* p = current_;
   DFDBG_CHECK_MSG(p != nullptr, "wait() outside process context");
   p->state_ = ProcessState::kWaitingEvent;
@@ -266,6 +406,10 @@ void Kernel::wait(Event& e) {
 }
 
 void Kernel::advance(SimTime dt) {
+  if (parallel_) {
+    advance_parallel(dt);
+    return;
+  }
   Process* p = current_;
   DFDBG_CHECK_MSG(p != nullptr, "advance() outside process context");
   if (dt == 0) {
@@ -282,6 +426,10 @@ void Kernel::advance(SimTime dt) {
 }
 
 void Kernel::debug_break() {
+  if (parallel_) {
+    debug_break_parallel();
+    return;
+  }
   Process* p = current_;
   DFDBG_CHECK_MSG(p != nullptr, "debug_break() outside process context");
   p->state_ = ProcessState::kReady;
@@ -292,12 +440,330 @@ void Kernel::debug_break() {
 }
 
 void Kernel::notify(Event& e) {
+  if (parallel_) {
+    notify_parallel(e);
+    return;
+  }
   e.notify_count_++;
   for (Process* p : e.waiters_) {
     DFDBG_DCHECK(p->state_ == ProcessState::kWaitingEvent);
     make_ready(p);
   }
   e.waiters_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Kernel — parallel backend
+//
+// Execution model: every partition ("shard") is a sub-kernel — its own ready
+// queue, timed queue and scheduler anchor — drained to quiescence by a
+// dedicated worker thread. The coordinator (the thread that called run())
+// alternates rounds with barriers:
+//
+//   round:   workers drain their shards; processes that wait/advance park as
+//            usual; notifies to events owned by another partition are
+//            *deferred* (recorded, not delivered).
+//   barrier: the coordinator — alone — merges journal shards, delivers the
+//            deferred notifies in partition order, runs registered barrier
+//            tasks (the pedf boundary-ring drain), and, once no delta work
+//            remains, advances virtual time to the earliest timed wakeup
+//            across all shards.
+//
+// Determinism: each shard's drain order is a function of its own queue
+// contents; the coordinator's work happens in fixed (partition, link
+// registration) order; time advances only at global quiescence. Hence the
+// whole schedule — dispatches, token movements, journal merge order — is a
+// pure function of the program and the partition map. With one partition it
+// is the *same* function the sequential backends compute.
+// ---------------------------------------------------------------------------
+
+Process* Kernel::current_parallel() const {
+  if (t_worker.kernel != this) return nullptr;
+  return shards_[t_worker.shard]->current;
+}
+
+void Kernel::ensure_workers_started() {
+  if (workers_started_) return;
+  workers_started_ = true;
+  for (auto& sh : shards_) {
+    int idx = sh->index;
+    sh->thread = std::thread([this, idx] { worker_main(idx); });
+  }
+}
+
+void Kernel::stop_workers() {
+  if (!workers_started_) return;
+  {
+    std::lock_guard<std::mutex> lk(round_mu_);
+    workers_exit_ = true;
+  }
+  round_cv_.notify_all();
+  for (auto& sh : shards_)
+    if (sh->thread.joinable()) sh->thread.join();
+  workers_started_ = false;
+}
+
+void Kernel::worker_main(int shard) {
+  Shard& s = *shards_[shard];
+  t_worker.kernel = this;
+  t_worker.shard = shard;
+  // All journal traffic from this thread (dispatch records, link push/pop
+  // records, token-id allocation) lands in the shard's private buffer.
+  obs::Journal::set_thread_journal(s.journal.get());
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(round_mu_);
+      round_cv_.wait(lk, [&] { return workers_exit_ || round_gen_ != seen; });
+      if (workers_exit_) break;
+      seen = round_gen_;
+    }
+    drain_shard(s);
+    {
+      std::lock_guard<std::mutex> lk(round_mu_);
+      if (--workers_running_ == 0) done_cv_.notify_one();
+    }
+  }
+  obs::Journal::set_thread_journal(nullptr);
+}
+
+void Kernel::run_round() {
+  rounds_++;
+  if (obs::enabled()) SchedMetrics::get().rounds.add();
+  std::unique_lock<std::mutex> lk(round_mu_);
+  round_gen_++;
+  workers_running_ = static_cast<int>(shards_.size());
+  round_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return workers_running_ == 0; });
+}
+
+void Kernel::drain_shard(Shard& s) {
+  while (!s.ready.empty() && !s.stop_round) {
+    Process* p = s.ready.front();
+    s.ready.pop_front();
+    if (p->state_ == ProcessState::kTerminated) continue;
+    dispatch_shard(s, p);
+  }
+}
+
+void Kernel::dispatch_shard(Shard& s, Process* p) {
+  DFDBG_DCHECK(p->state_ == ProcessState::kReady);
+  p->state_ = ProcessState::kRunning;
+  p->activations_++;
+  s.dispatches++;
+  if (obs::enabled()) {
+    SchedMetrics& m = SchedMetrics::get();
+    m.dispatches.add();
+    m.context_switches.add(2);
+    m.ready_depth.observe(s.ready.size());
+    s.m_dispatches->add();
+    obs::Journal& j = *s.journal;
+    if (j.recording()) {
+      obs::JournalEvent ev;
+      ev.time = now_;
+      ev.kind = obs::JournalKind::kDispatch;
+      ev.actor = journal_name_of(j, p);
+      ev.index = p->activations_;
+      j.record(ev);
+    }
+  }
+  s.current = p;
+  if (p->fiber_ != nullptr) {
+    p->fiber_started_ = true;
+    p->resume_anchor_ = &s.sched_ctx;
+    FiberContext::switch_to(s.sched_ctx, *p->fiber_);
+  } else {
+    p->resume_sem_.release();
+    s.sem.acquire();
+  }
+  s.current = nullptr;
+}
+
+void Kernel::wait_parallel(Event& e) {
+  DFDBG_CHECK_MSG(t_worker.kernel == this, "wait() outside process context");
+  Shard& s = *shards_[t_worker.shard];
+  Process* p = s.current;
+  DFDBG_CHECK_MSG(p != nullptr, "wait() outside process context");
+  int expected = -1;
+  if (!e.partition_.compare_exchange_strong(expected, s.index, std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    DFDBG_CHECK_MSG(expected == s.index,
+                    strformat("event '%s' waited from partitions %d and %d — an event's "
+                              "waiters must share one partition (see docs/KERNEL.md)",
+                              e.name().c_str(), expected, s.index));
+  }
+  p->state_ = ProcessState::kWaitingEvent;
+  e.waiters_.push_back(p);
+  p->park();
+}
+
+void Kernel::advance_parallel(SimTime dt) {
+  DFDBG_CHECK_MSG(t_worker.kernel == this, "advance() outside process context");
+  Shard& s = *shards_[t_worker.shard];
+  Process* p = s.current;
+  DFDBG_CHECK_MSG(p != nullptr, "advance() outside process context");
+  if (dt == 0) {
+    make_ready(p);
+    p->park();
+    return;
+  }
+  p->state_ = ProcessState::kWaitingTime;
+  p->wake_time_ = now_ + dt;
+  p->consumed_time_ += dt;
+  s.timed.push(TimedEntry{now_ + dt, s.wait_seq++, p});
+  p->park();
+}
+
+void Kernel::debug_break_parallel() {
+  WorkerTls& t = t_worker;
+  DFDBG_CHECK_MSG(t.kernel == this, "debug_break() outside process context");
+  if (t.hook_depth > 0) {
+    // Called from inside an instrumentation hook: the dispatch mutex is
+    // held. Defer; hook_dispatch_exit() parks once the hooks finish.
+    t.pending_break = true;
+    return;
+  }
+  Shard& s = *shards_[t.shard];
+  Process* p = s.current;
+  DFDBG_CHECK_MSG(p != nullptr, "debug_break() outside process context");
+  p->state_ = ProcessState::kReady;
+  s.ready.push_front(p);  // resume exactly here on the next run()
+  s.stop_round = true;    // this shard ends its round; others drain naturally
+  stop_flag_.store(true, std::memory_order_release);
+  if (obs::enabled()) SchedMetrics::get().breaks.add();
+  p->park();
+}
+
+void Kernel::notify_deliver(Event& e) {
+  e.notify_count_++;
+  for (Process* p : e.waiters_) {
+    DFDBG_DCHECK(p->state_ == ProcessState::kWaitingEvent);
+    make_ready(p);
+  }
+  e.waiters_.clear();
+}
+
+void Kernel::notify_parallel(Event& e) {
+  WorkerTls& t = t_worker;
+  if (t.kernel == this) {
+    if (e.partition_.load(std::memory_order_acquire) == t.shard) {
+      notify_deliver(e);  // same-partition: immediate, exactly like sequential
+      return;
+    }
+    // Cross-partition (or unclaimed): defer to the barrier. Dedupe so one
+    // event is delivered once per barrier no matter how many notifies hit it.
+    if (!e.deferred_pending_.exchange(true, std::memory_order_acq_rel))
+      shards_[t.shard]->deferred_notifies.push_back(&e);
+    return;
+  }
+  // Coordinator/main thread: the simulation is stopped or at a barrier, so
+  // the delivery is race-free — this is how the debugger unties deadlocks.
+  notify_deliver(e);
+}
+
+bool Kernel::notify_if_waiting_parallel(Event& e) {
+  WorkerTls& t = t_worker;
+  if (t.kernel == this) {
+    if (e.partition_.load(std::memory_order_acquire) == t.shard) {
+      if (e.waiters_.empty()) {
+        e.coalesced_count_++;
+        return false;
+      }
+      notify_deliver(e);
+      return true;
+    }
+    // Cross-partition: waiters_ cannot be read here; defer the edge.
+    if (!e.deferred_pending_.exchange(true, std::memory_order_acq_rel))
+      shards_[t.shard]->deferred_notifies.push_back(&e);
+    return true;
+  }
+  if (e.waiters_.empty()) {
+    e.coalesced_count_++;
+    return false;
+  }
+  notify_deliver(e);
+  return true;
+}
+
+void Kernel::merge_shard_journals() {
+  obs::Journal& base = obs::Journal::global_base();
+  for (auto& sh : shards_) base.merge_from(*sh->journal);
+}
+
+bool Kernel::flush_barrier() {
+  bool progress = false;
+  // Deferred notifies first, in partition order: waking a blocked consumer
+  // may let a barrier task below deliver straight into its link.
+  for (auto& sh : shards_) {
+    for (Event* e : sh->deferred_notifies) {
+      e->deferred_pending_.store(false, std::memory_order_relaxed);
+      if (!e->waiters_.empty()) progress = true;
+      notify_deliver(*e);
+    }
+    sh->deferred_notifies.clear();
+  }
+  // Boundary transports (registration order == link creation order).
+  for (auto& task : barrier_tasks_)
+    if (task()) progress = true;
+  return progress;
+}
+
+RunResult Kernel::run_parallel(SimTime until) {
+  DFDBG_CHECK_MSG(t_worker.kernel == nullptr && current() == nullptr,
+                  "Kernel::run called from process context");
+  ensure_workers_started();
+  // Refreshed here, not only at construction: observers typically flip
+  // obs::enabled() after the kernel exists, and a gated set would be lost.
+  if (obs::enabled())
+    obs::Registry::global().gauge("sim.worker.count").set(partition_count());
+  stop_flag_.store(false, std::memory_order_relaxed);
+  for (auto& sh : shards_) sh->stop_round = false;
+  while (true) {
+    bool any_ready = false;
+    for (auto& sh : shards_)
+      if (!sh->ready.empty()) {
+        any_ready = true;
+        break;
+      }
+    if (any_ready) {
+      run_round();
+      merge_shard_journals();
+      flush_barrier();
+      if (stop_flag_.load(std::memory_order_acquire)) {
+        stop_flag_.store(false, std::memory_order_relaxed);
+        return RunResult::kStopped;
+      }
+      continue;
+    }
+    // No shard has ready work; a barrier flush may still create some (e.g.
+    // boundary tokens parked behind a link that just gained space).
+    if (flush_barrier()) continue;
+    // Global quiescence at this virtual time: advance together.
+    SimTime t = kMaxSimTime;
+    bool has_timed = false;
+    for (auto& sh : shards_)
+      if (!sh->timed.empty()) {
+        has_timed = true;
+        if (sh->timed.top().when < t) t = sh->timed.top().when;
+      }
+    if (!has_timed) {
+      return live_count_.load(std::memory_order_relaxed) == 0 ? RunResult::kFinished
+                                                              : RunResult::kDeadlock;
+    }
+    if (t > until) {
+      now_ = until;
+      return RunResult::kTimeLimit;
+    }
+    now_ = t;
+    for (auto& sh : shards_) {
+      while (!sh->timed.empty() && sh->timed.top().when == now_) {
+        Process* p = sh->timed.top().process;
+        sh->timed.pop();
+        make_ready(p);
+        if (obs::enabled()) SchedMetrics::get().timed_wakeups.add();
+      }
+    }
+  }
 }
 
 }  // namespace dfdbg::sim

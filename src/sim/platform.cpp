@@ -8,8 +8,8 @@
 namespace dfdbg::sim {
 
 void MemoryModel::access(Kernel& kernel, std::uint64_t bytes) {
-  accesses_++;
-  bytes_moved_ += bytes;
+  accesses_.fetch_add(1, std::memory_order_relaxed);
+  bytes_moved_.fetch_add(bytes, std::memory_order_relaxed);
   // One latency per access plus one cycle per 8-byte word beyond the first.
   SimTime cost = latency_ + (bytes > 8 ? (bytes - 1) / 8 : 0);
   if (kernel.current() != nullptr) kernel.advance(cost);
@@ -27,16 +27,27 @@ void Pe::execute(Kernel& kernel, SimTime cycles) {
 
 void DmaEngine::transfer(Kernel& kernel, MemoryModel& src, MemoryModel& dst,
                          std::uint64_t bytes) {
-  while (busy_) kernel.wait(free_event_);
-  busy_ = true;
-  transfers_++;
-  bytes_moved_ += bytes;
+  // Parallel backend: engines serve every partition, but the busy flag and
+  // free event assume single-partition use (an event's waiters must share a
+  // partition). With several partitions, exclusivity is waived for workers —
+  // latency is still paid, engine contention is not modelled. A one-worker
+  // parallel kernel keeps full contention modelling, which is what makes its
+  // schedule byte-identical to the sequential backends.
+  bool exclusive = kernel.current_partition() < 0 || kernel.partition_count() == 1;
+  if (exclusive) {
+    while (busy_) kernel.wait(free_event_);
+    busy_ = true;
+  }
+  transfers_.fetch_add(1, std::memory_order_relaxed);
+  bytes_moved_.fetch_add(bytes, std::memory_order_relaxed);
   src.access(kernel, 0);  // count the touch, no extra advance for 0 bytes
   dst.access(kernel, 0);
   SimTime cost = setup_ + (bw_ > 0 ? bytes / bw_ : 0);
   kernel.advance(cost);
-  busy_ = false;
-  kernel.notify(free_event_);
+  if (exclusive) {
+    busy_ = false;
+    kernel.notify(free_event_);
+  }
 }
 
 Platform::Platform(Kernel& kernel, const PlatformConfig& config)

@@ -39,6 +39,13 @@ struct TraceEvent {
   std::uint32_t link = UINT32_MAX;
   std::uint64_t index = 0;  ///< push/pop index or step number
   std::string payload;      ///< rendered value (pushes only)
+  // Parallel-backend provenance: the partition that recorded the event and
+  // its per-partition sequence number. Each worker's stream is deterministic
+  // for a fixed partition map; only the interleaving in the ring is not.
+  // to_csv() sorts by (time, shard, seq) to recover a run-stable order —
+  // the identity permutation on sequential backends (shard -1, seq global).
+  int shard = -1;
+  std::uint64_t seq = 0;
 };
 
 /// Aggregated per-link statistics computed while tracing.
@@ -86,6 +93,10 @@ class TraceCollector {
   [[nodiscard]] std::uint32_t busiest_link() const;
 
  private:
+  /// Stamps shard + per-shard sequence onto `ev` and appends it. Safe under
+  /// the parallel backend: hooks run holding the port's dispatch mutex.
+  void push_event(TraceEvent ev);
+
   pedf::Application& app_;
   RingBuffer<TraceEvent> events_;
   bool record_payloads_;
@@ -93,6 +104,7 @@ class TraceCollector {
   std::vector<sim::HookId> hooks_;
   std::map<std::uint32_t, LinkStats> stats_;
   std::map<std::string, std::uint64_t> firings_;
+  std::map<int, std::uint64_t> shard_seq_;  ///< next seq per recording shard
 };
 
 }  // namespace dfdbg::trace

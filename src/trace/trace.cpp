@@ -1,5 +1,7 @@
 #include "dfdbg/trace/trace.hpp"
 
+#include <algorithm>
+
 #include "dfdbg/common/strings.hpp"
 
 namespace dfdbg::trace {
@@ -48,7 +50,7 @@ void TraceCollector::attach() {
     st.pushes++;
     std::size_t occ = static_cast<std::size_t>(st.pushes - st.pops);
     if (occ > st.max_occupancy) st.max_occupancy = occ;
-    events_.push(std::move(ev));
+    push_event(std::move(ev));
   }));
   hooks_.push_back(port.add_exit_hook(syms.link_pop, [this, now](Frame& f) {
     TraceEvent ev;
@@ -58,7 +60,7 @@ void TraceCollector::attach() {
     ev.link = static_cast<std::uint32_t>(f.arg("link")->u64);
     ev.index = f.arg("index")->u64;
     stats_[ev.link].pops++;
-    events_.push(std::move(ev));
+    push_event(std::move(ev));
   }));
   hooks_.push_back(port.add_enter_hook(syms.work_enter, [this, now](Frame& f) {
     TraceEvent ev;
@@ -67,14 +69,14 @@ void TraceCollector::attach() {
     ev.actor = f.arg("actor")->str;
     ev.index = f.arg("firing")->u64;
     firings_[ev.actor]++;
-    events_.push(std::move(ev));
+    push_event(std::move(ev));
   }));
   hooks_.push_back(port.add_enter_hook(syms.work_exit, [this, now](Frame& f) {
     TraceEvent ev;
     ev.time = now();
     ev.kind = TraceKind::kWorkExit;
     ev.actor = f.arg("actor")->str;
-    events_.push(std::move(ev));
+    push_event(std::move(ev));
   }));
   hooks_.push_back(port.add_enter_hook(syms.actor_start, [this, now](Frame& f) {
     TraceEvent ev;
@@ -82,7 +84,7 @@ void TraceCollector::attach() {
     ev.kind = TraceKind::kActorStart;
     ev.actor = f.arg("filter")->str;
     ev.index = f.arg("step")->u64;
-    events_.push(std::move(ev));
+    push_event(std::move(ev));
   }));
   hooks_.push_back(port.add_enter_hook(syms.step_begin, [this, now](Frame& f) {
     TraceEvent ev;
@@ -90,7 +92,7 @@ void TraceCollector::attach() {
     ev.kind = TraceKind::kStepBegin;
     ev.actor = f.arg("module")->str;
     ev.index = f.arg("step")->u64;
-    events_.push(std::move(ev));
+    push_event(std::move(ev));
   }));
   hooks_.push_back(port.add_enter_hook(syms.step_end, [this, now](Frame& f) {
     TraceEvent ev;
@@ -98,9 +100,15 @@ void TraceCollector::attach() {
     ev.kind = TraceKind::kStepEnd;
     ev.actor = f.arg("module")->str;
     ev.index = f.arg("step")->u64;
-    events_.push(std::move(ev));
+    push_event(std::move(ev));
   }));
   attached_ = true;
+}
+
+void TraceCollector::push_event(TraceEvent ev) {
+  ev.shard = app_.kernel().current_partition();
+  ev.seq = shard_seq_[ev.shard]++;
+  events_.push(std::move(ev));
 }
 
 void TraceCollector::detach() {
@@ -138,12 +146,25 @@ std::uint64_t TraceCollector::firings(const std::string& actor_path) const {
 }
 
 std::string TraceCollector::to_csv() const {
+  // Recover a run-stable total order: (time, shard, seq). On the sequential
+  // backends every event carries shard -1 and a globally monotonic seq, so
+  // the sort is the identity permutation and existing goldens are unchanged.
+  // Under the parallel backend each shard's (time, seq) stream is
+  // deterministic for a fixed partition map; only the ring interleaving is
+  // wall-clock dependent, and the sort removes exactly that.
+  std::vector<const TraceEvent*> order;
+  order.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) order.push_back(&events_.at(i));
+  std::stable_sort(order.begin(), order.end(), [](const TraceEvent* a, const TraceEvent* b) {
+    if (a->time != b->time) return a->time < b->time;
+    if (a->shard != b->shard) return a->shard < b->shard;
+    return a->seq < b->seq;
+  });
   std::string out = "time,kind,actor,link,index,payload\n";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const TraceEvent& e = events_.at(i);
-    out += strformat("%llu,%s,%s,%u,%llu,%s\n", static_cast<unsigned long long>(e.time),
-                     to_string(e.kind), e.actor.c_str(), e.link,
-                     static_cast<unsigned long long>(e.index), e.payload.c_str());
+  for (const TraceEvent* e : order) {
+    out += strformat("%llu,%s,%s,%u,%llu,%s\n", static_cast<unsigned long long>(e->time),
+                     to_string(e->kind), e->actor.c_str(), e->link,
+                     static_cast<unsigned long long>(e->index), e->payload.c_str());
   }
   return out;
 }

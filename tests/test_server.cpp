@@ -123,10 +123,21 @@ TEST(ServerProtocol, ErrorFramesCarryStableCodeString) {
 
 // --- golden protocol transcript ---------------------------------------------
 
+/// Pins the process backend for one test. The golden transcript embeds the
+/// live backend/workers fields from `capabilities` and `info_sched`, so it is
+/// compared under the fibers backend regardless of DFDBG_PROCESS_BACKEND
+/// (the check_build.sh sweep runs this binary under all three).
+struct FibersBackendGuard {
+  sim::ProcessBackend prev = sim::default_process_backend();
+  FibersBackendGuard() { sim::set_default_process_backend(sim::ProcessBackend::kFibers); }
+  ~FibersBackendGuard() { sim::set_default_process_backend(prev); }
+};
+
 /// Deterministic pre-run request sequence: every verb's framing pinned
 /// byte-for-byte. Run with DFDBG_REGEN_GOLDEN=1 to regenerate after an
 /// intentional protocol change (document it in docs/PROTOCOL.md!).
 TEST(ServerProtocol, GoldenTranscript) {
+  FibersBackendGuard backend_guard;
   Rig rig;
   const char* requests[] = {
       R"({"jsonrpc":"2.0","id":1,"method":"ping"})",

@@ -126,6 +126,8 @@ struct Model {
   std::uint64_t journal_events = 0;
   std::uint64_t gap_total = 0;     ///< journal events lost to ring laps
   std::string last_run_event;
+  std::string backend;             ///< from capabilities: active process backend
+  std::uint64_t workers = 0;       ///< from capabilities: partition count
 };
 
 /// One journal event object -> one compact tail line.
@@ -192,6 +194,9 @@ void render(const Model& m, bool ansi) {
                    static_cast<unsigned long long>(m.frames),
                    static_cast<unsigned long long>(m.journal_events),
                    static_cast<unsigned long long>(m.gap_total));
+  if (!m.backend.empty())
+    scr += strformat("backend: %s  workers=%llu\n", m.backend.c_str(),
+                     static_cast<unsigned long long>(m.workers));
   if (!m.last_run_event.empty()) scr += strformat("last stop: %s\n", m.last_run_event.c_str());
   scr += "\nlinks                                  occupancy  d_push  d_pop\n";
   for (const auto& [name, l] : m.links) {
@@ -268,6 +273,8 @@ int main(int argc, char** argv) {
   // and notifications interleave; we route on the presence of `id`.
   std::string handshake;
   int next_id = 1;
+  const int cap_id = next_id;
+  handshake += strformat("{\"jsonrpc\":\"2.0\",\"id\":%d,\"method\":\"capabilities\"}\n", next_id++);
   for (const char* stream : {"journal", "info_flow", "stats", "run_events"})
     handshake += strformat(
         "{\"jsonrpc\":\"2.0\",\"id\":%d,\"method\":\"subscribe\",\"params\":{\"stream\":\"%s\"}}\n",
@@ -295,6 +302,12 @@ int main(int argc, char** argv) {
       if (parsed->find("error") != nullptr) {
         std::fprintf(stderr, "error response: %s\n", frame.c_str());
         rc = 1;
+      }
+      if (id->as_i64() == cap_id) {
+        if (const JsonValue* r = parsed->find("result"); r != nullptr) {
+          model.backend = r->str_or("backend");
+          model.workers = r->u64_or("workers", 0);
+        }
       }
       // The `run` response means the simulation ended: final paint + exit.
       if (do_run && id->as_i64() == run_id) done = true;
