@@ -412,6 +412,85 @@ void BM_ParallelScaling(benchmark::State& state) {
 BENCHMARK(BM_ParallelScaling)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// Wall cost of the shard time-attribution profiler: BM_ParallelScaling's
+// 4-worker case with obs disabled (Arg 0, the zero-cost claim) vs enabled
+// (Arg 1, clock reads + round records + histograms on every barrier round).
+// The acceptance bar is enabled/disabled wall <= 1.10x.
+void BM_ParallelAttribution(benchmark::State& state) {
+  const bool attributed = state.range(0) != 0;
+  const bool saved_obs = obs::enabled();
+  obs::set_enabled(attributed);
+  benchutil::WideGraphConfig cfg;
+  cfg.pipelines = 16;
+  cfg.stages = 2;
+  cfg.tokens = 256;
+  cfg.spin = 4000;
+  std::uint64_t tokens = 0;
+  std::uint64_t rounds = 0;
+  double secs = 0.0;
+  for (auto _ : state) {
+    auto w = benchutil::build_wide_world(cfg, sim::ProcessBackend::kParallel, 4);
+    secs += benchutil::time_s([&] { benchutil::run_wide_world(*w); });
+    DFDBG_CHECK_MSG(benchutil::sink_checksum(*w) == w->expected_checksum,
+                    "wide graph checksum mismatch");
+    tokens += w->expected_tokens;
+    rounds += w->kernel->round_count();
+    // The zero-cost claim, checked in-band: no records accumulate while off.
+    DFDBG_CHECK(attributed || w->kernel->round_records().empty());
+  }
+  obs::set_enabled(saved_obs);
+  state.SetLabel(attributed ? "obs_on" : "obs_off");
+  state.counters["attributed"] = attributed ? 1 : 0;
+  state.counters["tokens_per_sec"] = secs > 0 ? static_cast<double>(tokens) / secs : 0;
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["host_cpus"] = static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ParallelAttribution)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The adaptive partitioner on a deliberately skewed wide graph: lane p
+// carries 1+p stages, so the cluster-modulo map (whole lane -> worker p%K)
+// is load-imbalanced by construction (max worker load 12/36 stage-tokens vs
+// the 9/36 ideal at K=4), while kAdaptive re-places individual stages by
+// their recorded activations (LPT). Arg 0 = cluster-modulo baseline, Arg 1 =
+// adaptive driven by a profile taken from one untimed modulo run. The
+// acceptance bar is adaptive tokens_per_sec >= modulo tokens_per_sec.
+void BM_AdaptivePartition(benchmark::State& state) {
+  const bool adaptive = state.range(0) != 0;
+  benchutil::WideGraphConfig cfg;
+  cfg.pipelines = 8;
+  cfg.stages = 1;
+  cfg.stage_skew = 1;
+  cfg.tokens = 128;
+  cfg.spin = 4000;
+  const int workers = 4;
+  // Profiling run: cluster-modulo, untimed, both arms (so setup cost is
+  // symmetric); its activation counts drive the adaptive arm.
+  std::map<std::string, std::uint64_t> profile;
+  {
+    auto w = benchutil::build_wide_world(cfg, sim::ProcessBackend::kParallel, workers);
+    benchutil::run_wide_world(*w);
+    profile = w->app->dispatch_profile();
+  }
+  std::uint64_t tokens = 0;
+  double secs = 0.0;
+  for (auto _ : state) {
+    auto w = benchutil::build_wide_world(cfg, sim::ProcessBackend::kParallel, workers);
+    if (adaptive) {
+      w->app->set_partition_policy(pedf::Application::PartitionPolicy::kAdaptive);
+      w->app->set_partition_profile(profile);
+    }
+    secs += benchutil::time_s([&] { benchutil::run_wide_world(*w); });
+    DFDBG_CHECK_MSG(benchutil::sink_checksum(*w) == w->expected_checksum,
+                    "skewed wide graph checksum mismatch");
+    tokens += w->expected_tokens;
+  }
+  state.SetLabel(adaptive ? "adaptive" : "cluster_modulo");
+  state.counters["adaptive"] = adaptive ? 1 : 0;
+  state.counters["tokens_per_sec"] = secs > 0 ? static_cast<double>(tokens) / secs : 0;
+  state.counters["host_cpus"] = static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_AdaptivePartition)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -144,6 +144,7 @@ for backend in fibers threads; do
     ':subscribe {"stream":"info_flow"}' \
     ':subscribe {"stream":"stats"}' \
     ':subscribe {"stream":"run_events"}' \
+    ':subscribe {"stream":"shard_rounds"}' \
     ':run' \
     ':unsubscribe' \
     ':shutdown' \
@@ -154,10 +155,11 @@ for backend in fibers threads; do
     python3 - "$out" <<'PYEOF'
 import json, sys
 frames = [json.loads(ln) for ln in open(sys.argv[1]) if ln.strip()]
-streams = {"journal.delta", "flow.snapshot", "stats.delta", "run.event"}
+streams = {"journal.delta", "flow.snapshot", "stats.delta", "run.event",
+           "shard.rounds"}
 responses = [f for f in frames if "id" in f]
 notifs = [f for f in frames if "id" not in f]
-assert len(responses) == 7, f"expected 7 responses, got {len(responses)}"
+assert len(responses) == 8, f"expected 8 responses, got {len(responses)}"
 for f in responses:
     assert "error" not in f, f"error frame: {f}"
 for n in notifs:
@@ -189,6 +191,56 @@ PYEOF
   fi
   rm -f "$sock"
 done
+
+echo "== shard-profile gate (parallel backend) =="
+# The shard_rounds stream only carries data under the parallel backend: one
+# notification batch per barrier-round window, one partitions[] entry per
+# worker (docs/OBSERVABILITY.md "Shard profile"). info_shards must agree on
+# the worker count.
+sock="build/dfdbg_shards.sock"
+rm -f "$sock"
+DFDBG_PROCESS_BACKEND=parallel DFDBG_PARALLEL_WORKERS=2 \
+  ./build/tools/dfdbg-serve --unix "$sock" >"build/serve_shards.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { echo "FAIL: dfdbg-serve died"; cat "build/serve_shards.log"; exit 1; }
+  sleep 0.05
+done
+[ -S "$sock" ] || { echo "FAIL: dfdbg-serve never listened"; exit 1; }
+out="build/shards_check.txt"
+printf '%s\n' \
+  ':subscribe {"stream":"shard_rounds"}' \
+  ':run' \
+  ':info_shards' \
+  ':shutdown' \
+  | ./build/tools/dfdbg-client --unix "$sock" --raw --drain >"$out" \
+  || { echo "FAIL: dfdbg-client exited non-zero"; cat "$out"; exit 1; }
+wait "$serve_pid" || { echo "FAIL: dfdbg-serve exited non-zero"; exit 1; }
+if [ "$have_python" -eq 1 ]; then
+  python3 - "$out" <<'PYEOF'
+import json, sys
+frames = [json.loads(ln) for ln in open(sys.argv[1]) if ln.strip()]
+for f in frames:
+    assert "error" not in f, f"error frame: {f}"
+rounds = 0
+for n in (f for f in frames if f.get("method") == "shard.rounds"):
+    for r in n["params"]["rounds"]:
+        assert len(r["partitions"]) == 2, f"expected 2 partitions: {r}"
+        for key in ("round", "vtime", "wall_ns", "drain_ns", "boundary_hwm"):
+            assert key in r, f"round record missing {key}: {r}"
+        rounds += 1
+assert rounds > 0, "no shard.rounds pushed during a parallel run"
+shards = next(f for f in frames
+              if "id" in f and "shards" in f.get("result", {}))["result"]
+assert shards["backend"] == "parallel", f"wrong backend: {shards}"
+assert shards["workers"] == 2 and len(shards["shards"]) == 2, f"bad workers: {shards}"
+print(f"ok: {rounds} barrier round(s) streamed, info_shards agrees")
+PYEOF
+else
+  grep -q '"shard.rounds"' "$out" || { echo "FAIL: no shard.rounds frames"; exit 1; }
+fi
+rm -f "$sock"
 
 echo "== dashboard smoke (dfdbg-top) =="
 # dfdbg-top subscribes to every stream and renders from pushed frames alone;
@@ -269,5 +321,16 @@ for ln in sys.stdin:
   fi
   echo "ok: $name ($lines BENCH_JSON lines)"
 done
+
+echo "== bench regression report (non-fatal) =="
+# Diff the newest two committed BENCH_*.json aggregates and surface any
+# >20% ns_per_op growth in the build log. Informational only: benchmark
+# noise on shared CI hardware would make a hard gate flaky.
+if [ "$have_python" -eq 1 ]; then
+  python3 scripts/bench_compare.py \
+    || echo "note: throughput regressions flagged above (non-fatal)"
+else
+  echo "-- python3 unavailable; skipping bench comparison"
+fi
 
 echo "ALL BUILD CHECKS PASSED"

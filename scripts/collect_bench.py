@@ -7,7 +7,7 @@ measurement through the shared JsonLineReporter:
     BENCH_JSON {"name":"BM_JournalOverhead/1","backend":"fibers",...}
 
 This script sweeps the built binaries, scrapes those lines, and writes one
-aggregate document (default: BENCH_PR7.json at the repository root) so a PR
+aggregate document (default: BENCH_PR8.json at the repository root) so a PR
 can commit its measured numbers alongside the code that produced them.
 
 Standard library only; no third-party dependencies.
@@ -27,12 +27,22 @@ import sys
 
 
 def scrape_bench_json(stdout):
-    """Parses every `BENCH_JSON {...}` line; raises on a malformed record."""
+    """Parses every `BENCH_JSON {...}` line.
+
+    A malformed record is an error, not a skip: silently dropping it would
+    let a broken reporter pass the sweep with a truncated aggregate.
+    """
     records = []
-    for line in stdout.splitlines():
+    for lineno, line in enumerate(stdout.splitlines(), start=1):
         if not line.startswith("BENCH_JSON "):
             continue
-        records.append(json.loads(line[len("BENCH_JSON "):]))
+        payload = line[len("BENCH_JSON "):]
+        try:
+            records.append(json.loads(payload))
+        except json.JSONDecodeError as e:
+            raise RuntimeError(
+                f"malformed BENCH_JSON record on stdout line {lineno}: "
+                f"{e} in: {payload[:200]}") from e
     return records
 
 
@@ -52,8 +62,8 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(repo, "build"),
                     help="CMake build tree holding bench/bench_* (default: build)")
-    ap.add_argument("--out", default=os.path.join(repo, "BENCH_PR7.json"),
-                    help="aggregate output path (default: BENCH_PR7.json)")
+    ap.add_argument("--out", default=os.path.join(repo, "BENCH_PR8.json"),
+                    help="aggregate output path (default: BENCH_PR8.json)")
     ap.add_argument("--min-time", type=float, default=0.05,
                     help="google-benchmark --benchmark_min_time per bench (s)")
     ap.add_argument("--only", default=None,

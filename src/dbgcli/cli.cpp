@@ -412,7 +412,7 @@ Status Interpreter::cmd_graph(const std::vector<std::string>& args) {
 }
 
 Status Interpreter::cmd_info(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: info <links|breakpoints|sched|actors|tokens>");
+  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: info <links|breakpoints|sched|actors|tokens|profile|shards|flow>");
   if (args[0] == "links") {
     console_.print(render_text(session_.links_view()));
     return Status{};
@@ -441,6 +441,10 @@ Status Interpreter::cmd_info(const std::vector<std::string>& args) {
   }
   if (args[0] == "profile") {
     console_.print(render_text(session_.profile_snapshot()));
+    return Status{};
+  }
+  if (args[0] == "shards") {
+    console_.print(render_text(session_.shard_profile()));
     return Status{};
   }
   if (args[0] == "tokens") {
@@ -636,11 +640,17 @@ Status Interpreter::cmd_stats(const std::vector<std::string>& args) {
     console_.println(strformat("[%zu instrument(s) changed]", changed));
     return Status{};
   }
-  return Status::error(ErrCode::kInvalidArgument, "usage: stats [reset|json|delta]");
+  if (args[0] == "prom") {
+    console_.print(reg.to_prometheus());
+    return Status{};
+  }
+  return Status::error(ErrCode::kInvalidArgument, "usage: stats [reset|json|delta|prom]");
 }
 
 Status Interpreter::cmd_trace(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::error(ErrCode::kInvalidArgument, "usage: trace on [capacity] | off | stats");
+  if (args.empty())
+    return Status::error(ErrCode::kInvalidArgument,
+                         "usage: trace on [capacity] | off | stats | shards <file>");
   if (args[0] == "on") {
     if (trace_ != nullptr && trace_->attached())
       return Status::error(ErrCode::kFailedPrecondition, "trace collector already attached");
@@ -670,7 +680,22 @@ Status Interpreter::cmd_trace(const std::vector<std::string>& args) {
     console_.print(trace_->summary());
     return Status{};
   }
-  return Status::error(ErrCode::kInvalidArgument, "usage: trace on [capacity] | off | stats");
+  if (args[0] == "shards") {
+    // Shard time-attribution export reads the kernel's round ring directly;
+    // no TraceCollector needed (it only fills under the parallel backend
+    // with metrics enabled — see docs/OBSERVABILITY.md "Shard profile").
+    if (args.size() != 2)
+      return Status::error(ErrCode::kInvalidArgument, "usage: trace shards <file>");
+    const sim::Kernel& k = session_.app().kernel();
+    Status s = trace::write_shard_chrome_trace(args[1], k);
+    if (!s.ok()) return s;
+    console_.println(strformat("[Shard trace written to %s: %d worker track(s), %zu round(s)]",
+                               args[1].c_str(), k.partition_count(),
+                               k.round_records().size()));
+    return Status{};
+  }
+  return Status::error(ErrCode::kInvalidArgument,
+                       "usage: trace on [capacity] | off | stats | shards <file>");
 }
 
 Status Interpreter::cmd_profile(const std::vector<std::string>& args) {
@@ -837,14 +862,15 @@ std::string Interpreter::help_text() {
       "  list [<f> [line]] / print <expr>  source listing, $N / <f>.data.<x> eval\n"
       "  tok insert|del|set <iface> ...    alter the token flow (while stopped)\n"
       "  graph [tokens] [> file]           reconstructed graph as DOT\n"
-      "  info links|breakpoints|sched <m>|actors|tokens|profile\n"
+      "  info links|breakpoints|sched <m>|actors|tokens|profile|shards\n"
       "  ignore <bp> <count>               skip the next <count> triggers\n"
       "  enable|disable <bp|data-exchange> breakpoint control (option 1)\n"
       "  focus <iface...> / unfocus        framework cooperation (option 2)\n"
       "  save <file> / source <script>     persist & replay the session setup\n"
       "  export [file]                     session state as JSON (for UIs)\n"
-      "  stats [reset|json|delta]          debugger self-metrics (obs registry)\n"
+      "  stats [reset|json|delta|prom]     debugger self-metrics (obs registry)\n"
       "  trace on [capacity] | off | stats offline event collection window\n"
+      "  trace shards <file>               shard attribution as Perfetto JSON\n"
       "  profile export <file.json>        trace window as Chrome/Perfetto JSON\n"
       "  journal [last N|tail [cur]|dump <f> [--json]|capacity N|on|off|clear]  flight recorder\n"
       "  whence <a::p> <slot> [depth] [--json]   causal chain of a queued token\n"

@@ -19,6 +19,7 @@ namespace dfdbg::cli {
 [[nodiscard]] std::string render_text(const dbg::WhenceChain& v);
 [[nodiscard]] std::string render_text(const dbg::LinkTokensView& v);
 [[nodiscard]] std::string render_text(const dbg::ProfileSnapshot& v);
+[[nodiscard]] std::string render_text(const dbg::ShardProfileView& v);
 
 /// The legacy inline-error body of a failed query: "<" + message + ">".
 [[nodiscard]] std::string render_error(const Status& s);

@@ -122,6 +122,26 @@ std::string render_text(const dbg::ProfileSnapshot& v) {
   return out;
 }
 
+std::string render_text(const dbg::ShardProfileView& v) {
+  std::string out = strformat("backend=%s workers=%d rounds=%llu records=%llu hwm=%llu\n",
+                              v.backend.c_str(), v.workers, static_cast<ull>(v.rounds),
+                              static_cast<ull>(v.records), static_cast<ull>(v.boundary_hwm));
+  if (v.rows.empty()) {
+    out += "  (no shard attribution: parallel backend only)\n";
+    return out;
+  }
+  out += strformat("%-8s %12s %8s %13s %13s %13s %13s %6s\n", "worker", "dispatches", "stalls",
+                   "work ns", "wait ns", "drain ns", "idle ns", "util");
+  for (const dbg::ShardRow& r : v.rows) {
+    out += strformat("%-8d %12llu %8llu %13llu %13llu %13llu %13llu %5.1f%%\n", r.partition,
+                     static_cast<ull>(r.dispatches), static_cast<ull>(r.stalled_rounds),
+                     static_cast<ull>(r.work_ns), static_cast<ull>(r.barrier_wait_ns),
+                     static_cast<ull>(r.drain_ns), static_cast<ull>(r.idle_ns),
+                     r.utilization * 100.0);
+  }
+  return out;
+}
+
 std::string render_error(const Status& s) { return "<" + s.message() + ">"; }
 
 }  // namespace dfdbg::cli

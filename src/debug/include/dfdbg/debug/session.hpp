@@ -207,6 +207,11 @@ class Session {
   /// per actor firings, mapped PE, simulated cycles consumed and scheduler
   /// activations, straight from the live kernel/platform state.
   [[nodiscard]] ProfileSnapshot profile_snapshot() const;
+  /// `info shards`: the parallel backend's per-worker time attribution
+  /// (work / barrier-wait / drain / idle buckets, stall counts, boundary
+  /// occupancy high-water). Valid on any backend; rows are empty unless the
+  /// kernel is parallel.
+  [[nodiscard]] ShardProfileView shard_profile() const;
 
   // DEPRECATED string-rendered queries, kept as shims for one PR: each is
   // `render_text(<view>)` / `"<" + status.message() + ">"` on error, exactly

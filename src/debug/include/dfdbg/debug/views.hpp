@@ -22,6 +22,10 @@
 #include "dfdbg/common/json.hpp"
 #include "dfdbg/sim/time.hpp"
 
+namespace dfdbg::sim {
+struct BarrierRoundRecord;
+}
+
 namespace dfdbg::dbg {
 
 struct BreakpointInfo;
@@ -133,6 +137,31 @@ struct ProfileSnapshot {
   std::vector<ProfileRow> rows;
 };
 
+/// One worker row of `info shards`: the cumulative attribution buckets of
+/// sim::Kernel::shard_totals.
+struct ShardRow {
+  int partition = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t stalled_rounds = 0;
+  std::uint64_t work_ns = 0;
+  std::uint64_t barrier_wait_ns = 0;
+  std::uint64_t drain_ns = 0;
+  std::uint64_t idle_ns = 0;
+  /// work / (work + barrier-wait + drain + idle); 0 when nothing recorded.
+  double utilization = 0.0;
+};
+
+/// `info shards` — parallel-backend shard time attribution. On sequential
+/// backends `workers` is 1 and `rows` is empty.
+struct ShardProfileView {
+  std::string backend;  ///< active process backend spelling
+  int workers = 1;
+  std::uint64_t rounds = 0;        ///< barrier rounds completed
+  std::uint64_t records = 0;       ///< retained BarrierRoundRecords
+  std::uint64_t boundary_hwm = 0;  ///< max boundary occupancy over records
+  std::vector<ShardRow> rows;
+};
+
 // --- wire encoding ----------------------------------------------------------
 // One serializer for every consumer (server verbs, CLI --json): each view
 // becomes one JSON value written into `w`. Schemas in docs/PROTOCOL.md.
@@ -144,6 +173,10 @@ void to_json(JsonWriter& w, const TokenView& v);
 void to_json(JsonWriter& w, const WhenceChain& v);
 void to_json(JsonWriter& w, const LinkTokensView& v);
 void to_json(JsonWriter& w, const ProfileSnapshot& v);
+void to_json(JsonWriter& w, const ShardProfileView& v);
+/// Wire form of one attribution round (the `shard_rounds` stream payload and
+/// dfdbg-top's worker panel input).
+void to_json(JsonWriter& w, const sim::BarrierRoundRecord& r);
 void to_json(JsonWriter& w, const BreakpointInfo& v);
 void to_json(JsonWriter& w, const StopEvent& v);
 void to_json(JsonWriter& w, const RunOutcome& v);

@@ -192,6 +192,34 @@ ProfileSnapshot Session::profile_snapshot() const {
   return v;
 }
 
+ShardProfileView Session::shard_profile() const {
+  const sim::Kernel& k = app_.kernel();
+  ShardProfileView v;
+  v.backend = sim::to_string(k.backend());
+  v.workers = k.partition_count();
+  v.rounds = k.round_count();
+  v.records = k.round_records().size();
+  for (const sim::BarrierRoundRecord& r : k.round_records())
+    if (r.boundary_hwm > v.boundary_hwm) v.boundary_hwm = r.boundary_hwm;
+  if (!k.parallel()) return v;
+  for (int p = 0; p < v.workers; ++p) {
+    sim::Kernel::ShardTotals t = k.shard_totals(p);
+    ShardRow row;
+    row.partition = p;
+    row.dispatches = t.dispatches;
+    row.stalled_rounds = t.stalled_rounds;
+    row.work_ns = t.work_ns;
+    row.barrier_wait_ns = t.barrier_wait_ns;
+    row.drain_ns = t.drain_ns;
+    row.idle_ns = t.idle_ns;
+    const std::uint64_t total = t.work_ns + t.barrier_wait_ns + t.drain_ns + t.idle_ns;
+    if (total > 0)
+      row.utilization = static_cast<double>(t.work_ns) / static_cast<double>(total);
+    v.rows.push_back(row);
+  }
+  return v;
+}
+
 // ---------------------------------------------------------------------------
 // Wire encoding (the one serializer; schemas in docs/PROTOCOL.md)
 // ---------------------------------------------------------------------------
@@ -301,6 +329,50 @@ void to_json(JsonWriter& w, const ProfileSnapshot& v) {
         .kv("firings", r.firings)
         .kv("cycles", r.cycles)
         .kv("activations", r.activations)
+        .end_object();
+  }
+  w.end_array().end_object();
+}
+
+void to_json(JsonWriter& w, const ShardProfileView& v) {
+  w.begin_object()
+      .kv("backend", v.backend)
+      .kv("workers", static_cast<std::uint64_t>(v.workers))
+      .kv("rounds", v.rounds)
+      .kv("records", v.records)
+      .kv("boundary_hwm", v.boundary_hwm)
+      .key("shards")
+      .begin_array();
+  for (const ShardRow& r : v.rows) {
+    w.begin_object()
+        .kv("partition", static_cast<std::uint64_t>(r.partition))
+        .kv("dispatches", r.dispatches)
+        .kv("stalled_rounds", r.stalled_rounds)
+        .kv("work_ns", r.work_ns)
+        .kv("barrier_wait_ns", r.barrier_wait_ns)
+        .kv("drain_ns", r.drain_ns)
+        .kv("idle_ns", r.idle_ns)
+        .kv("utilization", r.utilization)
+        .end_object();
+  }
+  w.end_array().end_object();
+}
+
+void to_json(JsonWriter& w, const sim::BarrierRoundRecord& r) {
+  w.begin_object()
+      .kv("round", r.round)
+      .kv("vtime", static_cast<std::uint64_t>(r.vtime))
+      .kv("wall_ns", r.wall_ns)
+      .kv("drain_ns", r.drain_ns)
+      .kv("boundary_hwm", r.boundary_hwm)
+      .key("partitions")
+      .begin_array();
+  for (const auto& p : r.partitions) {
+    w.begin_object()
+        .kv("dispatches", p.dispatches)
+        .kv("work_ns", p.work_ns)
+        .kv("wait_ns", p.wait_ns)
+        .kv("stalled", p.stalled)
         .end_object();
   }
   w.end_array().end_object();

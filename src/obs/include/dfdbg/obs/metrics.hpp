@@ -201,6 +201,13 @@ class Registry {
   /// from the log2 buckets — not the raw bucket array.
   [[nodiscard]] std::string to_json() const;
 
+  /// Prometheus text exposition format (version 0.0.4). Instrument names are
+  /// sanitized (non-[a-zA-Z0-9_] -> '_') and prefixed `dfdbg_`: counters as
+  /// `counter`, gauges as `gauge` (high-water as a second `<name>_max`
+  /// series), histograms as `summary` with p50/p90/p99 quantile labels plus
+  /// `_sum`/`_count` series, matching to_json()'s estimates.
+  [[nodiscard]] std::string to_prometheus() const;
+
   /// Changed-keys delta against `prev`, in to_json()'s shape but holding
   /// only instruments whose value moved since the snapshot (counters by
   /// value, gauges by value/high-water, histograms by count/sum — emitted

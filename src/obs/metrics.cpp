@@ -172,6 +172,51 @@ std::string histogram_json(const std::string& name, const Histogram& h) {
 }
 }  // namespace
 
+namespace {
+/// Prometheus metric-name sanitizer: `sim.worker.0.dispatch` ->
+/// `dfdbg_sim_worker_0_dispatch`.
+std::string prom_name(const std::string& s) {
+  std::string out = "dfdbg_";
+  out.reserve(out.size() + s.size());
+  for (char c : s) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, c] : counters()) {
+    std::string n = prom_name(name);
+    out += strformat("# TYPE %s counter\n%s %llu\n", n.c_str(), n.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges()) {
+    std::string n = prom_name(name);
+    out += strformat("# TYPE %s gauge\n%s %lld\n", n.c_str(), n.c_str(),
+                     static_cast<long long>(g->value()));
+    out += strformat("# TYPE %s_max gauge\n%s_max %lld\n", n.c_str(), n.c_str(),
+                     static_cast<long long>(g->max()));
+  }
+  for (const auto& [name, h] : histograms()) {
+    std::string n = prom_name(name);
+    out += strformat("# TYPE %s summary\n", n.c_str());
+    out += strformat("%s{quantile=\"0.5\"} %llu\n", n.c_str(),
+                     static_cast<unsigned long long>(h->percentile(0.50)));
+    out += strformat("%s{quantile=\"0.9\"} %llu\n", n.c_str(),
+                     static_cast<unsigned long long>(h->percentile(0.90)));
+    out += strformat("%s{quantile=\"0.99\"} %llu\n", n.c_str(),
+                     static_cast<unsigned long long>(h->percentile(0.99)));
+    out += strformat("%s_sum %llu\n%s_count %llu\n", n.c_str(),
+                     static_cast<unsigned long long>(h->sum()), n.c_str(),
+                     static_cast<unsigned long long>(h->count()));
+  }
+  return out;
+}
+
 std::string Registry::to_json() const {
   std::string out = "{\"counters\":{";
   bool first = true;

@@ -448,6 +448,10 @@ void Application::prepare_partitions() {
     partition_of_[a->id().value()] = c < 0 ? 0 : c % K;
   }
 
+  // (1b) Adaptive policy: rewrite the defaults from the recorded load
+  // profile. Runs before the overrides so explicit set_partition still wins.
+  if (partition_policy_ == PartitionPolicy::kAdaptive) rebalance_partitions_adaptive(K);
+
   // (2) Explicit overrides. A module path stands for its controller and its
   // filters. `forced` remembers user intent so step 3 can tell a genuine
   // conflict from a default it is allowed to rewrite.
@@ -556,6 +560,82 @@ void Application::prepare_partitions() {
     l->set_outbox(boundaries_.back().get());
   }
   k.add_barrier_task([this] { return drain_boundaries(); });
+  // Shard time attribution: the coordinator samples this at each barrier
+  // (before the drain) for the round record's boundary occupancy high-water.
+  k.set_boundary_probe([this] {
+    std::uint64_t hwm = 0;
+    for (const auto& ch : boundaries_)
+      hwm = std::max(hwm, static_cast<std::uint64_t>(ch->pending()));
+    return hwm;
+  });
+}
+
+std::map<std::string, std::uint64_t> Application::dispatch_profile() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule) continue;
+    const sim::Process* p = platform_.kernel().process_by_name(a->path());
+    if (p != nullptr) out[a->path()] = p->activation_count();
+  }
+  return out;
+}
+
+void Application::rebalance_partitions_adaptive(int workers) {
+  if (workers <= 1 || partition_profile_.empty()) return;
+  // Atomic placement units mirror the constraints steps 3–4 validate: a
+  // module's controller and filters move together, and PE co-residents move
+  // together. Union-find over actor ids.
+  const std::size_t n = actors_.size();
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+  for (Actor* a : actors_) {
+    if (a->kind() != ActorKind::kModule) continue;
+    auto* m = static_cast<Module*>(a);
+    Controller* c = m->controller();
+    if (c == nullptr) continue;
+    for (const auto& f : m->filters()) unite(f->id().value(), c->id().value());
+  }
+  std::map<sim::Pe*, std::size_t> pe_first;
+  for (Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule || a->pe() == nullptr) continue;
+    auto [it, fresh] = pe_first.emplace(a->pe(), a->id().value());
+    if (!fresh) unite(a->id().value(), it->second);
+  }
+  // Weigh each unit by its recorded activations (actors missing from the
+  // profile weigh 1, so a stale profile still spreads them) and place
+  // heaviest-first onto the least-loaded partition (LPT). Units enumerate in
+  // root-id order and every tie breaks on lowest id / lowest partition: the
+  // resulting map is a pure function of (graph, profile, worker count).
+  struct Unit {
+    std::uint64_t weight = 0;
+    std::vector<Actor*> members;  // actor-id order
+  };
+  std::map<std::size_t, Unit> units;  // root id -> unit
+  for (Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule) continue;
+    Unit& u = units[find(a->id().value())];
+    auto it = partition_profile_.find(a->path());
+    u.weight += it != partition_profile_.end() ? std::max<std::uint64_t>(it->second, 1) : 1;
+    u.members.push_back(a);
+  }
+  std::vector<const Unit*> order;
+  order.reserve(units.size());
+  for (const auto& [root, u] : units) order.push_back(&u);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Unit* a, const Unit* b) { return a->weight > b->weight; });
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(workers), 0);
+  for (const Unit* u : order) {
+    int best = 0;
+    for (int p = 1; p < workers; ++p)
+      if (load[p] < load[best]) best = p;
+    load[best] += u->weight;
+    for (Actor* mem : u->members) partition_of_[mem->id().value()] = best;
+  }
 }
 
 bool Application::drain_boundaries() {

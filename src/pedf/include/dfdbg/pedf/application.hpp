@@ -103,6 +103,36 @@ class Application {
   /// Ignored by sequential kernels. Call before start().
   void set_partition(const std::string& path, int partition);
 
+  /// How start() computes the default partition map (explicit set_partition
+  /// overrides always win on top of either policy).
+  enum class PartitionPolicy {
+    kClusterModulo,  ///< default: PE cluster index modulo worker count
+    /// Rebalances from a recorded dispatch profile (set_partition_profile,
+    /// typically dispatch_profile() of a previous run): atomic units —
+    /// module controller+filters merged with PE co-residents — are weighted
+    /// by observed activations and placed greedily, heaviest first, onto the
+    /// least-loaded partition (LPT). Deterministic for a given profile; with
+    /// an empty profile it degrades to kClusterModulo.
+    kAdaptive,
+  };
+  void set_partition_policy(PartitionPolicy p) {
+    DFDBG_CHECK_MSG(!started_, "set_partition_policy after start");
+    partition_policy_ = p;
+  }
+  [[nodiscard]] PartitionPolicy partition_policy() const { return partition_policy_; }
+
+  /// Observed per-actor load of this run: path -> process activation count.
+  /// Deterministic (activations are part of the schedule, not wall time);
+  /// feed it to set_partition_profile() on a fresh instance to rebalance.
+  [[nodiscard]] std::map<std::string, std::uint64_t> dispatch_profile() const;
+
+  /// Installs the load profile the kAdaptive policy partitions against.
+  /// Call before start(); actors absent from the map weigh 1.
+  void set_partition_profile(std::map<std::string, std::uint64_t> profile) {
+    DFDBG_CHECK_MSG(!started_, "set_partition_profile after start");
+    partition_profile_ = std::move(profile);
+  }
+
   /// Partition the actor's process runs in (0 on sequential backends).
   [[nodiscard]] int actor_partition(const Actor& a) const {
     return a.id().value() < partition_of_.size() ? partition_of_[a.id().value()] : 0;
@@ -223,6 +253,9 @@ class Application {
   /// every runtime event to its waiting partition, builds the boundary
   /// channels and registers the barrier drain.
   void prepare_partitions();
+  /// kAdaptive: overwrites the cluster-modulo defaults in partition_of_ with
+  /// the LPT placement computed from partition_profile_.
+  void rebalance_partitions_adaptive(int workers);
   /// The kernel barrier task: drains every boundary channel in link order.
   bool drain_boundaries();
   void spawn_filter_process(Filter* f);
@@ -249,6 +282,8 @@ class Application {
   // map is ordered so conflicting-override diagnostics are deterministic.
   std::map<std::string, int> partition_override_;  // path/name -> partition
   std::vector<int> partition_of_;                  // by ActorId value
+  PartitionPolicy partition_policy_ = PartitionPolicy::kClusterModulo;
+  std::map<std::string, std::uint64_t> partition_profile_;  // path -> weight
   std::vector<std::unique_ptr<BoundaryChannel>> boundaries_;
   ApiSymbols syms_;
   bool elaborated_ = false;

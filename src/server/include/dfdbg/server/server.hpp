@@ -17,8 +17,10 @@
 // `subscribe` to named streams — `journal` (provenance-event deltas with a
 // resumable cursor), `info_flow` (periodic link-occupancy snapshots),
 // `stats` (changed-keys registry deltas), `run_events` (stop events as they
-// happen) — and the server pushes JSON-RPC *notifications* (frames without
-// an `id`) interleaved with ordinary responses on the same connection.
+// happen), `shard_rounds` (parallel-backend barrier-round attribution
+// records with a resumable round cursor) — and the server pushes JSON-RPC
+// *notifications* (frames without an `id`) interleaved with ordinary
+// responses on the same connection.
 // Backpressure is explicit: each client's outbound buffer is bounded by
 // `max_outbound_bytes`; while a client is over the bound, periodic
 // snapshots are coalesced (skipped and counted in `server.sub.coalesced`)
@@ -113,8 +115,13 @@ class DebugServer {
     bool sub_flow = false;
     bool sub_stats = false;
     bool sub_run_events = false;
+    bool sub_shard_rounds = false;
     /// Resume point into the journal ring (absolute sequence).
     std::uint64_t journal_cursor = 0;
+    /// Resume point into the barrier-round record ring (round ids are
+    /// monotonic, so "rounds after N" is a stable cursor even as the ring
+    /// evicts old records).
+    std::uint64_t shard_cursor = 0;
     /// Reader-side registry snapshot backing `stats.delta`.
     obs::StatsSnapshot stats_prev;
     /// Last-seen per-link (pushes, pops) backing the d_pushes/d_pops rates
@@ -122,7 +129,7 @@ class DebugServer {
     std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>> flow_prev;
 
     [[nodiscard]] bool subscribed() const {
-      return sub_journal || sub_flow || sub_stats || sub_run_events;
+      return sub_journal || sub_flow || sub_stats || sub_run_events || sub_shard_rounds;
     }
     /// Periodic streams force a poll timeout; event streams do not.
     [[nodiscard]] bool wants_tick() const { return sub_flow || sub_stats; }

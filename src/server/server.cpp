@@ -17,6 +17,7 @@
 #include "dfdbg/obs/journal.hpp"
 #include "dfdbg/obs/metrics.hpp"
 #include "dfdbg/server/protocol.hpp"
+#include "dfdbg/sim/kernel.hpp"
 
 namespace dfdbg::server {
 
@@ -70,8 +71,8 @@ constexpr const char* kMethods[] = {
     "delete_breakpoint", "enable_breakpoint", "step_both",
     "inject",         "remove",            "replace",
     "exec",           "journal",           "stats",
-    "info_stats",     "subscribe",         "unsubscribe",
-    "shutdown",
+    "info_stats",     "info_shards",       "subscribe",
+    "unsubscribe",    "shutdown",
 };
 
 /// The subscribable stream names (the protocol's spelling).
@@ -79,6 +80,7 @@ constexpr const char* kStreamJournal = "journal";
 constexpr const char* kStreamFlow = "info_flow";
 constexpr const char* kStreamStats = "stats";
 constexpr const char* kStreamRunEvents = "run_events";
+constexpr const char* kStreamShardRounds = "shard_rounds";
 
 /// Subscription-layer instruments, interned once.
 struct SubMetrics {
@@ -242,6 +244,27 @@ void DebugServer::pump_client(Client& c, bool tick_due) {
       if (s.gap > 0) SubMetrics::get().dropped.add(s.gap);
       if (s.count == 0 && s.gap == 0) break;
       push_notification(c, "journal.delta", w.take());
+    }
+  }
+  // Shard rounds pump like the journal: cursor-driven, not tick-gated — the
+  // ring only grows while a `run` verb executes, so draining after each
+  // request round keeps the stream current with no periodic wakeups. Round
+  // ids are monotonic, so a paused reader resumes where it left off (evicted
+  // records are simply skipped; the ring is a bounded window, not a log).
+  if (c.sub_shard_rounds) {
+    const sim::Kernel& k = session_.app().kernel();
+    while (c.out.size() < config_.max_outbound_bytes) {
+      std::vector<sim::BarrierRoundRecord> recs =
+          k.round_records_after(c.shard_cursor, config_.journal_batch);
+      if (recs.empty()) break;
+      JsonWriter w;
+      w.begin_object();
+      w.kv("time", k.now());
+      w.key("rounds").begin_array();
+      for (const sim::BarrierRoundRecord& r : recs) dbg::to_json(w, r);
+      w.end_array().end_object();
+      c.shard_cursor = recs.back().round;
+      push_notification(c, "shard.rounds", w.take());
     }
   }
   if (!tick_due) return;
@@ -530,6 +553,11 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
     w.key("methods").begin_array();
     for (const char* m : kMethods) w.value(m);
     w.end_array();
+    w.key("streams").begin_array();
+    for (const char* s : {kStreamJournal, kStreamFlow, kStreamStats, kStreamRunEvents,
+                          kStreamShardRounds})
+      w.value(s);
+    w.end_array();
     w.end_object();
     return make_result_frame(id_json, w.take());
   }
@@ -555,6 +583,7 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
 
   if (method == "info_links") return view_frame(id_json, session_.links_view());
   if (method == "info_profile") return view_frame(id_json, session_.profile_snapshot());
+  if (method == "info_shards") return view_frame(id_json, session_.shard_profile());
   if (method == "info_filter") {
     std::string name = p.str_or("name");
     if (name.empty()) return missing("name");
@@ -703,8 +732,18 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
   }
 
   if (method == "stats" || method == "info_stats") {
-    // Registry::to_json() already emits one compact JSON object, histogram
-    // entries carrying p50/p90/p99 estimates from the log2 buckets.
+    // `format: "prom"` wraps the Prometheus exposition text as a JSON
+    // string (the frame itself must stay JSON); anything else gets
+    // Registry::to_json(), one compact object with histogram entries
+    // carrying p50/p90/p99 estimates from the log2 buckets.
+    if (p.str_or("format") == "prom") {
+      JsonWriter w;
+      w.begin_object()
+          .kv("format", "prom")
+          .kv("body", obs::Registry::global().to_prometheus())
+          .end_object();
+      return make_result_frame(id_json, w.take());
+    }
     return make_result_frame(id_json, obs::Registry::global().to_json());
   }
 
@@ -744,10 +783,20 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
     } else if (stream == kStreamRunEvents) {
       client->sub_run_events = on;
       if (on) w.kv("stream", stream);
+    } else if (stream == kStreamShardRounds) {
+      client->sub_shard_rounds = on;
+      if (on) {
+        // Default: tail from the current round. An explicit cursor resumes
+        // an earlier read (0 replays the whole retained ring).
+        client->shard_cursor = p.find("cursor") != nullptr
+                                   ? p.u64_or("cursor", 0)
+                                   : session_.app().kernel().round_count();
+        w.kv("stream", stream).kv("cursor", client->shard_cursor);
+      }
     } else if (!on && (stream.empty() || stream == "all")) {
       // `unsubscribe` with no stream (or "all") clears everything.
       client->sub_journal = client->sub_flow = client->sub_stats = client->sub_run_events =
-          false;
+          client->sub_shard_rounds = false;
     } else {
       return make_error_frame(
           id_json, Status::error(ErrCode::kInvalidArgument, "unknown stream: " + stream));

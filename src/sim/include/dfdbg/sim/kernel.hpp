@@ -50,6 +50,7 @@
 
 namespace dfdbg::obs {
 class Counter;
+class Histogram;
 class Journal;
 }  // namespace dfdbg::obs
 
@@ -74,6 +75,26 @@ enum class RunResult {
 
 /// Returns a short human-readable name for `r`.
 const char* to_string(RunResult r);
+
+/// One completed barrier round of the parallel backend, as captured by the
+/// shard time-attribution profiler. Recorded only while `obs::enabled()` is
+/// on (the disabled path takes no clock reads and allocates nothing), into a
+/// bounded ring the debugger reads between runs — wall times are measurement,
+/// not schedule input, so recording never perturbs determinism.
+struct BarrierRoundRecord {
+  std::uint64_t round = 0;        ///< 1-based round id (monotonic; stream cursor)
+  SimTime vtime = 0;              ///< global virtual time during the round
+  std::uint64_t wall_ns = 0;      ///< workers woken -> barrier flushed
+  std::uint64_t drain_ns = 0;     ///< coordinator portion: journal merge + notifies + boundary drains
+  std::uint64_t boundary_hwm = 0; ///< max boundary-channel occupancy sampled at the barrier
+  struct PartitionDelta {
+    std::uint64_t dispatches = 0; ///< dispatches this shard executed this round
+    std::uint64_t work_ns = 0;    ///< worker-measured time draining its ready queue
+    std::uint64_t wait_ns = 0;    ///< barrier-wait: blocked on slower shards
+    bool stalled = false;         ///< woken with nothing to run (load-imbalance signal)
+  };
+  std::vector<PartitionDelta> partitions;  ///< one entry per partition, in order
+};
 
 /// The simulation kernel. Owns all processes and the instrumentation port.
 /// The embedding application drives it from one thread; under the parallel
@@ -190,6 +211,47 @@ class Kernel {
   /// Parallel backend: barrier rounds completed so far (0 otherwise).
   [[nodiscard]] std::uint64_t round_count() const { return rounds_; }
 
+  // --- Shard time attribution (parallel backend; docs/OBSERVABILITY.md) ----
+
+  /// Cumulative wall-time buckets of one partition, as attributed by the
+  /// profiler: work (draining the shard's ready queue), barrier-wait
+  /// (blocked on slower shards), drain (coordinator barrier work: journal
+  /// merge, deferred notifies, boundary rings) and idle (between rounds:
+  /// virtual-time advance / quiescence checks). Zero unless obs was enabled
+  /// while running.
+  struct ShardTotals {
+    std::uint64_t dispatches = 0;
+    std::uint64_t stalled_rounds = 0;  ///< rounds woken with an empty ready queue
+    std::uint64_t work_ns = 0;
+    std::uint64_t barrier_wait_ns = 0;
+    std::uint64_t drain_ns = 0;
+    std::uint64_t idle_ns = 0;
+  };
+  [[nodiscard]] ShardTotals shard_totals(int partition) const;
+
+  /// The retained per-round attribution records, oldest first. Bounded ring
+  /// (set_round_record_capacity); populated only while obs::enabled().
+  [[nodiscard]] const std::deque<BarrierRoundRecord>& round_records() const {
+    return round_records_;
+  }
+
+  /// Copies retained records with round id > `after` (the shard_rounds
+  /// stream cursor), oldest first, at most `max_n` of them.
+  [[nodiscard]] std::vector<BarrierRoundRecord> round_records_after(
+      std::uint64_t after, std::size_t max_n) const;
+
+  /// Resizes the round-record ring (default 512); evicts oldest.
+  void set_round_record_capacity(std::size_t n);
+
+  /// Registers a probe the coordinator samples at each barrier, *before*
+  /// boundary rings drain, returning the current aggregate boundary-channel
+  /// occupancy. The pedf runtime installs one reporting the max pending
+  /// count across its BoundaryChannels; recorded as the round's
+  /// boundary_hwm. Only called while obs::enabled().
+  void set_boundary_probe(std::function<std::uint64_t()> probe) {
+    boundary_probe_ = std::move(probe);
+  }
+
   /// Bracketing for instrumentation-hook dispatch (see InstrumentPort): under
   /// the parallel backend hooks run holding the port's dispatch mutex, so a
   /// debug_break() issued inside a hook is deferred and taken here, at
@@ -248,6 +310,24 @@ class Kernel {
     std::unique_ptr<obs::Journal> journal;  ///< per-worker flight-recorder shard
     obs::Counter* m_dispatches = nullptr;   ///< sim.worker.<i>.dispatch
     std::thread thread;
+
+    // Shard time attribution. The worker writes the two round-scratch fields
+    // before re-parking (ordered before the coordinator's read by round_mu_);
+    // everything else is coordinator-only. Clock reads are obs-gated; the
+    // scratch writes are two unconditional u64 stores per round.
+    std::uint64_t round_work_ns = 0;    ///< worker-measured drain time, this round
+    std::uint64_t round_dispatches = 0; ///< dispatch delta, this round
+    std::uint64_t work_ns_total = 0;
+    std::uint64_t wait_ns_total = 0;
+    std::uint64_t drain_ns_total = 0;
+    std::uint64_t idle_ns_total = 0;
+    std::uint64_t stalled_rounds = 0;
+    obs::Counter* m_work_ns = nullptr;     ///< sim.worker.<i>.work_ns
+    obs::Counter* m_wait_ns = nullptr;     ///< sim.worker.<i>.barrier_wait_ns
+    obs::Counter* m_drain_ns = nullptr;    ///< sim.worker.<i>.drain_ns
+    obs::Counter* m_idle_ns = nullptr;     ///< sim.worker.<i>.idle_ns
+    obs::Counter* m_stalls = nullptr;      ///< sim.worker.<i>.stalled_rounds
+    obs::Histogram* h_round_work = nullptr;///< sim.worker.<i>.round_work_ns
   };
 
   /// True when simulated processes run on fibers (kFibers, and kParallel
@@ -283,6 +363,10 @@ class Kernel {
   bool flush_barrier();
   void merge_shard_journals();
   void stop_workers();
+  /// Attribution bookkeeping for one completed round: t0 = workers woken,
+  /// t1 = workers quiescent, t2 = barrier flushed (all mono_ns).
+  void record_round(std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                    std::uint64_t boundary_hwm);
 
   ProcessBackend backend_;
   bool parallel_ = false;
@@ -320,6 +404,12 @@ class Kernel {
   int workers_running_ = 0;
   bool workers_exit_ = false;
   bool workers_started_ = false;
+
+  // Shard time attribution (coordinator-only).
+  std::deque<BarrierRoundRecord> round_records_;
+  std::size_t round_record_capacity_ = 512;
+  std::function<std::uint64_t()> boundary_probe_;
+  std::uint64_t last_barrier_end_ns_ = 0;  ///< idle attribution anchor
 };
 
 }  // namespace dfdbg::sim

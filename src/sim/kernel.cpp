@@ -1,5 +1,7 @@
 #include "dfdbg/sim/kernel.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "dfdbg/common/assert.hpp"
@@ -23,15 +25,29 @@ struct SchedMetrics {
   obs::Counter& breaks;
   obs::Counter& rounds;
   obs::Histogram& ready_depth;
+  obs::Histogram& round_wall_ns;   ///< sim.barrier.round_wall_ns
+  obs::Histogram& round_drain_ns;  ///< sim.barrier.drain_ns
+  obs::Gauge& boundary_hwm;        ///< sim.barrier.boundary_hwm
   static SchedMetrics& get() {
     auto& r = obs::Registry::global();
     static SchedMetrics m{r.counter("sim.dispatch"),      r.counter("sim.context_switch"),
                           r.counter("sim.process_spawn"), r.counter("sim.timed_wakeup"),
                           r.counter("sim.debug_break"),   r.counter("sim.barrier.round"),
-                          r.histogram("sim.ready_depth")};
+                          r.histogram("sim.ready_depth"),
+                          r.histogram("sim.barrier.round_wall_ns"),
+                          r.histogram("sim.barrier.drain_ns"),
+                          r.gauge("sim.barrier.boundary_hwm")};
     return m;
   }
 };
+
+/// Monotonic wall clock for shard time attribution. Never feeds back into
+/// scheduling decisions, so measurement cannot perturb determinism.
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
 
 /// Parallel backend: identifies the worker thread (and hence partition) the
 /// calling code runs on, plus the deferred-break bookkeeping for hooks that
@@ -178,8 +194,14 @@ Kernel::Kernel(ProcessBackend backend, int workers) : backend_(backend) {
     // partition kernels give each shard a disjoint 48-bit-offset range.
     std::uint64_t uid_base = k == 1 ? 0 : (static_cast<std::uint64_t>(i) + 1) << 48;
     sh->journal->configure_shard(&base, uid_base);
-    sh->m_dispatches =
-        &obs::Registry::global().counter(strformat("sim.worker.%d.dispatch", i));
+    obs::Registry& reg = obs::Registry::global();
+    sh->m_dispatches = &reg.counter(strformat("sim.worker.%d.dispatch", i));
+    sh->m_work_ns = &reg.counter(strformat("sim.worker.%d.work_ns", i));
+    sh->m_wait_ns = &reg.counter(strformat("sim.worker.%d.barrier_wait_ns", i));
+    sh->m_drain_ns = &reg.counter(strformat("sim.worker.%d.drain_ns", i));
+    sh->m_idle_ns = &reg.counter(strformat("sim.worker.%d.idle_ns", i));
+    sh->m_stalls = &reg.counter(strformat("sim.worker.%d.stalled_rounds", i));
+    sh->h_round_work = &reg.histogram(strformat("sim.worker.%d.round_work_ns", i));
     shards_.push_back(std::move(sh));
   }
   obs::Registry::global().gauge("sim.worker.count").set(k);
@@ -518,7 +540,15 @@ void Kernel::worker_main(int shard) {
       if (workers_exit_) break;
       seen = round_gen_;
     }
+    // Attribution: the worker times its own drain (clock reads obs-gated; the
+    // scratch stores are unconditional and ordered before the coordinator's
+    // read by the round_mu_ handshake below).
+    const std::uint64_t dispatches_before = s.dispatches;
+    const bool prof = obs::enabled();
+    const std::uint64_t w0 = prof ? mono_ns() : 0;
     drain_shard(s);
+    s.round_work_ns = prof ? mono_ns() - w0 : 0;
+    s.round_dispatches = s.dispatches - dispatches_before;
     {
       std::lock_guard<std::mutex> lk(round_mu_);
       if (--workers_running_ == 0) done_cv_.notify_one();
@@ -685,6 +715,76 @@ bool Kernel::notify_if_waiting_parallel(Event& e) {
   return true;
 }
 
+void Kernel::record_round(std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                          std::uint64_t boundary_hwm) {
+  const std::uint64_t wall = t2 - t0;
+  const std::uint64_t drain = t2 - t1;
+  const std::uint64_t span = t1 - t0;  // workers woken -> workers quiescent
+  BarrierRoundRecord rec;
+  rec.round = rounds_;
+  rec.vtime = now_;
+  rec.wall_ns = wall;
+  rec.drain_ns = drain;
+  rec.boundary_hwm = boundary_hwm;
+  rec.partitions.reserve(shards_.size());
+  for (auto& sh : shards_) {
+    BarrierRoundRecord::PartitionDelta d;
+    d.dispatches = sh->round_dispatches;
+    // Worker and coordinator read the same steady clock from different
+    // threads; clamp so work never exceeds the span the coordinator saw.
+    d.work_ns = std::min(sh->round_work_ns, span);
+    d.wait_ns = span - d.work_ns;
+    d.stalled = sh->round_dispatches == 0;
+    sh->work_ns_total += d.work_ns;
+    sh->wait_ns_total += d.wait_ns;
+    sh->drain_ns_total += drain;
+    sh->m_work_ns->add(d.work_ns);
+    sh->m_wait_ns->add(d.wait_ns);
+    sh->m_drain_ns->add(drain);
+    if (d.stalled) {
+      sh->stalled_rounds++;
+      sh->m_stalls->add();
+    }
+    sh->h_round_work->observe(d.work_ns);
+    rec.partitions.push_back(d);
+  }
+  SchedMetrics& m = SchedMetrics::get();
+  m.round_wall_ns.observe(wall);
+  m.round_drain_ns.observe(drain);
+  if (boundary_hwm > 0) m.boundary_hwm.set(static_cast<std::int64_t>(boundary_hwm));
+  round_records_.push_back(std::move(rec));
+  while (round_records_.size() > round_record_capacity_) round_records_.pop_front();
+}
+
+std::vector<BarrierRoundRecord> Kernel::round_records_after(std::uint64_t after,
+                                                            std::size_t max_n) const {
+  std::vector<BarrierRoundRecord> out;
+  for (const BarrierRoundRecord& r : round_records_) {
+    if (r.round <= after) continue;
+    if (out.size() >= max_n) break;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void Kernel::set_round_record_capacity(std::size_t n) {
+  round_record_capacity_ = n == 0 ? 1 : n;
+  while (round_records_.size() > round_record_capacity_) round_records_.pop_front();
+}
+
+Kernel::ShardTotals Kernel::shard_totals(int partition) const {
+  ShardTotals t;
+  if (!parallel_ || partition < 0 || partition >= partition_count()) return t;
+  const Shard& s = *shards_[partition];
+  t.dispatches = s.dispatches;
+  t.stalled_rounds = s.stalled_rounds;
+  t.work_ns = s.work_ns_total;
+  t.barrier_wait_ns = s.wait_ns_total;
+  t.drain_ns = s.drain_ns_total;
+  t.idle_ns = s.idle_ns_total;
+  return t;
+}
+
 void Kernel::merge_shard_journals() {
   obs::Journal& base = obs::Journal::global_base();
   for (auto& sh : shards_) base.merge_from(*sh->journal);
@@ -718,6 +818,7 @@ RunResult Kernel::run_parallel(SimTime until) {
     obs::Registry::global().gauge("sim.worker.count").set(partition_count());
   stop_flag_.store(false, std::memory_order_relaxed);
   for (auto& sh : shards_) sh->stop_round = false;
+  last_barrier_end_ns_ = 0;  // time stopped in the debugger is not idle
   while (true) {
     bool any_ready = false;
     for (auto& sh : shards_)
@@ -726,9 +827,31 @@ RunResult Kernel::run_parallel(SimTime until) {
         break;
       }
     if (any_ready) {
+      // Shard time attribution: t0..t1 is the workers' span (work +
+      // barrier-wait), t1..t2 the coordinator's barrier (drain bucket), and
+      // the gap since the previous barrier end is idle. All clock reads are
+      // gated on obs::enabled(); disabled runs take none.
+      const bool prof = obs::enabled();
+      const std::uint64_t t0 = prof ? mono_ns() : 0;
+      if (prof && last_barrier_end_ns_ != 0 && t0 > last_barrier_end_ns_) {
+        const std::uint64_t idle = t0 - last_barrier_end_ns_;
+        for (auto& sh : shards_) {
+          sh->idle_ns_total += idle;
+          sh->m_idle_ns->add(idle);
+        }
+      }
       run_round();
+      const std::uint64_t t1 = prof ? mono_ns() : 0;
+      const std::uint64_t hwm = prof && boundary_probe_ ? boundary_probe_() : 0;
       merge_shard_journals();
       flush_barrier();
+      if (prof) {
+        const std::uint64_t t2 = mono_ns();
+        record_round(t0, t1, t2, hwm);
+        last_barrier_end_ns_ = t2;
+      } else {
+        last_barrier_end_ns_ = 0;
+      }
       if (stop_flag_.load(std::memory_order_acquire)) {
         stop_flag_.store(false, std::memory_order_relaxed);
         return RunResult::kStopped;

@@ -32,6 +32,10 @@ namespace dfdbg::obs {
 class Journal;
 }
 
+namespace dfdbg::sim {
+class Kernel;
+}
+
 namespace dfdbg::trace {
 
 /// Export options.
@@ -68,5 +72,20 @@ Status write_chrome_trace(const std::string& path, const TraceCollector& trace,
 Status write_journal_chrome_trace(const std::string& path, const obs::Journal& journal,
                                   pedf::Application& app,
                                   const ChromeTraceOptions& options = {});
+
+/// Renders the parallel backend's shard time-attribution ring
+/// (Kernel::round_records()) as one named track per worker — barrier-round
+/// "B"/"E" slices sized by each worker's measured work, "STALL" instants on
+/// rounds a worker woke with nothing to run — plus a "barrier" track carrying
+/// the coordinator's drain slices. The timeline is synthetic (rounds laid
+/// end-to-end by wall time; idle gaps elided): slice *structure* is
+/// deterministic, timestamps are measurement. Empty ring -> metadata-only
+/// trace.
+[[nodiscard]] std::string export_shard_chrome_trace(const sim::Kernel& kernel,
+                                                    const ChromeTraceOptions& options = {});
+
+/// export_shard_chrome_trace + write to `path`.
+Status write_shard_chrome_trace(const std::string& path, const sim::Kernel& kernel,
+                                const ChromeTraceOptions& options = {});
 
 }  // namespace dfdbg::trace

@@ -708,6 +708,123 @@ TEST(CliObs, NewCommandsAreNotReplayable) {
   EXPECT_EQ(rig.gdb->replayable()[0], "break ipred:221");
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+TEST(ObsPrometheus, ExpositionCoversAllInstrumentKinds) {
+  EnabledGuard on(true);
+  obs::Registry reg;
+  reg.counter("sim.dispatch").add(7);
+  reg.gauge("link.occupancy").set(3);
+  reg.gauge("link.occupancy").set(1);  // max stays 3
+  reg.histogram("server.request_ns").observe(5);
+  std::string prom = reg.to_prometheus();
+  // Names sanitized and prefixed; counters typed as counter.
+  EXPECT_NE(prom.find("# TYPE dfdbg_sim_dispatch counter\ndfdbg_sim_dispatch 7\n"),
+            std::string::npos)
+      << prom;
+  // Gauges carry a companion high-water series.
+  EXPECT_NE(prom.find("dfdbg_link_occupancy 1\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("dfdbg_link_occupancy_max 3\n"), std::string::npos) << prom;
+  // Histograms expose as summaries: quantiles + _sum/_count.
+  EXPECT_NE(prom.find("# TYPE dfdbg_server_request_ns summary\n"), std::string::npos);
+  EXPECT_NE(prom.find("dfdbg_server_request_ns{quantile=\"0.5\"} 5\n"), std::string::npos);
+  EXPECT_NE(prom.find("dfdbg_server_request_ns{quantile=\"0.99\"} 5\n"), std::string::npos);
+  EXPECT_NE(prom.find("dfdbg_server_request_ns_sum 5\n"), std::string::npos);
+  EXPECT_NE(prom.find("dfdbg_server_request_ns_count 1\n"), std::string::npos);
+  // Exposition is plain text, not JSON.
+  EXPECT_FALSE(JsonParser(prom).valid());
+}
+
+TEST(CliObs, StatsPromRendersExposition) {
+  CliRig rig;
+  rig.exec("run");
+  std::string out = rig.exec("stats prom");
+  EXPECT_NE(out.find("# TYPE dfdbg_sim_dispatch counter"), std::string::npos) << out;
+  EXPECT_NE(out.find("dfdbg_link_push "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// snapshot_delta edges
+// ---------------------------------------------------------------------------
+
+TEST(ObsSnapshotDelta, GaugeRevertingToReportedValueIsStillADelta) {
+  EnabledGuard on(true);
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("g");
+  obs::StatsSnapshot prev;
+  std::size_t changed = 0;
+  g.set(5);
+  reg.snapshot_delta(prev, &changed);
+  ASSERT_EQ(changed, 1u);
+  g.set(9);
+  reg.snapshot_delta(prev, &changed);
+  ASSERT_EQ(changed, 1u);
+  // Reverting to the previously-reported 5 must be reported again — the
+  // reader's last-seen value is 9, and silence would freeze it there.
+  g.set(5);
+  std::string delta = reg.snapshot_delta(prev, &changed);
+  EXPECT_EQ(changed, 1u) << delta;
+  EXPECT_NE(delta.find("\"value\":5"), std::string::npos) << delta;
+  EXPECT_NE(delta.find("\"max\":9"), std::string::npos) << delta;
+  // And once reported, the revert is settled: no further delta.
+  reg.snapshot_delta(prev, &changed);
+  EXPECT_EQ(changed, 0u);
+}
+
+TEST(ObsSnapshotDelta, HistogramPercentileEdges) {
+  EnabledGuard on(true);
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("h");
+  obs::StatsSnapshot prev;
+  std::size_t changed = 0;
+  // Empty histogram: reported once (the reader has never seen it), all-zero
+  // percentiles; then quiescent.
+  std::string delta = reg.snapshot_delta(prev, &changed);
+  EXPECT_EQ(changed, 1u);
+  EXPECT_NE(delta.find("\"count\":0"), std::string::npos) << delta;
+  EXPECT_NE(delta.find("\"p50\":0"), std::string::npos) << delta;
+  reg.snapshot_delta(prev, &changed);
+  EXPECT_EQ(changed, 0u);
+  // Single sample: every percentile collapses to that sample (clamped to
+  // the observed max, not the log2 bucket edge).
+  h.observe(7);
+  delta = reg.snapshot_delta(prev, &changed);
+  EXPECT_EQ(changed, 1u);
+  EXPECT_NE(delta.find("\"count\":1"), std::string::npos) << delta;
+  EXPECT_NE(delta.find("\"p50\":7"), std::string::npos) << delta;
+  EXPECT_NE(delta.find("\"p99\":7"), std::string::npos) << delta;
+  EXPECT_NE(delta.find("\"min\":7"), std::string::npos) << delta;
+  EXPECT_NE(delta.find("\"max\":7"), std::string::npos) << delta;
+}
+
+TEST(ObsSnapshotDelta, TwoIndependentReadersInterleaved) {
+  EnabledGuard on(true);
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::StatsSnapshot a, b;
+  std::size_t changed = 0;
+  c.add(1);
+  // Reader A catches up at 1; B hasn't read yet.
+  std::string da = reg.snapshot_delta(a, &changed);
+  EXPECT_EQ(changed, 1u);
+  EXPECT_NE(da.find("\"c\":1"), std::string::npos);
+  c.add(1);
+  // Reader B's first read reports the current value (2), not A's history.
+  std::string db = reg.snapshot_delta(b, &changed);
+  EXPECT_EQ(changed, 1u);
+  EXPECT_NE(db.find("\"c\":2"), std::string::npos);
+  // A still owes the 1 -> 2 step; B owes nothing.
+  da = reg.snapshot_delta(a, &changed);
+  EXPECT_EQ(changed, 1u);
+  EXPECT_NE(da.find("\"c\":2"), std::string::npos);
+  reg.snapshot_delta(b, &changed);
+  EXPECT_EQ(changed, 0u);
+  reg.snapshot_delta(a, &changed);
+  EXPECT_EQ(changed, 0u);
+}
+
 TEST(CliObs, CompletionKnowsNewCommands) {
   CliRig rig;
   auto c = rig.gdb->complete("sta");

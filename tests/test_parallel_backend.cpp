@@ -9,15 +9,24 @@
 //     token ids, per-partition barrier order).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "dfdbg/common/strings.hpp"
 
 #include "../bench/wide_graph.hpp"
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/h264/app.hpp"
 #include "dfdbg/obs/journal.hpp"
 #include "dfdbg/obs/metrics.hpp"
+#include "dfdbg/trace/chrome_trace.hpp"
 #include "dfdbg/trace/trace.hpp"
 
 namespace dfdbg {
@@ -311,6 +320,267 @@ TEST(ParallelH264, CatchpointStopsAllPartitionsConsistently) {
   }
   EXPECT_GT(stops, 0);
   EXPECT_TRUE(app.decoded_matches_golden());
+}
+
+// --- shard time attribution ---------------------------------------------------
+
+/// A small fixed-map wide world run to completion under kParallel.
+std::unique_ptr<benchutil::WideWorld> run_attributed_wide(int workers) {
+  WideGraphConfig cfg;
+  cfg.pipelines = 4;
+  cfg.stages = 2;
+  cfg.tokens = 64;
+  cfg.spin = 256;
+  cfg.fixed_partitions = true;
+  auto w = benchutil::build_wide_world(cfg, sim::ProcessBackend::kParallel, workers);
+  benchutil::run_wide_world(*w);
+  return w;
+}
+
+// The attribution invariant the profiler is built on: per round and per
+// worker, work + barrier-wait + drain accounts for the round's wall time
+// (the acceptance bar is +-5%; the construction makes it exact up to clock
+// granularity). Round ids are strictly monotonic — the stream cursor.
+TEST(ShardProfile, BucketsSumToRoundWall) {
+  EnabledGuard on(true);
+  JournalGuard jg;
+  auto w = run_attributed_wide(4);
+  const std::deque<sim::BarrierRoundRecord>& recs = w->kernel->round_records();
+  ASSERT_FALSE(recs.empty());
+  std::uint64_t prev_round = 0;
+  for (const sim::BarrierRoundRecord& r : recs) {
+    EXPECT_GT(r.round, prev_round);
+    prev_round = r.round;
+    ASSERT_EQ(r.partitions.size(), 4u);
+    EXPECT_GE(r.wall_ns, r.drain_ns);
+    const std::uint64_t tol = r.wall_ns / 20 + 1;  // +-5%
+    for (const sim::BarrierRoundRecord::PartitionDelta& p : r.partitions) {
+      const std::uint64_t sum = p.work_ns + p.wait_ns + r.drain_ns;
+      EXPECT_LE(sum, r.wall_ns + tol) << "round " << r.round;
+      EXPECT_GE(sum + tol, r.wall_ns) << "round " << r.round;
+    }
+  }
+  // The cumulative totals are the ring summed (nothing evicted at this size),
+  // and utilization-relevant buckets are all populated.
+  for (int i = 0; i < 4; ++i) {
+    sim::Kernel::ShardTotals t = w->kernel->shard_totals(i);
+    std::uint64_t work = 0, wait = 0, drain = 0, dispatches = 0;
+    for (const sim::BarrierRoundRecord& r : recs) {
+      work += r.partitions[static_cast<std::size_t>(i)].work_ns;
+      wait += r.partitions[static_cast<std::size_t>(i)].wait_ns;
+      drain += r.drain_ns;
+      dispatches += r.partitions[static_cast<std::size_t>(i)].dispatches;
+    }
+    EXPECT_EQ(t.work_ns, work) << "worker " << i;
+    EXPECT_EQ(t.barrier_wait_ns, wait) << "worker " << i;
+    EXPECT_EQ(t.drain_ns, drain) << "worker " << i;
+    EXPECT_EQ(t.dispatches, dispatches) << "worker " << i;
+  }
+  // The registry mirrors the totals (interned per-worker instruments).
+  auto& reg = obs::Registry::global();
+  EXPECT_GT(reg.counter("sim.worker.0.work_ns").value(), 0u);
+  EXPECT_GT(reg.histogram("sim.barrier.round_wall_ns").count(), 0u);
+}
+
+// The zero-cost claim: with obs disabled the profiler takes no clock reads,
+// allocates no records, and accumulates nothing.
+TEST(ShardProfile, ZeroCostWhenObsDisabled) {
+  EnabledGuard off(false);
+  auto w = run_attributed_wide(2);
+  EXPECT_TRUE(w->kernel->round_records().empty());
+  for (int i = 0; i < 2; ++i) {
+    sim::Kernel::ShardTotals t = w->kernel->shard_totals(i);
+    EXPECT_EQ(t.work_ns, 0u);
+    EXPECT_EQ(t.barrier_wait_ns, 0u);
+    EXPECT_EQ(t.drain_ns, 0u);
+    EXPECT_EQ(t.idle_ns, 0u);
+    EXPECT_EQ(t.stalled_rounds, 0u);
+  }
+}
+
+TEST(ShardProfile, RoundRecordRingEvictsOldestAndCursorReads) {
+  EnabledGuard on(true);
+  JournalGuard jg;
+  WideGraphConfig cfg;
+  cfg.pipelines = 4;
+  cfg.stages = 2;
+  cfg.tokens = 64;
+  cfg.spin = 16;
+  cfg.fixed_partitions = true;
+  auto w = benchutil::build_wide_world(cfg, sim::ProcessBackend::kParallel, 2);
+  w->kernel->set_round_record_capacity(2);
+  benchutil::run_wide_world(*w);
+  const auto& recs = w->kernel->round_records();
+  ASSERT_LE(recs.size(), 2u);
+  ASSERT_FALSE(recs.empty());
+  // Cursor semantics: everything after the newest round is empty; `after`
+  // one before the newest returns exactly the newest.
+  const std::uint64_t newest = recs.back().round;
+  EXPECT_TRUE(w->kernel->round_records_after(newest, 16).empty());
+  auto tail = w->kernel->round_records_after(newest - 1, 16);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].round, newest);
+  EXPECT_EQ(tail[0].partitions.size(), recs.back().partitions.size());
+}
+
+// --- Perfetto shard export ----------------------------------------------------
+
+/// Canonicalizes the shard trace for structure comparison: every ts value
+/// (wall-clock measurement) is replaced by "T", everything else — track
+/// names, slice nesting, rounds, dispatch counts, stall markers — is kept.
+std::string strip_timestamps(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  for (std::size_t i = 0; i < json.size();) {
+    if (json.compare(i, 5, "\"ts\":") == 0) {
+      out += "\"ts\":T";
+      i += 5;
+      while (i < json.size() && (std::isdigit(static_cast<unsigned char>(json[i])) != 0)) i++;
+      continue;
+    }
+    if (json.compare(i, 10, "\"wait_ns\":") == 0) {
+      out += "\"wait_ns\":T";
+      i += 10;
+      while (i < json.size() && (std::isdigit(static_cast<unsigned char>(json[i])) != 0)) i++;
+      continue;
+    }
+    out += json[i++];
+  }
+  return out;
+}
+
+// One named track per worker plus the barrier track, ROUND/BARRIER slices
+// balanced per track, and — timestamps stripped — the structure is a pure
+// function of the deterministic schedule, byte-identical run to run.
+TEST(ShardProfile, PerfettoExportStructureIsDeterministic) {
+  EnabledGuard on(true);
+  JournalGuard jg;
+  auto w1 = run_attributed_wide(4);
+  std::string json = trace::export_shard_chrome_trace(*w1->kernel);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NE(json.find(strformat("\"name\":\"worker %d\"", i)), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"barrier\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ROUND\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"BARRIER\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"wall-ns\""), std::string::npos);
+  // B/E balance per tid.
+  std::map<std::string, int> depth;
+  std::stringstream ss(json);
+  std::string line;
+  while (std::getline(ss, line)) {
+    auto tid_at = line.find("\"tid\":");
+    if (tid_at == std::string::npos) continue;
+    std::string tid = line.substr(tid_at + 6, line.find_first_of(",}", tid_at + 6) - tid_at - 6);
+    if (line.find("\"ph\":\"B\"") != std::string::npos) depth[tid]++;
+    if (line.find("\"ph\":\"E\"") != std::string::npos) {
+      depth[tid]--;
+      EXPECT_GE(depth[tid], 0) << line;
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "unbalanced tid " << tid;
+
+  auto w2 = run_attributed_wide(4);
+  std::string json2 = trace::export_shard_chrome_trace(*w2->kernel);
+  EXPECT_EQ(strip_timestamps(json), strip_timestamps(json2));
+}
+
+TEST(ShardProfile, PerfettoExportEmptyRingIsMetadataOnly) {
+  EnabledGuard off(false);
+  auto w = run_attributed_wide(2);
+  std::string json = trace::export_shard_chrome_trace(*w->kernel);
+  EXPECT_NE(json.find("\"name\":\"worker 0\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"ROUND\""), std::string::npos);
+  EXPECT_NE(json.find("\"rounds\":0"), std::string::npos);
+}
+
+// --- adaptive partitioner -----------------------------------------------------
+
+/// Builds the skewed wide world (lane p carries 1+p stages) under kParallel.
+std::unique_ptr<benchutil::WideWorld> build_skewed(int workers) {
+  WideGraphConfig cfg;
+  cfg.pipelines = 6;
+  cfg.stages = 1;
+  cfg.stage_skew = 1;
+  cfg.tokens = 32;
+  cfg.spin = 16;
+  return benchutil::build_wide_world(cfg, sim::ProcessBackend::kParallel, workers);
+}
+
+/// The post-start partition of every stage filter, as one map string.
+std::string partition_map_string(const benchutil::WideWorld& w) {
+  std::string out;
+  for (int p = 0; p < w.cfg.pipelines; ++p)
+    for (int s = 0; s < benchutil::wide_stages(w.cfg, p); ++s) {
+      std::string path = "top.s" + std::to_string(p) + "_" + std::to_string(s);
+      const pedf::Actor* a = w.app->actor_by_path(path);
+      EXPECT_NE(a, nullptr) << path;
+      out += path + "=" + std::to_string(w.app->actor_partition(*a)) + "\n";
+    }
+  return out;
+}
+
+// The adaptive policy is a pure function of (graph, profile, worker count):
+// identical runs produce identical maps, the map differs from the skewed
+// cluster-modulo default, its profile-weighted max load never exceeds the
+// default's, and token order on every link survives the re-placement (the
+// ordered sink sequence is the FIFO witness).
+TEST(AdaptivePartition, DeterministicBalancedAndOrderPreserving) {
+  EnabledGuard on(true);
+  JournalGuard jg;
+  const int workers = 3;
+  // Profiling run under the default cluster-modulo map.
+  std::map<std::string, std::uint64_t> profile;
+  std::string modulo_map;
+  {
+    auto w = build_skewed(workers);
+    benchutil::run_wide_world(*w);
+    profile = w->app->dispatch_profile();
+    modulo_map = partition_map_string(*w);
+  }
+  ASSERT_FALSE(profile.empty());
+
+  auto run_adaptive = [&] {
+    auto w = build_skewed(workers);
+    w->app->set_partition_policy(pedf::Application::PartitionPolicy::kAdaptive);
+    w->app->set_partition_profile(profile);
+    benchutil::run_wide_world(*w);
+    // Re-placement must not break per-link FIFO: the sink checksum pins
+    // every token transformed exactly once, in order, end to end.
+    EXPECT_EQ(benchutil::sink_checksum(*w), w->expected_checksum);
+    return partition_map_string(*w);
+  };
+  std::string first = run_adaptive();
+  std::string second = run_adaptive();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, modulo_map);
+
+  // Profile-weighted max load: adaptive <= cluster-modulo on this skew.
+  auto max_load = [&](const std::string& map) {
+    std::vector<std::uint64_t> load(static_cast<std::size_t>(workers), 0);
+    std::istringstream in(map);
+    std::string line;
+    while (std::getline(in, line)) {
+      auto eq = line.rfind('=');
+      std::string path = line.substr(0, eq);
+      int part = std::stoi(line.substr(eq + 1));
+      auto it = profile.find(path);
+      load[static_cast<std::size_t>(part)] += it != profile.end() ? it->second : 1;
+    }
+    return *std::max_element(load.begin(), load.end());
+  };
+  EXPECT_LE(max_load(first), max_load(modulo_map)) << "adaptive map:\n" << first;
+}
+
+// Without a profile (or with one worker) the adaptive policy degrades to the
+// cluster-modulo default instead of guessing.
+TEST(AdaptivePartition, EmptyProfileFallsBackToClusterModulo) {
+  auto w = build_skewed(3);
+  w->app->set_partition_policy(pedf::Application::PartitionPolicy::kAdaptive);
+  auto base = build_skewed(3);
+  benchutil::run_wide_world(*w);
+  benchutil::run_wide_world(*base);
+  EXPECT_EQ(partition_map_string(*w), partition_map_string(*base));
+  EXPECT_EQ(benchutil::sink_checksum(*w), w->expected_checksum);
 }
 
 }  // namespace

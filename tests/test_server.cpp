@@ -88,6 +88,36 @@ TEST(ServerProtocol, PingAndCapabilities) {
   ASSERT_NE(methods, nullptr);
   EXPECT_GE(methods->size(), 20u);
   EXPECT_TRUE(caps.bool_or("exec"));
+  // Subscribable streams are advertised so clients need not probe.
+  const JsonValue* streams = caps.find("streams");
+  ASSERT_NE(streams, nullptr);
+  bool has_shard_rounds = false;
+  for (std::size_t i = 0; i < streams->size(); ++i)
+    if (streams->at(i).as_string() == "shard_rounds") has_shard_rounds = true;
+  EXPECT_TRUE(has_shard_rounds) << caps.dump();
+}
+
+TEST(ServerProtocol, InfoStatsPromFormat) {
+  Rig rig;
+  rig.server->handle_frame(R"({"id":1,"method":"run"})");
+  JsonValue res =
+      rig.result(R"({"id":2,"method":"info_stats","params":{"format":"prom"}})");
+  EXPECT_EQ(res.str_or("format"), "prom");
+  std::string body = std::string(res.str_or("body"));
+  EXPECT_NE(body.find("# TYPE dfdbg_sim_dispatch counter"), std::string::npos) << body;
+  EXPECT_NE(body.find("dfdbg_link_push "), std::string::npos);
+  // Default (no format) stays the JSON snapshot shape.
+  JsonValue js = rig.result(R"({"id":3,"method":"info_stats"})");
+  EXPECT_NE(js.find("counters"), nullptr);
+}
+
+TEST(ServerProtocol, InfoShardsReportsBackendAndWorkers) {
+  Rig rig;
+  JsonValue res = rig.result(R"({"id":1,"method":"info_shards"})");
+  EXPECT_NE(res.find("backend"), nullptr) << res.dump();
+  EXPECT_NE(res.find("workers"), nullptr);
+  EXPECT_NE(res.find("shards"), nullptr);
+  EXPECT_NE(res.find("rounds"), nullptr);
 }
 
 TEST(ServerProtocol, IdIsEchoedVerbatim) {
@@ -157,6 +187,7 @@ TEST(ServerProtocol, GoldenTranscript) {
       R"({"jsonrpc":"2.0","id":13,"method":"delete_breakpoint","params":{"id":0}})",
       R"({"jsonrpc":"2.0","id":14,"method":"delete_breakpoint","params":{"id":0}})",
       R"({"jsonrpc":"2.0","id":15,"method":"link_tokens","params":{"iface":"ipred::Pipe_in"}})",
+      R"({"jsonrpc":"2.0","id":16,"method":"info_shards"})",
   };
   std::string transcript;
   for (const char* req : requests) {

@@ -173,7 +173,8 @@ void check_notification_framing(const std::string& frame) {
   EXPECT_EQ(doc->find("id"), nullptr) << frame;
   std::string method = doc->str_or("method");
   EXPECT_TRUE(method == "journal.delta" || method == "flow.snapshot" ||
-              method == "stats.delta" || method == "run.event")
+              method == "stats.delta" || method == "run.event" ||
+              method == "shard.rounds")
       << method;
   const JsonValue* params = doc->find("params");
   ASSERT_NE(params, nullptr) << frame;
@@ -658,6 +659,137 @@ TEST(Subscribe, GoldenStreamSchemas) {
   EXPECT_EQ(schema, buf.str())
       << "stream schema diverged from tests/golden/subscribe_schema.txt; if "
          "intentional, regenerate with DFDBG_REGEN_GOLDEN=1 and update docs/PROTOCOL.md";
+}
+
+// --- shard_rounds stream -----------------------------------------------------
+
+/// Pins the process backend (and worker count) for one test, mirroring the
+/// FibersBackendGuard in test_server.cpp. The shard_rounds stream only
+/// carries data under the parallel backend, so its golden is generated with
+/// the backend forced — the test passes identically under any
+/// DFDBG_PROCESS_BACKEND sweep value.
+struct BackendGuard {
+  explicit BackendGuard(sim::ProcessBackend b, int workers = 0)
+      : saved_(sim::default_process_backend()) {
+    const char* prev = std::getenv("DFDBG_PARALLEL_WORKERS");
+    if (prev != nullptr) saved_workers_ = prev;
+    had_workers_ = prev != nullptr;
+    sim::set_default_process_backend(b);
+    if (workers > 0)
+      ::setenv("DFDBG_PARALLEL_WORKERS", std::to_string(workers).c_str(), 1);
+  }
+  ~BackendGuard() {
+    sim::set_default_process_backend(saved_);
+    if (had_workers_)
+      ::setenv("DFDBG_PARALLEL_WORKERS", saved_workers_.c_str(), 1);
+    else
+      ::unsetenv("DFDBG_PARALLEL_WORKERS");
+  }
+
+ private:
+  sim::ProcessBackend saved_;
+  std::string saved_workers_;
+  bool had_workers_ = false;
+};
+
+TEST(Subscribe, ShardRoundsQuietOnFibersBackend) {
+  BackendGuard guard(sim::ProcessBackend::kFibers);
+  ServerThread st;
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  tc.set_timeout_ms(20000);
+  // Subscribing is always accepted — the stream is just empty off-parallel.
+  std::string resp =
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"shard_rounds"}})");
+  auto doc = JsonValue::parse(resp);
+  ASSERT_TRUE(doc.ok()) << resp;
+  const JsonValue* result = doc->find("result");
+  ASSERT_NE(result, nullptr) << resp;
+  EXPECT_EQ(result->str_or("stream"), "shard_rounds");
+  EXPECT_NE(result->find("cursor"), nullptr) << resp;
+
+  std::vector<std::string> notifications;
+  ASSERT_FALSE(tc.request(R"({"id":2,"method":"run"})", &notifications).empty());
+  tc.set_timeout_ms(300);
+  for (;;) {
+    std::string line = tc.read_line();
+    if (line.empty()) break;
+    notifications.push_back(line);
+  }
+  for (const std::string& n : notifications) {
+    auto d = JsonValue::parse(n);
+    ASSERT_TRUE(d.ok());
+    EXPECT_NE(d->str_or("method"), "shard.rounds")
+        << "fibers backend has no barrier rounds: " << n;
+  }
+}
+
+TEST(Subscribe, ShardRoundsSchemaGoldenOnParallelBackend) {
+  BackendGuard guard(sim::ProcessBackend::kParallel, 2);
+  ServerThread st;
+  TestClient tc;
+  ASSERT_TRUE(tc.connect_tcp(st.port));
+  tc.set_timeout_ms(30000);
+  ASSERT_FALSE(
+      tc.request(R"({"id":1,"method":"subscribe","params":{"stream":"shard_rounds"}})")
+          .empty());
+
+  std::vector<std::string> notifications;
+  ASSERT_FALSE(tc.request(R"({"id":2,"method":"run"})", &notifications).empty());
+  tc.set_timeout_ms(500);
+  for (;;) {
+    std::string line = tc.read_line();
+    if (line.empty()) break;
+    notifications.push_back(line);
+  }
+
+  std::vector<JsonValue> rounds_params;
+  std::uint64_t last_round = 0;
+  std::uint64_t total_rounds = 0;
+  for (const std::string& n : notifications) {
+    check_notification_framing(n);
+    auto doc = JsonValue::parse(n);
+    ASSERT_TRUE(doc.ok());
+    if (doc->str_or("method") != "shard.rounds") continue;
+    const JsonValue* p = doc->find("params");
+    ASSERT_NE(p, nullptr) << n;
+    const JsonValue* rounds = p->find("rounds");
+    ASSERT_NE(rounds, nullptr) << n;
+    for (std::size_t i = 0; i < rounds->size(); ++i) {
+      const JsonValue& r = rounds->at(i);
+      // Round ids are the stream cursor: strictly increasing across batches.
+      EXPECT_GT(r.u64_or("round", 0), last_round) << n;
+      last_round = r.u64_or("round", 0);
+      const JsonValue* parts = r.find("partitions");
+      ASSERT_NE(parts, nullptr) << n;
+      EXPECT_EQ(parts->size(), 2u) << "one entry per worker: " << n;
+      ++total_rounds;
+    }
+    rounds_params.push_back(*p);
+  }
+  ASSERT_GT(total_rounds, 0u) << "a parallel decode must stream barrier rounds";
+
+  std::vector<const JsonValue*> ptrs;
+  ptrs.reserve(rounds_params.size());
+  for (const JsonValue& v : rounds_params) ptrs.push_back(&v);
+  std::string schema = "shard.rounds " + schema_of(ptrs) + "\n";
+
+  std::string golden_path =
+      std::string(DFDBG_SOURCE_DIR) + "/tests/golden/subscribe_shards_schema.txt";
+  if (std::getenv("DFDBG_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << schema;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run with DFDBG_REGEN_GOLDEN=1 to create)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(schema, buf.str())
+      << "shard.rounds schema diverged from tests/golden/subscribe_shards_schema.txt; "
+         "if intentional, regenerate with DFDBG_REGEN_GOLDEN=1 and update docs/PROTOCOL.md";
 }
 
 }  // namespace

@@ -116,6 +116,15 @@ struct FilterState {
   std::uint64_t cycles = 0;
 };
 
+/// Per-worker attribution accumulated from `shard.rounds` notifications
+/// (parallel backend only; stays empty elsewhere).
+struct WorkerState {
+  std::uint64_t dispatches = 0;
+  std::uint64_t work_ns = 0;
+  std::uint64_t wait_ns = 0;
+  std::uint64_t stalls = 0;
+};
+
 struct Model {
   std::uint64_t sim_time = 0;
   std::map<std::string, LinkState> links;       // ordered: stable screen rows
@@ -128,6 +137,8 @@ struct Model {
   std::string last_run_event;
   std::string backend;             ///< from capabilities: active process backend
   std::uint64_t workers = 0;       ///< from capabilities: partition count
+  std::vector<WorkerState> shard;  ///< indexed by partition; grown on demand
+  std::uint64_t barrier_rounds = 0;  ///< shard.rounds records consumed
 };
 
 /// One journal event object -> one compact tail line.
@@ -181,6 +192,23 @@ void apply_notification(Model& m, const JsonValue& frame) {
   } else if (method == "run.event") {
     std::string msg = p->str_or("message");
     m.last_run_event = msg.empty() ? p->str_or("kind") : msg;
+  } else if (method == "shard.rounds") {
+    if (const JsonValue* rounds = p->find("rounds"); rounds != nullptr && rounds->is_array()) {
+      m.barrier_rounds += rounds->size();
+      for (std::size_t i = 0; i < rounds->size(); ++i) {
+        const JsonValue* parts = rounds->at(i).find("partitions");
+        if (parts == nullptr || !parts->is_array()) continue;
+        if (m.shard.size() < parts->size()) m.shard.resize(parts->size());
+        for (std::size_t k = 0; k < parts->size(); ++k) {
+          const JsonValue& d = parts->at(k);
+          WorkerState& w = m.shard[k];
+          w.dispatches += d.u64_or("dispatches", 0);
+          w.work_ns += d.u64_or("work_ns", 0);
+          w.wait_ns += d.u64_or("wait_ns", 0);
+          if (d.bool_or("stalled", false)) w.stalls++;
+        }
+      }
+    }
   }
   // stats.delta is accepted but not rendered row-by-row; the header counts
   // already summarize what a dashboard needs.
@@ -219,6 +247,22 @@ void render(const Model& m, bool ansi) {
     scr += strformat("  %-36s %8llu %11llu\n", path.c_str(),
                      static_cast<unsigned long long>(f.firings),
                      static_cast<unsigned long long>(f.cycles));
+  // Worker utilization (parallel backend): share of work vs barrier-wait
+  // accumulated from shard.rounds, as a bar per worker.
+  if (!m.shard.empty()) {
+    scr += strformat("\nworkers (%llu barrier rounds)          util  dispatches  stalls\n",
+                     static_cast<unsigned long long>(m.barrier_rounds));
+    for (std::size_t i = 0; i < m.shard.size(); ++i) {
+      const WorkerState& w = m.shard[i];
+      const std::uint64_t denom = w.work_ns + w.wait_ns;
+      const double util = denom == 0 ? 0.0 : static_cast<double>(w.work_ns) / denom;
+      std::string bar(static_cast<std::size_t>(util * 16.0 + 0.5), '#');
+      bar.resize(16, '.');
+      scr += strformat("  worker %-2zu [%s] %5.1f%% %11llu %7llu\n", i, bar.c_str(),
+                       util * 100.0, static_cast<unsigned long long>(w.dispatches),
+                       static_cast<unsigned long long>(w.stalls));
+    }
+  }
   scr += "\njournal tail\n";
   for (const std::string& line : m.journal_tail) scr += "  " + line + "\n";
   std::fputs(scr.c_str(), stdout);
@@ -275,7 +319,7 @@ int main(int argc, char** argv) {
   int next_id = 1;
   const int cap_id = next_id;
   handshake += strformat("{\"jsonrpc\":\"2.0\",\"id\":%d,\"method\":\"capabilities\"}\n", next_id++);
-  for (const char* stream : {"journal", "info_flow", "stats", "run_events"})
+  for (const char* stream : {"journal", "info_flow", "stats", "run_events", "shard_rounds"})
     handshake += strformat(
         "{\"jsonrpc\":\"2.0\",\"id\":%d,\"method\":\"subscribe\",\"params\":{\"stream\":\"%s\"}}\n",
         next_id++, stream);
