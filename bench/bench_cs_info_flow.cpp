@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/dbgcli/render.hpp"
 
 using namespace dfdbg;
 
@@ -34,7 +35,7 @@ bool transcript_check(std::string* recorded, std::string* provenance) {
     DFDBG_CHECK(out.result == sim::RunResult::kStopped);
   }
   *recorded = session.print_recorded("hwcfg::pipe_MbType_out");
-  *provenance = session.info_last_token("pipe");
+  *provenance = cli::render_or_error(session.last_token_view("pipe"));
   return starts_with(*recorded, "#1 (U16) 5\n#2 (U16) 10\n#3 (U16) 15") &&
          provenance->find("#1 red -> pipe (CbCrMB_t){") != std::string::npos &&
          provenance->find("#2 bh -> red (U32)") != std::string::npos;

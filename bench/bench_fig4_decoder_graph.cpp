@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "dfdbg/dbgcli/render.hpp"
 
 using namespace dfdbg;
 
@@ -50,7 +51,7 @@ Fig4State capture_fig4() {
   out.pipe_ipf = app.app().link_by_iface("ipf::pipe_in")->occupancy();
   out.hwcfg_pipe = app.app().link_by_iface("pipe::MbType_in")->occupancy();
   out.dot = session.graph().to_dot(/*with_tokens=*/true);
-  out.links = session.info_links();
+  out.links = cli::render_text(session.links_view());
   return out;
 }
 

@@ -14,8 +14,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -247,6 +250,66 @@ void BM_HandleFrameInfoLinks(benchmark::State& state) {
   report_latency(state, first.size());
 }
 BENCHMARK(BM_HandleFrameInfoLinks);
+
+/// Resident set size in KiB (VmRSS from /proc/self/status); 0 if unreadable.
+std::size_t vm_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind("VmRSS:", 0) == 0) return std::strtoull(line.c_str() + 6, nullptr, 10);
+  return 0;
+}
+
+/// Fleet density and aggregate service rate: N idle wide-rig sessions in one
+/// process, each a full debug world (kernel + app + quota-sized private
+/// journal). Memory cost per session comes from the VmRSS delta across
+/// creation; the aggregate requests/sec is round-robin `info_links` across
+/// every session through the fleet dispatch path (session resolution +
+/// journal scope + stat-mirror refresh on each request).
+void BM_FleetSessions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  server::ServerConfig scfg;
+  scfg.max_sessions = static_cast<std::size_t>(n) + 8;
+  dbg::SessionFactory factory;
+  server::DebugServer srv(factory, scfg);
+
+  const std::size_t rss0 = vm_rss_kb();
+  const std::string create =
+      R"({"jsonrpc":"2.0","id":1,"method":"session_create","params":{"rig":"wide",)"
+      R"("pipelines":1,"stages":1,"tokens":4,"spin":1,"quota":{"journal_capacity":256}}})";
+  for (int i = 0; i < n; ++i)
+    DFDBG_CHECK(srv.handle_frame(create).find("\"ok\":true") != std::string::npos);
+  const std::size_t rss1 = vm_rss_kb();
+
+  // google-benchmark re-enters this function to calibrate iteration counts;
+  // after the first pass the allocator holds the peak RSS and the delta
+  // collapses. Keep the first (cold) measurement per fleet size.
+  static std::map<int, double> cold_delta_kb;
+  if (cold_delta_kb.find(n) == cold_delta_kb.end())
+    cold_delta_kb[n] = rss1 > rss0 ? static_cast<double>(rss1 - rss0) : 0.0;
+
+  obs::Registry::global().histogram("server.request_ns").reset();
+  std::uint64_t sid = 1;  // fleet-only host: session ids are 1..n
+  for (auto _ : state) {
+    std::string frame =
+        R"({"jsonrpc":"2.0","id":2,"method":"info_links","params":{"session":)" +
+        std::to_string(sid) + "}}";
+    std::string resp = srv.handle_frame(frame);
+    benchmark::DoNotOptimize(resp.data());
+    sid = sid % static_cast<std::uint64_t>(n) + 1;
+  }
+
+  const double kb = cold_delta_kb[n];
+  const obs::Histogram& h = obs::Registry::global().histogram("server.request_ns");
+  state.counters["sessions"] = n;
+  state.counters["kb_per_session"] = kb / static_cast<double>(n);
+  state.counters["sessions_per_gb"] =
+      kb > 0.0 ? static_cast<double>(n) * (1024.0 * 1024.0) / kb : 0.0;
+  state.counters["p50_ns"] = static_cast<double>(h.percentile(0.50));
+  state.counters["p99_ns"] = static_cast<double>(h.percentile(0.99));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FleetSessions)->Arg(1)->Arg(64)->Arg(1024)->UseRealTime();
 
 }  // namespace
 

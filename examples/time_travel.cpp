@@ -8,6 +8,7 @@
 // Build & run:   ./build/examples/time_travel
 #include <cstdio>
 
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/dbgcli/timetravel.hpp"
 #include "dfdbg/h264/app.hpp"
 
@@ -65,7 +66,7 @@ int main() {
               tt.stop_count());
   std::printf("\nred has fired exactly %llu time(s) now; the upstream token is intact:\n",
               static_cast<unsigned long long>(tt.session().graph().actor_by_name("red")->firings));
-  std::printf("%s", tt.session().info_last_token("red").c_str());
+  std::printf("%s", cli::render_or_error(tt.session().last_token_view("red")).c_str());
   std::printf("\n(gdb) continue           # forward again, deterministically\n");
   auto out = tt.cont();
   std::printf("%s   (t=%llu)\n", out.stops.empty() ? "<end>" : out.stops[0].message.c_str(),

@@ -5,6 +5,7 @@
 // Build & run:   ./build/examples/trace_compare
 #include <cstdio>
 
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/h264/app.hpp"
 #include "dfdbg/trace/trace.hpp"
@@ -67,9 +68,9 @@ int main() {
       if (occ >= 20) break;
     }
     std::printf("stopped after %d sends: pipe->ipf holds %zu tokens, live\n", stops, occ);
-    std::printf("%s", session.info_filter("pipe").c_str());
+    std::printf("%s", cli::render_or_error(session.filter_view("pipe")).c_str());
     std::printf("scheduling state of module pred at the stop:\n%s",
-                session.info_sched("pred").c_str());
+                cli::render_or_error(session.sched_view("pred")).c_str());
     std::printf("-> the execution is FROZEN at the stall: every token is still\n"
                 "   in flight and inspectable; pipe fired once but pushed %llu\n"
                 "   control tokens this MB — the rate bug, caught in the act.\n",

@@ -264,6 +264,94 @@ wait "$serve_pid" 2>/dev/null || true
 rm -f "$sock"
 echo "ok: dfdbg-top rendered from pushed frames"
 
+echo "== fleet gate (protocol v2, 8 sessions / 2 shards) =="
+# Multi-session host: create 8 wide-graph sessions pinned alternately to two
+# shards, run each to completion, and validate isolation (each session's
+# journal/token counts are its own; the default session records nothing),
+# the --session client flag, the v1 default-session alias, and clean idle
+# eviction (docs/PROTOCOL.md "Sessions").
+sock="build/dfdbg_fleet.sock"
+rm -f "$sock"
+./build/tools/dfdbg-serve --unix "$sock" --shards 2 --max-sessions 32 \
+  --idle-evict-ms 200 >"build/serve_fleet.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { echo "FAIL: dfdbg-serve died"; cat "build/serve_fleet.log"; exit 1; }
+  sleep 0.05
+done
+[ -S "$sock" ] || { echo "FAIL: dfdbg-serve never listened"; exit 1; }
+out="build/fleet_check.txt"
+{
+  printf ':capabilities\n'
+  for i in $(seq 0 7); do
+    printf ':session_create {"rig":"wide","name":"w%d","shard":%d,"pipelines":1,"stages":1,"tokens":%d,"spin":1}\n' \
+      "$i" $((i % 2)) $((4 + i))
+    printf ':run\n'
+    printf ':session_detach\n'
+  done
+  printf ':session_list\n'
+} | ./build/tools/dfdbg-client --unix "$sock" --raw >"$out" \
+  || { echo "FAIL: fleet dfdbg-client exited non-zero"; cat "$out"; exit 1; }
+if [ "$have_python" -eq 1 ]; then
+  python3 - "$out" <<'PYEOF'
+import json, sys
+frames = [json.loads(ln) for ln in open(sys.argv[1]) if ln.strip()]
+responses = [f for f in frames if "id" in f]
+for f in responses:
+    assert "error" not in f, f"error frame: {f}"
+caps = responses[0]["result"]
+assert caps["protocol"] == 2, f"expected protocol 2: {caps}"
+assert caps["shards"] == 2, f"expected 2 shards: {caps}"
+assert caps["session_create"] is True, f"session_create not advertised: {caps}"
+listing = responses[-1]["result"]
+assert listing["count"] == 9, f"expected 8 sessions + default: {listing}"
+by_name = {s["name"]: s for s in listing["sessions"]}
+for i in range(8):
+    s = by_name[f"w{i}"]
+    assert s["shard"] == i % 2, f"w{i} pinned to wrong shard: {s}"
+    # Isolation: each session recorded its own run into its private journal,
+    # and bigger graphs recorded strictly more token uids.
+    assert s["journal_events"] > 0, f"w{i} recorded nothing: {s}"
+    assert s["last_token"] > 0, f"w{i} allocated no token uids: {s}"
+    if i > 0:
+        assert s["last_token"] > by_name[f"w{i-1}"]["last_token"], \
+            f"w{i} token count not isolated from w{i-1}: {s}"
+default = next(s for s in listing["sessions"] if s["default"])
+assert default["journal_events"] == 0, \
+    f"wide-session runs leaked into the default session journal: {default}"
+print(f"ok: 8 sessions across 2 shards, isolation holds")
+PYEOF
+else
+  grep -q '"count":9' "$out" || { echo "FAIL: fleet session_list wrong"; cat "$out"; exit 1; }
+fi
+# --session attaches before the first command; the attached session answers.
+printf ':info_links\n' \
+  | ./build/tools/dfdbg-client --unix "$sock" --raw --session w3 >"build/fleet_session_flag.txt" \
+  || { echo "FAIL: dfdbg-client --session exited non-zero"; cat "build/fleet_session_flag.txt"; exit 1; }
+grep -q '"links"' "build/fleet_session_flag.txt" \
+  || { echo "FAIL: --session w3 got no links"; cat "build/fleet_session_flag.txt"; exit 1; }
+# v1 alias: a client that never mentions sessions is served by the default
+# H.264 session exactly as the single-session server answered.
+printf '%s\n' ':ping' ':info_links' \
+  | ./build/tools/dfdbg-client --unix "$sock" --raw >"build/fleet_v1.txt" \
+  || { echo "FAIL: v1-compat client exited non-zero"; cat "build/fleet_v1.txt"; exit 1; }
+grep -q '"pong":true' "build/fleet_v1.txt" || { echo "FAIL: v1 ping"; exit 1; }
+grep -q 'coeff_in' "build/fleet_v1.txt" \
+  || { echo "FAIL: v1 info_links did not serve the default decoder session"; cat "build/fleet_v1.txt"; exit 1; }
+if grep -q '"error"' "build/fleet_v1.txt"; then echo "FAIL: v1 transcript has errors"; exit 1; fi
+# Clean eviction: with every client gone, the 200ms idle timeout reaps all 8
+# wide sessions; the default session is exempt.
+sleep 0.8
+printf ':session_list\n:shutdown\n' \
+  | ./build/tools/dfdbg-client --unix "$sock" --raw >"build/fleet_evict.txt" \
+  || { echo "FAIL: evict-check client exited non-zero"; cat "build/fleet_evict.txt"; exit 1; }
+wait "$serve_pid" || { echo "FAIL: dfdbg-serve exited non-zero"; exit 1; }
+grep -q '"count":1' "build/fleet_evict.txt" \
+  || { echo "FAIL: idle sessions not evicted"; cat "build/fleet_evict.txt"; exit 1; }
+rm -f "$sock"
+echo "ok: fleet gate (isolation, --session, v1 alias, idle eviction)"
+
 echo "== sanitizer gate (ASan+UBSan) =="
 # The token hot path (SBO Value, ring-buffer Link, batched push_n/pop_n) is
 # manual-lifetime code: build it under AddressSanitizer + UBSan and run the

@@ -24,4 +24,11 @@ namespace dfdbg::cli {
 /// The legacy inline-error body of a failed query: "<" + message + ">".
 [[nodiscard]] std::string render_error(const Status& s);
 
+/// render_text(*r) on success, render_error(status) on failure — the exact
+/// byte contract of the retired string-query Session methods.
+template <typename V>
+[[nodiscard]] std::string render_or_error(const Result<V>& r) {
+  return r.ok() ? render_text(*r) : render_error(r.status());
+}
+
 }  // namespace dfdbg::cli

@@ -145,40 +145,3 @@ std::string render_text(const dbg::ShardProfileView& v) {
 std::string render_error(const Status& s) { return "<" + s.message() + ">"; }
 
 }  // namespace dfdbg::cli
-
-// ---------------------------------------------------------------------------
-// Deprecated Session string-query shims (one PR of grace; see session.hpp)
-// ---------------------------------------------------------------------------
-
-namespace dfdbg::dbg {
-
-std::string Session::info_links() const { return cli::render_text(links_view()); }
-
-std::string Session::info_filter(const std::string& filter) const {
-  auto v = filter_view(filter);
-  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
-}
-
-std::string Session::info_sched(const std::string& module) const {
-  auto v = sched_view(module);
-  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
-}
-
-std::string Session::info_last_token(const std::string& filter, std::size_t depth) const {
-  auto v = last_token_view(filter, depth);
-  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
-}
-
-std::string Session::whence(const std::string& iface, std::size_t slot, std::size_t depth) const {
-  auto v = whence_chain(iface, slot, depth);
-  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
-}
-
-std::string Session::info_link_tokens(const std::string& iface) const {
-  auto v = link_tokens_view(iface);
-  return v.ok() ? cli::render_text(*v) : cli::render_error(v.status());
-}
-
-std::string Session::info_profile() const { return cli::render_text(profile_snapshot()); }
-
-}  // namespace dfdbg::dbg

@@ -213,29 +213,6 @@ class Session {
   /// kernel is parallel.
   [[nodiscard]] ShardProfileView shard_profile() const;
 
-  // DEPRECATED string-rendered queries, kept as shims for one PR: each is
-  // `render_text(<view>)` / `"<" + status.message() + ">"` on error, exactly
-  // the historical output. Defined in src/dbgcli/render.cpp next to the
-  // renderers, so callers must link dfdbg::cli (every in-tree consumer
-  // already does). New code should use the *_view queries above.
-
-  /// DEPRECATED — use last_token_view() + cli::render_text().
-  [[nodiscard]] std::string info_last_token(const std::string& filter,
-                                            std::size_t depth = 8) const;
-  /// DEPRECATED — use whence_chain() + cli::render_text().
-  [[nodiscard]] std::string whence(const std::string& iface, std::size_t slot,
-                                   std::size_t depth = 8) const;
-  /// DEPRECATED — use filter_view() + cli::render_text().
-  [[nodiscard]] std::string info_filter(const std::string& filter) const;
-  /// DEPRECATED — use links_view() + cli::render_text().
-  [[nodiscard]] std::string info_links() const;
-  /// DEPRECATED — use link_tokens_view() + cli::render_text().
-  [[nodiscard]] std::string info_link_tokens(const std::string& iface) const;
-  /// DEPRECATED — use sched_view() + cli::render_text().
-  [[nodiscard]] std::string info_sched(const std::string& module) const;
-  /// DEPRECATED — use profile_snapshot() + cli::render_text().
-  [[nodiscard]] std::string info_profile() const;
-
   // --- information flow --------------------------------------------------------
 
   /// `filter <f> configure splitter|pipeline|merger`.

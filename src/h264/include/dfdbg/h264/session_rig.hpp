@@ -1,0 +1,17 @@
+// Registers the H.264 decoder as a fleet-host session rig ("h264").
+//
+// Lives here rather than in src/debug because the decoder links against the
+// debug layer (df_h264 depends on df_debug), not under it: the factory's
+// built-in rigs must not pull the codec into every debug consumer.
+#pragma once
+
+#include "dfdbg/debug/session_host.hpp"
+
+namespace dfdbg::h264 {
+
+/// Adds the "h264" rig to `factory`. SessionSpec knobs consumed: width,
+/// height, frames, fault ("" | "rate-mismatch" | "corrupt-splitter" |
+/// "drop-config" | "skip-ipf"), trigger_mb, seed, backend, workers.
+void register_session_rig(dbg::SessionFactory& factory);
+
+}  // namespace dfdbg::h264

@@ -1,0 +1,64 @@
+#include "dfdbg/h264/session_rig.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "dfdbg/h264/app.hpp"
+#include "dfdbg/sim/context.hpp"
+
+namespace dfdbg::h264 {
+namespace {
+
+Result<FaultPlan::Kind> parse_fault(const std::string& name) {
+  if (name.empty() || name == "none") return FaultPlan::Kind::kNone;
+  if (name == "rate-mismatch") return FaultPlan::Kind::kRateMismatch;
+  if (name == "corrupt-splitter") return FaultPlan::Kind::kCorruptSplitter;
+  if (name == "drop-config") return FaultPlan::Kind::kDropConfig;
+  if (name == "skip-ipf") return FaultPlan::Kind::kSkipIpf;
+  return Status::error(ErrCode::kInvalidArgument, "unknown fault '" + name + "'");
+}
+
+/// The default backend is flipped around H264App::build (which constructs
+/// its own kernel); SessionFactory::build serializes rig builders process-
+/// wide, so the override cannot leak into a concurrent create.
+struct BackendOverride {
+  sim::ProcessBackend prev = sim::default_process_backend();
+  explicit BackendOverride(sim::ProcessBackend b) { sim::set_default_process_backend(b); }
+  ~BackendOverride() { sim::set_default_process_backend(prev); }
+};
+
+Result<dbg::SessionFactory::RigParts> build_h264(const dbg::SessionSpec& spec) {
+  if (spec.width < 16 || spec.height < 16 || spec.width % 16 != 0 || spec.height % 16 != 0)
+    return Status::error(ErrCode::kInvalidArgument, "h264 rig needs 16-aligned width/height");
+  if (spec.frames < 1) return Status::error(ErrCode::kInvalidArgument, "h264 rig needs frames >= 1");
+  auto fault = parse_fault(spec.fault);
+  if (!fault.ok()) return fault.status();
+  auto backend = dbg::parse_backend(spec.backend);
+  if (!backend.ok()) return backend.status();
+
+  H264AppConfig cfg;
+  cfg.params.width = spec.width;
+  cfg.params.height = spec.height;
+  cfg.params.frame_count = spec.frames;
+  cfg.seed = spec.seed;
+  cfg.fault.kind = *fault;
+  cfg.fault.trigger_mb = spec.trigger_mb;
+
+  BackendOverride guard(*backend);
+  auto app = H264App::build(cfg);
+  if (!app.ok()) return app.status();
+  auto rig = std::shared_ptr<H264App>(std::move(*app));
+  dbg::SessionFactory::RigParts parts;
+  parts.app = &rig->app();
+  parts.kernel = &rig->kernel();
+  parts.holder = std::move(rig);
+  return parts;
+}
+
+}  // namespace
+
+void register_session_rig(dbg::SessionFactory& factory) {
+  factory.register_rig("h264", build_h264);
+}
+
+}  // namespace dfdbg::h264

@@ -261,6 +261,7 @@ class Journal {
   std::uint64_t dropped_ = 0;
   Journal* parent_ = nullptr;     ///< set on shards: intern/gate delegate here
   std::uint64_t uid_base_ = 0;    ///< shard token-id range start (0 = delegate)
+  std::uint64_t tokens_reported_ = 0;  ///< shard allocs already merged to base
   // Guards the intern table: parallel workers intern concurrently through
   // their shard (which forwards here). std::deque: name() returns stable
   // references across growth, so the returned ref outlives the lock.

@@ -62,6 +62,17 @@ void Journal::merge_from(Journal& shard) {
   dropped_ += shard.dropped_;
   shard.dropped_ = 0;
   shard.ring_.clear();  // keeps the allocation; total_pushed is unused on shards
+  // Fold the shard's token-allocation count into this journal's counter so
+  // `last_token()` — and the token-budget quota built on it — sees tokens
+  // allocated from disjoint shard uid ranges. Delta-tracked: the shard's own
+  // counter is never reset (its uids must stay unique), and our low-range
+  // allocator only skips ahead, never reuses ids. Single-partition shards
+  // (uid_base 0) delegate allocation here directly and report nothing.
+  if (shard.uid_base_ != 0) {
+    const std::uint64_t cur = shard.last_token_.load(std::memory_order_relaxed);
+    last_token_.fetch_add(cur - shard.tokens_reported_, std::memory_order_relaxed);
+    shard.tokens_reported_ = cur;
+  }
 }
 
 void Journal::set_capacity(std::size_t cap) {

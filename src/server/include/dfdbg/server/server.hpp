@@ -1,41 +1,48 @@
-// The multi-client debug server: exposes a Session's command surface over
-// newline-delimited JSON-RPC on a TCP or Unix-domain socket (protocol.hpp).
+// The multi-session debug fleet host: exposes N debug sessions' command
+// surfaces over newline-delimited JSON-RPC on a TCP or Unix-domain socket
+// (protocol.hpp), multiplexed across per-core poll loops.
 //
-// Concurrency model: ONE thread runs serve() — a poll(2) event loop that
-// accepts clients, reassembles frames and executes verbs synchronously
-// against the Session. The simulation kernel is cooperative and
-// deterministic (fibers or blocked threads), so every verb — including
-// `run`, which resumes the simulation — executes on the serving thread and
-// clients observe a single consistent interleaving; no locks are needed and
-// the determinism guarantees of the kernel are preserved. Multiple clients
-// are multiplexed, not parallelized: requests are handled in arrival order.
+// Concurrency model: the server runs `config.shards` poll loops — shard 0 on
+// the serve() caller's thread (it also owns the listening socket), shards
+// 1..N-1 on spawned threads. Every session is pinned to exactly one shard
+// and every verb against it executes on that shard's thread, so the
+// cooperative deterministic kernels (fibers or blocked threads) never share
+// state and no locks guard the debug worlds themselves; only the session
+// table and the client-handoff queues are mutex-guarded. Clients are
+// multiplexed, not parallelized, *within* a shard: requests are handled in
+// arrival order and each `run` verb parks its whole shard — but shards
+// progress independently, which is what makes N sessions on K cores scale.
+//
+// Protocol v2 (see docs/PROTOCOL.md): requests may carry a `session` param
+// (id or name); clients may `session_attach` to make it implicit. Clients
+// with neither are served by the *default session* — the v1 alias that keeps
+// single-session clients byte-compatible. A client follows its session: a
+// `session_create`/`session_attach`/`session_destroy` naming a session on
+// another shard migrates the connection to that shard (buffered input and
+// all); other verbs refuse cross-shard targets.
+//
+// Subscriptions are session-scoped: each stream binding (journal deltas,
+// flow/stats snapshots, run events, shard rounds) is bound at subscribe time
+// to the resolved session and every notification's params carry a
+// `"session":<id>` tag. Backpressure is unchanged from the single-session
+// server: bounded outbound buffers, snapshot coalescing, journal gap
+// reporting (server.sub.* counters).
 //
 // serve() blocks until the `shutdown` verb arrives or request_shutdown() is
-// called from another thread (a self-pipe wakes the poll loop).
-//
-// Subscriptions (the streaming half of the protocol): a client may
-// `subscribe` to named streams — `journal` (provenance-event deltas with a
-// resumable cursor), `info_flow` (periodic link-occupancy snapshots),
-// `stats` (changed-keys registry deltas), `run_events` (stop events as they
-// happen), `shard_rounds` (parallel-backend barrier-round attribution
-// records with a resumable round cursor) — and the server pushes JSON-RPC
-// *notifications* (frames without an `id`) interleaved with ordinary
-// responses on the same connection.
-// Backpressure is explicit: each client's outbound buffer is bounded by
-// `max_outbound_bytes`; while a client is over the bound, periodic
-// snapshots are coalesced (skipped and counted in `server.sub.coalesced`)
-// and journal reads pause — if the ring then laps the paused cursor the
-// lost span is reported in-band as a `gap` and counted in
-// `server.sub.dropped`. A slow subscriber therefore costs bounded memory
-// and never blocks the loop or other clients.
+// called from another thread (a self-pipe per shard wakes the poll loops).
+// Each shard destroys its own sessions on exit — fiber stacks are unwound on
+// the thread that created them.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -43,8 +50,10 @@
 #include "dfdbg/common/status.hpp"
 #include "dfdbg/dbgcli/cli.hpp"
 #include "dfdbg/debug/session.hpp"
+#include "dfdbg/debug/session_host.hpp"
 #include "dfdbg/obs/journal.hpp"
 #include "dfdbg/obs/metrics.hpp"
+#include "dfdbg/server/session_manager.hpp"
 
 namespace dfdbg::server {
 
@@ -53,7 +62,8 @@ struct ServerConfig {
   /// disconnected: a stream that never produces '\n' would otherwise grow
   /// the reassembly buffer without bound.
   std::size_t max_frame_bytes = 1 << 20;
-  /// Accepted connections beyond this are refused (accept+close).
+  /// Accepted connections beyond this are refused (accept+close). Counted
+  /// across all shards.
   std::size_t max_clients = 32;
   /// Gate for the `exec` verb (raw CLI line execution). Disable to restrict
   /// remote clients to the structured verb set.
@@ -69,15 +79,40 @@ struct ServerConfig {
   /// Max journal events per journal.delta notification. Smaller batches
   /// interleave finer with snapshots; larger ones cost less framing.
   std::size_t journal_batch = 64;
+
+  // --- fleet-host knobs -----------------------------------------------------
+
+  /// Poll loops (>= 1). A session is pinned at create time to the shard the
+  /// request names (`shard` param) or, absent that, the shard the creating
+  /// client is on; shard 0 runs on the serve() caller.
+  int shards = 1;
+  /// Hosted-session ceiling (the default session counts).
+  std::size_t max_sessions = 4096;
+  /// Gate for the `session_create` verb (a factory must also be set).
+  bool allow_session_create = true;
+  /// Quota applied when session_create carries none.
+  dbg::SessionQuota default_quota;
 };
 
 class DebugServer {
  public:
+  /// Single-session (v1-compatible) host: `session` becomes the default
+  /// session, served from shard 0, its journal the process-wide ring.
+  /// Call set_factory() to additionally enable session_create.
   explicit DebugServer(dbg::Session& session, ServerConfig config = {});
+
+  /// Fleet-only host: no default session. Clients must session_create or
+  /// session_attach before using session-scoped verbs.
+  explicit DebugServer(dbg::SessionFactory& factory, ServerConfig config = {});
+
   ~DebugServer();
 
   DebugServer(const DebugServer&) = delete;
   DebugServer& operator=(const DebugServer&) = delete;
+
+  /// Enables session_create on a single-session server (the factory must
+  /// outlive the server).
+  void set_factory(dbg::SessionFactory* factory) { manager_.set_factory(factory); }
 
   /// Binds and listens on `host:port` (port 0 = ephemeral). Returns the
   /// bound port.
@@ -85,11 +120,11 @@ class DebugServer {
   /// Binds and listens on a Unix-domain socket path (unlinked first).
   Status listen_unix(const std::string& path);
 
-  /// Runs the event loop on the calling thread until shutdown. Requires a
-  /// prior successful listen_tcp()/listen_unix().
+  /// Runs shard 0's event loop on the calling thread (spawning shards
+  /// 1..N-1) until shutdown. Requires a prior successful listen_*().
   Status serve();
 
-  /// Thread-safe: wakes the poll loop and makes serve() return.
+  /// Thread-safe: wakes every poll loop and makes serve() return.
   void request_shutdown();
 
   /// Bound TCP port (0 before listen_tcp()).
@@ -98,10 +133,19 @@ class DebugServer {
   /// Decodes and executes ONE request frame (no trailing newline), returns
   /// the response frame. This is the whole protocol minus the socket —
   /// public so tests and benchmarks can drive the verb table in-process.
+  /// Runs as shard 0; sessions it creates are pinned there.
   std::string handle_frame(std::string_view frame);
 
-  [[nodiscard]] dbg::Session& session() { return session_; }
+  /// The default session (legacy accessor; only valid on a server built
+  /// with the single-session constructor).
+  [[nodiscard]] dbg::Session& session() { return *default_->session; }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] SessionManager& sessions() { return manager_; }
+
+  /// Runs one idle-eviction sweep for shard 0 at a synthetic "now" offset
+  /// (milliseconds from server start). Test hook: lets eviction be driven
+  /// without a poll loop or wall-clock waits.
+  std::size_t evict_idle_for_test(std::uint64_t now_ms);
 
  private:
   struct Client {
@@ -110,13 +154,24 @@ class DebugServer {
     std::string out;  ///< responses not yet written
     bool close_after_flush = false;
 
-    // --- subscription state (all default-off) -------------------------------
-    bool sub_journal = false;
-    bool sub_flow = false;
-    bool sub_stats = false;
-    bool sub_run_events = false;
-    bool sub_shard_rounds = false;
-    /// Resume point into the journal ring (absolute sequence).
+    /// Session this client is attached to (0 = none: verbs fall back to the
+    /// default session).
+    std::uint64_t attached = 0;
+
+    /// Set by dispatch when a verb must run on another shard: the client —
+    /// fd, buffers, bindings — moves to that shard's intake, carrying the
+    /// triggering frame in `pending` for re-execution there.
+    int migrate_to = -1;
+    std::string pending;
+
+    // --- subscription state: the session id each stream is bound to
+    // (0 = not subscribed) -----------------------------------------------
+    std::uint64_t sub_journal = 0;
+    std::uint64_t sub_flow = 0;
+    std::uint64_t sub_stats = 0;
+    std::uint64_t sub_run_events = 0;
+    std::uint64_t sub_shard_rounds = 0;
+    /// Resume point into the bound session's journal ring (absolute seq).
     std::uint64_t journal_cursor = 0;
     /// Resume point into the barrier-round record ring (round ids are
     /// monotonic, so "rounds after N" is a stable cursor even as the ring
@@ -129,54 +184,105 @@ class DebugServer {
     std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>> flow_prev;
 
     [[nodiscard]] bool subscribed() const {
-      return sub_journal || sub_flow || sub_stats || sub_run_events || sub_shard_rounds;
+      return sub_journal != 0 || sub_flow != 0 || sub_stats != 0 || sub_run_events != 0 ||
+             sub_shard_rounds != 0;
     }
     /// Periodic streams force a poll timeout; event streams do not.
-    [[nodiscard]] bool wants_tick() const { return sub_flow || sub_stats; }
+    [[nodiscard]] bool wants_tick() const { return sub_flow != 0 || sub_stats != 0; }
+    /// True if any binding or the attachment references session `sid`.
+    [[nodiscard]] bool references(std::uint64_t sid) const {
+      return attached == sid || sub_journal == sid || sub_flow == sid || sub_stats == sid ||
+             sub_run_events == sid || sub_shard_rounds == sid;
+    }
+    /// Clears the attachment and every binding referencing session `sid`.
+    void drop_session(std::uint64_t sid) {
+      if (attached == sid) attached = 0;
+      if (sub_journal == sid) sub_journal = 0;
+      if (sub_flow == sid) sub_flow = 0;
+      if (sub_stats == sid) sub_stats = 0;
+      if (sub_run_events == sid) sub_run_events = 0;
+      if (sub_shard_rounds == sid) sub_shard_rounds = 0;
+    }
   };
+
+  /// One poll loop. Shard 0 additionally owns accept().
+  struct Shard {
+    int index = 0;
+    int wake_pipe[2] = {-1, -1};
+    std::vector<std::unique_ptr<Client>> clients;
+    std::chrono::steady_clock::time_point last_tick{};
+    std::mutex mu;  ///< guards intake
+    std::vector<std::unique_ptr<Client>> intake;  ///< migrated clients, pending adoption
+    std::thread thread;  ///< shards 1..N-1 only
+  };
+
+  void init(ServerConfig config);
 
   /// handle_frame with the requesting connection attached (nullptr for the
   /// in-process entry point: subscribe verbs then report an error, since
-  /// there is no socket to push to).
-  std::string handle_frame_for(std::string_view frame, Client* client);
+  /// there is no socket to push to). `replay` suppresses the request
+  /// counters when re-executing a migrated frame on its new shard.
+  std::string handle_frame_for(std::string_view frame, Client* client, int shard,
+                               bool replay = false);
   std::string dispatch(const std::string& method, const JsonValue& params,
-                       const std::string& id_json, Client* client);
+                       const std::string& id_json, Client* client, int shard);
+
+  /// Resolves the target session of a request: explicit `session` param
+  /// (id or name) > client attachment > default session. When
+  /// `pin_to_shard`, a session owned by another shard is an error (the
+  /// migrating verbs pass false and handle the move themselves).
+  Result<HostedSession*> resolve(const JsonValue& params, Client* client, int shard,
+                                 bool pin_to_shard = true);
+
+  Status run_shard(int shard);
+  void adopt_intake(int shard);
   void accept_clients();
-  /// Reads from client `i`; frames and executes requests. Returns false if
-  /// the client disconnected (and was closed).
-  bool service_input(std::size_t i);
+  /// Reads from client `i` of `shard`; frames and executes requests.
+  /// Returns false if the client disconnected or migrated away.
+  bool service_input(int shard, std::size_t i);
+  /// Executes `c.pending` (a migrated frame) then every complete frame in
+  /// `c.in`. Returns false if the client migrated (again) mid-buffer.
+  bool process_buffered(int shard, Client& c);
   /// Flushes pending output of client `i`. Returns false on write error.
-  bool flush_output(std::size_t i);
-  void close_client(std::size_t i);
+  bool flush_output(int shard, std::size_t i);
+  void close_client(int shard, std::size_t i);
   void enqueue(Client& c, std::string frame);
+  /// Hands `c` (owned) to `target`'s intake and wakes it.
+  void migrate_client(std::unique_ptr<Client> c, int target);
+  std::size_t evict_idle(int shard, std::uint64_t now_ms);
+  [[nodiscard]] std::uint64_t now_ms() const;
 
   // --- push-stream machinery ------------------------------------------------
 
-  /// Resolves journal link ids to application link names.
-  [[nodiscard]] obs::Journal::LinkNamer link_namer();
-  /// Enqueues one notification frame onto `c` (counts server.sub.*).
-  void push_notification(Client& c, const std::string& method, std::string params_json);
+  /// Resolves journal link ids to application link names for `hs`.
+  [[nodiscard]] static obs::Journal::LinkNamer link_namer(HostedSession& hs);
+  /// Enqueues one notification frame onto `c`, tagging the params object
+  /// with the originating session id (counts server.sub.*).
+  void push_notification(Client& c, const std::string& method, std::string params_json,
+                         std::uint64_t sid);
   /// Produces everything `c` is owed — journal deltas up to the outbound
   /// bound, plus flow/stats snapshots when `tick_due` — without flushing.
-  void pump_client(Client& c, bool tick_due);
-  /// Session stop observer: fans a stop event out to `run_events`
-  /// subscribers *while the triggering request is still executing*, with a
-  /// best-effort non-blocking send so the event precedes the response on
-  /// the wire. Never closes a client (the poll loop owns lifecycle).
-  void on_stop_event(const dbg::StopEvent& ev);
+  /// Bindings to vanished sessions are silently cleared.
+  void pump_client(Client& c, int shard, bool tick_due);
+  /// Per-session stop observer: fans a stop event out to the owning shard's
+  /// `run_events` subscribers *while the triggering request is still
+  /// executing*, with a best-effort non-blocking send so the event precedes
+  /// the response on the wire. Runs on the owning shard's thread.
+  void on_stop_event(HostedSession& hs, const dbg::StopEvent& ev);
+  /// Installs the stop observer on a newly created hosted session.
+  void install_stop_observer(HostedSession& hs);
 
-  dbg::Session& session_;
   ServerConfig config_;
-  /// Executes `exec` verbs; its console buffers each command's transcript.
-  std::unique_ptr<cli::Interpreter> interp_;
+  SessionManager manager_;
+  HostedSession* default_ = nullptr;  ///< null on a fleet-only server
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::string unix_path_;
-  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: request_shutdown() -> poll()
-  bool shutdown_ = false;
-  std::vector<Client> clients_;
-  std::chrono::steady_clock::time_point last_tick_{};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::size_t> client_count_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::chrono::steady_clock::time_point start_time_{};
 };
 
 }  // namespace dfdbg::server

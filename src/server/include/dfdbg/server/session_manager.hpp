@@ -1,0 +1,150 @@
+// The fleet host's session table: N independent debug sessions per process.
+//
+// Each hosted session is a complete debug world (kernel + app + private
+// journal + dbg::Session) built by a dbg::SessionFactory rig, pinned to one
+// server shard. The single-threaded deterministic kernels never share state:
+// every verb against a session executes on its owning shard's poll thread,
+// under the session's thread-journal override.
+//
+// Thread model: the table itself (create/destroy/lookup/list) is mutex-
+// guarded and callable from any shard. The *worlds* are not — a session's
+// kernel, dbg::Session and interpreter may only be touched by the owning
+// shard, and create/destroy must run there too (ucontext fibers are created,
+// run and unwound on one thread). Cross-shard observability (session_list)
+// reads the per-session atomic stat mirrors, refreshed by the owning shard
+// after each verb.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dfdbg/common/status.hpp"
+#include "dfdbg/dbgcli/cli.hpp"
+#include "dfdbg/debug/session_host.hpp"
+
+namespace dfdbg::server {
+
+/// One hosted debug session. Identity fields (id/name/rig/shard/quota) are
+/// immutable after creation; the world and interpreter belong to the owning
+/// shard; the `stat_*` mirrors are the only cross-shard-readable state.
+struct HostedSession {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string rig;
+  int shard = 0;
+  dbg::SessionQuota quota;
+  bool is_default = false;  ///< the v1 alias target; never evicted/destroyed
+
+  /// Null for an externally-owned default session (legacy single-session
+  /// constructor): the server then serves it but does not own its lifetime.
+  std::unique_ptr<dbg::SessionWorld> world;
+  dbg::Session* session = nullptr;
+  obs::Journal* journal = nullptr;  ///< world's journal, or the process ring
+  std::unique_ptr<cli::Interpreter> interp;  ///< lazy; owning shard only
+
+  /// Attachment count. Atomic because a client that migrated away can detach
+  /// from its previous session cross-shard; all other use is owning-shard.
+  std::atomic<int> attached_clients{0};
+
+  // Cross-shard stat mirrors (relaxed; refreshed by the owning shard).
+  std::atomic<std::uint64_t> stat_requests{0};
+  std::atomic<std::uint64_t> stat_journal_events{0};
+  std::atomic<std::uint64_t> stat_last_token{0};
+  std::atomic<std::int64_t> stat_clients{0};
+  std::atomic<std::uint64_t> last_used_ms{0};
+
+  /// Refresh the mirrors from the world (owning shard only).
+  void sync_stats() {
+    if (journal != nullptr) {
+      stat_journal_events.store(journal->cursor(), std::memory_order_relaxed);
+      stat_last_token.store(journal->last_token(), std::memory_order_relaxed);
+    }
+    stat_clients.store(attached_clients.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+
+  /// Token-budget quota check (owning shard only). 0 = unlimited.
+  [[nodiscard]] bool over_token_budget() const {
+    return quota.token_budget != 0 && journal != nullptr &&
+           journal->last_token() >= quota.token_budget;
+  }
+};
+
+/// Mutex-guarded session table. Entries are heap-stable: a HostedSession*
+/// returned by lookup stays valid until destroy() — which the owning shard
+/// only calls once no client of its poll loop references the session.
+class SessionManager {
+ public:
+  SessionManager(dbg::SessionFactory* factory, std::size_t max_sessions);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  void set_factory(dbg::SessionFactory* factory) { factory_ = factory; }
+  [[nodiscard]] dbg::SessionFactory* factory() const { return factory_; }
+
+  /// Registers an externally-owned session as the default (id 1, shard 0).
+  HostedSession* register_external(dbg::Session& session, const std::string& name,
+                                   const dbg::SessionQuota& quota);
+
+  /// Builds a world from `spec` and registers it on `shard`. MUST run on the
+  /// owning shard's thread. `now_ms` seeds the idle clock.
+  Result<HostedSession*> create(const dbg::SessionSpec& spec, int shard,
+                                std::uint64_t now_ms);
+
+  /// Tears the session down. MUST run on the owning shard's thread, after
+  /// the caller has detached every client referencing it. Refuses the
+  /// default session.
+  Status destroy(std::uint64_t id, bool evicted = false);
+
+  /// Destroys every owned session pinned to `shard` (shard-loop exit).
+  void destroy_all_on_shard(int shard);
+
+  /// Lookup by id or name; nullptr if absent. The pointer is only safe to
+  /// *use* (beyond identity/stat fields) on the session's owning shard.
+  HostedSession* find(std::uint64_t id);
+  HostedSession* find(const std::string& name);
+
+  /// Sessions on `shard` eligible for idle eviction at `now_ms` (owned,
+  /// non-default, idle_timeout_ms > 0, no attached clients, idle long
+  /// enough). Caller (the owning shard) re-checks bindings then destroys.
+  std::vector<std::uint64_t> idle_candidates(int shard, std::uint64_t now_ms);
+
+  /// True if any session on `shard` has an idle timeout armed (the shard
+  /// loop then polls with a bounded timeout instead of blocking forever).
+  bool has_armed_timeout(int shard);
+
+  /// Stable snapshot of identity + stat mirrors for session_list.
+  struct ListEntry {
+    std::uint64_t id;
+    std::string name;
+    std::string rig;
+    int shard;
+    bool is_default;
+    bool owned;
+    dbg::SessionQuota quota;
+    std::uint64_t requests;
+    std::uint64_t journal_events;
+    std::uint64_t last_token;
+    std::int64_t clients;
+    std::uint64_t last_used_ms;
+  };
+  std::vector<ListEntry> list();
+
+  [[nodiscard]] std::size_t count();
+  [[nodiscard]] std::size_t max_sessions() const { return max_sessions_; }
+
+ private:
+  dbg::SessionFactory* factory_;
+  std::size_t max_sessions_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<HostedSession>> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace dfdbg::server

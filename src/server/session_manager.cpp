@@ -1,0 +1,218 @@
+#include "dfdbg/server/session_manager.hpp"
+
+#include <algorithm>
+
+#include "dfdbg/common/strings.hpp"
+#include "dfdbg/obs/metrics.hpp"
+
+namespace dfdbg::server {
+
+namespace {
+
+/// Fleet-layer instruments, interned once (Registry access is mutex-guarded,
+/// so this is safe from any shard).
+struct FleetMetrics {
+  obs::Gauge& count;
+  obs::Counter& created;
+  obs::Counter& destroyed;
+  obs::Counter& evicted;
+  obs::Counter& create_failed;
+  static FleetMetrics& get() {
+    auto& r = obs::Registry::global();
+    static FleetMetrics m{r.gauge("server.session.count"),
+                          r.counter("server.session.created"),
+                          r.counter("server.session.destroyed"),
+                          r.counter("server.session.evicted"),
+                          r.counter("server.session.create_failed")};
+    return m;
+  }
+};
+
+}  // namespace
+
+SessionManager::SessionManager(dbg::SessionFactory* factory, std::size_t max_sessions)
+    : factory_(factory), max_sessions_(max_sessions) {}
+
+SessionManager::~SessionManager() = default;
+
+HostedSession* SessionManager::register_external(dbg::Session& session,
+                                                 const std::string& name,
+                                                 const dbg::SessionQuota& quota) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto hs = std::make_unique<HostedSession>();
+  hs->id = next_id_++;
+  hs->name = name;
+  hs->rig = "external";
+  hs->shard = 0;
+  hs->quota = quota;
+  hs->is_default = true;
+  hs->session = &session;
+  hs->journal = &obs::Journal::global_base();
+  HostedSession* out = hs.get();
+  sessions_.push_back(std::move(hs));
+  FleetMetrics::get().count.set(static_cast<std::int64_t>(sessions_.size()));
+  return out;
+}
+
+Result<HostedSession*> SessionManager::create(const dbg::SessionSpec& spec, int shard,
+                                              std::uint64_t now_ms) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (sessions_.size() >= max_sessions_) {
+      FleetMetrics::get().create_failed.add();
+      return Status::error(ErrCode::kFailedPrecondition,
+                           strformat("session limit reached (%zu)", max_sessions_));
+    }
+    if (!spec.name.empty()) {
+      for (const auto& s : sessions_)
+        if (s->name == spec.name) {
+          FleetMetrics::get().create_failed.add();
+          return Status::error(ErrCode::kInvalidArgument,
+                               "session name already in use: " + spec.name);
+        }
+    }
+  }
+  if (factory_ == nullptr) {
+    FleetMetrics::get().create_failed.add();
+    return Status::error(ErrCode::kFailedPrecondition,
+                         "this server has no session factory (session_create disabled)");
+  }
+  // Build outside the table lock: rig construction is the expensive part and
+  // the factory serializes itself.
+  auto world = factory_->build(spec);
+  if (!world.ok()) {
+    FleetMetrics::get().create_failed.add();
+    return world.status();
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto hs = std::make_unique<HostedSession>();
+  hs->id = next_id_++;
+  hs->name = spec.name.empty() ? strformat("s%llu", static_cast<unsigned long long>(hs->id))
+                               : spec.name;
+  // An auto-name could still collide with an explicit one; disambiguate.
+  for (const auto& s : sessions_)
+    if (s->name == hs->name) {
+      hs->name += strformat("-%llu", static_cast<unsigned long long>(hs->id));
+      break;
+    }
+  hs->rig = spec.rig;
+  hs->shard = shard;
+  hs->quota = spec.quota;
+  hs->world = std::move(*world);
+  hs->session = hs->world->session.get();
+  hs->journal = hs->world->journal.get();
+  hs->last_used_ms.store(now_ms, std::memory_order_relaxed);
+  hs->sync_stats();
+  HostedSession* out = hs.get();
+  sessions_.push_back(std::move(hs));
+  FleetMetrics::get().created.add();
+  FleetMetrics::get().count.set(static_cast<std::int64_t>(sessions_.size()));
+  return out;
+}
+
+Status SessionManager::destroy(std::uint64_t id, bool evicted) {
+  std::unique_ptr<HostedSession> doomed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                           [&](const auto& s) { return s->id == id; });
+    if (it == sessions_.end())
+      return Status::error(ErrCode::kNotFound,
+                           strformat("no session %llu", static_cast<unsigned long long>(id)));
+    if ((*it)->is_default)
+      return Status::error(ErrCode::kFailedPrecondition,
+                           "the default session cannot be destroyed");
+    doomed = std::move(*it);
+    sessions_.erase(it);
+    FleetMetrics::get().count.set(static_cast<std::int64_t>(sessions_.size()));
+  }
+  // Teardown outside the lock, on the owning shard's thread (the caller's).
+  if (doomed->session != nullptr) doomed->session->set_stop_observer(nullptr);
+  doomed.reset();
+  FleetMetrics::get().destroyed.add();
+  if (evicted) FleetMetrics::get().evicted.add();
+  return Status{};
+}
+
+void SessionManager::destroy_all_on_shard(int shard) {
+  for (;;) {
+    std::uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (const auto& s : sessions_)
+        if (s->shard == shard && s->world != nullptr) {
+          id = s->id;
+          break;
+        }
+    }
+    if (id == 0) return;
+    destroy(id);
+  }
+}
+
+HostedSession* SessionManager::find(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sessions_)
+    if (s->id == id) return s.get();
+  return nullptr;
+}
+
+HostedSession* SessionManager::find(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sessions_)
+    if (s->name == name) return s.get();
+  return nullptr;
+}
+
+std::vector<std::uint64_t> SessionManager::idle_candidates(int shard, std::uint64_t now_ms) {
+  std::vector<std::uint64_t> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sessions_) {
+    if (s->shard != shard || s->world == nullptr || s->is_default) continue;
+    if (s->quota.idle_timeout_ms == 0) continue;
+    if (s->stat_clients.load(std::memory_order_relaxed) > 0) continue;
+    std::uint64_t last = s->last_used_ms.load(std::memory_order_relaxed);
+    if (now_ms - last >= s->quota.idle_timeout_ms) out.push_back(s->id);
+  }
+  return out;
+}
+
+bool SessionManager::has_armed_timeout(int shard) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sessions_)
+    if (s->shard == shard && s->world != nullptr && !s->is_default &&
+        s->quota.idle_timeout_ms != 0)
+      return true;
+  return false;
+}
+
+std::vector<SessionManager::ListEntry> SessionManager::list() {
+  std::vector<ListEntry> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    ListEntry e;
+    e.id = s->id;
+    e.name = s->name;
+    e.rig = s->rig;
+    e.shard = s->shard;
+    e.is_default = s->is_default;
+    e.owned = s->world != nullptr;
+    e.quota = s->quota;
+    e.requests = s->stat_requests.load(std::memory_order_relaxed);
+    e.journal_events = s->stat_journal_events.load(std::memory_order_relaxed);
+    e.last_token = s->stat_last_token.load(std::memory_order_relaxed);
+    e.clients = s->stat_clients.load(std::memory_order_relaxed);
+    e.last_used_ms = s->last_used_ms.load(std::memory_order_relaxed);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::size_t SessionManager::count() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sessions_.size();
+}
+
+}  // namespace dfdbg::server

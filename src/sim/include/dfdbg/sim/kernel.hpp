@@ -389,6 +389,7 @@ class Kernel {
   InstrumentPort instrument_;
 
   // Parallel backend state.
+  obs::Journal* journal_base_ = nullptr;  ///< journal shards delegate/merge here
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::function<bool()>> barrier_tasks_;
   std::uint64_t rounds_ = 0;

@@ -121,6 +121,13 @@ void Process::thread_main() {
     t_worker.kernel = kernel_;
     t_worker.shard = shard_;
     obs::Journal::set_thread_journal(kernel_->shards_[shard_]->journal.get());
+  } else {
+    // Sequential thread-substrate processes likewise adopt the journal the
+    // kernel was built under: a hosted session's private journal must see the
+    // link push/pop records and token-id allocations made from actor bodies,
+    // not the process-wide base. Safe because the scheduler blocks while this
+    // thread runs (cooperative handoff).
+    obs::Journal::set_thread_journal(kernel_->journal_base_);
   }
   try {
     body_();
@@ -179,11 +186,18 @@ const char* to_string(RunResult r) {
 }
 
 Kernel::Kernel(ProcessBackend backend, int workers) : backend_(backend) {
+  // Capture the journal visible at construction time (thread override if a
+  // hosted session installed one, else the process-wide base). Every backend
+  // needs this: parallel shard journals delegate token-id allocation to it
+  // and merge back into it, and thread-substrate processes adopt it on their
+  // own OS threads — so a kernel built under a per-session journal stays
+  // confined to that session.
+  journal_base_ = &obs::Journal::global();
   parallel_ = backend_ == ProcessBackend::kParallel;
   if (!parallel_) return;
   parallel_thread_processes_ = parallel_uses_thread_processes();
   int k = workers > 0 ? workers : default_parallel_workers();
-  obs::Journal& base = obs::Journal::global_base();
+  obs::Journal& base = *journal_base_;
   for (int i = 0; i < k; ++i) {
     auto sh = std::make_unique<Shard>();
     sh->index = i;
@@ -786,8 +800,7 @@ Kernel::ShardTotals Kernel::shard_totals(int partition) const {
 }
 
 void Kernel::merge_shard_journals() {
-  obs::Journal& base = obs::Journal::global_base();
-  for (auto& sh : shards_) base.merge_from(*sh->journal);
+  for (auto& sh : shards_) journal_base_->merge_from(*sh->journal);
 }
 
 bool Kernel::flush_barrier() {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "dfdbg/common/strings.hpp"
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/debug/debuginfo.hpp"
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/h264/app.hpp"
@@ -233,7 +234,7 @@ TEST(CaseStudyD, SplitterProvenanceHuntFindsRed) {
   EXPECT_EQ(out.stops[0].kind, StopKind::kTokenContent);
 
   // (gdb) filter pipe info last_token
-  std::string info = rig.session->info_last_token("pipe");
+  std::string info = cli::render_or_error(rig.session->last_token_view("pipe"));
   // #1: the corrupted CbCrMB_t from red -> pipe.
   EXPECT_NE(info.find("#1 red -> pipe (CbCrMB_t){"), std::string::npos);
   EXPECT_NE(info.find("InterNotIntra=1"), std::string::npos);
@@ -323,7 +324,7 @@ TEST(CaseStudySched, MonitorShowsStepStates) {
   ASSERT_EQ(out.result, sim::RunResult::kStopped);
   out = rig.session->run();  // step 2
   ASSERT_EQ(out.result, sim::RunResult::kStopped);
-  std::string sched = rig.session->info_sched("pred");
+  std::string sched = cli::render_or_error(rig.session->sched_view("pred"));
   EXPECT_NE(sched.find("module `pred' step 2"), std::string::npos);
   for (const char* f : {"pipe", "red", "ipred", "mc", "ipf"})
     EXPECT_NE(sched.find(f), std::string::npos);

@@ -6,6 +6,7 @@
 
 #include "dfdbg/common/strings.hpp"
 #include "dfdbg/dbgcli/cli.hpp"
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/h264/app.hpp"
 #include "dfdbg/pedf/application.hpp"
@@ -207,7 +208,7 @@ TEST(Profile, ReportsPerActorActivity) {
   Rig rig(small_config());
   auto out = rig.session->run();
   ASSERT_EQ(out.result, sim::RunResult::kFinished);
-  std::string prof = rig.session->info_profile();
+  std::string prof = cli::render_text(rig.session->profile_snapshot());
   EXPECT_NE(prof.find("scheduler dispatches"), std::string::npos);
   for (const char* a : {"h264.front.vld", "h264.pred.ipf", "h264.pred.pred_controller"})
     EXPECT_NE(prof.find(a), std::string::npos) << a;
@@ -276,7 +277,7 @@ TEST(LinkTokens, ListsQueuedPayloads) {
   // Stage two tokens on ipred's config link before anything runs.
   ASSERT_TRUE(rig.session->inject_token("ipred::Hwcfg_in", pedf::Value::u32(20)).ok());
   ASSERT_TRUE(rig.session->inject_token("ipred::Hwcfg_in", pedf::Value::u32(21)).ok());
-  std::string out = rig.session->info_link_tokens("ipred::Hwcfg_in");
+  std::string out = cli::render_or_error(rig.session->link_tokens_view("ipred::Hwcfg_in"));
   EXPECT_NE(out.find("holds 2 token(s)"), std::string::npos);
   EXPECT_NE(out.find("#0 (U32) 20"), std::string::npos);
   EXPECT_NE(out.find("#1 (U32) 21"), std::string::npos);
@@ -285,9 +286,10 @@ TEST(LinkTokens, ListsQueuedPayloads) {
 
 TEST(LinkTokens, EmptyAndUnknown) {
   Rig rig(small_config());
-  EXPECT_NE(rig.session->info_link_tokens("ipred::Hwcfg_in").find("is empty"),
+  EXPECT_NE(cli::render_or_error(rig.session->link_tokens_view("ipred::Hwcfg_in")).find("is empty"),
             std::string::npos);
-  EXPECT_NE(rig.session->info_link_tokens("nope::x").find("no link"), std::string::npos);
+  EXPECT_NE(cli::render_or_error(rig.session->link_tokens_view("nope::x")).find("no link"),
+            std::string::npos);
 }
 
 TEST(LinkTokens, CliVerb) {

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/debug/debuginfo.hpp"
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/pedf/application.hpp"
@@ -371,7 +372,7 @@ TEST(Session, InfoLastTokenProvenance) {
   ASSERT_TRUE(s.break_on_receive("inc::in").ok());
   RunOutcome out = s.run();
   ASSERT_EQ(out.result, sim::RunResult::kStopped);
-  std::string info = s.info_last_token("inc");
+  std::string info = cli::render_or_error(s.last_token_view("inc"));
   EXPECT_EQ(info, "#1 dbl -> inc (U32) 2\n#2 src -> dbl (U32) 1\n");
 }
 
@@ -382,11 +383,11 @@ TEST(Session, InfoFilterShowsBlockedState) {
   t.elaborate_and_start();
   ASSERT_TRUE(s.catch_work("dbl").ok());
   s.run();
-  std::string info = s.info_filter("inc");
+  std::string info = cli::render_or_error(s.filter_view("inc"));
   EXPECT_NE(info.find("filter `inc'"), std::string::npos);
-  std::string links = s.info_links();
+  std::string links = cli::render_text(s.links_view());
   EXPECT_NE(links.find("dbl::out -> inc::in"), std::string::npos);
-  std::string sched = s.info_sched("m");
+  std::string sched = cli::render_or_error(s.sched_view("m"));
   EXPECT_NE(sched.find("dbl"), std::string::npos);
 }
 

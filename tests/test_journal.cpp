@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dfdbg/dbgcli/cli.hpp"
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/h264/app.hpp"
 #include "dfdbg/obs/journal.hpp"
@@ -296,7 +297,7 @@ std::string whence_at_first_ipf_send() {
   const dbg::DLink* dl = rig.session->graph().link_by_iface("ipf::ipf_out");
   EXPECT_NE(dl, nullptr);
   EXPECT_FALSE(dl->queue.empty());
-  return rig.session->whence("ipf::ipf_out", dl->queue.size() - 1, 8);
+  return cli::render_or_error(rig.session->whence_chain("ipf::ipf_out", dl->queue.size() - 1, 8));
 }
 
 TEST(Whence, CausalChainReachesAtLeastThreeHops) {
@@ -316,8 +317,10 @@ TEST(Whence, ErrorsAreReadable) {
   EnabledGuard on(true);
   JournalGuard jg;
   Rig rig(cs_config());
-  EXPECT_NE(rig.session->whence("nosuch::iface", 0, 8).find("<no link"), std::string::npos);
-  EXPECT_NE(rig.session->whence("ipf::ipf_out", 99, 8).find("no slot 99"), std::string::npos);
+  EXPECT_NE(cli::render_or_error(rig.session->whence_chain("nosuch::iface", 0, 8)).find("<no link"),
+            std::string::npos);
+  EXPECT_NE(cli::render_or_error(rig.session->whence_chain("ipf::ipf_out", 99, 8)).find("no slot 99"),
+            std::string::npos);
 }
 
 TEST(Whence, ReplayedRunYieldsIdenticalChains) {

@@ -22,6 +22,7 @@
 #include "dfdbg/common/strings.hpp"
 
 #include "../bench/wide_graph.hpp"
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/h264/app.hpp"
 #include "dfdbg/obs/journal.hpp"
@@ -159,7 +160,7 @@ std::string whence_at_first_ipf_send() {
   const dbg::DLink* dl = session.graph().link_by_iface("ipf::ipf_out");
   EXPECT_NE(dl, nullptr);
   if (dl == nullptr || dl->queue.empty()) return "<no data>";
-  return session.whence("ipf::ipf_out", dl->queue.size() - 1, 8);
+  return cli::render_or_error(session.whence_chain("ipf::ipf_out", dl->queue.size() - 1, 8));
 }
 
 TEST(ParallelH264, WhenceMatchesFibersAtOneWorker) {
@@ -310,7 +311,7 @@ TEST(ParallelH264, CatchpointStopsAllPartitionsConsistently) {
     EXPECT_GE(pushes, pops);
     // The scheduling monitor reports the active backend (satellite of the
     // same PR: `info sched` exposes backend + worker count).
-    std::string sched = session.info_sched("pred");
+    std::string sched = cli::render_or_error(session.sched_view("pred"));
     EXPECT_NE(sched.find("backend=parallel"), std::string::npos) << sched;
     EXPECT_NE(sched.find("workers=2"), std::string::npos) << sched;
     if (stops > 4 && armed) {  // enough stop/resume cycles; finish undisturbed

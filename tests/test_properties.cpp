@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "dfdbg/common/prng.hpp"
+#include "dfdbg/dbgcli/render.hpp"
 #include "dfdbg/debug/session.hpp"
 #include "dfdbg/h264/app.hpp"
 #include "dfdbg/mind/analyze.hpp"
@@ -96,10 +97,10 @@ TEST_P(DebugInvariance, RandomDebuggingNeverChangesTheRun) {
     ASSERT_NE(out.result, sim::RunResult::kDeadlock);
     stops++;
     ASSERT_LT(stops, 100000);
-    if (prng.next_bool(0.2)) (void)s.info_links();
-    if (prng.next_bool(0.2)) (void)s.info_sched("pred");
+    if (prng.next_bool(0.2)) (void)cli::render_text(s.links_view());
+    if (prng.next_bool(0.2)) (void)cli::render_or_error(s.sched_view("pred"));
     if (prng.next_bool(0.2)) (void)s.graph().to_dot(true);
-    if (prng.next_bool(0.2)) (void)s.info_last_token("pipe");
+    if (prng.next_bool(0.2)) (void)cli::render_or_error(s.last_token_view("pipe"));
   }
   EXPECT_EQ(app.kernel().now(), base.end_time) << "debugging changed the simulated timing";
   ASSERT_EQ(app.store().decoded.size(), base.frames.size());

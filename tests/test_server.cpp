@@ -245,7 +245,7 @@ TEST(ServerEquivalence, StructuredMatchesCliOnH264Session) {
   EXPECT_EQ(fv.str_or("name"), filter->name);
   EXPECT_EQ(fv.str_or("state"), filter->state);
   EXPECT_EQ(fv.u64_or("firings"), filter->firings);
-  EXPECT_EQ(rig.session->info_filter("pipe"), cli::render_text(*filter));
+  EXPECT_EQ(cli::render_or_error(rig.session->filter_view("pipe")), cli::render_text(*filter));
 
   // last_token: hop count identical between JSON and text renderings.
   JsonValue tok = rig.result(R"({"id":3,"method":"info_last_token","params":{"filter":"pipe"}})");
@@ -259,7 +259,8 @@ TEST(ServerEquivalence, StructuredMatchesCliOnH264Session) {
   // Errors too: one Status, two renderings.
   auto missing = rig.session->filter_view("nope");
   ASSERT_FALSE(missing.ok());
-  EXPECT_EQ(rig.session->info_filter("nope"), "<" + missing.status().message() + ">");
+  EXPECT_EQ(cli::render_or_error(rig.session->filter_view("nope")),
+            "<" + missing.status().message() + ">");
   EXPECT_EQ(rig.error_code(R"({"id":4,"method":"info_filter","params":{"name":"nope"}})"),
             kErrNotFound);
 }

@@ -5,6 +5,9 @@
 //   dfdbg-client ... --raw             print raw response frames (for tooling)
 //   dfdbg-client ... --drain           after stdin EOF, keep printing pushed
 //                                      frames until the server disconnects
+//   dfdbg-client ... --session NAME    session_attach to NAME (or numeric id)
+//                                      right after connecting; every later
+//                                      request then targets that session
 //
 // Server-push notifications (frames without an `id`, from `subscribe`) are
 // printed as raw NDJSON whenever they arrive, in both modes.
@@ -36,7 +39,9 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--host H] --port N | --unix PATH  [--raw] [--drain]\n",
+  std::fprintf(stderr,
+               "usage: %s [--host H] --port N | --unix PATH  [--raw] [--drain]"
+               " [--session NAME]\n",
                argv0);
   return 2;
 }
@@ -121,6 +126,7 @@ int main(int argc, char** argv) {
 
   std::string host = "127.0.0.1";
   std::string unix_path;
+  std::string session;
   int port = 0;
   bool raw = false;
   bool drain = false;
@@ -139,6 +145,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       unix_path = v;
+    } else if (a == "--session") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      session = v;
     } else if (a == "--raw") {
       raw = true;
     } else if (a == "--drain") {
@@ -158,6 +168,26 @@ int main(int argc, char** argv) {
   int rc = 0;
   int next_id = 1;
   std::string spill;
+  if (!session.empty()) {
+    // Attach before anything else: a numeric spelling is a session id, any
+    // other string a session name (protocol v2, docs/PROTOCOL.md).
+    bool numeric = session.find_first_not_of("0123456789") == std::string::npos;
+    std::string sid = numeric ? session : json_quote(session);
+    std::string frame = "{\"jsonrpc\":\"2.0\",\"id\":" + std::to_string(next_id++) +
+                        ",\"method\":\"session_attach\",\"params\":{\"session\":" + sid + "}}";
+    std::string response;
+    if (!round_trip(fd, frame, spill, response)) {
+      std::fprintf(stderr, "connection lost during session_attach\n");
+      close(fd);
+      return 2;
+    }
+    auto parsed = JsonValue::parse(response);
+    if (!parsed.ok() || !parsed->is_object() || parsed->find("error") != nullptr) {
+      std::fprintf(stderr, "session_attach failed: %s\n", response.c_str());
+      close(fd);
+      return 2;
+    }
+  }
   char linebuf[1 << 16];
   while (std::fgets(linebuf, sizeof(linebuf), stdin) != nullptr) {
     std::string line = linebuf;

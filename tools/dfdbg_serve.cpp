@@ -7,6 +7,16 @@
 //               [--fault none|rate-mismatch|corrupt-splitter|drop-config|skip-ipf]
 //               [--trigger-mb N]    fault trigger macroblock (default 5)
 //               [--no-exec]         disable the raw-CLI `exec` verb
+//               [--shards N]        poll loops; sessions pin to one (default 1)
+//               [--max-sessions N]  hosted-session ceiling (default 4096)
+//               [--idle-evict-ms N] default idle-eviction timeout for created
+//                                   sessions (0 = never, the default)
+//               [--no-create]       disable the `session_create` verb
+//
+// The H.264 decoder rig above is the *default session* — v1 clients that
+// never mention sessions keep talking to it unchanged. The server also
+// carries a session factory (rigs: wide, adl, h264), so v2 clients can
+// `session_create` fleets of independent worlds next to it.
 //
 // Prints exactly one "LISTENING ..." line on stdout once ready (scripts
 // scrape it for the ephemeral port), then blocks serving until a client
@@ -17,7 +27,9 @@
 #include <string>
 
 #include "dfdbg/debug/session.hpp"
+#include "dfdbg/debug/session_host.hpp"
 #include "dfdbg/h264/app.hpp"
+#include "dfdbg/h264/session_rig.hpp"
 #include "dfdbg/server/server.hpp"
 
 namespace {
@@ -25,7 +37,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N | --unix PATH] [--width N] [--height N] [--frames N]\n"
-               "          [--fault KIND] [--trigger-mb N] [--no-exec]\n",
+               "          [--fault KIND] [--trigger-mb N] [--no-exec] [--shards N]\n"
+               "          [--max-sessions N] [--idle-evict-ms N] [--no-create]\n",
                argv0);
   return 2;
 }
@@ -38,6 +51,10 @@ int main(int argc, char** argv) {
   int port = 0;
   std::string unix_path;
   bool no_exec = false;
+  bool no_create = false;
+  int shards = 1;
+  std::size_t max_sessions = 4096;
+  std::uint64_t idle_evict_ms = 0;
   h264::H264AppConfig cfg;
   cfg.params.width = 32;
   cfg.params.height = 32;
@@ -75,6 +92,14 @@ int main(int argc, char** argv) {
       else return usage(argv[0]);
     } else if (a == "--no-exec") {
       no_exec = true;
+    } else if (a == "--no-create") {
+      no_create = true;
+    } else if (a == "--shards" || a == "--max-sessions" || a == "--idle-evict-ms") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (a == "--shards") shards = std::atoi(v);
+      else if (a == "--max-sessions") max_sessions = static_cast<std::size_t>(std::atoll(v));
+      else idle_evict_ms = static_cast<std::uint64_t>(std::atoll(v));
     } else {
       return usage(argv[0]);
     }
@@ -92,7 +117,16 @@ int main(int argc, char** argv) {
 
   server::ServerConfig scfg;
   scfg.allow_exec = !no_exec;
+  scfg.allow_session_create = !no_create;
+  scfg.shards = shards;
+  scfg.max_sessions = max_sessions;
+  scfg.default_quota.idle_timeout_ms = idle_evict_ms;
   server::DebugServer server(session, scfg);
+  // The fleet factory: wide + adl are built in; the h264 decoder rig comes
+  // from its own library so the server stays free of codec dependencies.
+  dbg::SessionFactory factory;
+  h264::register_session_rig(factory);
+  server.set_factory(&factory);
   if (!unix_path.empty()) {
     Status s = server.listen_unix(unix_path);
     if (!s.ok()) {

@@ -6,6 +6,8 @@
 // never polls.
 //
 //   dfdbg-top [--host H] --port N | --unix PATH
+//             [--session NAME]  session_attach first: dashboard a specific
+//                               hosted session instead of the default
 //             [--interval MS]   minimum repaint spacing (default 100)
 //             [--journal N]     journal-tail lines to keep (default 8)
 //             [--no-ansi]       append screens instead of in-place repaint
@@ -42,7 +44,7 @@ using dfdbg::strformat;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host H] --port N | --unix PATH\n"
+               "usage: %s [--host H] --port N | --unix PATH [--session NAME]\n"
                "          [--interval MS] [--journal N] [--no-ansi] [--run] [--max-frames N]\n",
                argv0);
   return 2;
@@ -274,6 +276,7 @@ void render(const Model& m, bool ansi) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string unix_path;
+  std::string session;
   int port = 0;
   int interval_ms = 100;
   bool ansi = true;
@@ -291,6 +294,8 @@ int main(int argc, char** argv) {
       port = std::atoi(v);
     } else if (a == "--unix" && (v = next()) != nullptr) {
       unix_path = v;
+    } else if (a == "--session" && (v = next()) != nullptr) {
+      session = v;
     } else if (a == "--interval" && (v = next()) != nullptr) {
       interval_ms = std::atoi(v);
     } else if (a == "--journal" && (v = next()) != nullptr) {
@@ -317,6 +322,14 @@ int main(int argc, char** argv) {
   // and notifications interleave; we route on the presence of `id`.
   std::string handshake;
   int next_id = 1;
+  if (!session.empty()) {
+    // Attach first so capabilities and every subscribe bind to that session.
+    bool numeric = session.find_first_not_of("0123456789") == std::string::npos;
+    std::string sid = numeric ? session : dfdbg::json_quote(session);
+    handshake += strformat(
+        "{\"jsonrpc\":\"2.0\",\"id\":%d,\"method\":\"session_attach\",\"params\":{\"session\":%s}}\n",
+        next_id++, sid.c_str());
+  }
   const int cap_id = next_id;
   handshake += strformat("{\"jsonrpc\":\"2.0\",\"id\":%d,\"method\":\"capabilities\"}\n", next_id++);
   for (const char* stream : {"journal", "info_flow", "stats", "run_events", "shard_rounds"})
