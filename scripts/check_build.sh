@@ -380,12 +380,20 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target test_parallel_backend
+cmake --build build-tsan -j "$(nproc)" --target test_parallel_backend test_fleet
 echo "-- test_parallel_backend under TSan (threads substrate)"
 DFDBG_PARALLEL_SUBSTRATE=threads ./build-tsan/tests/test_parallel_backend \
   --gtest_filter='ParallelWide.*:ParallelH264.TraceCsvRunToRunDeterministic:ParallelH264.WhenceRunToRunDeterministic:ParallelH264.Catchpoint*' \
   >/dev/null \
   || { echo "FAIL: test_parallel_backend under TSan"; exit 1; }
+# The sharded fleet host is the other concurrent subsystem: cross-shard
+# session lookups (shared_ptr pins vs. owning-shard destroy), racing
+# session_create on two shards, client migration and cross-shard detach all
+# run under TSan here. Threads backend/substrate for the same fiber reason.
+echo "-- test_fleet under TSan (threads backend)"
+DFDBG_PROCESS_BACKEND=threads DFDBG_PARALLEL_SUBSTRATE=threads \
+  ./build-tsan/tests/test_fleet >/dev/null \
+  || { echo "FAIL: test_fleet under TSan"; exit 1; }
 
 echo "== bench smoke (BENCH_JSON well-formedness) =="
 # A token measurement time per benchmark: enough to prove the binary runs

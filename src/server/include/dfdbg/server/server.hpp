@@ -92,6 +92,10 @@ struct ServerConfig {
   bool allow_session_create = true;
   /// Quota applied when session_create carries none.
   dbg::SessionQuota default_quota;
+  /// Ceiling on the client-supplied `quota.journal_capacity` (events):
+  /// requests above it are clamped, so one remote session_create cannot
+  /// make the host allocate an arbitrarily large private ring.
+  std::size_t max_journal_capacity = obs::Journal::kDefaultCapacity;
 };
 
 class DebugServer {
@@ -230,9 +234,10 @@ class DebugServer {
   /// Resolves the target session of a request: explicit `session` param
   /// (id or name) > client attachment > default session. When
   /// `pin_to_shard`, a session owned by another shard is an error (the
-  /// migrating verbs pass false and handle the move themselves).
-  Result<HostedSession*> resolve(const JsonValue& params, Client* client, int shard,
-                                 bool pin_to_shard = true);
+  /// migrating verbs pass false and handle the move themselves). The
+  /// returned pin must be held for as long as the session is used.
+  Result<std::shared_ptr<HostedSession>> resolve(const JsonValue& params, Client* client,
+                                                 int shard, bool pin_to_shard = true);
 
   Status run_shard(int shard);
   void adopt_intake(int shard);
@@ -274,7 +279,7 @@ class DebugServer {
 
   ServerConfig config_;
   SessionManager manager_;
-  HostedSession* default_ = nullptr;  ///< null on a fleet-only server
+  std::shared_ptr<HostedSession> default_;  ///< null on a fleet-only server
 
   int listen_fd_ = -1;
   int port_ = 0;

@@ -7,12 +7,14 @@
 // under the session's thread-journal override.
 //
 // Thread model: the table itself (create/destroy/lookup/list) is mutex-
-// guarded and callable from any shard. The *worlds* are not — a session's
+// guarded and callable from any shard, and lookups return shared_ptr pins,
+// so a session destroyed concurrently by its owning shard can never dangle
+// under a cross-shard reader. The *worlds* are not shared — a session's
 // kernel, dbg::Session and interpreter may only be touched by the owning
 // shard, and create/destroy must run there too (ucontext fibers are created,
-// run and unwound on one thread). Cross-shard observability (session_list)
-// reads the per-session atomic stat mirrors, refreshed by the owning shard
-// after each verb.
+// run and unwound on one thread); a cross-shard holder of a pin may read
+// only the immutable identity fields and the atomic stat mirrors, refreshed
+// by the owning shard after each verb.
 #pragma once
 
 #include <atomic>
@@ -28,9 +30,10 @@
 
 namespace dfdbg::server {
 
-/// One hosted debug session. Identity fields (id/name/rig/shard/quota) are
-/// immutable after creation; the world and interpreter belong to the owning
-/// shard; the `stat_*` mirrors are the only cross-shard-readable state.
+/// One hosted debug session. Identity fields (id/name/rig/shard/quota/
+/// backend/workers) are immutable after creation and readable from any
+/// shard; the world and interpreter belong to the owning shard; the
+/// `stat_*` mirrors are the only other cross-shard-readable state.
 struct HostedSession {
   std::uint64_t id = 0;
   std::string name;
@@ -38,9 +41,16 @@ struct HostedSession {
   int shard = 0;
   dbg::SessionQuota quota;
   bool is_default = false;  ///< the v1 alias target; never evicted/destroyed
+  /// Kernel identity, snapshotted at registration (both are fixed at kernel
+  /// construction) so any shard can describe the session — capabilities,
+  /// session briefs — without touching the world.
+  std::string backend;
+  int workers = 0;
 
   /// Null for an externally-owned default session (legacy single-session
   /// constructor): the server then serves it but does not own its lifetime.
+  /// Reset (with `session`/`journal`/`interp`) by destroy(), on the owning
+  /// shard, before the struct itself is released.
   std::unique_ptr<dbg::SessionWorld> world;
   dbg::Session* session = nullptr;
   obs::Journal* journal = nullptr;  ///< world's journal, or the process ring
@@ -57,12 +67,20 @@ struct HostedSession {
   std::atomic<std::int64_t> stat_clients{0};
   std::atomic<std::uint64_t> last_used_ms{0};
 
-  /// Refresh the mirrors from the world (owning shard only).
+  /// Refresh the mirrors from the world. Owning shard ONLY: the journal
+  /// cursor reads race with recording otherwise. Cross-shard detachers must
+  /// limit themselves to sync_client_stat().
   void sync_stats() {
     if (journal != nullptr) {
       stat_journal_events.store(journal->cursor(), std::memory_order_relaxed);
       stat_last_token.store(journal->last_token(), std::memory_order_relaxed);
     }
+    sync_client_stat();
+  }
+
+  /// Refresh only the client-count mirror. Atomic-to-atomic, so callable
+  /// from any shard (the path a migrated-away client's detach takes).
+  void sync_client_stat() {
     stat_clients.store(attached_clients.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
   }
@@ -74,9 +92,11 @@ struct HostedSession {
   }
 };
 
-/// Mutex-guarded session table. Entries are heap-stable: a HostedSession*
-/// returned by lookup stays valid until destroy() — which the owning shard
-/// only calls once no client of its poll loop references the session.
+/// Mutex-guarded session table. Lookups return shared_ptr pins: destroy()
+/// removes the entry and unwinds the *world* on the owning shard, but the
+/// HostedSession struct stays alive while any pin is held, so a concurrent
+/// cross-shard reader of its identity fields and atomic mirrors never
+/// dereferences freed memory.
 class SessionManager {
  public:
   SessionManager(dbg::SessionFactory* factory, std::size_t max_sessions);
@@ -89,26 +109,31 @@ class SessionManager {
   [[nodiscard]] dbg::SessionFactory* factory() const { return factory_; }
 
   /// Registers an externally-owned session as the default (id 1, shard 0).
-  HostedSession* register_external(dbg::Session& session, const std::string& name,
-                                   const dbg::SessionQuota& quota);
+  std::shared_ptr<HostedSession> register_external(dbg::Session& session,
+                                                   const std::string& name,
+                                                   const dbg::SessionQuota& quota);
 
   /// Builds a world from `spec` and registers it on `shard`. MUST run on the
-  /// owning shard's thread. `now_ms` seeds the idle clock.
-  Result<HostedSession*> create(const dbg::SessionSpec& spec, int shard,
-                                std::uint64_t now_ms);
+  /// owning shard's thread. `now_ms` seeds the idle clock. The capacity and
+  /// name checks are re-validated after the (unlocked) factory build, so two
+  /// racing creates cannot exceed max_sessions or both claim one name.
+  Result<std::shared_ptr<HostedSession>> create(const dbg::SessionSpec& spec, int shard,
+                                                std::uint64_t now_ms);
 
-  /// Tears the session down. MUST run on the owning shard's thread, after
-  /// the caller has detached every client referencing it. Refuses the
-  /// default session.
+  /// Removes the session from the table and tears its world down. MUST run
+  /// on the owning shard's thread, after the caller has detached every
+  /// client of that shard referencing it. Refuses the default session.
   Status destroy(std::uint64_t id, bool evicted = false);
 
   /// Destroys every owned session pinned to `shard` (shard-loop exit).
   void destroy_all_on_shard(int shard);
 
-  /// Lookup by id or name; nullptr if absent. The pointer is only safe to
-  /// *use* (beyond identity/stat fields) on the session's owning shard.
-  HostedSession* find(std::uint64_t id);
-  HostedSession* find(const std::string& name);
+  /// Lookup by id or name; nullptr if absent. The pin keeps the struct
+  /// alive, but the *world* behind it is only safe to use on the session's
+  /// owning shard (and only while the session is still in the table, which
+  /// on the owning shard cannot change mid-verb).
+  std::shared_ptr<HostedSession> find(std::uint64_t id);
+  std::shared_ptr<HostedSession> find(const std::string& name);
 
   /// Sessions on `shard` eligible for idle eviction at `now_ms` (owned,
   /// non-default, idle_timeout_ms > 0, no attached clients, idle long
@@ -143,7 +168,7 @@ class SessionManager {
   dbg::SessionFactory* factory_;
   std::size_t max_sessions_;
   std::mutex mu_;
-  std::vector<std::unique_ptr<HostedSession>> sessions_;
+  std::vector<std::shared_ptr<HostedSession>> sessions_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -108,21 +108,34 @@ bool is_mutating(const std::string& method) {
 }
 
 /// {"id":..,"name":..,"rig":..,"shard":..,"backend":..,"workers":..} for a
-/// session the caller may read (identity fields are immutable; kernel
-/// backend/worker-count are fixed at construction).
-void write_session_brief(JsonWriter& w, HostedSession& s) {
+/// session any shard may describe: every field is an immutable identity
+/// snapshot, so this never touches the session's world (which only the
+/// owning shard may do).
+void write_session_brief(JsonWriter& w, const HostedSession& s) {
   w.begin_object()
       .kv("id", s.id)
       .kv("name", s.name)
       .kv("rig", s.rig)
       .kv("shard", static_cast<std::uint64_t>(s.shard))
-      .kv("backend", sim::to_string(s.session->app().kernel().backend()))
-      .kv("workers", static_cast<std::uint64_t>(s.session->app().kernel().partition_count()))
+      .kv("backend", s.backend)
+      .kv("workers", static_cast<std::uint64_t>(s.workers))
       .end_object();
 }
 
+/// Drops one attachment from `hs`. Callable from any shard: the counter and
+/// its mirror are atomic. The journal-backed mirrors are refreshed only when
+/// the caller runs on the owning shard — a migrated-away client detaching
+/// cross-shard must not read the session's world.
+void drop_attachment(HostedSession& hs, int shard) {
+  hs.attached_clients.fetch_sub(1, std::memory_order_relaxed);
+  if (hs.shard == shard)
+    hs.sync_stats();
+  else
+    hs.sync_client_stat();
+}
+
 /// Fills a SessionSpec from session_create params, quota defaults included.
-dbg::SessionSpec parse_spec(const JsonValue& p, const dbg::SessionQuota& default_quota) {
+dbg::SessionSpec parse_spec(const JsonValue& p, const ServerConfig& cfg) {
   dbg::SessionSpec spec;
   std::string rig = p.str_or("rig");
   if (!rig.empty()) spec.rig = rig;
@@ -142,7 +155,7 @@ dbg::SessionSpec parse_spec(const JsonValue& p, const dbg::SessionQuota& default
   spec.path = p.str_or("path");
   spec.top = p.str_or("top");
   spec.steps = static_cast<int>(p.u64_or("steps", static_cast<std::uint64_t>(spec.steps)));
-  spec.quota = default_quota;
+  spec.quota = cfg.default_quota;
   const JsonValue* q = p.find("quota");
   if (q != nullptr && q->is_object()) {
     spec.quota.journal_capacity = static_cast<std::size_t>(
@@ -151,6 +164,11 @@ dbg::SessionSpec parse_spec(const JsonValue& p, const dbg::SessionQuota& default
         static_cast<int>(q->u64_or("max_clients", static_cast<std::uint64_t>(spec.quota.max_clients)));
     spec.quota.token_budget = q->u64_or("token_budget", spec.quota.token_budget);
     spec.quota.idle_timeout_ms = q->u64_or("idle_timeout_ms", spec.quota.idle_timeout_ms);
+    // A quota is a request, not a command: cap the field that sizes a server
+    // allocation so one remote create cannot exhaust host memory. (Too-small
+    // values still fail in the factory: journal_capacity must be >= 2.)
+    spec.quota.journal_capacity =
+        std::min(spec.quota.journal_capacity, cfg.max_journal_capacity);
   }
   return spec;
 }
@@ -311,14 +329,11 @@ void DebugServer::close_client(int shard, std::size_t i) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   close(sh.clients[i]->fd);
   // Drop the attachment count on whatever this client was attached to (the
-  // session lives on this shard unless a cross-shard destroy left a stale
-  // attachment behind; either way the decrement is atomic).
+  // session usually lives on this shard, but a refused post-migration attach
+  // can leave a cross-shard attachment behind; drop_attachment is safe for
+  // both, and the find() pin for stale ones racing a destroy).
   if (sh.clients[i]->attached != 0) {
-    HostedSession* hs = manager_.find(sh.clients[i]->attached);
-    if (hs != nullptr) {
-      hs->attached_clients.fetch_sub(1, std::memory_order_relaxed);
-      hs->sync_stats();
-    }
+    if (auto hs = manager_.find(sh.clients[i]->attached)) drop_attachment(*hs, shard);
   }
   sh.clients.erase(sh.clients.begin() + static_cast<std::ptrdiff_t>(i));
   client_count_.fetch_sub(1, std::memory_order_relaxed);
@@ -403,9 +418,9 @@ void DebugServer::pump_client(Client& c, int shard, bool tick_due) {
   // A binding whose session vanished (destroyed/evicted) clears silently:
   // the stream simply ends. Sessions on other shards never bind (subscribe
   // refuses them), so every lookup below resolves to this shard or to null.
-  auto bound = [&](std::uint64_t& sid) -> HostedSession* {
+  auto bound = [&](std::uint64_t& sid) -> std::shared_ptr<HostedSession> {
     if (sid == 0) return nullptr;
-    HostedSession* hs = manager_.find(sid);
+    std::shared_ptr<HostedSession> hs = manager_.find(sid);
     if (hs == nullptr || hs->shard != shard) {
       sid = 0;
       return nullptr;
@@ -416,7 +431,7 @@ void DebugServer::pump_client(Client& c, int shard, bool tick_due) {
   // Journal deltas first: they are the stream with real history behind it,
   // and pausing them (rather than dropping) is what makes the cursor/gap
   // contract work — the ring only laps a reader that stays slow.
-  if (HostedSession* hs = bound(c.sub_journal); hs != nullptr) {
+  if (auto hs = bound(c.sub_journal); hs != nullptr) {
     obs::Journal& j = *hs->journal;
     while (c.out.size() < config_.max_outbound_bytes && c.journal_cursor < j.cursor()) {
       JsonWriter w;
@@ -433,7 +448,7 @@ void DebugServer::pump_client(Client& c, int shard, bool tick_due) {
   // request round keeps the stream current with no periodic wakeups. Round
   // ids are monotonic, so a paused reader resumes where it left off (evicted
   // records are simply skipped; the ring is a bounded window, not a log).
-  if (HostedSession* hs = bound(c.sub_shard_rounds); hs != nullptr) {
+  if (auto hs = bound(c.sub_shard_rounds); hs != nullptr) {
     const sim::Kernel& k = hs->session->app().kernel();
     while (c.out.size() < config_.max_outbound_bytes) {
       std::vector<sim::BarrierRoundRecord> recs =
@@ -453,7 +468,7 @@ void DebugServer::pump_client(Client& c, int shard, bool tick_due) {
   // Periodic snapshots: coalesce (skip whole ticks) while the client is
   // over its outbound bound — a snapshot is a *current state*, so skipping
   // loses nothing a later tick does not re-deliver.
-  if (HostedSession* hs = bound(c.sub_flow); hs != nullptr) {
+  if (auto hs = bound(c.sub_flow); hs != nullptr) {
     if (c.out.size() >= config_.max_outbound_bytes) {
       SubMetrics::get().coalesced.add();
     } else {
@@ -488,7 +503,7 @@ void DebugServer::pump_client(Client& c, int shard, bool tick_due) {
       push_notification(c, "flow.snapshot", w.take(), hs->id);
     }
   }
-  if (HostedSession* hs = bound(c.sub_stats); hs != nullptr) {
+  if (auto hs = bound(c.sub_stats); hs != nullptr) {
     if (c.out.size() >= config_.max_outbound_bytes) {
       SubMetrics::get().coalesced.add();
     } else {
@@ -815,9 +830,9 @@ std::string DebugServer::handle_frame_for(std::string_view frame, Client* client
   return response;
 }
 
-Result<HostedSession*> DebugServer::resolve(const JsonValue& p, Client* client, int shard,
-                                            bool pin_to_shard) {
-  HostedSession* hs = nullptr;
+Result<std::shared_ptr<HostedSession>> DebugServer::resolve(const JsonValue& p, Client* client,
+                                                            int shard, bool pin_to_shard) {
+  std::shared_ptr<HostedSession> hs;
   const JsonValue* sp = p.find("session");
   if (sp != nullptr) {
     hs = sp->is_string() ? manager_.find(sp->as_string()) : manager_.find(sp->as_u64());
@@ -907,7 +922,7 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
       client->migrate_to = target;  // re-executes on the owning shard
       return std::string();
     }
-    dbg::SessionSpec spec = parse_spec(p, config_.default_quota);
+    dbg::SessionSpec spec = parse_spec(p, config_);
     auto created = manager_.create(spec, target, now_ms());
     if (!created.ok()) return make_error_frame(id_json, created.status());
     HostedSession& s = **created;
@@ -915,11 +930,9 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
     bool attach = client != nullptr && p.bool_or("attach", true);
     if (attach) {
       if (client->attached != 0) {
-        HostedSession* prev = manager_.find(client->attached);
-        if (prev != nullptr) {
-          prev->attached_clients.fetch_sub(1, std::memory_order_relaxed);
-          prev->sync_stats();
-        }
+        // The previous session may live on the shard the client migrated
+        // away from; drop_attachment stays off its world in that case.
+        if (auto prev = manager_.find(client->attached)) drop_attachment(*prev, shard);
       }
       client->attached = s.id;
       s.attached_clients.fetch_add(1, std::memory_order_relaxed);
@@ -940,25 +953,48 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
     auto target = resolve(p, client, shard, /*pin_to_shard=*/false);
     if (!target.ok()) return make_error_frame(id_json, target.status());
     HostedSession& s = **target;
+    auto quota_refused = [&]() {
+      obs::Registry::global().counter("server.session.attach_refused").add();
+      return make_error_frame(
+          id_json, Status::error(ErrCode::kFailedPrecondition,
+                                 strformat("session '%s' is at its client quota (%d)",
+                                           s.name.c_str(), s.quota.max_clients)));
+    };
+    bool over_quota = client->attached != s.id && s.quota.max_clients > 0 &&
+                      s.attached_clients.load(std::memory_order_relaxed) >= s.quota.max_clients;
     if (s.shard != shard) {
+      // Refuse before migrating (best-effort: the count is a cross-shard
+      // atomic read). Migrating first and failing the quota there would
+      // strand the client on a shard where its previous attachment — and
+      // every implicit verb against it — is unusable.
+      if (over_quota) return quota_refused();
       client->migrate_to = s.shard;  // re-executes on the owning shard
       return std::string();
     }
     if (client->attached != s.id) {
-      if (s.quota.max_clients > 0 &&
-          s.attached_clients.load(std::memory_order_relaxed) >= s.quota.max_clients) {
-        obs::Registry::global().counter("server.session.attach_refused").add();
-        return make_error_frame(
-            id_json, Status::error(ErrCode::kFailedPrecondition,
-                                   strformat("session '%s' is at its client quota (%d)",
-                                             s.name.c_str(), s.quota.max_clients)));
+      if (over_quota) {
+        // Authoritative check (owning shard). If the pre-migration check
+        // passed but this one fails — the quota filled during the move —
+        // the client must not be left here with its working session
+        // elsewhere: send it back to that anchor shard, where the
+        // re-executed frame hits the pre-migration refusal above and
+        // becomes a plain error with the old attachment intact.
+        int anchor = shard;
+        if (client->attached != 0) {
+          if (auto prev = manager_.find(client->attached)) anchor = prev->shard;
+        } else if (default_ != nullptr) {
+          anchor = default_->shard;
+        }
+        if (anchor != shard) {
+          client->migrate_to = anchor;
+          return std::string();
+        }
+        return quota_refused();
       }
       if (client->attached != 0) {
-        HostedSession* prev = manager_.find(client->attached);
-        if (prev != nullptr) {
-          prev->attached_clients.fetch_sub(1, std::memory_order_relaxed);
-          prev->sync_stats();
-        }
+        // The previous session may live on the shard the client migrated
+        // away from; drop_attachment stays off its world in that case.
+        if (auto prev = manager_.find(client->attached)) drop_attachment(*prev, shard);
       }
       client->attached = s.id;
       s.attached_clients.fetch_add(1, std::memory_order_relaxed);
@@ -981,12 +1017,10 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
       return make_error_frame(id_json, Status::error(ErrCode::kFailedPrecondition,
                                                      "not attached to a session"));
     std::uint64_t prev_id = client->attached;
-    HostedSession* prev = manager_.find(prev_id);
     client->drop_session(prev_id);
-    if (prev != nullptr) {
-      prev->attached_clients.fetch_sub(1, std::memory_order_relaxed);
-      prev->sync_stats();
-    }
+    // A refused post-migration attach can leave the attachment pointing at
+    // another shard's session; drop_attachment stays off its world then.
+    if (auto prev = manager_.find(prev_id)) drop_attachment(*prev, shard);
     JsonWriter w;
     w.begin_object().kv("ok", true).kv("detached", prev_id).end_object();
     return make_result_frame(id_json, w.take());
@@ -1030,15 +1064,16 @@ std::string DebugServer::dispatch(const std::string& method, const JsonValue& p,
 
   if (method == "capabilities") {
     auto soft = resolve(p, client, shard, /*pin_to_shard=*/false);
-    HostedSession* s = soft.ok() ? *soft : nullptr;
+    std::shared_ptr<HostedSession> s = soft.ok() ? *soft : nullptr;
     JsonWriter w;
     w.begin_object();
     w.kv("protocol", 2);
     w.kv("exec", config_.allow_exec);
     w.kv("max_frame_bytes", static_cast<std::uint64_t>(config_.max_frame_bytes));
     if (s != nullptr) {
-      w.kv("backend", sim::to_string(s->session->app().kernel().backend()));
-      w.kv("workers", static_cast<std::uint64_t>(s->session->app().kernel().partition_count()));
+      // Identity snapshots, not kernel reads: `s` may live on another shard.
+      w.kv("backend", s->backend);
+      w.kv("workers", static_cast<std::uint64_t>(s->workers));
     }
     w.kv("shards", static_cast<std::uint64_t>(config_.shards));
     w.kv("sessions", static_cast<std::uint64_t>(manager_.count()));

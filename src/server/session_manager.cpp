@@ -4,6 +4,7 @@
 
 #include "dfdbg/common/strings.hpp"
 #include "dfdbg/obs/metrics.hpp"
+#include "dfdbg/sim/kernel.hpp"
 
 namespace dfdbg::server {
 
@@ -35,11 +36,10 @@ SessionManager::SessionManager(dbg::SessionFactory* factory, std::size_t max_ses
 
 SessionManager::~SessionManager() = default;
 
-HostedSession* SessionManager::register_external(dbg::Session& session,
-                                                 const std::string& name,
-                                                 const dbg::SessionQuota& quota) {
+std::shared_ptr<HostedSession> SessionManager::register_external(
+    dbg::Session& session, const std::string& name, const dbg::SessionQuota& quota) {
   std::lock_guard<std::mutex> lk(mu_);
-  auto hs = std::make_unique<HostedSession>();
+  auto hs = std::make_shared<HostedSession>();
   hs->id = next_id_++;
   hs->name = name;
   hs->rig = "external";
@@ -48,29 +48,38 @@ HostedSession* SessionManager::register_external(dbg::Session& session,
   hs->is_default = true;
   hs->session = &session;
   hs->journal = &obs::Journal::global_base();
-  HostedSession* out = hs.get();
-  sessions_.push_back(std::move(hs));
+  const sim::Kernel& k = session.app().kernel();
+  hs->backend = sim::to_string(k.backend());
+  hs->workers = static_cast<int>(k.partition_count());
+  sessions_.push_back(hs);
   FleetMetrics::get().count.set(static_cast<std::int64_t>(sessions_.size()));
-  return out;
+  return hs;
 }
 
-Result<HostedSession*> SessionManager::create(const dbg::SessionSpec& spec, int shard,
-                                              std::uint64_t now_ms) {
+Result<std::shared_ptr<HostedSession>> SessionManager::create(const dbg::SessionSpec& spec,
+                                                              int shard,
+                                                              std::uint64_t now_ms) {
+  auto limit_error = [this]() {
+    FleetMetrics::get().create_failed.add();
+    return Status::error(ErrCode::kFailedPrecondition,
+                         strformat("session limit reached (%zu)", max_sessions_));
+  };
+  auto name_error = [&spec]() {
+    FleetMetrics::get().create_failed.add();
+    return Status::error(ErrCode::kInvalidArgument,
+                         "session name already in use: " + spec.name);
+  };
+  auto name_in_use = [this](const std::string& name) {
+    for (const auto& s : sessions_)
+      if (s->name == name) return true;
+    return false;
+  };
+  // Pre-check so an over-limit/duplicate request fails before paying for a
+  // rig build. Not authoritative: the lock drops across the build.
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (sessions_.size() >= max_sessions_) {
-      FleetMetrics::get().create_failed.add();
-      return Status::error(ErrCode::kFailedPrecondition,
-                           strformat("session limit reached (%zu)", max_sessions_));
-    }
-    if (!spec.name.empty()) {
-      for (const auto& s : sessions_)
-        if (s->name == spec.name) {
-          FleetMetrics::get().create_failed.add();
-          return Status::error(ErrCode::kInvalidArgument,
-                               "session name already in use: " + spec.name);
-        }
-    }
+    if (sessions_.size() >= max_sessions_) return limit_error();
+    if (!spec.name.empty() && name_in_use(spec.name)) return name_error();
   }
   if (factory_ == nullptr) {
     FleetMetrics::get().create_failed.add();
@@ -84,35 +93,45 @@ Result<HostedSession*> SessionManager::create(const dbg::SessionSpec& spec, int 
     FleetMetrics::get().create_failed.add();
     return world.status();
   }
+  // On the failure paths below, `built` unwinds on this thread — the owning
+  // shard's, where the factory just created its fibers.
+  std::unique_ptr<dbg::SessionWorld> built = std::move(*world);
 
   std::lock_guard<std::mutex> lk(mu_);
-  auto hs = std::make_unique<HostedSession>();
+  // Re-validate: a concurrent create on another shard may have consumed the
+  // last slot or claimed the name while the factory was building.
+  if (sessions_.size() >= max_sessions_) return limit_error();
+  if (!spec.name.empty() && name_in_use(spec.name)) return name_error();
+  auto hs = std::make_shared<HostedSession>();
   hs->id = next_id_++;
-  hs->name = spec.name.empty() ? strformat("s%llu", static_cast<unsigned long long>(hs->id))
-                               : spec.name;
-  // An auto-name could still collide with an explicit one; disambiguate.
-  for (const auto& s : sessions_)
-    if (s->name == hs->name) {
+  if (spec.name.empty()) {
+    // Auto-name ("s<id>"): could collide with an explicitly chosen name;
+    // disambiguate. Explicit duplicates were rejected above instead.
+    hs->name = strformat("s%llu", static_cast<unsigned long long>(hs->id));
+    if (name_in_use(hs->name))
       hs->name += strformat("-%llu", static_cast<unsigned long long>(hs->id));
-      break;
-    }
+  } else {
+    hs->name = spec.name;
+  }
   hs->rig = spec.rig;
   hs->shard = shard;
   hs->quota = spec.quota;
-  hs->world = std::move(*world);
+  hs->world = std::move(built);
   hs->session = hs->world->session.get();
   hs->journal = hs->world->journal.get();
+  const sim::Kernel& k = hs->session->app().kernel();
+  hs->backend = sim::to_string(k.backend());
+  hs->workers = static_cast<int>(k.partition_count());
   hs->last_used_ms.store(now_ms, std::memory_order_relaxed);
   hs->sync_stats();
-  HostedSession* out = hs.get();
-  sessions_.push_back(std::move(hs));
+  sessions_.push_back(hs);
   FleetMetrics::get().created.add();
   FleetMetrics::get().count.set(static_cast<std::int64_t>(sessions_.size()));
-  return out;
+  return hs;
 }
 
 Status SessionManager::destroy(std::uint64_t id, bool evicted) {
-  std::unique_ptr<HostedSession> doomed;
+  std::shared_ptr<HostedSession> doomed;
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = std::find_if(sessions_.begin(), sessions_.end(),
@@ -127,8 +146,16 @@ Status SessionManager::destroy(std::uint64_t id, bool evicted) {
     sessions_.erase(it);
     FleetMetrics::get().count.set(static_cast<std::int64_t>(sessions_.size()));
   }
-  // Teardown outside the lock, on the owning shard's thread (the caller's).
+  // World teardown outside the lock, on the owning shard's thread (the
+  // caller's): fiber stacks unwind where they were created. The struct
+  // itself may outlive this call — a cross-shard find() pin keeps it alive,
+  // reading only identity fields and atomic mirrors — so only the world is
+  // released here; the pointers into it are owning-shard-only state.
   if (doomed->session != nullptr) doomed->session->set_stop_observer(nullptr);
+  doomed->interp.reset();
+  doomed->session = nullptr;
+  doomed->journal = nullptr;
+  doomed->world.reset();
   doomed.reset();
   FleetMetrics::get().destroyed.add();
   if (evicted) FleetMetrics::get().evicted.add();
@@ -151,17 +178,17 @@ void SessionManager::destroy_all_on_shard(int shard) {
   }
 }
 
-HostedSession* SessionManager::find(std::uint64_t id) {
+std::shared_ptr<HostedSession> SessionManager::find(std::uint64_t id) {
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& s : sessions_)
-    if (s->id == id) return s.get();
+    if (s->id == id) return s;
   return nullptr;
 }
 
-HostedSession* SessionManager::find(const std::string& name) {
+std::shared_ptr<HostedSession> SessionManager::find(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& s : sessions_)
-    if (s->name == name) return s.get();
+    if (s->name == name) return s;
   return nullptr;
 }
 

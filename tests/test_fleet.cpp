@@ -12,6 +12,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -219,12 +220,34 @@ TEST(FleetQuota, JournalCapacityFromQuota) {
   std::string spec = tiny_wide("smallring");
   spec.insert(spec.size() - 1, R"(,"quota":{"journal_capacity":64})");
   ASSERT_NE(rig.create(spec), 0u);
-  HostedSession* hs = rig.server->sessions().find(std::string("smallring"));
+  auto hs = rig.server->sessions().find(std::string("smallring"));
   ASSERT_NE(hs, nullptr);
   ASSERT_NE(hs->journal, nullptr);
   EXPECT_EQ(hs->journal->capacity(), 64u);
   EXPECT_NE(hs->journal, &obs::Journal::global_base())
       << "quota-sized session journal must be private, not the process ring";
+}
+
+TEST(FleetQuota, JournalCapacityClampedToServerCeiling) {
+  ServerConfig scfg;
+  scfg.max_journal_capacity = 256;
+  FleetRig rig(scfg);
+  // A hostile client asking for a giant private ring gets the server's
+  // ceiling, not a giant allocation.
+  std::string spec = tiny_wide("greedy");
+  spec.insert(spec.size() - 1, R"(,"quota":{"journal_capacity":1073741824})");
+  ASSERT_NE(rig.create(spec), 0u);
+  auto hs = rig.server->sessions().find(std::string("greedy"));
+  ASSERT_NE(hs, nullptr);
+  ASSERT_NE(hs->journal, nullptr);
+  EXPECT_EQ(hs->journal->capacity(), 256u);
+  // Requests under the ceiling are honoured unchanged.
+  spec = tiny_wide("modest");
+  spec.insert(spec.size() - 1, R"(,"quota":{"journal_capacity":64})");
+  ASSERT_NE(rig.create(spec), 0u);
+  auto modest = rig.server->sessions().find(std::string("modest"));
+  ASSERT_NE(modest, nullptr);
+  EXPECT_EQ(modest->journal->capacity(), 64u);
 }
 
 TEST(FleetQuota, SessionCeilingEnforced) {
@@ -240,6 +263,53 @@ TEST(FleetQuota, SessionCeilingEnforced) {
 }
 
 // --- idle eviction -----------------------------------------------------------
+
+TEST(FleetQuota, ConcurrentCreatesRespectCeilingAndNames) {
+  // Two shards race session_create through the manager directly: the
+  // capacity and name checks are re-validated after the (unlocked) factory
+  // build, so neither the ceiling nor name uniqueness can be broken by the
+  // check-build-insert window, and an explicit name is never silently
+  // renamed.
+  obs::set_enabled(true);
+  dbg::SessionFactory factory;
+  SessionManager mgr(&factory, 4);
+  constexpr int kAttempts = 6;
+  std::atomic<int> wins[kAttempts] = {};
+  std::atomic<int> done{0};
+  auto worker = [&](int shard) {
+    for (int i = 0; i < kAttempts; ++i) {
+      dbg::SessionSpec spec;
+      spec.pipelines = 1;
+      spec.stages = 1;
+      spec.tokens = 4;
+      spec.spin = 1;
+      spec.name = "contested-" + std::to_string(i);
+      auto r = mgr.create(spec, shard, 0);
+      if (r.ok()) {
+        wins[i].fetch_add(1);
+        EXPECT_EQ((*r)->name, spec.name);
+      } else {
+        std::string msg = r.status().message();
+        EXPECT_TRUE(msg.find("already in use") != std::string::npos ||
+                    msg.find("limit reached") != std::string::npos)
+            << msg;
+      }
+      EXPECT_LE(mgr.count(), 4u);
+    }
+    // Hold teardown until both threads stop creating, so a destroyed name
+    // cannot be legitimately re-created and double-counted above.
+    done.fetch_add(1);
+    while (done.load() < 2) std::this_thread::yield();
+    mgr.destroy_all_on_shard(shard);  // worlds unwind on their creating thread
+  };
+  std::thread t1(worker, 101);
+  std::thread t2(worker, 102);
+  t1.join();
+  t2.join();
+  for (int i = 0; i < kAttempts; ++i)
+    EXPECT_LE(wins[i].load(), 1) << "name contested-" << i << " created twice";
+  EXPECT_EQ(mgr.count(), 0u);
+}
 
 TEST(FleetEviction, IdleSessionsSwept) {
   FleetRig rig;
@@ -354,8 +424,8 @@ TEST(FleetDeterminism, ParallelBackendTwinSessionsAgree) {
   JsonValue l2 = rig.result(
       R"({"jsonrpc":"2.0","id":4,"method":"info_links","params":{"session":"t2"}})");
   EXPECT_EQ(l1.dump(), l2.dump());
-  HostedSession* t1 = rig.server->sessions().find(std::string("t1"));
-  HostedSession* t2 = rig.server->sessions().find(std::string("t2"));
+  auto t1 = rig.server->sessions().find(std::string("t1"));
+  auto t2 = rig.server->sessions().find(std::string("t2"));
   ASSERT_NE(t1, nullptr);
   ASSERT_NE(t2, nullptr);
   EXPECT_GT(t1->journal->cursor(), 0u);
@@ -462,29 +532,24 @@ struct TestClient {
   }
 };
 
-/// Fleet-only poll-loop server on a dedicated thread.
+/// Fleet-only poll-loop server on a dedicated thread. The server object is
+/// owned by the test thread and outlives serve(): request_shutdown() must
+/// never race the destructor closing the wake pipes. Shard loops destroy
+/// their own sessions on exit, so tearing the object down here (not on the
+/// serving thread) is safe.
 struct FleetServerThread {
+  dbg::SessionFactory factory;
+  std::unique_ptr<DebugServer> server;
   std::thread thread;
-  DebugServer* server = nullptr;
   int port = 0;
 
   explicit FleetServerThread(ServerConfig scfg = {}) {
-    std::promise<int> ready;
-    thread = std::thread([this, scfg, &ready] {
-      dbg::SessionFactory factory;
-      DebugServer srv(factory, scfg);
-      auto p = srv.listen_tcp();
-      EXPECT_TRUE(p.ok()) << p.status().message();
-      if (!p.ok()) {
-        ready.set_value(0);
-        return;
-      }
-      server = &srv;
-      ready.set_value(*p);
-      EXPECT_TRUE(srv.serve().ok());
-    });
-    port = ready.get_future().get();
-    EXPECT_NE(port, 0);
+    server = std::make_unique<DebugServer>(factory, scfg);
+    auto p = server->listen_tcp();
+    EXPECT_TRUE(p.ok()) << p.status().message();
+    if (!p.ok()) return;
+    port = *p;
+    thread = std::thread([this] { EXPECT_TRUE(server->serve().ok()); });
   }
 
   ~FleetServerThread() {
@@ -597,6 +662,41 @@ TEST(FleetSocket, CrossShardCreateAttachAndRun) {
   // Both worlds are visible fleet-wide regardless of the client's shard.
   resp = tc.request(R"({"jsonrpc":"2.0","id":5,"method":"session_list"})");
   EXPECT_NE(resp.find("\"count\":2"), std::string::npos) << resp;
+}
+
+TEST(FleetSocket, AttachRefusalLeavesClientUsable) {
+  ServerConfig scfg;
+  scfg.shards = 2;
+  FleetServerThread st(scfg);
+  TestClient a, b;
+  ASSERT_TRUE(a.connect_tcp(st.port));
+  ASSERT_TRUE(b.connect_tcp(st.port));
+  a.set_timeout_ms(5000);
+  b.set_timeout_ms(5000);
+
+  // a works against "home" on its own shard 0; b fills the 1-client quota
+  // of "far" on shard 1.
+  std::string resp = a.request(
+      R"({"jsonrpc":"2.0","id":1,"method":"session_create","params":)" + tiny_wide("home") + "}");
+  ASSERT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  std::string spec = tiny_wide("far");
+  spec.insert(spec.size() - 1, R"(,"shard":1,"quota":{"max_clients":1})");
+  resp = b.request(
+      R"({"jsonrpc":"2.0","id":2,"method":"session_create","params":)" + spec + "}");
+  ASSERT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  ASSERT_NE(resp.find("\"shard\":1"), std::string::npos) << resp;
+
+  // Attaching to the full session is refused *before* the cross-shard
+  // migration — a must not be stranded on shard 1 with an attachment it
+  // cannot use...
+  resp = a.request(
+      R"({"jsonrpc":"2.0","id":3,"method":"session_attach","params":{"session":"far"}})");
+  EXPECT_NE(resp.find("client quota"), std::string::npos) << resp;
+  // ...so its implicit session-scoped verbs keep hitting "home" unchanged.
+  resp = a.request(R"({"jsonrpc":"2.0","id":4,"method":"run"})");
+  EXPECT_NE(resp.find("\"result\""), std::string::npos) << resp;
+  resp = a.request(R"({"jsonrpc":"2.0","id":5,"method":"session_detach"})");
+  EXPECT_NE(resp.find("\"detached\""), std::string::npos) << resp;
 }
 
 }  // namespace
