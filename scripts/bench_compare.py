@@ -4,7 +4,12 @@
 Each PR commits its measured numbers as BENCH_PRn.json (scripts/
 collect_bench.py). This script pairs the two most recent aggregates, matches
 records by (binary, benchmark name, backend), and reports every benchmark
-whose ns_per_op grew by more than the threshold (default 20%).
+whose ns_per_op grew — or whose tokens_per_sec shrank — by more than the
+threshold (default 20%). The throughput check is what covers the parallel
+backend: BM_ParallelScaling / BM_ParallelAttribution amortize a whole
+simulation per iteration, so ns_per_op tracks setup as much as steady state,
+while their tokens_per_sec counter is the number the scaling acceptance
+bars are written against.
 
 Exit status: 0 when no regression crosses the threshold (or there is nothing
 to compare), 1 otherwise. The check_build.sh step that runs this is
@@ -76,16 +81,28 @@ def main():
     for key in common:
         before = old[key].get("ns_per_op", 0)
         after = new[key].get("ns_per_op", 0)
-        if before <= 0 or after <= 0:
-            continue
-        ratio = after / before
-        if ratio > 1.0 + args.threshold:
-            regressions.append((key, before, after, ratio))
+        if before > 0 and after > 0:
+            ratio = after / before
+            if ratio > 1.0 + args.threshold:
+                regressions.append((key, "ns_per_op", before, after, ratio))
+        # Throughput counters regress downward; same threshold, inverted.
+        tps_before = old[key].get("tokens_per_sec", 0)
+        tps_after = new[key].get("tokens_per_sec", 0)
+        if tps_before > 0 and tps_after > 0:
+            ratio = tps_before / tps_after
+            if ratio > 1.0 + args.threshold:
+                regressions.append(
+                    (key, "tokens_per_sec", tps_before, tps_after, ratio))
 
-    for (binary, name, backend), before, after, ratio in regressions:
-        print(f"  REGRESSION {binary} {name} [{backend}]: "
-              f"{before / 1e6:.3f} -> {after / 1e6:.3f} ms/op "
-              f"({ratio - 1.0:+.0%})")
+    for (binary, name, backend), metric, before, after, ratio in regressions:
+        if metric == "ns_per_op":
+            print(f"  REGRESSION {binary} {name} [{backend}]: "
+                  f"{before / 1e6:.3f} -> {after / 1e6:.3f} ms/op "
+                  f"({ratio - 1.0:+.0%})")
+        else:
+            print(f"  REGRESSION {binary} {name} [{backend}]: "
+                  f"{before / 1e6:.3f} -> {after / 1e6:.3f} Mtokens/s "
+                  f"(-{1.0 - after / before:.0%})")
     flagged = len(regressions)
     print(f"bench_compare: {len(common)} benchmark(s) compared, "
           f"{flagged} regression(s) over threshold")

@@ -242,6 +242,22 @@ else
 fi
 rm -f "$sock"
 
+echo "== determinism sweep (relaxed-synchrony parallel backend) =="
+# The hard gate behind the relaxed-synchrony fast paths: at every worker
+# count, two runs of the same seeded wide graph must produce byte-identical
+# merged journal transcripts. Eager drains, elided barriers and sparse wakes
+# all claim to be schedule-neutral — this is where that claim is checked.
+for k in 2 4 8; do
+  ./build/tools/dfdbg-transcript "$k" 7 > "build/transcript_a.$k" \
+    || { echo "FAIL: dfdbg-transcript run 1 (K=$k)"; exit 1; }
+  ./build/tools/dfdbg-transcript "$k" 7 > "build/transcript_b.$k" \
+    || { echo "FAIL: dfdbg-transcript run 2 (K=$k)"; exit 1; }
+  cmp -s "build/transcript_a.$k" "build/transcript_b.$k" \
+    || { echo "FAIL: transcript diverged between runs at K=$k"; exit 1; }
+  [ -s "build/transcript_a.$k" ] || { echo "FAIL: empty transcript at K=$k"; exit 1; }
+  echo "ok: K=$k byte-identical ($(wc -l < "build/transcript_a.$k") transcript lines)"
+done
+
 echo "== dashboard smoke (dfdbg-top) =="
 # dfdbg-top subscribes to every stream and renders from pushed frames alone;
 # --no-ansi --run --max-frames bounds it for CI.
@@ -380,10 +396,15 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target test_parallel_backend test_fleet
+cmake --build build-tsan -j "$(nproc)" --target test_parallel_backend test_fleet test_boundary_ring
+# The lock-free boundary ring's raw SPSC surface, driven by two real threads:
+# the acquire/release counter protocol is exactly what TSan exists to check.
+echo "-- test_boundary_ring under TSan (two-thread SPSC stress)"
+./build-tsan/tests/test_boundary_ring >/dev/null \
+  || { echo "FAIL: test_boundary_ring under TSan"; exit 1; }
 echo "-- test_parallel_backend under TSan (threads substrate)"
 DFDBG_PARALLEL_SUBSTRATE=threads ./build-tsan/tests/test_parallel_backend \
-  --gtest_filter='ParallelWide.*:ParallelH264.TraceCsvRunToRunDeterministic:ParallelH264.WhenceRunToRunDeterministic:ParallelH264.Catchpoint*' \
+  --gtest_filter='ParallelWide.*:RelaxedSync.*:ParallelH264.TraceCsvRunToRunDeterministic:ParallelH264.WhenceRunToRunDeterministic:ParallelH264.Catchpoint*' \
   >/dev/null \
   || { echo "FAIL: test_parallel_backend under TSan"; exit 1; }
 # The sharded fleet host is the other concurrent subsystem: cross-shard

@@ -7,7 +7,7 @@ measurement through the shared JsonLineReporter:
     BENCH_JSON {"name":"BM_JournalOverhead/1","backend":"fibers",...}
 
 This script sweeps the built binaries, scrapes those lines, and writes one
-aggregate document (default: BENCH_PR9.json at the repository root) so a PR
+aggregate document (default: BENCH_PR10.json at the repository root) so a PR
 can commit its measured numbers alongside the code that produced them.
 
 Standard library only; no third-party dependencies.
@@ -62,8 +62,8 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(repo, "build"),
                     help="CMake build tree holding bench/bench_* (default: build)")
-    ap.add_argument("--out", default=os.path.join(repo, "BENCH_PR9.json"),
-                    help="aggregate output path (default: BENCH_PR9.json)")
+    ap.add_argument("--out", default=os.path.join(repo, "BENCH_PR10.json"),
+                    help="aggregate output path (default: BENCH_PR10.json)")
     ap.add_argument("--min-time", type=float, default=0.05,
                     help="google-benchmark --benchmark_min_time per bench (s)")
     ap.add_argument("--only", default=None,

@@ -546,22 +546,59 @@ void Application::prepare_partitions() {
         break;
     }
   }
+  inbound_by_shard_.assign(static_cast<std::size_t>(K), {});
   for (const auto& l : links_) {
     const int ps = actor_partition(l->src()->owner());
     const int pd = actor_partition(l->dst()->owner());
     l->data_avail().bind_partition(pd);
-    l->space_avail().bind_partition(ps);
-    if (ps == pd) continue;
+    if (ps == pd) {
+      l->space_avail().bind_partition(ps);
+      continue;
+    }
+    // A boundary link's space_avail is only ever *notified* — by the
+    // consumer's pops — never waited on (the producer blocks on the
+    // channel's own space event instead). Binding it to the consumer lets
+    // those notifies coalesce locally instead of deferring a useless
+    // cross-partition wake every pop, which would force a barrier on every
+    // otherwise-elidable round.
+    l->space_avail().bind_partition(pd);
     std::size_t cap = l->capacity() == SIZE_MAX
                           ? BoundaryChannel::kDefaultSlots
                           : std::min(l->capacity(), BoundaryChannel::kDefaultSlots);
     boundaries_.push_back(std::make_unique<BoundaryChannel>(*l, cap));
     boundaries_.back()->space_avail().bind_partition(ps);
     l->set_outbox(boundaries_.back().get());
+    inbound_by_shard_[static_cast<std::size_t>(pd)].push_back(boundaries_.back().get());
   }
   k.add_barrier_task([this] { return drain_boundaries(); });
-  // Shard time attribution: the coordinator samples this at each barrier
-  // (before the drain) for the round record's boundary occupancy high-water.
+  if (!boundaries_.empty()) {
+    // Relaxed-synchrony integration (see boundary.hpp and docs/KERNEL.md):
+    // consumer shards drain published tokens during the round; the
+    // coordinator publishes/reclaims only on rounds with cross-partition
+    // effects and wakes only shards whose channels can deliver.
+    sim::Kernel::BoundaryHooks hooks;
+    hooks.eager_drain = [this](int p) { return eager_drain_boundaries(p); };
+    hooks.activity = [this] {
+      for (const auto& ch : boundaries_)
+        if (ch->has_unpublished()) return true;
+      return false;
+    };
+    hooks.publish = [this] { return publish_boundaries(); };
+    hooks.pending = [this](std::vector<std::uint8_t>& mask) {
+      for (std::size_t p = 0; p < inbound_by_shard_.size() && p < mask.size(); ++p) {
+        for (const BoundaryChannel* ch : inbound_by_shard_[p]) {
+          if (ch->eligible()) {
+            mask[p] = 1;
+            break;
+          }
+        }
+      }
+    };
+    k.set_boundary_hooks(std::move(hooks));
+  }
+  // Shard time attribution: the coordinator samples this every round —
+  // elided ones included — for the round record's boundary occupancy
+  // high-water mark.
   k.set_boundary_probe([this] {
     std::uint64_t hwm = 0;
     for (const auto& ch : boundaries_)
@@ -580,8 +617,26 @@ std::map<std::string, std::uint64_t> Application::dispatch_profile() const {
   return out;
 }
 
+std::map<std::string, std::uint64_t> Application::dispatch_time_profile() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const Actor* a : actors_) {
+    if (a->kind() == ActorKind::kModule) continue;
+    const sim::Process* p = platform_.kernel().process_by_name(a->path());
+    // Zero entries are omitted so an unobserved run yields an empty profile
+    // and kAdaptive falls back to the activation profile.
+    if (p != nullptr && p->consumed_wall_ns() != 0) out[a->path()] = p->consumed_wall_ns();
+  }
+  return out;
+}
+
 void Application::rebalance_partitions_adaptive(int workers) {
-  if (workers <= 1 || partition_profile_.empty()) return;
+  if (workers <= 1) return;
+  // Time-weighted LPT when a time profile is installed (observed fire
+  // nanoseconds close the loop better than activation counts when firings
+  // have uneven cost); activation-weighted otherwise.
+  const std::map<std::string, std::uint64_t>& profile =
+      partition_time_profile_.empty() ? partition_profile_ : partition_time_profile_;
+  if (profile.empty()) return;
   // Atomic placement units mirror the constraints steps 3–4 validate: a
   // module's controller and filters move together, and PE co-residents move
   // together. Union-find over actor ids.
@@ -606,8 +661,9 @@ void Application::rebalance_partitions_adaptive(int workers) {
     auto [it, fresh] = pe_first.emplace(a->pe(), a->id().value());
     if (!fresh) unite(a->id().value(), it->second);
   }
-  // Weigh each unit by its recorded activations (actors missing from the
-  // profile weigh 1, so a stale profile still spreads them) and place
+  // Weigh each unit by its recorded load — fire nanoseconds or activations
+  // (actors missing from the profile weigh 1, so a stale profile still
+  // spreads them) — and place
   // heaviest-first onto the least-loaded partition (LPT). Units enumerate in
   // root-id order and every tie breaks on lowest id / lowest partition: the
   // resulting map is a pure function of (graph, profile, worker count).
@@ -619,8 +675,8 @@ void Application::rebalance_partitions_adaptive(int workers) {
   for (Actor* a : actors_) {
     if (a->kind() == ActorKind::kModule) continue;
     Unit& u = units[find(a->id().value())];
-    auto it = partition_profile_.find(a->path());
-    u.weight += it != partition_profile_.end() ? std::max<std::uint64_t>(it->second, 1) : 1;
+    auto it = profile.find(a->path());
+    u.weight += it != profile.end() ? std::max<std::uint64_t>(it->second, 1) : 1;
     u.members.push_back(a);
   }
   std::vector<const Unit*> order;
@@ -642,6 +698,19 @@ bool Application::drain_boundaries() {
   bool progress = false;
   for (auto& ch : boundaries_) progress |= ch->drain(kernel());
   return progress;
+}
+
+std::size_t Application::eager_drain_boundaries(int partition) {
+  std::size_t moved = 0;
+  for (BoundaryChannel* ch : inbound_by_shard_[static_cast<std::size_t>(partition)])
+    moved += ch->drain_eligible(kernel());
+  return moved;
+}
+
+bool Application::publish_boundaries() {
+  bool woke = false;
+  for (auto& ch : boundaries_) woke |= ch->publish(kernel());
+  return woke;
 }
 
 void Application::spawn_filter_process(Filter* f) {

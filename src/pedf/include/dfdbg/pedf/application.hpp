@@ -107,12 +107,14 @@ class Application {
   /// overrides always win on top of either policy).
   enum class PartitionPolicy {
     kClusterModulo,  ///< default: PE cluster index modulo worker count
-    /// Rebalances from a recorded dispatch profile (set_partition_profile,
-    /// typically dispatch_profile() of a previous run): atomic units —
-    /// module controller+filters merged with PE co-residents — are weighted
-    /// by observed activations and placed greedily, heaviest first, onto the
-    /// least-loaded partition (LPT). Deterministic for a given profile; with
-    /// an empty profile it degrades to kClusterModulo.
+    /// Rebalances from a recorded dispatch profile: atomic units — module
+    /// controller+filters merged with PE co-residents — are weighted by
+    /// observed load and placed greedily, heaviest first, onto the
+    /// least-loaded partition (LPT). A time profile
+    /// (set_partition_time_profile, typically dispatch_time_profile() of an
+    /// observed previous run) takes precedence; otherwise the activation
+    /// profile (set_partition_profile) is used. Deterministic for a given
+    /// profile; with no profile installed it degrades to kClusterModulo.
     kAdaptive,
   };
   void set_partition_policy(PartitionPolicy p) {
@@ -131,6 +133,24 @@ class Application {
   void set_partition_profile(std::map<std::string, std::uint64_t> profile) {
     DFDBG_CHECK_MSG(!started_, "set_partition_profile after start");
     partition_profile_ = std::move(profile);
+  }
+
+  /// Observed per-actor fire time of this run: path -> wall nanoseconds the
+  /// actor's process spent inside its dispatches. Accumulated only on the
+  /// parallel backend while obs::enabled() (empty otherwise); a measurement,
+  /// not part of the schedule — feed it to set_partition_time_profile() on a
+  /// fresh instance to rebalance by time instead of activation count.
+  [[nodiscard]] std::map<std::string, std::uint64_t> dispatch_time_profile() const;
+
+  /// Installs the time profile the kAdaptive policy prefers over the
+  /// activation profile (time-weighted LPT: sim.worker.N.work_ns closes the
+  /// loop instead of activation counts). Call before start(); actors absent
+  /// from the map weigh 1. The placement is a pure function of (graph,
+  /// profile, worker count) — but a *measured* profile varies run to run, so
+  /// pin the profile itself when byte-stable schedules matter.
+  void set_partition_time_profile(std::map<std::string, std::uint64_t> profile) {
+    DFDBG_CHECK_MSG(!started_, "set_partition_time_profile after start");
+    partition_time_profile_ = std::move(profile);
   }
 
   /// Partition the actor's process runs in (0 on sequential backends).
@@ -254,10 +274,20 @@ class Application {
   /// channels and registers the barrier drain.
   void prepare_partitions();
   /// kAdaptive: overwrites the cluster-modulo defaults in partition_of_ with
-  /// the LPT placement computed from partition_profile_.
+  /// the LPT placement computed from partition_time_profile_ (preferred)
+  /// or partition_profile_.
   void rebalance_partitions_adaptive(int workers);
-  /// The kernel barrier task: drains every boundary channel in link order.
+  /// The kernel *full-barrier* task (quiescence fallback and debug stops):
+  /// fully drains every boundary channel in link order. Ordinary rounds move
+  /// boundary tokens through the relaxed-synchrony hooks instead
+  /// (eager_drain_boundaries / publish_boundaries; see boundary.hpp).
   bool drain_boundaries();
+  /// Consumer-shard eager drain: delivers published tokens on `partition`'s
+  /// inbound channels, in link order. Returns tokens delivered.
+  std::size_t eager_drain_boundaries(int partition);
+  /// Coordinator publish: snapshots every channel, reclaims slots, wakes
+  /// blocked producers. Returns true when a producer was woken.
+  bool publish_boundaries();
   void spawn_filter_process(Filter* f);
   void spawn_controller_process(Controller* c, Module* m);
 
@@ -283,8 +313,12 @@ class Application {
   std::map<std::string, int> partition_override_;  // path/name -> partition
   std::vector<int> partition_of_;                  // by ActorId value
   PartitionPolicy partition_policy_ = PartitionPolicy::kClusterModulo;
-  std::map<std::string, std::uint64_t> partition_profile_;  // path -> weight
+  std::map<std::string, std::uint64_t> partition_profile_;       // path -> activations
+  std::map<std::string, std::uint64_t> partition_time_profile_;  // path -> fire ns
   std::vector<std::unique_ptr<BoundaryChannel>> boundaries_;
+  /// boundaries_ grouped by consumer partition, each group in link-id order
+  /// (the eager-drain order; built in prepare_partitions).
+  std::vector<std::vector<BoundaryChannel*>> inbound_by_shard_;
   ApiSymbols syms_;
   bool elaborated_ = false;
   bool started_ = false;

@@ -3,19 +3,39 @@
 // A Link whose producer and consumer live in different partitions cannot be
 // mutated from both sides: all link state (ring, indexes, events) belongs to
 // the *consumer's* partition. Instead the producer enqueues {value, uid}
-// pairs into a BoundaryChannel — a single-producer ring the producing
-// worker alone writes during a round — and the coordinator drains every
-// channel at the barrier, delivering tokens into the link in channel order
-// and waking the consumer. The conservative barrier gives the
-// happens-before edge between the two sides, so the channel needs no
-// atomics of its own.
+// pairs into a BoundaryChannel — a lock-free single-producer/single-consumer
+// ring. Two monotonic counters index it: `sent_` (advanced by the producing
+// worker with a release store) and `delivered_` (advanced by the consuming
+// worker as it moves tokens into the link). On top of the SPSC ring sits the
+// deterministic round protocol:
 //
-// Flow control is conservative: the channel is bounded (the link's capacity
-// when it has one, a fixed default otherwise) and a producer blocks on
-// space_avail() while it is full; the coordinator notifies after freeing
-// slots. Tokens therefore traverse a boundary with at least one barrier of
-// latency, but per-link FIFO order — the Kahn-network property every
-// determinism argument rests on — is preserved by construction.
+//   publish (coordinator, between rounds): snapshots `sent_` into `limit_`
+//     and `delivered_` into `freed_`. Both snapshots are plain fields — only
+//     the coordinator writes them, and the round handshake's mutex orders
+//     them against both workers.
+//   eager drain (consumer shard, during a round): delivers tokens strictly
+//     below `limit_` into the link, in channel order, waking local
+//     data_avail waiters immediately. Because eligibility is bounded by the
+//     coordinator's snapshot — not by the live `sent_` — the delivered set
+//     is a pure function of the round number, independent of worker timing:
+//     run-to-run determinism survives the missing barrier.
+//   producer flow control: full() compares `sent_` against the snapshot
+//     `freed_`, not the live `delivered_`, for the same reason; a producer
+//     blocks on space_avail() and the coordinator wakes it at publish when
+//     slots were reclaimed.
+//
+// Tokens therefore traverse a boundary with one round of latency (publish)
+// instead of parking until the coordinator serially drained every ring, and
+// per-link FIFO order — the Kahn-network property every determinism argument
+// rests on — is preserved by construction. drain() remains the coordinator's
+// full drain, used at quiescence and on debug stops.
+//
+// Slot safety: the consumer reads slots in [delivered_, limit_) while the
+// producer writes slots in [sent_, freed_ + capacity); limit_ <= sent_ and
+// freed_ <= delivered_, and the physical ring holds >= capacity slots, so
+// the two ranges never alias modulo the ring size. The raw spsc_send /
+// spsc_take surface (used by the TSan stress test) instead synchronizes
+// purely through the acquire/release counters, classic SPSC style.
 //
 // Provenance: the producer allocates the token uid from its own shard
 // journal (disjoint per-partition id ranges) and records the kTokenPush
@@ -25,6 +45,7 @@
 // journal streams stay per-link identical to a sequential run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -43,7 +64,7 @@ class Link;
 /// Application; wired into the link via Link::set_outbox at start().
 class BoundaryChannel {
  public:
-  /// Channel slots used when the link itself is unbounded.
+  /// Channel capacity used when the link itself is unbounded.
   static constexpr std::size_t kDefaultSlots = 1024;
 
   BoundaryChannel(Link& link, std::size_t capacity);
@@ -52,27 +73,78 @@ class BoundaryChannel {
   BoundaryChannel& operator=(const BoundaryChannel&) = delete;
 
   [[nodiscard]] Link& link() const { return *link_; }
-  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
-  /// Tokens enqueued and not yet delivered.
-  [[nodiscard]] std::size_t pending() const { return size_; }
-  [[nodiscard]] bool full() const { return size_ == ring_.size(); }
+  /// Logical bound on in-flight tokens (the link's capacity when it has one,
+  /// kDefaultSlots otherwise).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Physical ring slots (next power of two >= capacity; for tests).
+  [[nodiscard]] std::size_t slot_count() const { return ring_.size(); }
+  /// Tokens enqueued and not yet delivered. Coordinator/debugger context.
+  [[nodiscard]] std::size_t pending() const {
+    return static_cast<std::size_t>(sent_.load(std::memory_order_acquire) -
+                                    delivered_.load(std::memory_order_acquire));
+  }
+  /// Producer-side: full against the coordinator's `freed_` snapshot (not
+  /// the live consumer index — see the determinism note above).
+  [[nodiscard]] bool full() const {
+    return sent_.load(std::memory_order_relaxed) - freed_ >= capacity_;
+  }
   /// Tokens ever accepted == the producer-side push index sequence.
-  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t sent() const { return sent_.load(std::memory_order_relaxed); }
   /// Tokens delivered into the link so far.
-  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
   /// Producer worker: enqueues one token. Precondition: !full().
   /// Returns the token's producer-side index (== its eventual push index).
   std::uint64_t send(Value v, std::uint64_t uid);
 
   /// Producers blocked on a full channel wait here; the coordinator
-  /// notifies after draining. Bound to the producer's partition.
+  /// notifies at publish after reclaiming slots. Bound to the producer's
+  /// partition.
   [[nodiscard]] sim::Event& space_avail() { return space_event_; }
 
-  /// Coordinator, at a barrier: delivers queued tokens into the link while
-  /// it has room, wakes the consumer (data became available) and the
-  /// producer (space became available). Returns true when any token moved.
+  // --- deterministic round protocol (see file comment) ----------------------
+
+  /// Coordinator, between rounds: makes every token sent so far eligible for
+  /// the consumer's eager drain, reclaims consumed slots for the producer,
+  /// and wakes a producer blocked on space. Returns true when a blocked
+  /// producer was woken (progress for the run loop).
+  bool publish(sim::Kernel& kernel);
+
+  /// Consumer shard (or coordinator): delivers eligible tokens — strictly
+  /// below the published limit — into the link while it has room, then wakes
+  /// local data_avail waiters. Returns tokens delivered.
+  std::size_t drain_eligible(sim::Kernel& kernel);
+
+  /// Coordinator: does the channel hold movement the last publish has not
+  /// seen (unpublished sends, or consumed slots not yet reclaimed)?
+  [[nodiscard]] bool has_unpublished() const {
+    return sent_.load(std::memory_order_relaxed) != limit_ ||
+           delivered_.load(std::memory_order_relaxed) != freed_;
+  }
+
+  /// Coordinator: can the consumer's eager drain deliver at least one token
+  /// right now (published backlog and link room)?
+  [[nodiscard]] bool eligible() const {
+    return delivered_.load(std::memory_order_relaxed) != limit_ && link_has_room();
+  }
+
+  /// Coordinator: full drain — publish + deliver everything possible + wake
+  /// both sides. Used at quiescence and on debug stops so the debugger sees
+  /// no token parked invisibly behind a stale snapshot. Returns true when
+  /// any token moved or a blocked producer was woken.
   bool drain(sim::Kernel& kernel);
+
+  // --- raw SPSC surface (two-thread stress tests; not used by the kernel) ---
+  // Synchronizes purely through the acquire/release counters; must not be
+  // mixed with the snapshot protocol above on the same channel instance.
+
+  /// Producer thread: enqueue, bounded by the live consumer index.
+  /// Returns false when full.
+  bool spsc_send(Value v, std::uint64_t uid);
+  /// Consumer thread: dequeue the oldest token. Returns false when empty.
+  bool spsc_take(Value& v, std::uint64_t& uid);
 
  private:
   struct Slot {
@@ -80,12 +152,22 @@ class BoundaryChannel {
     std::uint64_t uid = 0;
   };
 
+  [[nodiscard]] bool link_has_room() const;
+
   Link* link_;
+  std::size_t capacity_;
+  std::uint64_t mask_;
   std::vector<Slot> ring_;
-  std::size_t head_ = 0;  ///< oldest undelivered slot
-  std::size_t size_ = 0;
-  std::uint64_t sent_ = 0;
-  std::uint64_t delivered_ = 0;
+  /// Producer-owned (release store per send); read by the coordinator
+  /// between rounds and by the raw-SPSC consumer.
+  std::atomic<std::uint64_t> sent_{0};
+  /// Consumer-owned (release store per delivery); read by the coordinator
+  /// between rounds and by the raw-SPSC producer.
+  std::atomic<std::uint64_t> delivered_{0};
+  /// Coordinator-written snapshots (round-handshake ordered): the consumer
+  /// drains below limit_; the producer's full() measures against freed_.
+  std::uint64_t limit_ = 0;
+  std::uint64_t freed_ = 0;
   sim::Event space_event_;
 };
 

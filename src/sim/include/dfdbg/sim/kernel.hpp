@@ -87,11 +87,14 @@ struct BarrierRoundRecord {
   std::uint64_t wall_ns = 0;      ///< workers woken -> barrier flushed
   std::uint64_t drain_ns = 0;     ///< coordinator portion: journal merge + notifies + boundary drains
   std::uint64_t boundary_hwm = 0; ///< max boundary-channel occupancy sampled at the barrier
+  bool elided = false;            ///< no cross-partition effects: coordinator skipped the barrier
   struct PartitionDelta {
     std::uint64_t dispatches = 0; ///< dispatches this shard executed this round
     std::uint64_t work_ns = 0;    ///< worker-measured time draining its ready queue
     std::uint64_t wait_ns = 0;    ///< barrier-wait: blocked on slower shards
+    std::uint64_t eager = 0;      ///< boundary tokens this shard eager-drained this round
     bool stalled = false;         ///< woken with nothing to run (load-imbalance signal)
+    bool skipped = false;         ///< not woken: no local work could progress this round
   };
   std::vector<PartitionDelta> partitions;  ///< one entry per partition, in order
 };
@@ -200,16 +203,48 @@ class Kernel {
     return true;
   }
 
-  /// Parallel backend: registers a function the coordinator invokes at every
-  /// barrier, after all workers quiesce and deferred notifies flush, before
-  /// virtual time advances. Returns true when it made progress (delivered
-  /// tokens, woke a process), which triggers another delta round at the same
-  /// virtual time. The pedf runtime registers its boundary-ring drain here.
-  /// Tasks run in registration order; register before the first run().
+  /// Parallel backend: registers a function the coordinator invokes at a
+  /// *full* barrier — the global-quiescence fallback (no shard can progress
+  /// at the current virtual time) and the barrier of a debug-stop round —
+  /// after deferred notifies flush, before virtual time advances. Returns
+  /// true when it made progress (delivered tokens, woke a process), which
+  /// triggers another delta round at the same virtual time. The pedf runtime
+  /// registers its full boundary-ring drain here; ordinary rounds move
+  /// boundary tokens through the relaxed-synchrony path (BoundaryHooks)
+  /// instead. Tasks run in registration order; register before the first
+  /// run().
   void add_barrier_task(std::function<bool()> task);
+
+  /// Parallel backend: the boundary-transport integration points of the
+  /// relaxed-synchrony round protocol (see pedf/boundary.hpp). All optional;
+  /// the pedf runtime installs them when partition-crossing links exist.
+  struct BoundaryHooks {
+    /// Worker context, during a round: the given partition drains its
+    /// inbound channels' *published* tokens, in link order, waking local
+    /// waiters. Returns tokens delivered.
+    std::function<std::size_t(int partition)> eager_drain;
+    /// Coordinator: does any channel hold movement the last publish has not
+    /// seen (unpublished sends, or consumed slots not yet reclaimed)?
+    std::function<bool()> activity;
+    /// Coordinator: snapshot send indices for the next round's eager drains,
+    /// reclaim consumed slots, wake producers blocked on space. Returns true
+    /// when a blocked producer was woken.
+    std::function<bool()> publish;
+    /// Coordinator: set mask[p] nonzero for partitions whose inbound
+    /// channels can deliver at least one token right now (published backlog
+    /// and link room) — those shards join the round even with empty ready
+    /// queues.
+    std::function<void(std::vector<std::uint8_t>&)> pending;
+  };
+  void set_boundary_hooks(BoundaryHooks hooks) { boundary_hooks_ = std::move(hooks); }
 
   /// Parallel backend: barrier rounds completed so far (0 otherwise).
   [[nodiscard]] std::uint64_t round_count() const { return rounds_; }
+
+  /// Parallel backend: rounds whose coordinator barrier was skipped entirely
+  /// (no cross-partition effects: no boundary traffic, no deferred notifies,
+  /// no debug stop). Counted regardless of obs state.
+  [[nodiscard]] std::uint64_t elided_round_count() const { return elided_rounds_; }
 
   // --- Shard time attribution (parallel backend; docs/OBSERVABILITY.md) ----
 
@@ -226,6 +261,11 @@ class Kernel {
     std::uint64_t barrier_wait_ns = 0;
     std::uint64_t drain_ns = 0;
     std::uint64_t idle_ns = 0;
+    /// Rounds this shard stayed parked through (sparse wakes). Counted
+    /// regardless of obs state, like dispatches.
+    std::uint64_t skipped_wakes = 0;
+    /// Boundary tokens this shard eager-drained from its inbound channels.
+    std::uint64_t eager_drained = 0;
   };
   [[nodiscard]] ShardTotals shard_totals(int partition) const;
 
@@ -311,6 +351,21 @@ class Kernel {
     obs::Counter* m_dispatches = nullptr;   ///< sim.worker.<i>.dispatch
     std::thread thread;
 
+    // Sparse wakes: the coordinator wakes only shards that can progress this
+    // round; the rest stay parked on their own condition variable. `wake`
+    // and `participant` are coordinator-written under round_mu_ (the worker
+    // clears `wake` when it takes a round); `skipped_wakes` is
+    // coordinator-only; `round_eager`/`eager_total` are worker-written,
+    // coordinator-read across the round handshake.
+    std::condition_variable cv;   ///< this worker's round-wake channel
+    bool wake = false;            ///< a round is pending for this shard
+    bool participant = false;     ///< coordinator scratch: woken this round
+    std::uint64_t round_eager = 0;   ///< boundary tokens eager-drained, this round
+    std::uint64_t eager_total = 0;   ///< cumulative eager-drained tokens
+    std::uint64_t skipped_wakes = 0; ///< rounds this shard stayed parked through
+    obs::Counter* m_skipped = nullptr; ///< sim.worker.<i>.skipped_wakes
+    obs::Counter* m_eager = nullptr;   ///< sim.worker.<i>.eager_drained
+
     // Shard time attribution. The worker writes the two round-scratch fields
     // before re-parking (ordered before the coordinator's read by round_mu_);
     // everything else is coordinator-only. Clock reads are obs-gated; the
@@ -358,15 +413,18 @@ class Kernel {
   /// Wakes `e`'s waiters into their partitions' ready queues (coordinator
   /// or owning-shard context only).
   void notify_deliver(Event& e);
-  /// Coordinator: flushes deferred notifies then runs barrier tasks; true
-  /// when any progress was made.
+  /// Coordinator: flushes deferred notifies in partition order; true when a
+  /// waiter was woken.
+  bool flush_deferred();
+  /// Coordinator, full barrier: flush_deferred() then the registered barrier
+  /// tasks (pedf's full boundary drain); true when any progress was made.
   bool flush_barrier();
   void merge_shard_journals();
   void stop_workers();
   /// Attribution bookkeeping for one completed round: t0 = workers woken,
   /// t1 = workers quiescent, t2 = barrier flushed (all mono_ns).
   void record_round(std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
-                    std::uint64_t boundary_hwm);
+                    std::uint64_t boundary_hwm, bool elided);
 
   ProcessBackend backend_;
   bool parallel_ = false;
@@ -392,16 +450,18 @@ class Kernel {
   obs::Journal* journal_base_ = nullptr;  ///< journal shards delegate/merge here
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::function<bool()>> barrier_tasks_;
+  BoundaryHooks boundary_hooks_;
   std::uint64_t rounds_ = 0;
+  std::uint64_t elided_rounds_ = 0;
   std::atomic<bool> stop_flag_{false};  ///< some shard requested a debug stop
   std::mutex spawn_mu_;                 ///< serializes mid-run spawns from workers
-  // Round handshake: coordinator bumps round_gen_ and waits for
-  // workers_running_ to fall back to zero; the mutex carries the
-  // happens-before edges between coordinator and workers each round.
+  // Round handshake: coordinator bumps round_gen_, sets the participating
+  // shards' wake flags (each worker parks on its own Shard::cv — sparse
+  // wakes), and waits for workers_running_ to fall back to zero; the mutex
+  // carries the happens-before edges between coordinator and workers each
+  // round, for participants and skipped shards alike.
   std::mutex round_mu_;
-  std::condition_variable round_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t round_gen_ = 0;
   int workers_running_ = 0;
   bool workers_exit_ = false;
   bool workers_started_ = false;

@@ -24,6 +24,7 @@ struct SchedMetrics {
   obs::Counter& timed_wakeups;
   obs::Counter& breaks;
   obs::Counter& rounds;
+  obs::Counter& elided;            ///< sim.barrier.elided_rounds
   obs::Histogram& ready_depth;
   obs::Histogram& round_wall_ns;   ///< sim.barrier.round_wall_ns
   obs::Histogram& round_drain_ns;  ///< sim.barrier.drain_ns
@@ -33,6 +34,7 @@ struct SchedMetrics {
     static SchedMetrics m{r.counter("sim.dispatch"),      r.counter("sim.context_switch"),
                           r.counter("sim.process_spawn"), r.counter("sim.timed_wakeup"),
                           r.counter("sim.debug_break"),   r.counter("sim.barrier.round"),
+                          r.counter("sim.barrier.elided_rounds"),
                           r.histogram("sim.ready_depth"),
                           r.histogram("sim.barrier.round_wall_ns"),
                           r.histogram("sim.barrier.drain_ns"),
@@ -215,6 +217,8 @@ Kernel::Kernel(ProcessBackend backend, int workers) : backend_(backend) {
     sh->m_drain_ns = &reg.counter(strformat("sim.worker.%d.drain_ns", i));
     sh->m_idle_ns = &reg.counter(strformat("sim.worker.%d.idle_ns", i));
     sh->m_stalls = &reg.counter(strformat("sim.worker.%d.stalled_rounds", i));
+    sh->m_skipped = &reg.counter(strformat("sim.worker.%d.skipped_wakes", i));
+    sh->m_eager = &reg.counter(strformat("sim.worker.%d.eager_drained", i));
     sh->h_round_work = &reg.histogram(strformat("sim.worker.%d.round_work_ns", i));
     shards_.push_back(std::move(sh));
   }
@@ -363,7 +367,8 @@ void Kernel::dispatch(Process* p) {
   p->state_ = ProcessState::kRunning;
   p->activations_++;
   dispatches_++;
-  if (obs::enabled()) {
+  const bool prof = obs::enabled();
+  if (prof) {
     SchedMetrics& m = SchedMetrics::get();
     m.dispatches.add();
     // Two control transfers per dispatch on either backend: one into the
@@ -384,6 +389,11 @@ void Kernel::dispatch(Process* p) {
     }
   }
   current_ = p;
+  // No per-fire wall-time accumulation here: the time profile only ever
+  // feeds the parallel backend's partitioner, and two clock reads per
+  // dispatch would tax every observed sequential run for data nothing
+  // consumes (dispatch_parallel pays them instead, amortized by its
+  // heavier handshake).
   if (p->fiber_ != nullptr) {
     p->fiber_started_ = true;
     FiberContext::switch_to(sched_ctx_, *p->fiber_);  // until it yields/terminates
@@ -494,23 +504,39 @@ void Kernel::notify(Event& e) {
 // Execution model: every partition ("shard") is a sub-kernel — its own ready
 // queue, timed queue and scheduler anchor — drained to quiescence by a
 // dedicated worker thread. The coordinator (the thread that called run())
-// alternates rounds with barriers:
+// alternates rounds with (mostly elided) barriers:
 //
-//   round:   workers drain their shards; processes that wait/advance park as
-//            usual; notifies to events owned by another partition are
-//            *deferred* (recorded, not delivered).
-//   barrier: the coordinator — alone — merges journal shards, delivers the
-//            deferred notifies in partition order, runs registered barrier
-//            tasks (the pedf boundary-ring drain), and, once no delta work
-//            remains, advances virtual time to the earliest timed wakeup
-//            across all shards.
+//   round:   the coordinator wakes only the shards that can progress — a
+//            non-empty ready queue, or published boundary backlog their
+//            eager drain can deliver (sparse wakes; the rest stay parked
+//            and count a skipped_wake). Workers drain their shards,
+//            interleaving eager drains of their inbound boundary channels
+//            (tokens below the coordinator's published limit, in link
+//            order); processes that wait/advance park as usual; notifies to
+//            events owned by another partition are *deferred* (recorded,
+//            not delivered).
+//   barrier: only when the round produced cross-partition effects —
+//            boundary traffic, deferred notifies, or a debug stop — does
+//            the coordinator merge journal shards, deliver the deferred
+//            notifies in partition order, and publish the boundary channels
+//            (snapshot send indices, reclaim consumed slots, wake blocked
+//            producers). Effect-free rounds skip all of it
+//            (sim.barrier.elided_rounds); their journal records wait in the
+//            bounded shard rings for the next real barrier or run exit.
+//            Virtual-time advance, the registered full boundary drains
+//            (barrier tasks) and debug stops still take a full barrier at
+//            global quiescence.
 //
 // Determinism: each shard's drain order is a function of its own queue
-// contents; the coordinator's work happens in fixed (partition, link
-// registration) order; time advances only at global quiescence. Hence the
-// whole schedule — dispatches, token movements, journal merge order — is a
-// pure function of the program and the partition map. With one partition it
-// is the *same* function the sequential backends compute.
+// contents; eager-drain eligibility is bounded by the coordinator's
+// *snapshots*, not live producer indices, so the delivered set per round is
+// timing-independent; the coordinator's work happens in fixed (partition,
+// link registration) order; time advances only at global quiescence. Hence
+// the whole schedule — dispatches, token movements, journal merge order — is
+// a pure function of the program and the partition map. With one partition
+// it is the *same* function the sequential backends compute (a single
+// partition has no boundary channels, and its unclaimed-event notifies keep
+// every round un-elided).
 // ---------------------------------------------------------------------------
 
 Process* Kernel::current_parallel() const {
@@ -533,7 +559,7 @@ void Kernel::stop_workers() {
     std::lock_guard<std::mutex> lk(round_mu_);
     workers_exit_ = true;
   }
-  round_cv_.notify_all();
+  for (auto& sh : shards_) sh->cv.notify_one();
   for (auto& sh : shards_)
     if (sh->thread.joinable()) sh->thread.join();
   workers_started_ = false;
@@ -546,13 +572,12 @@ void Kernel::worker_main(int shard) {
   // All journal traffic from this thread (dispatch records, link push/pop
   // records, token-id allocation) lands in the shard's private buffer.
   obs::Journal::set_thread_journal(s.journal.get());
-  std::uint64_t seen = 0;
   while (true) {
     {
       std::unique_lock<std::mutex> lk(round_mu_);
-      round_cv_.wait(lk, [&] { return workers_exit_ || round_gen_ != seen; });
+      s.cv.wait(lk, [&] { return workers_exit_ || s.wake; });
       if (workers_exit_) break;
-      seen = round_gen_;
+      s.wake = false;
     }
     // Attribution: the worker times its own drain (clock reads obs-gated; the
     // scratch stores are unconditional and ordered before the coordinator's
@@ -560,7 +585,22 @@ void Kernel::worker_main(int shard) {
     const std::uint64_t dispatches_before = s.dispatches;
     const bool prof = obs::enabled();
     const std::uint64_t w0 = prof ? mono_ns() : 0;
+    std::uint64_t eager = 0;
     drain_shard(s);
+    if (boundary_hooks_.eager_drain) {
+      // Eagerly deliver published cross-partition tokens and run whatever
+      // they wake, until neither makes progress. Eligibility is bounded by
+      // the coordinator's snapshot, so this fixpoint — like the drain order
+      // itself — is a pure function of the round's starting state.
+      while (!s.stop_round) {
+        const std::size_t got = boundary_hooks_.eager_drain(s.index);
+        if (got == 0) break;
+        eager += got;
+        drain_shard(s);
+      }
+    }
+    s.round_eager = eager;
+    s.eager_total += eager;
     s.round_work_ns = prof ? mono_ns() - w0 : 0;
     s.round_dispatches = s.dispatches - dispatches_before;
     {
@@ -575,9 +615,15 @@ void Kernel::run_round() {
   rounds_++;
   if (obs::enabled()) SchedMetrics::get().rounds.add();
   std::unique_lock<std::mutex> lk(round_mu_);
-  round_gen_++;
-  workers_running_ = static_cast<int>(shards_.size());
-  round_cv_.notify_all();
+  int participants = 0;
+  for (auto& sh : shards_) {
+    if (!sh->participant) continue;
+    sh->wake = true;
+    participants++;
+  }
+  workers_running_ = participants;
+  for (auto& sh : shards_)
+    if (sh->participant) sh->cv.notify_one();
   done_cv_.wait(lk, [&] { return workers_running_ == 0; });
 }
 
@@ -595,7 +641,8 @@ void Kernel::dispatch_shard(Shard& s, Process* p) {
   p->state_ = ProcessState::kRunning;
   p->activations_++;
   s.dispatches++;
-  if (obs::enabled()) {
+  const bool prof = obs::enabled();
+  if (prof) {
     SchedMetrics& m = SchedMetrics::get();
     m.dispatches.add();
     m.context_switches.add(2);
@@ -612,6 +659,7 @@ void Kernel::dispatch_shard(Shard& s, Process* p) {
     }
   }
   s.current = p;
+  const std::uint64_t f0 = prof ? mono_ns() : 0;
   if (p->fiber_ != nullptr) {
     p->fiber_started_ = true;
     p->resume_anchor_ = &s.sched_ctx;
@@ -620,6 +668,7 @@ void Kernel::dispatch_shard(Shard& s, Process* p) {
     p->resume_sem_.release();
     s.sem.acquire();
   }
+  if (prof) p->consumed_wall_ns_ += mono_ns() - f0;
   s.current = nullptr;
 }
 
@@ -730,7 +779,7 @@ bool Kernel::notify_if_waiting_parallel(Event& e) {
 }
 
 void Kernel::record_round(std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
-                          std::uint64_t boundary_hwm) {
+                          std::uint64_t boundary_hwm, bool elided) {
   const std::uint64_t wall = t2 - t0;
   const std::uint64_t drain = t2 - t1;
   const std::uint64_t span = t1 - t0;  // workers woken -> workers quiescent
@@ -740,15 +789,21 @@ void Kernel::record_round(std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
   rec.wall_ns = wall;
   rec.drain_ns = drain;
   rec.boundary_hwm = boundary_hwm;
+  rec.elided = elided;
   rec.partitions.reserve(shards_.size());
   for (auto& sh : shards_) {
     BarrierRoundRecord::PartitionDelta d;
-    d.dispatches = sh->round_dispatches;
+    // A skipped shard stayed parked: its round scratch (round_dispatches,
+    // round_work_ns, round_eager) is stale from an earlier round and must
+    // not be read. It did nothing and waited out the whole span.
+    d.skipped = !sh->participant;
+    d.dispatches = d.skipped ? 0 : sh->round_dispatches;
+    d.eager = d.skipped ? 0 : sh->round_eager;
     // Worker and coordinator read the same steady clock from different
     // threads; clamp so work never exceeds the span the coordinator saw.
-    d.work_ns = std::min(sh->round_work_ns, span);
+    d.work_ns = d.skipped ? 0 : std::min(sh->round_work_ns, span);
     d.wait_ns = span - d.work_ns;
-    d.stalled = sh->round_dispatches == 0;
+    d.stalled = !d.skipped && sh->round_dispatches == 0;
     sh->work_ns_total += d.work_ns;
     sh->wait_ns_total += d.wait_ns;
     sh->drain_ns_total += drain;
@@ -759,12 +814,15 @@ void Kernel::record_round(std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
       sh->stalled_rounds++;
       sh->m_stalls->add();
     }
+    if (d.skipped) sh->m_skipped->add();
+    if (d.eager != 0) sh->m_eager->add(d.eager);
     sh->h_round_work->observe(d.work_ns);
     rec.partitions.push_back(d);
   }
   SchedMetrics& m = SchedMetrics::get();
   m.round_wall_ns.observe(wall);
   m.round_drain_ns.observe(drain);
+  if (elided) m.elided.add();
   if (boundary_hwm > 0) m.boundary_hwm.set(static_cast<std::int64_t>(boundary_hwm));
   round_records_.push_back(std::move(rec));
   while (round_records_.size() > round_record_capacity_) round_records_.pop_front();
@@ -796,6 +854,8 @@ Kernel::ShardTotals Kernel::shard_totals(int partition) const {
   t.barrier_wait_ns = s.wait_ns_total;
   t.drain_ns = s.drain_ns_total;
   t.idle_ns = s.idle_ns_total;
+  t.skipped_wakes = s.skipped_wakes;
+  t.eager_drained = s.eager_total;
   return t;
 }
 
@@ -803,10 +863,10 @@ void Kernel::merge_shard_journals() {
   for (auto& sh : shards_) journal_base_->merge_from(*sh->journal);
 }
 
-bool Kernel::flush_barrier() {
+bool Kernel::flush_deferred() {
   bool progress = false;
-  // Deferred notifies first, in partition order: waking a blocked consumer
-  // may let a barrier task below deliver straight into its link.
+  // Partition order: waking a blocked consumer may let a boundary drain
+  // (eager or full) deliver straight into its link.
   for (auto& sh : shards_) {
     for (Event* e : sh->deferred_notifies) {
       e->deferred_pending_.store(false, std::memory_order_relaxed);
@@ -815,7 +875,12 @@ bool Kernel::flush_barrier() {
     }
     sh->deferred_notifies.clear();
   }
-  // Boundary transports (registration order == link creation order).
+  return progress;
+}
+
+bool Kernel::flush_barrier() {
+  bool progress = flush_deferred();
+  // Full boundary drains (registration order == link creation order).
   for (auto& task : barrier_tasks_)
     if (task()) progress = true;
   return progress;
@@ -832,14 +897,31 @@ RunResult Kernel::run_parallel(SimTime until) {
   stop_flag_.store(false, std::memory_order_relaxed);
   for (auto& sh : shards_) sh->stop_round = false;
   last_barrier_end_ns_ = 0;  // time stopped in the debugger is not idle
+  // Re-publish the boundary snapshots: the debugger may have drained or
+  // altered links while stopped, and a fresh run's first eligibility mask
+  // must see current channel state.
+  if (boundary_hooks_.publish) boundary_hooks_.publish();
+  std::vector<std::uint8_t> boundary_pending(shards_.size(), 0);
   while (true) {
+    // Pick the round's participants: shards with local ready work, plus
+    // shards whose inbound boundary channels can deliver a published token
+    // (their eager drain is then guaranteed at least one delivery, so a
+    // woken shard always produces effects — no wake can spin forever).
+    // Recomputed from live link/channel state every iteration; everything
+    // else stays parked and counts a skipped wake.
+    if (boundary_hooks_.pending) {
+      std::fill(boundary_pending.begin(), boundary_pending.end(), 0);
+      boundary_hooks_.pending(boundary_pending);
+    }
     bool any_ready = false;
-    for (auto& sh : shards_)
-      if (!sh->ready.empty()) {
-        any_ready = true;
-        break;
-      }
+    for (auto& sh : shards_) {
+      sh->participant =
+          !sh->ready.empty() || boundary_pending[static_cast<std::size_t>(sh->index)] != 0;
+      any_ready |= sh->participant;
+    }
     if (any_ready) {
+      for (auto& sh : shards_)
+        if (!sh->participant) sh->skipped_wakes++;
       // Shard time attribution: t0..t1 is the workers' span (work +
       // barrier-wait), t1..t2 the coordinator's barrier (drain bucket), and
       // the gap since the previous barrier end is idle. All clock reads are
@@ -855,24 +937,70 @@ RunResult Kernel::run_parallel(SimTime until) {
       }
       run_round();
       const std::uint64_t t1 = prof ? mono_ns() : 0;
+      // The probe samples every round — elided ones included — so the
+      // boundary high-water mark cannot under-report across skipped
+      // barriers.
       const std::uint64_t hwm = prof && boundary_probe_ ? boundary_probe_() : 0;
-      merge_shard_journals();
-      flush_barrier();
+      const bool stop = stop_flag_.load(std::memory_order_acquire);
+      // Barrier elision: did the round produce cross-partition effects?
+      // Unpublished boundary movement, deferred notifies, or a debug stop.
+      // Effect-free rounds skip the merge/flush/publish entirely; journal
+      // records from purely-local rounds stay in their shard rings (bounded,
+      // like every journal window) until the next real barrier or run exit
+      // merges them in partition order. Every condition is a deterministic
+      // function of the schedule, so the elision pattern — and with it the
+      // merge schedule — is too.
+      bool effects = stop;
+      if (!effects && boundary_hooks_.activity) effects = boundary_hooks_.activity();
+      if (!effects)
+        for (auto& sh : shards_)
+          if (!sh->deferred_notifies.empty()) {
+            effects = true;
+            break;
+          }
+      // Shard-journal pressure also forces a merge: records parked across
+      // elided rounds must never be evicted from a shard ring that the
+      // per-round merge would have kept (base drop accounting — see
+      // Journal::merge_from — only balances when shards themselves never
+      // drop). Half-full leaves a full round of headroom; at the default
+      // 128Ki capacity this fires far too late to matter for elision.
+      if (!effects)
+        for (auto& sh : shards_)
+          if (sh->journal->size() * 2 >= sh->journal->capacity()) {
+            effects = true;
+            break;
+          }
+      bool elided = false;
+      if (effects) {
+        merge_shard_journals();
+        if (stop) {
+          // Stop rounds take the full barrier — deferred notifies plus the
+          // registered full drains — so the debugger never sees a token
+          // parked invisibly behind a stale channel snapshot.
+          flush_barrier();
+        } else {
+          flush_deferred();
+          if (boundary_hooks_.publish) boundary_hooks_.publish();
+        }
+      } else {
+        elided = true;
+        elided_rounds_++;
+      }
       if (prof) {
         const std::uint64_t t2 = mono_ns();
-        record_round(t0, t1, t2, hwm);
+        record_round(t0, t1, t2, hwm, elided);
         last_barrier_end_ns_ = t2;
       } else {
         last_barrier_end_ns_ = 0;
       }
-      if (stop_flag_.load(std::memory_order_acquire)) {
+      if (stop) {
         stop_flag_.store(false, std::memory_order_relaxed);
         return RunResult::kStopped;
       }
       continue;
     }
-    // No shard has ready work; a barrier flush may still create some (e.g.
-    // boundary tokens parked behind a link that just gained space).
+    // No shard can progress; a full barrier flush may still create work
+    // (e.g. boundary tokens parked behind a link that just gained space).
     if (flush_barrier()) continue;
     // Global quiescence at this virtual time: advance together.
     SimTime t = kMaxSimTime;
@@ -883,11 +1011,13 @@ RunResult Kernel::run_parallel(SimTime until) {
         if (sh->timed.top().when < t) t = sh->timed.top().when;
       }
     if (!has_timed) {
+      merge_shard_journals();
       return live_count_.load(std::memory_order_relaxed) == 0 ? RunResult::kFinished
                                                               : RunResult::kDeadlock;
     }
     if (t > until) {
       now_ = until;
+      merge_shard_journals();
       return RunResult::kTimeLimit;
     }
     now_ = t;
